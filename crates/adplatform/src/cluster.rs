@@ -1,0 +1,417 @@
+//! Cluster builder: instantiates the whole platform — exchange frontends,
+//! BidServers, AdServers, PresentationServers, the ProfileStore — plus a
+//! full Scrub deployment, on the discrete-event simulator.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use std::sync::Arc;
+
+use scrub_core::schema::SchemaRegistry;
+use scrub_server::{deploy_central, deploy_server, AgentHarness, ScrubDeployment};
+use scrub_simnet::{NodeId, NodeMeta, Sim, Topology};
+
+use crate::config::PlatformConfig;
+use crate::events::{platform_registry, PlatformEvents};
+use crate::msg::PlatformMsg;
+use crate::nodes::adserver::AdServer;
+use crate::nodes::bidserver::BidServer;
+use crate::nodes::presentation::PresentationServer;
+use crate::nodes::profilestore::ProfileStore;
+use crate::nodes::traffic::ExchangeFrontend;
+
+/// Service name of the BidServers.
+pub const SVC_BID: &str = "BidServers";
+/// Service name of the AdServers.
+pub const SVC_AD: &str = "AdServers";
+/// Service name of the PresentationServers.
+pub const SVC_PRES: &str = "PresentationServers";
+/// Service name of the ProfileStore.
+pub const SVC_PROFILE: &str = "ProfileStore";
+/// Service name of the exchange frontends (external to the DSP).
+pub const SVC_EXCHANGE: &str = "Exchanges";
+
+/// A built platform: the simulator plus all the handles experiments need.
+pub struct Platform {
+    /// The simulator (run it!).
+    pub sim: Sim<PlatformMsg>,
+    /// Scrub deployment handles (query server + central).
+    pub scrub: ScrubDeployment,
+    /// Shared event-schema registry.
+    pub registry: Arc<SchemaRegistry>,
+    /// Resolved platform event type ids.
+    pub events: PlatformEvents,
+    /// Exchange frontends, in exchange order.
+    pub frontends: Vec<NodeId>,
+    /// BidServers.
+    pub bidservers: Vec<NodeId>,
+    /// AdServers (index = pod).
+    pub adservers: Vec<NodeId>,
+    /// PresentationServers (index = pod, 1:1 with AdServers when sizes
+    /// match).
+    pub presservers: Vec<NodeId>,
+    /// The ProfileStore.
+    pub profile: NodeId,
+    /// The configuration the platform was built with.
+    pub config: PlatformConfig,
+}
+
+impl Platform {
+    /// Host names of AdServers running the new (true) or old (false) build
+    /// in a rollout scenario.
+    pub fn adserver_hosts_for_rollout(&self, new_build: bool) -> Vec<String> {
+        self.adservers
+            .iter()
+            .enumerate()
+            .filter(|(pod, _)| self.config.rollout_pods.contains(pod) == new_build)
+            .map(|(_, id)| self.sim.metas()[id.0 as usize].name.clone())
+            .collect()
+    }
+
+    /// Host names of the PresentationServers in pods running `model`.
+    pub fn pres_hosts_for_model(&self, model: &str) -> Vec<String> {
+        self.presservers
+            .iter()
+            .enumerate()
+            .filter(|(pod, _)| self.config.pod_model(*pod) == model)
+            .map(|(_, id)| self.sim.metas()[id.0 as usize].name.clone())
+            .collect()
+    }
+
+    /// All recorded bid latencies (ms timestamp, µs latency), across
+    /// frontends, sorted by time.
+    pub fn all_latencies(&self) -> Vec<(i64, i64)> {
+        let mut out = Vec::new();
+        for &f in &self.frontends {
+            if let Some(fe) = self.sim.node_as::<ExchangeFrontend>(f) {
+                out.extend(fe.latencies.iter().copied());
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Per-host Scrub agent statistics across all instrumented services.
+    pub fn agent_stats(&self) -> Vec<(String, scrub_agent::StatsSnapshot)> {
+        let mut out = Vec::new();
+        for &id in &self.bidservers {
+            if let Some(n) = self.sim.node_as::<BidServer>(id) {
+                out.push((
+                    self.sim.metas()[id.0 as usize].name.clone(),
+                    n.harness.agent().stats().snapshot(),
+                ));
+            }
+        }
+        for &id in &self.adservers {
+            if let Some(n) = self.sim.node_as::<AdServer>(id) {
+                out.push((
+                    self.sim.metas()[id.0 as usize].name.clone(),
+                    n.harness.agent().stats().snapshot(),
+                ));
+            }
+        }
+        for &id in &self.presservers {
+            if let Some(n) = self.sim.node_as::<PresentationServer>(id) {
+                out.push((
+                    self.sim.metas()[id.0 as usize].name.clone(),
+                    n.harness.agent().stats().snapshot(),
+                ));
+            }
+        }
+        out
+    }
+
+    /// How many events of each type the platform produced (tap call sites,
+    /// regardless of any query being active) — the population the logging
+    /// baseline would have to record in full.
+    pub fn event_production(&self) -> EventProduction {
+        let mut p = EventProduction::default();
+        for &id in &self.frontends {
+            if let Some(n) = self.sim.node_as::<ExchangeFrontend>(id) {
+                p.bids += n.bids;
+            }
+        }
+        for &id in &self.adservers {
+            if let Some(n) = self.sim.node_as::<AdServer>(id) {
+                p.auctions += n.auctions_run;
+                p.exclusions += n.exclusions_emitted;
+            }
+        }
+        for &id in &self.presservers {
+            if let Some(n) = self.sim.node_as::<PresentationServer>(id) {
+                p.impressions += n.impressions;
+                p.clicks += n.clicks;
+            }
+        }
+        p
+    }
+}
+
+/// Per-type event production counts.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventProduction {
+    /// `bid` events (bid responses with a winner).
+    pub bids: u64,
+    /// `auction` events.
+    pub auctions: u64,
+    /// `exclusion` events.
+    pub exclusions: u64,
+    /// `impression` events.
+    pub impressions: u64,
+    /// `click` events.
+    pub clicks: u64,
+}
+
+impl EventProduction {
+    /// Total events across types.
+    pub fn total(&self) -> u64 {
+        self.bids + self.auctions + self.exclusions + self.impressions + self.clicks
+    }
+}
+
+/// Build the platform per `config`.
+pub fn build_platform(config: PlatformConfig) -> Platform {
+    let (registry, events) = platform_registry();
+    let mut topology = Topology::default();
+    // cross-continental DC pairs stay at the default 60 ms
+    topology.intra_dc_us = 250;
+    let mut sim: Sim<PlatformMsg> = Sim::new(topology, config.seed);
+
+    // Scrub central first: app hosts need its address.
+    let central = deploy_central(&mut sim, config.scrub.clone(), &config.dcs[0]);
+
+    // ProfileStore (AdServer wiring patched below).
+    let profile = sim.add_node(
+        NodeMeta::new("profile-0", SVC_PROFILE, &config.dcs[0]),
+        Box::new(ProfileStore::new(config.corrupt_freq_user_mod)),
+    );
+
+    // AdServers: one pod per server, round-robin across DCs.
+    let mut adservers = Vec::new();
+    let total_pods = config.total_pods();
+    for pod in 0..total_pods {
+        let dc = &config.dcs[pod % config.dcs.len()];
+        let name = format!("ad-{dc}-{pod}");
+        let harness = AgentHarness::new(name.clone(), config.scrub.clone(), central);
+        let mut node = AdServer::new(
+            harness,
+            events,
+            pod,
+            config.pod_ctr_mult(pod),
+            config.line_items.clone(),
+            config.adserver_service_us,
+            config.scrub_overhead_enabled,
+            config.cost_model,
+        );
+        if config.rollout_pods.contains(&pod) {
+            node.set_rollout_bug(config.rollout_at_ms, config.rollout_price_bug);
+        }
+        adservers.push(sim.add_node(NodeMeta::new(name, SVC_AD, dc), Box::new(node)));
+    }
+
+    // PresentationServers (paired with pods).
+    let mut presservers = Vec::new();
+    let total_pres = config.dcs.len() * config.presservers_per_dc;
+    for pod in 0..total_pres {
+        let dc = &config.dcs[pod % config.dcs.len()];
+        let name = format!("pres-{dc}-{pod}");
+        let harness = AgentHarness::new(name.clone(), config.scrub.clone(), central);
+        let model = config.pod_model(pod);
+        let node = PresentationServer::new(harness, events, model, profile);
+        presservers.push(sim.add_node(NodeMeta::new(name, SVC_PRES, dc), Box::new(node)));
+    }
+
+    // BidServers.
+    let mut bidservers = Vec::new();
+    let total_bid = config.dcs.len() * config.bidservers_per_dc;
+    for i in 0..total_bid {
+        let dc = &config.dcs[i % config.dcs.len()];
+        let name = format!("bid-{dc}-{i}");
+        let harness = AgentHarness::new(name.clone(), config.scrub.clone(), central);
+        // prefer same-DC AdServers; fall back to all
+        let local: Vec<NodeId> = adservers
+            .iter()
+            .copied()
+            .filter(|id| sim.metas()[id.0 as usize].dc == *dc)
+            .collect();
+        let targets = if local.is_empty() {
+            adservers.clone()
+        } else {
+            local
+        };
+        let node = BidServer::new(
+            harness,
+            events,
+            targets,
+            config.bidserver_service_us,
+            config.scrub_overhead_enabled,
+            config.cost_model,
+        );
+        bidservers.push(sim.add_node(NodeMeta::new(name, SVC_BID, dc), Box::new(node)));
+    }
+
+    // Exchange frontends.
+    let mut frontends = Vec::new();
+    for ex in &config.exchanges {
+        let dc = &config.dcs[ex.id as usize % config.dcs.len()];
+        let name = format!("exch-{}", ex.name);
+        let bots = config
+            .bots
+            .iter()
+            .filter(|b| b.exchange_id == ex.id)
+            .cloned()
+            .collect();
+        // weight traffic by the exchange's share
+        let total_weight: f64 = config
+            .exchanges
+            .iter()
+            .map(|e| e.traffic_weight)
+            .sum::<f64>()
+            .max(1e-9);
+        let rate = config.page_views_per_sec * ex.traffic_weight / total_weight;
+        let local_bids: Vec<NodeId> = bidservers
+            .iter()
+            .copied()
+            .filter(|id| sim.metas()[id.0 as usize].dc == *dc)
+            .collect();
+        let node = ExchangeFrontend::new(
+            ex.clone(),
+            if local_bids.is_empty() {
+                bidservers.clone()
+            } else {
+                local_bids
+            },
+            presservers.clone(),
+            config.n_users,
+            config.zipf_alpha,
+            config.n_segments,
+            rate,
+            config.max_ads_per_page,
+            bots,
+            config.external_win_scale,
+        );
+        frontends.push(sim.add_node(NodeMeta::new(name, SVC_EXCHANGE, dc), Box::new(node)));
+    }
+
+    // Wire ProfileStore replication now that AdServers exist.
+    sim.node_as_mut::<ProfileStore>(profile)
+        .expect("profile node")
+        .set_adservers(adservers.clone());
+
+    // Query server last: it snapshots the host inventory.
+    let scrub = deploy_server(
+        &mut sim,
+        registry.clone(),
+        config.scrub.clone(),
+        central,
+        &config.dcs[0],
+    );
+
+    Platform {
+        sim,
+        scrub,
+        registry,
+        events,
+        frontends,
+        bidservers,
+        adservers,
+        presservers,
+        profile,
+        config,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scrub_simnet::SimTime;
+
+    #[test]
+    fn platform_builds_and_serves_traffic() {
+        let mut cfg = PlatformConfig::default();
+        cfg.page_views_per_sec = 20.0;
+        let mut p = build_platform(cfg);
+        p.sim.run_until(SimTime::from_secs(30));
+
+        let handled: u64 = p
+            .bidservers
+            .iter()
+            .map(|&id| p.sim.node_as::<BidServer>(id).unwrap().requests_handled)
+            .sum();
+        assert!(handled > 300, "only {handled} requests in 30s");
+
+        let auctions: u64 = p
+            .adservers
+            .iter()
+            .map(|&id| p.sim.node_as::<AdServer>(id).unwrap().auctions_run)
+            .sum();
+        assert!(auctions > 0, "no auctions ran");
+
+        let impressions: u64 = p
+            .presservers
+            .iter()
+            .map(|&id| p.sim.node_as::<PresentationServer>(id).unwrap().impressions)
+            .sum();
+        assert!(impressions > 0, "no impressions served");
+
+        // latencies respect the SLO ballpark (AdServer 2 ms + network)
+        let lats = p.all_latencies();
+        assert!(!lats.is_empty());
+        let max = lats.iter().map(|(_, l)| *l).max().unwrap();
+        assert!(max < 20_000, "worst bid latency {max}µs blows the SLO");
+    }
+
+    #[test]
+    fn profile_counts_flow_back() {
+        let mut cfg = PlatformConfig::default();
+        cfg.page_views_per_sec = 50.0;
+        // tight cap so it actually binds
+        for li in cfg.line_items.iter_mut() {
+            li.freq_cap = Some(1);
+        }
+        let mut p = build_platform(cfg);
+        p.sim.run_until(SimTime::from_secs(30));
+        let store = p.sim.node_as::<ProfileStore>(p.profile).unwrap();
+        assert!(store.updates_applied > 0);
+        assert_eq!(store.updates_dropped, 0);
+    }
+
+    #[test]
+    fn corruption_drops_updates() {
+        let mut cfg = PlatformConfig::default();
+        cfg.page_views_per_sec = 50.0;
+        cfg.corrupt_freq_user_mod = Some(2);
+        let mut p = build_platform(cfg);
+        p.sim.run_until(SimTime::from_secs(20));
+        let store = p.sim.node_as::<ProfileStore>(p.profile).unwrap();
+        assert!(store.updates_dropped > 0, "fault not exercised");
+    }
+
+    #[test]
+    fn model_hosts_resolve() {
+        let mut cfg = PlatformConfig::default();
+        cfg.model_b_pods = vec![1, 3];
+        let p = build_platform(cfg);
+        let a = p.pres_hosts_for_model("A");
+        let b = p.pres_hosts_for_model("B");
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+        assert!(a.iter().all(|h| !b.contains(h)));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let run = || {
+            let mut cfg = PlatformConfig::default();
+            cfg.page_views_per_sec = 10.0;
+            let mut p = build_platform(cfg);
+            p.sim.run_until(SimTime::from_secs(10));
+            let handled: u64 = p
+                .bidservers
+                .iter()
+                .map(|&id| p.sim.node_as::<BidServer>(id).unwrap().requests_handled)
+                .sum();
+            (handled, p.sim.events_processed())
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,203 @@
+//! Platform configuration: cluster shape, workload, campaigns, anomalies.
+
+use scrub_agent::CostModel;
+use scrub_core::config::ScrubConfig;
+
+use crate::model::{Exchange, LineItem};
+
+/// A spam bot (§8.1): issues large batches of page views at high frequency
+/// — unlike humans, whose page views are Zipf-paced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BotSpec {
+    /// Index of the bot (user id becomes `n_users + index`).
+    pub index: u64,
+    /// Exchange whose frontend the bot hits.
+    pub exchange_id: u32,
+    /// First batch at this time (ms).
+    pub start_ms: i64,
+    /// Batch period (ms).
+    pub period_ms: i64,
+    /// Page views per batch.
+    pub batch_pages: u32,
+}
+
+/// The simulated platform's knobs.
+#[derive(Debug, Clone)]
+pub struct PlatformConfig {
+    /// Simulation seed.
+    pub seed: u64,
+    /// Data centers hosting the DSP.
+    pub dcs: Vec<String>,
+    /// BidServers per DC.
+    pub bidservers_per_dc: usize,
+    /// AdServers per DC.
+    pub adservers_per_dc: usize,
+    /// PresentationServers per DC.
+    pub presservers_per_dc: usize,
+    /// Human user population size.
+    pub n_users: usize,
+    /// Zipf exponent of user activity.
+    pub zipf_alpha: f64,
+    /// Number of user segments (user u belongs to segment u % n_segments).
+    pub n_segments: u32,
+    /// Aggregate human page views per second per exchange frontend.
+    pub page_views_per_sec: f64,
+    /// Ads per page: uniform in 1..=this.
+    pub max_ads_per_page: u32,
+    /// The exchanges.
+    pub exchanges: Vec<Exchange>,
+    /// The line items (across all campaigns).
+    pub line_items: Vec<LineItem>,
+    /// Spam bots.
+    pub bots: Vec<BotSpec>,
+    /// Pods (adserver index mod pod count) running targeting model "B";
+    /// the rest run "A" (§8.3).
+    pub model_b_pods: Vec<usize>,
+    /// Realized-CTR multiplier of model A.
+    pub model_a_ctr_mult: f64,
+    /// Realized-CTR multiplier of model B.
+    pub model_b_ctr_mult: f64,
+    /// Probability scale of winning the external auction.
+    pub external_win_scale: f64,
+    /// BidServer base service time per request (µs).
+    pub bidserver_service_us: i64,
+    /// AdServer base service time per request (µs).
+    pub adserver_service_us: i64,
+    /// Whether Scrub agent work inflates service times (the honest
+    /// overhead model; disable to measure a Scrub-free baseline).
+    pub scrub_overhead_enabled: bool,
+    /// The agent cost model used for that inflation.
+    pub cost_model: CostModel,
+    /// Scrub deployment configuration.
+    pub scrub: ScrubConfig,
+    /// §8.6 bug: frequency-count updates for users with
+    /// `user_id % modulo == 0` are silently dropped at the ProfileStore.
+    pub corrupt_freq_user_mod: Option<u64>,
+    /// Rollout-regression scenario (§1: "new versions of the software
+    /// often introduce bugs"): pods in this list run the new build.
+    pub rollout_pods: Vec<usize>,
+    /// The new build activates (and its bug with it) at this time (ms).
+    pub rollout_at_ms: i64,
+    /// The planted defect: the new build multiplies its winning bid price
+    /// by this factor (1.0 = healthy rollout).
+    pub rollout_price_bug: f64,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig {
+            seed: 7,
+            dcs: vec!["DC1".into(), "DC2".into()],
+            bidservers_per_dc: 2,
+            adservers_per_dc: 2,
+            presservers_per_dc: 2,
+            n_users: 2_000,
+            zipf_alpha: 1.05,
+            n_segments: 8,
+            page_views_per_sec: 50.0,
+            max_ads_per_page: 3,
+            exchanges: default_exchanges(),
+            line_items: default_line_items(),
+            bots: Vec::new(),
+            model_b_pods: Vec::new(),
+            model_a_ctr_mult: 1.0,
+            model_b_ctr_mult: 1.0,
+            external_win_scale: 0.8,
+            bidserver_service_us: 300,
+            adserver_service_us: 2_000,
+            scrub_overhead_enabled: true,
+            cost_model: CostModel::default(),
+            scrub: ScrubConfig::default(),
+            corrupt_freq_user_mod: None,
+            rollout_pods: Vec::new(),
+            rollout_at_ms: 0,
+            rollout_price_bug: 1.0,
+        }
+    }
+}
+
+/// Four exchanges, all live from the start.
+pub fn default_exchanges() -> Vec<Exchange> {
+    ["A", "B", "C", "D"]
+        .iter()
+        .enumerate()
+        .map(|(i, name)| Exchange {
+            id: i as u32,
+            name: (*name).into(),
+            live_from_ms: 0,
+            traffic_weight: 1.0,
+            floor_price: 0.2 + 0.1 * i as f64,
+        })
+        .collect()
+}
+
+/// A default campaign mix: 40 line items across 10 campaigns with varied
+/// advisory prices, country/segment targeting, budgets and caps.
+pub fn default_line_items() -> Vec<LineItem> {
+    let countries = ["us", "pt", "de", "jp"];
+    (0..40u64)
+        .map(|i| {
+            let mut li = LineItem::new(1000 + i, 100 + i / 4, 0.5 + 0.05 * (i % 12) as f64);
+            if i % 3 == 0 {
+                li.targeting.countries = vec![countries[(i % 4) as usize].into()];
+            }
+            if i % 5 == 0 {
+                li.targeting.segment = Some((i % 8) as u32);
+            }
+            if i % 7 == 0 {
+                li.targeting.exchanges = vec![(i % 4) as u32, ((i + 1) % 4) as u32];
+            }
+            li.base_ctr = 0.005 + 0.002 * (i % 5) as f64;
+            li
+        })
+        .collect()
+}
+
+impl PlatformConfig {
+    /// Total AdServer pods in the deployment.
+    pub fn total_pods(&self) -> usize {
+        self.dcs.len() * self.adservers_per_dc
+    }
+
+    /// The model label ("A"/"B") a pod runs.
+    pub fn pod_model(&self, pod: usize) -> &'static str {
+        if self.model_b_pods.contains(&pod) {
+            "B"
+        } else {
+            "A"
+        }
+    }
+
+    /// Realized-CTR multiplier of a pod's model.
+    pub fn pod_ctr_mult(&self, pod: usize) -> f64 {
+        if self.model_b_pods.contains(&pod) {
+            self.model_b_ctr_mult
+        } else {
+            self.model_a_ctr_mult
+        }
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_consistent() {
+        let c = PlatformConfig::default();
+        assert_eq!(c.total_pods(), 4);
+        assert_eq!(c.exchanges.len(), 4);
+        assert_eq!(c.line_items.len(), 40);
+        assert_eq!(c.pod_model(0), "A");
+    }
+
+    #[test]
+    fn pod_models() {
+        let mut c = PlatformConfig::default();
+        c.model_b_pods = vec![1, 3];
+        assert_eq!(c.pod_model(1), "B");
+        assert_eq!(c.pod_model(2), "A");
+        assert_eq!(c.pod_ctr_mult(1), c.model_b_ctr_mult);
+    }
+}

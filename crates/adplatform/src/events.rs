@@ -1,0 +1,148 @@
+//! Scrub event types emitted by the platform — the "tens of Scrub event
+//! types" of §7, narrowed to the five the case studies use: `bid`,
+//! `auction`, `exclusion`, `impression` and `click`.
+
+use std::sync::Arc;
+
+use scrub_core::error::ScrubResult;
+use scrub_core::event::ToEvent;
+use scrub_core::schema::{EventTypeId, SchemaRegistry};
+use scrub_core::scrub_event;
+
+scrub_event! {
+    /// Bid response sent back to an ad exchange (Figure 1, extended with
+    /// the fields the case-study queries reference).
+    pub struct BidEvent("bid") {
+        user_id: long,
+        exchange_id: long,
+        line_item_id: long,
+        campaign_id: long,
+        bid_price: double,
+        country: string,
+        city: string,
+    }
+}
+
+scrub_event! {
+    /// Internal auction at an AdServer (§8.5): the participating line
+    /// items with their score-adjusted prices, and the winner.
+    pub struct AuctionEvent("auction") {
+        line_item_ids: list_long,
+        bid_prices: list_double,
+        winner_line_item_id: long,
+        winner_price: double,
+        exchange_id: long,
+    }
+}
+
+scrub_event! {
+    /// A line item excluded during the filtering phase (§8.4), with the
+    /// reason.
+    pub struct ExclusionEvent("exclusion") {
+        line_item_id: long,
+        campaign_id: long,
+        reason: string,
+        exchange_id: long,
+        publisher: string,
+    }
+}
+
+scrub_event! {
+    /// An ad actually shown to a user (PresentationServers, §7).
+    pub struct ImpressionEvent("impression") {
+        user_id: long,
+        line_item_id: long,
+        campaign_id: long,
+        exchange_id: long,
+        cost: double,
+        model: string,
+    }
+}
+
+scrub_event! {
+    /// A user clicked an ad.
+    pub struct ClickEvent("click") {
+        user_id: long,
+        line_item_id: long,
+        campaign_id: long,
+        exchange_id: long,
+        model: string,
+    }
+}
+
+/// Resolved event type ids for the platform's event types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlatformEvents {
+    pub bid: EventTypeId,
+    pub auction: EventTypeId,
+    pub exclusion: EventTypeId,
+    pub impression: EventTypeId,
+    pub click: EventTypeId,
+}
+
+/// Register all platform event types (idempotent) and return their ids.
+pub fn register_platform_events(reg: &SchemaRegistry) -> ScrubResult<PlatformEvents> {
+    Ok(PlatformEvents {
+        bid: reg.register(BidEvent::schema())?,
+        auction: reg.register(AuctionEvent::schema())?,
+        exclusion: reg.register(ExclusionEvent::schema())?,
+        impression: reg.register(ImpressionEvent::schema())?,
+        click: reg.register(ClickEvent::schema())?,
+    })
+}
+
+/// A shared schema registry pre-populated with the platform event types.
+pub fn platform_registry() -> (Arc<SchemaRegistry>, PlatformEvents) {
+    let reg = SchemaRegistry::new();
+    let events = register_platform_events(&reg).expect("static schemas are valid");
+    (Arc::new(reg), events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_complete() {
+        let (reg, ev) = platform_registry();
+        assert_eq!(reg.len(), 5);
+        let again = register_platform_events(&reg).unwrap();
+        assert_eq!(ev, again);
+        assert_eq!(reg.id_of("bid"), Some(ev.bid));
+        assert_eq!(reg.id_of("impression"), Some(ev.impression));
+    }
+
+    #[test]
+    fn schemas_match_usage() {
+        let s = BidEvent::schema();
+        assert_eq!(s.field_index("bid_price"), Some(4));
+        let s = ExclusionEvent::schema();
+        assert!(s.field_index("reason").is_some());
+        let s = AuctionEvent::schema();
+        assert!(s.field_index("line_item_ids").is_some());
+    }
+
+    #[test]
+    fn events_conform_to_schema() {
+        let values = BidEvent {
+            user_id: 1,
+            exchange_id: 2,
+            line_item_id: 3,
+            campaign_id: 4,
+            bid_price: 1.5,
+            country: "us".into(),
+            city: "san jose".into(),
+        }
+        .into_values();
+        BidEvent::schema().check_tuple(&values).unwrap();
+        let values = AuctionEvent {
+            line_item_ids: vec![1, 2],
+            bid_prices: vec![0.5, 0.7],
+            winner_line_item_id: 2,
+            winner_price: 0.7,
+            exchange_id: 1,
+        }
+        .into_values();
+        AuctionEvent::schema().check_tuple(&values).unwrap();
+    }
+}

@@ -1,0 +1,29 @@
+//! # adplatform
+//!
+//! A faithful discrete-event simulation of the Turn-like online ad bidding
+//! platform Scrub was deployed on (§7): exchange frontends generating
+//! Zipf-paced human page views and bot spam, BidServers under a 20 ms SLO,
+//! AdServers running the filtering phase (with exclusion reasons) and the
+//! internal auction (score-adjusted bids in a band around advisory
+//! prices), PresentationServers recording impressions and clicks, and a
+//! ProfileStore carrying per-user frequency counts — with injectable
+//! anomalies for every case study of §8 and a full Scrub deployment wired
+//! in.
+
+pub mod cluster;
+pub mod config;
+pub mod events;
+pub mod model;
+pub mod msg;
+pub mod nodes;
+pub mod scenario;
+pub mod zipf;
+
+pub use cluster::{
+    build_platform, EventProduction, Platform, SVC_AD, SVC_BID, SVC_EXCHANGE, SVC_PRES, SVC_PROFILE,
+};
+pub use config::{BotSpec, PlatformConfig};
+pub use events::{platform_registry, PlatformEvents};
+pub use model::{day_of, Exchange, ExclusionReason, LineItem, Targeting, DAY_MS};
+pub use msg::{BidRequest, PlatformMsg, Win};
+pub use zipf::Zipf;

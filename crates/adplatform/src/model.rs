@@ -1,0 +1,186 @@
+//! Domain model of the simulated ad bidding platform (§7): exchanges,
+//! campaigns, line items with targeting / budgets / frequency caps, and the
+//! exclusion reasons produced by the AdServers' filtering phase.
+
+use serde::{Deserialize, Serialize};
+
+/// An ad exchange sending bid requests to the DSP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exchange {
+    /// Numeric id used in events.
+    pub id: u32,
+    /// Human-readable name ("A", "B", ...).
+    pub name: String,
+    /// The exchange starts sending traffic at this virtual time (ms);
+    /// models new-exchange onboarding (§8.2).
+    pub live_from_ms: i64,
+    /// Relative traffic share once live (weights, not normalized).
+    pub traffic_weight: f64,
+    /// Price floor for its auctions.
+    pub floor_price: f64,
+}
+
+/// Targeting criteria of a line item — deliberately simple but structurally
+/// faithful: country list, exchange list, and user-segment requirement.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Targeting {
+    /// Countries the ad may serve in (empty = all).
+    pub countries: Vec<String>,
+    /// Exchanges the ad may serve on (empty = all).
+    pub exchanges: Vec<u32>,
+    /// Required user segment (None = any user).
+    pub segment: Option<u32>,
+}
+
+impl Targeting {
+    /// Does a request with these attributes pass?
+    pub fn passes(
+        &self,
+        country: &str,
+        exchange: u32,
+        user_segments: &[u32],
+    ) -> Result<(), ExclusionReason> {
+        if !self.countries.is_empty() && !self.countries.iter().any(|c| c == country) {
+            return Err(ExclusionReason::TargetingCountry);
+        }
+        if !self.exchanges.is_empty() && !self.exchanges.contains(&exchange) {
+            return Err(ExclusionReason::TargetingExchange);
+        }
+        if let Some(seg) = self.segment {
+            if !user_segments.contains(&seg) {
+                return Err(ExclusionReason::TargetingSegment);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why a line item was excluded during the filtering phase (§8.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExclusionReason {
+    /// Country not targeted.
+    TargetingCountry,
+    /// Exchange not targeted.
+    TargetingExchange,
+    /// Required user segment missing.
+    TargetingSegment,
+    /// Daily budget exhausted.
+    BudgetExhausted,
+    /// Per-user frequency cap reached (§8.6).
+    FrequencyCap,
+    /// Advisory price below the exchange's floor.
+    PriceFloor,
+}
+
+impl ExclusionReason {
+    /// Event-field string for this reason.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExclusionReason::TargetingCountry => "targeting_country",
+            ExclusionReason::TargetingExchange => "targeting_exchange",
+            ExclusionReason::TargetingSegment => "targeting_segment",
+            ExclusionReason::BudgetExhausted => "budget_exhausted",
+            ExclusionReason::FrequencyCap => "frequency_cap",
+            ExclusionReason::PriceFloor => "price_floor",
+        }
+    }
+}
+
+/// One line item (the unit of ad delivery within a campaign).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LineItem {
+    /// Unique id.
+    pub id: u64,
+    /// Owning campaign.
+    pub campaign_id: u64,
+    /// Preconfigured advisory bid price (§8.5): actual bids move in a
+    /// narrow band around it.
+    pub advisory_price: f64,
+    /// Targeting criteria.
+    pub targeting: Targeting,
+    /// Daily budget in currency units (impression costs deplete it).
+    pub daily_budget: f64,
+    /// Max ads shown per user per day (None = uncapped) (§8.6).
+    pub freq_cap: Option<u32>,
+    /// True click-through probability of the ad.
+    pub base_ctr: f64,
+}
+
+impl LineItem {
+    /// A plain line item with permissive defaults.
+    pub fn new(id: u64, campaign_id: u64, advisory_price: f64) -> Self {
+        LineItem {
+            id,
+            campaign_id,
+            advisory_price,
+            targeting: Targeting::default(),
+            daily_budget: f64::INFINITY,
+            freq_cap: None,
+            base_ctr: 0.01,
+        }
+    }
+}
+
+/// Milliseconds in a (simulated) day — used by budgets and frequency caps.
+pub const DAY_MS: i64 = 86_400_000;
+
+/// The day index of a timestamp.
+pub fn day_of(ts_ms: i64) -> i64 {
+    ts_ms.div_euclid(DAY_MS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn targeting_pass_and_exclusion_reasons() {
+        let t = Targeting {
+            countries: vec!["us".into()],
+            exchanges: vec![1, 2],
+            segment: Some(7),
+        };
+        assert_eq!(t.passes("us", 1, &[7]), Ok(()));
+        assert_eq!(
+            t.passes("pt", 1, &[7]),
+            Err(ExclusionReason::TargetingCountry)
+        );
+        assert_eq!(
+            t.passes("us", 3, &[7]),
+            Err(ExclusionReason::TargetingExchange)
+        );
+        assert_eq!(
+            t.passes("us", 1, &[8]),
+            Err(ExclusionReason::TargetingSegment)
+        );
+    }
+
+    #[test]
+    fn empty_targeting_passes_everything() {
+        let t = Targeting::default();
+        assert_eq!(t.passes("zz", 99, &[]), Ok(()));
+    }
+
+    #[test]
+    fn day_arithmetic() {
+        assert_eq!(day_of(0), 0);
+        assert_eq!(day_of(DAY_MS - 1), 0);
+        assert_eq!(day_of(DAY_MS), 1);
+        assert_eq!(day_of(-1), -1);
+    }
+
+    #[test]
+    fn reason_strings_unique() {
+        use std::collections::HashSet;
+        let all = [
+            ExclusionReason::TargetingCountry,
+            ExclusionReason::TargetingExchange,
+            ExclusionReason::TargetingSegment,
+            ExclusionReason::BudgetExhausted,
+            ExclusionReason::FrequencyCap,
+            ExclusionReason::PriceFloor,
+        ];
+        let set: HashSet<&str> = all.iter().map(|r| r.as_str()).collect();
+        assert_eq!(set.len(), all.len());
+    }
+}

@@ -1,0 +1,194 @@
+//! Messages of the simulated bidding platform, with Scrub's protocol
+//! riding inside via [`ScrubEnvelope`].
+
+use scrub_server::{ScrubEnvelope, ScrubMsg};
+use scrub_simnet::{Message, NodeId, SimTime};
+
+/// A bid request as received from an ad exchange.
+#[derive(Debug, Clone)]
+pub struct BidRequest {
+    /// Platform-wide unique request id (becomes the Scrub request id).
+    pub request_id: u64,
+    /// The requesting user.
+    pub user_id: u64,
+    /// User segments (for targeting).
+    pub segments: Vec<u32>,
+    /// Exchange the request came from.
+    pub exchange_id: u32,
+    /// Auction price floor.
+    pub floor_price: f64,
+    /// Requesting page's publisher (for exclusion analysis, §8.4).
+    pub publisher: String,
+    /// User country.
+    pub country: String,
+    /// User city.
+    pub city: String,
+    /// When the exchange sent the request (for SLO accounting).
+    pub sent_at: SimTime,
+}
+
+impl BidRequest {
+    fn approx_bytes(&self) -> usize {
+        64 + self.publisher.len() + self.country.len() + self.city.len() + self.segments.len() * 4
+    }
+}
+
+/// A winning line item and its bid price.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Win {
+    /// Winning line item.
+    pub line_item_id: u64,
+    /// Its campaign.
+    pub campaign_id: u64,
+    /// Score-adjusted bid price.
+    pub bid_price: f64,
+    /// The ad's realized click probability (already adjusted by the A/B
+    /// targeting model of the pod that ran the auction, §8.3).
+    pub base_ctr: f64,
+}
+
+/// Platform + Scrub message enum.
+#[derive(Debug, Clone)]
+pub enum PlatformMsg {
+    /// Scrub control/data plane.
+    Scrub(ScrubMsg),
+    /// Exchange frontend → BidServer.
+    BidRequest(BidRequest),
+    /// BidServer → AdServer: run filtering + internal auction.
+    AdRequest {
+        /// The originating request.
+        req: BidRequest,
+        /// BidServer awaiting the response.
+        reply_to: NodeId,
+    },
+    /// AdServer → BidServer: auction outcome.
+    AdResponse {
+        /// The originating request (echoed for correlation).
+        req: BidRequest,
+        /// Winner, if any line item survived filtering and the auction.
+        winner: Option<Win>,
+        /// Index of the AdServer pod (selects the paired
+        /// PresentationServer, which determines the A/B model attribution).
+        pod: usize,
+    },
+    /// BidServer → exchange frontend: the bid (or no-bid).
+    BidResponse {
+        /// Request id.
+        request_id: u64,
+        /// The user the ad targets.
+        user_id: u64,
+        /// The exchange that asked.
+        exchange_id: u32,
+        /// Winner, if bidding.
+        winner: Option<Win>,
+        /// AdServer pod that produced the bid.
+        pod: usize,
+        /// Echo of the exchange's send time (latency measurement).
+        sent_at: SimTime,
+    },
+    /// Exchange frontend → PresentationServer: the DSP won the external
+    /// auction; show the ad.
+    ShowAd {
+        /// Request id (joins impression back to bid/auction events).
+        request_id: u64,
+        /// Viewing user.
+        user_id: u64,
+        /// Line item whose ad is shown.
+        line_item_id: u64,
+        /// Its campaign.
+        campaign_id: u64,
+        /// Exchange it serves on.
+        exchange_id: u32,
+        /// Clearing price actually paid.
+        cost: f64,
+        /// Realized click probability of this ad.
+        base_ctr: f64,
+    },
+    /// PresentationServer → ProfileStore: the user saw an ad.
+    UpdateProfile {
+        /// The user.
+        user_id: u64,
+        /// Line item shown.
+        line_item_id: u64,
+        /// When (determines the frequency-cap day bucket).
+        ts_ms: i64,
+    },
+    /// ProfileStore → AdServers: replicated frequency-count update used by
+    /// the filtering phase's cap check.
+    FreqUpdate {
+        /// The user.
+        user_id: u64,
+        /// Line item shown.
+        line_item_id: u64,
+        /// Day bucket the count belongs to.
+        day: i64,
+        /// New count.
+        count: u32,
+    },
+}
+
+impl Message for PlatformMsg {
+    fn size_bytes(&self) -> usize {
+        match self {
+            PlatformMsg::Scrub(m) => m.approx_bytes(),
+            PlatformMsg::BidRequest(r) => r.approx_bytes(),
+            PlatformMsg::AdRequest { req, .. } => req.approx_bytes() + 8,
+            PlatformMsg::AdResponse { req, .. } => req.approx_bytes() + 40,
+            PlatformMsg::BidResponse { .. } => 72,
+            PlatformMsg::ShowAd { .. } => 64,
+            PlatformMsg::UpdateProfile { .. } => 32,
+            PlatformMsg::FreqUpdate { .. } => 36,
+        }
+    }
+}
+
+impl ScrubEnvelope for PlatformMsg {
+    fn wrap(msg: ScrubMsg) -> Self {
+        PlatformMsg::Scrub(msg)
+    }
+    fn open(self) -> Result<ScrubMsg, Self> {
+        match self {
+            PlatformMsg::Scrub(m) => Ok(m),
+            other => Err(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_round_trip() {
+        let m = PlatformMsg::wrap(ScrubMsg::StopQuery {
+            query_id: scrub_core::plan::QueryId(4),
+        });
+        assert!(m.clone().open().is_ok());
+        let app = PlatformMsg::ShowAd {
+            request_id: 1,
+            user_id: 2,
+            line_item_id: 3,
+            campaign_id: 4,
+            exchange_id: 5,
+            cost: 0.5,
+            base_ctr: 0.01,
+        };
+        assert!(app.open().is_err());
+    }
+
+    #[test]
+    fn sizes_positive() {
+        let r = BidRequest {
+            request_id: 1,
+            user_id: 2,
+            segments: vec![1, 2],
+            exchange_id: 0,
+            floor_price: 0.1,
+            publisher: "pub".into(),
+            country: "us".into(),
+            city: "sf".into(),
+            sent_at: SimTime::ZERO,
+        };
+        assert!(PlatformMsg::BidRequest(r).size_bytes() > 64);
+    }
+}

@@ -1,0 +1,53 @@
+//! Simulated nodes of the bidding platform: exchange frontends (traffic),
+//! BidServers, AdServers (filtering + internal auction), Presentation-
+//! Servers (impressions/clicks), and the ProfileStore.
+
+pub mod adserver;
+pub mod bidserver;
+pub mod presentation;
+pub mod profilestore;
+pub mod traffic;
+
+use std::collections::HashMap;
+
+use scrub_simnet::{Context, NodeId, SimDuration};
+
+use crate::msg::PlatformMsg;
+
+/// Timer-id range used by the delayed-send helper (application timers stay
+/// below; Scrub's harness timers live at `1 << 62`).
+const DELAYED_SEND_BASE: u64 = 1_000_000;
+
+/// Queues messages to be sent after a service-time delay — how nodes model
+/// their own processing cost (base service time + Scrub agent overhead).
+#[derive(Default)]
+pub(crate) struct DelayedSends {
+    next: u64,
+    pending: HashMap<u64, (NodeId, PlatformMsg)>,
+}
+
+impl DelayedSends {
+    /// Send `msg` to `to` after `delay`.
+    pub fn send_after(
+        &mut self,
+        ctx: &mut Context<'_, PlatformMsg>,
+        delay: SimDuration,
+        to: NodeId,
+        msg: PlatformMsg,
+    ) {
+        let id = DELAYED_SEND_BASE + self.next;
+        self.next += 1;
+        self.pending.insert(id, (to, msg));
+        ctx.set_timer(delay, id);
+    }
+
+    /// Handle a timer; returns true when it was a pending send.
+    pub fn on_timer(&mut self, ctx: &mut Context<'_, PlatformMsg>, timer: u64) -> bool {
+        if let Some((to, msg)) = self.pending.remove(&timer) {
+            ctx.send(to, msg);
+            true
+        } else {
+            false
+        }
+    }
+}

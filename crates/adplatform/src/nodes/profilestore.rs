@@ -1,0 +1,96 @@
+//! ProfileStore: the user-profile service (§7). Tracks how many times each
+//! ad was served to each user per day and replicates the counts to the
+//! AdServers' filtering phase.
+//!
+//! The §8.6 case study — "Incorrectly Set Field" — is reproduced by an
+//! injectable fault: updates for a configurable slice of users are silently
+//! dropped, so their frequency counts never rise and the cap never binds.
+
+use std::collections::HashMap;
+
+use scrub_simnet::{Context, Node, NodeId};
+
+use crate::model::day_of;
+use crate::msg::PlatformMsg;
+
+/// The ProfileStore node.
+pub struct ProfileStore {
+    /// (user, line item, day) -> times served.
+    counts: HashMap<(u64, u64, i64), u32>,
+    adservers: Vec<NodeId>,
+    /// §8.6 fault: drop updates for users with `user_id % m == 0`.
+    corrupt_user_mod: Option<u64>,
+    /// Updates applied.
+    pub updates_applied: u64,
+    /// Updates dropped by the injected fault.
+    pub updates_dropped: u64,
+}
+
+impl ProfileStore {
+    /// Create a ProfileStore; `adservers` receive count replication.
+    pub fn new(corrupt_user_mod: Option<u64>) -> Self {
+        ProfileStore {
+            counts: HashMap::new(),
+            adservers: Vec::new(),
+            corrupt_user_mod,
+            updates_applied: 0,
+            updates_dropped: 0,
+        }
+    }
+
+    /// Wire the AdServer replication targets (set after cluster build).
+    pub fn set_adservers(&mut self, adservers: Vec<NodeId>) {
+        self.adservers = adservers;
+    }
+
+    /// Current count for (user, line item, day).
+    pub fn count(&self, user_id: u64, line_item_id: u64, day: i64) -> u32 {
+        self.counts
+            .get(&(user_id, line_item_id, day))
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+impl Node<PlatformMsg> for ProfileStore {
+    fn on_message(&mut self, ctx: &mut Context<'_, PlatformMsg>, _from: NodeId, msg: PlatformMsg) {
+        let PlatformMsg::UpdateProfile {
+            user_id,
+            line_item_id,
+            ts_ms,
+        } = msg
+        else {
+            return;
+        };
+        if let Some(m) = self.corrupt_user_mod {
+            if user_id % m == 0 {
+                // the injected §8.6 bug: the count silently never rises
+                self.updates_dropped += 1;
+                return;
+            }
+        }
+        let day = day_of(ts_ms);
+        let count = self.counts.entry((user_id, line_item_id, day)).or_insert(0);
+        *count += 1;
+        self.updates_applied += 1;
+        let count = *count;
+        for &ad in &self.adservers {
+            ctx.send(
+                ad,
+                PlatformMsg::FreqUpdate {
+                    user_id,
+                    line_item_id,
+                    day,
+                    count,
+                },
+            );
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,220 @@
+//! Scenario builders: one platform configuration per §8 case study, each
+//! planting the anomaly the corresponding Scrub query is meant to surface.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use crate::config::{BotSpec, PlatformConfig};
+use crate::model::{Exchange, LineItem};
+
+/// §8.1 Spam detection: a Zipf human population plus two bots issuing
+/// large batches of page views at high frequency. Figure 10's query groups
+/// bid requests by user over 10 s windows for 20 minutes.
+pub fn spam() -> PlatformConfig {
+    let mut cfg = PlatformConfig::default();
+    cfg.seed = 81;
+    cfg.n_users = 8_000;
+    cfg.zipf_alpha = 0.7; // mild skew: most users see one page per window
+    cfg.page_views_per_sec = 60.0;
+    cfg.bots = vec![
+        BotSpec {
+            index: 0,
+            exchange_id: 0,
+            start_ms: 60_000,
+            period_ms: 2_000,
+            batch_pages: 120,
+        },
+        BotSpec {
+            index: 1,
+            exchange_id: 0,
+            start_ms: 300_000,
+            period_ms: 5_000,
+            batch_pages: 250,
+        },
+    ];
+    cfg
+}
+
+/// The user ids of the two spam bots in [`spam`].
+pub fn spam_bot_user_ids(cfg: &PlatformConfig) -> Vec<u64> {
+    cfg.bots
+        .iter()
+        .map(|b| cfg.n_users as u64 + b.index)
+        .collect()
+}
+
+/// §8.2 Validating a new ad exchange: exchange D comes online at t = 550 s
+/// while A–C have been live all along. Figure 12 counts impressions per
+/// exchange over 10 s windows with 10% host × 10% event sampling.
+pub fn new_exchange() -> PlatformConfig {
+    let mut cfg = PlatformConfig::default();
+    cfg.seed = 82;
+    cfg.page_views_per_sec = 120.0;
+    // enough hosts for 10% host sampling to be meaningful
+    cfg.presservers_per_dc = 5;
+    cfg.adservers_per_dc = 5;
+    cfg.exchanges = ["A", "B", "C", "D"]
+        .iter()
+        .enumerate()
+        .map(|(i, name)| Exchange {
+            id: i as u32,
+            name: (*name).into(),
+            live_from_ms: if *name == "D" { 550_000 } else { 0 },
+            traffic_weight: 1.0,
+            floor_price: 0.25,
+        })
+        .collect();
+    cfg
+}
+
+/// §8.3 A/B testing of ad targeting models: model B runs on half the pods
+/// and realizes a ~35% better CTR at the same CPM. Figures 13–15 compute
+/// daily CPM and CTR per model via server-list targeting.
+pub fn ab_test() -> PlatformConfig {
+    let mut cfg = PlatformConfig::default();
+    cfg.seed = 83;
+    cfg.page_views_per_sec = 250.0;
+    cfg.adservers_per_dc = 2;
+    cfg.presservers_per_dc = 2;
+    cfg.model_b_pods = vec![1, 3];
+    cfg.model_a_ctr_mult = 1.0;
+    cfg.model_b_ctr_mult = 1.35;
+    // a focal line item with permissive targeting so both models serve it
+    let mut li = focal_line_item(5000, 1.2); // high advisory: wins often
+    li.base_ctr = 0.05;
+    cfg.line_items.push(li);
+    cfg
+}
+
+/// The focal line item id used by [`ab_test`] queries.
+pub const AB_LINE_ITEM: u64 = 5000;
+
+/// §8.4 Line-item exclusions: the default campaign mix already produces a
+/// spread of exclusion reasons; one line item is given narrow targeting so
+/// its exclusion histogram is interesting.
+pub fn exclusions() -> PlatformConfig {
+    let mut cfg = PlatformConfig::default();
+    cfg.seed = 84;
+    cfg.page_views_per_sec = 80.0;
+    let mut li = LineItem::new(EXCLUSION_LINE_ITEM, 900, 0.8);
+    li.targeting.countries = vec!["us".into()];
+    li.targeting.exchanges = vec![0, 1];
+    li.targeting.segment = Some(3);
+    li.daily_budget = 50.0; // small: budget exhaustion appears over time
+    cfg.line_items.push(li);
+    cfg
+}
+
+/// The line item whose exclusions §8.4's query inspects.
+pub const EXCLUSION_LINE_ITEM: u64 = 6000;
+
+/// §8.5 Line-item cannibalization: λ has relaxed targeting and budget but
+/// an advisory price below every competitor's price band, so it always
+/// loses the internal auction.
+pub fn cannibalization() -> PlatformConfig {
+    let mut cfg = PlatformConfig::default();
+    cfg.seed = 85;
+    cfg.page_views_per_sec = 80.0;
+    // λ and four competitors with identical (permissive) targeting
+    cfg.line_items.push(focal_line_item(LAMBDA_LINE_ITEM, 0.40));
+    for (i, price) in [0.85, 0.95, 1.00, 1.10].iter().enumerate() {
+        cfg.line_items
+            .push(focal_line_item(LAMBDA_LINE_ITEM + 1 + i as u64, *price));
+    }
+    cfg
+}
+
+/// The cannibalized line item λ of §8.5.
+pub const LAMBDA_LINE_ITEM: u64 = 7000;
+
+/// §8.6 Incorrectly set field: a campaign capped at one ad per user per
+/// day, but the ProfileStore silently drops frequency updates for one in
+/// `CORRUPT_USER_MOD` users — exactly those users blow through the cap.
+pub fn freq_cap() -> PlatformConfig {
+    let mut cfg = PlatformConfig::default();
+    cfg.seed = 86;
+    cfg.n_users = 300; // small population so repeat impressions are common
+    cfg.zipf_alpha = 0.9;
+    cfg.page_views_per_sec = 120.0;
+    let mut li = focal_line_item(CAPPED_LINE_ITEM, 1.4); // high price: wins often
+    li.freq_cap = Some(1);
+    cfg.line_items.push(li);
+    cfg.corrupt_freq_user_mod = Some(CORRUPT_USER_MOD);
+    cfg
+}
+
+/// §1-motivated rollout regression: at t = `ROLLOUT_AT_MS` half the
+/// AdServers receive a new build whose (planted) bug inflates winning bid
+/// prices 5x. Comparing AVG(bid.bid_price) between old-build and new-build
+/// servers via the target clause exposes the regression within a window.
+pub fn rollout_regression() -> PlatformConfig {
+    let mut cfg = PlatformConfig::default();
+    cfg.seed = 88;
+    cfg.page_views_per_sec = 100.0;
+    cfg.rollout_pods = vec![1, 3];
+    cfg.rollout_at_ms = ROLLOUT_AT_MS;
+    cfg.rollout_price_bug = 5.0;
+    cfg
+}
+
+/// When the buggy build activates in [`rollout_regression`].
+pub const ROLLOUT_AT_MS: i64 = 120_000;
+
+/// The frequency-capped line item of §8.6.
+pub const CAPPED_LINE_ITEM: u64 = 8000;
+/// Users with `id % CORRUPT_USER_MOD == 0` hit the §8.6 bug.
+pub const CORRUPT_USER_MOD: u64 = 10;
+
+fn focal_line_item(id: u64, advisory: f64) -> LineItem {
+    let mut li = LineItem::new(id, id / 10, advisory);
+    li.base_ctr = 0.02;
+    li
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_build() {
+        assert_eq!(spam().bots.len(), 2);
+        assert_eq!(spam_bot_user_ids(&spam()), vec![8000, 8001]);
+        let ne = new_exchange();
+        assert_eq!(ne.exchanges[3].live_from_ms, 550_000);
+        assert_eq!(ne.exchanges[0].live_from_ms, 0);
+        let ab = ab_test();
+        assert_eq!(ab.pod_model(1), "B");
+        assert!(ab.line_items.iter().any(|l| l.id == AB_LINE_ITEM));
+        assert!(cannibalization()
+            .line_items
+            .iter()
+            .any(|l| l.id == LAMBDA_LINE_ITEM));
+        let fc = freq_cap();
+        assert_eq!(
+            fc.line_items
+                .iter()
+                .find(|l| l.id == CAPPED_LINE_ITEM)
+                .unwrap()
+                .freq_cap,
+            Some(1)
+        );
+        assert_eq!(fc.corrupt_freq_user_mod, Some(10));
+    }
+
+    #[test]
+    fn lambda_priced_below_competitors() {
+        let cfg = cannibalization();
+        let lambda = cfg
+            .line_items
+            .iter()
+            .find(|l| l.id == LAMBDA_LINE_ITEM)
+            .unwrap();
+        // λ's entire band (±15%) sits below each competitor's band
+        for c in cfg
+            .line_items
+            .iter()
+            .filter(|l| l.id > LAMBDA_LINE_ITEM && l.id <= LAMBDA_LINE_ITEM + 4)
+        {
+            assert!(lambda.advisory_price * 1.15 < c.advisory_price * 0.85);
+        }
+    }
+}

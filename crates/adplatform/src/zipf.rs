@@ -1,0 +1,99 @@
+//! Zipf-distributed sampling for the simulated user population.
+//!
+//! Web-audience activity is heavy-tailed; page views are drawn from a Zipf
+//! distribution over users so that the per-user bid-request histogram of
+//! the spam case study (§8.1, Figure 10) exhibits the paper's
+//! "exponentially decreasing" human tail against which bots stand out.
+
+use rand::Rng;
+
+/// Zipf(α) sampler over `{0, 1, ..., n-1}` using a precomputed CDF
+/// (exact inverse-CDF sampling; n is at most a few hundred thousand).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` items with exponent `alpha > 0`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty support");
+        assert!(alpha > 0.0, "Zipf exponent must be positive");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw one index (0 = most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Support size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// True if the support is empty (never: construction forbids it).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn head_is_heavier_than_tail() {
+        let z = Zipf::new(1000, 1.1);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[500]);
+        // rank-0 share for alpha=1.1 over 1000 items is ~13%
+        assert!(counts[0] > 8_000, "head count {}", counts[0]);
+    }
+
+    #[test]
+    fn all_indices_in_range() {
+        let z = Zipf::new(10, 0.8);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn single_item_support() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(z.sample(&mut rng), 0);
+        assert_eq!(z.len(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_support_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

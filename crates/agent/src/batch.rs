@@ -1,0 +1,71 @@
+//! Event batches shipped from a host agent to ScrubCentral.
+
+use serde::{Deserialize, Serialize};
+
+use scrub_core::event::Event;
+use scrub_core::plan::QueryId;
+use scrub_core::schema::EventTypeId;
+
+/// A batch of selected/projected events for one query from one host.
+///
+/// Alongside the events, the batch carries the host's cumulative counters —
+/// `matched` is the host's matching-event population `M_i` and `sampled`
+/// its sampled count `m_i`, which ScrubCentral feeds into the two-stage
+/// sampling estimator (Eqs 1–3). `shed` counts events dropped by load
+/// shedding (accuracy knowingly traded for host impact, §2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventBatch {
+    /// Owning query.
+    pub query_id: QueryId,
+    /// The (single) event type this batch's subscription taps. Counters
+    /// are cumulative **per (host, event type)**: a join query has one
+    /// subscription per FROM type on each host, each with its own
+    /// counters.
+    pub type_id: EventTypeId,
+    /// Reporting host name.
+    pub host: String,
+    /// Projected events (values in host-plan projection order).
+    pub events: Vec<Event>,
+    /// Cumulative count of events that matched selection on this host.
+    pub matched: u64,
+    /// Cumulative count of matched events that passed event sampling and
+    /// were shipped (or would have been, absent shedding).
+    pub sampled: u64,
+    /// Cumulative count of events dropped by load shedding.
+    pub shed: u64,
+}
+
+impl EventBatch {
+    /// Approximate wire size of this batch in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        let header = 8 + self.host.len() + 24;
+        header + self.events.iter().map(Event::approx_bytes).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scrub_core::event::RequestId;
+    use scrub_core::schema::EventTypeId;
+    use scrub_core::value::Value;
+
+    #[test]
+    fn batch_size_accounts_events() {
+        let ev = Event::new(EventTypeId(0), RequestId(1), 0, vec![Value::Long(5)]);
+        let empty = EventBatch {
+            query_id: QueryId(1),
+            type_id: EventTypeId(0),
+            host: "h".into(),
+            events: vec![],
+            matched: 0,
+            sampled: 0,
+            shed: 0,
+        };
+        let one = EventBatch {
+            events: vec![ev.clone()],
+            ..empty.clone()
+        };
+        assert_eq!(one.approx_bytes() - empty.approx_bytes(), ev.approx_bytes());
+    }
+}

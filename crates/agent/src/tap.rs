@@ -1,0 +1,646 @@
+//! The host-side Scrub agent: event tap, active-query table, and the only
+//! query operators that ever run on an application host — selection,
+//! projection and per-event sampling (§4).
+//!
+//! Design constraints straight from the paper:
+//!
+//! * **No dynamic instrumentation** (§5/§6): `log()` calls are compiled
+//!   into the application; the agent merely toggles per-event-type flags.
+//! * **Minimal impact**: an event type with no active query costs one
+//!   relaxed atomic load. Everything heavier (predicates, projection)
+//!   happens only for active types, and per-query load shedding caps the
+//!   damage a hot query can do.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use scrub_core::config::ScrubConfig;
+use scrub_core::error::{ScrubError, ScrubResult};
+use scrub_core::event::{Event, FieldSlot, RequestId, ToEvent};
+use scrub_core::plan::{HostPlan, QueryId};
+use scrub_core::schema::EventTypeId;
+use scrub_core::value::Value;
+
+use crate::batch::EventBatch;
+use crate::stats::AgentStats;
+
+/// Maximum number of event types an agent supports (flags are a fixed
+/// bitmask so the disabled fast path stays branch-predictable).
+pub const MAX_EVENT_TYPES: usize = 1024;
+const MASK_WORDS: usize = MAX_EVENT_TYPES / 64;
+
+/// Host-side Scrub agent. One per application process; shared by all
+/// application threads (`&self` API, internally synchronized).
+pub struct ScrubAgent {
+    host: String,
+    config: ScrubConfig,
+    /// Per-type active flags packed into atomics: the disabled fast path.
+    active_mask: [AtomicU64; MASK_WORDS],
+    inner: Mutex<Inner>,
+    stats: Arc<AgentStats>,
+    /// True while any query is installed (cheap global check).
+    any_active: AtomicBool,
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Subscriptions indexed by event type id.
+    subs: Vec<Vec<Subscription>>,
+    /// Batches ready to ship.
+    outbox: Vec<EventBatch>,
+}
+
+struct Subscription {
+    plan: HostPlan,
+    /// xorshift64 state for per-event sampling.
+    rng: u64,
+    /// `next_u64 <= threshold` keeps the event.
+    sample_threshold: u64,
+    batch: Vec<Event>,
+    /// Cumulative counters (shipped with every batch).
+    matched: u64,
+    sampled: u64,
+    shed: u64,
+    /// Shedding window: (second, events this second).
+    shed_window: (i64, u64),
+    last_flush_ms: i64,
+}
+
+impl Subscription {
+    fn new(plan: HostPlan, seed: u64) -> Self {
+        let threshold = if plan.event_fraction >= 1.0 {
+            u64::MAX
+        } else {
+            (plan.event_fraction * u64::MAX as f64) as u64
+        };
+        Subscription {
+            plan,
+            rng: seed | 1,
+            sample_threshold: threshold,
+            batch: Vec::new(),
+            matched: 0,
+            sampled: 0,
+            shed: 0,
+            shed_window: (i64::MIN, 0),
+            last_flush_ms: 0,
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng = x;
+        x
+    }
+}
+
+impl ScrubAgent {
+    /// Create an agent for the named host.
+    pub fn new(host: impl Into<String>, config: ScrubConfig) -> Self {
+        ScrubAgent {
+            host: host.into(),
+            config,
+            active_mask: std::array::from_fn(|_| AtomicU64::new(0)),
+            inner: Mutex::new(Inner::default()),
+            stats: Arc::new(AgentStats::default()),
+            any_active: AtomicBool::new(false),
+        }
+    }
+
+    /// The host name this agent reports as.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// Shared statistics handle.
+    pub fn stats(&self) -> &Arc<AgentStats> {
+        &self.stats
+    }
+
+    /// The disabled-path check: is any query subscribed to this event type?
+    /// One relaxed atomic load — the cost an idle Scrub imposes per event.
+    #[inline]
+    pub fn is_active(&self, type_id: EventTypeId) -> bool {
+        let t = type_id.0 as usize;
+        debug_assert!(t < MAX_EVENT_TYPES);
+        let word = self.active_mask[t >> 6].load(Ordering::Relaxed);
+        word & (1u64 << (t & 63)) != 0
+    }
+
+    /// Install a host plan (a query object arriving from the query server).
+    pub fn install(&self, plan: HostPlan) -> ScrubResult<()> {
+        let t = plan.type_id.0 as usize;
+        if t >= MAX_EVENT_TYPES {
+            return Err(ScrubError::Lifecycle(format!(
+                "event type id {t} exceeds agent capacity {MAX_EVENT_TYPES}"
+            )));
+        }
+        let mut inner = self.inner.lock();
+        if inner.subs.len() <= t {
+            inner.subs.resize_with(t + 1, Vec::new);
+        }
+        if inner.subs[t]
+            .iter()
+            .any(|s| s.plan.query_id == plan.query_id)
+        {
+            return Err(ScrubError::Lifecycle(format!(
+                "query {} already installed for type {}",
+                plan.query_id, plan.event_type
+            )));
+        }
+        let seed = plan.query_id.0 ^ fxhash(self.host.as_bytes());
+        inner.subs[t].push(Subscription::new(plan, seed));
+        self.active_mask[t >> 6].fetch_or(1u64 << (t & 63), Ordering::Relaxed);
+        self.any_active.store(true, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Remove all plans of a query; returns final batches (flush-on-stop)
+    /// so no tail data is lost.
+    pub fn remove(&self, query_id: QueryId, now_ms: i64) -> Vec<EventBatch> {
+        let mut inner = self.inner.lock();
+        let mut out = Vec::new();
+        for t in 0..inner.subs.len() {
+            let mut removed = Vec::new();
+            inner.subs[t].retain_mut(|s| {
+                if s.plan.query_id == query_id {
+                    removed.push(make_batch(&self.host, s, now_ms));
+                    false
+                } else {
+                    true
+                }
+            });
+            out.extend(removed.into_iter().flatten());
+            if inner.subs[t].is_empty() {
+                self.active_mask[t >> 6].fetch_and(!(1u64 << (t & 63)), Ordering::Relaxed);
+            }
+        }
+        let any = inner.subs.iter().any(|v| !v.is_empty());
+        self.any_active.store(any, Ordering::Relaxed);
+        out
+    }
+
+    /// Number of installed (query, type) subscriptions.
+    pub fn subscription_count(&self) -> usize {
+        self.inner.lock().subs.iter().map(Vec::len).sum()
+    }
+
+    /// Ids of the queries currently subscribed on this host (sorted,
+    /// deduplicated — a join query appears once).
+    pub fn active_query_ids(&self) -> Vec<QueryId> {
+        let inner = self.inner.lock();
+        let mut ids: Vec<QueryId> = inner
+            .subs
+            .iter()
+            .flatten()
+            .map(|s| s.plan.query_id)
+            .collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+
+    /// The application-facing tap. Call at every event site; when the type
+    /// is inactive this is one atomic load plus a counter bump.
+    ///
+    /// `values` are the user fields in schema order; the two system fields
+    /// are passed explicitly (§3.1).
+    pub fn log(
+        &self,
+        type_id: EventTypeId,
+        request_id: RequestId,
+        timestamp_ms: i64,
+        values: &[Value],
+    ) {
+        self.stats.bump(&self.stats.events_seen, 1);
+        if !self.is_active(type_id) {
+            return;
+        }
+        self.log_active(type_id, request_id, timestamp_ms, values);
+    }
+
+    /// Typed convenience wrapper: builds the value tuple only when the
+    /// event type is active, so idle taps do not pay construction costs.
+    pub fn log_typed<T: ToEvent>(
+        &self,
+        type_id: EventTypeId,
+        request_id: RequestId,
+        timestamp_ms: i64,
+        record: impl FnOnce() -> T,
+    ) {
+        self.stats.bump(&self.stats.events_seen, 1);
+        if !self.is_active(type_id) {
+            return;
+        }
+        let values = record().into_values();
+        self.log_active(type_id, request_id, timestamp_ms, &values);
+    }
+
+    #[cold]
+    fn log_active(
+        &self,
+        type_id: EventTypeId,
+        request_id: RequestId,
+        timestamp_ms: i64,
+        values: &[Value],
+    ) {
+        self.stats.bump(&self.stats.events_active, 1);
+        let mut inner = self.inner.lock();
+        let t = type_id.0 as usize;
+        let Inner { subs, outbox } = &mut *inner;
+        let Some(type_subs) = subs.get_mut(t) else {
+            return;
+        };
+        for sub in type_subs.iter_mut() {
+            // selection
+            if let Some(pred) = &sub.plan.predicate {
+                self.stats.bump(&self.stats.predicates_evaluated, 1);
+                let arity = sub.plan.arity;
+                let matched = pred.eval_bool_by(&|slot| {
+                    if slot < arity {
+                        values.get(slot).cloned().unwrap_or(Value::Null)
+                    } else if slot == arity {
+                        Value::Long(request_id.0 as i64)
+                    } else {
+                        Value::DateTime(timestamp_ms)
+                    }
+                });
+                if !matched {
+                    continue;
+                }
+            }
+            sub.matched += 1;
+            self.stats.bump(&self.stats.events_matched, 1);
+
+            // per-event sampling (accuracy for impact, §3.2)
+            if sub.sample_threshold != u64::MAX && sub.next_u64() > sub.sample_threshold {
+                self.stats.bump(&self.stats.events_sampled_out, 1);
+                continue;
+            }
+
+            // load shedding: per-query events/sec budget
+            let sec = timestamp_ms.div_euclid(1000);
+            if sub.shed_window.0 != sec {
+                sub.shed_window = (sec, 0);
+            }
+            if sub.shed_window.1 >= self.config.agent_events_per_sec_budget {
+                sub.shed += 1;
+                self.stats.bump(&self.stats.events_shed, 1);
+                continue;
+            }
+            sub.shed_window.1 += 1;
+            sub.sampled += 1;
+
+            // projection
+            let mut projected = Vec::with_capacity(sub.plan.projection.len());
+            for slot in &sub.plan.projection {
+                let v = match slot {
+                    FieldSlot::User(i) => values.get(*i).cloned().unwrap_or(Value::Null),
+                    FieldSlot::RequestId => Value::Long(request_id.0 as i64),
+                    FieldSlot::Timestamp => Value::DateTime(timestamp_ms),
+                };
+                projected.push(v);
+            }
+            self.stats
+                .bump(&self.stats.fields_projected, projected.len() as u64);
+            sub.batch
+                .push(Event::new(type_id, request_id, timestamp_ms, projected));
+            self.stats.bump(&self.stats.events_shipped, 1);
+
+            // size-triggered flush
+            if sub.batch.len() >= self.config.agent_batch_events {
+                if let Some(b) = make_batch(&self.host, sub, timestamp_ms) {
+                    self.stats
+                        .bump(&self.stats.bytes_shipped, b.approx_bytes() as u64);
+                    self.stats.bump(&self.stats.batches_flushed, 1);
+                    outbox.push(b);
+                }
+            }
+        }
+    }
+
+    /// Collect batches due for shipment: size-flushed batches plus any
+    /// subscription whose flush interval elapsed (called periodically by
+    /// the host's network loop).
+    pub fn take_batches(&self, now_ms: i64) -> Vec<EventBatch> {
+        let mut inner = self.inner.lock();
+        let mut out = std::mem::take(&mut inner.outbox);
+        for type_subs in inner.subs.iter_mut() {
+            for sub in type_subs.iter_mut() {
+                let due = now_ms - sub.last_flush_ms >= self.config.agent_flush_interval_ms;
+                if due {
+                    if let Some(b) = make_batch(&self.host, sub, now_ms) {
+                        self.stats
+                            .bump(&self.stats.bytes_shipped, b.approx_bytes() as u64);
+                        self.stats.bump(&self.stats.batches_flushed, 1);
+                        out.push(b);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Build a batch from a subscription's buffered events; `None` when there
+/// is nothing new to report. Always updates `last_flush_ms`.
+fn make_batch(host: &str, sub: &mut Subscription, now_ms: i64) -> Option<EventBatch> {
+    sub.last_flush_ms = now_ms;
+    if sub.batch.is_empty() && sub.matched == 0 {
+        return None;
+    }
+    Some(EventBatch {
+        query_id: sub.plan.query_id,
+        type_id: sub.plan.type_id,
+        host: host.to_string(),
+        events: std::mem::take(&mut sub.batch),
+        matched: sub.matched,
+        sampled: sub.sampled,
+        shed: sub.shed,
+    })
+}
+
+fn fxhash(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use scrub_core::plan::compile;
+    use scrub_core::ql::parser::parse_query;
+    use scrub_core::schema::{EventSchema, FieldDef, FieldType, SchemaRegistry};
+
+    fn registry() -> SchemaRegistry {
+        let reg = SchemaRegistry::new();
+        reg.register(
+            EventSchema::new(
+                "bid",
+                vec![
+                    FieldDef::new("user_id", FieldType::Long),
+                    FieldDef::new("bid_price", FieldType::Double),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        reg
+    }
+
+    fn plan_for(src: &str, qid: u64) -> HostPlan {
+        let spec = parse_query(src).unwrap();
+        let cq = compile(&spec, &registry(), &ScrubConfig::default(), QueryId(qid)).unwrap();
+        cq.host_plans[0].clone()
+    }
+
+    fn agent() -> ScrubAgent {
+        ScrubAgent::new("h1", ScrubConfig::default())
+    }
+
+    #[test]
+    fn inactive_type_costs_nothing_visible() {
+        let a = agent();
+        assert!(!a.is_active(EventTypeId(0)));
+        a.log(EventTypeId(0), RequestId(1), 0, &[Value::Long(1)]);
+        let s = a.stats().snapshot();
+        assert_eq!(s.events_seen, 1);
+        assert_eq!(s.events_active, 0);
+        assert!(a.take_batches(10_000).is_empty());
+    }
+
+    #[test]
+    fn install_activates_and_remove_deactivates() {
+        let a = agent();
+        let p = plan_for("select COUNT(*) from bid", 1);
+        let tid = p.type_id;
+        a.install(p).unwrap();
+        assert!(a.is_active(tid));
+        assert_eq!(a.subscription_count(), 1);
+        a.remove(QueryId(1), 0);
+        assert!(!a.is_active(tid));
+        assert_eq!(a.subscription_count(), 0);
+    }
+
+    #[test]
+    fn duplicate_install_rejected() {
+        let a = agent();
+        a.install(plan_for("select COUNT(*) from bid", 1)).unwrap();
+        assert!(a.install(plan_for("select COUNT(*) from bid", 1)).is_err());
+        // distinct query id on the same type is fine
+        a.install(plan_for("select COUNT(*) from bid", 2)).unwrap();
+        assert_eq!(a.subscription_count(), 2);
+    }
+
+    #[test]
+    fn selection_filters_events() {
+        let a = agent();
+        a.install(plan_for(
+            "select bid.user_id from bid where bid.bid_price > 1.0",
+            1,
+        ))
+        .unwrap();
+        let tid = EventTypeId(0);
+        a.log(tid, RequestId(1), 5, &[Value::Long(7), Value::Double(2.0)]);
+        a.log(tid, RequestId(2), 6, &[Value::Long(8), Value::Double(0.5)]);
+        let batches = a.take_batches(10_000);
+        assert_eq!(batches.len(), 1);
+        let b = &batches[0];
+        assert_eq!(b.events.len(), 1);
+        assert_eq!(b.matched, 1);
+        assert_eq!(b.sampled, 1);
+        // projection shipped only user_id
+        assert_eq!(b.events[0].values, vec![Value::Long(7)]);
+        assert_eq!(b.events[0].request_id, RequestId(1));
+    }
+
+    #[test]
+    fn event_sampling_thins_the_stream() {
+        let a = agent();
+        a.install(plan_for("select COUNT(*) from bid sample events 10%", 1))
+            .unwrap();
+        let tid = EventTypeId(0);
+        for i in 0..10_000u64 {
+            a.log(
+                tid,
+                RequestId(i),
+                i as i64,
+                &[Value::Long(i as i64), Value::Double(1.0)],
+            );
+        }
+        let batches = a.take_batches(100_000);
+        let shipped: usize = batches.iter().map(|b| b.events.len()).sum();
+        let last = batches.last().unwrap();
+        assert_eq!(last.matched, 10_000);
+        // ~10% ± generous tolerance
+        assert!(
+            (700..=1300).contains(&shipped),
+            "shipped {shipped} of 10000 at 10%"
+        );
+        assert_eq!(last.sampled as usize, shipped);
+    }
+
+    #[test]
+    fn load_shedding_caps_per_second_volume() {
+        let mut cfg = ScrubConfig::default();
+        cfg.agent_events_per_sec_budget = 100;
+        let a = ScrubAgent::new("h1", cfg);
+        a.install(plan_for("select COUNT(*) from bid", 1)).unwrap();
+        let tid = EventTypeId(0);
+        // 500 events within the same second
+        for i in 0..500u64 {
+            a.log(
+                tid,
+                RequestId(i),
+                500, // same second
+                &[Value::Long(1), Value::Double(1.0)],
+            );
+        }
+        // next second: budget resets
+        for i in 0..50u64 {
+            a.log(
+                tid,
+                RequestId(i),
+                1500,
+                &[Value::Long(1), Value::Double(1.0)],
+            );
+        }
+        let batches = a.take_batches(100_000);
+        let last = batches.last().unwrap();
+        assert_eq!(last.matched, 550);
+        assert_eq!(last.sampled, 150); // 100 in first second + 50 in next
+        assert_eq!(last.shed, 400);
+    }
+
+    #[test]
+    fn size_triggered_flush() {
+        let mut cfg = ScrubConfig::default();
+        cfg.agent_batch_events = 10;
+        let a = ScrubAgent::new("h1", cfg);
+        a.install(plan_for("select COUNT(*) from bid", 1)).unwrap();
+        for i in 0..25u64 {
+            a.log(
+                EventTypeId(0),
+                RequestId(i),
+                0,
+                &[Value::Long(1), Value::Double(1.0)],
+            );
+        }
+        // two full batches flushed by size without take_batches being called
+        let batches = a.take_batches(0);
+        assert!(batches.len() >= 2);
+        assert_eq!(batches[0].events.len(), 10);
+    }
+
+    #[test]
+    fn remove_flushes_tail() {
+        let a = agent();
+        a.install(plan_for("select COUNT(*) from bid", 1)).unwrap();
+        a.log(
+            EventTypeId(0),
+            RequestId(1),
+            0,
+            &[Value::Long(1), Value::Double(1.0)],
+        );
+        let tail = a.remove(QueryId(1), 100);
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].events.len(), 1);
+    }
+
+    #[test]
+    fn counters_are_cumulative_across_batches() {
+        let mut cfg = ScrubConfig::default();
+        cfg.agent_batch_events = 5;
+        let a = ScrubAgent::new("h1", cfg);
+        a.install(plan_for("select COUNT(*) from bid", 1)).unwrap();
+        for i in 0..12u64 {
+            a.log(
+                EventTypeId(0),
+                RequestId(i),
+                0,
+                &[Value::Long(1), Value::Double(1.0)],
+            );
+        }
+        let batches = a.take_batches(10_000);
+        let matched: Vec<u64> = batches.iter().map(|b| b.matched).collect();
+        assert!(matched.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*matched.last().unwrap(), 12);
+    }
+
+    #[test]
+    fn typed_logging_skips_construction_when_inactive() {
+        use scrub_core::scrub_event;
+        scrub_event! {
+            pub struct B("bid") {
+                user_id: long,
+                bid_price: double,
+            }
+        }
+        let a = agent();
+        let mut built = 0u32;
+        // inactive: closure must not run
+        a.log_typed(EventTypeId(0), RequestId(1), 0, || {
+            built += 1;
+            B {
+                user_id: 1,
+                bid_price: 1.0,
+            }
+        });
+        assert_eq!(built, 0);
+        a.install(plan_for("select COUNT(*) from bid", 1)).unwrap();
+        a.log_typed(EventTypeId(0), RequestId(1), 0, || {
+            built += 1;
+            B {
+                user_id: 1,
+                bid_price: 1.0,
+            }
+        });
+        assert_eq!(built, 1);
+    }
+
+    #[test]
+    fn two_queries_same_type_both_fed() {
+        let a = agent();
+        a.install(plan_for("select COUNT(*) from bid", 1)).unwrap();
+        a.install(plan_for(
+            "select COUNT(*) from bid where bid.bid_price > 5.0",
+            2,
+        ))
+        .unwrap();
+        a.log(
+            EventTypeId(0),
+            RequestId(1),
+            0,
+            &[Value::Long(1), Value::Double(10.0)],
+        );
+        a.log(
+            EventTypeId(0),
+            RequestId(2),
+            0,
+            &[Value::Long(2), Value::Double(1.0)],
+        );
+        let batches = a.take_batches(10_000);
+        let q1: u64 = batches
+            .iter()
+            .filter(|b| b.query_id == QueryId(1))
+            .map(|b| b.matched)
+            .max()
+            .unwrap();
+        let q2: u64 = batches
+            .iter()
+            .filter(|b| b.query_id == QueryId(2))
+            .map(|b| b.matched)
+            .max()
+            .unwrap();
+        assert_eq!(q1, 2);
+        assert_eq!(q2, 1);
+    }
+}

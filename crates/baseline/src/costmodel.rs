@@ -1,0 +1,88 @@
+//! Cost model of troubleshooting-by-logging, for the Scrub-vs-logging
+//! comparison of §8.1: shipping all data over cross-continental links to a
+//! centralized warehouse, retaining it, and answering a question with a
+//! batch (Hadoop-style) job.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the logging pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoggingCostModel {
+    /// Usable cross-DC bandwidth for log shipment (bytes/s). Shared
+    /// capacity — in production a fraction of a WAN pipe.
+    pub cross_dc_bandwidth_bytes_per_s: f64,
+    /// Scan throughput of one batch-cluster node (bytes/s).
+    pub scan_bytes_per_s_per_node: f64,
+    /// Nodes in the batch cluster.
+    pub cluster_nodes: usize,
+    /// Fixed batch-job startup latency (scheduling, JVM spin-up...), s.
+    pub job_startup_s: f64,
+    /// Storage price per GB-month (for the retention comparison).
+    pub storage_usd_per_gb_month: f64,
+}
+
+impl Default for LoggingCostModel {
+    fn default() -> Self {
+        LoggingCostModel {
+            cross_dc_bandwidth_bytes_per_s: 125e6, // 1 Gb/s of WAN share
+            scan_bytes_per_s_per_node: 200e6,
+            cluster_nodes: 20,
+            job_startup_s: 30.0,
+            storage_usd_per_gb_month: 0.02,
+        }
+    }
+}
+
+/// What the logging alternative costs for a given troubleshooting session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoggingCosts {
+    /// Bytes shipped cross-DC (all of them: queries are not known a
+    /// priori, so everything is logged centrally).
+    pub bytes_shipped: u64,
+    /// Time for the data to reach the warehouse (s).
+    pub transfer_s: f64,
+    /// Time for the batch job over that data (startup + scan) (s).
+    pub batch_job_s: f64,
+    /// Total time to the first answer (s).
+    pub time_to_answer_s: f64,
+    /// Storage bill for retaining the data one month (USD).
+    pub storage_usd_month: f64,
+}
+
+impl LoggingCostModel {
+    /// Costs of answering one question over `bytes` of logged data.
+    pub fn costs(&self, bytes: u64) -> LoggingCosts {
+        let transfer_s = bytes as f64 / self.cross_dc_bandwidth_bytes_per_s;
+        let scan_s = bytes as f64 / (self.scan_bytes_per_s_per_node * self.cluster_nodes as f64);
+        let batch_job_s = self.job_startup_s + scan_s;
+        LoggingCosts {
+            bytes_shipped: bytes,
+            transfer_s,
+            batch_job_s,
+            time_to_answer_s: transfer_s + batch_job_s,
+            storage_usd_month: bytes as f64 / 1e9 * self.storage_usd_per_gb_month,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn costs_scale_linearly_in_bytes() {
+        let m = LoggingCostModel::default();
+        let a = m.costs(1_000_000_000);
+        let b = m.costs(2_000_000_000);
+        assert!((b.transfer_s - 2.0 * a.transfer_s).abs() < 1e-9);
+        assert!(b.time_to_answer_s > a.time_to_answer_s);
+        assert!((b.storage_usd_month - 2.0 * a.storage_usd_month).abs() < 1e-12);
+    }
+
+    #[test]
+    fn startup_dominates_tiny_jobs() {
+        let m = LoggingCostModel::default();
+        let c = m.costs(1_000);
+        assert!((c.batch_job_s - m.job_startup_s).abs() < 0.1);
+    }
+}

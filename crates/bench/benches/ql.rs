@@ -1,0 +1,107 @@
+//! Criterion benchmarks of the ScrubQL front end (lexing + parsing +
+//! planning) and the event wire codec — control-plane and data-plane costs
+//! at the query server and on the wire.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bytes::BytesMut;
+use scrub_core::config::ScrubConfig;
+use scrub_core::encode::{decode_batch, encode_batch, encode_event};
+use scrub_core::event::{Event, RequestId};
+use scrub_core::plan::{compile, QueryId};
+use scrub_core::ql::parser::parse_query;
+use scrub_core::schema::{EventSchema, EventTypeId, FieldDef, FieldType, SchemaRegistry};
+use scrub_core::value::Value;
+
+const SPAM_QUERY: &str = "Select bid.user_id, COUNT(*) from bid \
+    @[Service in BidServers and Server = host1] group by bid.user_id \
+    window 10 s duration 20 m";
+
+const COMPLEX_QUERY: &str = "select bid.user_id, COUNT(*), AVG(bid.bid_price), \
+    TOP(10, bid.country), COUNT_DISTINCT(bid.user_id) \
+    from bid, exclusion \
+    where bid.bid_price > 0.5 and bid.exchange_id in (1, 2, 3) \
+      and exclusion.reason = 'budget_exhausted' \
+    @[Service in (BidServers, AdServers) and not DC = DC3] \
+    group by bid.user_id sample hosts 25% events 10% \
+    window 30 s start in 1 m duration 15 m";
+
+fn registry() -> SchemaRegistry {
+    let reg = SchemaRegistry::new();
+    reg.register(
+        EventSchema::new(
+            "bid",
+            vec![
+                FieldDef::new("user_id", FieldType::Long),
+                FieldDef::new("exchange_id", FieldType::Long),
+                FieldDef::new("bid_price", FieldType::Double),
+                FieldDef::new("country", FieldType::Str),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    reg.register(
+        EventSchema::new(
+            "exclusion",
+            vec![
+                FieldDef::new("line_item_id", FieldType::Long),
+                FieldDef::new("reason", FieldType::Str),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    reg
+}
+
+fn bench_ql(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ql");
+    g.bench_function("parse_spam_query", |b| {
+        b.iter(|| parse_query(std::hint::black_box(SPAM_QUERY)).unwrap())
+    });
+    g.bench_function("parse_complex_query", |b| {
+        b.iter(|| parse_query(std::hint::black_box(COMPLEX_QUERY)).unwrap())
+    });
+    let reg = registry();
+    let cfg = ScrubConfig::default();
+    let spec = parse_query(COMPLEX_QUERY).unwrap();
+    g.bench_function("plan_complex_query", |b| {
+        b.iter(|| compile(std::hint::black_box(&spec), &reg, &cfg, QueryId(1)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    let ev = Event::new(
+        EventTypeId(0),
+        RequestId(123_456_789),
+        1_700_000_000_000,
+        vec![
+            Value::Long(42),
+            Value::Long(3),
+            Value::Double(0.97),
+            Value::Str("san jose".into()),
+        ],
+    );
+    g.bench_function("encode_event", |b| {
+        b.iter(|| {
+            let mut buf = BytesMut::with_capacity(64);
+            encode_event(&mut buf, std::hint::black_box(&ev));
+            buf
+        })
+    });
+    let batch: Vec<Event> = (0..256).map(|_| ev.clone()).collect();
+    let frame = encode_batch(&batch);
+    g.bench_function("encode_batch_256", |b| {
+        b.iter(|| encode_batch(std::hint::black_box(&batch)))
+    });
+    g.bench_function("decode_batch_256", |b| {
+        b.iter(|| decode_batch(std::hint::black_box(frame.clone())).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ql, bench_codec);
+criterion_main!(benches);

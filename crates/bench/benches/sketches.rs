@@ -1,0 +1,78 @@
+//! Criterion benchmarks of the probabilistic substrate: SpaceSaving,
+//! HyperLogLog, Welford moments, and the two-stage estimator.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use scrub_sketch::{estimate_total, HostSample, HyperLogLog, SpaceSaving, Welford};
+
+fn bench_sketches(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sketches");
+
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("spacesaving_offer", |b| {
+        b.iter_batched(
+            || SpaceSaving::<u64>::new(80),
+            |mut ss| {
+                for i in 0..1000u64 {
+                    ss.offer(i % 137);
+                }
+                ss
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("hll_add_1000", |b| {
+        b.iter_batched(
+            HyperLogLog::default_precision,
+            |mut hll| {
+                for i in 0..1000u64 {
+                    hll.add_bytes(&i.to_le_bytes());
+                }
+                hll
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("hll_estimate", |b| {
+        let mut hll = HyperLogLog::default_precision();
+        for i in 0..100_000u64 {
+            hll.add_bytes(&i.to_le_bytes());
+        }
+        b.iter(|| std::hint::black_box(&hll).estimate())
+    });
+
+    g.bench_function("welford_add_1000", |b| {
+        b.iter_batched(
+            Welford::new,
+            |mut w| {
+                for i in 0..1000 {
+                    w.add(i as f64 * 0.1);
+                }
+                w
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.bench_function("two_stage_estimate_100_hosts", |b| {
+        let hosts: Vec<HostSample> = (0..100)
+            .map(|h| {
+                let mut hs = HostSample::new();
+                for i in 0..50 {
+                    hs.saw_match();
+                    hs.sampled((h * 50 + i) as f64 * 0.01);
+                }
+                hs.population += 150; // unsampled matches
+                hs
+            })
+            .collect();
+        b.iter(|| estimate_total(200, std::hint::black_box(&hosts), 0.95))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_sketches);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Criterion microbenchmarks of the host tap — the numbers behind the
+//! agent cost model (`scrub_agent::CostModel`) and the paper's claim that
+//! an idle Scrub is nearly free on the hosts.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use scrub_agent::ScrubAgent;
+use scrub_core::config::ScrubConfig;
+use scrub_core::event::RequestId;
+use scrub_core::plan::{compile, QueryId};
+use scrub_core::ql::parser::parse_query;
+use scrub_core::schema::{EventSchema, EventTypeId, FieldDef, FieldType, SchemaRegistry};
+use scrub_core::value::Value;
+
+fn registry() -> SchemaRegistry {
+    let reg = SchemaRegistry::new();
+    reg.register(
+        EventSchema::new(
+            "bid",
+            vec![
+                FieldDef::new("user_id", FieldType::Long),
+                FieldDef::new("exchange_id", FieldType::Long),
+                FieldDef::new("bid_price", FieldType::Double),
+                FieldDef::new("country", FieldType::Str),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    reg
+}
+
+fn agent_with(queries: &[&str]) -> ScrubAgent {
+    let reg = registry();
+    let mut config = ScrubConfig::default();
+    config.agent_batch_events = usize::MAX; // avoid flush noise in the bench
+    let agent = ScrubAgent::new("bench-host", config);
+    for (i, q) in queries.iter().enumerate() {
+        let spec = parse_query(q).unwrap();
+        let cq = compile(&spec, &reg, &ScrubConfig::default(), QueryId(i as u64 + 1)).unwrap();
+        agent.install(cq.host_plans[0].clone()).unwrap();
+    }
+    agent
+}
+
+fn values() -> Vec<Value> {
+    vec![
+        Value::Long(123_456),
+        Value::Long(2),
+        Value::Double(0.97),
+        Value::Str("us".into()),
+    ]
+}
+
+fn bench_tap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tap");
+
+    // the disabled fast path: one atomic load
+    let idle = agent_with(&[]);
+    let vals = values();
+    g.bench_function("disabled_event_type", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            idle.log(EventTypeId(0), RequestId(i), i as i64, &vals);
+        })
+    });
+
+    // one active query whose predicate rejects the event
+    let nomatch = agent_with(&["select COUNT(*) from bid where bid.exchange_id = 99"]);
+    g.bench_function("active_predicate_no_match", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            nomatch.log(EventTypeId(0), RequestId(i), i as i64, &vals);
+        })
+    });
+
+    // one active query matching + projecting one field
+    g.bench_function("active_match_project_1_field", |b| {
+        b.iter_batched(
+            || agent_with(&["select bid.user_id, COUNT(*) from bid group by bid.user_id"]),
+            |agent| {
+                for i in 0..1000u64 {
+                    agent.log(EventTypeId(0), RequestId(i), i as i64, &vals);
+                }
+                agent
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // eight concurrent queries on the same event type (fresh agent per
+    // batch so buffered-batch growth does not distort the per-event cost)
+    let mix_queries = [
+        "select COUNT(*) from bid where bid.exchange_id = 1",
+        "select bid.user_id, COUNT(*) from bid group by bid.user_id",
+        "select AVG(bid.bid_price) from bid",
+        "select COUNT(*) from bid where bid.bid_price > 2.0",
+        "select COUNT_DISTINCT(bid.user_id) from bid",
+        "select MIN(bid.bid_price), MAX(bid.bid_price) from bid",
+        "select COUNT(*) from bid where bid.country = 'de'",
+        "select bid.exchange_id, COUNT(*) from bid group by bid.exchange_id",
+    ];
+    g.bench_function("active_8_queries_per_1k_events", |b| {
+        b.iter_batched(
+            || agent_with(&mix_queries),
+            |agent| {
+                for i in 0..1000u64 {
+                    agent.log(EventTypeId(0), RequestId(i), i as i64, &vals);
+                }
+                agent
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_tap);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Run every experiment (E01–E14) and print the combined report — the data
+//! behind EXPERIMENTS.md. Pass `--quick` for shorter runs.
+
+fn main() {
+    let quick = scrub_bench::quick_mode();
+    let mut passed = 0;
+    let mut failed = Vec::new();
+    let all = scrub_bench::experiments::all();
+    let total = all.len();
+    for (name, f) in all {
+        eprintln!("running {name}...");
+        let report = f(quick);
+        print!("{report}");
+        if report.pass {
+            passed += 1;
+        } else {
+            failed.push(report.id);
+        }
+    }
+    println!("==== SUMMARY ====");
+    println!("{passed}/{total} experiments reproduce the paper's shape");
+    if !failed.is_empty() {
+        println!("mismatches: {failed:?}");
+        std::process::exit(1);
+    }
+}

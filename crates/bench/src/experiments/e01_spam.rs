@@ -1,0 +1,89 @@
+//! E01 — §8.1 spam detection, Figures 9 & 10.
+//!
+//! The Figure 9 query counts bid requests per user in 10 s tumbling windows
+//! on one BidServer. Figure 10's shape: humans form an exponentially
+//! decaying requests-per-window distribution (about half the users: one
+//! request per window); the two bots sit orders of magnitude above it.
+
+use std::collections::BTreeMap;
+
+use adplatform::scenario;
+use scrub_server::{results, submit_query};
+use scrub_simnet::SimTime;
+
+use crate::{Report, Table};
+
+/// Run E01.
+pub fn run(quick: bool) -> Report {
+    let minutes = if quick { 3 } else { 8 };
+    let cfg = scenario::spam();
+    let bots = scenario::spam_bot_user_ids(&cfg);
+    let mut p = adplatform::build_platform(cfg);
+
+    let host = p.sim.metas()[p.bidservers[0].0 as usize].name.clone();
+    let qid = submit_query(
+        &mut p.sim,
+        &p.scrub,
+        &format!(
+            "Select bid.user_id, COUNT(*) from bid \
+             @[Service in BidServers and Server = '{host}'] \
+             group by bid.user_id window 10 s duration {minutes} m"
+        ),
+    );
+    p.sim.run_until(SimTime::from_secs(minutes * 60 + 30));
+
+    let rec = results(&p.sim, &p.scrub, qid).expect("query accepted");
+
+    // Figure 10 data: distribution of counts per (user, window).
+    let mut human_hist: BTreeMap<i64, u64> = BTreeMap::new();
+    let mut bot_series: BTreeMap<i64, Vec<i64>> = BTreeMap::new();
+    for row in &rec.rows {
+        let user = row.values[0].as_i64().unwrap() as u64;
+        let count = row.values[1].as_i64().unwrap();
+        if bots.contains(&user) {
+            bot_series
+                .entry(row.window_start_ms / 1000)
+                .or_default()
+                .push(count);
+        } else {
+            *human_hist.entry(count).or_insert(0) += 1;
+        }
+    }
+
+    let mut t = Table::new(&["requests_per_window", "human_user_windows"]);
+    for (count, users) in human_hist.iter().take(15) {
+        t.row(vec![count.to_string(), users.to_string()]);
+    }
+    let mut bt = Table::new(&["window_s", "bot_counts"]);
+    for (w, counts) in bot_series.iter().take(20) {
+        bt.row(vec![w.to_string(), format!("{counts:?}")]);
+    }
+
+    let total_hw: u64 = human_hist.values().sum();
+    let singles = human_hist.get(&1).copied().unwrap_or(0);
+    let max_human = human_hist.keys().max().copied().unwrap_or(0);
+    let bot_peak = bot_series.values().flatten().max().copied().unwrap_or(0);
+    let single_frac = singles as f64 / total_hw.max(1) as f64;
+    // exponential decay check: hist(1) > hist(2) > hist(4)
+    let decays =
+        human_hist.get(&1) >= human_hist.get(&2) && human_hist.get(&2) >= human_hist.get(&4);
+
+    let pass = bot_peak > 5 * max_human.max(1) && single_frac > 0.3 && decays;
+    Report {
+        id: "E01",
+        title: "Spam detection (Figs 9-10)",
+        paper: "about half of users issue one request per window; counts decay \
+                exponentially; two bots sit far above the human tail",
+        body: format!("{t}\nbot activity (first 20 windows with bot traffic):\n{bt}"),
+        pass,
+        verdict: format!(
+            "{:.0}% of human user-windows have 1 request, max human {} vs bot peak {} \
+             ({}x), decay {}",
+            single_frac * 100.0,
+            max_human,
+            bot_peak,
+            bot_peak / max_human.max(1),
+            decays
+        ),
+    }
+}

@@ -1,0 +1,113 @@
+//! E03 — §8.3 A/B testing of ad targeting models, Figures 13, 14, 15a/15b.
+//!
+//! Per model: CPM = 1000·AVG(impression.cost) and CTR = clicks/impressions,
+//! computed by queries targeting the server list of each model. Expected:
+//! model B's CTR exceeds A's (the planted multiplier) while CPM stays flat.
+
+use adplatform::scenario;
+use scrub_core::plan::QueryId;
+use scrub_server::{results, submit_query};
+use scrub_simnet::SimTime;
+
+use crate::{Report, Table};
+
+/// Run E03.
+pub fn run(quick: bool) -> Report {
+    let minutes = if quick { 4 } else { 10 };
+    let cfg = scenario::ab_test();
+    let expected_ratio = cfg.model_b_ctr_mult / cfg.model_a_ctr_mult;
+    let li = scenario::AB_LINE_ITEM;
+    let mut p = adplatform::build_platform(cfg);
+
+    let quote = |hosts: &[String]| {
+        hosts
+            .iter()
+            .map(|h| format!("'{h}'"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let a_hosts = quote(&p.pres_hosts_for_model("A"));
+    let b_hosts = quote(&p.pres_hosts_for_model("B"));
+
+    let mut q = |select: &str, event: &str, hosts: &str| -> QueryId {
+        submit_query(
+            &mut p.sim,
+            &p.scrub,
+            &format!(
+                "Select {select} from {event} where {event}.line_item_id = {li} \
+                 @[Servers in ({hosts})] window 1 m duration {minutes} m"
+            ),
+        )
+    };
+
+    let cpm_a = q("1000*AVG(impression.cost)", "impression", &a_hosts);
+    let cpm_b = q("1000*AVG(impression.cost)", "impression", &b_hosts);
+    let imp_a = q("COUNT(*)", "impression", &a_hosts);
+    let imp_b = q("COUNT(*)", "impression", &b_hosts);
+    let clk_a = q("COUNT(*)", "click", &a_hosts);
+    let clk_b = q("COUNT(*)", "click", &b_hosts);
+
+    p.sim
+        .run_until(SimTime::from_secs(minutes as i64 * 60 + 60));
+
+    let total = |qid| -> f64 {
+        results(&p.sim, &p.scrub, qid)
+            .map(|r| r.rows.iter().filter_map(|row| row.values[0].as_f64()).sum())
+            .unwrap_or(0.0)
+    };
+    let avg = |qid| -> f64 {
+        results(&p.sim, &p.scrub, qid)
+            .map(|r| {
+                let v: Vec<f64> = r
+                    .rows
+                    .iter()
+                    .filter_map(|row| row.values[0].as_f64())
+                    .collect();
+                if v.is_empty() {
+                    0.0
+                } else {
+                    v.iter().sum::<f64>() / v.len() as f64
+                }
+            })
+            .unwrap_or(0.0)
+    };
+
+    let (cpm_a, cpm_b) = (avg(cpm_a), avg(cpm_b));
+    let (ia, ib) = (total(imp_a), total(imp_b));
+    let (ca, cb) = (total(clk_a), total(clk_b));
+    let ctr = |c: f64, i: f64| if i > 0.0 { c / i } else { 0.0 };
+    let (ctr_a, ctr_b) = (ctr(ca, ia), ctr(cb, ib));
+
+    let mut t = Table::new(&["model", "CPM", "impressions", "clicks", "CTR"]);
+    t.row(vec![
+        "A".into(),
+        format!("{cpm_a:.1}"),
+        format!("{ia:.0}"),
+        format!("{ca:.0}"),
+        format!("{ctr_a:.4}"),
+    ]);
+    t.row(vec![
+        "B".into(),
+        format!("{cpm_b:.1}"),
+        format!("{ib:.0}"),
+        format!("{cb:.0}"),
+        format!("{ctr_b:.4}"),
+    ]);
+
+    let ctr_ratio = ctr_b / ctr_a.max(1e-12);
+    let cpm_ratio = cpm_b / cpm_a.max(1e-12);
+    let pass = ctr_ratio > 1.10
+        && (ctr_ratio - expected_ratio).abs() / expected_ratio < 0.35
+        && (0.85..=1.15).contains(&cpm_ratio);
+    Report {
+        id: "E03",
+        title: "A/B test of targeting models (Figs 13-15)",
+        paper: "B achieves a higher CTR than A while keeping CPM about the same",
+        body: t.to_string(),
+        pass,
+        verdict: format!(
+            "CTR(B)/CTR(A) = {ctr_ratio:.2} (planted {expected_ratio:.2}), \
+             CPM(B)/CPM(A) = {cpm_ratio:.2}"
+        ),
+    }
+}

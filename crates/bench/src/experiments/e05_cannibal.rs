@@ -1,0 +1,83 @@
+//! E05 — §8.5 line-item cannibalization, Figures 18a/18b & 19.
+//!
+//! auction ⋈ impression on the request id, restricted to auctions λ
+//! participated in, grouped by the winning (impression-serving) line item:
+//! per winner, win count (18a) and average winning price (18b). λ never
+//! appears as a winner, and every winner's average price exceeds λ's
+//! advisory price.
+
+use std::collections::BTreeMap;
+
+use adplatform::scenario;
+use scrub_server::{results, submit_query};
+use scrub_simnet::SimTime;
+
+use crate::{Report, Table};
+
+/// Run E05.
+pub fn run(quick: bool) -> Report {
+    let minutes = if quick { 3 } else { 8 };
+    let lambda = scenario::LAMBDA_LINE_ITEM as i64;
+    let cfg = scenario::cannibalization();
+    let advisory = cfg
+        .line_items
+        .iter()
+        .find(|l| l.id == scenario::LAMBDA_LINE_ITEM)
+        .expect("scenario defines lambda")
+        .advisory_price;
+    let mut p = adplatform::build_platform(cfg);
+
+    let qid = submit_query(
+        &mut p.sim,
+        &p.scrub,
+        &format!(
+            "Select impression.line_item_id, COUNT(*), AVG(auction.winner_price) \
+             from auction, impression \
+             where contains(auction.line_item_ids, {lambda}) \
+             @[Service in AdServers or Service in PresentationServers] \
+             group by impression.line_item_id window 1 m duration {minutes} m"
+        ),
+    );
+    p.sim
+        .run_until(SimTime::from_secs(minutes as i64 * 60 + 60));
+
+    let rec = results(&p.sim, &p.scrub, qid).expect("query accepted");
+    let mut agg: BTreeMap<i64, (i64, f64, i64)> = BTreeMap::new();
+    for row in &rec.rows {
+        let li = row.values[0].as_i64().unwrap();
+        let n = row.values[1].as_i64().unwrap();
+        let price = row.values[2].as_f64().unwrap();
+        let e = agg.entry(li).or_insert((0, 0.0, 0));
+        e.0 += n;
+        e.1 += price;
+        e.2 += 1;
+    }
+
+    let mut t = Table::new(&["line_item", "wins(18a)", "avg_win_price(18b)"]);
+    for (li, (wins, psum, nw)) in &agg {
+        t.row(vec![
+            li.to_string(),
+            wins.to_string(),
+            format!("{:.3}", psum / *nw as f64),
+        ]);
+    }
+
+    let lambda_wins = agg.get(&lambda).map(|e| e.0).unwrap_or(0);
+    let min_winner_avg = agg
+        .values()
+        .map(|(_, s, n)| s / *n as f64)
+        .fold(f64::INFINITY, f64::min);
+    let pass = !agg.is_empty() && lambda_wins == 0 && min_winner_avg > advisory;
+    Report {
+        id: "E05",
+        title: "Line-item cannibalization (Figs 18-19)",
+        paper: "λ wins no auction it participates in; every winner's average \
+                winning price exceeds λ's advisory price",
+        body: t.to_string(),
+        pass,
+        verdict: format!(
+            "λ (li {lambda}, advisory {advisory:.2}) won {lambda_wins}; \
+             lowest winner average price {min_winner_avg:.3}"
+        ),
+    }
+}

@@ -1,0 +1,78 @@
+//! E06 — §8.6 incorrectly set field (frequency-cap violations).
+//!
+//! The capped line item serves each user at most once per day — except the
+//! users whose frequency counts the (planted) ProfileStore bug never
+//! updates. Grouping impressions by user over a 1-day window isolates
+//! exactly those users.
+
+use adplatform::scenario;
+use scrub_server::{results, submit_query};
+use scrub_simnet::SimTime;
+
+use crate::{Report, Table};
+
+/// Run E06.
+pub fn run(quick: bool) -> Report {
+    let minutes = if quick { 4 } else { 10 };
+    let li = scenario::CAPPED_LINE_ITEM;
+    let mut p = adplatform::build_platform(scenario::freq_cap());
+
+    let qid = submit_query(
+        &mut p.sim,
+        &p.scrub,
+        &format!(
+            "Select impression.user_id, COUNT(*) from impression \
+             where impression.line_item_id = {li} \
+             @[Service in PresentationServers] \
+             group by impression.user_id window 1 d duration {minutes} m"
+        ),
+    );
+    p.sim
+        .run_until(SimTime::from_secs(minutes as i64 * 60 + 60));
+
+    let rec = results(&p.sim, &p.scrub, qid).expect("query accepted");
+    const GROSS: i64 = 5; // far above the cap: not explainable by lag
+    let mut gross: Vec<(u64, i64)> = Vec::new();
+    let (mut ok, mut lagged) = (0u64, 0u64);
+    for row in &rec.rows {
+        let user = row.values[0].as_i64().unwrap() as u64;
+        let count = row.values[1].as_i64().unwrap();
+        if count > GROSS {
+            gross.push((user, count));
+        } else if count > 1 {
+            lagged += 1;
+        } else {
+            ok += 1;
+        }
+    }
+    gross.sort_by_key(|(_, c)| -c);
+
+    let mut t = Table::new(&["user_id", "impressions_per_day", "user_id_mod_10"]);
+    for (u, c) in gross.iter().take(12) {
+        t.row(vec![
+            u.to_string(),
+            c.to_string(),
+            (u % scenario::CORRUPT_USER_MOD).to_string(),
+        ]);
+    }
+
+    let all_corrupt = gross
+        .iter()
+        .all(|(u, _)| u % scenario::CORRUPT_USER_MOD == 0);
+    let pass = !gross.is_empty() && all_corrupt && ok > 0;
+    Report {
+        id: "E06",
+        title: "Incorrectly set frequency field (§8.6)",
+        paper: "some users receive the capped ad far above the 1/day cap; the \
+                violators share the trait that identifies the corrupt input data",
+        body: t.to_string(),
+        pass,
+        verdict: format!(
+            "{} users within cap, {lagged} slightly over (replication lag), \
+             {} gross violators — all with user_id % {} == 0: {all_corrupt}",
+            ok,
+            gross.len(),
+            scenario::CORRUPT_USER_MOD
+        ),
+    }
+}

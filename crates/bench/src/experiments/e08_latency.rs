@@ -1,0 +1,74 @@
+//! E08 — request-latency impact of Scrub (abstract/§9; reconstructed —
+//! the paper reports "a 1% increase in request latency", well within the
+//! 20 ms SLO).
+//!
+//! Method: the identical workload runs twice — Scrub idle (0 queries) vs
+//! Scrub busy (8 concurrent queries). Agent work inflates the servers'
+//! service times through the cost model; the exchange frontends record
+//! end-to-end bid latency, from which p50/p99 and the inflation follow.
+
+use scrub_server::submit_query;
+use scrub_simnet::SimTime;
+
+use super::e07_cpu_overhead::{busy_config, QUERY_MIX};
+use crate::{percentile, Report, Table};
+
+fn run_once(n_queries: usize, quick: bool) -> (i64, i64) {
+    let measure_secs: i64 = if quick { 20 } else { 60 };
+    let mut p = adplatform::build_platform(busy_config(quick));
+    for i in 0..n_queries {
+        submit_query(
+            &mut p.sim,
+            &p.scrub,
+            &format!(
+                "{} window 10 s duration {} s",
+                QUERY_MIX[i % QUERY_MIX.len()],
+                measure_secs + 30
+            ),
+        );
+    }
+    p.sim.run_until(SimTime::from_secs(10 + measure_secs));
+    // keep only steady-state samples (after warm-up, while queries active)
+    let lats: Vec<i64> = p
+        .all_latencies()
+        .into_iter()
+        .filter(|(ts, _)| *ts >= 10_000)
+        .map(|(_, l)| l)
+        .collect();
+    (percentile(&lats, 0.50), percentile(&lats, 0.99))
+}
+
+/// Run E08.
+pub fn run(quick: bool) -> Report {
+    let (p50_off, p99_off) = run_once(0, quick);
+    let (p50_on, p99_on) = run_once(8, quick);
+
+    let mut t = Table::new(&["scrub", "p50_us", "p99_us"]);
+    t.row(vec![
+        "idle (0 queries)".into(),
+        p50_off.to_string(),
+        p99_off.to_string(),
+    ]);
+    t.row(vec![
+        "busy (8 queries)".into(),
+        p50_on.to_string(),
+        p99_on.to_string(),
+    ]);
+
+    let p50_inflation = (p50_on - p50_off) as f64 / p50_off.max(1) as f64 * 100.0;
+    let p99_inflation = (p99_on - p99_off) as f64 / p99_off.max(1) as f64 * 100.0;
+    let slo_ok = p99_on < 20_000;
+    let pass = (0.0..5.0).contains(&p50_inflation) && slo_ok;
+    Report {
+        id: "E08",
+        title: "Request-latency impact (abstract/§9, reconstructed)",
+        paper: "about a 1% increase in request latency; the 20 ms SLO holds",
+        body: t.to_string(),
+        pass,
+        verdict: format!(
+            "p50 inflation {p50_inflation:.2}%, p99 inflation {p99_inflation:.2}%, \
+             p99 with Scrub {p99_on}µs (SLO 20000µs: {})",
+            if slo_ok { "met" } else { "VIOLATED" }
+        ),
+    }
+}

@@ -1,0 +1,127 @@
+//! E12 — probabilistic aggregations (§3.2; reconstructed): accuracy of the
+//! TOP-K SpaceSaving summary and the COUNT_DISTINCT HyperLogLog that back
+//! ScrubQL's approximate aggregates.
+
+use std::collections::HashMap;
+
+use adplatform::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use scrub_sketch::{HyperLogLog, SpaceSaving};
+
+use crate::{Report, Table};
+
+fn topk_part(quick: bool) -> (Table, bool, String) {
+    let draws = if quick { 200_000 } else { 1_000_000 };
+    let mut t = Table::new(&["k", "zipf_alpha", "recall", "count_rel_err_pct", "note"]);
+    let mut min_recall = 1.0f64;
+    // The final row is a stress case: a near-flat distribution where no
+    // item exceeds the N/capacity guarantee threshold, so SpaceSaving's
+    // top-k is not expected to be reliable (excluded from the verdict).
+    for &(k, alpha) in &[
+        (5usize, 1.2f64),
+        (10, 1.2),
+        (20, 1.2),
+        (10, 1.05),
+        (10, 0.7),
+    ] {
+        let zipf = Zipf::new(50_000, alpha);
+        let mut rng = StdRng::seed_from_u64(9 + k as u64);
+        let mut truth: HashMap<usize, u64> = HashMap::new();
+        let mut ss = SpaceSaving::new(k * 8);
+        for _ in 0..draws {
+            let x = zipf.sample(&mut rng);
+            *truth.entry(x).or_insert(0) += 1;
+            ss.offer(x);
+        }
+        let mut true_top: Vec<(usize, u64)> = truth.iter().map(|(a, b)| (*a, *b)).collect();
+        true_top.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+        true_top.truncate(k);
+        let approx = ss.top_k(k);
+        let approx_items: Vec<usize> = approx.iter().map(|c| c.item).collect();
+        let hits = true_top
+            .iter()
+            .filter(|(item, _)| approx_items.contains(item))
+            .count();
+        let recall = hits as f64 / k as f64;
+        let stress = alpha < 1.0;
+        if !stress {
+            min_recall = min_recall.min(recall);
+        }
+        // count error over the items both agree on
+        let mut err_sum = 0.0;
+        let mut err_n = 0;
+        for c in &approx {
+            if let Some(tc) = truth.get(&c.item) {
+                err_sum += (c.count as f64 - *tc as f64).abs() / *tc as f64;
+                err_n += 1;
+            }
+        }
+        let err = if err_n > 0 {
+            err_sum / err_n as f64 * 100.0
+        } else {
+            0.0
+        };
+        t.row(vec![
+            k.to_string(),
+            format!("{alpha}"),
+            format!("{recall:.2}"),
+            format!("{err:.2}"),
+            if stress {
+                "stress: below guarantee".into()
+            } else {
+                String::new()
+            },
+        ]);
+    }
+    let pass = min_recall >= 0.9;
+    (
+        t,
+        pass,
+        format!("min TOP-K recall {min_recall:.2} (guaranteed regimes)"),
+    )
+}
+
+fn hll_part(quick: bool) -> (Table, bool, String) {
+    let mut t = Table::new(&["true_cardinality", "estimate", "rel_err_pct"]);
+    let mut max_err = 0.0f64;
+    let cards: &[u64] = if quick {
+        &[1_000, 10_000, 100_000]
+    } else {
+        &[1_000, 10_000, 100_000, 1_000_000]
+    };
+    for &n in cards {
+        let mut hll = HyperLogLog::default_precision();
+        for i in 0..n {
+            // duplicates interleaved: every value added twice
+            hll.add_bytes(&i.to_le_bytes());
+            hll.add_bytes(&i.to_le_bytes());
+        }
+        let est = hll.estimate();
+        let err = (est - n as f64).abs() / n as f64 * 100.0;
+        max_err = max_err.max(err);
+        t.row(vec![
+            n.to_string(),
+            format!("{est:.0}"),
+            format!("{err:.2}"),
+        ]);
+    }
+    // standard error at p=12 is ~1.6%; 4 sigma ≈ 6.5%
+    let pass = max_err < 6.5;
+    (t, pass, format!("max COUNT_DISTINCT error {max_err:.2}%"))
+}
+
+/// Run E12.
+pub fn run(quick: bool) -> Report {
+    let (t1, p1, n1) = topk_part(quick);
+    let (t2, p2, n2) = hll_part(quick);
+    Report {
+        id: "E12",
+        title: "Probabilistic aggregates: TOP-K & COUNT_DISTINCT (§3.2)",
+        paper: "space-saving TOP-K finds the heavy hitters; HyperLogLog estimates \
+                cardinality within its ~1.6% standard error",
+        body: format!("TOP-K (SpaceSaving, capacity 8k):\n{t1}\nCOUNT_DISTINCT (HLL p=12):\n{t2}"),
+        pass: p1 && p2,
+        verdict: format!("{n1}; {n2}"),
+    }
+}

@@ -1,0 +1,104 @@
+//! E15 — Scrub vs baggage propagation (§8.4's qualitative contrast,
+//! quantified).
+//!
+//! §8.4: "if baggage propagation were used, the baggage would have to
+//! include all these exclusions and pass them from the AdServers to the
+//! BidServers. In contrast, Scrub queries the needed data on demand."
+//!
+//! Pivot-Tracing-style baggage attaches per-request context to every
+//! request on the *critical path*, whether or not anyone is asking a
+//! question. This experiment runs the exclusion workload and compares:
+//!
+//! * **baggage**: exclusion records ride inside every AdServer→BidServer
+//!   response, inflating critical-path bytes and response serialization
+//!   for *all* requests, *all* the time;
+//! * **Scrub**: exclusions flow out-of-band, only while a query is active,
+//!   only for matching/selected events.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use adplatform::scenario;
+use scrub_server::{results, submit_query};
+use scrub_simnet::SimTime;
+
+use crate::util::full_event_sizes;
+use crate::{sum_stats, Report, Table};
+
+/// Run E15.
+pub fn run(quick: bool) -> Report {
+    let minutes: i64 = if quick { 2 } else { 5 };
+    let cfg = scenario::exclusions();
+    let n_line_items = cfg.line_items.len();
+    let mut p = adplatform::build_platform(cfg);
+
+    // The §8.4 investigation: one line item's exclusions, one exchange.
+    let li = scenario::EXCLUSION_LINE_ITEM;
+    let qid = submit_query(
+        &mut p.sim,
+        &p.scrub,
+        &format!(
+            "Select exclusion.reason, COUNT(*) from bid, exclusion \
+             where exclusion.line_item_id = {li} and bid.exchange_id = 0 \
+             @[Service in BidServers or Service in AdServers] \
+             group by exclusion.reason window 1 m duration {minutes} m"
+        ),
+    );
+    p.sim.run_until(SimTime::from_secs(minutes * 60 + 60));
+
+    let rec = results(&p.sim, &p.scrub, qid).expect("accepted");
+    assert!(!rec.rows.is_empty(), "the investigation found nothing");
+
+    // ---- Scrub side: out-of-band bytes, only while the query ran ----
+    let stats = sum_stats(&p.agent_stats());
+    let scrub_bytes = stats.bytes_shipped;
+
+    // ---- baggage side: every request carries its exclusion list on the
+    //      critical path, investigation or not ----
+    let production = p.event_production();
+    let sizes = full_event_sizes(n_line_items / 2);
+    let requests = production.auctions; // one AdServer round per bid request
+    let baggage_bytes = production.exclusions * sizes.exclusion as u64;
+    let baggage_per_request = baggage_bytes.checked_div(requests).unwrap_or(0);
+    // extra serialization on the critical path at ~0.3 ns/byte (same
+    // constant as the agent cost model's ship cost)
+    let critical_path_ns_per_req = baggage_per_request as f64 * 0.3;
+
+    let mut t = Table::new(&["metric", "scrub (on demand)", "baggage (always on)"]);
+    t.row(vec![
+        "bytes moved for the investigation".into(),
+        scrub_bytes.to_string(),
+        baggage_bytes.to_string(),
+    ]);
+    t.row(vec![
+        "bytes on the request critical path".into(),
+        "0".into(),
+        format!("{baggage_per_request}/request"),
+    ]);
+    t.row(vec![
+        "critical-path serialization cost".into(),
+        "0".into(),
+        format!("{critical_path_ns_per_req:.0} ns/request"),
+    ]);
+    t.row(vec![
+        "cost when nobody is troubleshooting".into(),
+        "one atomic load per event".into(),
+        "unchanged (always on)".into(),
+    ]);
+
+    let ratio = baggage_bytes as f64 / scrub_bytes.max(1) as f64;
+    let pass = ratio > 2.0 && baggage_per_request > 500;
+    Report {
+        id: "E15",
+        title: "Scrub vs baggage propagation (§8.4, quantified)",
+        paper: "carrying all exclusions as request baggage from AdServers to \
+                BidServers would be prohibitively expensive; Scrub queries the \
+                needed data on demand",
+        body: t.to_string(),
+        pass,
+        verdict: format!(
+            "baggage would move {ratio:.0}x more bytes than Scrub's on-demand \
+             query and add ~{baggage_per_request} bytes to EVERY request's \
+             critical path"
+        ),
+    }
+}

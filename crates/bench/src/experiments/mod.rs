@@ -1,0 +1,43 @@
+//! Experiment modules, one per paper figure/table (DESIGN.md E01–E14).
+
+pub mod e01_spam;
+pub mod e02_exchange;
+pub mod e03_ab;
+pub mod e04_exclusions;
+pub mod e05_cannibal;
+pub mod e06_freqcap;
+pub mod e07_cpu_overhead;
+pub mod e08_latency;
+pub mod e09_central_scale;
+pub mod e10_sampling;
+pub mod e11_vs_logging;
+pub mod e12_sketches;
+pub mod e13_placement;
+pub mod e14_pushdown;
+pub mod e15_baggage;
+
+use crate::Report;
+
+/// An experiment entry point: `quick` flag in, report out.
+pub type ExperimentFn = fn(bool) -> Report;
+
+/// All experiments, in index order.
+pub fn all() -> Vec<(&'static str, ExperimentFn)> {
+    vec![
+        ("e01_spam", e01_spam::run as ExperimentFn),
+        ("e02_exchange", e02_exchange::run),
+        ("e03_ab", e03_ab::run),
+        ("e04_exclusions", e04_exclusions::run),
+        ("e05_cannibal", e05_cannibal::run),
+        ("e06_freqcap", e06_freqcap::run),
+        ("e07_cpu_overhead", e07_cpu_overhead::run),
+        ("e08_latency", e08_latency::run),
+        ("e09_central_scale", e09_central_scale::run),
+        ("e10_sampling", e10_sampling::run),
+        ("e11_vs_logging", e11_vs_logging::run),
+        ("e12_sketches", e12_sketches::run),
+        ("e13_placement", e13_placement::run),
+        ("e14_pushdown", e14_pushdown::run),
+        ("e15_baggage", e15_baggage::run),
+    ]
+}

@@ -1,0 +1,30 @@
+//! # scrub-bench
+//!
+//! The experiment harness: one module per paper figure/table (see
+//! DESIGN.md's experiment index E01–E14), each runnable as its own binary
+//! (`cargo run -p scrub-bench --release --bin e01_spam`) or all together
+//! (`--bin run_all`), plus criterion microbenchmarks of the host tap, the
+//! parser, ScrubCentral ingestion and the sketches.
+//!
+//! Experiments print the regenerated series/table and a `VERDICT` line
+//! stating whether the paper's qualitative shape held.
+
+pub mod experiments;
+pub mod util;
+
+pub use util::{percentile, sum_stats, Report, Table};
+
+/// True when quick mode is requested (env `SCRUB_BENCH_QUICK=1` or a
+/// `--quick` argument): shorter runs, same shapes.
+pub fn quick_mode() -> bool {
+    std::env::var("SCRUB_BENCH_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+        || std::env::args().any(|a| a == "--quick")
+}
+
+/// Run one experiment function and print its report.
+pub fn run_and_print(f: fn(bool) -> Report) {
+    let report = f(quick_mode());
+    print!("{report}");
+}

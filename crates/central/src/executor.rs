@@ -1,0 +1,1093 @@
+//! Per-query execution engine of ScrubCentral (§4): tumbling windows,
+//! the request-id equi-join, group-by and aggregation.
+//!
+//! Hosts only selected/projected/sampled; everything here is the expensive
+//! part of the query, deliberately placed off the application hosts.
+
+use std::collections::{BTreeMap, HashMap};
+
+use scrub_agent::EventBatch;
+use scrub_core::event::Event;
+use scrub_core::plan::{CentralPlan, OutputCol, OutputMode};
+use scrub_core::value::{GroupKey, Value};
+use scrub_sketch::{estimate_total, HostSample, Welford};
+
+use crate::agg::AggState;
+use crate::row::{QuerySummary, ResultRow};
+
+/// Safety cap on the per-request join cross-product (a request with tens of
+/// thousands of exclusions joined to several bids could otherwise explode).
+pub const MAX_JOIN_ROWS_PER_REQUEST: usize = 100_000;
+
+/// Cumulative per-host counters extracted from batch headers.
+#[derive(Debug, Clone, Copy, Default)]
+struct HostTotals {
+    matched: u64,
+    sampled: u64,
+    shed: u64,
+}
+
+/// Per-(window, group) state.
+#[derive(Debug, Clone)]
+pub struct GroupState {
+    /// Group key values as first seen (for output).
+    pub keys: Vec<Value>,
+    /// One state per aggregate in the plan.
+    pub aggs: Vec<AggState>,
+}
+
+enum WindowState {
+    /// Single-input aggregate mode: aggregated eagerly, memory O(groups).
+    Eager {
+        groups: HashMap<Vec<GroupKey>, GroupState>,
+    },
+    /// Join queries buffer per request id until the window closes.
+    Buffered {
+        per_request: HashMap<u64, Vec<Vec<Event>>>,
+    },
+}
+
+/// A closed window's partial results, for merging across partitions.
+pub struct WindowPartial {
+    /// Window start (ms).
+    pub window_start_ms: i64,
+    /// Aggregate-mode groups (empty in stream mode).
+    pub groups: Vec<(Vec<GroupKey>, GroupState)>,
+}
+
+/// Executes one compiled query at ScrubCentral.
+pub struct QueryExecutor {
+    plan: CentralPlan,
+    grace_ms: i64,
+    windows: BTreeMap<i64, WindowState>,
+    /// Cumulative counters per (host, event type) — one agent subscription
+    /// each; see `EventBatch::type_id`.
+    host_totals: HashMap<(String, scrub_core::schema::EventTypeId), HostTotals>,
+    /// Per-host value moments per aggregate (only for estimator-eligible
+    /// queries: single input, ungrouped, sampled).
+    host_moments: HashMap<String, Vec<Welford>>,
+    stream_out: Vec<ResultRow>,
+    windows_emitted: u64,
+    /// Join rows dropped by the cross-product cap.
+    pub join_rows_capped: u64,
+    /// Late events dropped because their window already closed.
+    pub late_events_dropped: u64,
+    closed_before_ms: i64,
+}
+
+impl QueryExecutor {
+    /// Create an executor for a central plan. `grace_ms` is how long after
+    /// a window's end it stays open for stragglers.
+    pub fn new(plan: CentralPlan, grace_ms: i64) -> Self {
+        QueryExecutor {
+            plan,
+            grace_ms,
+            windows: BTreeMap::new(),
+            host_totals: HashMap::new(),
+            host_moments: HashMap::new(),
+            stream_out: Vec::new(),
+            windows_emitted: 0,
+            join_rows_capped: 0,
+            late_events_dropped: 0,
+            closed_before_ms: i64::MIN,
+        }
+    }
+
+    /// The plan under execution.
+    pub fn plan(&self) -> &CentralPlan {
+        &self.plan
+    }
+
+    /// Number of windows currently open (not yet past grace).
+    pub fn open_windows(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// Events currently buffered for the join (0 for single-input plans,
+    /// whose windows hold aggregate state instead).
+    pub fn buffered_events(&self) -> usize {
+        self.windows
+            .values()
+            .map(|w| match w {
+                WindowState::Eager { .. } => 0,
+                WindowState::Buffered { per_request } => per_request
+                    .values()
+                    .map(|slots| slots.iter().map(Vec::len).sum::<usize>())
+                    .sum(),
+            })
+            .sum()
+    }
+
+    /// Group states currently held across open windows.
+    pub fn open_groups(&self) -> usize {
+        self.windows
+            .values()
+            .map(|w| match w {
+                WindowState::Eager { groups } => groups.len(),
+                WindowState::Buffered { .. } => 0,
+            })
+            .sum()
+    }
+
+    fn is_join(&self) -> bool {
+        self.plan.inputs.len() > 1
+    }
+
+    fn estimator_eligible(&self) -> bool {
+        if self.is_join() {
+            return false;
+        }
+        let sampled = self.plan.sample.is_sampled()
+            || (self.plan.host_info.matching > self.plan.host_info.selected
+                && self.plan.host_info.selected > 0);
+        if !sampled {
+            return false;
+        }
+        matches!(
+            &self.plan.mode,
+            OutputMode::Aggregate { group_by, .. } if group_by.is_empty()
+        )
+    }
+
+    /// Current scale-up factor compensating host and event sampling:
+    /// `(N/n) · (ΣM_i/Σm_i)` using observed totals (Eq. 1's population
+    /// scale, applied globally).
+    pub fn scale(&self) -> f64 {
+        let host_scale = if self.plan.host_info.selected > 0 && self.plan.host_info.matching > 0 {
+            self.plan.host_info.matching as f64 / self.plan.host_info.selected as f64
+        } else {
+            1.0
+        };
+        let (m, s) = self
+            .host_totals
+            .values()
+            .fold((0u64, 0u64), |(m, s), t| (m + t.matched, s + t.sampled));
+        let event_scale = if s > 0 { m as f64 / s as f64 } else { 1.0 };
+        host_scale * event_scale
+    }
+
+    /// Ingest one batch from a host agent.
+    pub fn ingest(&mut self, batch: EventBatch) {
+        debug_assert_eq!(batch.query_id, self.plan.query_id);
+        // Counters are cumulative and monotonic per (host, subscription);
+        // batches can be reordered in flight (delivery delay grows with
+        // batch size), so merge with max rather than last-writer-wins.
+        let totals = self
+            .host_totals
+            .entry((batch.host.clone(), batch.type_id))
+            .or_default();
+        totals.matched = totals.matched.max(batch.matched);
+        totals.sampled = totals.sampled.max(batch.sampled);
+        totals.shed = totals.shed.max(batch.shed);
+
+        let eligible = self.estimator_eligible();
+        for ev in batch.events {
+            let Some(input_idx) = self.plan.input_index(ev.type_id) else {
+                continue; // not part of this query
+            };
+            if eligible {
+                self.update_moments(&batch.host, &ev, input_idx);
+            }
+            self.ingest_event(ev, input_idx);
+        }
+    }
+
+    fn update_moments(&mut self, host: &str, ev: &Event, input_idx: usize) {
+        let OutputMode::Aggregate { aggregates, .. } = &self.plan.mode else {
+            return;
+        };
+        let row = self.build_block_row(ev, input_idx);
+        let moments = self
+            .host_moments
+            .entry(host.to_string())
+            .or_insert_with(|| vec![Welford::new(); aggregates.len()]);
+        for (i, agg) in aggregates.iter().enumerate() {
+            let v = match &agg.arg {
+                Some(a) => a.eval(&row).as_f64(),
+                None => Some(1.0), // COUNT(*)
+            };
+            if let Some(x) = v {
+                moments[i].add(x);
+            }
+        }
+    }
+
+    /// Build the full-width joined row for a single event (other blocks
+    /// stay Null — correct for single-input plans where they don't exist).
+    fn build_block_row(&self, ev: &Event, input_idx: usize) -> Vec<Value> {
+        let mut row = vec![Value::Null; self.plan.row_width];
+        self.fill_block(&mut row, ev, input_idx);
+        row
+    }
+
+    fn fill_block(&self, row: &mut [Value], ev: &Event, input_idx: usize) {
+        let input = &self.plan.inputs[input_idx];
+        let off = input.block_offset;
+        for (i, v) in ev.values.iter().enumerate() {
+            if i < input.fields.len() {
+                row[off + i] = v.clone();
+            }
+        }
+        row[off + input.fields.len()] = Value::Long(ev.request_id.0 as i64);
+        row[off + input.fields.len() + 1] = Value::DateTime(ev.timestamp);
+    }
+
+    /// Window starts covering a timestamp: every `w = k · slide` with
+    /// `w <= ts < w + window`. Tumbling windows (slide == window) cover
+    /// each event exactly once; a smaller slide produces overlap (§3.2's
+    /// sliding-window extension).
+    fn covered_windows(&self, ts: i64) -> impl Iterator<Item = i64> {
+        let w = self.plan.window_ms;
+        let s = self.plan.slide_ms;
+        let k_min = (ts - w).div_euclid(s) + 1;
+        let k_max = ts.div_euclid(s);
+        (k_min..=k_max).map(move |k| k * s)
+    }
+
+    fn ingest_event(&mut self, ev: Event, input_idx: usize) {
+        let closed = self.closed_before_ms;
+        let covered: Vec<i64> = self
+            .covered_windows(ev.timestamp)
+            .filter(|w| *w >= closed)
+            .collect();
+        if covered.is_empty() {
+            self.late_events_dropped += 1;
+            return;
+        }
+        if self.is_join() {
+            for &w in &covered {
+                let state = self
+                    .windows
+                    .entry(w)
+                    .or_insert_with(|| WindowState::Buffered {
+                        per_request: HashMap::new(),
+                    });
+                let WindowState::Buffered { per_request } = state else {
+                    unreachable!("join plans always buffer");
+                };
+                let slots = per_request
+                    .entry(ev.request_id.0)
+                    .or_insert_with(|| vec![Vec::new(); self.plan.inputs.len()]);
+                slots[input_idx].push(ev.clone());
+            }
+            return;
+        }
+
+        // Single input.
+        match &self.plan.mode {
+            OutputMode::Stream(exprs) => {
+                let row = self.build_block_row(&ev, input_idx);
+                if let Some(res) = &self.plan.residual {
+                    if !res.eval_bool(&row) {
+                        return;
+                    }
+                }
+                let values: Vec<Value> = exprs.iter().map(|e| e.eval(&row)).collect();
+                self.stream_out.push(ResultRow {
+                    query_id: self.plan.query_id,
+                    window_start_ms: *covered.last().expect("checked non-empty"),
+                    values,
+                });
+            }
+            OutputMode::Aggregate { .. } => {
+                let row = self.build_block_row(&ev, input_idx);
+                if let Some(res) = &self.plan.residual {
+                    if !res.eval_bool(&row) {
+                        return;
+                    }
+                }
+                for &w in &covered {
+                    let state = self.windows.entry(w).or_insert_with(|| WindowState::Eager {
+                        groups: HashMap::new(),
+                    });
+                    let WindowState::Eager { groups } = state else {
+                        unreachable!("single-input aggregate plans are eager");
+                    };
+                    let OutputMode::Aggregate {
+                        group_by,
+                        aggregates,
+                        ..
+                    } = &self.plan.mode
+                    else {
+                        unreachable!();
+                    };
+                    update_groups(groups, group_by, aggregates, &row);
+                }
+            }
+        }
+    }
+
+    /// Advance the watermark: emit stream rows and close every window whose
+    /// grace period has elapsed, returning finished result rows.
+    pub fn advance(&mut self, now_ms: i64) -> Vec<ResultRow> {
+        let mut out = std::mem::take(&mut self.stream_out);
+        let scale = self.scale();
+        for p in self.take_closed_partials(now_ms) {
+            self.render_partial(p, scale, &mut out);
+        }
+        out
+    }
+
+    /// Close due windows and return their *partial* group states (used by
+    /// the partitioned executor; aggregate mode only — stream rows still
+    /// come out of [`QueryExecutor::advance_stream_only`]).
+    pub fn take_closed_partials(&mut self, now_ms: i64) -> Vec<WindowPartial> {
+        let cutoff = now_ms - self.plan.window_ms - self.grace_ms;
+        let mut due: Vec<i64> = self
+            .windows
+            .keys()
+            .copied()
+            .filter(|w| *w <= cutoff)
+            .collect();
+        due.sort_unstable();
+        let mut out = Vec::new();
+        for w in due {
+            let state = self.windows.remove(&w).expect("key just listed");
+            out.push(self.close_window(w, state));
+            // every window with start <= w is now closed; the next open one
+            // starts one slide later
+            self.closed_before_ms = self.closed_before_ms.max(w + self.plan.slide_ms);
+        }
+        out
+    }
+
+    /// Drain stream-mode rows without touching windows.
+    pub fn advance_stream_only(&mut self) -> Vec<ResultRow> {
+        std::mem::take(&mut self.stream_out)
+    }
+
+    fn close_window(&mut self, w: i64, state: WindowState) -> WindowPartial {
+        let mut groups_out: Vec<(Vec<GroupKey>, GroupState)> = Vec::new();
+        let mut stream_rows: Vec<ResultRow> = Vec::new();
+        let mut capped = 0u64;
+        match state {
+            WindowState::Eager { groups } => {
+                groups_out.extend(groups);
+            }
+            WindowState::Buffered { per_request } => {
+                let OutputModeRef {
+                    group_by,
+                    aggregates,
+                    stream,
+                } = mode_ref(&self.plan.mode);
+                let mut groups: HashMap<Vec<GroupKey>, GroupState> = HashMap::new();
+                let mut req_ids: Vec<u64> = per_request.keys().copied().collect();
+                req_ids.sort_unstable();
+                for rid in req_ids {
+                    let slots = &per_request[&rid];
+                    // inner join: every input must have at least one event
+                    if slots.iter().any(Vec::is_empty) {
+                        continue;
+                    }
+                    let total: usize = slots.iter().map(Vec::len).product();
+                    let emit = total.min(MAX_JOIN_ROWS_PER_REQUEST);
+                    capped += (total - emit) as u64;
+                    let mut combo = vec![0usize; slots.len()];
+                    for _ in 0..emit {
+                        let mut row = vec![Value::Null; self.plan.row_width];
+                        for (i, slot) in slots.iter().enumerate() {
+                            self.fill_block(&mut row, &slot[combo[i]], i);
+                        }
+                        if self
+                            .plan
+                            .residual
+                            .as_ref()
+                            .map(|r| r.eval_bool(&row))
+                            .unwrap_or(true)
+                        {
+                            if let Some(exprs) = stream {
+                                let values: Vec<Value> =
+                                    exprs.iter().map(|e| e.eval(&row)).collect();
+                                stream_rows.push(ResultRow {
+                                    query_id: self.plan.query_id,
+                                    window_start_ms: w,
+                                    values,
+                                });
+                            } else {
+                                update_groups(&mut groups, group_by, aggregates, &row);
+                            }
+                        }
+                        // advance the mixed-radix combination counter
+                        for i in (0..combo.len()).rev() {
+                            combo[i] += 1;
+                            if combo[i] < slots[i].len() {
+                                break;
+                            }
+                            combo[i] = 0;
+                        }
+                    }
+                }
+                groups_out.extend(groups);
+            }
+        }
+        self.stream_out.extend(stream_rows);
+        self.join_rows_capped += capped;
+        groups_out.sort_by(|a, b| a.0.cmp(&b.0));
+        WindowPartial {
+            window_start_ms: w,
+            groups: groups_out,
+        }
+    }
+
+    /// Render a closed window's partial into final result rows.
+    pub fn render_partial(&mut self, p: WindowPartial, scale: f64, out: &mut Vec<ResultRow>) {
+        let OutputMode::Aggregate { output, .. } = &self.plan.mode else {
+            return; // stream rows were already emitted
+        };
+        let had_groups = !p.groups.is_empty();
+        for (_key, g) in p.groups {
+            let values: Vec<Value> = output
+                .iter()
+                .map(|col| match col {
+                    OutputCol::Group(i) => g.keys.get(*i).cloned().unwrap_or(Value::Null),
+                    OutputCol::Agg(i) => g.aggs[*i].finish(scale),
+                })
+                .collect();
+            out.push(ResultRow {
+                query_id: self.plan.query_id,
+                window_start_ms: p.window_start_ms,
+                values,
+            });
+        }
+        if had_groups {
+            self.windows_emitted += 1;
+        }
+    }
+
+    /// Close everything and produce the end-of-query summary.
+    pub fn finish(&mut self) -> (Vec<ResultRow>, QuerySummary) {
+        let rows = self.advance(i64::MAX / 4);
+        let (total_matched, total_sampled, total_shed) =
+            self.host_totals.values().fold((0, 0, 0), |(m, s, d), t| {
+                (m + t.matched, s + t.sampled, d + t.shed)
+            });
+        let distinct_hosts: std::collections::HashSet<&str> =
+            self.host_totals.keys().map(|(h, _)| h.as_str()).collect();
+
+        let estimates = self.compute_estimates();
+        let summary = QuerySummary {
+            query_id: self.plan.query_id,
+            hosts_reporting: distinct_hosts.len(),
+            total_matched,
+            total_sampled,
+            total_shed,
+            windows_emitted: self.windows_emitted,
+            estimates,
+        };
+        (rows, summary)
+    }
+
+    fn compute_estimates(&self) -> Vec<Option<scrub_sketch::TwoStageEstimate>> {
+        // (estimator-eligible queries are single-input, so the (host, type)
+        // key degenerates to the host)
+        let OutputMode::Aggregate {
+            aggregates, output, ..
+        } = &self.plan.mode
+        else {
+            return vec![None; self.plan.headers.len()];
+        };
+        if !self.estimator_eligible() {
+            return vec![None; output.len()];
+        }
+        let n_total = if self.plan.host_info.matching > 0 {
+            self.plan.host_info.matching
+        } else {
+            self.host_totals.len()
+        };
+        output
+            .iter()
+            .map(|col| {
+                let OutputCol::Agg(i) = col else {
+                    return None;
+                };
+                use scrub_core::ql::ast::AggFn;
+                if !matches!(aggregates[*i].func, AggFn::Count | AggFn::Sum) {
+                    return None;
+                }
+                let mut hosts: Vec<HostSample> = Vec::new();
+                for ((host, _), totals) in &self.host_totals {
+                    let stats = self
+                        .host_moments
+                        .get(host)
+                        .and_then(|ms| ms.get(*i))
+                        .copied()
+                        .unwrap_or_default();
+                    hosts.push(HostSample {
+                        population: totals.matched,
+                        stats,
+                    });
+                }
+                Some(estimate_total(n_total, &hosts, 0.95))
+            })
+            .collect()
+    }
+}
+
+struct OutputModeRef<'a> {
+    group_by: &'a [scrub_core::expr::ResolvedExpr],
+    aggregates: &'a [scrub_core::plan::AggSpec],
+    stream: Option<&'a [scrub_core::expr::ResolvedExpr]>,
+}
+
+fn mode_ref(mode: &OutputMode) -> OutputModeRef<'_> {
+    match mode {
+        OutputMode::Stream(exprs) => OutputModeRef {
+            group_by: &[],
+            aggregates: &[],
+            stream: Some(exprs),
+        },
+        OutputMode::Aggregate {
+            group_by,
+            aggregates,
+            ..
+        } => OutputModeRef {
+            group_by,
+            aggregates,
+            stream: None,
+        },
+    }
+}
+
+fn update_groups(
+    groups: &mut HashMap<Vec<GroupKey>, GroupState>,
+    group_by: &[scrub_core::expr::ResolvedExpr],
+    aggregates: &[scrub_core::plan::AggSpec],
+    row: &[Value],
+) {
+    let key_values: Vec<Value> = group_by.iter().map(|g| g.eval(row)).collect();
+    let key: Vec<GroupKey> = key_values.iter().map(Value::group_key).collect();
+    let entry = groups.entry(key).or_insert_with(|| GroupState {
+        keys: key_values,
+        aggs: aggregates.iter().map(AggState::new).collect(),
+    });
+    for (i, agg) in aggregates.iter().enumerate() {
+        let v = agg.arg.as_ref().map(|a| a.eval(row));
+        entry.aggs[i].update(v.as_ref());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scrub_core::config::ScrubConfig;
+    use scrub_core::event::RequestId;
+    use scrub_core::plan::{compile, HostSampleInfo, QueryId};
+    use scrub_core::ql::parser::parse_query;
+    use scrub_core::schema::{EventSchema, EventTypeId, FieldDef, FieldType, SchemaRegistry};
+
+    fn registry() -> SchemaRegistry {
+        let reg = SchemaRegistry::new();
+        reg.register(
+            EventSchema::new(
+                "bid",
+                vec![
+                    FieldDef::new("user_id", FieldType::Long),
+                    FieldDef::new("price", FieldType::Double),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        reg.register(
+            EventSchema::new(
+                "impression",
+                vec![
+                    FieldDef::new("line_item_id", FieldType::Long),
+                    FieldDef::new("cost", FieldType::Double),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        reg
+    }
+
+    fn executor(src: &str) -> QueryExecutor {
+        let spec = parse_query(src).unwrap();
+        let cq = compile(&spec, &registry(), &ScrubConfig::default(), QueryId(9)).unwrap();
+        QueryExecutor::new(cq.central, 0)
+    }
+
+    /// Shorthand: feed projected events for the "bid" single-type plans.
+    /// `fields` must already match the plan's projection.
+    fn batch(host: &str, events: Vec<Event>, matched: u64, sampled: u64) -> EventBatch {
+        let type_id = events.first().map(|e| e.type_id).unwrap_or(EventTypeId(0));
+        EventBatch {
+            query_id: QueryId(9),
+            type_id,
+            host: host.into(),
+            events,
+            matched,
+            sampled,
+            shed: 0,
+        }
+    }
+
+    fn ev(type_id: u32, rid: u64, ts: i64, values: Vec<Value>) -> Event {
+        Event::new(EventTypeId(type_id), RequestId(rid), ts, values)
+    }
+
+    #[test]
+    fn grouped_count_per_window() {
+        // spam query: count bids per user per 10s window
+        let mut ex =
+            executor("select bid.user_id, COUNT(*) from bid group by bid.user_id window 10 s");
+        let events = vec![
+            ev(0, 1, 1_000, vec![Value::Long(7)]),
+            ev(0, 2, 2_000, vec![Value::Long(7)]),
+            ev(0, 3, 3_000, vec![Value::Long(8)]),
+            ev(0, 4, 12_000, vec![Value::Long(7)]), // next window
+        ];
+        ex.ingest(batch("h1", events, 4, 4));
+        let rows = ex.advance(40_000);
+        assert_eq!(rows.len(), 3);
+        let w0: Vec<&ResultRow> = rows.iter().filter(|r| r.window_start_ms == 0).collect();
+        assert_eq!(w0.len(), 2);
+        let user7 = w0.iter().find(|r| r.values[0] == Value::Long(7)).unwrap();
+        assert_eq!(user7.values[1], Value::Long(2));
+        let w1: Vec<&ResultRow> = rows
+            .iter()
+            .filter(|r| r.window_start_ms == 10_000)
+            .collect();
+        assert_eq!(w1.len(), 1);
+        assert_eq!(w1[0].values, vec![Value::Long(7), Value::Long(1)]);
+    }
+
+    #[test]
+    fn windows_respect_grace() {
+        let spec = parse_query("select COUNT(*) from bid window 10 s").unwrap();
+        let cq = compile(&spec, &registry(), &ScrubConfig::default(), QueryId(9)).unwrap();
+        let mut ex = QueryExecutor::new(cq.central, 2_000);
+        ex.ingest(batch("h1", vec![ev(0, 1, 5_000, vec![])], 1, 1));
+        // window [0,10s) closes at 10s + grace 2s
+        assert!(ex.advance(11_000).is_empty());
+        let rows = ex.advance(12_000);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values, vec![Value::Long(1)]);
+    }
+
+    #[test]
+    fn late_events_dropped_after_close() {
+        let mut ex = executor("select COUNT(*) from bid window 10 s");
+        ex.ingest(batch("h1", vec![ev(0, 1, 5_000, vec![])], 1, 1));
+        let _ = ex.advance(60_000); // closes window 0
+        ex.ingest(batch("h1", vec![ev(0, 2, 6_000, vec![])], 2, 2));
+        assert_eq!(ex.late_events_dropped, 1);
+        assert!(ex.advance(120_000).is_empty());
+    }
+
+    #[test]
+    fn stream_mode_emits_rows_immediately() {
+        let mut ex = executor("select bid.user_id from bid where bid.price > 0.0");
+        // host plan would filter, but central stream path just projects
+        ex.ingest(batch(
+            "h1",
+            vec![ev(0, 1, 500, vec![Value::Long(42)])],
+            1,
+            1,
+        ));
+        let rows = ex.advance_stream_only();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values, vec![Value::Long(42)]);
+    }
+
+    #[test]
+    fn equijoin_on_request_id() {
+        // join bid and impression; count joined rows per window
+        let mut ex =
+            executor("select COUNT(*) from bid, impression where bid.price > 0.0 window 10 s");
+        // bid plan projects [price] (input 0), impression projects [] (input 1)
+        let bids = vec![
+            ev(0, 100, 1_000, vec![Value::Double(1.0)]),
+            ev(0, 101, 2_000, vec![Value::Double(2.0)]),
+        ];
+        let imps = vec![
+            ev(1, 100, 1_500, vec![]),
+            ev(1, 100, 1_600, vec![]), // second impression, same request
+            ev(1, 999, 3_000, vec![]), // unmatched request
+        ];
+        ex.ingest(batch("h1", bids, 2, 2));
+        ex.ingest(batch("h2", imps, 3, 3));
+        let rows = ex.advance(60_000);
+        assert_eq!(rows.len(), 1);
+        // request 100: 1 bid × 2 impressions = 2 joined rows; 101 and 999
+        // have no partner
+        assert_eq!(rows[0].values, vec![Value::Long(2)]);
+    }
+
+    #[test]
+    fn join_cross_product_capped() {
+        let mut ex = executor("select COUNT(*) from bid, impression window 10 s");
+        let bids: Vec<Event> = (0..400).map(|i| ev(0, 7, 1_000 + i, vec![])).collect();
+        let imps: Vec<Event> = (0..400).map(|i| ev(1, 7, 1_000 + i, vec![])).collect();
+        ex.ingest(batch("h1", bids, 400, 400));
+        ex.ingest(batch("h2", imps, 400, 400));
+        let rows = ex.advance(60_000);
+        // 160k combos capped at 100k
+        assert_eq!(
+            rows[0].values,
+            vec![Value::Long(MAX_JOIN_ROWS_PER_REQUEST as i64)]
+        );
+        assert_eq!(
+            ex.join_rows_capped,
+            400 * 400 - MAX_JOIN_ROWS_PER_REQUEST as u64
+        );
+    }
+
+    #[test]
+    fn cross_type_residual_filters_joined_rows() {
+        let mut ex = executor(
+            "select COUNT(*) from bid, impression \
+             where bid.user_id = impression.line_item_id window 10 s",
+        );
+        ex.ingest(batch(
+            "h1",
+            vec![ev(0, 1, 1_000, vec![Value::Long(5)])],
+            1,
+            1,
+        ));
+        ex.ingest(batch(
+            "h2",
+            vec![
+                ev(1, 1, 1_100, vec![Value::Long(5)]),
+                ev(1, 1, 1_200, vec![Value::Long(6)]),
+            ],
+            2,
+            2,
+        ));
+        let rows = ex.advance(60_000);
+        assert_eq!(rows[0].values, vec![Value::Long(1)]);
+    }
+
+    #[test]
+    fn scaling_compensates_sampling() {
+        let spec = parse_query("select COUNT(*) from bid sample events 10% window 10 s").unwrap();
+        let mut cq = compile(&spec, &registry(), &ScrubConfig::default(), QueryId(9)).unwrap();
+        cq.central.host_info = HostSampleInfo {
+            matching: 1,
+            selected: 1,
+        };
+        let mut ex = QueryExecutor::new(cq.central, 0);
+        // host matched 1000 events, sampled 100
+        let events: Vec<Event> = (0..100).map(|i| ev(0, i, 1_000, vec![])).collect();
+        ex.ingest(batch("h1", events, 1000, 100));
+        let rows = ex.advance(60_000);
+        assert_eq!(rows[0].values, vec![Value::Double(1000.0)]);
+    }
+
+    #[test]
+    fn host_sampling_scale_up() {
+        let spec = parse_query("select COUNT(*) from bid window 10 s sample hosts 50%").unwrap();
+        let mut cq = compile(&spec, &registry(), &ScrubConfig::default(), QueryId(9)).unwrap();
+        cq.central.host_info = HostSampleInfo {
+            matching: 10,
+            selected: 5,
+        };
+        let mut ex = QueryExecutor::new(cq.central, 0);
+        for h in 0..5 {
+            let events: Vec<Event> = (0..10).map(|i| ev(0, h * 100 + i, 1_000, vec![])).collect();
+            ex.ingest(batch(&format!("h{h}"), events, 10, 10));
+        }
+        let rows = ex.advance(60_000);
+        // 50 observed, scaled ×2 for the unobserved half of the fleet
+        assert_eq!(rows[0].values, vec![Value::Double(100.0)]);
+    }
+
+    #[test]
+    fn summary_carries_totals_and_estimates() {
+        let spec =
+            parse_query("select SUM(bid.price) from bid sample events 50% window 10 s").unwrap();
+        let mut cq = compile(&spec, &registry(), &ScrubConfig::default(), QueryId(9)).unwrap();
+        cq.central.host_info = HostSampleInfo {
+            matching: 3,
+            selected: 3,
+        };
+        let mut ex = QueryExecutor::new(cq.central, 0);
+        for h in 0..3 {
+            let events: Vec<Event> = (0..50)
+                .map(|i| ev(0, i, 1_000, vec![Value::Double(2.0)]))
+                .collect();
+            ex.ingest(batch(&format!("h{h}"), events, 100, 50));
+        }
+        let (_rows, summary) = ex.finish();
+        assert_eq!(summary.hosts_reporting, 3);
+        assert_eq!(summary.total_matched, 300);
+        assert_eq!(summary.total_sampled, 150);
+        let est = summary.estimates[0].expect("SUM estimate present");
+        // each host: (100/50) * 50*2.0 = 200; N/n = 1 → 600
+        assert!((est.estimate - 600.0).abs() < 1e-9);
+        assert!(est.error_bound.is_finite());
+    }
+
+    #[test]
+    fn no_estimates_for_grouped_queries() {
+        let mut ex = executor(
+            "select bid.user_id, COUNT(*) from bid group by bid.user_id sample events 50%",
+        );
+        ex.ingest(batch("h1", vec![ev(0, 1, 0, vec![Value::Long(1)])], 2, 1));
+        let (_, summary) = ex.finish();
+        assert!(summary.estimates.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn unsampled_query_reports_exact_counts_no_scaling() {
+        let mut ex = executor("select COUNT(*) from bid window 10 s");
+        ex.ingest(batch(
+            "h1",
+            vec![ev(0, 1, 0, vec![]), ev(0, 2, 1, vec![])],
+            2,
+            2,
+        ));
+        let rows = ex.advance(60_000);
+        assert_eq!(rows[0].values, vec![Value::Long(2)]);
+    }
+
+    #[test]
+    fn avg_min_max_pipeline() {
+        let mut ex =
+            executor("select AVG(bid.price), MIN(bid.price), MAX(bid.price) from bid window 10 s");
+        let events = vec![
+            ev(0, 1, 0, vec![Value::Double(1.0)]),
+            ev(0, 2, 1, vec![Value::Double(3.0)]),
+            ev(0, 3, 2, vec![Value::Double(2.0)]),
+        ];
+        ex.ingest(batch("h1", events, 3, 3));
+        let rows = ex.advance(60_000);
+        assert_eq!(
+            rows[0].values,
+            vec![Value::Double(2.0), Value::Double(1.0), Value::Double(3.0)]
+        );
+    }
+
+    #[test]
+    fn foreign_event_types_ignored() {
+        let mut ex = executor("select COUNT(*) from bid window 10 s");
+        ex.ingest(batch("h1", vec![ev(55, 1, 0, vec![])], 1, 1));
+        assert!(ex.advance(60_000).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod sliding_tests {
+    use super::*;
+    use scrub_core::config::ScrubConfig;
+    use scrub_core::event::RequestId;
+    use scrub_core::plan::{compile, QueryId};
+    use scrub_core::ql::parser::parse_query;
+    use scrub_core::schema::{EventSchema, EventTypeId, FieldDef, FieldType, SchemaRegistry};
+
+    fn registry() -> SchemaRegistry {
+        let reg = SchemaRegistry::new();
+        reg.register(
+            EventSchema::new("bid", vec![FieldDef::new("user_id", FieldType::Long)]).unwrap(),
+        )
+        .unwrap();
+        reg
+    }
+
+    fn sliding_executor(src: &str) -> QueryExecutor {
+        let spec = parse_query(src).unwrap();
+        let cq = compile(&spec, &registry(), &ScrubConfig::default(), QueryId(3)).unwrap();
+        QueryExecutor::new(cq.central, 0)
+    }
+
+    fn one(ts: i64) -> EventBatch {
+        EventBatch {
+            query_id: QueryId(3),
+            type_id: EventTypeId(0),
+            host: "h".into(),
+            events: vec![Event::new(
+                EventTypeId(0),
+                RequestId(ts as u64),
+                ts,
+                vec![Value::Long(1)],
+            )],
+            matched: 1,
+            sampled: 1,
+            shed: 0,
+        }
+    }
+
+    #[test]
+    fn event_lands_in_every_covering_window() {
+        // window 10 s, slide 2 s: an event at t=9s covers starts 0,2,4,6,8
+        let mut ex = sliding_executor("select COUNT(*) from bid window 10 s slide 2 s");
+        ex.ingest(one(9_000));
+        let rows = ex.advance(120_000);
+        let starts: Vec<i64> = rows.iter().map(|r| r.window_start_ms).collect();
+        assert_eq!(starts, vec![0, 2_000, 4_000, 6_000, 8_000]);
+        assert!(rows.iter().all(|r| r.values == vec![Value::Long(1)]));
+    }
+
+    #[test]
+    fn sliding_counts_overlap_correctly() {
+        // events at 1s and 11s; window 10s slide 5s
+        // starts covering 1s: {-5s, 0s}; covering 11s: {5s, 10s}
+        let mut ex = sliding_executor("select COUNT(*) from bid window 10 s slide 5 s");
+        ex.ingest(one(1_000));
+        ex.ingest(one(11_000));
+        let rows = ex.advance(120_000);
+        let by_start: Vec<(i64, i64)> = rows
+            .iter()
+            .map(|r| (r.window_start_ms, r.values[0].as_i64().unwrap()))
+            .collect();
+        assert_eq!(by_start, vec![(-5_000, 1), (0, 1), (5_000, 1), (10_000, 1)]);
+    }
+
+    #[test]
+    fn tumbling_unchanged_by_slide_machinery() {
+        let mut ex = sliding_executor("select COUNT(*) from bid window 10 s");
+        ex.ingest(one(9_000));
+        ex.ingest(one(10_000));
+        let rows = ex.advance(120_000);
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].window_start_ms, 0);
+        assert_eq!(rows[1].window_start_ms, 10_000);
+    }
+
+    #[test]
+    fn windows_close_in_slide_order() {
+        let mut ex = sliding_executor("select COUNT(*) from bid window 10 s slide 5 s");
+        ex.ingest(one(7_000)); // covers starts 0 and 5s
+                               // at t=21s, window 0 (ends 10s) and window 5s (ends 15s) have closed
+        let rows = ex.advance(21_000);
+        assert_eq!(rows.len(), 2);
+        // a late event for start 0 is dropped, but start 15s+ still open
+        ex.ingest(one(9_000)); // covers 0 and 5s — both closed
+        assert_eq!(ex.late_events_dropped, 1);
+        ex.ingest(one(20_000)); // covers 15s and 20s — open
+        let rows = ex.advance(i64::MAX / 4);
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn slide_larger_than_window_rejected_at_planning() {
+        let spec = parse_query("select COUNT(*) from bid window 5 s slide 10 s").unwrap();
+        let err = compile(&spec, &registry(), &ScrubConfig::default(), QueryId(1)).unwrap_err();
+        assert!(err.to_string().contains("slide"));
+    }
+
+    #[test]
+    fn sliding_join_replicates_pairs() {
+        let reg = SchemaRegistry::new();
+        reg.register(EventSchema::new("a", vec![FieldDef::new("x", FieldType::Long)]).unwrap())
+            .unwrap();
+        reg.register(EventSchema::new("b", vec![FieldDef::new("y", FieldType::Long)]).unwrap())
+            .unwrap();
+        let spec = parse_query("select COUNT(*) from a, b window 10 s slide 5 s").unwrap();
+        let cq = compile(&spec, &reg, &ScrubConfig::default(), QueryId(4)).unwrap();
+        let mut ex = QueryExecutor::new(cq.central, 0);
+        let mk = |t: u32, ts: i64| EventBatch {
+            query_id: QueryId(4),
+            type_id: EventTypeId(t),
+            host: "h".into(),
+            events: vec![Event::new(EventTypeId(t), RequestId(7), ts, vec![])],
+            matched: 1,
+            sampled: 1,
+            shed: 0,
+        };
+        ex.ingest(mk(0, 6_000));
+        ex.ingest(mk(1, 7_000));
+        let rows = ex.advance(i64::MAX / 4);
+        // both events covered by windows starting at 0 and 5s -> the pair
+        // joins in both
+        let counts: Vec<(i64, i64)> = rows
+            .iter()
+            .map(|r| (r.window_start_ms, r.values[0].as_i64().unwrap()))
+            .collect();
+        assert_eq!(counts, vec![(0, 1), (5_000, 1)]);
+    }
+}
+
+#[cfg(test)]
+mod memory_tests {
+    use super::*;
+    use scrub_core::config::ScrubConfig;
+    use scrub_core::event::RequestId;
+    use scrub_core::plan::{compile, QueryId};
+    use scrub_core::ql::parser::parse_query;
+    use scrub_core::schema::{EventSchema, EventTypeId, FieldDef, FieldType, SchemaRegistry};
+
+    fn join_executor() -> QueryExecutor {
+        let reg = SchemaRegistry::new();
+        reg.register(EventSchema::new("a", vec![FieldDef::new("x", FieldType::Long)]).unwrap())
+            .unwrap();
+        reg.register(EventSchema::new("b", vec![]).unwrap())
+            .unwrap();
+        let spec = parse_query("select COUNT(*) from a, b window 10 s").unwrap();
+        let cq = compile(&spec, &reg, &ScrubConfig::default(), QueryId(1)).unwrap();
+        QueryExecutor::new(cq.central, 0)
+    }
+
+    #[test]
+    fn join_buffers_drain_when_windows_close() {
+        let mut ex = join_executor();
+        // stream events across 10 windows, advancing the watermark as we go
+        for w in 0..10i64 {
+            let ts = w * 10_000 + 500;
+            for i in 0..50u64 {
+                ex.ingest(EventBatch {
+                    query_id: QueryId(1),
+                    type_id: EventTypeId(0),
+                    host: "h1".into(),
+                    events: vec![Event::new(
+                        EventTypeId(0),
+                        RequestId(w as u64 * 100 + i),
+                        ts,
+                        vec![Value::Long(i as i64)],
+                    )],
+                    matched: 1,
+                    sampled: 1,
+                    shed: 0,
+                });
+            }
+            let _ = ex.advance(ts);
+            // memory stays bounded: only windows within grace remain
+            assert!(
+                ex.open_windows() <= 3,
+                "windows accumulating: {} at w={w}",
+                ex.open_windows()
+            );
+            assert!(ex.buffered_events() <= 3 * 50);
+        }
+        // closing everything leaves no residue
+        let _ = ex.advance(i64::MAX / 4);
+        assert_eq!(ex.open_windows(), 0);
+        assert_eq!(ex.buffered_events(), 0);
+    }
+
+    #[test]
+    fn eager_groups_drain_too() {
+        let reg = SchemaRegistry::new();
+        reg.register(EventSchema::new("a", vec![FieldDef::new("x", FieldType::Long)]).unwrap())
+            .unwrap();
+        let spec = parse_query("select a.x, COUNT(*) from a group by a.x window 10 s").unwrap();
+        let cq = compile(&spec, &reg, &ScrubConfig::default(), QueryId(1)).unwrap();
+        let mut ex = QueryExecutor::new(cq.central, 0);
+        for w in 0..5i64 {
+            let ts = w * 10_000 + 1;
+            ex.ingest(EventBatch {
+                query_id: QueryId(1),
+                type_id: EventTypeId(0),
+                host: "h1".into(),
+                events: (0..100)
+                    .map(|i| {
+                        Event::new(
+                            EventTypeId(0),
+                            RequestId(i),
+                            ts,
+                            vec![Value::Long(i as i64)],
+                        )
+                    })
+                    .collect(),
+                matched: 100,
+                sampled: 100,
+                shed: 0,
+            });
+            let _ = ex.advance(ts);
+            assert!(ex.open_groups() <= 3 * 100);
+        }
+        let _ = ex.advance(i64::MAX / 4);
+        assert_eq!(ex.open_groups(), 0);
+    }
+}

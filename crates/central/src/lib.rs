@@ -1,0 +1,18 @@
+//! # scrub-central
+//!
+//! ScrubCentral (§4): the dedicated centralized facility where everything
+//! expensive happens — tumbling-window management, the request-id
+//! equi-join, group-by, and exact + probabilistic aggregation — so that
+//! none of it runs on the hosts serving the application. Partitioned
+//! execution with mergeable aggregate states provides the scaling the
+//! paper's deployment gets from a small ScrubCentral cluster.
+
+pub mod agg;
+pub mod executor;
+pub mod partition;
+pub mod row;
+
+pub use agg::AggState;
+pub use executor::{QueryExecutor, WindowPartial, MAX_JOIN_ROWS_PER_REQUEST};
+pub use partition::PartitionedExecutor;
+pub use row::{QuerySummary, ResultRow};

@@ -1,0 +1,307 @@
+//! Partitioned execution inside ScrubCentral.
+//!
+//! A single query at Turn's scale can ingest events from thousands of
+//! hosts; ScrubCentral therefore shards a query's work across partitions.
+//! Events are routed by request id (so the equi-join stays partition-local)
+//! and each partition runs an independent [`QueryExecutor`]; when a window
+//! closes, per-partition *partial* aggregate states are merged by group key
+//! — every [`AggState`](crate::agg::AggState) is mergeable for exactly this
+//! reason.
+
+use std::collections::BTreeMap;
+
+use scrub_agent::EventBatch;
+use scrub_core::plan::{CentralPlan, OutputCol, OutputMode};
+use scrub_core::value::{GroupKey, Value};
+
+use crate::executor::{GroupState, QueryExecutor};
+use crate::row::{QuerySummary, ResultRow};
+
+/// Runs one query across `p` partitions and merges window results.
+pub struct PartitionedExecutor {
+    parts: Vec<QueryExecutor>,
+    plan: CentralPlan,
+}
+
+impl PartitionedExecutor {
+    /// Create with `partitions >= 1` shards.
+    pub fn new(plan: CentralPlan, grace_ms: i64, partitions: usize) -> Self {
+        let partitions = partitions.max(1);
+        let parts = (0..partitions)
+            .map(|_| QueryExecutor::new(plan.clone(), grace_ms))
+            .collect();
+        PartitionedExecutor { parts, plan }
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Route a batch's events to partitions by request id.
+    pub fn ingest(&mut self, batch: EventBatch) {
+        let p = self.parts.len() as u64;
+        if p == 1 {
+            self.parts[0].ingest(batch);
+            return;
+        }
+        // Split the batch, preserving the cumulative counters on every
+        // shard's copy (each partition needs the host totals for scaling;
+        // the merge step deduplicates by host so totals are not double
+        // counted — see merge_summaries).
+        let mut shards: Vec<Vec<scrub_core::event::Event>> =
+            (0..self.parts.len()).map(|_| Vec::new()).collect();
+        for ev in batch.events {
+            let shard = (mix(ev.request_id.0) % p) as usize;
+            shards[shard].push(ev);
+        }
+        for (i, events) in shards.into_iter().enumerate() {
+            self.parts[i].ingest(EventBatch {
+                query_id: batch.query_id,
+                type_id: batch.type_id,
+                host: batch.host.clone(),
+                events,
+                matched: batch.matched,
+                sampled: batch.sampled,
+                shed: batch.shed,
+            });
+        }
+    }
+
+    /// Emit stream rows and merge+render all windows closed by `now_ms`.
+    pub fn advance(&mut self, now_ms: i64) -> Vec<ResultRow> {
+        let mut out = Vec::new();
+        for part in &mut self.parts {
+            out.extend(part.advance_stream_only());
+        }
+        // Gather closed partials from each partition, keyed by window.
+        let mut by_window: BTreeMap<i64, Vec<(Vec<GroupKey>, GroupState)>> = BTreeMap::new();
+        for part in &mut self.parts {
+            for partial in part.take_closed_partials(now_ms) {
+                by_window
+                    .entry(partial.window_start_ms)
+                    .or_default()
+                    .extend(partial.groups);
+            }
+        }
+        let scale = self.parts[0].scale();
+        for (w, groups) in by_window {
+            out.extend(self.render_merged(w, groups, scale));
+        }
+        out
+    }
+
+    fn render_merged(
+        &self,
+        window_start_ms: i64,
+        groups: Vec<(Vec<GroupKey>, GroupState)>,
+        scale: f64,
+    ) -> Vec<ResultRow> {
+        let OutputMode::Aggregate { output, .. } = &self.plan.mode else {
+            return Vec::new();
+        };
+        // merge same-key groups from different partitions
+        let mut merged: BTreeMap<Vec<GroupKey>, GroupState> = BTreeMap::new();
+        for (key, state) in groups {
+            match merged.entry(key) {
+                std::collections::btree_map::Entry::Vacant(e) => {
+                    e.insert(state);
+                }
+                std::collections::btree_map::Entry::Occupied(mut e) => {
+                    let dst = e.get_mut();
+                    for (a, b) in dst.aggs.iter_mut().zip(&state.aggs) {
+                        a.merge(b);
+                    }
+                }
+            }
+        }
+        merged
+            .into_values()
+            .map(|g| {
+                let values: Vec<Value> = output
+                    .iter()
+                    .map(|col| match col {
+                        OutputCol::Group(i) => g.keys.get(*i).cloned().unwrap_or(Value::Null),
+                        OutputCol::Agg(i) => g.aggs[*i].finish(scale),
+                    })
+                    .collect();
+                ResultRow {
+                    query_id: self.plan.query_id,
+                    window_start_ms,
+                    values,
+                }
+            })
+            .collect()
+    }
+
+    /// Close everything; summaries are merged across partitions (host
+    /// totals are per-host cumulative and identical on every shard, so the
+    /// first partition's summary carries them).
+    pub fn finish(&mut self) -> (Vec<ResultRow>, QuerySummary) {
+        let rows = self.advance(i64::MAX / 4);
+        // Partition 0 saw every host's cumulative counters (batches are
+        // replicated header-wise), so its summary totals are authoritative.
+        let (_, summary) = self.parts[0].finish();
+        (rows, summary)
+    }
+}
+
+/// splitmix64-style mixer for request-id routing.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scrub_core::config::ScrubConfig;
+    use scrub_core::event::{Event, RequestId};
+    use scrub_core::plan::{compile, QueryId};
+    use scrub_core::ql::parser::parse_query;
+    use scrub_core::schema::{EventSchema, EventTypeId, FieldDef, FieldType, SchemaRegistry};
+
+    fn registry() -> SchemaRegistry {
+        let reg = SchemaRegistry::new();
+        reg.register(
+            EventSchema::new(
+                "bid",
+                vec![
+                    FieldDef::new("user_id", FieldType::Long),
+                    FieldDef::new("price", FieldType::Double),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        reg.register(
+            EventSchema::new("impression", vec![FieldDef::new("cost", FieldType::Double)]).unwrap(),
+        )
+        .unwrap();
+        reg
+    }
+
+    fn plan_for(src: &str) -> CentralPlan {
+        let spec = parse_query(src).unwrap();
+        compile(&spec, &registry(), &ScrubConfig::default(), QueryId(5))
+            .unwrap()
+            .central
+    }
+
+    fn ev(type_id: u32, rid: u64, ts: i64, values: Vec<Value>) -> Event {
+        Event::new(EventTypeId(type_id), RequestId(rid), ts, values)
+    }
+
+    fn feed(n: u64) -> EventBatch {
+        EventBatch {
+            query_id: QueryId(5),
+            type_id: EventTypeId(0),
+            host: "h1".into(),
+            events: (0..n)
+                .map(|i| ev(0, i, 1_000, vec![Value::Long((i % 7) as i64)]))
+                .collect(),
+            matched: n,
+            sampled: n,
+            shed: 0,
+        }
+    }
+
+    #[test]
+    fn partitioned_equals_single_for_grouped_count() {
+        let src = "select bid.user_id, COUNT(*) from bid group by bid.user_id window 10 s";
+        let mut single = PartitionedExecutor::new(plan_for(src), 0, 1);
+        let mut multi = PartitionedExecutor::new(plan_for(src), 0, 4);
+        single.ingest(feed(1000));
+        multi.ingest(feed(1000));
+        let mut a = single.advance(60_000);
+        let mut b = multi.advance(60_000);
+        let key = |r: &ResultRow| {
+            (
+                r.window_start_ms,
+                r.values.iter().map(Value::group_key).collect::<Vec<_>>(),
+            )
+        };
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 7);
+    }
+
+    #[test]
+    fn partitioned_join_counts_match_single() {
+        let src = "select COUNT(*) from bid, impression window 10 s";
+        let mut single = PartitionedExecutor::new(plan_for(src), 0, 1);
+        let mut multi = PartitionedExecutor::new(plan_for(src), 0, 8);
+        for exec in [&mut single, &mut multi] {
+            let bids: Vec<Event> = (0..200).map(|i| ev(0, i, 1_000, vec![])).collect();
+            let imps: Vec<Event> = (0..100).map(|i| ev(1, i * 2, 1_500, vec![])).collect();
+            exec.ingest(EventBatch {
+                query_id: QueryId(5),
+                type_id: EventTypeId(0),
+                host: "h1".into(),
+                events: bids,
+                matched: 200,
+                sampled: 200,
+                shed: 0,
+            });
+            exec.ingest(EventBatch {
+                query_id: QueryId(5),
+                type_id: EventTypeId(1),
+                host: "h2".into(),
+                events: imps,
+                matched: 100,
+                sampled: 100,
+                shed: 0,
+            });
+        }
+        let a = single.advance(60_000);
+        let b = multi.advance(60_000);
+        assert_eq!(a, b);
+        assert_eq!(a[0].values, vec![Value::Long(100)]);
+    }
+
+    #[test]
+    fn merged_avg_is_correct_not_average_of_averages() {
+        let src = "select AVG(bid.price) from bid window 10 s";
+        let mut multi = PartitionedExecutor::new(plan_for(src), 0, 4);
+        // values 1..=100; avg = 50.5 — merging naive per-partition
+        // averages unweighted would only coincide by luck; Welford merge is
+        // weighted and exact.
+        let events: Vec<Event> = (1..=100)
+            .map(|i| ev(0, i, 1_000, vec![Value::Double(i as f64)]))
+            .collect();
+        multi.ingest(EventBatch {
+            query_id: QueryId(5),
+            type_id: EventTypeId(0),
+            host: "h1".into(),
+            events,
+            matched: 100,
+            sampled: 100,
+            shed: 0,
+        });
+        let rows = multi.advance(60_000);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].values, vec![Value::Double(50.5)]);
+    }
+
+    #[test]
+    fn finish_summary_not_double_counted() {
+        let src = "select COUNT(*) from bid window 10 s";
+        let mut multi = PartitionedExecutor::new(plan_for(src), 0, 4);
+        multi.ingest(feed(100));
+        let (_rows, summary) = multi.finish();
+        assert_eq!(summary.total_matched, 100);
+        assert_eq!(summary.hosts_reporting, 1);
+    }
+
+    #[test]
+    fn stream_rows_pass_through() {
+        let src = "select bid.user_id from bid";
+        let mut multi = PartitionedExecutor::new(plan_for(src), 0, 4);
+        multi.ingest(feed(10));
+        let rows = multi.advance(60_000);
+        assert_eq!(rows.len(), 10);
+    }
+}

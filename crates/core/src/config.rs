@@ -1,0 +1,62 @@
+//! Deployment-wide configuration and defaults.
+
+use serde::{Deserialize, Serialize};
+
+/// Configuration knobs shared by the query server, agents and ScrubCentral.
+///
+/// Defaults follow the paper's deployment at Turn: 10-second tumbling
+/// windows in the case studies, query spans defaulting to minutes so a
+/// forgotten query cannot load the system forever (§3.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScrubConfig {
+    /// Default tumbling-window length when a query has no WINDOW clause.
+    pub default_window_ms: i64,
+    /// Default query duration when no DURATION clause is given.
+    pub default_duration_ms: i64,
+    /// Hard cap on query duration; longer requests are clamped.
+    pub max_duration_ms: i64,
+    /// Maximum number of event types a single query may join.
+    pub max_join_types: usize,
+    /// Agent: flush a query's output batch when it reaches this many events.
+    pub agent_batch_events: usize,
+    /// Agent: flush at least this often (ms) even if the batch is small.
+    pub agent_flush_interval_ms: i64,
+    /// Agent: per-query budget of matched events per second before load
+    /// shedding kicks in (accuracy traded for host impact, §2).
+    pub agent_events_per_sec_budget: u64,
+    /// Central: number of parallel partitions for executing a query.
+    pub central_partitions: usize,
+    /// Central: extra time after a window closes before it is finalized,
+    /// to absorb host->central delivery skew (ms).
+    pub window_grace_ms: i64,
+}
+
+impl Default for ScrubConfig {
+    fn default() -> Self {
+        ScrubConfig {
+            default_window_ms: 10_000,
+            default_duration_ms: 10 * 60_000,
+            max_duration_ms: 24 * 3_600_000,
+            max_join_types: 4,
+            agent_batch_events: 256,
+            agent_flush_interval_ms: 1_000,
+            agent_events_per_sec_budget: 50_000,
+            central_partitions: 1,
+            window_grace_ms: 2_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ScrubConfig::default();
+        assert_eq!(c.default_window_ms, 10_000);
+        assert!(c.default_duration_ms < c.max_duration_ms);
+        assert!(c.agent_batch_events > 0);
+        assert!(c.central_partitions >= 1);
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type shared across the Scrub stack.
+
+use std::fmt;
+
+/// Errors produced by the Scrub library.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScrubError {
+    /// Event-type / schema definition problem.
+    Schema(String),
+    /// Lexical error in a ScrubQL query.
+    Lex { pos: usize, msg: String },
+    /// Syntax error in a ScrubQL query.
+    Parse { pos: usize, msg: String },
+    /// Semantic/type error found during query validation.
+    Validate(String),
+    /// The query uses a construct Scrub deliberately excludes (§2/§3), e.g.
+    /// a non-equi-join or a join on something other than the request id.
+    Unsupported(String),
+    /// Wire-format decode failure.
+    Decode(String),
+    /// Query lifecycle error (unknown id, already stopped, ...).
+    Lifecycle(String),
+    /// Target clause resolved to no hosts, or referenced unknown services.
+    Target(String),
+    /// Transport/simulation failure.
+    Transport(String),
+}
+
+impl fmt::Display for ScrubError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScrubError::Schema(m) => write!(f, "schema error: {m}"),
+            ScrubError::Lex { pos, msg } => write!(f, "lex error at byte {pos}: {msg}"),
+            ScrubError::Parse { pos, msg } => write!(f, "parse error at byte {pos}: {msg}"),
+            ScrubError::Validate(m) => write!(f, "validation error: {m}"),
+            ScrubError::Unsupported(m) => write!(f, "unsupported construct: {m}"),
+            ScrubError::Decode(m) => write!(f, "decode error: {m}"),
+            ScrubError::Lifecycle(m) => write!(f, "query lifecycle error: {m}"),
+            ScrubError::Target(m) => write!(f, "target resolution error: {m}"),
+            ScrubError::Transport(m) => write!(f, "transport error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ScrubError {}
+
+/// Convenience alias used throughout the workspace.
+pub type ScrubResult<T> = Result<T, ScrubError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            ScrubError::Schema("bad".into()).to_string(),
+            "schema error: bad"
+        );
+        assert_eq!(
+            ScrubError::Parse {
+                pos: 3,
+                msg: "oops".into()
+            }
+            .to_string(),
+            "parse error at byte 3: oops"
+        );
+        let e: Box<dyn std::error::Error> = Box::new(ScrubError::Validate("v".into()));
+        assert!(e.to_string().contains("v"));
+    }
+}

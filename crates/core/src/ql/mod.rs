@@ -1,0 +1,6 @@
+//! The ScrubQL query language: lexer, AST, and parser (§3.2).
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod printer;

@@ -1,0 +1,408 @@
+//! Event type definitions and the schema registry.
+//!
+//! §3.1: "The definition of an event takes two arguments: the event type (a
+//! string label), and a list of fields and their data types." The paper uses
+//! Java annotations (`@ScrubType`, `@ScrubField`); in Rust the
+//! [`scrub_event!`](crate::scrub_event) macro plays that role, expanding to a
+//! [`EventSchema`] plus a typed emitter struct.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+
+use crate::error::{ScrubError, ScrubResult};
+use crate::value::Value;
+
+/// Static type of an event field (§3.1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FieldType {
+    /// `boolean`
+    Bool,
+    /// `int`
+    Int,
+    /// `long`
+    Long,
+    /// `float`
+    Float,
+    /// `double`
+    Double,
+    /// `date/time`
+    DateTime,
+    /// `string`
+    Str,
+    /// Homogeneous list of a primitive type.
+    List(Box<FieldType>),
+    /// Nested object (schema-less, e.g. XML-encoded sub-record).
+    Nested,
+}
+
+impl FieldType {
+    /// True if the type is one of the numeric primitives.
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self,
+            FieldType::Int | FieldType::Long | FieldType::Float | FieldType::Double
+        )
+    }
+
+    /// True if a runtime [`Value`] inhabits this static type.
+    ///
+    /// `Null` inhabits every type (fields may be absent).
+    pub fn admits(&self, v: &Value) -> bool {
+        match (self, v) {
+            (_, Value::Null) => true,
+            (FieldType::Bool, Value::Bool(_)) => true,
+            (FieldType::Int, Value::Int(_)) => true,
+            (FieldType::Long, Value::Long(_)) => true,
+            // widening int -> long is fine
+            (FieldType::Long, Value::Int(_)) => true,
+            (FieldType::Float, Value::Float(_)) => true,
+            (FieldType::Double, Value::Double(_)) => true,
+            (FieldType::Double, Value::Float(_)) => true,
+            (FieldType::DateTime, Value::DateTime(_)) => true,
+            (FieldType::DateTime, Value::Long(_)) => true,
+            (FieldType::Str, Value::Str(_)) => true,
+            (FieldType::List(inner), Value::List(vs)) => vs.iter().all(|v| inner.admits(v)),
+            (FieldType::Nested, Value::Nested(_)) => true,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for FieldType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldType::Bool => write!(f, "boolean"),
+            FieldType::Int => write!(f, "int"),
+            FieldType::Long => write!(f, "long"),
+            FieldType::Float => write!(f, "float"),
+            FieldType::Double => write!(f, "double"),
+            FieldType::DateTime => write!(f, "datetime"),
+            FieldType::Str => write!(f, "string"),
+            FieldType::List(inner) => write!(f, "list<{inner}>"),
+            FieldType::Nested => write!(f, "nested"),
+        }
+    }
+}
+
+/// A single field declaration: name + static type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FieldDef {
+    /// Field name, unique within the event type.
+    pub name: String,
+    /// Static type of the field.
+    pub ty: FieldType,
+}
+
+impl FieldDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ty: FieldType) -> Self {
+        FieldDef {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// Numeric identifier assigned to an event type on registration.
+///
+/// Hot paths (the host tap, wire encoding) use the id; the query language
+/// uses the string label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EventTypeId(pub u32);
+
+impl fmt::Display for EventTypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ety#{}", self.0)
+    }
+}
+
+/// The schema of one event type: its label and ordered field declarations.
+///
+/// In addition to the user fields below, every concrete event carries the two
+/// *system fields* of §3.1 — a unique request identifier and a timestamp —
+/// which exist on [`Event`](crate::event::Event) itself rather than in the
+/// tuple. They are addressable in queries as `request_id` and `timestamp`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventSchema {
+    /// String label of the event type (e.g. `"bid"`).
+    pub name: String,
+    /// Ordered user-defined fields.
+    pub fields: Vec<FieldDef>,
+}
+
+/// Name of the system-provided request identifier pseudo-field.
+pub const SYS_REQUEST_ID: &str = "request_id";
+/// Name of the system-provided timestamp pseudo-field.
+pub const SYS_TIMESTAMP: &str = "timestamp";
+
+impl EventSchema {
+    /// Create a schema from a label and field list.
+    ///
+    /// Returns an error on duplicate field names or a field shadowing a
+    /// system field name.
+    pub fn new(name: impl Into<String>, fields: Vec<FieldDef>) -> ScrubResult<Self> {
+        let name = name.into();
+        let mut seen = std::collections::HashSet::new();
+        for f in &fields {
+            if f.name == SYS_REQUEST_ID || f.name == SYS_TIMESTAMP {
+                return Err(ScrubError::Schema(format!(
+                    "event type {name:?}: field {:?} shadows a system field",
+                    f.name
+                )));
+            }
+            if !seen.insert(f.name.as_str()) {
+                return Err(ScrubError::Schema(format!(
+                    "event type {name:?}: duplicate field {:?}",
+                    f.name
+                )));
+            }
+        }
+        Ok(EventSchema { name, fields })
+    }
+
+    /// Index of a user field by name.
+    pub fn field_index(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Field definition by name.
+    pub fn field(&self, name: &str) -> Option<&FieldDef> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Static type of a field, *including* the system pseudo-fields
+    /// (`request_id` is a `long`, `timestamp` is a `datetime`).
+    pub fn field_type(&self, name: &str) -> Option<FieldType> {
+        match name {
+            SYS_REQUEST_ID => Some(FieldType::Long),
+            SYS_TIMESTAMP => Some(FieldType::DateTime),
+            _ => self.field(name).map(|f| f.ty.clone()),
+        }
+    }
+
+    /// Number of user fields.
+    pub fn arity(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Validate that a tuple of values inhabits this schema.
+    pub fn check_tuple(&self, values: &[Value]) -> ScrubResult<()> {
+        if values.len() != self.fields.len() {
+            return Err(ScrubError::Schema(format!(
+                "event type {:?}: expected {} fields, got {}",
+                self.name,
+                self.fields.len(),
+                values.len()
+            )));
+        }
+        for (f, v) in self.fields.iter().zip(values) {
+            if !f.ty.admits(v) {
+                return Err(ScrubError::Schema(format!(
+                    "event type {:?}: field {:?} expects {}, got {} ({v})",
+                    self.name,
+                    f.name,
+                    f.ty,
+                    v.type_name()
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Thread-safe registry mapping event type labels to schemas and ids.
+///
+/// One registry is shared by the application (which registers types at
+/// startup — Scrub deliberately avoids dynamic instrumentation, §5/§6), the
+/// query server (which validates queries against it) and ScrubCentral.
+#[derive(Debug, Default)]
+pub struct SchemaRegistry {
+    inner: RwLock<RegistryInner>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    schemas: Vec<Arc<EventSchema>>,
+    by_name: HashMap<String, EventTypeId>,
+}
+
+impl SchemaRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register an event type; returns its id.
+    ///
+    /// Re-registering an identical schema is idempotent; registering a
+    /// *different* schema under an existing name is an error (the paper's
+    /// deployments roll schemas forward with new type labels).
+    pub fn register(&self, schema: EventSchema) -> ScrubResult<EventTypeId> {
+        let mut inner = self.inner.write();
+        if let Some(&id) = inner.by_name.get(&schema.name) {
+            let existing = &inner.schemas[id.0 as usize];
+            if **existing == schema {
+                return Ok(id);
+            }
+            return Err(ScrubError::Schema(format!(
+                "event type {:?} already registered with a different schema",
+                schema.name
+            )));
+        }
+        let id = EventTypeId(inner.schemas.len() as u32);
+        inner.by_name.insert(schema.name.clone(), id);
+        inner.schemas.push(Arc::new(schema));
+        Ok(id)
+    }
+
+    /// Look up a schema by id.
+    pub fn schema(&self, id: EventTypeId) -> Option<Arc<EventSchema>> {
+        self.inner.read().schemas.get(id.0 as usize).cloned()
+    }
+
+    /// Look up an event type id by label.
+    pub fn id_of(&self, name: &str) -> Option<EventTypeId> {
+        self.inner.read().by_name.get(name).copied()
+    }
+
+    /// Look up a schema by label.
+    pub fn schema_by_name(&self, name: &str) -> Option<(EventTypeId, Arc<EventSchema>)> {
+        let inner = self.inner.read();
+        let id = *inner.by_name.get(name)?;
+        Some((id, inner.schemas[id.0 as usize].clone()))
+    }
+
+    /// Number of registered event types.
+    pub fn len(&self) -> usize {
+        self.inner.read().schemas.len()
+    }
+
+    /// True if no event types are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Labels of all registered event types, in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.inner
+            .read()
+            .schemas
+            .iter()
+            .map(|s| s.name.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bid_schema() -> EventSchema {
+        EventSchema::new(
+            "bid",
+            vec![
+                FieldDef::new("exchange_id", FieldType::Long),
+                FieldDef::new("city", FieldType::Str),
+                FieldDef::new("bid_price", FieldType::Double),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let reg = SchemaRegistry::new();
+        let id = reg.register(bid_schema()).unwrap();
+        assert_eq!(reg.id_of("bid"), Some(id));
+        let s = reg.schema(id).unwrap();
+        assert_eq!(s.name, "bid");
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.field_index("city"), Some(1));
+        assert!(reg.schema_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn idempotent_reregistration() {
+        let reg = SchemaRegistry::new();
+        let a = reg.register(bid_schema()).unwrap();
+        let b = reg.register(bid_schema()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn conflicting_reregistration_fails() {
+        let reg = SchemaRegistry::new();
+        reg.register(bid_schema()).unwrap();
+        let other = EventSchema::new("bid", vec![FieldDef::new("x", FieldType::Int)]).unwrap();
+        assert!(reg.register(other).is_err());
+    }
+
+    #[test]
+    fn duplicate_fields_rejected() {
+        let r = EventSchema::new(
+            "e",
+            vec![
+                FieldDef::new("a", FieldType::Int),
+                FieldDef::new("a", FieldType::Long),
+            ],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn system_field_shadowing_rejected() {
+        assert!(EventSchema::new("e", vec![FieldDef::new("request_id", FieldType::Long)]).is_err());
+        assert!(EventSchema::new("e", vec![FieldDef::new("timestamp", FieldType::Long)]).is_err());
+    }
+
+    #[test]
+    fn system_pseudo_field_types() {
+        let s = bid_schema();
+        assert_eq!(s.field_type("request_id"), Some(FieldType::Long));
+        assert_eq!(s.field_type("timestamp"), Some(FieldType::DateTime));
+        assert_eq!(s.field_type("bid_price"), Some(FieldType::Double));
+        assert_eq!(s.field_type("nope"), None);
+    }
+
+    #[test]
+    fn type_admission() {
+        assert!(FieldType::Long.admits(&Value::Int(3)));
+        assert!(FieldType::Double.admits(&Value::Float(3.0)));
+        assert!(!FieldType::Int.admits(&Value::Long(3)));
+        assert!(FieldType::Str.admits(&Value::Null));
+        assert!(FieldType::List(Box::new(FieldType::Int))
+            .admits(&Value::List(vec![Value::Int(1), Value::Int(2)])));
+        assert!(!FieldType::List(Box::new(FieldType::Int))
+            .admits(&Value::List(vec![Value::Str("x".into())])));
+        assert!(FieldType::DateTime.admits(&Value::Long(5)));
+    }
+
+    #[test]
+    fn tuple_checking() {
+        let s = bid_schema();
+        assert!(s
+            .check_tuple(&[Value::Long(1), Value::Str("sj".into()), Value::Double(0.5)])
+            .is_ok());
+        assert!(s.check_tuple(&[Value::Long(1)]).is_err());
+        assert!(s
+            .check_tuple(&[
+                Value::Str("x".into()),
+                Value::Str("sj".into()),
+                Value::Double(0.5)
+            ])
+            .is_err());
+    }
+
+    #[test]
+    fn numeric_types() {
+        assert!(FieldType::Int.is_numeric());
+        assert!(FieldType::Double.is_numeric());
+        assert!(!FieldType::Str.is_numeric());
+        assert!(!FieldType::DateTime.is_numeric());
+    }
+}

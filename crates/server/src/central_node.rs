@@ -1,0 +1,121 @@
+//! ScrubCentral as a simulated node: hosts one [`PartitionedExecutor`] per
+//! active query, advances watermarks on a timer, and streams finished rows
+//! to the query server.
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+
+use scrub_central::PartitionedExecutor;
+use scrub_core::config::ScrubConfig;
+use scrub_core::plan::QueryId;
+use scrub_simnet::{Context, Node, NodeId, SimDuration};
+
+use crate::msg::{ScrubEnvelope, ScrubMsg, TIMER_CENTRAL_ADVANCE};
+
+/// The centralized execution facility (one node; the paper runs a small
+/// cluster — partitions model its parallelism).
+pub struct CentralNode<E: ScrubEnvelope> {
+    config: ScrubConfig,
+    server: Option<NodeId>,
+    executors: HashMap<QueryId, PartitionedExecutor>,
+    /// Events ingested across all queries (for throughput accounting).
+    pub events_ingested: u64,
+    /// Batches received.
+    pub batches_received: u64,
+    _marker: PhantomData<fn(E)>,
+}
+
+impl<E: ScrubEnvelope> CentralNode<E> {
+    /// Create a central node; `server` is learned from the first
+    /// `CentralInstall` sender if not preset.
+    pub fn new(config: ScrubConfig) -> Self {
+        CentralNode {
+            config,
+            server: None,
+            executors: HashMap::new(),
+            events_ingested: 0,
+            batches_received: 0,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of active queries.
+    pub fn active_queries(&self) -> usize {
+        self.executors.len()
+    }
+
+    fn advance_interval(&self) -> SimDuration {
+        // advance watermarks a few times per window
+        SimDuration::from_ms((self.config.default_window_ms / 4).max(100))
+    }
+
+    fn flush_rows(&mut self, ctx: &mut Context<'_, E>, now_ms: i64) {
+        let Some(server) = self.server else {
+            return;
+        };
+        for exec in self.executors.values_mut() {
+            let rows = exec.advance(now_ms);
+            if !rows.is_empty() {
+                ctx.send(server, E::wrap(ScrubMsg::Rows { rows }));
+            }
+        }
+    }
+}
+
+impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
+    fn on_start(&mut self, ctx: &mut Context<'_, E>) {
+        ctx.set_timer(self.advance_interval(), TIMER_CENTRAL_ADVANCE);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, E>, from: NodeId, msg: E) {
+        let Ok(scrub) = msg.open() else {
+            return; // not a scrub message; central ignores app traffic
+        };
+        match scrub {
+            ScrubMsg::CentralInstall { plan } => {
+                self.server = Some(from);
+                let qid = plan.query_id;
+                let exec = PartitionedExecutor::new(
+                    plan,
+                    self.config.window_grace_ms,
+                    self.config.central_partitions,
+                );
+                self.executors.insert(qid, exec);
+            }
+            ScrubMsg::CentralStop { query_id } => {
+                if let Some(mut exec) = self.executors.remove(&query_id) {
+                    let (rows, summary) = exec.finish();
+                    if let Some(server) = self.server {
+                        if !rows.is_empty() {
+                            ctx.send(server, E::wrap(ScrubMsg::Rows { rows }));
+                        }
+                        ctx.send(server, E::wrap(ScrubMsg::Summary { summary }));
+                    }
+                }
+            }
+            ScrubMsg::Batch(batch) => {
+                self.batches_received += 1;
+                self.events_ingested += batch.events.len() as u64;
+                if let Some(exec) = self.executors.get_mut(&batch.query_id) {
+                    exec.ingest(batch);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, E>, timer: u64) {
+        if timer == TIMER_CENTRAL_ADVANCE {
+            let now_ms = ctx.now.as_ms();
+            self.flush_rows(ctx, now_ms);
+            ctx.set_timer(self.advance_interval(), TIMER_CENTRAL_ADVANCE);
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,188 @@
+//! Deployment helper: wires a ScrubCentral node and a query-server node
+//! into an existing simulated cluster of application hosts.
+
+use std::sync::Arc;
+
+use scrub_core::config::ScrubConfig;
+use scrub_core::plan::QueryId;
+use scrub_core::schema::SchemaRegistry;
+use scrub_core::target::HostInfo;
+use scrub_simnet::{NodeId, NodeMeta, Sim};
+
+use crate::central_node::CentralNode;
+use crate::msg::{ScrubEnvelope, ScrubMsg};
+use crate::server_node::{QueryRecord, QueryServerNode};
+
+/// Service name of the ScrubCentral node (excluded from target
+/// resolution: queries never run on Scrub's own machines).
+pub const SCRUB_CENTRAL_SERVICE: &str = "ScrubCentral";
+/// Service name of the query-server node.
+pub const SCRUB_SERVER_SERVICE: &str = "ScrubQueryServer";
+
+/// Handles to a deployed Scrub instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ScrubDeployment {
+    /// The query-server node.
+    pub server: NodeId,
+    /// The ScrubCentral node.
+    pub central: NodeId,
+}
+
+/// Build the application-host inventory from the simulation's node
+/// metadata, excluding Scrub's own services.
+pub fn inventory_from_sim<E: ScrubEnvelope>(sim: &Sim<E>) -> Vec<(NodeId, HostInfo)> {
+    sim.metas()
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.service != SCRUB_CENTRAL_SERVICE && m.service != SCRUB_SERVER_SERVICE)
+        .map(|(i, m)| {
+            (
+                NodeId(i as u32),
+                HostInfo::new(m.name.clone(), m.service.clone(), m.dc.clone()),
+            )
+        })
+        .collect()
+}
+
+/// Add the ScrubCentral node. Call this *before* creating application
+/// hosts so their agent harnesses know where to ship batches.
+pub fn deploy_central<E: ScrubEnvelope>(
+    sim: &mut Sim<E>,
+    config: ScrubConfig,
+    central_dc: &str,
+) -> NodeId {
+    sim.add_node(
+        NodeMeta::new("scrub-central", SCRUB_CENTRAL_SERVICE, central_dc),
+        Box::new(CentralNode::<E>::new(config)),
+    )
+}
+
+/// Add a ScrubCentral *cluster* of `n` nodes (the paper's deployment runs
+/// a small cluster). Pair with [`deploy_server_clustered`].
+pub fn deploy_central_cluster<E: ScrubEnvelope>(
+    sim: &mut Sim<E>,
+    config: ScrubConfig,
+    central_dc: &str,
+    n: usize,
+) -> Vec<NodeId> {
+    (0..n.max(1))
+        .map(|i| {
+            sim.add_node(
+                NodeMeta::new(
+                    format!("scrub-central-{i}"),
+                    SCRUB_CENTRAL_SERVICE,
+                    central_dc,
+                ),
+                Box::new(CentralNode::<E>::new(config.clone())),
+            )
+        })
+        .collect()
+}
+
+/// Add the query server. Call this *after* the application hosts exist —
+/// it snapshots the host inventory for target resolution.
+pub fn deploy_server<E: ScrubEnvelope>(
+    sim: &mut Sim<E>,
+    schema_registry: Arc<SchemaRegistry>,
+    config: ScrubConfig,
+    central: NodeId,
+    server_dc: &str,
+) -> ScrubDeployment {
+    let inventory = inventory_from_sim(sim);
+    let server = sim.add_node(
+        NodeMeta::new("scrub-server", SCRUB_SERVER_SERVICE, server_dc),
+        Box::new(QueryServerNode::<E>::new(
+            schema_registry,
+            config,
+            central,
+            inventory,
+        )),
+    );
+    ScrubDeployment { server, central }
+}
+
+/// Submit a ScrubQL query and run the simulation just far enough for the
+/// server to admit (or reject) it; returns the id it received. Check
+/// [`results`] for existence — a rejected query leaves no record.
+pub fn submit_query<E: ScrubEnvelope>(sim: &mut Sim<E>, d: &ScrubDeployment, src: &str) -> QueryId {
+    let observe = |sim: &Sim<E>| {
+        let node = sim
+            .node_as::<QueryServerNode<E>>(d.server)
+            .expect("server node");
+        (node.peek_next_qid(), node.rejected.len())
+    };
+    let (next, rejected_before) = observe(sim);
+    sim.inject(
+        d.server,
+        d.server,
+        E::wrap(ScrubMsg::Submit {
+            src: src.to_string(),
+        }),
+    );
+    // Step until the submission is processed so sequential submissions get
+    // sequential ids.
+    for _ in 0..100_000 {
+        let (qid_now, rejected_now) = observe(sim);
+        if qid_now != next || rejected_now != rejected_before {
+            break;
+        }
+        if !sim.step() {
+            break;
+        }
+    }
+    QueryId(next)
+}
+
+/// Add the query server over a ScrubCentral cluster. Call after the
+/// application hosts exist.
+pub fn deploy_server_clustered<E: ScrubEnvelope>(
+    sim: &mut Sim<E>,
+    schema_registry: Arc<SchemaRegistry>,
+    config: ScrubConfig,
+    centrals: Vec<NodeId>,
+    server_dc: &str,
+) -> ScrubDeployment {
+    let inventory = inventory_from_sim(sim);
+    let first_central = centrals[0];
+    let server = sim.add_node(
+        NodeMeta::new("scrub-server", SCRUB_SERVER_SERVICE, server_dc),
+        Box::new(QueryServerNode::<E>::with_centrals(
+            schema_registry,
+            config,
+            centrals,
+            inventory,
+        )),
+    );
+    ScrubDeployment {
+        server,
+        central: first_central,
+    }
+}
+
+/// Cancel a running (or scheduled) query before its span elapses.
+pub fn cancel_query<E: ScrubEnvelope>(sim: &mut Sim<E>, d: &ScrubDeployment, qid: QueryId) {
+    sim.inject(
+        d.server,
+        d.server,
+        E::wrap(ScrubMsg::Cancel { query_id: qid }),
+    );
+}
+
+/// Fetch a query's record (rows, summary, state) from the server node.
+pub fn results<'a, E: ScrubEnvelope>(
+    sim: &'a Sim<E>,
+    d: &ScrubDeployment,
+    qid: QueryId,
+) -> Option<&'a QueryRecord> {
+    sim.node_as::<QueryServerNode<E>>(d.server)?.record(qid)
+}
+
+/// Rejection reasons recorded by the server (submission order).
+pub fn rejections<'a, E: ScrubEnvelope>(
+    sim: &'a Sim<E>,
+    d: &ScrubDeployment,
+) -> &'a [(String, String)] {
+    &sim.node_as::<QueryServerNode<E>>(d.server)
+        .expect("server node")
+        .rejected
+}

@@ -1,0 +1,99 @@
+//! Agent harness: embeds a [`ScrubAgent`] into an application's simulated
+//! node, handling Scrub control messages and periodic batch shipment so
+//! the application code only calls `agent().log(...)` at its event sites.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use scrub_agent::ScrubAgent;
+use scrub_core::config::ScrubConfig;
+use scrub_core::plan::QueryId;
+use scrub_simnet::{Context, NodeId, SimDuration};
+
+use crate::msg::{ScrubEnvelope, ScrubMsg, TIMER_AGENT_FLUSH};
+
+/// Embeds Scrub's host-side machinery in an application node.
+pub struct AgentHarness {
+    agent: Arc<ScrubAgent>,
+    /// Default central (used if a query object arrives without routing —
+    /// single-central deployments).
+    central: NodeId,
+    /// Per-query ScrubCentral destination (cluster deployments spread
+    /// queries across centrals).
+    query_central: HashMap<QueryId, NodeId>,
+    flush_interval: SimDuration,
+}
+
+impl AgentHarness {
+    /// Create a harness shipping batches to `central`.
+    pub fn new(host: impl Into<String>, config: ScrubConfig, central: NodeId) -> Self {
+        let flush_interval = SimDuration::from_ms(config.agent_flush_interval_ms.max(1));
+        AgentHarness {
+            agent: Arc::new(ScrubAgent::new(host, config)),
+            central,
+            query_central: HashMap::new(),
+            flush_interval,
+        }
+    }
+
+    fn central_for(&self, qid: QueryId) -> NodeId {
+        self.query_central
+            .get(&qid)
+            .copied()
+            .unwrap_or(self.central)
+    }
+
+    /// The embedded agent (the application's tap).
+    pub fn agent(&self) -> &Arc<ScrubAgent> {
+        &self.agent
+    }
+
+    /// Call from the node's `on_start`: arms the periodic flush timer.
+    pub fn start<E: ScrubEnvelope>(&mut self, ctx: &mut Context<'_, E>) {
+        ctx.set_timer(self.flush_interval, TIMER_AGENT_FLUSH);
+    }
+
+    /// Call from the node's `on_message` *before* application handling.
+    /// Returns `true` when the message was a Scrub message and is consumed.
+    pub fn on_message<E: ScrubEnvelope>(
+        &mut self,
+        ctx: &mut Context<'_, E>,
+        msg: E,
+    ) -> Result<(), E> {
+        let scrub = msg.open()?;
+        match scrub {
+            ScrubMsg::InstallQuery { plans, central } => {
+                for p in plans {
+                    self.query_central.insert(p.query_id, central);
+                    // install failures (duplicates) are control-plane bugs;
+                    // the agent stays consistent either way
+                    let _ = self.agent.install(p);
+                }
+            }
+            ScrubMsg::StopQuery { query_id } => {
+                let tail = self.agent.remove(query_id, ctx.now.as_ms());
+                let dest = self.central_for(query_id);
+                self.query_central.remove(&query_id);
+                for b in tail {
+                    ctx.send(dest, E::wrap(ScrubMsg::Batch(b)));
+                }
+            }
+            _ => { /* other scrub messages are not addressed to hosts */ }
+        }
+        Ok(())
+    }
+
+    /// Call from the node's `on_timer`. Returns `true` when the timer was
+    /// the harness's flush timer and is consumed.
+    pub fn on_timer<E: ScrubEnvelope>(&mut self, ctx: &mut Context<'_, E>, timer: u64) -> bool {
+        if timer != TIMER_AGENT_FLUSH {
+            return false;
+        }
+        for b in self.agent.take_batches(ctx.now.as_ms()) {
+            let dest = self.central_for(b.query_id);
+            ctx.send(dest, E::wrap(ScrubMsg::Batch(b)));
+        }
+        ctx.set_timer(self.flush_interval, TIMER_AGENT_FLUSH);
+        true
+    }
+}

@@ -1,0 +1,316 @@
+//! The Scrub query server (Figure 3): parses and validates queries,
+//! assigns query ids, resolves the `@[...]` target clause against the
+//! service registry, applies host sampling, dispatches query objects to
+//! hosts and ScrubCentral, enforces the query span, and collects results.
+
+use std::collections::HashMap;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+use scrub_central::{QuerySummary, ResultRow};
+use scrub_core::config::ScrubConfig;
+use scrub_core::error::ScrubResult;
+use scrub_core::plan::{compile, CompiledQuery, HostSampleInfo, QueryId};
+use scrub_core::ql::ast::StartSpec;
+use scrub_core::ql::parser::parse_query;
+use scrub_core::schema::SchemaRegistry;
+use scrub_core::target::{sample_indices, HostInfo};
+use scrub_simnet::{Context, Node, NodeId, SimDuration};
+
+use crate::msg::{
+    decode_query_timer, timer_query_drain, timer_query_start, timer_query_stop, QueryTimerKind,
+    ScrubEnvelope, ScrubMsg,
+};
+
+/// Lifecycle of a submitted query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryState {
+    /// Accepted, waiting for its start time.
+    Scheduled,
+    /// Query objects dispatched; data flowing.
+    Running,
+    /// Hosts stopped; waiting for ScrubCentral to drain.
+    Draining,
+    /// Summary received; results complete.
+    Done,
+}
+
+/// Everything the server knows about one query.
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    /// Original source text.
+    pub src: String,
+    /// The compiled query (host plans + central plan).
+    pub compiled: CompiledQuery,
+    /// Hosts selected to run the query (after target resolution and host
+    /// sampling).
+    pub hosts: Vec<NodeId>,
+    /// Hosts matching the target clause before sampling.
+    pub matching_hosts: usize,
+    /// Lifecycle state.
+    pub state: QueryState,
+    /// Result rows received so far.
+    pub rows: Vec<ResultRow>,
+    /// End-of-query summary, once received.
+    pub summary: Option<QuerySummary>,
+    /// Virtual time (ms) the first result rows arrived — the query's
+    /// time-to-first-answer.
+    pub first_rows_at_ms: Option<i64>,
+    /// Who submitted (gets Accepted/Rejected notifications).
+    pub client: NodeId,
+}
+
+/// The query-server node.
+pub struct QueryServerNode<E: ScrubEnvelope> {
+    schema_registry: Arc<SchemaRegistry>,
+    config: ScrubConfig,
+    /// The ScrubCentral cluster; queries are spread round-robin.
+    centrals: Vec<NodeId>,
+    /// Application hosts (node id + target attributes).
+    inventory: Vec<(NodeId, HostInfo)>,
+    next_qid: u64,
+    queries: HashMap<QueryId, QueryRecord>,
+    /// Queries rejected at submission, with reasons (for tests/inspection).
+    pub rejected: Vec<(String, String)>,
+    _marker: PhantomData<fn(E)>,
+}
+
+impl<E: ScrubEnvelope> QueryServerNode<E> {
+    /// Create a server over the given application-host inventory.
+    pub fn new(
+        schema_registry: Arc<SchemaRegistry>,
+        config: ScrubConfig,
+        central: NodeId,
+        inventory: Vec<(NodeId, HostInfo)>,
+    ) -> Self {
+        Self::with_centrals(schema_registry, config, vec![central], inventory)
+    }
+
+    /// Create a server over a ScrubCentral *cluster*: each accepted query
+    /// is assigned one central node (round-robin by query id), keeping all
+    /// of a query's join/group-by state on one node while spreading query
+    /// load across the cluster.
+    pub fn with_centrals(
+        schema_registry: Arc<SchemaRegistry>,
+        config: ScrubConfig,
+        centrals: Vec<NodeId>,
+        inventory: Vec<(NodeId, HostInfo)>,
+    ) -> Self {
+        assert!(!centrals.is_empty(), "need at least one ScrubCentral");
+        QueryServerNode {
+            schema_registry,
+            config,
+            centrals,
+            inventory,
+            next_qid: 1,
+            queries: HashMap::new(),
+            rejected: Vec::new(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Record of a query (rows, summary, state).
+    pub fn record(&self, qid: QueryId) -> Option<&QueryRecord> {
+        self.queries.get(&qid)
+    }
+
+    /// The id the next accepted query will receive.
+    pub fn peek_next_qid(&self) -> u64 {
+        self.next_qid
+    }
+
+    /// The ScrubCentral node a query is (or would be) assigned to.
+    pub fn central_for(&self, qid: QueryId) -> NodeId {
+        self.centrals[(qid.0 as usize) % self.centrals.len()]
+    }
+
+    /// Ids of all queries ever accepted, in submission order.
+    pub fn query_ids(&self) -> Vec<QueryId> {
+        let mut ids: Vec<QueryId> = self.queries.keys().copied().collect();
+        ids.sort();
+        ids
+    }
+
+    /// Validate + plan + target-resolve a query. Pure (no dispatch).
+    fn admit(&mut self, src: &str) -> ScrubResult<QueryId> {
+        let qid = QueryId(self.next_qid);
+        let spec = parse_query(src)?;
+        let mut compiled = compile(&spec, &self.schema_registry, &self.config, qid)?;
+
+        // Resolve targets and apply host sampling (deterministic per qid).
+        let matching: Vec<NodeId> = self
+            .inventory
+            .iter()
+            .filter(|(_, info)| info.matches(&spec.target))
+            .map(|(id, _)| *id)
+            .collect();
+        if matching.is_empty() {
+            return Err(scrub_core::error::ScrubError::Target(
+                "target clause matches no hosts".into(),
+            ));
+        }
+        let chosen = sample_indices(matching.len(), spec.sample.host_fraction, qid.0);
+        let hosts: Vec<NodeId> = chosen.iter().map(|&i| matching[i]).collect();
+        compiled.central.host_info = HostSampleInfo {
+            matching: matching.len(),
+            selected: hosts.len(),
+        };
+
+        self.next_qid += 1;
+        self.queries.insert(
+            qid,
+            QueryRecord {
+                src: src.to_string(),
+                compiled,
+                hosts,
+                matching_hosts: matching.len(),
+                state: QueryState::Scheduled,
+                rows: Vec::new(),
+                summary: None,
+                first_rows_at_ms: None,
+                client: NodeId(0), // set by caller
+            },
+        );
+        Ok(qid)
+    }
+
+    fn dispatch(&mut self, ctx: &mut Context<'_, E>, qid: QueryId) {
+        let Some(rec) = self.queries.get_mut(&qid) else {
+            return;
+        };
+        if rec.state != QueryState::Scheduled {
+            return; // cancelled before its start time
+        }
+        rec.state = QueryState::Running;
+        let central = self.centrals[(qid.0 as usize) % self.centrals.len()];
+        for &host in &rec.hosts {
+            ctx.send(
+                host,
+                E::wrap(ScrubMsg::InstallQuery {
+                    plans: rec.compiled.host_plans.clone(),
+                    central,
+                }),
+            );
+        }
+        ctx.send(
+            central,
+            E::wrap(ScrubMsg::CentralInstall {
+                plan: rec.compiled.central.clone(),
+            }),
+        );
+        ctx.set_timer(
+            SimDuration::from_ms(rec.compiled.duration_ms),
+            timer_query_stop(qid),
+        );
+    }
+
+    fn stop(&mut self, ctx: &mut Context<'_, E>, qid: QueryId) {
+        let Some(rec) = self.queries.get_mut(&qid) else {
+            return;
+        };
+        if rec.state != QueryState::Running {
+            return; // already stopped (e.g. cancelled before the span timer)
+        }
+        rec.state = QueryState::Draining;
+        for &host in &rec.hosts {
+            ctx.send(host, E::wrap(ScrubMsg::StopQuery { query_id: qid }));
+        }
+        // Give agents' tail batches time to cross the WAN before asking
+        // central to finish. Central closes all open windows on finish, so
+        // the drain must NOT wait out the window length (a 1-day window
+        // would stall the query for a day); one flush interval plus grace
+        // plus a WAN margin suffices.
+        let drain_ms = self.config.agent_flush_interval_ms + self.config.window_grace_ms + 2_000;
+        ctx.set_timer(SimDuration::from_ms(drain_ms), timer_query_drain(qid));
+    }
+}
+
+impl<E: ScrubEnvelope> Node<E> for QueryServerNode<E> {
+    fn on_message(&mut self, ctx: &mut Context<'_, E>, from: NodeId, msg: E) {
+        let Ok(scrub) = msg.open() else {
+            return;
+        };
+        match scrub {
+            ScrubMsg::Submit { src } => match self.admit(&src) {
+                Ok(qid) => {
+                    if let Some(rec) = self.queries.get_mut(&qid) {
+                        rec.client = from;
+                    }
+                    if from != ctx.self_id {
+                        ctx.send(from, E::wrap(ScrubMsg::Accepted { query_id: qid }));
+                    }
+                    // honor the query span's start spec
+                    let delay = match self.queries[&qid].compiled.spec.start {
+                        StartSpec::Now => SimDuration::ZERO,
+                        StartSpec::In(ms) => SimDuration::from_ms(ms.max(0)),
+                        StartSpec::At(t_ms) => {
+                            SimDuration::from_ms((t_ms - ctx.now.as_ms()).max(0))
+                        }
+                    };
+                    ctx.set_timer(delay, timer_query_start(qid));
+                }
+                Err(e) => {
+                    self.rejected.push((src, e.to_string()));
+                    if from != ctx.self_id {
+                        ctx.send(
+                            from,
+                            E::wrap(ScrubMsg::Rejected {
+                                reason: e.to_string(),
+                            }),
+                        );
+                    }
+                }
+            },
+            ScrubMsg::Cancel { query_id } => {
+                let state = self.queries.get(&query_id).map(|r| r.state);
+                match state {
+                    Some(QueryState::Running) => self.stop(ctx, query_id),
+                    Some(QueryState::Scheduled) => {
+                        // not yet dispatched: mark done with no results
+                        if let Some(rec) = self.queries.get_mut(&query_id) {
+                            rec.state = QueryState::Done;
+                        }
+                    }
+                    _ => { /* draining/done/unknown: nothing to do */ }
+                }
+            }
+            ScrubMsg::Rows { rows } => {
+                let now_ms = ctx.now.as_ms();
+                for row in rows {
+                    if let Some(rec) = self.queries.get_mut(&row.query_id) {
+                        rec.first_rows_at_ms.get_or_insert(now_ms);
+                        rec.rows.push(row);
+                    }
+                }
+            }
+            ScrubMsg::Summary { summary } => {
+                if let Some(rec) = self.queries.get_mut(&summary.query_id) {
+                    rec.summary = Some(summary);
+                    rec.state = QueryState::Done;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, E>, timer: u64) {
+        let Some((qid, kind)) = decode_query_timer(timer) else {
+            return;
+        };
+        match kind {
+            QueryTimerKind::Start => self.dispatch(ctx, qid),
+            QueryTimerKind::Stop => self.stop(ctx, qid),
+            QueryTimerKind::Drain => {
+                let central = self.central_for(qid);
+                ctx.send(central, E::wrap(ScrubMsg::CentralStop { query_id: qid }));
+            }
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,456 @@
+//! End-to-end tests of the full Scrub pipeline over the simulated cluster:
+//! application hosts tap events → agents select/project/sample → batches
+//! cross the (simulated) network → ScrubCentral joins/groups/aggregates →
+//! the query server collects rows and summaries.
+
+use std::sync::Arc;
+
+use scrub_core::config::ScrubConfig;
+use scrub_core::event::RequestId;
+use scrub_core::schema::{EventSchema, EventTypeId, FieldDef, FieldType, SchemaRegistry};
+use scrub_core::value::Value;
+use scrub_server::{rejections, results, submit_query, AgentHarness, QueryState, ScrubMsg};
+use scrub_simnet::{Context, Node, NodeId, NodeMeta, Sim, SimDuration, SimTime, Topology};
+
+/// An application host emitting one `bid` event every millisecond.
+struct BidHost {
+    harness: AgentHarness,
+    emitted: u64,
+    /// user id cycle length (events round-robin over users)
+    users: u64,
+    rate_interval: SimDuration,
+}
+
+const APP_TIMER: u64 = 1;
+
+impl Node<ScrubMsg> for BidHost {
+    fn on_start(&mut self, ctx: &mut Context<'_, ScrubMsg>) {
+        self.harness.start(ctx);
+        ctx.set_timer(self.rate_interval, APP_TIMER);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, ScrubMsg>, _from: NodeId, msg: ScrubMsg) {
+        let _ = self.harness.on_message(ctx, msg);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, ScrubMsg>, timer: u64) {
+        if self.harness.on_timer(ctx, timer) {
+            return;
+        }
+        if timer == APP_TIMER {
+            let user = self.emitted % self.users;
+            let price = 0.5 + (self.emitted % 10) as f64 * 0.1;
+            self.harness.agent().log(
+                EventTypeId(0),
+                RequestId(self.emitted * 1000 + ctx.self_id.0 as u64),
+                ctx.now.as_ms(),
+                &[Value::Long(user as i64), Value::Double(price)],
+            );
+            self.emitted += 1;
+            ctx.set_timer(self.rate_interval, APP_TIMER);
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn schema_registry() -> Arc<SchemaRegistry> {
+    let reg = SchemaRegistry::new();
+    reg.register(
+        EventSchema::new(
+            "bid",
+            vec![
+                FieldDef::new("user_id", FieldType::Long),
+                FieldDef::new("bid_price", FieldType::Double),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    Arc::new(reg)
+}
+
+/// Build a cluster of `n_hosts` BidHosts plus a Scrub deployment.
+fn cluster(n_hosts: usize) -> (Sim<ScrubMsg>, scrub_server::ScrubDeployment) {
+    let mut sim: Sim<ScrubMsg> = Sim::new(Topology::default(), 42);
+    let config = ScrubConfig::default();
+    let central = scrub_server::deploy_central(&mut sim, config.clone(), "DC1");
+    for i in 0..n_hosts {
+        let name = format!("bid-{i}");
+        let dc = if i % 2 == 0 { "DC1" } else { "DC2" };
+        let harness = AgentHarness::new(name.clone(), config.clone(), central);
+        sim.add_node(
+            NodeMeta::new(name, "BidServers", dc),
+            Box::new(BidHost {
+                harness,
+                emitted: 0,
+                users: 5,
+                rate_interval: SimDuration::from_ms(1),
+            }),
+        );
+    }
+    let d = scrub_server::deploy_server(&mut sim, schema_registry(), config, central, "DC1");
+    (sim, d)
+}
+
+#[test]
+fn grouped_count_end_to_end() {
+    let (mut sim, d) = cluster(4);
+    let qid = submit_query(
+        &mut sim,
+        &d,
+        "select bid.user_id, COUNT(*) from bid \
+         @[Service in BidServers] group by bid.user_id window 10 s duration 30 s",
+    );
+    sim.run_until(SimTime::from_secs(60));
+    let rec = results(&sim, &d, qid).expect("query record");
+    assert_eq!(rec.state, QueryState::Done);
+    assert_eq!(rec.hosts.len(), 4);
+    assert!(!rec.rows.is_empty(), "no rows produced");
+    // 5 users per host, counted per 10s window: each full window counts
+    // ~10000ms/1ms / 5 users * 4 hosts = 8000 per user
+    let w0: Vec<_> = rec.rows.iter().filter(|r| r.window_start_ms == 0).collect();
+    assert_eq!(w0.len(), 5, "expected 5 user groups in window 0: {w0:?}");
+    for row in &w0 {
+        let count = row.values[1].as_i64().unwrap();
+        // each of 4 hosts emits ~2000 events per user per window
+        assert!(
+            (7000..=8100).contains(&count),
+            "count per user per window = {count}"
+        );
+    }
+    let summary = rec.summary.as_ref().unwrap();
+    assert_eq!(summary.hosts_reporting, 4);
+    assert_eq!(summary.total_shed, 0);
+}
+
+#[test]
+fn where_clause_filters_on_host() {
+    let (mut sim, d) = cluster(2);
+    let qid = submit_query(
+        &mut sim,
+        &d,
+        "select COUNT(*) from bid where bid.bid_price >= 1.3 \
+         @[Service in BidServers] window 10 s duration 20 s",
+    );
+    sim.run_until(SimTime::from_secs(45));
+    let rec = results(&sim, &d, qid).unwrap();
+    assert_eq!(rec.state, QueryState::Done);
+    // prices cycle 0.5..1.4 by 0.1; >= 1.3 keeps 2 of 10 events
+    let total: i64 = rec.rows.iter().map(|r| r.values[0].as_i64().unwrap()).sum();
+    let matched = rec.summary.as_ref().unwrap().total_matched as i64;
+    assert_eq!(total, matched);
+    // 2 hosts * ~1000 events/s * 20s * 0.2 = ~8000
+    assert!((6000..=8400).contains(&total), "total {total}");
+}
+
+#[test]
+fn target_clause_limits_hosts() {
+    let (mut sim, d) = cluster(4);
+    let qid = submit_query(
+        &mut sim,
+        &d,
+        "select COUNT(*) from bid @[Service in BidServers and DC = DC1] \
+         window 10 s duration 20 s",
+    );
+    sim.run_until(SimTime::from_secs(45));
+    let rec = results(&sim, &d, qid).unwrap();
+    // hosts 0 and 2 are in DC1
+    assert_eq!(rec.hosts.len(), 2);
+    assert_eq!(rec.matching_hosts, 2);
+    assert_eq!(rec.summary.as_ref().unwrap().hosts_reporting, 2);
+}
+
+#[test]
+fn single_host_target() {
+    let (mut sim, d) = cluster(3);
+    let qid = submit_query(
+        &mut sim,
+        &d,
+        "select COUNT(*) from bid @[Server = 'bid-1'] window 10 s duration 20 s",
+    );
+    sim.run_until(SimTime::from_secs(45));
+    let rec = results(&sim, &d, qid).unwrap();
+    assert_eq!(rec.hosts.len(), 1);
+}
+
+#[test]
+fn bad_query_rejected_with_reason() {
+    let (mut sim, d) = cluster(1);
+    let qid = submit_query(&mut sim, &d, "select NOPE(bid.x) from bid");
+    sim.run_until(SimTime::from_secs(2));
+    assert!(results(&sim, &d, qid).is_none());
+    let rej = rejections(&sim, &d);
+    assert_eq!(rej.len(), 1);
+    assert!(rej[0].1.contains("unknown function"));
+}
+
+#[test]
+fn unknown_event_type_rejected() {
+    let (mut sim, d) = cluster(1);
+    submit_query(&mut sim, &d, "select COUNT(*) from nonexistent");
+    sim.run_until(SimTime::from_secs(2));
+    assert_eq!(rejections(&sim, &d).len(), 1);
+}
+
+#[test]
+fn no_matching_hosts_rejected() {
+    let (mut sim, d) = cluster(1);
+    submit_query(
+        &mut sim,
+        &d,
+        "select COUNT(*) from bid @[Service in WrongService]",
+    );
+    sim.run_until(SimTime::from_secs(2));
+    let rej = rejections(&sim, &d);
+    assert_eq!(rej.len(), 1);
+    assert!(rej[0].1.contains("no hosts"));
+}
+
+#[test]
+fn query_span_stops_collection() {
+    let (mut sim, d) = cluster(1);
+    let qid = submit_query(
+        &mut sim,
+        &d,
+        "select COUNT(*) from bid @[all] window 10 s duration 20 s",
+    );
+    // run far past the query span: collection must have stopped at ~20s
+    sim.run_until(SimTime::from_secs(120));
+    let rec = results(&sim, &d, qid).unwrap();
+    assert_eq!(rec.state, QueryState::Done);
+    let max_window = rec.rows.iter().map(|r| r.window_start_ms).max().unwrap();
+    assert!(
+        max_window <= 30_000,
+        "windows continued after span: {max_window}"
+    );
+    // and the agent no longer carries subscriptions
+    let host = sim.node_by_name("bid-0").unwrap();
+    let bidhost = sim.node_as::<BidHost>(host).unwrap();
+    assert_eq!(bidhost.harness.agent().subscription_count(), 0);
+}
+
+#[test]
+fn delayed_start_honored() {
+    let (mut sim, d) = cluster(1);
+    let qid = submit_query(
+        &mut sim,
+        &d,
+        "select COUNT(*) from bid @[all] window 10 s start in 30 s duration 10 s",
+    );
+    sim.run_until(SimTime::from_secs(90));
+    let rec = results(&sim, &d, qid).unwrap();
+    assert_eq!(rec.state, QueryState::Done);
+    let min_window = rec.rows.iter().map(|r| r.window_start_ms).min().unwrap();
+    assert!(min_window >= 30_000, "collected before start: {min_window}");
+}
+
+#[test]
+fn event_sampling_scales_estimates() {
+    let (mut sim, d) = cluster(2);
+    let exact = submit_query(
+        &mut sim,
+        &d,
+        "select COUNT(*) from bid @[all] window 10 s duration 20 s",
+    );
+    let sampled = submit_query(
+        &mut sim,
+        &d,
+        "select COUNT(*) from bid @[all] window 10 s duration 20 s sample events 10%",
+    );
+    sim.run_until(SimTime::from_secs(60));
+    let exact_total: f64 = results(&sim, &d, exact)
+        .unwrap()
+        .rows
+        .iter()
+        .map(|r| r.values[0].as_f64().unwrap())
+        .sum();
+    let rec = results(&sim, &d, sampled).unwrap();
+    let sampled_total: f64 = rec.rows.iter().map(|r| r.values[0].as_f64().unwrap()).sum();
+    // scaled estimate should be within 2% of the exact count (scaling uses
+    // the true matched/sampled ratio, so only window-edge effects remain)
+    let rel = (sampled_total - exact_total).abs() / exact_total;
+    assert!(rel < 0.02, "sampled {sampled_total} vs exact {exact_total}");
+    // far fewer events were actually shipped
+    let s = rec.summary.as_ref().unwrap();
+    assert!(s.total_sampled * 5 < s.total_matched);
+}
+
+#[test]
+fn concurrent_queries_are_isolated() {
+    let (mut sim, d) = cluster(2);
+    let q1 = submit_query(
+        &mut sim,
+        &d,
+        "select COUNT(*) from bid @[all] window 10 s duration 20 s",
+    );
+    let q2 = submit_query(
+        &mut sim,
+        &d,
+        "select bid.user_id, COUNT(*) from bid @[all] group by bid.user_id \
+         window 10 s duration 20 s",
+    );
+    sim.run_until(SimTime::from_secs(60));
+    let r1 = results(&sim, &d, q1).unwrap();
+    let r2 = results(&sim, &d, q2).unwrap();
+    assert_eq!(r1.state, QueryState::Done);
+    assert_eq!(r2.state, QueryState::Done);
+    assert!(r1.rows.iter().all(|r| r.query_id == q1));
+    assert!(r2.rows.iter().all(|r| r.query_id == q2));
+    assert_eq!(r1.rows[0].values.len(), 1);
+    assert_eq!(r2.rows[0].values.len(), 2);
+}
+
+#[test]
+fn host_sampling_selects_subset() {
+    let (mut sim, d) = cluster(10);
+    let qid = submit_query(
+        &mut sim,
+        &d,
+        "select COUNT(*) from bid @[Service in BidServers] sample hosts 30% \
+         window 10 s duration 20 s",
+    );
+    sim.run_until(SimTime::from_secs(60));
+    let rec = results(&sim, &d, qid).unwrap();
+    assert_eq!(rec.matching_hosts, 10);
+    assert_eq!(rec.hosts.len(), 3);
+    assert_eq!(rec.summary.as_ref().unwrap().hosts_reporting, 3);
+    // counts are scaled up by the host factor 10/3: each window's count
+    // should approximate the full-fleet rate (10 hosts × ~10000/window)
+    let w: Vec<f64> = rec
+        .rows
+        .iter()
+        .filter(|r| r.window_start_ms == 10_000)
+        .map(|r| r.values[0].as_f64().unwrap())
+        .collect();
+    assert_eq!(w.len(), 1);
+    assert!(
+        (80_000.0..=120_000.0).contains(&w[0]),
+        "scaled count {}",
+        w[0]
+    );
+}
+
+#[test]
+fn cancel_stops_collection_early() {
+    let (mut sim, d) = cluster(1);
+    let qid = submit_query(
+        &mut sim,
+        &d,
+        "select COUNT(*) from bid @[all] window 10 s duration 10 m",
+    );
+    // let it run 25 s, then cancel — far before the 10 min span
+    sim.run_until(SimTime::from_secs(25));
+    scrub_server::cancel_query(&mut sim, &d, qid);
+    sim.run_until(SimTime::from_secs(120));
+    let rec = results(&sim, &d, qid).unwrap();
+    assert_eq!(rec.state, QueryState::Done);
+    let max_window = rec.rows.iter().map(|r| r.window_start_ms).max().unwrap();
+    assert!(max_window <= 30_000, "collected after cancel: {max_window}");
+    // agent subscriptions were removed
+    let host = sim.node_by_name("bid-0").unwrap();
+    assert_eq!(
+        sim.node_as::<BidHost>(host)
+            .unwrap()
+            .harness
+            .agent()
+            .subscription_count(),
+        0
+    );
+}
+
+#[test]
+fn cancel_scheduled_query_never_dispatches() {
+    let (mut sim, d) = cluster(1);
+    let qid = submit_query(
+        &mut sim,
+        &d,
+        "select COUNT(*) from bid @[all] start in 1 m duration 1 m",
+    );
+    scrub_server::cancel_query(&mut sim, &d, qid);
+    sim.run_until(SimTime::from_secs(240));
+    let rec = results(&sim, &d, qid).unwrap();
+    assert_eq!(rec.state, QueryState::Done);
+    assert!(rec.rows.is_empty(), "cancelled-before-start query has rows");
+}
+
+#[test]
+fn cancel_after_done_is_harmless() {
+    let (mut sim, d) = cluster(1);
+    let qid = submit_query(
+        &mut sim,
+        &d,
+        "select COUNT(*) from bid @[all] window 10 s duration 10 s",
+    );
+    sim.run_until(SimTime::from_secs(60));
+    let rows_before = results(&sim, &d, qid).unwrap().rows.len();
+    scrub_server::cancel_query(&mut sim, &d, qid);
+    sim.run_until(SimTime::from_secs(90));
+    let rec = results(&sim, &d, qid).unwrap();
+    assert_eq!(rec.state, QueryState::Done);
+    assert_eq!(rec.rows.len(), rows_before);
+}
+
+#[test]
+fn central_cluster_spreads_queries() {
+    use scrub_server::{deploy_central_cluster, deploy_server_clustered, CentralNode};
+
+    let mut sim: Sim<ScrubMsg> = Sim::new(scrub_simnet::Topology::default(), 42);
+    let config = ScrubConfig::default();
+    let centrals = deploy_central_cluster(&mut sim, config.clone(), "DC1", 3);
+    for i in 0..2 {
+        let name = format!("bid-{i}");
+        let harness = AgentHarness::new(name.clone(), config.clone(), centrals[0]);
+        sim.add_node(
+            NodeMeta::new(name, "BidServers", "DC1"),
+            Box::new(BidHost {
+                harness,
+                emitted: 0,
+                users: 5,
+                rate_interval: SimDuration::from_ms(1),
+            }),
+        );
+    }
+    let d = deploy_server_clustered(&mut sim, schema_registry(), config, centrals.clone(), "DC1");
+
+    // three queries land on three different centrals (round-robin by id)
+    let qids: Vec<_> = (0..3)
+        .map(|_| {
+            submit_query(
+                &mut sim,
+                &d,
+                "select COUNT(*) from bid @[all] window 10 s duration 20 s",
+            )
+        })
+        .collect();
+    sim.run_until(SimTime::from_secs(60));
+
+    let mut totals = Vec::new();
+    for &qid in &qids {
+        let rec = results(&sim, &d, qid).unwrap();
+        assert_eq!(rec.state, QueryState::Done, "query {qid} unfinished");
+        let total: i64 = rec.rows.iter().map(|r| r.values[0].as_i64().unwrap()).sum();
+        totals.push(total);
+    }
+    // all three queries observed the same traffic
+    assert!(
+        totals.windows(2).all(|w| (w[0] - w[1]).abs() < 100),
+        "{totals:?}"
+    );
+
+    // and each central carried exactly one query's batches
+    let mut per_central = Vec::new();
+    for &c in &centrals {
+        let node = sim.node_as::<CentralNode<ScrubMsg>>(c).unwrap();
+        per_central.push(node.batches_received);
+    }
+    assert!(
+        per_central.iter().all(|&b| b > 0),
+        "some central idle: {per_central:?}"
+    );
+}

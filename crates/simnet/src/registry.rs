@@ -1,0 +1,126 @@
+//! Service registry: membership lookups over node metadata.
+//!
+//! Plays the role ZooKeeper-style coordination plays in the paper's
+//! deployment — the query server consults it to resolve the `@[...]`
+//! target clause into a concrete host set.
+
+use std::collections::HashMap;
+
+use crate::sim::{NodeId, NodeMeta};
+
+/// Immutable snapshot of cluster membership.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceRegistry {
+    entries: Vec<(NodeId, NodeMeta)>,
+    by_name: HashMap<String, NodeId>,
+}
+
+impl ServiceRegistry {
+    /// Build a registry from `(id, meta)` pairs.
+    pub fn new(entries: Vec<(NodeId, NodeMeta)>) -> Self {
+        let by_name = entries
+            .iter()
+            .map(|(id, m)| (m.name.clone(), *id))
+            .collect();
+        ServiceRegistry { entries, by_name }
+    }
+
+    /// Build from a full metadata slice (ids are positional).
+    pub fn from_metas(metas: &[NodeMeta]) -> Self {
+        Self::new(
+            metas
+                .iter()
+                .enumerate()
+                .map(|(i, m)| (NodeId(i as u32), m.clone()))
+                .collect(),
+        )
+    }
+
+    /// All registered nodes.
+    pub fn all(&self) -> impl Iterator<Item = &(NodeId, NodeMeta)> {
+        self.entries.iter()
+    }
+
+    /// Number of registered nodes.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Nodes running `service`.
+    pub fn in_service(&self, service: &str) -> Vec<NodeId> {
+        self.entries
+            .iter()
+            .filter(|(_, m)| m.service.eq_ignore_ascii_case(service))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Nodes residing in data center `dc`.
+    pub fn in_dc(&self, dc: &str) -> Vec<NodeId> {
+        self.entries
+            .iter()
+            .filter(|(_, m)| m.dc.eq_ignore_ascii_case(dc))
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Node by host name.
+    pub fn by_name(&self, name: &str) -> Option<NodeId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Metadata of a node.
+    pub fn meta(&self, id: NodeId) -> Option<&NodeMeta> {
+        self.entries.iter().find(|(i, _)| *i == id).map(|(_, m)| m)
+    }
+
+    /// Distinct service names.
+    pub fn services(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .entries
+            .iter()
+            .map(|(_, m)| m.service.clone())
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn registry() -> ServiceRegistry {
+        ServiceRegistry::from_metas(&[
+            NodeMeta::new("bid-1", "BidServers", "DC1"),
+            NodeMeta::new("bid-2", "BidServers", "DC2"),
+            NodeMeta::new("ad-1", "AdServers", "DC1"),
+        ])
+    }
+
+    #[test]
+    fn lookups() {
+        let r = registry();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.in_service("BidServers").len(), 2);
+        assert_eq!(r.in_service("bidservers").len(), 2); // case-insensitive
+        assert_eq!(r.in_dc("DC1").len(), 2);
+        assert_eq!(r.by_name("ad-1"), Some(NodeId(2)));
+        assert_eq!(r.by_name("nope"), None);
+        assert_eq!(r.meta(NodeId(0)).unwrap().name, "bid-1");
+        assert_eq!(r.services(), vec!["AdServers", "BidServers"]);
+    }
+
+    #[test]
+    fn empty_registry() {
+        let r = ServiceRegistry::default();
+        assert!(r.is_empty());
+        assert!(r.in_service("X").is_empty());
+    }
+}

@@ -1,0 +1,647 @@
+//! The deterministic discrete-event simulator.
+//!
+//! Nodes exchange messages over the [`Topology`];
+//! the scheduler delivers them in virtual-time order with a strict (time,
+//! sequence) total order, so a given seed always produces the identical
+//! execution — every experiment figure is exactly reproducible.
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{Topology, TrafficAccounting};
+
+/// Identifier of a simulated node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+/// Static metadata of a node: its host name, the service it runs, and its
+/// data center — the attributes the `@[...]` target clause filters on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeMeta {
+    /// Unique host name.
+    pub name: String,
+    /// Service label (e.g. `"BidServers"`).
+    pub service: String,
+    /// Data center label (e.g. `"DC1"`).
+    pub dc: String,
+}
+
+impl NodeMeta {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, service: impl Into<String>, dc: impl Into<String>) -> Self {
+        NodeMeta {
+            name: name.into(),
+            service: service.into(),
+            dc: dc.into(),
+        }
+    }
+}
+
+/// Messages must report an approximate wire size for latency/bandwidth
+/// modelling and byte accounting.
+pub trait Message: 'static {
+    /// Approximate serialized size in bytes.
+    fn size_bytes(&self) -> usize;
+}
+
+/// Behaviour of a simulated node.
+pub trait Node<M: Message>: Any {
+    /// Called once at simulation start (time 0, or when the node is added
+    /// to an already-running simulation).
+    fn on_start(&mut self, _ctx: &mut Context<'_, M>) {}
+
+    /// A message arrived.
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: NodeId, msg: M);
+
+    /// A timer set via [`Context::set_timer`] fired.
+    fn on_timer(&mut self, _ctx: &mut Context<'_, M>, _timer: u64) {}
+
+    /// Downcast support (inspect node state after a run).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Downcast support (mutate node state between runs).
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Implements the [`Node`] downcast boilerplate for a concrete node type.
+#[macro_export]
+macro_rules! impl_node_any {
+    () => {
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    };
+}
+
+enum Action<M> {
+    Send { to: NodeId, msg: M },
+    Timer { delay: SimDuration, id: u64 },
+}
+
+/// Handed to node callbacks: the clock, the node's identity, a seeded RNG,
+/// node metadata, and the means to send messages and set timers.
+pub struct Context<'a, M: Message> {
+    /// Current virtual time.
+    pub now: SimTime,
+    /// The node being invoked.
+    pub self_id: NodeId,
+    /// Deterministic RNG (shared by all nodes; execution order is total).
+    pub rng: &'a mut StdRng,
+    meta: &'a [NodeMeta],
+    out: &'a mut Vec<Action<M>>,
+}
+
+impl<M: Message> Context<'_, M> {
+    /// Send `msg` to `to`; it arrives after the topology-determined delay.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.out.push(Action::Send { to, msg });
+    }
+
+    /// Arrange for [`Node::on_timer`] to fire after `delay`.
+    pub fn set_timer(&mut self, delay: SimDuration, id: u64) {
+        self.out.push(Action::Timer { delay, id });
+    }
+
+    /// Metadata of any node.
+    pub fn meta(&self, id: NodeId) -> &NodeMeta {
+        &self.meta[id.0 as usize]
+    }
+
+    /// Metadata of the node being invoked.
+    pub fn self_meta(&self) -> &NodeMeta {
+        self.meta(self.self_id)
+    }
+
+    /// Number of nodes in the simulation.
+    pub fn node_count(&self) -> usize {
+        self.meta.len()
+    }
+}
+
+enum Payload<M> {
+    Start,
+    Deliver { from: NodeId, msg: M },
+    Timer { id: u64 },
+}
+
+struct Queued<M> {
+    at: SimTime,
+    seq: u64,
+    node: NodeId,
+    payload: Payload<M>,
+}
+
+impl<M> PartialEq for Queued<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Queued<M> {}
+impl<M> PartialOrd for Queued<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Queued<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The simulator: nodes + topology + event queue + traffic accounting.
+pub struct Sim<M: Message> {
+    nodes: Vec<Option<Box<dyn Node<M>>>>,
+    meta: Vec<NodeMeta>,
+    topology: Topology,
+    queue: BinaryHeap<Queued<M>>,
+    now: SimTime,
+    seq: u64,
+    rng: StdRng,
+    traffic: TrafficAccounting,
+    events_processed: u64,
+}
+
+impl<M: Message> Sim<M> {
+    /// Create a simulator with the given topology and RNG seed.
+    pub fn new(topology: Topology, seed: u64) -> Self {
+        Sim {
+            nodes: Vec::new(),
+            meta: Vec::new(),
+            topology,
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            traffic: TrafficAccounting::default(),
+            events_processed: 0,
+        }
+    }
+
+    /// Add a node; its `on_start` is scheduled at the current time.
+    pub fn add_node(&mut self, meta: NodeMeta, node: Box<dyn Node<M>>) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Some(node));
+        self.meta.push(meta);
+        self.push(self.now, id, Payload::Start);
+        id
+    }
+
+    /// Metadata of all nodes, indexed by `NodeId`.
+    pub fn metas(&self) -> &[NodeMeta] {
+        &self.meta
+    }
+
+    /// Look up a node id by host name.
+    pub fn node_by_name(&self, name: &str) -> Option<NodeId> {
+        self.meta
+            .iter()
+            .position(|m| m.name == name)
+            .map(|i| NodeId(i as u32))
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Traffic accounting so far.
+    pub fn traffic(&self) -> &TrafficAccounting {
+        &self.traffic
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Inject a message from "outside" (delivered to `to` after the
+    /// loopback delay). Useful for tests and external drivers.
+    pub fn inject(&mut self, to: NodeId, from: NodeId, msg: M) {
+        let at = self.now + SimDuration(self.topology.loopback_us);
+        self.push(at, to, Payload::Deliver { from, msg });
+    }
+
+    /// Borrow a node's concrete state (after/between runs).
+    pub fn node_as<T: 'static>(&self, id: NodeId) -> Option<&T> {
+        self.nodes[id.0 as usize]
+            .as_ref()
+            .and_then(|n| n.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutably borrow a node's concrete state (after/between runs).
+    pub fn node_as_mut<T: 'static>(&mut self, id: NodeId) -> Option<&mut T> {
+        self.nodes[id.0 as usize]
+            .as_mut()
+            .and_then(|n| n.as_any_mut().downcast_mut::<T>())
+    }
+
+    fn push(&mut self, at: SimTime, node: NodeId, payload: Payload<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Queued {
+            at,
+            seq,
+            node,
+            payload,
+        });
+    }
+
+    /// Process the next queued event, if any. Returns false when the queue
+    /// is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "time went backwards");
+        self.now = ev.at;
+        self.events_processed += 1;
+
+        let idx = ev.node.0 as usize;
+        let Some(mut node) = self.nodes[idx].take() else {
+            return true; // node removed; drop the event
+        };
+        let mut out: Vec<Action<M>> = Vec::new();
+        {
+            let mut ctx = Context {
+                now: self.now,
+                self_id: ev.node,
+                rng: &mut self.rng,
+                meta: &self.meta,
+                out: &mut out,
+            };
+            match ev.payload {
+                Payload::Start => node.on_start(&mut ctx),
+                Payload::Deliver { from, msg } => node.on_message(&mut ctx, from, msg),
+                Payload::Timer { id } => node.on_timer(&mut ctx, id),
+            }
+        }
+        self.nodes[idx] = Some(node);
+
+        for action in out {
+            match action {
+                Action::Send { to, msg } => {
+                    let from_meta = &self.meta[idx];
+                    let to_meta = &self.meta[to.0 as usize];
+                    let bytes = msg.size_bytes();
+                    let delay = self.topology.delay(
+                        &from_meta.dc,
+                        &to_meta.dc,
+                        from_meta.name == to_meta.name,
+                        bytes,
+                    );
+                    self.traffic.record(&from_meta.dc, &to_meta.dc, bytes);
+                    let at = self.now + delay;
+                    self.push(at, to, Payload::Deliver { from: ev.node, msg });
+                }
+                Action::Timer { delay, id } => {
+                    let at = self.now + delay;
+                    self.push(at, ev.node, Payload::Timer { id });
+                }
+            }
+        }
+        true
+    }
+
+    /// Run until the queue is exhausted or virtual time would pass
+    /// `deadline`; the clock ends at `deadline` (or the last event time).
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+    }
+
+    /// Run to quiescence (with a safety cap on event count).
+    pub fn run_all(&mut self, max_events: u64) {
+        let mut n = 0u64;
+        while n < max_events && self.step() {
+            n += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Ping {
+        payload: Vec<u8>,
+    }
+    impl Message for Ping {
+        fn size_bytes(&self) -> usize {
+            self.payload.len()
+        }
+    }
+
+    /// Replies to every ping; counts what it saw.
+    struct Echo {
+        received: u32,
+    }
+    impl Node<Ping> for Echo {
+        fn on_message(&mut self, ctx: &mut Context<'_, Ping>, from: NodeId, msg: Ping) {
+            self.received += 1;
+            if ctx.self_id != from {
+                // avoid infinite ping-pong: only reply once per inbound
+                if self.received <= 1 {
+                    ctx.send(from, msg);
+                }
+            }
+        }
+        impl_node_any!();
+    }
+
+    /// Sends one ping at start, records RTT.
+    struct Pinger {
+        target: Option<NodeId>,
+        sent_at: SimTime,
+        rtt_us: Option<i64>,
+    }
+    impl Node<Ping> for Pinger {
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+            if let Some(t) = self.target {
+                self.sent_at = ctx.now;
+                ctx.send(
+                    t,
+                    Ping {
+                        payload: vec![0; 100],
+                    },
+                );
+            }
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, Ping>, _from: NodeId, _msg: Ping) {
+            self.rtt_us = Some((ctx.now - self.sent_at).as_us());
+        }
+        impl_node_any!();
+    }
+
+    fn two_node_sim(dc_a: &str, dc_b: &str) -> (Sim<Ping>, NodeId, NodeId) {
+        let mut sim = Sim::new(Topology::default(), 1);
+        let echo = sim.add_node(
+            NodeMeta::new("echo", "Echo", dc_b),
+            Box::new(Echo { received: 0 }),
+        );
+        let pinger = sim.add_node(
+            NodeMeta::new("pinger", "Pinger", dc_a),
+            Box::new(Pinger {
+                target: Some(echo),
+                sent_at: SimTime::ZERO,
+                rtt_us: None,
+            }),
+        );
+        (sim, echo, pinger)
+    }
+
+    #[test]
+    fn rtt_reflects_topology() {
+        let (mut sim, _, pinger) = two_node_sim("DC1", "DC1");
+        sim.run_all(1000);
+        let intra_rtt = sim.node_as::<Pinger>(pinger).unwrap().rtt_us.unwrap();
+
+        let (mut sim, _, pinger) = two_node_sim("DC1", "DC2");
+        sim.run_all(1000);
+        let inter_rtt = sim.node_as::<Pinger>(pinger).unwrap().rtt_us.unwrap();
+
+        assert!(intra_rtt >= 2 * 250);
+        assert!(inter_rtt >= 2 * 60_000);
+        assert!(inter_rtt > intra_rtt * 10);
+    }
+
+    #[test]
+    fn traffic_is_accounted() {
+        let (mut sim, _, _) = two_node_sim("DC1", "DC2");
+        sim.run_all(1000);
+        // ping + echo reply = 2 messages of 100 bytes
+        assert_eq!(sim.traffic().total_messages(), 2);
+        assert_eq!(sim.traffic().total_bytes(), 200);
+        assert_eq!(sim.traffic().cross_dc_bytes(), 200);
+        assert_eq!(sim.traffic().link("DC1", "DC2").messages, 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_execution() {
+        let run = |seed| {
+            let (mut sim, echo, _) = two_node_sim("DC1", "DC2");
+            let _ = seed; // topology identical; determinism from ordering
+            sim.run_all(1000);
+            (
+                sim.now().as_us(),
+                sim.node_as::<Echo>(echo).unwrap().received,
+                sim.events_processed(),
+            )
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    struct TickTock {
+        ticks: u32,
+    }
+    impl Node<Ping> for TickTock {
+        fn on_start(&mut self, ctx: &mut Context<'_, Ping>) {
+            ctx.set_timer(SimDuration::from_ms(10), 7);
+        }
+        fn on_message(&mut self, _: &mut Context<'_, Ping>, _: NodeId, _: Ping) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_, Ping>, id: u64) {
+            assert_eq!(id, 7);
+            self.ticks += 1;
+            if self.ticks < 5 {
+                ctx.set_timer(SimDuration::from_ms(10), 7);
+            }
+        }
+        impl_node_any!();
+    }
+
+    #[test]
+    fn timers_fire_at_intervals() {
+        let mut sim: Sim<Ping> = Sim::new(Topology::default(), 1);
+        let id = sim.add_node(
+            NodeMeta::new("t", "Ticker", "DC1"),
+            Box::new(TickTock { ticks: 0 }),
+        );
+        sim.run_all(1000);
+        assert_eq!(sim.node_as::<TickTock>(id).unwrap().ticks, 5);
+        assert_eq!(sim.now().as_ms(), 50);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim: Sim<Ping> = Sim::new(Topology::default(), 1);
+        sim.add_node(
+            NodeMeta::new("t", "Ticker", "DC1"),
+            Box::new(TickTock { ticks: 0 }),
+        );
+        sim.run_until(SimTime::from_ms(25));
+        assert_eq!(sim.now(), SimTime::from_ms(25));
+        let id = sim.node_by_name("t").unwrap();
+        assert_eq!(sim.node_as::<TickTock>(id).unwrap().ticks, 2);
+        sim.run_until(SimTime::from_ms(100));
+        assert_eq!(sim.node_as::<TickTock>(id).unwrap().ticks, 5);
+    }
+
+    #[test]
+    fn inject_external_message() {
+        let mut sim: Sim<Ping> = Sim::new(Topology::default(), 1);
+        let echo = sim.add_node(
+            NodeMeta::new("echo", "Echo", "DC1"),
+            Box::new(Echo { received: 0 }),
+        );
+        sim.inject(echo, echo, Ping { payload: vec![1] });
+        sim.run_all(100);
+        assert_eq!(sim.node_as::<Echo>(echo).unwrap().received, 1);
+    }
+
+    #[test]
+    fn node_lookup_by_name() {
+        let (sim, echo, _) = two_node_sim("DC1", "DC1");
+        assert_eq!(sim.node_by_name("echo"), Some(echo));
+        assert_eq!(sim.node_by_name("missing"), None);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    struct Tagged {
+        seq: u64,
+        payload_len: usize,
+    }
+    impl Message for Tagged {
+        fn size_bytes(&self) -> usize {
+            self.payload_len
+        }
+    }
+
+    /// Records delivery times of everything it receives.
+    #[derive(Default)]
+    struct Recorder {
+        deliveries: Vec<(u64, i64)>, // (sender seq, arrival us)
+    }
+    impl Node<Tagged> for Recorder {
+        fn on_message(&mut self, ctx: &mut Context<'_, Tagged>, _from: NodeId, msg: Tagged) {
+            self.deliveries.push((msg.seq, ctx.now.as_us()));
+        }
+        impl_node_any!();
+    }
+
+    /// Emits a fixed schedule of messages toward a target.
+    struct Emitter {
+        target: NodeId,
+        schedule: Vec<(i64, usize)>, // (send at ms, payload bytes)
+        next: usize,
+    }
+    impl Node<Tagged> for Emitter {
+        fn on_start(&mut self, ctx: &mut Context<'_, Tagged>) {
+            if !self.schedule.is_empty() {
+                ctx.set_timer(SimDuration::from_ms(self.schedule[0].0.max(1)), 1);
+            }
+        }
+        fn on_message(&mut self, _: &mut Context<'_, Tagged>, _: NodeId, _: Tagged) {}
+        fn on_timer(&mut self, ctx: &mut Context<'_, Tagged>, _timer: u64) {
+            let (_, bytes) = self.schedule[self.next];
+            ctx.send(
+                self.target,
+                Tagged {
+                    seq: self.next as u64,
+                    payload_len: bytes,
+                },
+            );
+            self.next += 1;
+            if self.next < self.schedule.len() {
+                let delay = self.schedule[self.next].0 - self.schedule[self.next - 1].0;
+                ctx.set_timer(SimDuration::from_ms(delay.max(1)), 1);
+            }
+        }
+        impl_node_any!();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Simulator invariants for any message schedule:
+        /// (1) virtual time at each delivery never precedes the send time
+        ///     plus the topology's base latency;
+        /// (2) equal-size messages between the same pair deliver FIFO;
+        /// (3) the run is deterministic (same schedule, same deliveries).
+        #[test]
+        fn delivery_invariants(
+            mut gaps in prop::collection::vec((1i64..50, 0usize..4000), 1..40),
+            cross_dc in any::<bool>(),
+        ) {
+            // build an absolute schedule from the gaps
+            let mut t = 0;
+            for (at, _) in gaps.iter_mut() {
+                t += *at;
+                *at = t;
+            }
+            let run = |schedule: Vec<(i64, usize)>| {
+                let mut sim: Sim<Tagged> = Sim::new(Topology::default(), 3);
+                let rx_dc = if cross_dc { "DC2" } else { "DC1" };
+                let rx = sim.add_node(
+                    NodeMeta::new("rx", "Receivers", rx_dc),
+                    Box::new(Recorder::default()),
+                );
+                sim.add_node(
+                    NodeMeta::new("tx", "Senders", "DC1"),
+                    Box::new(Emitter {
+                        target: rx,
+                        schedule,
+                        next: 0,
+                    }),
+                );
+                sim.run_all(1_000_000);
+                sim.node_as::<Recorder>(rx).unwrap().deliveries.clone()
+            };
+            let a = run(gaps.clone());
+            let b = run(gaps.clone());
+            prop_assert_eq!(&a, &b, "nondeterministic delivery");
+            prop_assert_eq!(a.len(), gaps.len());
+
+            let base_us = if cross_dc { 60_000 } else { 250 };
+            for (seq, arrive_us) in &a {
+                let sent_ms = gaps[*seq as usize].0;
+                prop_assert!(
+                    *arrive_us >= sent_ms * 1_000 + base_us,
+                    "arrival before send + latency"
+                );
+            }
+            // FIFO among equal-size messages
+            let mut last_by_size: std::collections::HashMap<usize, (u64, i64)> =
+                std::collections::HashMap::new();
+            let mut by_arrival = a.clone();
+            by_arrival.sort_by_key(|(_, t)| *t);
+            for (seq, t) in by_arrival {
+                let size = gaps[seq as usize].1;
+                if let Some((prev_seq, _)) = last_by_size.get(&size) {
+                    prop_assert!(
+                        *prev_seq < seq,
+                        "same-size messages reordered: {prev_seq} after {seq}"
+                    );
+                }
+                last_by_size.insert(size, (seq, t));
+            }
+        }
+    }
+}

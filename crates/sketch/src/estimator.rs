@@ -1,0 +1,287 @@
+//! The two-stage (cluster) sampling estimator of §3.2, Equations 1–3.
+//!
+//! Scrub samples in two stages: first a random subset of `n` out of `N`
+//! matching hosts (host sampling), then on each selected host `i` a random
+//! subset of `m_i` out of its `M_i` matching events (event sampling). For a
+//! SUM-like aggregate over event values `v_ij`, the paper estimates the
+//! population total and an error bound as:
+//!
+//! ```text
+//! τ̂ = (N/n) Σ_i (M_i/m_i) Σ_j v_ij                      (Eq. 1)
+//! ε = t_{n-1, 1-α/2} · sqrt(V̂ar(τ̂))                     (Eq. 2)
+//! V̂ar(τ̂) = N(N-n) s_u²/n + (N/n) Σ_i M_i(M_i-m_i) s_i²/m_i   (Eq. 3)
+//! ```
+//!
+//! where `s_i²` is the variance of the sampled values on host `i` and
+//! `s_u²` is the between-host variance of the estimated host totals.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tdist::t_critical;
+use crate::welford::Welford;
+
+/// Per-host sampling summary shipped from an agent to ScrubCentral: the
+/// host's matching-event population `M_i` and the moments of the values it
+/// actually sampled.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct HostSample {
+    /// `M_i`: events on this host that matched selection (before event
+    /// sampling).
+    pub population: u64,
+    /// Moments of the `m_i` sampled values `v_ij`.
+    pub stats: Welford,
+}
+
+impl HostSample {
+    /// Empty summary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that an event matched selection (contributes to `M_i`).
+    pub fn saw_match(&mut self) {
+        self.population += 1;
+    }
+
+    /// Record a sampled value `v_ij` (contributes to `m_i` and the moments).
+    pub fn sampled(&mut self, v: f64) {
+        self.stats.add(v);
+    }
+
+    /// `m_i`: number of sampled events.
+    pub fn sampled_count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// This host's estimated total `(M_i/m_i) Σ_j v_ij`.
+    pub fn estimated_total(&self) -> f64 {
+        let m = self.stats.count();
+        if m == 0 {
+            return 0.0;
+        }
+        (self.population as f64 / m as f64) * self.stats.sum()
+    }
+}
+
+/// Result of the two-stage estimation: the point estimate and its
+/// confidence bound (`estimate ± error_bound` with probability
+/// `confidence`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TwoStageEstimate {
+    /// τ̂, the estimated population total.
+    pub estimate: f64,
+    /// ε, the half-width of the confidence interval (Eq. 2). Zero when the
+    /// sample is exhaustive; infinite when `n < 2` (no between-host
+    /// variance estimate is possible).
+    pub error_bound: f64,
+    /// V̂ar(τ̂) (Eq. 3).
+    pub variance: f64,
+    /// Confidence level used for the bound (e.g. 0.95).
+    pub confidence: f64,
+}
+
+/// Estimate a population total from two-stage samples (Eqs. 1–3).
+///
+/// * `total_hosts` — `N`, the number of hosts matching the target clause.
+/// * `hosts` — one [`HostSample`] per *selected* host (`n = hosts.len()`).
+/// * `confidence` — e.g. `0.95` for a 95% bound.
+pub fn estimate_total(
+    total_hosts: usize,
+    hosts: &[HostSample],
+    confidence: f64,
+) -> TwoStageEstimate {
+    let n = hosts.len();
+    let nn = total_hosts as f64;
+    if n == 0 || total_hosts == 0 {
+        return TwoStageEstimate {
+            estimate: 0.0,
+            error_bound: f64::INFINITY,
+            variance: f64::INFINITY,
+            confidence,
+        };
+    }
+    let nf = n as f64;
+
+    // Eq. 1: τ̂ = (N/n) Σ_i τ̂_i
+    let host_totals: Vec<f64> = hosts.iter().map(HostSample::estimated_total).collect();
+    let sum_totals: f64 = host_totals.iter().sum();
+    let estimate = nn / nf * sum_totals;
+
+    // Between-host variance s_u² of the τ̂_i.
+    let mut between = Welford::new();
+    for &t in &host_totals {
+        between.add(t);
+    }
+    let s_u2 = between.variance();
+
+    // Eq. 3.
+    let mut within_term = 0.0;
+    for h in hosts {
+        let mi = h.sampled_count();
+        let big_m = h.population as f64;
+        if mi == 0 {
+            continue;
+        }
+        let s_i2 = h.stats.variance();
+        within_term += big_m * (big_m - mi as f64) * s_i2 / mi as f64;
+    }
+    let variance = nn * (nn - nf) * s_u2 / nf + nn / nf * within_term;
+
+    // Exhaustive sample (n == N and every m_i == M_i): exact answer.
+    let exhaustive = n == total_hosts && hosts.iter().all(|h| h.sampled_count() == h.population);
+    if exhaustive {
+        return TwoStageEstimate {
+            estimate,
+            error_bound: 0.0,
+            variance: 0.0,
+            confidence,
+        };
+    }
+
+    // Eq. 2 needs t_{n-1}; with n < 2 there is no between-host df.
+    let error_bound = if n < 2 {
+        f64::INFINITY
+    } else {
+        t_critical((n - 1) as f64, 1.0 - confidence) * variance.max(0.0).sqrt()
+    };
+
+    TwoStageEstimate {
+        estimate,
+        error_bound,
+        variance: variance.max(0.0),
+        confidence,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Build a synthetic population: `n_hosts` hosts, each with `per_host`
+    /// values drawn uniformly, then sample hosts/events at given rates.
+    fn run_trial(
+        rng: &mut StdRng,
+        n_hosts: usize,
+        per_host: usize,
+        host_rate: f64,
+        event_rate: f64,
+    ) -> (f64, TwoStageEstimate) {
+        let mut truth = 0.0;
+        let mut samples = Vec::new();
+        for _ in 0..n_hosts {
+            let selected = rng.gen_bool(host_rate);
+            let mut hs = HostSample::new();
+            for _ in 0..per_host {
+                let v: f64 = rng.gen_range(0.0..10.0);
+                truth += v;
+                if selected {
+                    hs.saw_match();
+                    if rng.gen_bool(event_rate) {
+                        hs.sampled(v);
+                    }
+                }
+            }
+            if selected {
+                samples.push(hs);
+            }
+        }
+        (truth, estimate_total(n_hosts, &samples, 0.95))
+    }
+
+    #[test]
+    fn exhaustive_sample_is_exact() {
+        let mut hosts = Vec::new();
+        let mut truth = 0.0;
+        for i in 0..10 {
+            let mut h = HostSample::new();
+            for j in 0..20 {
+                let v = (i * 20 + j) as f64;
+                h.saw_match();
+                h.sampled(v);
+                truth += v;
+            }
+            hosts.push(h);
+        }
+        let est = estimate_total(10, &hosts, 0.95);
+        assert!((est.estimate - truth).abs() < 1e-9);
+        assert_eq!(est.error_bound, 0.0);
+    }
+
+    #[test]
+    fn estimate_is_unbiased_ish() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut rel_errors = Vec::new();
+        for _ in 0..30 {
+            let (truth, est) = run_trial(&mut rng, 50, 200, 0.3, 0.2);
+            rel_errors.push((est.estimate - truth) / truth);
+        }
+        let mean_rel: f64 = rel_errors.iter().sum::<f64>() / rel_errors.len() as f64;
+        assert!(mean_rel.abs() < 0.05, "mean relative error {mean_rel}");
+    }
+
+    #[test]
+    fn bound_covers_truth_at_nominal_rate() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 200;
+        let mut covered = 0;
+        for _ in 0..trials {
+            let (truth, est) = run_trial(&mut rng, 40, 100, 0.4, 0.25);
+            if (est.estimate - truth).abs() <= est.error_bound {
+                covered += 1;
+            }
+        }
+        let coverage = covered as f64 / trials as f64;
+        // 95% nominal; conservative formulas often over-cover. Accept ≥ 88%.
+        assert!(coverage >= 0.88, "coverage {coverage}");
+    }
+
+    #[test]
+    fn tighter_bound_with_more_sampling() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (_, low) = run_trial(&mut rng, 50, 200, 0.2, 0.1);
+        let mut rng = StdRng::seed_from_u64(3);
+        let (_, high) = run_trial(&mut rng, 50, 200, 0.8, 0.8);
+        assert!(
+            high.error_bound < low.error_bound,
+            "high-rate bound {} should be < low-rate bound {}",
+            high.error_bound,
+            low.error_bound
+        );
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let est = estimate_total(0, &[], 0.95);
+        assert_eq!(est.estimate, 0.0);
+        assert!(est.error_bound.is_infinite());
+
+        // single host: no between-host df
+        let mut h = HostSample::new();
+        h.saw_match();
+        h.sampled(5.0);
+        h.saw_match(); // one unsampled match
+        let est = estimate_total(10, &[h], 0.95);
+        assert!(est.error_bound.is_infinite());
+        assert!((est.estimate - 10.0 * 2.0 * 5.0 / 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn count_estimation_via_unit_values() {
+        // COUNT(*) = SUM(1): sample half the hosts, all values 1
+        let mut hosts = Vec::new();
+        for _ in 0..5 {
+            let mut h = HostSample::new();
+            for _ in 0..100 {
+                h.saw_match();
+                h.sampled(1.0);
+            }
+            hosts.push(h);
+        }
+        let est = estimate_total(10, &hosts, 0.95);
+        assert!((est.estimate - 1000.0).abs() < 1e-9);
+        // equal cluster totals -> zero between-host variance -> zero bound
+        assert!(est.error_bound < 1e-9);
+    }
+}

@@ -1,0 +1,117 @@
+//! Reservoir sampling (Vitter's Algorithm R).
+//!
+//! Used by ScrubCentral to keep a bounded uniform sample of example rows
+//! per group (handy when a troubleshooter wants representative raw events
+//! behind an aggregate without shipping everything).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Fixed-capacity uniform sample over a stream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reservoir<T> {
+    capacity: usize,
+    seen: u64,
+    items: Vec<T>,
+}
+
+impl<T> Reservoir<T> {
+    /// Create a reservoir holding at most `capacity` items.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Reservoir {
+            capacity,
+            seen: 0,
+            items: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Offer an item; it is kept with probability `capacity / seen`.
+    pub fn offer<R: Rng>(&mut self, item: T, rng: &mut R) {
+        self.seen += 1;
+        if self.items.len() < self.capacity {
+            self.items.push(item);
+        } else {
+            let j = rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.items[j as usize] = item;
+            }
+        }
+    }
+
+    /// Items currently in the reservoir (order is not meaningful).
+    pub fn items(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Number of items offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Number of items retained.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if nothing was offered.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn keeps_everything_under_capacity() {
+        let mut r = Reservoir::new(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..5 {
+            r.offer(i, &mut rng);
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.seen(), 5);
+    }
+
+    #[test]
+    fn capacity_bounded() {
+        let mut r = Reservoir::new(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        for i in 0..1000 {
+            r.offer(i, &mut rng);
+        }
+        assert_eq!(r.len(), 10);
+        assert_eq!(r.seen(), 1000);
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        // each item of 0..100 should appear ~ equally often across trials
+        let mut hits = vec![0u32; 100];
+        for seed in 0..400 {
+            let mut r = Reservoir::new(10);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for i in 0..100u32 {
+                r.offer(i, &mut rng);
+            }
+            for &x in r.items() {
+                hits[x as usize] += 1;
+            }
+        }
+        // expectation = 400 * 10/100 = 40 hits per item
+        let min = *hits.iter().min().unwrap();
+        let max = *hits.iter().max().unwrap();
+        assert!(min > 15, "min hits {min}");
+        assert!(max < 75, "max hits {max}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        let _ = Reservoir::<u32>::new(0);
+    }
+}

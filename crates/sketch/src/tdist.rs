@@ -1,0 +1,221 @@
+//! Student-t distribution quantiles.
+//!
+//! The error bound of the two-stage sampling estimator (paper Equation 2)
+//! is `ε = t_{n-1, 1-α/2} · sqrt(V̂ar(τ̂))`. This module computes the
+//! required t quantiles from the regularized incomplete beta function
+//! (continued-fraction evaluation + bisection); it is nowhere near a hot
+//! path, so robustness beats speed.
+
+/// Natural log of the gamma function (Lanczos approximation).
+fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients (g = 7, n = 9)
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // reflection formula
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + 7.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via the continued
+/// fraction of Lentz's method.
+pub fn betai(a: f64, b: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x >= 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // use the symmetry that converges fastest
+    if x < (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - ln_gamma_beta_complement(a, b, x)
+    }
+}
+
+fn ln_gamma_beta_complement(a: f64, b: f64, x: f64) -> f64 {
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    ln_front.exp() * beta_cf(b, a, 1.0 - x) / b
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const FPMIN: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // even step
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // odd step
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// CDF of the Student-t distribution with `df` degrees of freedom.
+pub fn t_cdf(t: f64, df: f64) -> f64 {
+    if df <= 0.0 {
+        return f64::NAN;
+    }
+    let x = df / (df + t * t);
+    let p = 0.5 * betai(0.5 * df, 0.5, x);
+    if t >= 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// Quantile `t` such that `P(T <= t) = p`, for `p` in (0, 1), via
+/// bisection. Accurate to ~1e-10.
+pub fn t_quantile(p: f64, df: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "probability out of range");
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    if (p - 0.5).abs() < 1e-15 {
+        return 0.0;
+    }
+    let (mut lo, mut hi) = if p > 0.5 { (0.0, 1e6) } else { (-1e6, 0.0) };
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if t_cdf(mid, df) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+        if hi - lo < 1e-12 * (1.0 + hi.abs()) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Two-sided critical value `t_{df, 1 - α/2}` used in Equation 2.
+pub fn t_critical(df: f64, alpha: f64) -> f64 {
+    t_quantile(1.0 - alpha / 2.0, df)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_critical_values() {
+        // classic t-table entries, 95% two-sided
+        let cases = [
+            (1.0, 12.706),
+            (2.0, 4.303),
+            (5.0, 2.571),
+            (10.0, 2.228),
+            (30.0, 2.042),
+            (100.0, 1.984),
+        ];
+        for (df, expected) in cases {
+            let got = t_critical(df, 0.05);
+            assert!(
+                (got - expected).abs() < 2e-3,
+                "df={df}: got {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn converges_to_normal_quantile() {
+        // for large df, t_{0.975} -> z_{0.975} = 1.959964
+        let got = t_critical(100_000.0, 0.05);
+        assert!((got - 1.95996).abs() < 1e-3, "got {got}");
+    }
+
+    #[test]
+    fn cdf_is_symmetric_and_monotone() {
+        for df in [1.0, 3.0, 17.0] {
+            assert!((t_cdf(0.0, df) - 0.5).abs() < 1e-12);
+            assert!((t_cdf(1.5, df) + t_cdf(-1.5, df) - 1.0).abs() < 1e-10);
+            assert!(t_cdf(1.0, df) < t_cdf(2.0, df));
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        for df in [2.0, 9.0, 25.0] {
+            for p in [0.6, 0.9, 0.975, 0.995] {
+                let t = t_quantile(p, df);
+                assert!((t_cdf(t, df) - p).abs() < 1e-9, "df={df} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn lower_tail_quantiles_negative() {
+        assert!(t_quantile(0.025, 10.0) < 0.0);
+        assert!((t_quantile(0.025, 10.0) + t_quantile(0.975, 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn betai_bounds() {
+        assert_eq!(betai(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(betai(2.0, 3.0, 1.0), 1.0);
+        // I_{0.5}(0.5, 0.5) = 0.5 by symmetry
+        assert!((betai(0.5, 0.5, 0.5) - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_probability_panics() {
+        let _ = t_quantile(1.5, 3.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests of the probabilistic substrate's invariants.
+
+use proptest::prelude::*;
+
+use scrub_sketch::{estimate_total, HostSample, HyperLogLog, SpaceSaving, Welford};
+
+proptest! {
+    /// SpaceSaving's fundamental guarantee on any stream: for every
+    /// monitored item, `count - error <= true_count <= count`.
+    #[test]
+    fn spacesaving_error_bounds(
+        stream in prop::collection::vec(0u16..64, 1..500),
+        capacity in 1usize..16,
+    ) {
+        let mut ss = SpaceSaving::new(capacity);
+        let mut truth = std::collections::HashMap::new();
+        for &x in &stream {
+            ss.offer(x);
+            *truth.entry(x).or_insert(0u64) += 1;
+        }
+        prop_assert_eq!(ss.total(), stream.len() as u64);
+        for c in ss.top_k(capacity) {
+            let t = truth.get(&c.item).copied().unwrap_or(0);
+            prop_assert!(c.count >= t, "count {} < truth {}", c.count, t);
+            prop_assert!(c.count - c.error <= t, "lower bound violated");
+        }
+    }
+
+    /// Any item with frequency above total/capacity is guaranteed present.
+    #[test]
+    fn spacesaving_heavy_hitter_guarantee(
+        noise in prop::collection::vec(1u32..1000, 0..200),
+        heavy_count in 50u64..150,
+    ) {
+        let capacity = 8;
+        let mut ss = SpaceSaving::new(capacity);
+        let mut total = 0u64;
+        // interleave: noise items once each, heavy item many times
+        for (i, &x) in noise.iter().enumerate() {
+            ss.offer(x);
+            total += 1;
+            if (i as u64).is_multiple_of(2) && total < heavy_count * 2 {
+                ss.offer(0u32); // heavy item
+                total += 1;
+            }
+        }
+        for _ in 0..heavy_count {
+            ss.offer(0u32);
+        }
+        total += heavy_count;
+        let freq_0 = heavy_count + noise.len() as u64 / 2;
+        if freq_0 > total / capacity as u64 {
+            let top: Vec<u32> = ss.top_k(capacity).into_iter().map(|c| c.item).collect();
+            prop_assert!(top.contains(&0), "heavy hitter evicted");
+        }
+    }
+
+    /// Welford merge is equivalent to sequential accumulation (any split).
+    #[test]
+    fn welford_merge_any_split(
+        xs in prop::collection::vec(-1e6f64..1e6, 2..100),
+        split in 0usize..100,
+    ) {
+        let split = split % xs.len();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.add(x);
+        }
+        let (mut a, mut b) = (Welford::new(), Welford::new());
+        for &x in &xs[..split] {
+            a.add(x);
+        }
+        for &x in &xs[split..] {
+            b.add(x);
+        }
+        a.merge(&b);
+        prop_assert_eq!(a.count(), whole.count());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!(
+            (a.variance() - whole.variance()).abs()
+                < 1e-6 * (1.0 + whole.variance().abs())
+        );
+    }
+
+    /// HLL merge is a union: merging a sketch into itself changes nothing,
+    /// and merge is commutative on the estimate.
+    #[test]
+    fn hll_merge_union_semantics(
+        xs in prop::collection::vec(any::<u64>(), 0..300),
+        ys in prop::collection::vec(any::<u64>(), 0..300),
+    ) {
+        let mut a = HyperLogLog::new(10);
+        let mut b = HyperLogLog::new(10);
+        for x in &xs {
+            a.add_bytes(&x.to_le_bytes());
+        }
+        for y in &ys {
+            b.add_bytes(&y.to_le_bytes());
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab.estimate(), ba.estimate());
+        // idempotence
+        let mut aa = a.clone();
+        aa.merge(&a);
+        prop_assert_eq!(aa.estimate(), a.estimate());
+    }
+
+    /// The two-stage estimator is exact on exhaustive samples.
+    #[test]
+    fn estimator_exact_when_exhaustive(
+        host_values in prop::collection::vec(
+            prop::collection::vec(-1e3f64..1e3, 1..30),
+            1..10,
+        ),
+    ) {
+        let mut truth = 0.0;
+        let hosts: Vec<HostSample> = host_values
+            .iter()
+            .map(|vs| {
+                let mut h = HostSample::new();
+                for &v in vs {
+                    truth += v;
+                    h.saw_match();
+                    h.sampled(v);
+                }
+                h
+            })
+            .collect();
+        let est = estimate_total(hosts.len(), &hosts, 0.95);
+        prop_assert!((est.estimate - truth).abs() < 1e-6 * (1.0 + truth.abs()));
+        prop_assert_eq!(est.error_bound, 0.0);
+    }
+
+    /// The estimator's bound is non-negative and the variance finite for
+    /// any non-degenerate sample configuration.
+    #[test]
+    fn estimator_bound_well_formed(
+        populations in prop::collection::vec(1u64..100, 2..12),
+        extra_hosts in 0usize..10,
+    ) {
+        let hosts: Vec<HostSample> = populations
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| {
+                let mut h = HostSample::new();
+                for j in 0..m {
+                    h.saw_match();
+                    if j % 2 == 0 {
+                        h.sampled((i * 7 + j as usize) as f64);
+                    }
+                }
+                h
+            })
+            .collect();
+        let est = estimate_total(hosts.len() + extra_hosts, &hosts, 0.95);
+        prop_assert!(est.estimate.is_finite());
+        prop_assert!(est.variance >= 0.0);
+        prop_assert!(est.error_bound >= 0.0);
+    }
+}

@@ -1,0 +1,93 @@
+//! §8.3 A/B testing of ad targeting models (Figures 13–15).
+//!
+//! Model B runs on half the pods. Two query templates per model — the CPM
+//! query (`1000*AVG(impression.cost)`) and the CTR counts
+//! (`COUNT(click) / COUNT(impression)`) — each targeting the servers of
+//! one model via the `@[Servers in (list)]` clause. B should show a higher
+//! CTR at roughly equal CPM.
+//!
+//! ```sh
+//! cargo run --release --example ab_testing
+//! ```
+
+use scrub::prelude::*;
+use scrub::scenario;
+use scrub_core::plan::QueryId;
+
+fn main() {
+    let mut p = adplatform::build_platform(scenario::ab_test());
+    let li = scenario::AB_LINE_ITEM;
+
+    let host_list = |hosts: &[String]| {
+        hosts
+            .iter()
+            .map(|h| format!("'{h}'"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let a_hosts = host_list(&p.pres_hosts_for_model("A"));
+    let b_hosts = host_list(&p.pres_hosts_for_model("B"));
+
+    let mut submit = |src: String| submit_query(&mut p.sim, &p.scrub, &src);
+    let mut q = |event: &str, select: &str, hosts: &str| -> QueryId {
+        submit(format!(
+            "Select {select} from {event} \
+             where {event}.line_item_id = {li} \
+             @[Servers in ({hosts})] \
+             window 1 m duration 10 m"
+        ))
+    };
+
+    // Figure 13: CPM per model; Figure 14: impression & click counts.
+    let cpm_a = q("impression", "1000*AVG(impression.cost)", &a_hosts);
+    let cpm_b = q("impression", "1000*AVG(impression.cost)", &b_hosts);
+    let imp_a = q("impression", "COUNT(*)", &a_hosts);
+    let imp_b = q("impression", "COUNT(*)", &b_hosts);
+    let clk_a = q("click", "COUNT(*)", &a_hosts);
+    let clk_b = q("click", "COUNT(*)", &b_hosts);
+
+    println!("running the A/B experiment for 11 simulated minutes...");
+    p.sim.run_until(SimTime::from_secs(12 * 60));
+
+    let total = |qid| -> f64 {
+        results(&p.sim, &p.scrub, qid)
+            .map(|r| r.rows.iter().filter_map(|row| row.values[0].as_f64()).sum())
+            .unwrap_or(0.0)
+    };
+    let avg = |qid| -> f64 {
+        results(&p.sim, &p.scrub, qid)
+            .map(|r| {
+                let vals: Vec<f64> = r
+                    .rows
+                    .iter()
+                    .filter_map(|row| row.values[0].as_f64())
+                    .collect();
+                if vals.is_empty() {
+                    0.0
+                } else {
+                    vals.iter().sum::<f64>() / vals.len() as f64
+                }
+            })
+            .unwrap_or(0.0)
+    };
+
+    let (cpm_a, cpm_b) = (avg(cpm_a), avg(cpm_b));
+    let (imps_a, imps_b) = (total(imp_a), total(imp_b));
+    let (clks_a, clks_b) = (total(clk_a), total(clk_b));
+    let ctr = |c: f64, i: f64| if i > 0.0 { c / i } else { 0.0 };
+
+    println!("\nmodel\tCPM\timpressions\tclicks\tCTR");
+    println!(
+        "A\t{cpm_a:.1}\t{imps_a:.0}\t\t{clks_a:.0}\t{:.4}",
+        ctr(clks_a, imps_a)
+    );
+    println!(
+        "B\t{cpm_b:.1}\t{imps_b:.0}\t\t{clks_b:.0}\t{:.4}",
+        ctr(clks_b, imps_b)
+    );
+    println!(
+        "\nCTR(B)/CTR(A) = {:.2} at CPM ratio {:.2} -> model B wins: better CTR at the same cost",
+        ctr(clks_b, imps_b) / ctr(clks_a, imps_a).max(1e-12),
+        cpm_b / cpm_a.max(1e-12)
+    );
+}

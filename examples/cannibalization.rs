@@ -1,0 +1,78 @@
+//! §8.5 Line-item cannibalization (Figures 18 & 19).
+//!
+//! Line item λ has budget and relaxed targeting but never serves: four
+//! competitors with overlapping targeting have entire bid-price bands
+//! above λ's. The Figure 19 query joins `auction` and `impression` events
+//! on the request id, keeps the auctions λ participated in, and reports
+//! per winner the win count and average winning price — every winner's
+//! average sits above λ's advisory price, explaining the starvation.
+//!
+//! ```sh
+//! cargo run --release --example cannibalization
+//! ```
+
+use std::collections::BTreeMap;
+
+use scrub::prelude::*;
+use scrub::scenario;
+
+fn main() {
+    let lambda = scenario::LAMBDA_LINE_ITEM as i64;
+    let cfg = scenario::cannibalization();
+    let advisory = cfg
+        .line_items
+        .iter()
+        .find(|l| l.id == scenario::LAMBDA_LINE_ITEM)
+        .unwrap()
+        .advisory_price;
+    let mut p = adplatform::build_platform(cfg);
+
+    // Figure 19: join auctions with the impressions they produced, keep
+    // the auctions λ participated in, group by the winning line item.
+    let qid = submit_query(
+        &mut p.sim,
+        &p.scrub,
+        &format!(
+            "Select impression.line_item_id, COUNT(*), AVG(auction.winner_price) \
+             from auction, impression \
+             where contains(auction.line_item_ids, {lambda}) \
+             @[Service in AdServers or Service in PresentationServers] \
+             group by impression.line_item_id \
+             window 1 m duration 8 m"
+        ),
+    );
+
+    println!("investigating why line item λ={lambda} never serves...");
+    p.sim.run_until(SimTime::from_secs(10 * 60));
+
+    let rec = results(&p.sim, &p.scrub, qid).expect("accepted");
+
+    // Figure 18a/18b: per line item, wins and average winning price.
+    let mut wins: BTreeMap<i64, (i64, f64, i64)> = BTreeMap::new();
+    for row in &rec.rows {
+        let li = row.values[0].as_i64().unwrap();
+        let count = row.values[1].as_i64().unwrap();
+        let price = row.values[2].as_f64().unwrap();
+        let e = wins.entry(li).or_insert((0, 0.0, 0));
+        e.0 += count;
+        e.1 += price;
+        e.2 += 1;
+    }
+
+    println!("\nline_item\twins\tavg_winning_price");
+    for (li, (count, price_sum, n)) in &wins {
+        println!("{li}\t{count}\t{:.3}", price_sum / *n as f64);
+    }
+    println!("\nλ's advisory price: {advisory:.3}");
+
+    let lambda_wins = wins.get(&lambda).map(|w| w.0).unwrap_or(0);
+    let min_winner_price = wins
+        .values()
+        .map(|(_, s, n)| s / *n as f64)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "λ won {lambda_wins} of the auctions it entered; every winner's average \
+         price ({min_winner_price:.3}+) exceeds λ's advisory price ({advisory:.3})\n\
+         -> λ is cannibalized; raise its advisory bid price"
+    );
+}

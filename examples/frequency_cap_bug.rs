@@ -1,0 +1,80 @@
+//! §8.6 Incorrectly set field.
+//!
+//! A campaign is capped at one ad per user per day, yet some users see
+//! more. The planted fault: the ProfileStore silently drops frequency-count
+//! updates for one in ten users, so the filtering phase never sees their
+//! counts rise. The troubleshooting query groups impressions of the capped
+//! line item by user — users exceeding the cap are exactly the corrupted
+//! ones.
+//!
+//! ```sh
+//! cargo run --release --example frequency_cap_bug
+//! ```
+
+use scrub::prelude::*;
+use scrub::scenario;
+
+fn main() {
+    let li = scenario::CAPPED_LINE_ITEM;
+    let mut p = adplatform::build_platform(scenario::freq_cap());
+
+    let qid = submit_query(
+        &mut p.sim,
+        &p.scrub,
+        &format!(
+            "Select impression.user_id, COUNT(*) \
+             from impression \
+             where impression.line_item_id = {li} \
+             @[Service in PresentationServers] \
+             group by impression.user_id \
+             window 1 d duration 10 m"
+        ),
+    );
+
+    println!("customer reports users see the capped ad more than once/day...");
+    p.sim.run_until(SimTime::from_secs(12 * 60));
+
+    let rec = results(&p.sim, &p.scrub, qid).expect("accepted");
+    // A count slightly above the cap can be mere replication lag between
+    // the ProfileStore and the AdServers' cap check; a count far above it
+    // means the user's frequency count is not rising at all.
+    const GROSS: i64 = 5;
+    let mut gross = Vec::new();
+    let mut lagged = 0u64;
+    let mut capped_ok = 0u64;
+    for row in &rec.rows {
+        let user = row.values[0].as_i64().unwrap() as u64;
+        let count = row.values[1].as_i64().unwrap();
+        if count > GROSS {
+            gross.push((user, count));
+        } else if count > 1 {
+            lagged += 1;
+        } else {
+            capped_ok += 1;
+        }
+    }
+    gross.sort_by_key(|(_, c)| -c);
+
+    println!(
+        "\n{capped_ok} users within the cap; {lagged} users slightly over \
+         (replication lag); {} users grossly over the cap:",
+        gross.len()
+    );
+    println!(
+        "user_id\timpressions_today\tuser_id % {}",
+        scenario::CORRUPT_USER_MOD
+    );
+    for (user, count) in gross.iter().take(15) {
+        println!("{user}\t{count}\t\t\t{}", user % scenario::CORRUPT_USER_MOD);
+    }
+
+    let all_corrupt = gross
+        .iter()
+        .all(|(u, _)| u % scenario::CORRUPT_USER_MOD == 0);
+    println!(
+        "\nevery gross violator has user_id % {} == 0: {all_corrupt} \
+         -> the frequency counts of those users are not being updated; \
+         inspect the ProfileStore write path",
+        scenario::CORRUPT_USER_MOD
+    );
+}

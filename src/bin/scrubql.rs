@@ -1,0 +1,192 @@
+//! `scrubql` — an interactive ScrubQL shell over a live simulated bidding
+//! platform.
+//!
+//! Starts the selected scenario, then reads queries from stdin. Each query
+//! is submitted to the Scrub query server; the simulation advances in
+//! virtual time until the query's span elapses and results are printed.
+//!
+//! ```sh
+//! cargo run --release --bin scrubql -- --scenario spam
+//! echo "select bid.user_id, COUNT(*) from bid @[all] group by bid.user_id \
+//!       window 10 s duration 30 s" | cargo run --release --bin scrubql
+//! ```
+//!
+//! Commands: a ScrubQL query (terminated by a newline), `explain <query>`,
+//! `\stats`, `\events`, `\hosts`, `\help`, `\quit`.
+
+use std::io::{BufRead, Write};
+
+use scrub::prelude::*;
+use scrub_core::plan::{compile, QueryId};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let scenario = args
+        .iter()
+        .position(|a| a == "--scenario")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("default")
+        .to_string();
+
+    let cfg = match scenario.as_str() {
+        "spam" => scrub::scenario::spam(),
+        "new_exchange" => scrub::scenario::new_exchange(),
+        "ab_test" => scrub::scenario::ab_test(),
+        "exclusions" => scrub::scenario::exclusions(),
+        "cannibalization" => scrub::scenario::cannibalization(),
+        "freq_cap" => scrub::scenario::freq_cap(),
+        "default" => PlatformConfig::default(),
+        other => {
+            eprintln!(
+                "unknown scenario {other:?}; pick one of: default, spam, new_exchange, \
+                 ab_test, exclusions, cannibalization, freq_cap"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!("building platform for scenario {scenario:?} ...");
+    let mut p = adplatform::build_platform(cfg);
+    // warm the platform up so queries see steady-state traffic
+    p.sim.run_until(SimTime::from_secs(5));
+    eprintln!(
+        "ready at virtual t={:.0}s — {} hosts, services: BidServers, AdServers, \
+         PresentationServers, ProfileStore. Type \\help for commands.",
+        p.sim.now().as_secs_f64(),
+        p.sim.metas().len()
+    );
+
+    let stdin = std::io::stdin();
+    let interactive = args.iter().all(|a| a != "--batch");
+    loop {
+        if interactive {
+            eprint!("scrub> ");
+            std::io::stderr().flush().ok();
+        }
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match line {
+            "\\quit" | "\\q" | "exit" => break,
+            "\\help" => {
+                println!(
+                    "commands:\n  <scrubql query>   run a query (span controls how long)\n  \
+                     explain <query>   show the host/central plan split\n  \
+                     \\stats            platform + scrub statistics\n  \
+                     \\events           event types and schemas\n  \
+                     \\hosts            host inventory\n  \\quit"
+                );
+            }
+            "\\stats" => print_stats(&p),
+            "\\events" => {
+                for name in p.registry.names() {
+                    let (_, schema) = p.registry.schema_by_name(&name).expect("listed");
+                    let fields: Vec<String> = schema
+                        .fields
+                        .iter()
+                        .map(|f| format!("{}: {}", f.name, f.ty))
+                        .collect();
+                    println!("{name}({})", fields.join(", "));
+                }
+            }
+            "\\hosts" => {
+                for m in p.sim.metas() {
+                    println!("{}\t{}\t{}", m.name, m.service, m.dc);
+                }
+            }
+            other if other.starts_with("explain ") => {
+                let src = &other["explain ".len()..];
+                match parse_query(src)
+                    .and_then(|s| compile(&s, &p.registry, &ScrubConfig::default(), QueryId(0)))
+                {
+                    Ok(cq) => println!("{}", cq.explain()),
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+            src => run_query(&mut p, src),
+        }
+    }
+}
+
+fn run_query(p: &mut Platform, src: &str) {
+    let qid = submit_query(&mut p.sim, &p.scrub, src);
+    if results(&p.sim, &p.scrub, qid).is_none() {
+        if let Some((_, reason)) = scrub::server::rejections(&p.sim, &p.scrub).last() {
+            println!("rejected: {reason}");
+        }
+        return;
+    }
+    // advance virtual time until the query completes (span + drain)
+    let deadline = p.sim.now() + SimDuration::from_secs(3 * 3600);
+    while p.sim.now() < deadline {
+        let step_to = p.sim.now() + SimDuration::from_secs(5);
+        p.sim.run_until(step_to);
+        let state = results(&p.sim, &p.scrub, qid).map(|r| r.state);
+        if state == Some(QueryState::Done) {
+            break;
+        }
+    }
+    let rec = results(&p.sim, &p.scrub, qid).expect("record exists");
+    println!(
+        "-- query {qid} {:?} at virtual t={:.0}s, {} row(s)",
+        rec.state,
+        p.sim.now().as_secs_f64(),
+        rec.rows.len()
+    );
+    println!("window_start\t{}", rec.compiled.central.headers.join("\t"));
+    const MAX_ROWS: usize = 40;
+    for row in rec.rows.iter().take(MAX_ROWS) {
+        println!("{}", row.to_tsv());
+    }
+    if rec.rows.len() > MAX_ROWS {
+        println!("... ({} more rows)", rec.rows.len() - MAX_ROWS);
+    }
+    if let Some(s) = &rec.summary {
+        println!(
+            "-- {} hosts, matched {}, shipped {}, shed {}",
+            s.hosts_reporting, s.total_matched, s.total_sampled, s.total_shed
+        );
+        for (i, est) in s.estimates.iter().enumerate() {
+            if let Some(e) = est {
+                println!(
+                    "-- column {}: estimate {:.1} ± {:.1} ({}% confidence)",
+                    rec.compiled.central.headers[i],
+                    e.estimate,
+                    e.error_bound,
+                    (e.confidence * 100.0) as i64,
+                );
+            }
+        }
+    }
+}
+
+fn print_stats(p: &Platform) {
+    println!("virtual time: {:.0}s", p.sim.now().as_secs_f64());
+    println!(
+        "events processed by the simulator: {}",
+        p.sim.events_processed()
+    );
+    let prod = p.event_production();
+    println!(
+        "event production: {} bids, {} auctions, {} exclusions, {} impressions, {} clicks",
+        prod.bids, prod.auctions, prod.exclusions, prod.impressions, prod.clicks
+    );
+    let mut shipped = 0u64;
+    let mut seen = 0u64;
+    for (_, s) in p.agent_stats() {
+        shipped += s.bytes_shipped;
+        seen += s.events_seen;
+    }
+    println!("agents: {seen} tap calls, {shipped} bytes shipped to ScrubCentral");
+    println!(
+        "cross-DC traffic: {} bytes over {} messages",
+        p.sim.traffic().cross_dc_bytes(),
+        p.sim.traffic().total_messages()
+    );
+}

@@ -1,0 +1,176 @@
+//! Quick in-test versions of the §8 case studies: each scenario's planted
+//! anomaly must be detectable by its troubleshooting query. (The full-size
+//! reproductions live in `scrub-bench`'s E01–E06; these shorter runs keep
+//! the anomaly-detection guarantees under `cargo test`.)
+
+use scrub::prelude::*;
+use scrub::scenario;
+use scrub_server::results;
+
+#[test]
+fn spam_bots_detectable() {
+    let cfg = scenario::spam();
+    let bots = scenario::spam_bot_user_ids(&cfg);
+    let mut p = adplatform::build_platform(cfg);
+    let host = p.sim.metas()[p.bidservers[0].0 as usize].name.clone();
+    let qid = submit_query(
+        &mut p.sim,
+        &p.scrub,
+        &format!(
+            "Select bid.user_id, COUNT(*) from bid \
+             @[Server = '{host}'] group by bid.user_id window 10 s duration 2 m"
+        ),
+    );
+    p.sim.run_until(SimTime::from_secs(150));
+    let rec = results(&p.sim, &p.scrub, qid).unwrap();
+    assert_eq!(rec.state, QueryState::Done);
+    let mut max_human = 0i64;
+    let mut max_bot = 0i64;
+    for row in &rec.rows {
+        let user = row.values[0].as_i64().unwrap() as u64;
+        let count = row.values[1].as_i64().unwrap();
+        if bots.contains(&user) {
+            max_bot = max_bot.max(count);
+        } else {
+            max_human = max_human.max(count);
+        }
+    }
+    assert!(
+        max_bot > 5 * max_human.max(1),
+        "bots not separable: bot {max_bot} vs human {max_human}"
+    );
+}
+
+#[test]
+fn new_exchange_activation_visible() {
+    let mut cfg = scenario::new_exchange();
+    for ex in cfg.exchanges.iter_mut() {
+        if ex.name == "D" {
+            ex.live_from_ms = 60_000; // compress for the test
+        }
+    }
+    let mut p = adplatform::build_platform(cfg);
+    let qid = submit_query(
+        &mut p.sim,
+        &p.scrub,
+        "select impression.exchange_id, COUNT(*) from impression \
+         @[Service in PresentationServers] sample events 10% \
+         group by impression.exchange_id window 10 s duration 2 m",
+    );
+    p.sim.run_until(SimTime::from_secs(160));
+    let rec = results(&p.sim, &p.scrub, qid).unwrap();
+    let d_before: f64 = rec
+        .rows
+        .iter()
+        .filter(|r| r.window_start_ms < 60_000 && r.values[0].as_i64() == Some(3))
+        .filter_map(|r| r.values[1].as_f64())
+        .sum();
+    let d_after: f64 = rec
+        .rows
+        .iter()
+        .filter(|r| r.window_start_ms >= 80_000 && r.values[0].as_i64() == Some(3))
+        .filter_map(|r| r.values[1].as_f64())
+        .sum();
+    assert_eq!(d_before, 0.0, "exchange D served before activation");
+    assert!(d_after > 0.0, "exchange D never served after activation");
+}
+
+#[test]
+fn cannibalized_line_item_never_wins() {
+    let mut p = adplatform::build_platform(scenario::cannibalization());
+    let lambda = scenario::LAMBDA_LINE_ITEM as i64;
+    let qid = submit_query(
+        &mut p.sim,
+        &p.scrub,
+        &format!(
+            "Select impression.line_item_id, COUNT(*) from auction, impression \
+             where contains(auction.line_item_ids, {lambda}) \
+             @[Service in AdServers or Service in PresentationServers] \
+             group by impression.line_item_id window 30 s duration 2 m"
+        ),
+    );
+    p.sim.run_until(SimTime::from_secs(160));
+    let rec = results(&p.sim, &p.scrub, qid).unwrap();
+    assert!(!rec.rows.is_empty(), "no auction-impression joins observed");
+    let lambda_wins: i64 = rec
+        .rows
+        .iter()
+        .filter(|r| r.values[0].as_i64() == Some(lambda))
+        .filter_map(|r| r.values[1].as_i64())
+        .sum();
+    assert_eq!(lambda_wins, 0, "λ won despite a dominated price band");
+}
+
+#[test]
+fn corrupted_frequency_counts_detectable() {
+    let mut p = adplatform::build_platform(scenario::freq_cap());
+    let li = scenario::CAPPED_LINE_ITEM;
+    let qid = submit_query(
+        &mut p.sim,
+        &p.scrub,
+        &format!(
+            "Select impression.user_id, COUNT(*) from impression \
+             where impression.line_item_id = {li} \
+             @[Service in PresentationServers] \
+             group by impression.user_id window 1 d duration 3 m"
+        ),
+    );
+    p.sim.run_until(SimTime::from_secs(240));
+    let rec = results(&p.sim, &p.scrub, qid).unwrap();
+    assert_eq!(rec.state, QueryState::Done);
+    let gross: Vec<u64> = rec
+        .rows
+        .iter()
+        .filter(|r| r.values[1].as_i64().unwrap_or(0) > 5)
+        .map(|r| r.values[0].as_i64().unwrap() as u64)
+        .collect();
+    assert!(!gross.is_empty(), "no gross violators surfaced");
+    assert!(
+        gross.iter().all(|u| u % scenario::CORRUPT_USER_MOD == 0),
+        "violators not confined to the corrupt users: {gross:?}"
+    );
+}
+
+#[test]
+fn rollout_regression_detectable() {
+    let mut p = adplatform::build_platform(scenario::rollout_regression());
+    let quote = |hosts: &[String]| {
+        hosts
+            .iter()
+            .map(|h| format!("'{h}'"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let old_hosts = quote(&p.adserver_hosts_for_rollout(false));
+    let new_hosts = quote(&p.adserver_hosts_for_rollout(true));
+    let mut q = |hosts: &str| {
+        submit_query(
+            &mut p.sim,
+            &p.scrub,
+            &format!(
+                "select AVG(auction.winner_price) from auction \
+                 @[Servers in ({hosts})] window 30 s duration 4 m"
+            ),
+        )
+    };
+    let q_old = q(&old_hosts);
+    let q_new = q(&new_hosts);
+    p.sim.run_until(SimTime::from_secs(5 * 60));
+
+    let avg_after = |qid| -> f64 {
+        let rec = results(&p.sim, &p.scrub, qid).unwrap();
+        let vals: Vec<f64> = rec
+            .rows
+            .iter()
+            .filter(|r| r.window_start_ms >= scenario::ROLLOUT_AT_MS + 30_000)
+            .filter_map(|r| r.values[0].as_f64())
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    };
+    let old_avg = avg_after(q_old);
+    let new_avg = avg_after(q_new);
+    assert!(
+        new_avg > 3.0 * old_avg,
+        "regression invisible: old {old_avg:.3} vs new {new_avg:.3}"
+    );
+}

@@ -1,0 +1,70 @@
+//! Integration tests of the `scrubql` interactive shell, driven through
+//! its stdin/stdout like a scripting user would.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn run_cli(scenario: &str, script: &str) -> String {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_scrubql"))
+        .args(["--batch", "--scenario", scenario])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn scrubql");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin")
+        .write_all(script.as_bytes())
+        .expect("write script");
+    let out = child.wait_with_output().expect("scrubql run");
+    assert!(out.status.success(), "scrubql exited with {:?}", out.status);
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+#[test]
+fn cli_runs_a_query_and_prints_rows() {
+    let out = run_cli(
+        "default",
+        "select bid.exchange_id, COUNT(*) from bid @[Service in BidServers] \
+         group by bid.exchange_id window 10 s duration 20 s\n\\quit\n",
+    );
+    assert!(out.contains("Done"), "query did not finish:\n{out}");
+    assert!(out.contains("COUNT(*)"), "missing headers:\n{out}");
+    // at least one data row with a window start and counts
+    assert!(
+        out.lines()
+            .any(|l| l.starts_with(|c: char| c.is_ascii_digit())),
+        "no data rows:\n{out}"
+    );
+    assert!(out.contains("hosts, matched"), "missing summary:\n{out}");
+}
+
+#[test]
+fn cli_explain_shows_placement() {
+    let out = run_cli(
+        "default",
+        "explain select COUNT(*) from bid, exclusion where bid.exchange_id = 1 \
+         group by exclusion.reason\n\\quit\n",
+    );
+    assert!(out.contains("host plans (selection + projection + sampling ONLY):"));
+    assert!(out.contains("equi-join on request_id across 2 inputs"));
+}
+
+#[test]
+fn cli_rejects_bad_queries_gracefully() {
+    let out = run_cli("default", "select FROB(x) from bid\n\\stats\n\\quit\n");
+    assert!(out.contains("rejected:"), "no rejection message:\n{out}");
+    // the shell keeps working afterwards
+    assert!(out.contains("event production:"), "stats missing:\n{out}");
+}
+
+#[test]
+fn cli_lists_events_and_hosts() {
+    let out = run_cli("default", "\\events\n\\hosts\n\\quit\n");
+    assert!(out.contains("bid("));
+    assert!(out.contains("impression("));
+    assert!(out.contains("BidServers"));
+    assert!(out.contains("ProfileStore"));
+}

@@ -1,0 +1,202 @@
+//! Differential property testing: random queries over random events,
+//! executed by the Scrub batch engine (host plans + central executor) and
+//! by an *independent naive interpreter* written directly against the
+//! query semantics. Any divergence is a bug in one of them.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use scrub::prelude::*;
+use scrub_baseline::run_batch;
+use scrub_core::event::{Event, RequestId};
+use scrub_core::plan::{compile, QueryId};
+use scrub_core::schema::EventTypeId;
+
+const WINDOW_MS: i64 = 10_000;
+
+/// A restricted random query: optional predicate, optional grouping, one
+/// aggregate.
+#[derive(Debug, Clone)]
+struct RandomQuery {
+    predicate: Option<(usize, char, i64)>, // (field idx, op, const)
+    group_field: Option<usize>,
+    agg: char, // 'c'ount, 's'um, 'a'vg, 'm'in, 'M'ax
+    slide: Option<i64>,
+}
+
+const FIELDS: [&str; 3] = ["f0", "f1", "f2"];
+
+impl RandomQuery {
+    fn to_sql(&self) -> String {
+        let mut select = Vec::new();
+        if let Some(g) = self.group_field {
+            select.push(format!("e.{}", FIELDS[g]));
+        }
+        select.push(match self.agg {
+            'c' => "COUNT(*)".to_string(),
+            's' => "SUM(e.f2)".to_string(),
+            'a' => "AVG(e.f2)".to_string(),
+            'm' => "MIN(e.f2)".to_string(),
+            _ => "MAX(e.f2)".to_string(),
+        });
+        let mut q = format!("select {} from e", select.join(", "));
+        if let Some((f, op, c)) = &self.predicate {
+            let op = match op {
+                '<' => "<",
+                '>' => ">",
+                '=' => "=",
+                _ => "!=",
+            };
+            q.push_str(&format!(" where e.{} {op} {c}", FIELDS[*f]));
+        }
+        if let Some(g) = self.group_field {
+            q.push_str(&format!(" group by e.{}", FIELDS[g]));
+        }
+        q.push_str(" window 10 s");
+        if let Some(s) = self.slide {
+            q.push_str(&format!(" slide {s} s"));
+        }
+        q
+    }
+}
+
+fn registry() -> SchemaRegistry {
+    let reg = SchemaRegistry::new();
+    reg.register(
+        EventSchema::new(
+            "e",
+            vec![
+                FieldDef::new("f0", FieldType::Long),
+                FieldDef::new("f1", FieldType::Long),
+                FieldDef::new("f2", FieldType::Long),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    reg
+}
+
+/// Aggregate tuple per (window, group): (count, sum, min, max).
+type NaiveAgg = (i64, i64, Option<i64>, Option<i64>);
+
+/// The independent interpreter: straight-line semantics, no shared code
+/// with the engine beyond the Value type.
+fn naive(q: &RandomQuery, events: &[(i64, [i64; 3])]) -> BTreeMap<(i64, Option<i64>), NaiveAgg> {
+    // key: (window, group) -> (count, sum, min, max)
+    let mut out: BTreeMap<(i64, Option<i64>), NaiveAgg> = BTreeMap::new();
+    let window = WINDOW_MS;
+    let slide = q.slide.map(|s| s * 1000).unwrap_or(window);
+    for (ts, fields) in events {
+        if let Some((f, op, c)) = &q.predicate {
+            let v = fields[*f];
+            let keep = match op {
+                '<' => v < *c,
+                '>' => v > *c,
+                '=' => v == *c,
+                _ => v != *c,
+            };
+            if !keep {
+                continue;
+            }
+        }
+        let group = q.group_field.map(|g| fields[g]);
+        // windows covering ts
+        let k_min = (ts - window).div_euclid(slide) + 1;
+        let k_max = ts.div_euclid(slide);
+        for k in k_min..=k_max {
+            let w = k * slide;
+            let entry = out.entry((w, group)).or_insert((0, 0, None, None));
+            entry.0 += 1;
+            entry.1 += fields[2];
+            entry.2 = Some(entry.2.map_or(fields[2], |m: i64| m.min(fields[2])));
+            entry.3 = Some(entry.3.map_or(fields[2], |m: i64| m.max(fields[2])));
+        }
+    }
+    out
+}
+
+fn arb_query() -> impl Strategy<Value = RandomQuery> {
+    (
+        prop::option::of((
+            0usize..3,
+            prop::sample::select(vec!['<', '>', '=', '!']),
+            -5i64..15,
+        )),
+        prop::option::of(0usize..2),
+        prop::sample::select(vec!['c', 's', 'a', 'm', 'M']),
+        prop::option::of(2i64..=5),
+    )
+        .prop_map(|(predicate, group_field, agg, slide)| RandomQuery {
+            predicate,
+            group_field,
+            agg,
+            slide,
+        })
+}
+
+fn arb_events() -> impl Strategy<Value = Vec<(i64, [i64; 3])>> {
+    prop::collection::vec((0i64..40_000, [-5i64..15, -5i64..15, -5i64..15]), 0..150)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn engine_matches_naive_interpreter(q in arb_query(), raw in arb_events()) {
+        let reg = registry();
+        let spec = parse_query(&q.to_sql()).unwrap();
+        let cq = compile(&spec, &reg, &ScrubConfig::default(), QueryId(1)).unwrap();
+
+        let events: Vec<Event> = raw
+            .iter()
+            .enumerate()
+            .map(|(i, (ts, f))| {
+                Event::new(
+                    EventTypeId(0),
+                    RequestId(i as u64),
+                    *ts,
+                    vec![Value::Long(f[0]), Value::Long(f[1]), Value::Long(f[2])],
+                )
+            })
+            .collect();
+
+        let (rows, _) = run_batch(&cq, &events);
+        let expected = naive(&q, &raw);
+
+        // index engine rows by (window, group)
+        let mut got: BTreeMap<(i64, Option<i64>), Value> = BTreeMap::new();
+        for r in &rows {
+            let (group, agg_val) = if q.group_field.is_some() {
+                (r.values[0].as_i64(), r.values[1].clone())
+            } else {
+                (None, r.values[0].clone())
+            };
+            let prior = got.insert((r.window_start_ms, group), agg_val);
+            prop_assert!(prior.is_none(), "duplicate (window, group) row");
+        }
+
+        prop_assert_eq!(got.len(), expected.len(), "row-set size mismatch: {:?} vs {:?}", got, expected);
+        for ((w, g), (count, sum, min, max)) in &expected {
+            let val = got.get(&(*w, *g)).expect("row present by size check");
+            match q.agg {
+                'c' => prop_assert_eq!(val.as_i64().unwrap(), *count),
+                's' => {
+                    // SUM over longs comes back as Double after scaling paths
+                    let s = val.as_f64().unwrap();
+                    prop_assert!((s - *sum as f64).abs() < 1e-6);
+                }
+                'a' => {
+                    let a = val.as_f64().unwrap();
+                    let want = *sum as f64 / *count as f64;
+                    prop_assert!((a - want).abs() < 1e-9, "avg {a} vs {want}");
+                }
+                'm' => prop_assert_eq!(val.as_i64().unwrap(), min.unwrap()),
+                _ => prop_assert_eq!(val.as_i64().unwrap(), max.unwrap()),
+            }
+        }
+    }
+}
