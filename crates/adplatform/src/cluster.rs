@@ -306,6 +306,11 @@ pub fn build_platform(config: PlatformConfig) -> Platform {
         &config.dcs[0],
     );
 
+    // Chaos: install the scenario's fault schedule, if any.
+    if let Some(plan) = config.faults.clone() {
+        sim.set_fault_plan(plan);
+    }
+
     Platform {
         sim,
         scrub,

@@ -2,6 +2,7 @@
 
 use scrub_agent::CostModel;
 use scrub_core::config::ScrubConfig;
+use scrub_simnet::FaultPlan;
 
 use crate::model::{Exchange, LineItem};
 
@@ -81,6 +82,9 @@ pub struct PlatformConfig {
     /// The planted defect: the new build multiplies its winning bid price
     /// by this factor (1.0 = healthy rollout).
     pub rollout_price_bug: f64,
+    /// Fault schedule injected into the simulator (chaos scenarios);
+    /// `None` leaves the network perfect.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for PlatformConfig {
@@ -112,6 +116,7 @@ impl Default for PlatformConfig {
             rollout_pods: Vec::new(),
             rollout_at_ms: 0,
             rollout_price_bug: 1.0,
+            faults: None,
         }
     }
 }

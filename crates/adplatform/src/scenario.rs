@@ -159,6 +159,59 @@ pub fn rollout_regression() -> PlatformConfig {
 /// When the buggy build activates in [`rollout_regression`].
 pub const ROLLOUT_AT_MS: i64 = 120_000;
 
+/// Host crashed (and never restarted) by [`spam_under_chaos`].
+pub const CHAOS_CRASHED_HOST: &str = "bid-DC2-1";
+/// The [`spam_under_chaos`] DC1/DC2 partition window (seconds).
+pub const CHAOS_PARTITION_SECS: (i64, i64) = (90, 105);
+/// When [`CHAOS_CRASHED_HOST`] goes down (seconds).
+pub const CHAOS_CRASH_AT_SECS: i64 = 120;
+
+/// E16 chaos rerun of the §8.1 spam scenario: the same bot workload (the
+/// second bot moved up to t = 100 s so short runs still see both) with the
+/// network actively hostile —
+///
+/// * 5% message loss each way between the BidServers and ScrubCentral
+///   (data batches *and* acks),
+/// * a full DC1/DC2 partition from 90 s to 105 s, spanning several window
+///   boundaries mid-query,
+/// * one BidServer ([`CHAOS_CRASHED_HOST`]) crashed at 120 s and never
+///   restarted.
+///
+/// Retry and grace knobs are tightened so retransmitted batches still land
+/// inside the window grace; the crashed host leaves the estimator and the
+/// summary reports coverage < 100% with widened Eq 1–3 bounds.
+pub fn spam_under_chaos() -> PlatformConfig {
+    use scrub_simnet::{FaultPlan, NodeSel, SimTime};
+
+    let mut cfg = spam();
+    cfg.seed = 89;
+    cfg.bots[1].start_ms = 100_000;
+    // faster retries + a wider window grace: one lost shipment can still be
+    // retransmitted into its window
+    cfg.scrub.agent_retry_base_ms = 500;
+    cfg.scrub.window_grace_ms = 5_000;
+    let central = NodeSel::Host("scrub-central".into());
+    let bids = NodeSel::Service(crate::cluster::SVC_BID.into());
+    let (p_from, p_until) = CHAOS_PARTITION_SECS;
+    cfg.faults = Some(
+        FaultPlan::new(1606)
+            .drop(bids.clone(), central.clone(), 0.05)
+            .drop(central, bids, 0.05)
+            .partition(
+                NodeSel::Dc("DC1".into()),
+                NodeSel::Dc("DC2".into()),
+                SimTime::from_secs(p_from),
+                SimTime::from_secs(p_until),
+            )
+            .crash(
+                CHAOS_CRASHED_HOST,
+                SimTime::from_secs(CHAOS_CRASH_AT_SECS),
+                None,
+            ),
+    );
+    cfg
+}
+
 /// The frequency-capped line item of §8.6.
 pub const CAPPED_LINE_ITEM: u64 = 8000;
 /// Users with `id % CORRUPT_USER_MOD == 0` hit the §8.6 bug.

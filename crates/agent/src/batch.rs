@@ -17,6 +17,12 @@ use scrub_core::schema::EventTypeId;
 pub struct EventBatch {
     /// Owning query.
     pub query_id: QueryId,
+    /// Per-(host, query) batch sequence number, assigned by the shipping
+    /// side at flush time. ScrubCentral uses it to discard duplicates when
+    /// the agent retransmits batches whose ack was lost. Not included in
+    /// `approx_bytes` — it rides in the existing fixed header allowance.
+    #[serde(default)]
+    pub seq: u64,
     /// The (single) event type this batch's subscription taps. Counters
     /// are cumulative **per (host, event type)**: a join query has one
     /// subscription per FROM type on each host, each with its own
@@ -55,6 +61,7 @@ mod tests {
         let ev = Event::new(EventTypeId(0), RequestId(1), 0, vec![Value::Long(5)]);
         let empty = EventBatch {
             query_id: QueryId(1),
+            seq: 0,
             type_id: EventTypeId(0),
             host: "h".into(),
             events: vec![],

@@ -8,10 +8,12 @@
 
 pub mod batch;
 pub mod cost;
+pub mod reliable;
 pub mod stats;
 pub mod tap;
 
 pub use batch::EventBatch;
 pub use cost::CostModel;
+pub use reliable::{ReliableShipper, Retransmit, RetryPolicy};
 pub use stats::{AgentStats, StatsSnapshot};
 pub use tap::{ScrubAgent, MAX_EVENT_TYPES};

@@ -1,0 +1,299 @@
+//! Reliable batch delivery from a host agent toward ScrubCentral.
+//!
+//! The paper's transport between agents and ScrubCentral is a plain
+//! message stream; under packet loss or a partition a batch (or its ack)
+//! can vanish, silently biasing every byte- and count-based result. This
+//! module adds an at-least-once shipping layer on the agent side:
+//!
+//! * every outgoing batch gets a per-query sequence number,
+//! * shipped batches sit in a bounded retransmit buffer until acked,
+//! * unacked batches are retransmitted with exponential backoff plus
+//!   caller-supplied jitter.
+//!
+//! ScrubCentral deduplicates on `(host, query, seq)`, so retransmission is
+//! safe; the shipper keeps retransmitted bytes accounted separately from
+//! first shipments so the paper's byte figures (E11/E14) stay honest.
+//!
+//! The shipper is transport-agnostic and clock-agnostic: the harness tells
+//! it when batches ship, when acks arrive and what time it is. It draws no
+//! randomness itself — backoff jitter comes from a closure invoked only
+//! when a retransmit actually fires, which keeps fault-free runs byte-
+//! identical to runs without the reliability layer.
+
+use std::collections::BTreeMap;
+
+use scrub_core::plan::QueryId;
+
+use crate::batch::EventBatch;
+
+/// Retry/backoff policy for unacked batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// First retransmit fires this long after shipment (ms).
+    pub base_ms: i64,
+    /// Backoff ceiling (ms).
+    pub max_ms: i64,
+    /// Retransmit buffer capacity in batches; beyond it the oldest pending
+    /// batch is evicted (dropped for good) so a long partition cannot run
+    /// the host out of memory. Evictions are reported so the agent can
+    /// count them.
+    pub buffer_cap: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            base_ms: 2_000,
+            max_ms: 30_000,
+            buffer_cap: 1024,
+        }
+    }
+}
+
+/// A shipped-but-unacked batch.
+#[derive(Debug, Clone)]
+struct Pending {
+    batch: EventBatch,
+    /// Retransmits attempted so far (0 = only the first shipment).
+    attempts: u32,
+    /// Next retransmit due at this time (ms).
+    due_ms: i64,
+}
+
+/// A batch the shipper wants retransmitted now.
+#[derive(Debug, Clone)]
+pub struct Retransmit {
+    /// The batch to put back on the wire (seq already assigned).
+    pub batch: EventBatch,
+    /// Which retransmission this is (1 = first retry).
+    pub attempt: u32,
+}
+
+/// At-least-once shipping state for one agent (all queries).
+#[derive(Debug)]
+pub struct ReliableShipper {
+    policy: RetryPolicy,
+    /// Next sequence number per query.
+    next_seq: BTreeMap<QueryId, u64>,
+    /// Shipped, unacked batches keyed by (query, seq) — BTreeMap so
+    /// iteration (and thus retransmit order) is deterministic.
+    pending: BTreeMap<(QueryId, u64), Pending>,
+    /// Pending batches evicted because the buffer overflowed.
+    evicted: u64,
+}
+
+impl ReliableShipper {
+    /// Create with the given retry policy.
+    pub fn new(policy: RetryPolicy) -> Self {
+        ReliableShipper {
+            policy,
+            next_seq: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            evicted: 0,
+        }
+    }
+
+    /// Assign the next sequence number to `batch` and enter it into the
+    /// retransmit buffer. Returns the batch to ship (with `seq` set).
+    /// If the buffer is full the oldest pending batch is evicted.
+    pub fn ship(&mut self, mut batch: EventBatch, now_ms: i64) -> EventBatch {
+        let seq = self.next_seq.entry(batch.query_id).or_insert(0);
+        batch.seq = *seq;
+        *seq += 1;
+        if self.pending.len() >= self.policy.buffer_cap {
+            if let Some(&key) = self.pending.keys().next() {
+                self.pending.remove(&key);
+                self.evicted += 1;
+            }
+        }
+        self.pending.insert(
+            (batch.query_id, batch.seq),
+            Pending {
+                batch: batch.clone(),
+                attempts: 0,
+                due_ms: now_ms + self.policy.base_ms,
+            },
+        );
+        batch
+    }
+
+    /// Process an ack from ScrubCentral. Returns true if it cleared a
+    /// pending batch (false for duplicate/stale acks).
+    pub fn ack(&mut self, query_id: QueryId, seq: u64) -> bool {
+        self.pending.remove(&(query_id, seq)).is_some()
+    }
+
+    /// Collect the batches whose retransmit timer has expired, advancing
+    /// their backoff. `jitter_ms` is called once per fired retransmit with
+    /// the new backoff delay and returns extra delay to add (draw it from
+    /// the caller's RNG); it is never called when nothing is due, so a
+    /// fault-free run consumes no randomness here.
+    pub fn due_retransmits(
+        &mut self,
+        now_ms: i64,
+        mut jitter_ms: impl FnMut(i64) -> i64,
+    ) -> Vec<Retransmit> {
+        let mut out = Vec::new();
+        for pending in self.pending.values_mut() {
+            if pending.due_ms > now_ms {
+                continue;
+            }
+            pending.attempts += 1;
+            let backoff = (self.policy.base_ms << pending.attempts.min(16)).min(self.policy.max_ms);
+            pending.due_ms = now_ms + backoff + jitter_ms(backoff);
+            out.push(Retransmit {
+                batch: pending.batch.clone(),
+                attempt: pending.attempts,
+            });
+        }
+        out
+    }
+
+    /// Whether any batch is awaiting an ack.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Number of batches awaiting an ack.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Number of batches awaiting an ack for one query.
+    pub fn pending_for(&self, query_id: QueryId) -> usize {
+        self.pending
+            .range((query_id, 0)..=(query_id, u64::MAX))
+            .count()
+    }
+
+    /// Earliest retransmit deadline across pending batches, if any.
+    pub fn next_due_ms(&self) -> Option<i64> {
+        self.pending.values().map(|p| p.due_ms).min()
+    }
+
+    /// Pending batches evicted due to buffer overflow so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Drop all pending state for a query (e.g. the query was stopped and
+    /// the drain window has passed).
+    pub fn forget_query(&mut self, query_id: QueryId) {
+        self.pending.retain(|(q, _), _| *q != query_id);
+        self.next_seq.remove(&query_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scrub_core::schema::EventTypeId;
+
+    fn batch(q: u64) -> EventBatch {
+        EventBatch {
+            query_id: QueryId(q),
+            seq: 0,
+            type_id: EventTypeId(0),
+            host: "h".into(),
+            events: vec![],
+            matched: 1,
+            sampled: 1,
+            shed: 0,
+        }
+    }
+
+    fn shipper() -> ReliableShipper {
+        ReliableShipper::new(RetryPolicy {
+            base_ms: 100,
+            max_ms: 1_000,
+            buffer_cap: 4,
+        })
+    }
+
+    #[test]
+    fn sequence_numbers_are_per_query_and_monotonic() {
+        let mut s = shipper();
+        assert_eq!(s.ship(batch(1), 0).seq, 0);
+        assert_eq!(s.ship(batch(1), 0).seq, 1);
+        assert_eq!(s.ship(batch(2), 0).seq, 0);
+        assert_eq!(s.ship(batch(1), 0).seq, 2);
+        assert_eq!(s.pending_count(), 4);
+        assert_eq!(s.pending_for(QueryId(1)), 3);
+    }
+
+    #[test]
+    fn ack_clears_pending_and_duplicates_are_ignored() {
+        let mut s = shipper();
+        let b = s.ship(batch(1), 0);
+        assert!(s.ack(b.query_id, b.seq));
+        assert!(!s.ack(b.query_id, b.seq));
+        assert!(!s.has_pending());
+        assert!(s.due_retransmits(10_000, |_| 0).is_empty());
+    }
+
+    #[test]
+    fn retransmits_back_off_exponentially() {
+        let mut s = shipper();
+        s.ship(batch(1), 0);
+        // not due yet
+        assert!(s.due_retransmits(99, |_| 0).is_empty());
+        // first retry at base; backoff doubles
+        let r = s.due_retransmits(100, |_| 0);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].attempt, 1);
+        assert_eq!(s.next_due_ms(), Some(100 + 200));
+        let r = s.due_retransmits(300, |_| 0);
+        assert_eq!(r[0].attempt, 2);
+        assert_eq!(s.next_due_ms(), Some(300 + 400));
+        // ceiling binds eventually
+        for now in [700, 1_500, 3_000, 10_000] {
+            s.due_retransmits(now, |_| 0);
+        }
+        let due = s.next_due_ms().unwrap();
+        assert!(due <= 10_000 + 1_000, "backoff exceeded max: {due}");
+    }
+
+    #[test]
+    fn jitter_is_only_drawn_when_a_retransmit_fires() {
+        let mut s = shipper();
+        s.ship(batch(1), 0);
+        let mut draws = 0;
+        s.due_retransmits(50, |_| {
+            draws += 1;
+            0
+        });
+        assert_eq!(draws, 0);
+        s.due_retransmits(150, |b| {
+            draws += 1;
+            b / 2
+        });
+        assert_eq!(draws, 1);
+        // jitter shifted the deadline: base<<1 = 200, jitter 100
+        assert_eq!(s.next_due_ms(), Some(150 + 200 + 100));
+    }
+
+    #[test]
+    fn buffer_overflow_evicts_oldest() {
+        let mut s = shipper();
+        for _ in 0..6 {
+            s.ship(batch(1), 0);
+        }
+        assert_eq!(s.pending_count(), 4);
+        assert_eq!(s.evicted(), 2);
+        // seqs 0 and 1 are gone; acking them clears nothing
+        assert!(!s.ack(QueryId(1), 0));
+        assert!(s.ack(QueryId(1), 2));
+    }
+
+    #[test]
+    fn forget_query_drops_only_that_query() {
+        let mut s = shipper();
+        s.ship(batch(1), 0);
+        s.ship(batch(2), 0);
+        s.forget_query(QueryId(1));
+        assert_eq!(s.pending_count(), 1);
+        assert_eq!(s.pending_for(QueryId(2)), 1);
+        // seq restarts after forget
+        assert_eq!(s.ship(batch(1), 0).seq, 0);
+    }
+}

@@ -27,6 +27,17 @@ pub struct AgentStats {
     pub bytes_shipped: AtomicU64,
     /// Batches flushed.
     pub batches_flushed: AtomicU64,
+    /// Batches retransmitted after an ack timeout.
+    pub retransmits: AtomicU64,
+    /// Bytes put back on the wire by retransmission (kept separate from
+    /// `bytes_shipped` so first-shipment byte figures stay honest).
+    pub bytes_retransmitted: AtomicU64,
+    /// Batches currently awaiting an ack (gauge, not a counter).
+    pub acks_pending: AtomicU64,
+    /// Heartbeats sent to the query server.
+    pub heartbeats_sent: AtomicU64,
+    /// Pending batches evicted because the retransmit buffer overflowed.
+    pub retransmit_evictions: AtomicU64,
 }
 
 impl AgentStats {
@@ -43,6 +54,11 @@ impl AgentStats {
             fields_projected: self.fields_projected.load(Ordering::Relaxed),
             bytes_shipped: self.bytes_shipped.load(Ordering::Relaxed),
             batches_flushed: self.batches_flushed.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            bytes_retransmitted: self.bytes_retransmitted.load(Ordering::Relaxed),
+            acks_pending: self.acks_pending.load(Ordering::Relaxed),
+            heartbeats_sent: self.heartbeats_sent.load(Ordering::Relaxed),
+            retransmit_evictions: self.retransmit_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -64,6 +80,16 @@ pub struct StatsSnapshot {
     pub fields_projected: u64,
     pub bytes_shipped: u64,
     pub batches_flushed: u64,
+    #[serde(default)]
+    pub retransmits: u64,
+    #[serde(default)]
+    pub bytes_retransmitted: u64,
+    #[serde(default)]
+    pub acks_pending: u64,
+    #[serde(default)]
+    pub heartbeats_sent: u64,
+    #[serde(default)]
+    pub retransmit_evictions: u64,
 }
 
 impl StatsSnapshot {
@@ -80,6 +106,12 @@ impl StatsSnapshot {
             fields_projected: self.fields_projected - earlier.fields_projected,
             bytes_shipped: self.bytes_shipped - earlier.bytes_shipped,
             batches_flushed: self.batches_flushed - earlier.batches_flushed,
+            retransmits: self.retransmits - earlier.retransmits,
+            bytes_retransmitted: self.bytes_retransmitted - earlier.bytes_retransmitted,
+            // a gauge, not a monotone counter: report the later value
+            acks_pending: self.acks_pending,
+            heartbeats_sent: self.heartbeats_sent - earlier.heartbeats_sent,
+            retransmit_evictions: self.retransmit_evictions - earlier.retransmit_evictions,
         }
     }
 }

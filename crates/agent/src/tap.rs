@@ -160,10 +160,22 @@ impl ScrubAgent {
     }
 
     /// Remove all plans of a query; returns final batches (flush-on-stop)
-    /// so no tail data is lost.
+    /// so no tail data is lost. The tail includes any size-flushed batches
+    /// of this query still sitting in the outbox — leaving them for the
+    /// next `take_batches` would ship them after the caller has torn down
+    /// the query's delivery state.
     pub fn remove(&self, query_id: QueryId, now_ms: i64) -> Vec<EventBatch> {
         let mut inner = self.inner.lock();
         let mut out = Vec::new();
+        let mut kept = Vec::with_capacity(inner.outbox.len());
+        for b in inner.outbox.drain(..) {
+            if b.query_id == query_id {
+                out.push(b);
+            } else {
+                kept.push(b);
+            }
+        }
+        inner.outbox = kept;
         for t in 0..inner.subs.len() {
             let mut removed = Vec::new();
             inner.subs[t].retain_mut(|s| {
@@ -354,6 +366,7 @@ fn make_batch(host: &str, sub: &mut Subscription, now_ms: i64) -> Option<EventBa
         return None;
     }
     Some(EventBatch {
+        seq: 0,
         query_id: sub.plan.query_id,
         type_id: sub.plan.type_id,
         host: host.to_string(),
@@ -553,6 +566,32 @@ mod tests {
         let tail = a.remove(QueryId(1), 100);
         assert_eq!(tail.len(), 1);
         assert_eq!(tail[0].events.len(), 1);
+    }
+
+    #[test]
+    fn remove_tail_includes_size_flushed_outbox_batches() {
+        let mut cfg = ScrubConfig::default();
+        cfg.agent_batch_events = 2;
+        let a = ScrubAgent::new("h1", cfg);
+        a.install(plan_for("select COUNT(*) from bid", 1)).unwrap();
+        a.install(plan_for("select COUNT(*) from bid", 2)).unwrap();
+        for i in 0..5u64 {
+            a.log(
+                EventTypeId(0),
+                RequestId(i),
+                0,
+                &[Value::Long(1), Value::Double(1.0)],
+            );
+        }
+        // each query: two full batches in the outbox + one open event
+        let tail = a.remove(QueryId(1), 100);
+        assert_eq!(tail.len(), 3);
+        assert_eq!(tail.iter().map(|b| b.events.len()).sum::<usize>(), 5);
+        assert!(tail.iter().all(|b| b.query_id == QueryId(1)));
+        // the other query's outbox batches are untouched
+        let rest = a.take_batches(10_000);
+        assert!(rest.iter().all(|b| b.query_id == QueryId(2)));
+        assert_eq!(rest.iter().map(|b| b.events.len()).sum::<usize>(), 5);
     }
 
     #[test]

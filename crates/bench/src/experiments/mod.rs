@@ -15,6 +15,7 @@ pub mod e12_sketches;
 pub mod e13_placement;
 pub mod e14_pushdown;
 pub mod e15_baggage;
+pub mod e16_chaos;
 
 use crate::Report;
 
@@ -39,5 +40,6 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("e13_placement", e13_placement::run),
         ("e14_pushdown", e14_pushdown::run),
         ("e15_baggage", e15_baggage::run),
+        ("e16_chaos", e16_chaos::run),
     ]
 }

@@ -130,6 +130,11 @@ pub fn sum_stats(stats: &[(String, StatsSnapshot)]) -> StatsSnapshot {
         total.fields_projected += s.fields_projected;
         total.bytes_shipped += s.bytes_shipped;
         total.batches_flushed += s.batches_flushed;
+        total.retransmits += s.retransmits;
+        total.bytes_retransmitted += s.bytes_retransmitted;
+        total.acks_pending += s.acks_pending;
+        total.heartbeats_sent += s.heartbeats_sent;
+        total.retransmit_evictions += s.retransmit_evictions;
     }
     total
 }

@@ -73,6 +73,13 @@ pub struct QueryExecutor {
     /// Late events dropped because their window already closed.
     pub late_events_dropped: u64,
     closed_before_ms: i64,
+    /// Hosts suspected dead (no heartbeat/batch within the grace period).
+    /// Their already-ingested events stay, but their samples leave the
+    /// estimator — the survivors' scaled estimate plus a wider bound is
+    /// more honest than pretending the dead host's counters are current.
+    dead_hosts: std::collections::HashSet<String>,
+    /// Batches discarded as duplicate (host, query, seq) retransmissions.
+    pub duplicate_batches: u64,
 }
 
 impl QueryExecutor {
@@ -90,7 +97,19 @@ impl QueryExecutor {
             join_rows_capped: 0,
             late_events_dropped: 0,
             closed_before_ms: i64::MIN,
+            dead_hosts: std::collections::HashSet::new(),
+            duplicate_batches: 0,
         }
+    }
+
+    /// Replace the set of hosts currently suspected dead.
+    pub fn set_dead_hosts(&mut self, hosts: std::collections::HashSet<String>) {
+        self.dead_hosts = hosts;
+    }
+
+    /// Hosts currently suspected dead.
+    pub fn dead_hosts(&self) -> &std::collections::HashSet<String> {
+        &self.dead_hosts
     }
 
     /// The plan under execution.
@@ -287,6 +306,7 @@ impl QueryExecutor {
                     query_id: self.plan.query_id,
                     window_start_ms: *covered.last().expect("checked non-empty"),
                     values,
+                    degraded: false,
                 });
             }
             OutputMode::Aggregate { .. } => {
@@ -402,6 +422,7 @@ impl QueryExecutor {
                                     query_id: self.plan.query_id,
                                     window_start_ms: w,
                                     values,
+                                    degraded: false,
                                 });
                             } else {
                                 update_groups(&mut groups, group_by, aggregates, &row);
@@ -447,6 +468,7 @@ impl QueryExecutor {
                 query_id: self.plan.query_id,
                 window_start_ms: p.window_start_ms,
                 values,
+                degraded: false,
             });
         }
         if had_groups {
@@ -465,6 +487,11 @@ impl QueryExecutor {
             self.host_totals.keys().map(|(h, _)| h.as_str()).collect();
 
         let estimates = self.compute_estimates();
+        let hosts_targeted = self.plan.host_info.selected;
+        let hosts_live = distinct_hosts
+            .iter()
+            .filter(|h| !self.dead_hosts.contains(**h))
+            .count();
         let summary = QuerySummary {
             query_id: self.plan.query_id,
             hosts_reporting: distinct_hosts.len(),
@@ -473,6 +500,10 @@ impl QueryExecutor {
             total_shed,
             windows_emitted: self.windows_emitted,
             estimates,
+            hosts_targeted,
+            hosts_live,
+            degraded_rows: 0,
+            duplicate_batches: self.duplicate_batches,
         };
         (rows, summary)
     }
@@ -506,6 +537,12 @@ impl QueryExecutor {
                 }
                 let mut hosts: Vec<HostSample> = Vec::new();
                 for ((host, _), totals) in &self.host_totals {
+                    // A dead host's counters stopped at an unknown point;
+                    // dropping its sample shrinks n, so the two-stage
+                    // bounds widen instead of silently biasing (Eqs 1–3).
+                    if self.dead_hosts.contains(host) {
+                        continue;
+                    }
                     let stats = self
                         .host_moments
                         .get(host)
@@ -613,6 +650,7 @@ mod tests {
     fn batch(host: &str, events: Vec<Event>, matched: u64, sampled: u64) -> EventBatch {
         let type_id = events.first().map(|e| e.type_id).unwrap_or(EventTypeId(0));
         EventBatch {
+            seq: 0,
             query_id: QueryId(9),
             type_id,
             host: host.into(),
@@ -893,6 +931,7 @@ mod sliding_tests {
 
     fn one(ts: i64) -> EventBatch {
         EventBatch {
+            seq: 0,
             query_id: QueryId(3),
             type_id: EventTypeId(0),
             host: "h".into(),
@@ -978,6 +1017,7 @@ mod sliding_tests {
         let cq = compile(&spec, &reg, &ScrubConfig::default(), QueryId(4)).unwrap();
         let mut ex = QueryExecutor::new(cq.central, 0);
         let mk = |t: u32, ts: i64| EventBatch {
+            seq: 0,
             query_id: QueryId(4),
             type_id: EventTypeId(t),
             host: "h".into(),
@@ -1027,6 +1067,7 @@ mod memory_tests {
             let ts = w * 10_000 + 500;
             for i in 0..50u64 {
                 ex.ingest(EventBatch {
+                    seq: 0,
                     query_id: QueryId(1),
                     type_id: EventTypeId(0),
                     host: "h1".into(),
@@ -1067,6 +1108,7 @@ mod memory_tests {
         for w in 0..5i64 {
             let ts = w * 10_000 + 1;
             ex.ingest(EventBatch {
+                seq: 0,
                 query_id: QueryId(1),
                 type_id: EventTypeId(0),
                 host: "h1".into(),

@@ -21,6 +21,11 @@ use crate::row::{QuerySummary, ResultRow};
 pub struct PartitionedExecutor {
     parts: Vec<QueryExecutor>,
     plan: CentralPlan,
+    /// Hosts suspected dead right now; rows emitted while this is
+    /// non-empty are marked degraded.
+    dead_hosts: std::collections::HashSet<String>,
+    degraded_rows: u64,
+    duplicate_batches: u64,
 }
 
 impl PartitionedExecutor {
@@ -30,12 +35,43 @@ impl PartitionedExecutor {
         let parts = (0..partitions)
             .map(|_| QueryExecutor::new(plan.clone(), grace_ms))
             .collect();
-        PartitionedExecutor { parts, plan }
+        PartitionedExecutor {
+            parts,
+            plan,
+            dead_hosts: std::collections::HashSet::new(),
+            degraded_rows: 0,
+            duplicate_batches: 0,
+        }
     }
 
     /// Number of partitions.
     pub fn partitions(&self) -> usize {
         self.parts.len()
+    }
+
+    /// Replace the set of hosts suspected dead: future rows are marked
+    /// degraded and the dead hosts' samples leave every partition's
+    /// estimator.
+    pub fn set_dead_hosts(&mut self, hosts: std::collections::HashSet<String>) {
+        for part in &mut self.parts {
+            part.set_dead_hosts(hosts.clone());
+        }
+        self.dead_hosts = hosts;
+    }
+
+    /// Hosts currently suspected dead.
+    pub fn dead_hosts(&self) -> &std::collections::HashSet<String> {
+        &self.dead_hosts
+    }
+
+    /// Record a batch discarded as a duplicate retransmission.
+    pub fn note_duplicate(&mut self) {
+        self.duplicate_batches += 1;
+    }
+
+    /// Result rows emitted while some targeted host was suspected dead.
+    pub fn degraded_rows(&self) -> u64 {
+        self.degraded_rows
     }
 
     /// Route a batch's events to partitions by request id.
@@ -58,6 +94,7 @@ impl PartitionedExecutor {
         for (i, events) in shards.into_iter().enumerate() {
             self.parts[i].ingest(EventBatch {
                 query_id: batch.query_id,
+                seq: batch.seq,
                 type_id: batch.type_id,
                 host: batch.host.clone(),
                 events,
@@ -87,6 +124,12 @@ impl PartitionedExecutor {
         let scale = self.parts[0].scale();
         for (w, groups) in by_window {
             out.extend(self.render_merged(w, groups, scale));
+        }
+        if !self.dead_hosts.is_empty() {
+            for row in &mut out {
+                row.degraded = true;
+            }
+            self.degraded_rows += out.len() as u64;
         }
         out
     }
@@ -129,6 +172,7 @@ impl PartitionedExecutor {
                     query_id: self.plan.query_id,
                     window_start_ms,
                     values,
+                    degraded: false,
                 }
             })
             .collect()
@@ -141,7 +185,9 @@ impl PartitionedExecutor {
         let rows = self.advance(i64::MAX / 4);
         // Partition 0 saw every host's cumulative counters (batches are
         // replicated header-wise), so its summary totals are authoritative.
-        let (_, summary) = self.parts[0].finish();
+        let (_, mut summary) = self.parts[0].finish();
+        summary.degraded_rows = self.degraded_rows;
+        summary.duplicate_batches = self.duplicate_batches;
         (rows, summary)
     }
 }
@@ -196,6 +242,7 @@ mod tests {
 
     fn feed(n: u64) -> EventBatch {
         EventBatch {
+            seq: 0,
             query_id: QueryId(5),
             type_id: EventTypeId(0),
             host: "h1".into(),
@@ -238,6 +285,7 @@ mod tests {
             let bids: Vec<Event> = (0..200).map(|i| ev(0, i, 1_000, vec![])).collect();
             let imps: Vec<Event> = (0..100).map(|i| ev(1, i * 2, 1_500, vec![])).collect();
             exec.ingest(EventBatch {
+                seq: 0,
                 query_id: QueryId(5),
                 type_id: EventTypeId(0),
                 host: "h1".into(),
@@ -247,6 +295,7 @@ mod tests {
                 shed: 0,
             });
             exec.ingest(EventBatch {
+                seq: 0,
                 query_id: QueryId(5),
                 type_id: EventTypeId(1),
                 host: "h2".into(),
@@ -273,6 +322,7 @@ mod tests {
             .map(|i| ev(0, i, 1_000, vec![Value::Double(i as f64)]))
             .collect();
         multi.ingest(EventBatch {
+            seq: 0,
             query_id: QueryId(5),
             type_id: EventTypeId(0),
             host: "h1".into(),

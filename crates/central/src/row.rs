@@ -16,6 +16,11 @@ pub struct ResultRow {
     pub window_start_ms: i64,
     /// Column values, aligned with the plan's headers.
     pub values: Vec<Value>,
+    /// True when the window closed while one or more targeted hosts were
+    /// suspected dead: the row is still useful, but its counts can only
+    /// under-report (graceful degradation, not silent bias).
+    #[serde(default)]
+    pub degraded: bool,
 }
 
 impl ResultRow {
@@ -51,6 +56,32 @@ pub struct QuerySummary {
     /// applicable (ungrouped single-stream SUM/COUNT/AVG under sampling);
     /// `None` for other columns.
     pub estimates: Vec<Option<TwoStageEstimate>>,
+    /// Hosts the query targeted (the population the coverage figure is
+    /// relative to).
+    #[serde(default)]
+    pub hosts_targeted: usize,
+    /// Targeted hosts still considered live at the end of the query.
+    #[serde(default)]
+    pub hosts_live: usize,
+    /// Result rows emitted while some targeted host was suspected dead.
+    #[serde(default)]
+    pub degraded_rows: u64,
+    /// Batches discarded as duplicates of an already-ingested
+    /// `(host, query, seq)` (retransmissions whose ack was lost).
+    #[serde(default)]
+    pub duplicate_batches: u64,
+}
+
+impl QuerySummary {
+    /// Fraction of targeted hosts that stayed live (1.0 when targeting
+    /// information is unavailable).
+    pub fn coverage(&self) -> f64 {
+        if self.hosts_targeted == 0 {
+            1.0
+        } else {
+            self.hosts_live as f64 / self.hosts_targeted as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -63,6 +94,7 @@ mod tests {
             query_id: QueryId(1),
             window_start_ms: 10_000,
             values: vec![Value::Long(7), Value::Str("x".into())],
+            degraded: false,
         };
         assert_eq!(r.to_tsv(), "10000\t7\t\"x\"");
     }

@@ -29,6 +29,42 @@ pub struct ScrubConfig {
     /// Central: extra time after a window closes before it is finalized,
     /// to absorb host->central delivery skew (ms).
     pub window_grace_ms: i64,
+    /// Agent: first retransmit of an unacked batch fires this long after
+    /// shipment (ms); backoff doubles from here.
+    #[serde(default = "default_agent_retry_base_ms")]
+    pub agent_retry_base_ms: i64,
+    /// Agent: retransmit backoff ceiling (ms).
+    #[serde(default = "default_agent_retry_max_ms")]
+    pub agent_retry_max_ms: i64,
+    /// Agent: retransmit buffer capacity in batches; beyond it the oldest
+    /// pending batch is dropped so a long partition cannot exhaust host
+    /// memory.
+    #[serde(default = "default_agent_retransmit_buffer")]
+    pub agent_retransmit_buffer: usize,
+    /// Agent: heartbeat period toward the query server (ms).
+    #[serde(default = "default_agent_heartbeat_interval_ms")]
+    pub agent_heartbeat_interval_ms: i64,
+    /// Server/central: a host that has not been heard from for this long
+    /// (ms) is suspected dead — its windows stop being waited for and its
+    /// samples leave the estimator.
+    #[serde(default = "default_host_grace_ms")]
+    pub host_grace_ms: i64,
+}
+
+fn default_agent_retry_base_ms() -> i64 {
+    2_000
+}
+fn default_agent_retry_max_ms() -> i64 {
+    30_000
+}
+fn default_agent_retransmit_buffer() -> usize {
+    1_024
+}
+fn default_agent_heartbeat_interval_ms() -> i64 {
+    1_000
+}
+fn default_host_grace_ms() -> i64 {
+    5_000
 }
 
 impl Default for ScrubConfig {
@@ -43,6 +79,11 @@ impl Default for ScrubConfig {
             agent_events_per_sec_budget: 50_000,
             central_partitions: 1,
             window_grace_ms: 2_000,
+            agent_retry_base_ms: default_agent_retry_base_ms(),
+            agent_retry_max_ms: default_agent_retry_max_ms(),
+            agent_retransmit_buffer: default_agent_retransmit_buffer(),
+            agent_heartbeat_interval_ms: default_agent_heartbeat_interval_ms(),
+            host_grace_ms: default_host_grace_ms(),
         }
     }
 }

@@ -1,8 +1,16 @@
 //! ScrubCentral as a simulated node: hosts one [`PartitionedExecutor`] per
 //! active query, advances watermarks on a timer, and streams finished rows
 //! to the query server.
+//!
+//! Delivery from agents is at-least-once (agents retransmit unacked
+//! batches), so central deduplicates on `(host, query, seq)` and acks
+//! every batch — including duplicates, so a host whose ack was lost stops
+//! retransmitting. Central also watches per-host batch arrivals: a host
+//! that goes silent while its peers keep reporting is suspected dead, its
+//! samples leave the estimator and subsequent rows are marked degraded —
+//! windows keep closing on time instead of stalling on a dead host.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::marker::PhantomData;
 
 use scrub_central::PartitionedExecutor;
@@ -18,10 +26,16 @@ pub struct CentralNode<E: ScrubEnvelope> {
     config: ScrubConfig,
     server: Option<NodeId>,
     executors: HashMap<QueryId, PartitionedExecutor>,
+    /// Per-query, per-host sequence numbers already ingested.
+    seen: HashMap<QueryId, HashMap<String, HashSet<u64>>>,
+    /// Per-query, per-host time of the last batch heard (ms).
+    last_heard: HashMap<QueryId, HashMap<String, i64>>,
     /// Events ingested across all queries (for throughput accounting).
     pub events_ingested: u64,
     /// Batches received.
     pub batches_received: u64,
+    /// Batches discarded as duplicates across all queries.
+    pub duplicate_batches: u64,
     _marker: PhantomData<fn(E)>,
 }
 
@@ -33,8 +47,11 @@ impl<E: ScrubEnvelope> CentralNode<E> {
             config,
             server: None,
             executors: HashMap::new(),
+            seen: HashMap::new(),
+            last_heard: HashMap::new(),
             events_ingested: 0,
             batches_received: 0,
+            duplicate_batches: 0,
             _marker: PhantomData,
         }
     }
@@ -47,6 +64,38 @@ impl<E: ScrubEnvelope> CentralNode<E> {
     fn advance_interval(&self) -> SimDuration {
         // advance watermarks a few times per window
         SimDuration::from_ms((self.config.default_window_ms / 4).max(100))
+    }
+
+    /// Hosts that reported at least once for `qid` but have been silent
+    /// for `host_grace_ms` while some peer kept reporting. The reference
+    /// point is the most recent arrival (not the wall clock), so a query
+    /// whose *every* host went quiet — e.g. after `StopQuery` during the
+    /// drain — suspects nobody.
+    fn suspect_hosts(&self, qid: QueryId) -> HashSet<String> {
+        let Some(heard) = self.last_heard.get(&qid) else {
+            return HashSet::new();
+        };
+        let Some(&newest) = heard.values().max() else {
+            return HashSet::new();
+        };
+        let cutoff = newest - self.config.host_grace_ms;
+        heard
+            .iter()
+            .filter(|(_, &at)| at < cutoff)
+            .map(|(h, _)| h.clone())
+            .collect()
+    }
+
+    fn refresh_dead_hosts(&mut self) {
+        let qids: Vec<QueryId> = self.executors.keys().copied().collect();
+        for qid in qids {
+            let dead = self.suspect_hosts(qid);
+            if let Some(exec) = self.executors.get_mut(&qid) {
+                if *exec.dead_hosts() != dead {
+                    exec.set_dead_hosts(dead);
+                }
+            }
+        }
     }
 
     fn flush_rows(&mut self, ctx: &mut Context<'_, E>, now_ms: i64) {
@@ -83,6 +132,8 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
                 self.executors.insert(qid, exec);
             }
             ScrubMsg::CentralStop { query_id } => {
+                self.seen.remove(&query_id);
+                self.last_heard.remove(&query_id);
                 if let Some(mut exec) = self.executors.remove(&query_id) {
                     let (rows, summary) = exec.finish();
                     if let Some(server) = self.server {
@@ -95,6 +146,34 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
             }
             ScrubMsg::Batch(batch) => {
                 self.batches_received += 1;
+                // Ack everything — duplicates and batches for unknown
+                // (already-finished) queries too — so the sender stops
+                // retransmitting even when the original ack was lost.
+                ctx.send(
+                    from,
+                    E::wrap(ScrubMsg::BatchAck {
+                        query_id: batch.query_id,
+                        seq: batch.seq,
+                    }),
+                );
+                let fresh = self
+                    .seen
+                    .entry(batch.query_id)
+                    .or_default()
+                    .entry(batch.host.clone())
+                    .or_default()
+                    .insert(batch.seq);
+                if !fresh {
+                    self.duplicate_batches += 1;
+                    if let Some(exec) = self.executors.get_mut(&batch.query_id) {
+                        exec.note_duplicate();
+                    }
+                    return;
+                }
+                self.last_heard
+                    .entry(batch.query_id)
+                    .or_default()
+                    .insert(batch.host.clone(), ctx.now.as_ms());
                 self.events_ingested += batch.events.len() as u64;
                 if let Some(exec) = self.executors.get_mut(&batch.query_id) {
                     exec.ingest(batch);
@@ -107,6 +186,7 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
     fn on_timer(&mut self, ctx: &mut Context<'_, E>, timer: u64) {
         if timer == TIMER_CENTRAL_ADVANCE {
             let now_ms = ctx.now.as_ms();
+            self.refresh_dead_hosts();
             self.flush_rows(ctx, now_ms);
             ctx.set_timer(self.advance_interval(), TIMER_CENTRAL_ADVANCE);
         }

@@ -1,38 +1,73 @@
 //! Agent harness: embeds a [`ScrubAgent`] into an application's simulated
 //! node, handling Scrub control messages and periodic batch shipment so
 //! the application code only calls `agent().log(...)` at its event sites.
+//!
+//! Shipment is reliable: every batch goes through a [`ReliableShipper`],
+//! which assigns per-query sequence numbers and retransmits unacked
+//! batches with exponential backoff (ScrubCentral deduplicates and acks).
+//! The harness also heartbeats the query server so host failures narrow a
+//! query's reported coverage instead of silently biasing its results.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use scrub_agent::ScrubAgent;
+use rand::Rng;
+use scrub_agent::{EventBatch, ReliableShipper, RetryPolicy, ScrubAgent};
 use scrub_core::config::ScrubConfig;
 use scrub_core::plan::QueryId;
 use scrub_simnet::{Context, NodeId, SimDuration};
 
-use crate::msg::{ScrubEnvelope, ScrubMsg, TIMER_AGENT_FLUSH};
+use crate::msg::{
+    ScrubEnvelope, ScrubMsg, TIMER_AGENT_FLUSH, TIMER_AGENT_HEARTBEAT, TIMER_AGENT_RETRY,
+};
 
 /// Embeds Scrub's host-side machinery in an application node.
 pub struct AgentHarness {
     agent: Arc<ScrubAgent>,
+    host: String,
     /// Default central (used if a query object arrives without routing —
     /// single-central deployments).
     central: NodeId,
     /// Per-query ScrubCentral destination (cluster deployments spread
-    /// queries across centrals).
+    /// queries across centrals). Routing survives `StopQuery` until the
+    /// query's pending batches drain, so retransmits still find central.
     query_central: HashMap<QueryId, NodeId>,
+    /// Queries stopped but possibly still draining retransmits.
+    stopped: HashSet<QueryId>,
+    /// The query server, learned from the sender of `InstallQuery`;
+    /// heartbeats flow there once known.
+    server: Option<NodeId>,
+    shipper: ReliableShipper,
+    retry_armed: bool,
     flush_interval: SimDuration,
+    heartbeat_interval: SimDuration,
 }
 
 impl AgentHarness {
     /// Create a harness shipping batches to `central`.
     pub fn new(host: impl Into<String>, config: ScrubConfig, central: NodeId) -> Self {
+        let host = host.into();
         let flush_interval = SimDuration::from_ms(config.agent_flush_interval_ms.max(1));
+        let heartbeat_interval = SimDuration::from_ms(config.agent_heartbeat_interval_ms.max(1));
+        let policy = RetryPolicy {
+            base_ms: config.agent_retry_base_ms.max(1),
+            max_ms: config
+                .agent_retry_max_ms
+                .max(config.agent_retry_base_ms.max(1)),
+            buffer_cap: config.agent_retransmit_buffer.max(1),
+        };
         AgentHarness {
-            agent: Arc::new(ScrubAgent::new(host, config)),
+            agent: Arc::new(ScrubAgent::new(host.clone(), config)),
+            host,
             central,
             query_central: HashMap::new(),
+            stopped: HashSet::new(),
+            server: None,
+            shipper: ReliableShipper::new(policy),
+            retry_armed: false,
             flush_interval,
+            heartbeat_interval,
         }
     }
 
@@ -48,22 +83,75 @@ impl AgentHarness {
         &self.agent
     }
 
-    /// Call from the node's `on_start`: arms the periodic flush timer.
-    pub fn start<E: ScrubEnvelope>(&mut self, ctx: &mut Context<'_, E>) {
-        ctx.set_timer(self.flush_interval, TIMER_AGENT_FLUSH);
+    /// Batches shipped but not yet acked by ScrubCentral.
+    pub fn acks_pending(&self) -> usize {
+        self.shipper.pending_count()
     }
 
-    /// Call from the node's `on_message` *before* application handling.
-    /// Returns `true` when the message was a Scrub message and is consumed.
+    /// Call from the node's `on_start`: arms the periodic flush and
+    /// heartbeat timers. Idempotent across simulated host restarts (a
+    /// restart re-runs `on_start`; the previous incarnation's timers are
+    /// discarded by the scheduler).
+    pub fn start<E: ScrubEnvelope>(&mut self, ctx: &mut Context<'_, E>) {
+        ctx.set_timer(self.flush_interval, TIMER_AGENT_FLUSH);
+        ctx.set_timer(self.heartbeat_interval, TIMER_AGENT_HEARTBEAT);
+        // A restart also orphans any armed retry timer.
+        self.retry_armed = false;
+        if self.shipper.has_pending() {
+            self.arm_retry(ctx);
+        }
+    }
+
+    fn update_pending_gauge(&self) {
+        self.agent
+            .stats()
+            .acks_pending
+            .store(self.shipper.pending_count() as u64, Ordering::Relaxed);
+    }
+
+    fn arm_retry<E: ScrubEnvelope>(&mut self, ctx: &mut Context<'_, E>) {
+        if self.retry_armed {
+            return;
+        }
+        if let Some(due) = self.shipper.next_due_ms() {
+            let delay = (due - ctx.now.as_ms()).max(1);
+            ctx.set_timer(SimDuration::from_ms(delay), TIMER_AGENT_RETRY);
+            self.retry_armed = true;
+        }
+    }
+
+    fn ship<E: ScrubEnvelope>(&mut self, ctx: &mut Context<'_, E>, batch: EventBatch) {
+        let dest = self.central_for(batch.query_id);
+        let batch = self.shipper.ship(batch, ctx.now.as_ms());
+        ctx.send(dest, E::wrap(ScrubMsg::Batch(batch)));
+        self.update_pending_gauge();
+        self.arm_retry(ctx);
+    }
+
+    /// Drop shipping state for a stopped query once nothing is pending.
+    fn maybe_forget(&mut self, qid: QueryId) {
+        if self.stopped.contains(&qid) && self.shipper.pending_for(qid) == 0 {
+            self.shipper.forget_query(qid);
+            self.query_central.remove(&qid);
+            self.stopped.remove(&qid);
+        }
+    }
+
+    /// Call from the node's `on_message` *before* application handling,
+    /// passing the sender. Returns the envelope back when it was an
+    /// application message.
     pub fn on_message<E: ScrubEnvelope>(
         &mut self,
         ctx: &mut Context<'_, E>,
+        from: NodeId,
         msg: E,
     ) -> Result<(), E> {
         let scrub = msg.open()?;
         match scrub {
             ScrubMsg::InstallQuery { plans, central } => {
+                self.server = Some(from);
                 for p in plans {
+                    self.stopped.remove(&p.query_id);
                     self.query_central.insert(p.query_id, central);
                     // install failures (duplicates) are control-plane bugs;
                     // the agent stays consistent either way
@@ -71,12 +159,19 @@ impl AgentHarness {
                 }
             }
             ScrubMsg::StopQuery { query_id } => {
+                self.server = Some(from);
                 let tail = self.agent.remove(query_id, ctx.now.as_ms());
-                let dest = self.central_for(query_id);
-                self.query_central.remove(&query_id);
                 for b in tail {
-                    ctx.send(dest, E::wrap(ScrubMsg::Batch(b)));
+                    self.ship(ctx, b);
                 }
+                // keep routing until the pending batches drain
+                self.stopped.insert(query_id);
+                self.maybe_forget(query_id);
+            }
+            ScrubMsg::BatchAck { query_id, seq } => {
+                self.shipper.ack(query_id, seq);
+                self.update_pending_gauge();
+                self.maybe_forget(query_id);
             }
             _ => { /* other scrub messages are not addressed to hosts */ }
         }
@@ -84,16 +179,59 @@ impl AgentHarness {
     }
 
     /// Call from the node's `on_timer`. Returns `true` when the timer was
-    /// the harness's flush timer and is consumed.
+    /// one of the harness's timers and is consumed.
     pub fn on_timer<E: ScrubEnvelope>(&mut self, ctx: &mut Context<'_, E>, timer: u64) -> bool {
-        if timer != TIMER_AGENT_FLUSH {
-            return false;
+        match timer {
+            TIMER_AGENT_FLUSH => {
+                for b in self.agent.take_batches(ctx.now.as_ms()) {
+                    self.ship(ctx, b);
+                }
+                ctx.set_timer(self.flush_interval, TIMER_AGENT_FLUSH);
+                true
+            }
+            TIMER_AGENT_RETRY => {
+                self.retry_armed = false;
+                let now_ms = ctx.now.as_ms();
+                // Jitter decorrelates retry storms across hosts; the RNG is
+                // only consulted when a retransmit actually fires, so
+                // fault-free executions draw nothing here.
+                let rng = &mut *ctx.rng;
+                let due = self
+                    .shipper
+                    .due_retransmits(now_ms, |backoff| rng.gen_range(0..=backoff / 4));
+                let stats = self.agent.stats();
+                for r in due {
+                    let dest = self.central_for(r.batch.query_id);
+                    stats.retransmits.fetch_add(1, Ordering::Relaxed);
+                    stats
+                        .bytes_retransmitted
+                        .fetch_add(r.batch.approx_bytes() as u64, Ordering::Relaxed);
+                    ctx.send(dest, E::wrap(ScrubMsg::Batch(r.batch)));
+                }
+                let evicted = self.shipper.evicted();
+                if evicted > 0 {
+                    stats.retransmit_evictions.store(evicted, Ordering::Relaxed);
+                }
+                self.arm_retry(ctx);
+                true
+            }
+            TIMER_AGENT_HEARTBEAT => {
+                if let Some(server) = self.server {
+                    ctx.send(
+                        server,
+                        E::wrap(ScrubMsg::Heartbeat {
+                            host: self.host.clone(),
+                        }),
+                    );
+                    self.agent
+                        .stats()
+                        .heartbeats_sent
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                ctx.set_timer(self.heartbeat_interval, TIMER_AGENT_HEARTBEAT);
+                true
+            }
+            _ => false,
         }
-        for b in self.agent.take_batches(ctx.now.as_ms()) {
-            let dest = self.central_for(b.query_id);
-            ctx.send(dest, E::wrap(ScrubMsg::Batch(b)));
-        }
-        ctx.set_timer(self.flush_interval, TIMER_AGENT_FLUSH);
-        true
     }
 }

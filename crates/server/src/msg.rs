@@ -46,6 +46,20 @@ pub enum ScrubMsg {
     },
     /// Host → ScrubCentral: selected/projected events (step 3).
     Batch(EventBatch),
+    /// ScrubCentral → host: batch `(query_id, seq)` was received. Sent for
+    /// duplicates too, so a host whose ack was lost stops retransmitting.
+    BatchAck {
+        /// Query the acked batch belongs to.
+        query_id: QueryId,
+        /// The acked per-(host, query) sequence number.
+        seq: u64,
+    },
+    /// Host → query server: liveness beacon. The server suspects hosts
+    /// whose heartbeats stop and narrows query coverage accordingly.
+    Heartbeat {
+        /// Reporting host name.
+        host: String,
+    },
     /// ScrubCentral → query server: result rows as windows close (step 4).
     Rows {
         /// Finished rows.
@@ -86,6 +100,8 @@ impl ScrubMsg {
             ScrubMsg::CentralInstall { .. } => 512,
             ScrubMsg::CentralStop { .. } => 16,
             ScrubMsg::Batch(b) => b.approx_bytes(),
+            ScrubMsg::BatchAck { .. } => 24,
+            ScrubMsg::Heartbeat { host } => 16 + host.len(),
             ScrubMsg::Rows { rows } => {
                 16 + rows.iter().map(|r| 16 + r.values.len() * 16).sum::<usize>()
             }
@@ -129,6 +145,10 @@ pub const SCRUB_TIMER_BASE: u64 = 1 << 62;
 pub const TIMER_AGENT_FLUSH: u64 = SCRUB_TIMER_BASE + 1;
 /// Periodic ScrubCentral watermark-advance timer.
 pub const TIMER_CENTRAL_ADVANCE: u64 = SCRUB_TIMER_BASE + 2;
+/// Agent retransmit-check timer (armed only while acks are outstanding).
+pub const TIMER_AGENT_RETRY: u64 = SCRUB_TIMER_BASE + 3;
+/// Periodic agent heartbeat timer.
+pub const TIMER_AGENT_HEARTBEAT: u64 = SCRUB_TIMER_BASE + 4;
 
 /// Per-query server timers: start dispatch, stop, and central drain.
 pub fn timer_query_start(q: QueryId) -> u64 {

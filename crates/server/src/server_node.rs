@@ -72,6 +72,10 @@ pub struct QueryServerNode<E: ScrubEnvelope> {
     queries: HashMap<QueryId, QueryRecord>,
     /// Queries rejected at submission, with reasons (for tests/inspection).
     pub rejected: Vec<(String, String)>,
+    /// Last heartbeat per agent host (ms). Hosts only start heartbeating
+    /// once they learn the server's address from their first
+    /// `InstallQuery`.
+    heartbeats: HashMap<NodeId, i64>,
     _marker: PhantomData<fn(E)>,
 }
 
@@ -105,8 +109,50 @@ impl<E: ScrubEnvelope> QueryServerNode<E> {
             next_qid: 1,
             queries: HashMap::new(),
             rejected: Vec::new(),
+            heartbeats: HashMap::new(),
             _marker: PhantomData,
         }
+    }
+
+    /// Time (ms) of the last heartbeat received from `host`, if any.
+    pub fn last_heartbeat(&self, host: NodeId) -> Option<i64> {
+        self.heartbeats.get(&host).copied()
+    }
+
+    /// Whether `host` is suspected dead at `now_ms`: it heartbeated at
+    /// least once and has then been silent for longer than the host grace
+    /// period. Hosts that never heartbeated are not suspected (they may
+    /// simply never have been targeted by a query).
+    pub fn is_suspect(&self, host: NodeId, now_ms: i64) -> bool {
+        match self.heartbeats.get(&host) {
+            Some(&last) => now_ms - last > self.config.host_grace_ms,
+            None => false,
+        }
+    }
+
+    /// Hosts currently suspected dead.
+    pub fn suspected_hosts(&self, now_ms: i64) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .heartbeats
+            .keys()
+            .copied()
+            .filter(|h| self.is_suspect(*h, now_ms))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// A query's host coverage at `now_ms`: `(live, targeted)` over the
+    /// hosts selected to run it. Failure of a targeted host narrows
+    /// coverage below 1.0 — the summary's error bounds widen accordingly.
+    pub fn query_coverage(&self, qid: QueryId, now_ms: i64) -> Option<(usize, usize)> {
+        let rec = self.queries.get(&qid)?;
+        let live = rec
+            .hosts
+            .iter()
+            .filter(|h| !self.is_suspect(**h, now_ms))
+            .count();
+        Some((live, rec.hosts.len()))
     }
 
     /// Record of a query (rows, summary, state).
@@ -288,6 +334,9 @@ impl<E: ScrubEnvelope> Node<E> for QueryServerNode<E> {
                     rec.summary = Some(summary);
                     rec.state = QueryState::Done;
                 }
+            }
+            ScrubMsg::Heartbeat { .. } => {
+                self.heartbeats.insert(from, ctx.now.as_ms());
             }
             _ => {}
         }

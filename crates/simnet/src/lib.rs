@@ -10,11 +10,16 @@
 //! service registry for target-clause resolution. Executions are totally
 //! ordered by (time, sequence), so every run is exactly reproducible.
 
+pub mod fault;
 pub mod registry;
 pub mod sim;
 pub mod time;
 pub mod topology;
 
+pub use fault::{
+    CrashWindow, DropReason, DropRule, FaultPlan, FaultStats, JitterSpike, NodeSel, Partition,
+    SendFate,
+};
 pub use registry::ServiceRegistry;
 pub use sim::{Context, Message, Node, NodeId, NodeMeta, Sim};
 pub use time::{SimDuration, SimTime};

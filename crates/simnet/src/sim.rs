@@ -12,6 +12,7 @@ use std::collections::BinaryHeap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::fault::{FaultPlan, FaultState, FaultStats, NodeSel, SendFate};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{Topology, TrafficAccounting};
 
@@ -134,8 +135,19 @@ impl<M: Message> Context<'_, M> {
 
 enum Payload<M> {
     Start,
-    Deliver { from: NodeId, msg: M },
-    Timer { id: u64 },
+    Deliver {
+        from: NodeId,
+        msg: M,
+    },
+    /// `inc` is the node incarnation that armed the timer; a restart bumps
+    /// the incarnation, so timers from the previous life are discarded.
+    Timer {
+        id: u64,
+        inc: u32,
+    },
+    /// Scheduled at a crash window's `up_at`: bumps the incarnation and
+    /// re-runs `on_start`.
+    Restart,
 }
 
 struct Queued<M> {
@@ -174,6 +186,10 @@ pub struct Sim<M: Message> {
     rng: StdRng,
     traffic: TrafficAccounting,
     events_processed: u64,
+    /// Per-node restart count; timers are stamped with the incarnation
+    /// that armed them.
+    incarnation: Vec<u32>,
+    faults: Option<FaultState>,
 }
 
 impl<M: Message> Sim<M> {
@@ -189,6 +205,8 @@ impl<M: Message> Sim<M> {
             rng: StdRng::seed_from_u64(seed),
             traffic: TrafficAccounting::default(),
             events_processed: 0,
+            incarnation: Vec::new(),
+            faults: None,
         }
     }
 
@@ -197,8 +215,108 @@ impl<M: Message> Sim<M> {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Some(node));
         self.meta.push(meta);
+        self.incarnation.push(0);
         self.push(self.now, id, Payload::Start);
         id
+    }
+
+    /// Install a fault plan. Restarts for every crash window with an
+    /// `up_at` are scheduled immediately (deterministically, through the
+    /// same event queue as everything else). Crash windows naming unknown
+    /// hosts are ignored. Installing an inert plan leaves the execution
+    /// byte-identical to running without one.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        for crash in &plan.crashes {
+            if let (Some(node), Some(up)) = (self.node_by_name(&crash.host), crash.up_at) {
+                let at = if up < self.now { self.now } else { up };
+                self.push(at, node, Payload::Restart);
+            }
+        }
+        self.faults = Some(FaultState::new(plan));
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| &f.plan)
+    }
+
+    /// Fault-plane counters for the run so far (zeros when no plan is
+    /// installed).
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map(|f| f.stats).unwrap_or_default()
+    }
+
+    /// Current incarnation (restart count) of a node.
+    pub fn incarnation_of(&self, id: NodeId) -> u32 {
+        self.incarnation[id.0 as usize]
+    }
+
+    fn ensure_faults(&mut self) -> &mut FaultState {
+        if self.faults.is_none() {
+            self.faults = Some(FaultState::new(FaultPlan::new(0)));
+        }
+        self.faults.as_mut().unwrap()
+    }
+
+    /// Live mutation: lose messages from `from` to `to` with probability
+    /// `p` from now on (prepended, so it wins over earlier rules).
+    pub fn set_link_drop(&mut self, from: NodeSel, to: NodeSel, p: f64) {
+        let f = self.ensure_faults();
+        f.plan
+            .drops
+            .insert(0, crate::fault::DropRule { from, to, p });
+    }
+
+    /// Live mutation: sever `a`↔`b` during `[from, until)`.
+    pub fn add_partition(&mut self, a: NodeSel, b: NodeSel, from: SimTime, until: SimTime) {
+        let f = self.ensure_faults();
+        f.plan
+            .partitions
+            .push(crate::fault::Partition { a, b, from, until });
+    }
+
+    /// Live mutation: crash `host` at `down_from`, restarting at `up_at`
+    /// if given. Returns false when the host name is unknown.
+    pub fn inject_crash(&mut self, host: &str, down_from: SimTime, up_at: Option<SimTime>) -> bool {
+        let Some(node) = self.node_by_name(host) else {
+            return false;
+        };
+        if let Some(up) = up_at {
+            let at = if up < self.now { self.now } else { up };
+            self.push(at, node, Payload::Restart);
+        }
+        let f = self.ensure_faults();
+        f.plan.crashes.push(crate::fault::CrashWindow {
+            host: host.to_string(),
+            down_from,
+            up_at,
+        });
+        true
+    }
+
+    /// Live mutation: bring a crashed `host` back up now. Every crash
+    /// window currently holding it down is closed at the present time and
+    /// one restart is scheduled. Returns false when the host is unknown
+    /// or not down.
+    pub fn revive(&mut self, host: &str) -> bool {
+        let Some(node) = self.node_by_name(host) else {
+            return false;
+        };
+        let now = self.now;
+        let Some(f) = self.faults.as_mut() else {
+            return false;
+        };
+        let mut any = false;
+        for c in f.plan.crashes.iter_mut() {
+            if c.host == host && c.down(now) {
+                c.up_at = Some(now);
+                any = true;
+            }
+        }
+        if any {
+            self.push(now, node, Payload::Restart);
+        }
+        any
     }
 
     /// Metadata of all nodes, indexed by `NodeId`.
@@ -272,6 +390,38 @@ impl<M: Message> Sim<M> {
         self.events_processed += 1;
 
         let idx = ev.node.0 as usize;
+
+        // Fault plane: gate the event before the node sees it.
+        let mut payload = ev.payload;
+        if let Payload::Timer { inc, .. } = &payload {
+            // Armed by a previous incarnation of a since-restarted node.
+            if *inc != self.incarnation[idx] {
+                if let Some(faults) = self.faults.as_mut() {
+                    faults.stats.stale_timers += 1;
+                }
+                return true;
+            }
+        }
+        if let Payload::Restart = payload {
+            // The transition back up: bump the incarnation so pre-crash
+            // timers die, then run on_start again.
+            self.incarnation[idx] += 1;
+            if let Some(faults) = self.faults.as_mut() {
+                faults.stats.restarts += 1;
+            }
+            payload = Payload::Start;
+        } else if let Some(faults) = self.faults.as_mut() {
+            if faults.plan.host_down(&self.meta[idx].name, self.now) {
+                // Host is down: it processes nothing. In-flight messages
+                // addressed to it are lost; its timers and pending start
+                // are swallowed too.
+                if matches!(payload, Payload::Deliver { .. }) {
+                    faults.stats.dropped_host_down += 1;
+                }
+                return true;
+            }
+        }
+
         let Some(mut node) = self.nodes[idx].take() else {
             return true; // node removed; drop the event
         };
@@ -284,10 +434,10 @@ impl<M: Message> Sim<M> {
                 meta: &self.meta,
                 out: &mut out,
             };
-            match ev.payload {
-                Payload::Start => node.on_start(&mut ctx),
+            match payload {
+                Payload::Start | Payload::Restart => node.on_start(&mut ctx),
                 Payload::Deliver { from, msg } => node.on_message(&mut ctx, from, msg),
-                Payload::Timer { id } => node.on_timer(&mut ctx, id),
+                Payload::Timer { id, .. } => node.on_timer(&mut ctx, id),
             }
         }
         self.nodes[idx] = Some(node);
@@ -298,19 +448,30 @@ impl<M: Message> Sim<M> {
                     let from_meta = &self.meta[idx];
                     let to_meta = &self.meta[to.0 as usize];
                     let bytes = msg.size_bytes();
+                    // The message leaves the sender's NIC either way, so
+                    // traffic accounting records it even when the fault
+                    // plane then loses it en route.
+                    self.traffic.record(&from_meta.dc, &to_meta.dc, bytes);
+                    let mut extra_us = 0i64;
+                    if let Some(faults) = self.faults.as_mut() {
+                        match faults.judge_send(self.now, from_meta, to_meta) {
+                            SendFate::Drop(_) => continue,
+                            SendFate::Deliver { extra_us: e } => extra_us = e,
+                        }
+                    }
                     let delay = self.topology.delay(
                         &from_meta.dc,
                         &to_meta.dc,
                         from_meta.name == to_meta.name,
                         bytes,
                     );
-                    self.traffic.record(&from_meta.dc, &to_meta.dc, bytes);
-                    let at = self.now + delay;
+                    let at = self.now + delay + SimDuration(extra_us);
                     self.push(at, to, Payload::Deliver { from: ev.node, msg });
                 }
                 Action::Timer { delay, id } => {
                     let at = self.now + delay;
-                    self.push(at, ev.node, Payload::Timer { id });
+                    let inc = self.incarnation[idx];
+                    self.push(at, ev.node, Payload::Timer { id, inc });
                 }
             }
         }
@@ -515,6 +676,178 @@ mod tests {
         let (sim, echo, _) = two_node_sim("DC1", "DC1");
         assert_eq!(sim.node_by_name("echo"), Some(echo));
         assert_eq!(sim.node_by_name("missing"), None);
+    }
+
+    use crate::fault::{FaultPlan, NodeSel};
+
+    #[test]
+    fn full_drop_rule_loses_the_ping() {
+        let (mut sim, echo, pinger) = two_node_sim("DC1", "DC1");
+        sim.set_fault_plan(FaultPlan::new(1).drop(
+            NodeSel::Host("pinger".into()),
+            NodeSel::Host("echo".into()),
+            1.0,
+        ));
+        sim.run_all(1000);
+        assert_eq!(sim.node_as::<Echo>(echo).unwrap().received, 0);
+        assert!(sim.node_as::<Pinger>(pinger).unwrap().rtt_us.is_none());
+        assert_eq!(sim.fault_stats().dropped_random, 1);
+        // the lost message still left the sender's NIC
+        assert_eq!(sim.traffic().total_messages(), 1);
+    }
+
+    #[test]
+    fn inert_plan_is_byte_identical_to_no_plan() {
+        let run = |with_plan: bool| {
+            let (mut sim, echo, pinger) = two_node_sim("DC1", "DC2");
+            if with_plan {
+                sim.set_fault_plan(FaultPlan::new(999).drop(NodeSel::Any, NodeSel::Any, 0.0));
+            }
+            sim.run_all(1000);
+            (
+                sim.now().as_us(),
+                sim.events_processed(),
+                sim.traffic().total_bytes(),
+                sim.node_as::<Pinger>(pinger).unwrap().rtt_us,
+                sim.node_as::<Echo>(echo).unwrap().received,
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn crash_swallows_messages_and_restart_reruns_on_start() {
+        // TickTock arms a timer chain from on_start; crash it mid-chain
+        // and restart it. Pre-crash timers must die (stale incarnation),
+        // and on_start must run again, re-arming the chain.
+        let mut sim: Sim<Ping> = Sim::new(Topology::default(), 1);
+        let id = sim.add_node(
+            NodeMeta::new("t", "Ticker", "DC1"),
+            Box::new(TickTock { ticks: 0 }),
+        );
+        sim.set_fault_plan(FaultPlan::new(0).crash(
+            "t",
+            SimTime::from_ms(15),
+            Some(SimTime::from_ms(18)),
+        ));
+        sim.run_all(1000);
+        // One tick at 10ms (arming a timer for 20ms), down during
+        // [15ms, 18ms). The restart at 18ms re-runs on_start, so the
+        // 20ms timer pops with a stale incarnation and dies, and the new
+        // chain ticks at 28/38/48/58ms until the counter (which survives
+        // the restart — in-memory state is not wiped) reaches 5.
+        assert_eq!(sim.node_as::<TickTock>(id).unwrap().ticks, 5);
+        assert_eq!(sim.incarnation_of(id), 1);
+        let stats = sim.fault_stats();
+        assert_eq!(stats.restarts, 1);
+        assert_eq!(stats.stale_timers, 1);
+        assert_eq!(sim.now().as_ms(), 58);
+    }
+
+    #[test]
+    fn messages_to_down_host_are_lost() {
+        let (mut sim, echo, pinger) = two_node_sim("DC1", "DC1");
+        // echo is down for the whole run; the ping arrives into the void
+        sim.set_fault_plan(FaultPlan::new(0).crash("echo", SimTime::ZERO, None));
+        sim.run_all(1000);
+        assert_eq!(sim.node_as::<Echo>(echo).unwrap().received, 0);
+        assert!(sim.node_as::<Pinger>(pinger).unwrap().rtt_us.is_none());
+        // the Start event and the ping were both swallowed; only the
+        // delivery counts as a host-down drop
+        assert_eq!(sim.fault_stats().dropped_host_down, 1);
+    }
+
+    #[test]
+    fn jitter_spike_delays_delivery() {
+        let base_rtt = {
+            let (mut sim, _, pinger) = two_node_sim("DC1", "DC1");
+            sim.run_all(1000);
+            sim.node_as::<Pinger>(pinger).unwrap().rtt_us.unwrap()
+        };
+        let (mut sim, _, pinger) = two_node_sim("DC1", "DC1");
+        sim.set_fault_plan(FaultPlan::new(5).jitter(
+            NodeSel::Any,
+            NodeSel::Any,
+            SimTime::ZERO,
+            SimTime::from_secs(10),
+            10_000,
+            0,
+        ));
+        sim.run_all(1000);
+        let jittered_rtt = sim.node_as::<Pinger>(pinger).unwrap().rtt_us.unwrap();
+        // both legs picked up the fixed 10ms spike
+        assert_eq!(jittered_rtt - base_rtt, 20_000);
+        assert_eq!(sim.fault_stats().delayed, 2);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let run = || {
+            let (mut sim, echo, pinger) = two_node_sim("DC1", "DC2");
+            sim.set_fault_plan(
+                FaultPlan::new(77)
+                    .drop(NodeSel::Any, NodeSel::Any, 0.5)
+                    .jitter(
+                        NodeSel::Any,
+                        NodeSel::Any,
+                        SimTime::ZERO,
+                        SimTime::from_secs(1),
+                        100,
+                        5_000,
+                    ),
+            );
+            sim.run_all(1000);
+            (
+                sim.now().as_us(),
+                sim.events_processed(),
+                sim.node_as::<Echo>(echo).unwrap().received,
+                sim.node_as::<Pinger>(pinger).unwrap().rtt_us,
+                sim.fault_stats(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn runtime_fault_mutation() {
+        let mut sim: Sim<Ping> = Sim::new(Topology::default(), 1);
+        let echo = sim.add_node(
+            NodeMeta::new("echo", "Echo", "DC1"),
+            Box::new(Echo { received: 0 }),
+        );
+        sim.run_all(10);
+        // live: sever the world, then inject a message — it must vanish
+        sim.set_link_drop(NodeSel::Any, NodeSel::Host("echo".into()), 1.0);
+        assert!(sim.inject_crash("echo", sim.now(), None));
+        assert!(!sim.inject_crash("nope", sim.now(), None));
+        sim.inject(echo, echo, Ping { payload: vec![1] });
+        sim.run_all(100);
+        assert_eq!(sim.node_as::<Echo>(echo).unwrap().received, 0);
+        assert!(sim.fault_plan().is_some());
+    }
+
+    #[test]
+    fn revive_brings_a_killed_host_back() {
+        let mut sim: Sim<Ping> = Sim::new(Topology::default(), 1);
+        let echo = sim.add_node(
+            NodeMeta::new("echo", "Echo", "DC1"),
+            Box::new(Echo { received: 0 }),
+        );
+        sim.run_all(10);
+        // kill with no scheduled restart: messages vanish
+        assert!(sim.inject_crash("echo", sim.now(), None));
+        sim.inject(echo, echo, Ping { payload: vec![1] });
+        sim.run_all(100);
+        assert_eq!(sim.node_as::<Echo>(echo).unwrap().received, 0);
+        // not-down / unknown hosts cannot be revived
+        assert!(!sim.revive("nope"));
+        // revive closes the open crash window and restarts the node
+        assert!(sim.revive("echo"));
+        assert!(!sim.revive("echo"), "already up");
+        sim.inject(echo, echo, Ping { payload: vec![2] });
+        sim.run_all(100);
+        assert_eq!(sim.node_as::<Echo>(echo).unwrap().received, 1);
+        assert_eq!(sim.fault_stats().restarts, 1);
     }
 }
 

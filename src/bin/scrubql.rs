@@ -12,7 +12,8 @@
 //! ```
 //!
 //! Commands: a ScrubQL query (terminated by a newline), `explain <query>`,
-//! `\stats`, `\events`, `\hosts`, `\help`, `\quit`.
+//! `faults ...` (live fault injection: drop rates, partitions, host
+//! kill/revive), `\stats`, `\events`, `\hosts`, `\help`, `\quit`.
 
 use std::io::{BufRead, Write};
 
@@ -78,6 +79,12 @@ fn main() {
                 println!(
                     "commands:\n  <scrubql query>   run a query (span controls how long)\n  \
                      explain <query>   show the host/central plan split\n  \
+                     faults            show the live fault plan and counters\n  \
+                     faults drop <from> <to> <p>       lose p (e.g. 5%) of from->to messages\n  \
+                     faults partition <a> <b> <secs>   sever a<->b for the next secs seconds\n  \
+                     faults kill <host> [secs]         crash a host (restart after secs if given)\n  \
+                     faults revive <host>              bring a killed host back up now\n  \
+                     (selectors: *, host:NAME, service:NAME, dc:NAME; bare word = host)\n  \
                      \\stats            platform + scrub statistics\n  \
                      \\events           event types and schemas\n  \
                      \\hosts            host inventory\n  \\quit"
@@ -100,6 +107,10 @@ fn main() {
                     println!("{}\t{}\t{}", m.name, m.service, m.dc);
                 }
             }
+            other if other == "faults" || other.starts_with("faults ") => {
+                let args: Vec<&str> = other.split_whitespace().skip(1).collect();
+                faults_cmd(&mut p, &args);
+            }
             other if other.starts_with("explain ") => {
                 let src = &other["explain ".len()..];
                 match parse_query(src)
@@ -111,6 +122,123 @@ fn main() {
             }
             src => run_query(&mut p, src),
         }
+    }
+}
+
+/// Parse a node selector: `*`/`any`, `host:x`, `service:x`, `dc:x`; a bare
+/// word names a host.
+fn parse_sel(s: &str) -> NodeSel {
+    if s == "*" || s == "any" {
+        NodeSel::Any
+    } else if let Some(h) = s.strip_prefix("host:") {
+        NodeSel::Host(h.into())
+    } else if let Some(svc) = s.strip_prefix("service:") {
+        NodeSel::Service(svc.into())
+    } else if let Some(dc) = s.strip_prefix("dc:") {
+        NodeSel::Dc(dc.into())
+    } else {
+        NodeSel::Host(s.into())
+    }
+}
+
+/// Parse a probability: `5%` or `0.05`.
+fn parse_prob(s: &str) -> Option<f64> {
+    let p = match s.strip_suffix('%') {
+        Some(pct) => pct.parse::<f64>().ok()? / 100.0,
+        None => s.parse::<f64>().ok()?,
+    };
+    (0.0..=1.0).contains(&p).then_some(p)
+}
+
+/// The `faults` command family: inspect and mutate the live fault plane.
+fn faults_cmd(p: &mut Platform, args: &[&str]) {
+    match args {
+        [] | ["show"] => {
+            match p.sim.fault_plan() {
+                None => println!("no fault plan installed"),
+                Some(plan) => {
+                    for d in &plan.drops {
+                        println!("drop      {} -> {}  p={:.3}", d.from, d.to, d.p);
+                    }
+                    for pt in &plan.partitions {
+                        println!(
+                            "partition {} <-> {}  [{:.0}s, {:.0}s)",
+                            pt.a,
+                            pt.b,
+                            pt.from.as_secs_f64(),
+                            pt.until.as_secs_f64()
+                        );
+                    }
+                    for c in &plan.crashes {
+                        let up = match c.up_at {
+                            Some(t) => format!("up at {:.0}s", t.as_secs_f64()),
+                            None => "never restarted".into(),
+                        };
+                        println!(
+                            "crash     {}  down from {:.0}s, {}{}",
+                            c.host,
+                            c.down_from.as_secs_f64(),
+                            up,
+                            if c.down(p.sim.now()) { " [DOWN]" } else { "" }
+                        );
+                    }
+                }
+            }
+            let s = p.sim.fault_stats();
+            println!(
+                "dropped: {} random, {} partition, {} host-down; {} delayed, {} restarts",
+                s.dropped_random, s.dropped_partition, s.dropped_host_down, s.delayed, s.restarts
+            );
+        }
+        ["drop", from, to, prob] => match parse_prob(prob) {
+            Some(pr) => {
+                let (from, to) = (parse_sel(from), parse_sel(to));
+                p.sim.set_link_drop(from.clone(), to.clone(), pr);
+                println!("losing {:.1}% of {from} -> {to} messages", pr * 100.0);
+            }
+            None => println!("error: bad probability {prob:?} (use e.g. 5% or 0.05)"),
+        },
+        ["partition", a, b, secs] => match secs.parse::<i64>() {
+            Ok(d) if d > 0 => {
+                let (a, b) = (parse_sel(a), parse_sel(b));
+                let from = p.sim.now();
+                let until = from + SimDuration::from_secs(d);
+                p.sim.add_partition(a.clone(), b.clone(), from, until);
+                println!(
+                    "partitioned {a} <-> {b} until t={:.0}s",
+                    until.as_secs_f64()
+                );
+            }
+            _ => println!("error: bad duration {secs:?} (whole seconds)"),
+        },
+        ["kill", host] | ["kill", host, _] => {
+            let up_at = match args.get(2) {
+                Some(secs) => match secs.parse::<i64>() {
+                    Ok(d) if d > 0 => Some(p.sim.now() + SimDuration::from_secs(d)),
+                    _ => {
+                        println!("error: bad restart delay {secs:?} (whole seconds)");
+                        return;
+                    }
+                },
+                None => None,
+            };
+            if p.sim.inject_crash(host, p.sim.now(), up_at) {
+                match up_at {
+                    Some(t) => println!("{host} down, restarts at t={:.0}s", t.as_secs_f64()),
+                    None => println!("{host} down for good (faults revive {host} to undo)"),
+                }
+            } else {
+                println!("error: unknown host {host:?} (\\hosts lists them)");
+            }
+        }
+        ["revive", host] => {
+            if p.sim.revive(host) {
+                println!("{host} is back up");
+            } else {
+                println!("error: {host:?} is unknown or not down");
+            }
+        }
+        _ => println!("usage: faults [show | drop <from> <to> <p> | partition <a> <b> <secs> | kill <host> [secs] | revive <host>]"),
     }
 }
 

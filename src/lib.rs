@@ -53,5 +53,7 @@ pub mod prelude {
         deploy_central, deploy_server, rejections, results, submit_query, AgentHarness, QueryState,
         ScrubDeployment, ScrubEnvelope, ScrubMsg,
     };
-    pub use scrub_simnet::{NodeId, NodeMeta, Sim, SimDuration, SimTime, Topology};
+    pub use scrub_simnet::{
+        FaultPlan, FaultStats, NodeId, NodeMeta, NodeSel, Sim, SimDuration, SimTime, Topology,
+    };
 }

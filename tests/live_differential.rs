@@ -27,8 +27,8 @@ impl Node<ScrubMsg> for ReplayHost {
         self.harness.start(ctx);
         ctx.set_timer(SimDuration::from_ms(1), 1);
     }
-    fn on_message(&mut self, ctx: &mut Context<'_, ScrubMsg>, _from: NodeId, msg: ScrubMsg) {
-        let _ = self.harness.on_message(ctx, msg);
+    fn on_message(&mut self, ctx: &mut Context<'_, ScrubMsg>, from: NodeId, msg: ScrubMsg) {
+        let _ = self.harness.on_message(ctx, from, msg);
     }
     fn on_timer(&mut self, ctx: &mut Context<'_, ScrubMsg>, timer: u64) {
         if self.harness.on_timer(ctx, timer) {
@@ -87,8 +87,7 @@ fn canon(rows: &[scrub::central::ResultRow]) -> Vec<(i64, Vec<scrub_core::value:
                             if d.abs() < 1e-9 {
                                 Value::Double(0.0).group_key()
                             } else {
-                                let scale =
-                                    10f64.powi(9 - d.abs().log10().ceil() as i32);
+                                let scale = 10f64.powi(9 - d.abs().log10().ceil() as i32);
                                 Value::Double((d * scale).round() / scale).group_key()
                             }
                         }

@@ -28,8 +28,8 @@ impl Node<ScrubMsg> for ReplayHost {
         ctx.set_timer(SimDuration::from_ms(1), REPLAY_TIMER);
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, ScrubMsg>, _from: NodeId, msg: ScrubMsg) {
-        let _ = self.harness.on_message(ctx, msg);
+    fn on_message(&mut self, ctx: &mut Context<'_, ScrubMsg>, from: NodeId, msg: ScrubMsg) {
+        let _ = self.harness.on_message(ctx, from, msg);
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, ScrubMsg>, timer: u64) {
@@ -172,8 +172,7 @@ fn assert_live_equals_oracle(src: &str) {
                                 if d.abs() < 1e-9 {
                                     Value::Double(0.0).group_key()
                                 } else {
-                                    let scale =
-                                        10f64.powi(9 - d.abs().log10().ceil() as i32);
+                                    let scale = 10f64.powi(9 - d.abs().log10().ceil() as i32);
                                     Value::Double((d * scale).round() / scale).group_key()
                                 }
                             }

@@ -1,0 +1,204 @@
+#![allow(dead_code)]
+#![allow(clippy::all)]
+//! Minimal offline stand-in for `criterion`.
+//!
+//! Implements the macro/API surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `bench_function`, `iter`, `iter_batched`, `Throughput` — with a simple
+//! time-boxed measurement loop and one summary line per benchmark on
+//! stdout. No statistics, plots or baselines.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How per-iteration inputs are batched in `iter_batched` (accepted for
+/// API compatibility; every batch size runs setup per iteration here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+    BytesDecimal(u64),
+}
+
+pub struct Criterion {
+    /// Measurement budget per benchmark.
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measure_for: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(self.measure_for, name, None, f);
+        self
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(self.criterion.measure_for, &full, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F>(budget: Duration, name: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        budget,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let ns_per_iter = if b.iters == 0 {
+        0.0
+    } else {
+        b.elapsed.as_nanos() as f64 / b.iters as f64
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if ns_per_iter > 0.0 => {
+            format!("  ({:.1} Melem/s)", n as f64 * 1e3 / ns_per_iter)
+        }
+        Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) if ns_per_iter > 0.0 => {
+            format!(
+                "  ({:.1} MiB/s)",
+                n as f64 * 1e9 / ns_per_iter / (1 << 20) as f64
+            )
+        }
+        _ => String::new(),
+    };
+    println!("bench {name:50} {ns_per_iter:14.1} ns/iter{rate}");
+}
+
+pub struct Bencher {
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up briefly, then measure until the budget is spent.
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < self.budget {
+            black_box(routine());
+            iters += 1;
+        }
+        self.iters = iters;
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..3 {
+            black_box(routine(setup()));
+        }
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        let wall = Instant::now();
+        while wall.elapsed() < self.budget {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+            iters += 1;
+        }
+        self.iters = iters;
+        self.elapsed = measured;
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_machinery_runs() {
+        let mut c = Criterion {
+            measure_for: Duration::from_millis(5),
+        };
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10));
+        let mut hits = 0u64;
+        g.bench_function("f", |b| b.iter(|| hits += 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        assert!(hits > 0);
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+    }
+}

@@ -1,0 +1,49 @@
+//! `prop::collection`: sized collection strategies.
+
+use crate::{Strategy, TestRng};
+
+/// Size specification for collection strategies.
+pub trait IntoSizeRange {
+    /// (min, max) — max inclusive.
+    fn bounds(self) -> (usize, usize);
+}
+
+impl IntoSizeRange for std::ops::Range<usize> {
+    fn bounds(self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+    fn bounds(self) -> (usize, usize) {
+        (*self.start(), *self.end())
+    }
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(self) -> (usize, usize) {
+        (self, self)
+    }
+}
+
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+/// `prop::collection::vec(element, size)`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min, max) = size.bounds();
+    VecStrategy { element, min, max }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn gen(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.min + rng.below(self.max - self.min + 1);
+        (0..len).map(|_| self.element.gen(rng)).collect()
+    }
+}

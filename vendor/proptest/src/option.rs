@@ -1,0 +1,24 @@
+//! `prop::option`: optional-value strategies.
+
+use crate::{Strategy, TestRng};
+
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+/// `prop::option::of(strategy)`: `None` roughly a quarter of the time.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn gen(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.gen(rng))
+        }
+    }
+}

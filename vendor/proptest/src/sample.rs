@@ -1,0 +1,32 @@
+//! `prop::sample`: choose among explicit values.
+
+use std::sync::Arc;
+
+use crate::{Strategy, TestRng};
+
+pub struct Select<T> {
+    items: Arc<Vec<T>>,
+}
+
+impl<T> Clone for Select<T> {
+    fn clone(&self) -> Self {
+        Select {
+            items: Arc::clone(&self.items),
+        }
+    }
+}
+
+/// `prop::sample::select(vec![...])`: uniform choice of one element.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select() needs at least one item");
+    Select {
+        items: Arc::new(items),
+    }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn gen(&self, rng: &mut TestRng) -> T {
+        self.items[rng.below(self.items.len())].clone()
+    }
+}

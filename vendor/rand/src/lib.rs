@@ -1,0 +1,212 @@
+#![allow(dead_code)]
+#![allow(clippy::all)]
+//! Minimal offline stand-in for `rand` 0.8.
+//!
+//! Provides the subset this workspace uses — `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and the `Rng` trait with
+//! `gen`/`gen_bool`/`gen_range` — backed by SplitMix64. Sequences are
+//! deterministic per seed (the whole simulator depends on that) but do NOT
+//! match upstream `rand`'s StdRng stream.
+
+/// Types constructible from a stream of random words (the stand-in for
+/// `Distribution<T> for Standard`).
+pub trait FromRandom {
+    fn from_random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Ranges that can be sampled uniformly (the stand-in for `SampleRange`).
+pub trait SampleRange<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Random number generator interface.
+pub trait Rng {
+    fn next_u64(&mut self) -> u64;
+
+    fn gen<T: FromRandom>(&mut self) -> T {
+        T::from_random(self)
+    }
+
+    /// Bernoulli draw: true with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        self.gen::<f64>() < p
+    }
+
+    /// Uniform draw from `range` (half-open or inclusive).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// RNGs constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Pre-mix so nearby seeds diverge immediately.
+            StdRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+impl FromRandom for u64 {
+    fn from_random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl FromRandom for u32 {
+    fn from_random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl FromRandom for u8 {
+    fn from_random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl FromRandom for i64 {
+    fn from_random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl FromRandom for bool {
+    fn from_random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl FromRandom for f64 {
+    /// Uniform in [0, 1): 53 mantissa bits.
+    fn from_random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRandom for f32 {
+    /// Uniform in [0, 1): 24 mantissa bits.
+    fn from_random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() >> 40) as f32) * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let width = (self.end as i128 - self.start as i128) as u128;
+                let v = rng.next_u64() as u128 % width;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty inclusive range");
+                let width = (hi as i128 - lo as i128) as u128 + 1;
+                let v = rng.next_u64() as u128 % width;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range on empty float range");
+                let unit: f64 = f64::from_random(rng);
+                let lo = self.start as f64;
+                let hi = self.end as f64;
+                let v = lo + unit * (hi - lo);
+                if v >= hi { self.start } else { v as $t }
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let a = rng.gen_range(3i64..17);
+            assert!((3..17).contains(&a));
+            let b = rng.gen_range(1usize..=4);
+            assert!((1..=4).contains(&b));
+            let c: f64 = rng.gen_range(1e-12..1.0);
+            assert!(c >= 1e-12 && c < 1.0);
+            let d: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&d));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_edges_and_rate() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut hits = 0;
+        for _ in 0..10_000 {
+            assert!(rng.gen_bool(1.0));
+            assert!(!rng.gen_bool(0.0));
+            if rng.gen_bool(0.3) {
+                hits += 1;
+            }
+        }
+        assert!((2_700..3_300).contains(&hits), "got {hits}");
+    }
+}

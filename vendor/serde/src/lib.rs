@@ -1,0 +1,469 @@
+#![allow(dead_code)]
+#![allow(clippy::all)]
+//! Minimal offline stand-in for `serde`.
+//!
+//! Instead of serde's visitor-based zero-copy machinery, values serialize
+//! into an owned [`Content`] tree which `serde_json` renders/parses. The
+//! derive macros (feature `derive`, from the vendored `serde_derive`)
+//! generate `Serialize`/`Deserialize` impls against this model. The
+//! workspace only uses plain derives (no `#[serde(...)]` attributes, no
+//! hand-written impls), so this simplified shape is a drop-in.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing data model everything serializes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    I64(i64),
+    U64(u64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    /// Key/value pairs in insertion order; keys need not be strings
+    /// (non-string keys render as JSON pair arrays).
+    Map(Vec<(Content, Content)>),
+}
+
+impl Content {
+    pub fn as_map(&self) -> Option<&[(Content, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::I64(v) => Some(*v),
+            Content::U64(v) => i64::try_from(*v).ok(),
+            Content::F64(v) if v.fract() == 0.0 && v.abs() < 9.0e18 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::U64(v) => Some(*v),
+            Content::I64(v) => u64::try_from(*v).ok(),
+            Content::F64(v) if v.fract() == 0.0 && *v >= 0.0 && *v < 1.9e19 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::F64(v) => Some(*v),
+            Content::I64(v) => Some(*v as f64),
+            Content::U64(v) => Some(*v as f64),
+            // Non-finite floats round-trip as tagged strings.
+            Content::Str(s) => match s.as_str() {
+                "NaN" => Some(f64::NAN),
+                "inf" => Some(f64::INFINITY),
+                "-inf" => Some(f64::NEG_INFINITY),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+/// Look up a struct field in serialized map content.
+pub fn content_get<'a>(m: &'a [(Content, Content)], key: &str) -> Option<&'a Content> {
+    m.iter()
+        .find(|(k, _)| matches!(k, Content::Str(s) if s == key))
+        .map(|(_, v)| v)
+}
+
+/// Deserialization error with breadcrumb context.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+
+    /// Prefix the error with the path segment being deserialized.
+    pub fn ctx(mut self, segment: &str) -> Self {
+        self.msg = format!("{segment}: {}", self.msg);
+        self
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+pub trait Serialize {
+    fn to_content(&self) -> Content;
+}
+
+pub trait Deserialize: Sized {
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+fn float_content(v: f64) -> Content {
+    if v.is_finite() {
+        Content::F64(v)
+    } else if v.is_nan() {
+        Content::Str("NaN".into())
+    } else if v > 0.0 {
+        Content::Str("inf".into())
+    } else {
+        Content::Str("-inf".into())
+    }
+}
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = c.as_i64().ok_or_else(|| DeError::new(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(v).map_err(|_| DeError::new(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = c.as_u64().ok_or_else(|| DeError::new(concat!("expected ", stringify!($t))))?;
+                <$t>::try_from(v).map_err(|_| DeError::new(concat!("out of range for ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        float_content(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_f64().ok_or_else(|| DeError::new("expected f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        float_content(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(c.as_f64().ok_or_else(|| DeError::new("expected f32"))? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_bool().ok_or_else(|| DeError::new("expected bool"))
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let s = c.as_str().ok_or_else(|| DeError::new("expected char"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(DeError::new("expected single-char string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| DeError::new("expected string"))
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(_: &Content) -> Result<Self, DeError> {
+        Ok(())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            None => Content::Null,
+            Some(v) => v.to_content(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::new("expected sequence"))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let v: Vec<T> = Vec::from_content(c)?;
+        <[T; N]>::try_from(v).map_err(|_| DeError::new("wrong array length"))
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let s = c.as_seq().ok_or_else(|| DeError::new("expected tuple sequence"))?;
+                let mut it = s.iter();
+                let out = ($(
+                    {
+                        let _ = $idx;
+                        $name::from_content(it.next().ok_or_else(|| DeError::new("tuple too short"))?)?
+                    },
+                )+);
+                Ok(out)
+            }
+        }
+    )*};
+}
+
+ser_de_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+}
+
+fn map_to_content<'a, K, V, I>(iter: I) -> Content
+where
+    K: Serialize + 'a,
+    V: Serialize + 'a,
+    I: Iterator<Item = (&'a K, &'a V)>,
+{
+    Content::Map(
+        iter.map(|(k, v)| (k.to_content(), v.to_content()))
+            .collect(),
+    )
+}
+
+fn map_from_content<K: Deserialize, V: Deserialize>(c: &Content) -> Result<Vec<(K, V)>, DeError> {
+    match c {
+        Content::Map(m) => m
+            .iter()
+            .map(|(k, v)| Ok((K::from_content(k)?, V::from_content(v)?)))
+            .collect(),
+        // Non-string-keyed maps render as a JSON array of [k, v] pairs.
+        Content::Seq(s) => s
+            .iter()
+            .map(|pair| {
+                let p = pair
+                    .as_seq()
+                    .ok_or_else(|| DeError::new("expected [key, value] pair"))?;
+                if p.len() != 2 {
+                    return Err(DeError::new("expected 2-element pair"));
+                }
+                Ok((K::from_content(&p[0])?, V::from_content(&p[1])?))
+            })
+            .collect(),
+        _ => Err(DeError::new("expected map")),
+    }
+}
+
+impl<K: Serialize, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        map_to_content(self.iter())
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: Deserialize + Eq + Hash,
+    V: Deserialize,
+    S: BuildHasher + Default,
+{
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(map_from_content::<K, V>(c)?.into_iter().collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        map_to_content(self.iter())
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(map_from_content::<K, V>(c)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize, S> Serialize for HashSet<T, S> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T, S> Deserialize for HashSet<T, S>
+where
+    T: Deserialize + Eq + Hash,
+    S: BuildHasher + Default,
+{
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(Vec::<T>::from_content(c)?.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(i64::from_content(&42i64.to_content()).unwrap(), 42);
+        assert_eq!(u64::from_content(&u64::MAX.to_content()).unwrap(), u64::MAX);
+        assert_eq!(f32::from_content(&1.5f32.to_content()).unwrap(), 1.5);
+        assert!(f64::from_content(&f64::NAN.to_content()).unwrap().is_nan());
+        assert_eq!(
+            String::from_content(&"héllo".to_string().to_content()).unwrap(),
+            "héllo"
+        );
+        assert_eq!(Option::<i64>::from_content(&Content::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn non_string_keyed_map_round_trips() {
+        let mut m: HashMap<(String, String), i64> = HashMap::new();
+        m.insert(("a".into(), "b".into()), 7);
+        let c = m.to_content();
+        let back: HashMap<(String, String), i64> = Deserialize::from_content(&c).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,525 @@
+#![allow(dead_code)]
+#![allow(clippy::all)]
+//! Syn-free `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored `serde` stand-in.
+//!
+//! Parses the type definition directly from the proc-macro token tree
+//! (attributes are skipped; `#[serde(...)]` markers are accepted but
+//! ignored — every field is always serialized and expected back) and
+//! emits impls of the
+//! Content-tree traits. Encoding: named structs → maps, newtype structs →
+//! transparent, tuple structs → seqs, unit variants → strings, data
+//! variants → single-entry maps keyed by variant name.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse(input);
+    gen_serialize(&def)
+        .parse()
+        .expect("serde_derive: bad generated Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse(input);
+    gen_deserialize(&def)
+        .parse()
+        .expect("serde_derive: bad generated Deserialize impl")
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct TypeDef {
+    name: String,
+    /// Generics as declared (bounds kept, defaults stripped), without `<>`.
+    generics_decl: String,
+    /// Bare generic argument names for the type position (`T`, `'a`, ...).
+    generic_args: Vec<String>,
+    /// Type parameter names that need Serialize/Deserialize bounds.
+    type_params: Vec<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn parse(input: TokenStream) -> TypeDef {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+
+    let keyword = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+
+    let (generics_decl, generic_args, type_params) = parse_generics(&toks, &mut i);
+
+    // Skip a `where` clause if present (before the body or the `;`).
+    if matches!(&toks.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "where") {
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break,
+                TokenTree::Punct(p) if p.as_char() == ';' => break,
+                _ => i += 1,
+            }
+        }
+    }
+
+    let kind = if keyword == "enum" {
+        let TokenTree::Group(body) = &toks[i] else {
+            panic!("serde_derive: expected enum body");
+        };
+        Kind::Enum(parse_variants(body.stream()))
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Kind::UnitStruct,
+        }
+    };
+
+    TypeDef {
+        name,
+        generics_decl,
+        generic_args,
+        type_params,
+        kind,
+    }
+}
+
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2, // `#` + `[...]`
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match &toks[*i] {
+        TokenTree::Ident(id) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive: expected identifier, found {other}"),
+    }
+}
+
+/// Parse `<...>` after the type name. Returns (decl-with-bounds,
+/// bare-args, type-param-names). Defaults (`= X`) are stripped.
+fn parse_generics(toks: &[TokenTree], i: &mut usize) -> (String, Vec<String>, Vec<String>) {
+    if !matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return (String::new(), Vec::new(), Vec::new());
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut inner: Vec<TokenTree> = Vec::new();
+    while *i < toks.len() {
+        match &toks[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                inner.push(toks[*i].clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    *i += 1;
+                    break;
+                }
+                inner.push(toks[*i].clone());
+            }
+            t => inner.push(t.clone()),
+        }
+        *i += 1;
+    }
+
+    let segments = split_top_level(&inner);
+    let mut decl_parts = Vec::new();
+    let mut args = Vec::new();
+    let mut type_params = Vec::new();
+    for seg in &segments {
+        if seg.is_empty() {
+            continue;
+        }
+        // Strip a trailing default (`= X`) at segment top level.
+        let seg = strip_default(seg);
+        match &seg[0] {
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                let lt = format!("'{}", ident_at(&seg, 1));
+                args.push(lt);
+                decl_parts.push(join_tokens(&seg));
+            }
+            TokenTree::Ident(id) if id.to_string() == "const" => {
+                args.push(ident_at(&seg, 1));
+                decl_parts.push(join_tokens(&seg));
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                args.push(name.clone());
+                type_params.push(name);
+                decl_parts.push(join_tokens(&seg));
+            }
+            other => panic!("serde_derive: unsupported generic param {other}"),
+        }
+    }
+    (decl_parts.join(", "), args, type_params)
+}
+
+fn strip_default(seg: &[TokenTree]) -> Vec<TokenTree> {
+    let mut depth = 0usize;
+    for (idx, t) in seg.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == '=' && depth == 0 => {
+                return seg[..idx].to_vec();
+            }
+            _ => {}
+        }
+    }
+    seg.to_vec()
+}
+
+fn ident_at(seg: &[TokenTree], idx: usize) -> String {
+    match &seg[idx] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected ident, found {other}"),
+    }
+}
+
+/// Split a token slice at commas outside `<...>` nesting (delimited groups
+/// are atomic token trees, so only angle brackets need depth tracking).
+fn split_top_level(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut depth = 0usize;
+    for t in toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                cur.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+            }
+            _ => cur.push(t.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn join_tokens(toks: &[TokenTree]) -> String {
+    let mut s = String::new();
+    for t in toks {
+        let text = t.to_string();
+        // Glue `'a` and `::` back together; everything else space-separated
+        // is valid to re-parse.
+        let glue = s.ends_with('\'') || s.ends_with(':') || text == ":";
+        if !s.is_empty() && !glue {
+            s.push(' ');
+        }
+        s.push_str(&text);
+    }
+    s
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        fields.push(expect_ident(&toks, &mut i));
+        // skip `:` then the type, up to a top-level comma
+        let mut depth = 0usize;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    split_top_level(&toks)
+        .iter()
+        .filter(|seg| !seg.is_empty())
+        .count()
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        let kind = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // skip an explicit discriminant, then the separating comma
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+impl TypeDef {
+    fn impl_header(&self, trait_name: &str) -> String {
+        let ty_args = if self.generic_args.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.generic_args.join(", "))
+        };
+        let decl = if self.generics_decl.is_empty() {
+            String::new()
+        } else {
+            format!("<{}>", self.generics_decl)
+        };
+        let mut bounds: Vec<String> = self
+            .type_params
+            .iter()
+            .map(|p| format!("{p}: serde::{trait_name}"))
+            .collect();
+        let where_clause = if bounds.is_empty() {
+            String::new()
+        } else {
+            bounds.sort();
+            format!(" where {}", bounds.join(", "))
+        };
+        format!(
+            "impl{decl} serde::{trait_name} for {}{ty_args}{where_clause}",
+            self.name
+        )
+    }
+}
+
+fn gen_serialize(def: &TypeDef) -> String {
+    let body = match &def.kind {
+        Kind::UnitStruct => "serde::Content::Null".to_string(),
+        Kind::TupleStruct(1) => "serde::Serialize::to_content(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("serde::Content::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::NamedStruct(fields) => named_fields_to_map(fields, "self."),
+        Kind::Enum(variants) => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                let ty = &def.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push(format!(
+                        "{ty}::{vn} => serde::Content::Str(String::from(\"{vn}\")),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__serde_f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "serde::Serialize::to_content(__serde_f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!("serde::Content::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push(format!(
+                            "{ty}::{vn}({}) => serde::Content::Map(vec![(serde::Content::Str(String::from(\"{vn}\")), {payload})]),",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let payload = named_fields_to_map(fields, "");
+                        arms.push(format!(
+                            "{ty}::{vn} {{ {binds} }} => serde::Content::Map(vec![(serde::Content::Str(String::from(\"{vn}\")), {payload})]),"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {} }}", arms.join("\n"))
+        }
+    };
+    format!(
+        "{} {{ fn to_content(&self) -> serde::Content {{ {body} }} }}",
+        def.impl_header("Serialize")
+    )
+}
+
+fn named_fields_to_map(fields: &[String], accessor: &str) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(serde::Content::Str(String::from(\"{f}\")), serde::Serialize::to_content(&{accessor}{f}))"
+            )
+        })
+        .collect();
+    format!("serde::Content::Map(vec![{}])", items.join(", "))
+}
+
+fn named_fields_from_map(ty_path: &str, fields: &[String], map_var: &str) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: serde::Deserialize::from_content(serde::content_get({map_var}, \"{f}\").unwrap_or(&serde::Content::Null)).map_err(|e| e.ctx(\"{f}\"))?,"
+            )
+        })
+        .collect();
+    format!("{ty_path} {{ {} }}", items.join(" "))
+}
+
+fn seq_constructor(ty_path: &str, n: usize, seq_var: &str) -> String {
+    let items: Vec<String> = (0..n)
+        .map(|i| format!("serde::Deserialize::from_content(&{seq_var}[{i}])?"))
+        .collect();
+    format!("{ty_path}({})", items.join(", "))
+}
+
+fn gen_deserialize(def: &TypeDef) -> String {
+    let name = &def.name;
+    let body = match &def.kind {
+        Kind::UnitStruct => format!("Ok({name})"),
+        Kind::TupleStruct(1) => {
+            format!("Ok({name}(serde::Deserialize::from_content(__serde_c)?))")
+        }
+        Kind::TupleStruct(n) => format!(
+            "let __serde_s = __serde_c.as_seq().ok_or_else(|| serde::DeError::new(\"expected seq for {name}\"))?;\n\
+             if __serde_s.len() != {n} {{ return Err(serde::DeError::new(\"wrong arity for {name}\")); }}\n\
+             Ok({})",
+            seq_constructor(name, *n, "__serde_s")
+        ),
+        Kind::NamedStruct(fields) => format!(
+            "let __serde_m = __serde_c.as_map().ok_or_else(|| serde::DeError::new(\"expected map for {name}\"))?;\n\
+             Ok({})",
+            named_fields_from_map(name, fields, "__serde_m")
+        ),
+        Kind::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push(format!("\"{vn}\" => Ok({name}::{vn}),"));
+                    }
+                    VariantKind::Tuple(1) => data_arms.push(format!(
+                        "\"{vn}\" => Ok({name}::{vn}(serde::Deserialize::from_content(__serde_payload).map_err(|e| e.ctx(\"{vn}\"))?)),"
+                    )),
+                    VariantKind::Tuple(n) => data_arms.push(format!(
+                        "\"{vn}\" => {{\n\
+                           let __serde_s = __serde_payload.as_seq().ok_or_else(|| serde::DeError::new(\"expected seq for {name}::{vn}\"))?;\n\
+                           if __serde_s.len() != {n} {{ return Err(serde::DeError::new(\"wrong arity for {name}::{vn}\")); }}\n\
+                           Ok({})\n\
+                         }}",
+                        seq_constructor(&format!("{name}::{vn}"), *n, "__serde_s")
+                    )),
+                    VariantKind::Named(fields) => data_arms.push(format!(
+                        "\"{vn}\" => {{\n\
+                           let __serde_m = __serde_payload.as_map().ok_or_else(|| serde::DeError::new(\"expected map for {name}::{vn}\"))?;\n\
+                           Ok({})\n\
+                         }}",
+                        named_fields_from_map(&format!("{name}::{vn}"), fields, "__serde_m")
+                    )),
+                }
+            }
+            format!(
+                "match __serde_c {{\n\
+                   serde::Content::Str(__serde_v) => match __serde_v.as_str() {{\n\
+                     {unit}\n\
+                     __serde_other => Err(serde::DeError::new(format!(\"unknown variant {{__serde_other}} for {name}\"))),\n\
+                   }},\n\
+                   serde::Content::Map(__serde_m) if __serde_m.len() == 1 => {{\n\
+                     let (__serde_k, __serde_payload) = (&__serde_m[0].0, &__serde_m[0].1);\n\
+                     let serde::Content::Str(__serde_k) = __serde_k else {{\n\
+                       return Err(serde::DeError::new(\"expected string variant key for {name}\"));\n\
+                     }};\n\
+                     match __serde_k.as_str() {{\n\
+                       {data}\n\
+                       __serde_other => Err(serde::DeError::new(format!(\"unknown variant {{__serde_other}} for {name}\"))),\n\
+                     }}\n\
+                   }}\n\
+                   _ => Err(serde::DeError::new(\"expected enum content for {name}\")),\n\
+                 }}",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "{} {{ fn from_content(__serde_c: &serde::Content) -> Result<Self, serde::DeError> {{ {body} }} }}",
+        def.impl_header("Deserialize")
+    )
+}

@@ -1,0 +1,449 @@
+#![allow(dead_code)]
+#![allow(clippy::all)]
+//! Minimal offline stand-in for `serde_json`: renders/parses the vendored
+//! serde `Content` tree as JSON text.
+//!
+//! One deliberate extension over real serde_json: maps with non-string
+//! keys (e.g. `HashMap<(String, String), i64>`) are emitted as an array of
+//! `[key, value]` pairs instead of erroring; the vendored serde's map
+//! deserializers accept both encodings.
+
+use std::fmt;
+
+use serde::{Content, Deserialize, Serialize};
+
+/// JSON serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error::new(e.to_string())
+    }
+}
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content(&mut out, &value.to_content());
+    Ok(out)
+}
+
+/// Serialize `value` to human-indented JSON.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_content_pretty(&mut out, &value.to_content(), 0);
+    Ok(out)
+}
+
+/// Deserialize a `T` from JSON text.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let content = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at offset {}",
+            p.pos
+        )));
+    }
+    Ok(T::from_content(&content)?)
+}
+
+// ---------------------------------------------------------------- writing
+
+fn write_content(out: &mut String, c: &Content) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => write_f64(out, *v),
+        Content::Str(s) => write_str(out, s),
+        Content::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_content(out, item);
+            }
+            out.push(']');
+        }
+        Content::Map(pairs) => {
+            if pairs.iter().all(|(k, _)| matches!(k, Content::Str(_))) {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_content(out, k);
+                    out.push(':');
+                    write_content(out, v);
+                }
+                out.push('}');
+            } else {
+                out.push('[');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('[');
+                    write_content(out, k);
+                    out.push(',');
+                    write_content(out, v);
+                    out.push(']');
+                }
+                out.push(']');
+            }
+        }
+    }
+}
+
+fn write_content_pretty(out: &mut String, c: &Content, indent: usize) {
+    match c {
+        Content::Seq(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_content_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Content::Map(pairs)
+            if !pairs.is_empty() && pairs.iter().all(|(k, _)| matches!(k, Content::Str(_))) =>
+        {
+            out.push_str("{\n");
+            for (i, (k, v)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_content(out, k);
+                out.push_str(": ");
+                write_content_pretty(out, v, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        other => write_content(out, other),
+    }
+}
+
+fn push_indent(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push_str("  ");
+    }
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    debug_assert!(
+        v.is_finite(),
+        "non-finite floats are content-encoded as strings"
+    );
+    // `{:?}` is Rust's shortest round-trippable float form ("1.0", "1e300").
+    out.push_str(&format!("{v:?}"));
+}
+
+fn write_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected '{}' at offset {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Content::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Content::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Content::Bool(false)),
+            Some(b'"') => self.parse_string().map(Content::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(Error::new(format!(
+                "unexpected input at offset {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                _ => return Err(Error::new(format!("bad array at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            pairs.push((Content::Str(key), value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(pairs));
+                }
+                _ => return Err(Error::new(format!("bad object at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        let s = std::str::from_utf8(&self.bytes[self.pos..])
+            .map_err(|_| Error::new("invalid utf-8"))?;
+        let mut chars = s.char_indices();
+        let mut pending_high: Option<u16> = None;
+        while let Some((off, ch)) = chars.next() {
+            match ch {
+                '"' => {
+                    if pending_high.is_some() {
+                        return Err(Error::new("unpaired surrogate"));
+                    }
+                    self.pos += off + 1;
+                    return Ok(out);
+                }
+                '\\' => {
+                    let (_, esc) = chars.next().ok_or_else(|| Error::new("truncated escape"))?;
+                    let decoded = match esc {
+                        '"' => Some('"'),
+                        '\\' => Some('\\'),
+                        '/' => Some('/'),
+                        'n' => Some('\n'),
+                        'r' => Some('\r'),
+                        't' => Some('\t'),
+                        'b' => Some('\u{8}'),
+                        'f' => Some('\u{c}'),
+                        'u' => {
+                            let mut code: u32 = 0;
+                            for _ in 0..4 {
+                                let (_, h) = chars
+                                    .next()
+                                    .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                                code = code * 16
+                                    + h.to_digit(16).ok_or_else(|| Error::new("bad \\u escape"))?;
+                            }
+                            let unit = code as u16;
+                            if (0xD800..0xDC00).contains(&unit) {
+                                pending_high = Some(unit);
+                                None
+                            } else if (0xDC00..0xE000).contains(&unit) {
+                                let high = pending_high
+                                    .take()
+                                    .ok_or_else(|| Error::new("unpaired low surrogate"))?;
+                                let c = 0x10000
+                                    + ((high as u32 - 0xD800) << 10)
+                                    + (unit as u32 - 0xDC00);
+                                Some(char::from_u32(c).ok_or_else(|| Error::new("bad surrogate"))?)
+                            } else {
+                                Some(char::from_u32(code).ok_or_else(|| Error::new("bad \\u"))?)
+                            }
+                        }
+                        other => {
+                            return Err(Error::new(format!("bad escape \\{other}")));
+                        }
+                    };
+                    if let Some(c) = decoded {
+                        if pending_high.is_some() {
+                            return Err(Error::new("unpaired high surrogate"));
+                        }
+                        out.push(c);
+                    }
+                }
+                c => {
+                    if pending_high.is_some() {
+                        return Err(Error::new("unpaired high surrogate"));
+                    }
+                    out.push(c);
+                }
+            }
+        }
+        Err(Error::new("unterminated string"))
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if !is_float {
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Content::I64(v));
+            }
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Content::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| Error::new(format!("bad number '{text}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trips() {
+        assert_eq!(to_string(&42i64).unwrap(), "42");
+        assert_eq!(from_str::<i64>("42").unwrap(), 42);
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(to_string(&"a\"b\n".to_string()).unwrap(), "\"a\\\"b\\n\"");
+        assert_eq!(from_str::<String>("\"a\\\"b\\n\"").unwrap(), "a\"b\n");
+        assert_eq!(
+            from_str::<String>("\"\\u00e9\\ud83d\\ude00\"").unwrap(),
+            "é😀"
+        );
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = vec![Some(1i64), None, Some(-3)];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1,null,-3]");
+        let back: Vec<Option<i64>> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+
+        let mut m = std::collections::HashMap::new();
+        m.insert(("dc1".to_string(), "dc2".to_string()), 60_000i64);
+        let json = to_string(&m).unwrap();
+        let back: std::collections::HashMap<(String, String), i64> = from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        for v in [0.1f64, 1e-300, 123456.789_012_345, -2.5e17] {
+            let back: f64 = from_str(&to_string(&v).unwrap()).unwrap();
+            assert_eq!(back, v);
+        }
+    }
+}
