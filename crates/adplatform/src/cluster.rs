@@ -177,7 +177,7 @@ pub fn build_platform(config: PlatformConfig) -> Platform {
     let mut sim: Sim<PlatformMsg> = Sim::new(topology, config.seed);
 
     // Scrub central first: app hosts need its address.
-    let central = deploy_central(&mut sim, config.scrub.clone(), &config.dcs[0]);
+    let central = deploy_central(&mut sim, &registry, config.scrub.clone(), &config.dcs[0]);
 
     // ProfileStore (AdServer wiring patched below).
     let profile = sim.add_node(

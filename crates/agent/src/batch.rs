@@ -23,6 +23,13 @@ pub struct EventBatch {
     /// `approx_bytes` — it rides in the existing fixed header allowance.
     #[serde(default)]
     pub seq: u64,
+    /// Which shipping attempt this copy rode: 0 for the first shipment,
+    /// `n >= 1` for the n-th retransmission. Set by the reliable shipper
+    /// so ScrubCentral can account first-sent vs retransmitted bytes
+    /// even when the original copy was lost in flight. Not part of the
+    /// dedup key and not counted in `approx_bytes`.
+    #[serde(default)]
+    pub attempt: u32,
     /// The (single) event type this batch's subscription taps. Counters
     /// are cumulative **per (host, event type)**: a join query has one
     /// subscription per FROM type on each host, each with its own
@@ -62,6 +69,7 @@ mod tests {
         let empty = EventBatch {
             query_id: QueryId(1),
             seq: 0,
+            attempt: 0,
             type_id: EventTypeId(0),
             host: "h".into(),
             events: vec![],

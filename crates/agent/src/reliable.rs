@@ -99,6 +99,7 @@ impl ReliableShipper {
     pub fn ship(&mut self, mut batch: EventBatch, now_ms: i64) -> EventBatch {
         let seq = self.next_seq.entry(batch.query_id).or_insert(0);
         batch.seq = *seq;
+        batch.attempt = 0;
         *seq += 1;
         if self.pending.len() >= self.policy.buffer_cap {
             if let Some(&key) = self.pending.keys().next() {
@@ -141,8 +142,12 @@ impl ReliableShipper {
             pending.attempts += 1;
             let backoff = (self.policy.base_ms << pending.attempts.min(16)).min(self.policy.max_ms);
             pending.due_ms = now_ms + backoff + jitter_ms(backoff);
+            let mut batch = pending.batch.clone();
+            // mark the copy so central can account retransmitted bytes
+            // even when the first copy never arrived
+            batch.attempt = pending.attempts;
             out.push(Retransmit {
-                batch: pending.batch.clone(),
+                batch,
                 attempt: pending.attempts,
             });
         }
@@ -193,6 +198,7 @@ mod tests {
         EventBatch {
             query_id: QueryId(q),
             seq: 0,
+            attempt: 0,
             type_id: EventTypeId(0),
             host: "h".into(),
             events: vec![],
@@ -270,6 +276,20 @@ mod tests {
         assert_eq!(draws, 1);
         // jitter shifted the deadline: base<<1 = 200, jitter 100
         assert_eq!(s.next_due_ms(), Some(150 + 200 + 100));
+    }
+
+    #[test]
+    fn retransmitted_copies_are_marked_with_their_attempt() {
+        let mut s = shipper();
+        let first = s.ship(batch(1), 0);
+        assert_eq!(first.attempt, 0);
+        let r = s.due_retransmits(100, |_| 0);
+        assert_eq!(r[0].batch.attempt, 1);
+        let r = s.due_retransmits(1_000, |_| 0);
+        assert_eq!(r[0].batch.attempt, 2);
+        // the buffered original stays attempt-0 only on the wire copies;
+        // acking by (query, seq) is unaffected by the marking
+        assert!(s.ack(QueryId(1), first.seq));
     }
 
     #[test]

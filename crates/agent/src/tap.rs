@@ -367,6 +367,7 @@ fn make_batch(host: &str, sub: &mut Subscription, now_ms: i64) -> Option<EventBa
     }
     Some(EventBatch {
         seq: 0,
+        attempt: 0,
         query_id: sub.plan.query_id,
         type_id: sub.plan.type_id,
         host: host.to_string(),

@@ -28,6 +28,7 @@ pub fn run_batch(cq: &CompiledQuery, events: &[Event]) -> (Vec<ResultRow>, Query
         }
         exec.ingest(EventBatch {
             seq: 0,
+            attempt: 0,
             query_id: cq.query_id,
             type_id: plan.type_id,
             host: "batch".into(),

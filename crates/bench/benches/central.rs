@@ -46,6 +46,7 @@ fn plan(src: &str) -> CentralPlan {
 fn bid_batch(n: u64) -> EventBatch {
     EventBatch {
         seq: 0,
+        attempt: 0,
         query_id: QueryId(1),
         type_id: EventTypeId(0),
         host: "h".into(),
@@ -100,6 +101,7 @@ fn bench_central(c: &mut Criterion) {
             || {
                 let imps = EventBatch {
                     seq: 0,
+                    attempt: 0,
                     query_id: QueryId(1),
                     type_id: EventTypeId(1),
                     host: "h2".into(),

@@ -57,9 +57,21 @@ fn values() -> Vec<Value> {
 fn bench_tap(c: &mut Criterion) {
     let mut g = c.benchmark_group("tap");
 
+    // reference loop with the tap call removed: what the disabled fast
+    // path must stay within noise of. The gap between this and
+    // `disabled_event_type` is the whole cost an idle Scrub (plus its
+    // self-observability counters) imposes per log call.
+    let vals = values();
+    g.bench_function("noop_baseline", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            criterion::black_box((EventTypeId(0), RequestId(i), i as i64, &vals));
+        })
+    });
+
     // the disabled fast path: one atomic load
     let idle = agent_with(&[]);
-    let vals = values();
     g.bench_function("disabled_event_type", |b| {
         let mut i = 0u64;
         b.iter(|| {

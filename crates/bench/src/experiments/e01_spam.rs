@@ -8,7 +8,7 @@
 use std::collections::BTreeMap;
 
 use adplatform::scenario;
-use scrub_server::{results, submit_query};
+use scrub_server::ScrubClient;
 use scrub_simnet::SimTime;
 
 use crate::{Report, Table};
@@ -21,18 +21,19 @@ pub fn run(quick: bool) -> Report {
     let mut p = adplatform::build_platform(cfg);
 
     let host = p.sim.metas()[p.bidservers[0].0 as usize].name.clone();
-    let qid = submit_query(
-        &mut p.sim,
-        &p.scrub,
-        &format!(
-            "Select bid.user_id, COUNT(*) from bid \
+    let qid = ScrubClient::new(&p.scrub)
+        .submit(
+            &mut p.sim,
+            &format!(
+                "Select bid.user_id, COUNT(*) from bid \
              @[Service in BidServers and Server = '{host}'] \
              group by bid.user_id window 10 s duration {minutes} m"
-        ),
-    );
+            ),
+        )
+        .expect("query accepted");
     p.sim.run_until(SimTime::from_secs(minutes * 60 + 30));
 
-    let rec = results(&p.sim, &p.scrub, qid).expect("query accepted");
+    let rec = qid.record(&p.sim).expect("query accepted");
 
     // Figure 10 data: distribution of counts per (user, window).
     let mut human_hist: BTreeMap<i64, u64> = BTreeMap::new();

@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 
 use adplatform::scenario;
-use scrub_server::{results, submit_query};
+use scrub_server::ScrubClient;
 use scrub_simnet::SimTime;
 
 use crate::{Report, Table};
@@ -30,21 +30,22 @@ pub fn run(quick: bool) -> Report {
     };
     let mut p = adplatform::build_platform(cfg);
 
-    let qid = submit_query(
-        &mut p.sim,
-        &p.scrub,
-        &format!(
-            "select impression.exchange_id, COUNT(*) from impression \
+    let qid = ScrubClient::new(&p.scrub)
+        .submit(
+            &mut p.sim,
+            &format!(
+                "select impression.exchange_id, COUNT(*) from impression \
              @[Service in PresentationServers] \
              sample hosts 50% events 10% \
              group by impression.exchange_id \
              window 10 s duration {total_min} m"
-        ),
-    );
+            ),
+        )
+        .expect("query accepted");
     p.sim
         .run_until(SimTime::from_secs(total_min as i64 * 60 + 60));
 
-    let rec = results(&p.sim, &p.scrub, qid).expect("query accepted");
+    let rec = qid.record(&p.sim).expect("query accepted");
     let mut series: BTreeMap<i64, [f64; 4]> = BTreeMap::new();
     for row in &rec.rows {
         let ex = row.values[0].as_i64().unwrap() as usize;

@@ -5,8 +5,8 @@
 //! model B's CTR exceeds A's (the planted multiplier) while CPM stays flat.
 
 use adplatform::scenario;
-use scrub_core::plan::QueryId;
-use scrub_server::{results, submit_query};
+
+use scrub_server::{QueryHandle, ScrubClient};
 use scrub_simnet::SimTime;
 
 use crate::{Report, Table};
@@ -29,15 +29,16 @@ pub fn run(quick: bool) -> Report {
     let a_hosts = quote(&p.pres_hosts_for_model("A"));
     let b_hosts = quote(&p.pres_hosts_for_model("B"));
 
-    let mut q = |select: &str, event: &str, hosts: &str| -> QueryId {
-        submit_query(
-            &mut p.sim,
-            &p.scrub,
-            &format!(
-                "Select {select} from {event} where {event}.line_item_id = {li} \
+    let mut q = |select: &str, event: &str, hosts: &str| -> QueryHandle {
+        ScrubClient::new(&p.scrub)
+            .submit(
+                &mut p.sim,
+                &format!(
+                    "Select {select} from {event} where {event}.line_item_id = {li} \
                  @[Servers in ({hosts})] window 1 m duration {minutes} m"
-            ),
-        )
+                ),
+            )
+            .expect("query accepted")
     };
 
     let cpm_a = q("1000*AVG(impression.cost)", "impression", &a_hosts);
@@ -50,13 +51,13 @@ pub fn run(quick: bool) -> Report {
     p.sim
         .run_until(SimTime::from_secs(minutes as i64 * 60 + 60));
 
-    let total = |qid| -> f64 {
-        results(&p.sim, &p.scrub, qid)
+    let total = |qid: QueryHandle| -> f64 {
+        qid.record(&p.sim)
             .map(|r| r.rows.iter().filter_map(|row| row.values[0].as_f64()).sum())
             .unwrap_or(0.0)
     };
-    let avg = |qid| -> f64 {
-        results(&p.sim, &p.scrub, qid)
+    let avg = |qid: QueryHandle| -> f64 {
+        qid.record(&p.sim)
             .map(|r| {
                 let v: Vec<f64> = r
                     .rows

@@ -9,8 +9,8 @@
 use std::collections::BTreeMap;
 
 use adplatform::scenario;
-use scrub_core::plan::QueryId;
-use scrub_server::{results, submit_query};
+
+use scrub_server::{QueryHandle, ScrubClient};
 use scrub_simnet::SimTime;
 
 use crate::{Report, Table};
@@ -22,17 +22,18 @@ pub fn run(quick: bool) -> Report {
     let healthy = 1001u64; // a permissive default line item
     let mut p = adplatform::build_platform(scenario::exclusions());
 
-    let mut q = |li: u64| -> QueryId {
-        submit_query(
-            &mut p.sim,
-            &p.scrub,
-            &format!(
-                "Select exclusion.reason, COUNT(*) from bid, exclusion \
+    let mut q = |li: u64| -> QueryHandle {
+        ScrubClient::new(&p.scrub)
+            .submit(
+                &mut p.sim,
+                &format!(
+                    "Select exclusion.reason, COUNT(*) from bid, exclusion \
                  where exclusion.line_item_id = {li} and bid.exchange_id = 0 \
                  @[Service in BidServers or Service in AdServers] \
                  group by exclusion.reason window 1 m duration {minutes} m"
-            ),
-        )
+                ),
+            )
+            .expect("query accepted")
     };
     let q_suspect = q(suspect);
     let q_healthy = q(healthy);
@@ -40,9 +41,9 @@ pub fn run(quick: bool) -> Report {
     p.sim
         .run_until(SimTime::from_secs(minutes as i64 * 60 + 60));
 
-    let hist = |qid| -> BTreeMap<String, i64> {
+    let hist = |qid: QueryHandle| -> BTreeMap<String, i64> {
         let mut h = BTreeMap::new();
-        if let Some(rec) = results(&p.sim, &p.scrub, qid) {
+        if let Some(rec) = qid.record(&p.sim) {
             for row in &rec.rows {
                 let reason = row.values[0].as_str().unwrap_or("?").to_string();
                 *h.entry(reason).or_insert(0) += row.values[1].as_i64().unwrap_or(0);

@@ -9,7 +9,7 @@
 use std::collections::BTreeMap;
 
 use adplatform::scenario;
-use scrub_server::{results, submit_query};
+use scrub_server::ScrubClient;
 use scrub_simnet::SimTime;
 
 use crate::{Report, Table};
@@ -27,21 +27,22 @@ pub fn run(quick: bool) -> Report {
         .advisory_price;
     let mut p = adplatform::build_platform(cfg);
 
-    let qid = submit_query(
-        &mut p.sim,
-        &p.scrub,
-        &format!(
-            "Select impression.line_item_id, COUNT(*), AVG(auction.winner_price) \
+    let qid = ScrubClient::new(&p.scrub)
+        .submit(
+            &mut p.sim,
+            &format!(
+                "Select impression.line_item_id, COUNT(*), AVG(auction.winner_price) \
              from auction, impression \
              where contains(auction.line_item_ids, {lambda}) \
              @[Service in AdServers or Service in PresentationServers] \
              group by impression.line_item_id window 1 m duration {minutes} m"
-        ),
-    );
+            ),
+        )
+        .expect("query accepted");
     p.sim
         .run_until(SimTime::from_secs(minutes as i64 * 60 + 60));
 
-    let rec = results(&p.sim, &p.scrub, qid).expect("query accepted");
+    let rec = qid.record(&p.sim).expect("query accepted");
     let mut agg: BTreeMap<i64, (i64, f64, i64)> = BTreeMap::new();
     for row in &rec.rows {
         let li = row.values[0].as_i64().unwrap();

@@ -6,7 +6,7 @@
 //! exactly those users.
 
 use adplatform::scenario;
-use scrub_server::{results, submit_query};
+use scrub_server::ScrubClient;
 use scrub_simnet::SimTime;
 
 use crate::{Report, Table};
@@ -17,20 +17,21 @@ pub fn run(quick: bool) -> Report {
     let li = scenario::CAPPED_LINE_ITEM;
     let mut p = adplatform::build_platform(scenario::freq_cap());
 
-    let qid = submit_query(
-        &mut p.sim,
-        &p.scrub,
-        &format!(
-            "Select impression.user_id, COUNT(*) from impression \
+    let qid = ScrubClient::new(&p.scrub)
+        .submit(
+            &mut p.sim,
+            &format!(
+                "Select impression.user_id, COUNT(*) from impression \
              where impression.line_item_id = {li} \
              @[Service in PresentationServers] \
              group by impression.user_id window 1 d duration {minutes} m"
-        ),
-    );
+            ),
+        )
+        .expect("query accepted");
     p.sim
         .run_until(SimTime::from_secs(minutes as i64 * 60 + 60));
 
-    let rec = results(&p.sim, &p.scrub, qid).expect("query accepted");
+    let rec = qid.record(&p.sim).expect("query accepted");
     const GROSS: i64 = 5; // far above the cap: not explainable by lag
     let mut gross: Vec<(u64, i64)> = Vec::new();
     let (mut ok, mut lagged) = (0u64, 0u64);

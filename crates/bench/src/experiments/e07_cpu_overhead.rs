@@ -13,7 +13,7 @@
 
 use adplatform::PlatformConfig;
 use scrub_agent::CostModel;
-use scrub_server::submit_query;
+use scrub_server::ScrubClient;
 use scrub_simnet::SimTime;
 
 use crate::{Report, Table};
@@ -62,15 +62,16 @@ pub fn measure(n: usize, quick: bool) -> (f64, f64) {
     let measure_secs: i64 = if quick { 15 } else { 40 };
     let mut p = adplatform::build_platform(busy_config(quick));
     for i in 0..n {
-        submit_query(
-            &mut p.sim,
-            &p.scrub,
-            &format!(
-                "{} window 10 s duration {} s",
-                QUERY_MIX[i % QUERY_MIX.len()],
-                measure_secs + 30
-            ),
-        );
+        ScrubClient::new(&p.scrub)
+            .submit(
+                &mut p.sim,
+                &format!(
+                    "{} window 10 s duration {} s",
+                    QUERY_MIX[i % QUERY_MIX.len()],
+                    measure_secs + 30
+                ),
+            )
+            .expect("query accepted");
     }
     // warm up, then measure a steady-state interval
     p.sim.run_until(SimTime::from_secs(10));

@@ -7,7 +7,7 @@
 //! service times through the cost model; the exchange frontends record
 //! end-to-end bid latency, from which p50/p99 and the inflation follow.
 
-use scrub_server::submit_query;
+use scrub_server::ScrubClient;
 use scrub_simnet::SimTime;
 
 use super::e07_cpu_overhead::{busy_config, QUERY_MIX};
@@ -17,15 +17,16 @@ fn run_once(n_queries: usize, quick: bool) -> (i64, i64) {
     let measure_secs: i64 = if quick { 20 } else { 60 };
     let mut p = adplatform::build_platform(busy_config(quick));
     for i in 0..n_queries {
-        submit_query(
-            &mut p.sim,
-            &p.scrub,
-            &format!(
-                "{} window 10 s duration {} s",
-                QUERY_MIX[i % QUERY_MIX.len()],
-                measure_secs + 30
-            ),
-        );
+        ScrubClient::new(&p.scrub)
+            .submit(
+                &mut p.sim,
+                &format!(
+                    "{} window 10 s duration {} s",
+                    QUERY_MIX[i % QUERY_MIX.len()],
+                    measure_secs + 30
+                ),
+            )
+            .expect("query accepted");
     }
     p.sim.run_until(SimTime::from_secs(10 + measure_secs));
     // keep only steady-state samples (after warm-up, while queries active)

@@ -82,6 +82,7 @@ fn throughput(events: &[Event], parts: usize) -> (f64, usize) {
                     let matched = shard.len() as u64;
                     exec.ingest(EventBatch {
                         seq: 0,
+                        attempt: 0,
                         query_id: QueryId(1),
                         type_id: EventTypeId(0),
                         host: "h".into(),

@@ -14,7 +14,7 @@
 use adplatform::PlatformConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use scrub_server::{results, submit_query};
+use scrub_server::{QueryHandle, ScrubClient};
 use scrub_simnet::SimTime;
 use scrub_sketch::{estimate_total, HostSample};
 
@@ -36,21 +36,22 @@ fn e2e_part(quick: bool) -> (Table, bool, String) {
         } else {
             format!("sample events {rate}%")
         };
-        let qid = submit_query(
-            &mut p.sim,
-            &p.scrub,
-            &format!(
-                "select SUM(bid.bid_price) from bid @[Service in BidServers] \
+        let qid = ScrubClient::new(&p.scrub)
+            .submit(
+                &mut p.sim,
+                &format!(
+                    "select SUM(bid.bid_price) from bid @[Service in BidServers] \
                  {sample} window 10 s duration {mins} m"
-            ),
-        );
+                ),
+            )
+            .expect("query accepted");
         qids.push((rate, qid));
     }
     p.sim.run_until(SimTime::from_secs(mins * 60 + 60));
 
     // ground truth: the exact query's whole-span total
-    let span_total = |qid| -> f64 {
-        results(&p.sim, &p.scrub, qid)
+    let span_total = |qid: QueryHandle| -> f64 {
+        qid.record(&p.sim)
             .map(|r| r.rows.iter().filter_map(|row| row.values[0].as_f64()).sum())
             .unwrap_or(0.0)
     };
@@ -66,7 +67,7 @@ fn e2e_part(quick: bool) -> (Table, bool, String) {
     let mut errs = Vec::new();
     let mut all_rows_ok = true;
     for (rate, qid) in &qids[1..] {
-        let rec = results(&p.sim, &p.scrub, *qid).expect("accepted");
+        let rec = qid.record(&p.sim).expect("accepted");
         let est = rec
             .summary
             .as_ref()

@@ -10,7 +10,7 @@
 
 use adplatform::scenario;
 use scrub_baseline::LoggingCostModel;
-use scrub_server::{results, submit_query};
+use scrub_server::ScrubClient;
 use scrub_simnet::SimTime;
 
 use crate::util::{full_event_sizes, full_log_bytes};
@@ -23,20 +23,21 @@ pub fn run(quick: bool) -> Report {
     let n_line_items = cfg.line_items.len();
     let mut p = adplatform::build_platform(cfg);
 
-    let qid = submit_query(
-        &mut p.sim,
-        &p.scrub,
-        &format!(
-            "Select bid.user_id, COUNT(*) from bid @[Service in BidServers] \
+    let qid = ScrubClient::new(&p.scrub)
+        .submit(
+            &mut p.sim,
+            &format!(
+                "Select bid.user_id, COUNT(*) from bid @[Service in BidServers] \
              group by bid.user_id window 10 s duration {minutes} m"
-        ),
-    );
+            ),
+        )
+        .expect("query accepted");
     p.sim.run_until(SimTime::from_secs(minutes * 60 + 60));
 
     // ---- Scrub side ----
     let stats = sum_stats(&p.agent_stats());
     let scrub_bytes = stats.bytes_shipped;
-    let rec = results(&p.sim, &p.scrub, qid).expect("accepted");
+    let rec = qid.record(&p.sim).expect("accepted");
     let scrub_first_answer_s = rec
         .first_rows_at_ms
         .map(|t| t as f64 / 1000.0)

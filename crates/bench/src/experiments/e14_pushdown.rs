@@ -9,7 +9,7 @@
 #![allow(clippy::field_reassign_with_default)]
 
 use adplatform::PlatformConfig;
-use scrub_server::{results, submit_query};
+use scrub_server::ScrubClient;
 use scrub_simnet::SimTime;
 
 use crate::util::full_event_sizes;
@@ -24,19 +24,20 @@ pub fn run(quick: bool) -> Report {
     let mut p = adplatform::build_platform(cfg);
 
     // selective (1 of 4 exchanges) and narrow (1 of 7 fields) query
-    let qid = submit_query(
-        &mut p.sim,
-        &p.scrub,
-        &format!(
-            "select bid.user_id, COUNT(*) from bid where bid.exchange_id = 1 \
+    let qid = ScrubClient::new(&p.scrub)
+        .submit(
+            &mut p.sim,
+            &format!(
+                "select bid.user_id, COUNT(*) from bid where bid.exchange_id = 1 \
              @[Service in BidServers] group by bid.user_id \
              window 10 s duration {minutes} m"
-        ),
-    );
+            ),
+        )
+        .expect("query accepted");
     p.sim.run_until(SimTime::from_secs(minutes * 60 + 60));
 
     let stats = sum_stats(&p.agent_stats());
-    let rec = results(&p.sim, &p.scrub, qid).expect("accepted");
+    let rec = qid.record(&p.sim).expect("accepted");
     let matched = rec.summary.as_ref().map(|s| s.total_matched).unwrap_or(0);
     let production = p.event_production();
     let sizes = full_event_sizes(20);

@@ -18,7 +18,7 @@
 #![allow(clippy::field_reassign_with_default)]
 
 use adplatform::scenario;
-use scrub_server::{results, submit_query};
+use scrub_server::ScrubClient;
 use scrub_simnet::SimTime;
 
 use crate::util::full_event_sizes;
@@ -33,19 +33,20 @@ pub fn run(quick: bool) -> Report {
 
     // The §8.4 investigation: one line item's exclusions, one exchange.
     let li = scenario::EXCLUSION_LINE_ITEM;
-    let qid = submit_query(
-        &mut p.sim,
-        &p.scrub,
-        &format!(
-            "Select exclusion.reason, COUNT(*) from bid, exclusion \
+    let qid = ScrubClient::new(&p.scrub)
+        .submit(
+            &mut p.sim,
+            &format!(
+                "Select exclusion.reason, COUNT(*) from bid, exclusion \
              where exclusion.line_item_id = {li} and bid.exchange_id = 0 \
              @[Service in BidServers or Service in AdServers] \
              group by exclusion.reason window 1 m duration {minutes} m"
-        ),
-    );
+            ),
+        )
+        .expect("query accepted");
     p.sim.run_until(SimTime::from_secs(minutes * 60 + 60));
 
-    let rec = results(&p.sim, &p.scrub, qid).expect("accepted");
+    let rec = qid.record(&p.sim).expect("accepted");
     assert!(!rec.rows.is_empty(), "the investigation found nothing");
 
     // ---- Scrub side: out-of-band bytes, only while the query ran ----

@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 
 use adplatform::{scenario, PlatformConfig};
 use scrub_central::QuerySummary;
-use scrub_server::{results, submit_query};
+use scrub_server::ScrubClient;
 use scrub_simnet::{FaultStats, SimTime};
 
 use crate::{sum_stats, Report, Table};
@@ -41,25 +41,27 @@ fn run_once(cfg: PlatformConfig, minutes: i64) -> RunOutcome {
     let bots = scenario::spam_bot_user_ids(&cfg);
     let mut p = adplatform::build_platform(cfg);
 
-    let q_bots = submit_query(
-        &mut p.sim,
-        &p.scrub,
-        &format!(
-            "Select bid.user_id, COUNT(*) from bid @[Service in BidServers] \
+    let q_bots = ScrubClient::new(&p.scrub)
+        .submit(
+            &mut p.sim,
+            &format!(
+                "Select bid.user_id, COUNT(*) from bid @[Service in BidServers] \
              group by bid.user_id window 10 s duration {minutes} m"
-        ),
-    );
-    let q_count = submit_query(
-        &mut p.sim,
-        &p.scrub,
-        &format!(
-            "select COUNT(*) from bid @[Service in BidServers] \
+            ),
+        )
+        .expect("query accepted");
+    let q_count = ScrubClient::new(&p.scrub)
+        .submit(
+            &mut p.sim,
+            &format!(
+                "select COUNT(*) from bid @[Service in BidServers] \
              sample events 50% window 10 s duration {minutes} m"
-        ),
-    );
+            ),
+        )
+        .expect("query accepted");
     p.sim.run_until(SimTime::from_secs(minutes * 60 + 60));
 
-    let rec = results(&p.sim, &p.scrub, q_bots).expect("bot query accepted");
+    let rec = q_bots.record(&p.sim).expect("bot query accepted");
     let mut bot_peaks: BTreeMap<u64, i64> = bots.iter().map(|b| (*b, 0)).collect();
     let mut max_human = 0i64;
     for row in &rec.rows {
@@ -73,7 +75,7 @@ fn run_once(cfg: PlatformConfig, minutes: i64) -> RunOutcome {
     }
     let summary = rec.summary.clone().expect("bot query summary");
 
-    let crec = results(&p.sim, &p.scrub, q_count).expect("count query accepted");
+    let crec = q_count.record(&p.sim).expect("count query accepted");
     let count_bound = crec
         .summary
         .as_ref()

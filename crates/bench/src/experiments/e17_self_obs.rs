@@ -1,0 +1,223 @@
+//! E17 — self-observability: ScrubQL over Scrub's own telemetry.
+//!
+//! Scrub troubleshoots the application by tapping its events; `scrub-obs`
+//! closes the loop by tapping Scrub itself. ScrubCentral emits a
+//! `scrub_batch` meta-event for every batch it receives (flagging
+//! retransmissions and duplicates) and a `scrub_window` meta-event for
+//! every window it closes (flagging degraded ones), through the *same*
+//! agent tap every application host uses. This experiment reruns E16's
+//! §8.1 spam hunt under chaos (loss + partition + a crashed host) and
+//! checks that the degradation PR 1 engineered is visible two independent
+//! ways — through the typed [`QueryProfile`] a troubleshooter reads off a
+//! `QueryHandle`, and through ScrubQL meta-queries targeted at
+//! `@[Service in ScrubCentral]`. A fault-free twin run must show zero
+//! retransmitted bytes and zero degraded windows by both accounts.
+
+use adplatform::scenario;
+use adplatform::PlatformConfig;
+use scrub_obs::QueryProfile;
+use scrub_server::ScrubClient;
+use scrub_simnet::SimTime;
+
+use crate::{Report, Table};
+
+struct RunOutcome {
+    /// Execution profile of the spam query (from ScrubCentral).
+    profile: QueryProfile,
+    /// Batches the meta-pipeline saw arrive retransmitted (ScrubQL count
+    /// over `scrub_batch where retransmit = 1`).
+    meta_retx_batches: i64,
+    /// All batches the meta-pipeline saw (retransmit flag ignored).
+    meta_batches: i64,
+    /// Degraded window closes the meta-pipeline saw (ScrubQL count over
+    /// `scrub_window where degraded = 1`).
+    meta_degraded_windows: i64,
+    /// All window closes the meta-pipeline saw.
+    meta_windows: i64,
+}
+
+fn count_rows(rows: &[scrub_central::ResultRow]) -> i64 {
+    rows.iter()
+        .filter_map(|r| r.values.last().and_then(|v| v.as_i64()))
+        .sum()
+}
+
+fn run_once(cfg: PlatformConfig, minutes: i64) -> RunOutcome {
+    let mut p = adplatform::build_platform(cfg);
+    let client = ScrubClient::new(&p.scrub);
+
+    // The workload under observation: E16's bot hunt.
+    let q_spam = client
+        .submit(
+            &mut p.sim,
+            &format!(
+                "Select bid.user_id, COUNT(*) from bid @[Service in BidServers] \
+                 group by bid.user_id window 10 s duration {minutes} m"
+            ),
+        )
+        .expect("spam query accepted");
+
+    // The meta-queries: the same ScrubQL, pointed at Scrub itself. Only an
+    // explicit @[Service in ScrubCentral] reaches Scrub's own nodes —
+    // @[all] never does.
+    let q_retx = client
+        .submit(
+            &mut p.sim,
+            &format!(
+                "select COUNT(*) from scrub_batch where scrub_batch.retransmit = 1 \
+                 @[Service in ScrubCentral] window 30 s duration {minutes} m"
+            ),
+        )
+        .expect("retransmit meta-query accepted");
+    let q_batches = client
+        .submit(
+            &mut p.sim,
+            &format!(
+                "select COUNT(*) from scrub_batch \
+                 @[Service in ScrubCentral] window 30 s duration {minutes} m"
+            ),
+        )
+        .expect("batch meta-query accepted");
+    let q_degraded = client
+        .submit(
+            &mut p.sim,
+            &format!(
+                "select COUNT(*) from scrub_window where scrub_window.degraded = 1 \
+                 @[Service in ScrubCentral] window 30 s duration {minutes} m"
+            ),
+        )
+        .expect("degraded meta-query accepted");
+    let q_windows = client
+        .submit(
+            &mut p.sim,
+            &format!(
+                "select COUNT(*) from scrub_window \
+                 @[Service in ScrubCentral] window 30 s duration {minutes} m"
+            ),
+        )
+        .expect("window meta-query accepted");
+
+    p.sim.run_until(SimTime::from_secs(minutes * 60 + 60));
+
+    let profile = q_spam.profile(&p.sim).expect("spam query profile");
+    RunOutcome {
+        profile,
+        meta_retx_batches: count_rows(q_retx.results(&p.sim)),
+        meta_batches: count_rows(q_batches.results(&p.sim)),
+        meta_degraded_windows: count_rows(q_degraded.results(&p.sim)),
+        meta_windows: count_rows(q_windows.results(&p.sim)),
+    }
+}
+
+/// Run E17.
+pub fn run(quick: bool) -> Report {
+    let minutes = if quick { 3 } else { 5 };
+    let chaos_cfg = scenario::spam_under_chaos();
+    let mut clean_cfg = scenario::spam_under_chaos();
+    clean_cfg.faults = None;
+
+    let chaos = run_once(chaos_cfg, minutes);
+    let clean = run_once(clean_cfg, minutes);
+
+    let mut t = Table::new(&["metric", "chaos", "clean"]);
+    let fmt = |o: &RunOutcome| {
+        (
+            o.profile.bytes_retransmitted,
+            o.profile.bytes_first_sent,
+            o.profile.windows_degraded,
+            o.profile.windows_closed,
+        )
+    };
+    let (c_retx, c_first, c_deg, c_closed) = fmt(&chaos);
+    let (k_retx, k_first, k_deg, k_closed) = fmt(&clean);
+    t.row(vec![
+        "profile: bytes first-sent".into(),
+        c_first.to_string(),
+        k_first.to_string(),
+    ]);
+    t.row(vec![
+        "profile: bytes retransmitted".into(),
+        c_retx.to_string(),
+        k_retx.to_string(),
+    ]);
+    t.row(vec![
+        "profile: windows closed".into(),
+        c_closed.to_string(),
+        k_closed.to_string(),
+    ]);
+    t.row(vec![
+        "profile: windows degraded".into(),
+        c_deg.to_string(),
+        k_deg.to_string(),
+    ]);
+    t.row(vec![
+        "profile: duplicate batches".into(),
+        chaos.profile.batches_duplicate.to_string(),
+        clean.profile.batches_duplicate.to_string(),
+    ]);
+    t.row(vec![
+        "meta-query: scrub_batch total".into(),
+        chaos.meta_batches.to_string(),
+        clean.meta_batches.to_string(),
+    ]);
+    t.row(vec![
+        "meta-query: scrub_batch retransmit=1".into(),
+        chaos.meta_retx_batches.to_string(),
+        clean.meta_retx_batches.to_string(),
+    ]);
+    t.row(vec![
+        "meta-query: scrub_window total".into(),
+        chaos.meta_windows.to_string(),
+        clean.meta_windows.to_string(),
+    ]);
+    t.row(vec![
+        "meta-query: scrub_window degraded=1".into(),
+        chaos.meta_degraded_windows.to_string(),
+        clean.meta_degraded_windows.to_string(),
+    ]);
+    let p50 = |o: &RunOutcome| o.profile.ingest_latency_ms.p50().unwrap_or(0);
+    t.row(vec![
+        "profile: ingest latency p50 (ms)".into(),
+        p50(&chaos).to_string(),
+        p50(&clean).to_string(),
+    ]);
+
+    // The profile sees PR 1's degradation ...
+    let profile_sees_chaos = c_retx > 0 && c_deg > 0 && chaos.profile.batches_duplicate > 0;
+    // ... the meta-pipeline independently agrees ...
+    let meta_sees_chaos = chaos.meta_retx_batches > 0 && chaos.meta_degraded_windows > 0;
+    // ... the meta-pipeline is alive at all (sees ordinary traffic too) ...
+    let meta_alive = chaos.meta_batches > chaos.meta_retx_batches
+        && clean.meta_batches > 0
+        && clean.meta_windows > 0;
+    // ... and the fault-free twin is clean by both accounts.
+    let clean_is_clean = k_retx == 0
+        && k_deg == 0
+        && clean.meta_retx_batches == 0
+        && clean.meta_degraded_windows == 0;
+    // Sanity: windows kept closing either way.
+    let windows_flow = c_closed > 0 && k_closed > 0;
+
+    let pass =
+        profile_sees_chaos && meta_sees_chaos && meta_alive && clean_is_clean && windows_flow;
+    Report {
+        id: "E17",
+        title: "Self-observability (scrub-obs dogfooding)",
+        paper: "a troubleshooter for production systems must expose its own \
+                behavior with the same machinery: per-query execution profiles \
+                plus scrub_batch/scrub_window meta-events queryable in ScrubQL; \
+                chaos-run degradation must be visible both ways, and a fault-free \
+                twin must show none",
+        body: t.to_string(),
+        pass,
+        verdict: format!(
+            "profile retx bytes {c_retx} (clean {k_retx}), degraded windows {c_deg} \
+             (clean {k_deg}); meta-query retx batches {} (clean {}), degraded \
+             windows {} (clean {})",
+            chaos.meta_retx_batches,
+            clean.meta_retx_batches,
+            chaos.meta_degraded_windows,
+            clean.meta_degraded_windows,
+        ),
+    }
+}

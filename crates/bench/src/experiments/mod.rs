@@ -16,6 +16,7 @@ pub mod e13_placement;
 pub mod e14_pushdown;
 pub mod e15_baggage;
 pub mod e16_chaos;
+pub mod e17_self_obs;
 
 use crate::Report;
 
@@ -41,5 +42,6 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("e14_pushdown", e14_pushdown::run),
         ("e15_baggage", e15_baggage::run),
         ("e16_chaos", e16_chaos::run),
+        ("e17_self_obs", e17_self_obs::run),
     ]
 }

@@ -651,6 +651,7 @@ mod tests {
         let type_id = events.first().map(|e| e.type_id).unwrap_or(EventTypeId(0));
         EventBatch {
             seq: 0,
+            attempt: 0,
             query_id: QueryId(9),
             type_id,
             host: host.into(),
@@ -932,6 +933,7 @@ mod sliding_tests {
     fn one(ts: i64) -> EventBatch {
         EventBatch {
             seq: 0,
+            attempt: 0,
             query_id: QueryId(3),
             type_id: EventTypeId(0),
             host: "h".into(),
@@ -1018,6 +1020,7 @@ mod sliding_tests {
         let mut ex = QueryExecutor::new(cq.central, 0);
         let mk = |t: u32, ts: i64| EventBatch {
             seq: 0,
+            attempt: 0,
             query_id: QueryId(4),
             type_id: EventTypeId(t),
             host: "h".into(),
@@ -1068,6 +1071,7 @@ mod memory_tests {
             for i in 0..50u64 {
                 ex.ingest(EventBatch {
                     seq: 0,
+                    attempt: 0,
                     query_id: QueryId(1),
                     type_id: EventTypeId(0),
                     host: "h1".into(),
@@ -1109,6 +1113,7 @@ mod memory_tests {
             let ts = w * 10_000 + 1;
             ex.ingest(EventBatch {
                 seq: 0,
+                attempt: 0,
                 query_id: QueryId(1),
                 type_id: EventTypeId(0),
                 host: "h1".into(),

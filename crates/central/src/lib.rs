@@ -14,5 +14,5 @@ pub mod row;
 
 pub use agg::AggState;
 pub use executor::{QueryExecutor, WindowPartial, MAX_JOIN_ROWS_PER_REQUEST};
-pub use partition::PartitionedExecutor;
+pub use partition::{PartitionedExecutor, WindowClose};
 pub use row::{QuerySummary, ResultRow};

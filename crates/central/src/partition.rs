@@ -17,6 +17,19 @@ use scrub_core::value::{GroupKey, Value};
 use crate::executor::{GroupState, QueryExecutor};
 use crate::row::{QuerySummary, ResultRow};
 
+/// One aggregate window closing (for self-observability: ScrubCentral
+/// taps a `scrub_window` meta-event per close and feeds the per-query
+/// profile).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowClose {
+    /// Window start (ms).
+    pub window_start_ms: i64,
+    /// Rows the merged window rendered.
+    pub rows: u64,
+    /// Whether a targeted host was suspected dead at close time.
+    pub degraded: bool,
+}
+
 /// Runs one query across `p` partitions and merges window results.
 pub struct PartitionedExecutor {
     parts: Vec<QueryExecutor>,
@@ -26,6 +39,8 @@ pub struct PartitionedExecutor {
     dead_hosts: std::collections::HashSet<String>,
     degraded_rows: u64,
     duplicate_batches: u64,
+    /// Window closes since the last [`take_window_closes`] drain.
+    closes: Vec<WindowClose>,
 }
 
 impl PartitionedExecutor {
@@ -41,6 +56,7 @@ impl PartitionedExecutor {
             dead_hosts: std::collections::HashSet::new(),
             degraded_rows: 0,
             duplicate_batches: 0,
+            closes: Vec::new(),
         }
     }
 
@@ -74,6 +90,29 @@ impl PartitionedExecutor {
         self.degraded_rows
     }
 
+    /// Drain the window closes recorded since the last call.
+    pub fn take_window_closes(&mut self) -> Vec<WindowClose> {
+        std::mem::take(&mut self.closes)
+    }
+
+    /// Windows currently open (largest across partitions — partitions
+    /// share window boundaries, they just see different event subsets).
+    pub fn open_windows(&self) -> usize {
+        self.parts
+            .iter()
+            .map(|p| p.open_windows())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Join/group state rows currently buffered across partitions.
+    pub fn join_rows_held(&self) -> u64 {
+        self.parts
+            .iter()
+            .map(|p| (p.buffered_events() + p.open_groups()) as u64)
+            .sum()
+    }
+
     /// Route a batch's events to partitions by request id.
     pub fn ingest(&mut self, batch: EventBatch) {
         let p = self.parts.len() as u64;
@@ -95,6 +134,7 @@ impl PartitionedExecutor {
             self.parts[i].ingest(EventBatch {
                 query_id: batch.query_id,
                 seq: batch.seq,
+                attempt: batch.attempt,
                 type_id: batch.type_id,
                 host: batch.host.clone(),
                 events,
@@ -122,8 +162,15 @@ impl PartitionedExecutor {
             }
         }
         let scale = self.parts[0].scale();
+        let degraded_now = !self.dead_hosts.is_empty();
         for (w, groups) in by_window {
-            out.extend(self.render_merged(w, groups, scale));
+            let rendered = self.render_merged(w, groups, scale);
+            self.closes.push(WindowClose {
+                window_start_ms: w,
+                rows: rendered.len() as u64,
+                degraded: degraded_now,
+            });
+            out.extend(rendered);
         }
         if !self.dead_hosts.is_empty() {
             for row in &mut out {
@@ -243,6 +290,7 @@ mod tests {
     fn feed(n: u64) -> EventBatch {
         EventBatch {
             seq: 0,
+            attempt: 0,
             query_id: QueryId(5),
             type_id: EventTypeId(0),
             host: "h1".into(),
@@ -286,6 +334,7 @@ mod tests {
             let imps: Vec<Event> = (0..100).map(|i| ev(1, i * 2, 1_500, vec![])).collect();
             exec.ingest(EventBatch {
                 seq: 0,
+                attempt: 0,
                 query_id: QueryId(5),
                 type_id: EventTypeId(0),
                 host: "h1".into(),
@@ -296,6 +345,7 @@ mod tests {
             });
             exec.ingest(EventBatch {
                 seq: 0,
+                attempt: 0,
                 query_id: QueryId(5),
                 type_id: EventTypeId(1),
                 host: "h2".into(),
@@ -323,6 +373,7 @@ mod tests {
             .collect();
         multi.ingest(EventBatch {
             seq: 0,
+            attempt: 0,
             query_id: QueryId(5),
             type_id: EventTypeId(0),
             host: "h1".into(),

@@ -24,6 +24,10 @@ pub enum ScrubError {
     Target(String),
     /// Transport/simulation failure.
     Transport(String),
+    /// The query server rejected a submission; carries the server's
+    /// rejection reason verbatim (which itself renders one of the
+    /// lex/parse/validate/target errors above).
+    Rejected(String),
 }
 
 impl fmt::Display for ScrubError {
@@ -38,6 +42,7 @@ impl fmt::Display for ScrubError {
             ScrubError::Lifecycle(m) => write!(f, "query lifecycle error: {m}"),
             ScrubError::Target(m) => write!(f, "target resolution error: {m}"),
             ScrubError::Transport(m) => write!(f, "transport error: {m}"),
+            ScrubError::Rejected(m) => write!(f, "query rejected: {m}"),
         }
     }
 }

@@ -43,6 +43,25 @@ impl HostInfo {
             TargetExpr::Not(t) => !self.matches(t),
         }
     }
+
+    /// Does the target clause *explicitly name* this host — its host name
+    /// or its service, written out, anywhere in the expression?
+    ///
+    /// Blanket selectors (`@[all]`, a DC filter, a negation) do not count.
+    /// Scrub's own nodes are resolvable targets only for queries that name
+    /// them (`@[Service in ScrubCentral]`): applications asking for
+    /// "everything" get application hosts, never the troubleshooter's.
+    pub fn explicitly_named(&self, target: &TargetExpr) -> bool {
+        match target {
+            TargetExpr::All | TargetExpr::Dc(_) => false,
+            TargetExpr::Service(ss) => ss.iter().any(|s| eq_ci(s, &self.service)),
+            TargetExpr::Host(hs) => hs.iter().any(|h| eq_ci(h, &self.name)),
+            TargetExpr::And(a, b) | TargetExpr::Or(a, b) => {
+                self.explicitly_named(a) || self.explicitly_named(b)
+            }
+            TargetExpr::Not(t) => self.explicitly_named(t),
+        }
+    }
 }
 
 fn eq_ci(a: &str, b: &str) -> bool {
@@ -147,6 +166,20 @@ mod tests {
         let hosts = inventory();
         let t = TargetExpr::Service(vec!["bidservers".into()]);
         assert_eq!(resolve_targets(&hosts, &t).len(), 2);
+    }
+
+    #[test]
+    fn explicit_naming_requires_the_name_or_service_spelled_out() {
+        let central = HostInfo::new("scrub-central", "ScrubCentral", "DC1");
+        assert!(!central.explicitly_named(&TargetExpr::All));
+        assert!(!central.explicitly_named(&TargetExpr::Dc(vec!["DC1".into()])));
+        assert!(central.explicitly_named(&TargetExpr::Service(vec!["scrubcentral".into()])));
+        assert!(central.explicitly_named(&TargetExpr::Host(vec!["scrub-central".into()])));
+        // naming it inside a conjunction/negation still counts
+        let t = TargetExpr::Service(vec!["ScrubCentral".into()])
+            .and(TargetExpr::Dc(vec!["DC1".into()]));
+        assert!(central.explicitly_named(&t));
+        assert!(!central.explicitly_named(&TargetExpr::Service(vec!["BidServers".into()])));
     }
 
     #[test]

@@ -1,0 +1,28 @@
+//! # scrub-obs — Scrub's self-observability plane.
+//!
+//! The paper's pitch is troubleshooting *other* systems online without
+//! hurting them; this crate turns the same discipline on Scrub itself.
+//! Three layers:
+//!
+//! * [`metrics`] — a lock-light registry of counters, gauges and
+//!   fixed-bucket histograms. Handles are `Arc`s updated with relaxed
+//!   atomics (no lock on the update path); the registry lock is taken
+//!   only to create a metric or take a [`MetricsSnapshot`]. Snapshots
+//!   are plain data: mergeable across nodes and diffable across time,
+//!   timestamped on the *sim* clock so they line up with query windows.
+//! * [`profile`] — per-query execution profiles assembled by
+//!   ScrubCentral: events tapped/selected/shed per host, bytes
+//!   first-sent vs retransmitted, batches acked, windows
+//!   opened/closed/degraded, join-state rows held, and an ingest-latency
+//!   histogram.
+//! * [`meta`] — `scrub_batch` / `scrub_window` meta-event types emitted
+//!   through the very same `log()` tap the application uses, so ScrubQL
+//!   queries can run over Scrub's own telemetry (dogfooding).
+
+pub mod meta;
+pub mod metrics;
+pub mod profile;
+
+pub use meta::{register_meta_events, MetaEvents, ScrubBatchEvent, ScrubWindowEvent};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use profile::{HostProfile, QueryProfile};

@@ -1,0 +1,284 @@
+//! Per-query execution profiles.
+//!
+//! ScrubCentral assembles one [`QueryProfile`] per live query from the
+//! batch stream it already handles — profiling is per *batch*, not per
+//! event, so the cost rides the existing control flow. The profile is
+//! plain data: serde-able, cloneable, and mergeable across a central
+//! cluster, so `scrubql`'s `profile <qid>` and experiment epilogues can
+//! read one struct wherever the query ran.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{HistogramSnapshot, DEFAULT_LATENCY_BOUNDS_MS};
+
+/// What one host contributed to one query.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostProfile {
+    /// Events ingested at central from this host (post-dedup).
+    pub events: u64,
+    /// Cumulative events that matched selection on the host (tap counter
+    /// carried on every batch; max-merged since it is cumulative).
+    pub tapped: u64,
+    /// Cumulative matched events that survived event sampling (selected
+    /// for shipment).
+    pub selected: u64,
+    /// Cumulative matched events dropped by load shedding.
+    pub shed: u64,
+    /// Distinct batches ingested (post-dedup).
+    pub batches: u64,
+    /// Batches that arrived marked as retransmissions.
+    pub retransmitted_batches: u64,
+    /// Bytes that arrived on first-attempt batches.
+    pub bytes_first_sent: u64,
+    /// Bytes that arrived on retransmitted batches.
+    pub bytes_retransmitted: u64,
+}
+
+impl HostProfile {
+    fn merge(&mut self, other: &HostProfile) {
+        self.events += other.events;
+        // cumulative tap counters: both sides saw the same host counters,
+        // keep the larger (a cluster never splits one host's batches for
+        // one query across centrals, but max is safe either way)
+        self.tapped = self.tapped.max(other.tapped);
+        self.selected = self.selected.max(other.selected);
+        self.shed = self.shed.max(other.shed);
+        self.batches += other.batches;
+        self.retransmitted_batches += other.retransmitted_batches;
+        self.bytes_first_sent += other.bytes_first_sent;
+        self.bytes_retransmitted += other.bytes_retransmitted;
+    }
+}
+
+/// Execution profile of one query, kept live by ScrubCentral.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryProfile {
+    /// The query this profile describes.
+    pub query_id: u64,
+    /// Per-host contributions.
+    pub hosts: BTreeMap<String, HostProfile>,
+    /// Distinct batches ingested (across hosts, post-dedup).
+    pub batches_ingested: u64,
+    /// Batches discarded as duplicate retransmissions.
+    pub batches_duplicate: u64,
+    /// Acks central sent back (covers duplicates too).
+    pub batches_acked: u64,
+    /// Bytes received on first-attempt batches.
+    pub bytes_first_sent: u64,
+    /// Bytes received on retransmitted batches.
+    pub bytes_retransmitted: u64,
+    /// Windows the executor opened (closed + currently open).
+    pub windows_opened: u64,
+    /// Windows closed and rendered so far.
+    pub windows_closed: u64,
+    /// Windows whose rows were emitted while a targeted host was
+    /// suspected dead.
+    pub windows_degraded: u64,
+    /// Join/group state rows currently buffered (gauge, refreshed on
+    /// every watermark advance).
+    pub join_rows_held: u64,
+    /// Result rows emitted.
+    pub rows_emitted: u64,
+    /// Batch ingest latency: newest event timestamp in a batch to its
+    /// arrival at central, on the sim clock.
+    pub ingest_latency_ms: HistogramSnapshot,
+}
+
+impl QueryProfile {
+    /// Fresh profile for `query_id`.
+    pub fn new(query_id: u64) -> Self {
+        QueryProfile {
+            query_id,
+            hosts: BTreeMap::new(),
+            batches_ingested: 0,
+            batches_duplicate: 0,
+            batches_acked: 0,
+            bytes_first_sent: 0,
+            bytes_retransmitted: 0,
+            windows_opened: 0,
+            windows_closed: 0,
+            windows_degraded: 0,
+            join_rows_held: 0,
+            rows_emitted: 0,
+            ingest_latency_ms: HistogramSnapshot {
+                bounds: DEFAULT_LATENCY_BOUNDS_MS.to_vec(),
+                buckets: vec![0; DEFAULT_LATENCY_BOUNDS_MS.len() + 1],
+                count: 0,
+                sum: 0,
+            },
+        }
+    }
+
+    /// Record a deduplicated batch arrival.
+    #[allow(clippy::too_many_arguments)]
+    pub fn observe_batch(
+        &mut self,
+        host: &str,
+        bytes: u64,
+        events: u64,
+        tapped: u64,
+        selected: u64,
+        shed: u64,
+        retransmit: bool,
+        latency_ms: Option<i64>,
+    ) {
+        self.batches_ingested += 1;
+        let h = self.hosts.entry(host.to_string()).or_default();
+        h.events += events;
+        h.tapped = h.tapped.max(tapped);
+        h.selected = h.selected.max(selected);
+        h.shed = h.shed.max(shed);
+        h.batches += 1;
+        if retransmit {
+            h.retransmitted_batches += 1;
+            h.bytes_retransmitted += bytes;
+            self.bytes_retransmitted += bytes;
+        } else {
+            h.bytes_first_sent += bytes;
+            self.bytes_first_sent += bytes;
+        }
+        if let Some(lat) = latency_ms {
+            self.record_latency(lat);
+        }
+    }
+
+    /// Record a duplicate batch (discarded, but acked).
+    pub fn observe_duplicate(&mut self) {
+        self.batches_duplicate += 1;
+    }
+
+    /// Record an ack sent back toward the host.
+    pub fn observe_ack(&mut self) {
+        self.batches_acked += 1;
+    }
+
+    /// Record `closed` windows closing, `degraded` of them while a
+    /// targeted host was suspected dead.
+    pub fn observe_windows_closed(&mut self, closed: u64, degraded: u64) {
+        self.windows_closed += closed;
+        self.windows_degraded += degraded;
+    }
+
+    /// Refresh the live state gauges after a watermark advance.
+    pub fn observe_state(&mut self, open_windows: u64, join_rows_held: u64) {
+        self.windows_opened = self.windows_closed + open_windows;
+        self.join_rows_held = join_rows_held;
+    }
+
+    /// Record result rows leaving central.
+    pub fn observe_rows(&mut self, n: u64) {
+        self.rows_emitted += n;
+    }
+
+    fn record_latency(&mut self, v: i64) {
+        let v = v.max(0);
+        let h = &mut self.ingest_latency_ms;
+        let idx = h
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(h.bounds.len());
+        h.buckets[idx] += 1;
+        h.count += 1;
+        h.sum += v as u64;
+    }
+
+    /// Events tapped across hosts (sum of cumulative per-host counters).
+    pub fn total_tapped(&self) -> u64 {
+        self.hosts.values().map(|h| h.tapped).sum()
+    }
+
+    /// Events selected across hosts.
+    pub fn total_selected(&self) -> u64 {
+        self.hosts.values().map(|h| h.selected).sum()
+    }
+
+    /// Events shed across hosts.
+    pub fn total_shed(&self) -> u64 {
+        self.hosts.values().map(|h| h.shed).sum()
+    }
+
+    /// Merge a profile shard from another central node.
+    pub fn merge(&mut self, other: &QueryProfile) {
+        debug_assert_eq!(self.query_id, other.query_id);
+        for (host, hp) in &other.hosts {
+            self.hosts.entry(host.clone()).or_default().merge(hp);
+        }
+        self.batches_ingested += other.batches_ingested;
+        self.batches_duplicate += other.batches_duplicate;
+        self.batches_acked += other.batches_acked;
+        self.bytes_first_sent += other.bytes_first_sent;
+        self.bytes_retransmitted += other.bytes_retransmitted;
+        self.windows_opened += other.windows_opened;
+        self.windows_closed += other.windows_closed;
+        self.windows_degraded += other.windows_degraded;
+        self.join_rows_held += other.join_rows_held;
+        self.rows_emitted += other.rows_emitted;
+        self.ingest_latency_ms.merge(&other.ingest_latency_ms);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_split_first_vs_retransmitted_bytes() {
+        let mut p = QueryProfile::new(7);
+        p.observe_batch("h1", 100, 10, 10, 10, 0, false, Some(12));
+        p.observe_ack();
+        p.observe_batch("h1", 100, 10, 20, 20, 0, true, Some(800));
+        p.observe_ack();
+        p.observe_duplicate();
+        p.observe_ack();
+        assert_eq!(p.bytes_first_sent, 100);
+        assert_eq!(p.bytes_retransmitted, 100);
+        assert_eq!(p.batches_ingested, 2);
+        assert_eq!(p.batches_duplicate, 1);
+        assert_eq!(p.batches_acked, 3);
+        let h = &p.hosts["h1"];
+        assert_eq!(h.tapped, 20); // cumulative counter max-merged
+        assert_eq!(h.events, 20);
+        assert_eq!(h.retransmitted_batches, 1);
+        assert_eq!(p.ingest_latency_ms.count, 2);
+        assert!(p.ingest_latency_ms.p99().unwrap() >= 800);
+    }
+
+    #[test]
+    fn windows_and_state_gauges() {
+        let mut p = QueryProfile::new(1);
+        p.observe_windows_closed(3, 1);
+        p.observe_state(2, 40);
+        assert_eq!(p.windows_closed, 3);
+        assert_eq!(p.windows_degraded, 1);
+        assert_eq!(p.windows_opened, 5);
+        assert_eq!(p.join_rows_held, 40);
+    }
+
+    #[test]
+    fn profiles_merge_across_centrals() {
+        let mut a = QueryProfile::new(1);
+        a.observe_batch("h1", 50, 5, 5, 5, 0, false, Some(10));
+        let mut b = QueryProfile::new(1);
+        b.observe_batch("h2", 70, 7, 7, 7, 0, true, Some(20));
+        b.observe_windows_closed(1, 1);
+        a.merge(&b);
+        assert_eq!(a.hosts.len(), 2);
+        assert_eq!(a.bytes_first_sent, 50);
+        assert_eq!(a.bytes_retransmitted, 70);
+        assert_eq!(a.windows_degraded, 1);
+        assert_eq!(a.ingest_latency_ms.count, 2);
+        assert_eq!(a.total_tapped(), 12);
+    }
+
+    #[test]
+    fn profile_serializes() {
+        let mut p = QueryProfile::new(3);
+        p.observe_batch("h", 10, 1, 1, 1, 0, false, None);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: QueryProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -9,15 +9,38 @@
 //! that goes silent while its peers keep reporting is suspected dead, its
 //! samples leave the estimator and subsequent rows are marked degraded —
 //! windows keep closing on time instead of stalling on a dead host.
+//!
+//! # Self-observability
+//!
+//! Central is where every query's data plane converges, so it assembles
+//! the per-query [`QueryProfile`]s (per-host tap counters, first-sent vs
+//! retransmitted bytes, window opens/closes/degradations, join-state
+//! pressure, ingest latency) and keeps node-level counters in a
+//! [`Registry`]. It also *dogfoods* Scrub: an embedded [`AgentHarness`]
+//! taps a `scrub_batch` meta-event per received batch and a
+//! `scrub_window` meta-event per window close, through the same `log()`
+//! fast path the application uses. A ScrubQL query targeting
+//! `@[Service in ScrubCentral]` runs over this telemetry like any other
+//! query — selection, windows, sampling, reliable shipment and all.
+//! Batches that themselves carry meta-events are not re-tapped, which
+//! breaks the feedback loop after one hop.
 
 use std::collections::{HashMap, HashSet};
 use std::marker::PhantomData;
+use std::sync::Arc;
 
 use scrub_central::PartitionedExecutor;
 use scrub_core::config::ScrubConfig;
+use scrub_core::event::RequestId;
 use scrub_core::plan::QueryId;
+use scrub_core::schema::SchemaRegistry;
+use scrub_obs::{
+    register_meta_events, Counter, Histogram, MetaEvents, MetricsSnapshot, QueryProfile, Registry,
+    ScrubBatchEvent, ScrubWindowEvent,
+};
 use scrub_simnet::{Context, Node, NodeId, SimDuration};
 
+use crate::harness::AgentHarness;
 use crate::msg::{ScrubEnvelope, ScrubMsg, TIMER_CENTRAL_ADVANCE};
 
 /// The centralized execution facility (one node; the paper runs a small
@@ -36,13 +59,55 @@ pub struct CentralNode<E: ScrubEnvelope> {
     pub batches_received: u64,
     /// Batches discarded as duplicates across all queries.
     pub duplicate_batches: u64,
+    /// Per-query execution profiles; retained after a query finishes so
+    /// `profile <qid>` works post-hoc.
+    profiles: HashMap<QueryId, QueryProfile>,
+    /// Queries whose inputs are meta-events (their window closes are not
+    /// re-tapped as `scrub_window`).
+    meta_queries: HashSet<QueryId>,
+    /// Node-level metrics.
+    obs: Registry,
+    m_batches: Arc<Counter>,
+    m_duplicates: Arc<Counter>,
+    m_events: Arc<Counter>,
+    m_acks: Arc<Counter>,
+    m_rows: Arc<Counter>,
+    m_windows_closed: Arc<Counter>,
+    m_windows_degraded: Arc<Counter>,
+    m_installed: Arc<Counter>,
+    m_finished: Arc<Counter>,
+    m_ingest_latency: Arc<Histogram>,
+    /// Resolved meta-event type ids (registered into the shared schema
+    /// registry at construction).
+    meta: MetaEvents,
+    /// The embedded agent shipping Scrub's own telemetry; created on
+    /// start (it needs the node's name and id).
+    meta_harness: Option<AgentHarness>,
+    /// Request-id source for meta-events (each tap gets a fresh id; meta
+    /// queries never join on it).
+    meta_rid: u64,
     _marker: PhantomData<fn(E)>,
 }
 
 impl<E: ScrubEnvelope> CentralNode<E> {
     /// Create a central node; `server` is learned from the first
-    /// `CentralInstall` sender if not preset.
-    pub fn new(config: ScrubConfig) -> Self {
+    /// `CentralInstall` sender if not preset. The schema registry is the
+    /// deployment-wide one — central registers the `scrub_batch` /
+    /// `scrub_window` meta-event types into it (idempotently) so ScrubQL
+    /// queries over Scrub's own telemetry validate.
+    pub fn new(config: ScrubConfig, registry: Arc<SchemaRegistry>) -> Self {
+        let meta = register_meta_events(&registry).expect("meta-event schemas register cleanly");
+        let obs = Registry::new();
+        let m_batches = obs.counter("central.batches_received");
+        let m_duplicates = obs.counter("central.batches_duplicate");
+        let m_events = obs.counter("central.events_ingested");
+        let m_acks = obs.counter("central.acks_sent");
+        let m_rows = obs.counter("central.rows_emitted");
+        let m_windows_closed = obs.counter("central.windows_closed");
+        let m_windows_degraded = obs.counter("central.windows_degraded");
+        let m_installed = obs.counter("central.queries_installed");
+        let m_finished = obs.counter("central.queries_finished");
+        let m_ingest_latency = obs.histogram("central.ingest_latency_ms");
         CentralNode {
             config,
             server: None,
@@ -52,6 +117,22 @@ impl<E: ScrubEnvelope> CentralNode<E> {
             events_ingested: 0,
             batches_received: 0,
             duplicate_batches: 0,
+            profiles: HashMap::new(),
+            meta_queries: HashSet::new(),
+            obs,
+            m_batches,
+            m_duplicates,
+            m_events,
+            m_acks,
+            m_rows,
+            m_windows_closed,
+            m_windows_degraded,
+            m_installed,
+            m_finished,
+            m_ingest_latency,
+            meta,
+            meta_harness: None,
+            meta_rid: 0,
             _marker: PhantomData,
         }
     }
@@ -59,6 +140,24 @@ impl<E: ScrubEnvelope> CentralNode<E> {
     /// Number of active queries.
     pub fn active_queries(&self) -> usize {
         self.executors.len()
+    }
+
+    /// Execution profile of a query (live or finished).
+    pub fn profile(&self, qid: QueryId) -> Option<&QueryProfile> {
+        self.profiles.get(&qid)
+    }
+
+    /// Node-level metrics snapshot at sim time `at_ms`.
+    pub fn metrics(&self, at_ms: i64) -> MetricsSnapshot {
+        self.obs.snapshot(at_ms)
+    }
+
+    /// Tap-side counters of the embedded meta agent (how much of Scrub's
+    /// own telemetry was collected/shipped).
+    pub fn meta_agent_stats(&self) -> Option<scrub_agent::StatsSnapshot> {
+        self.meta_harness
+            .as_ref()
+            .map(|h| h.agent().stats().snapshot())
     }
 
     fn advance_interval(&self) -> SimDuration {
@@ -98,15 +197,63 @@ impl<E: ScrubEnvelope> CentralNode<E> {
         }
     }
 
-    fn flush_rows(&mut self, ctx: &mut Context<'_, E>, now_ms: i64) {
-        let Some(server) = self.server else {
+    /// Drain one executor's window closes into the profile, node metrics
+    /// and (for application queries) `scrub_window` meta-events.
+    fn observe_advance(&mut self, ctx: &mut Context<'_, E>, qid: QueryId, rows_emitted: u64) {
+        let Some(exec) = self.executors.get_mut(&qid) else {
             return;
         };
-        for exec in self.executors.values_mut() {
+        let closes = exec.take_window_closes();
+        let open = exec.open_windows() as u64;
+        let held = exec.join_rows_held();
+        let is_meta_query = self.meta_queries.contains(&qid);
+        if let Some(profile) = self.profiles.get_mut(&qid) {
+            for c in &closes {
+                profile.observe_windows_closed(1, c.degraded as u64);
+            }
+            profile.observe_state(open, held);
+            profile.observe_rows(rows_emitted);
+        }
+        self.m_rows.add(rows_emitted);
+        self.m_windows_closed.add(closes.len() as u64);
+        self.m_windows_degraded
+            .add(closes.iter().filter(|c| c.degraded).count() as u64);
+        if let Some(harness) = &self.meta_harness {
+            let now_ms = ctx.now.as_ms();
+            for c in closes {
+                // meta queries' own closes are not re-tapped: the
+                // telemetry describes the application pipeline
+                if is_meta_query {
+                    continue;
+                }
+                self.meta_rid += 1;
+                harness.agent().log_typed(
+                    self.meta.window,
+                    RequestId(self.meta_rid),
+                    now_ms,
+                    || ScrubWindowEvent {
+                        query: qid.0 as i64,
+                        window_start: c.window_start_ms,
+                        rows: c.rows as i64,
+                        degraded: c.degraded as i64,
+                    },
+                );
+            }
+        }
+    }
+
+    fn flush_rows(&mut self, ctx: &mut Context<'_, E>, now_ms: i64) {
+        let qids: Vec<QueryId> = self.executors.keys().copied().collect();
+        for qid in qids {
+            let Some(exec) = self.executors.get_mut(&qid) else {
+                continue;
+            };
             let rows = exec.advance(now_ms);
-            if !rows.is_empty() {
+            let n = rows.len() as u64;
+            if let (Some(server), false) = (self.server, rows.is_empty()) {
                 ctx.send(server, E::wrap(ScrubMsg::Rows { rows }));
             }
+            self.observe_advance(ctx, qid, n);
         }
     }
 }
@@ -114,6 +261,18 @@ impl<E: ScrubEnvelope> CentralNode<E> {
 impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
     fn on_start(&mut self, ctx: &mut Context<'_, E>) {
         ctx.set_timer(self.advance_interval(), TIMER_CENTRAL_ADVANCE);
+        // The embedded meta agent survives central restarts (pending
+        // retransmits and all); it is only built on first start.
+        if self.meta_harness.is_none() {
+            self.meta_harness = Some(AgentHarness::new(
+                ctx.self_meta().name.clone(),
+                self.config.clone(),
+                ctx.self_id,
+            ));
+        }
+        if let Some(h) = &mut self.meta_harness {
+            h.start(ctx);
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, E>, from: NodeId, msg: E) {
@@ -121,21 +280,42 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
             return; // not a scrub message; central ignores app traffic
         };
         match scrub {
+            // Control traffic for the embedded meta agent: central is a
+            // *host* for queries over Scrub's own telemetry.
+            m @ (ScrubMsg::InstallQuery { .. }
+            | ScrubMsg::StopQuery { .. }
+            | ScrubMsg::BatchAck { .. }) => {
+                if let Some(h) = &mut self.meta_harness {
+                    let _ = h.on_message(ctx, from, E::wrap(m));
+                }
+            }
             ScrubMsg::CentralInstall { plan } => {
                 self.server = Some(from);
                 let qid = plan.query_id;
+                if plan.inputs.iter().any(|i| self.meta.contains(i.type_id)) {
+                    self.meta_queries.insert(qid);
+                }
                 let exec = PartitionedExecutor::new(
                     plan,
                     self.config.window_grace_ms,
                     self.config.central_partitions,
                 );
                 self.executors.insert(qid, exec);
+                self.profiles.insert(qid, QueryProfile::new(qid.0));
+                self.m_installed.inc();
             }
             ScrubMsg::CentralStop { query_id } => {
                 self.seen.remove(&query_id);
                 self.last_heard.remove(&query_id);
                 if let Some(mut exec) = self.executors.remove(&query_id) {
                     let (rows, summary) = exec.finish();
+                    let n = rows.len() as u64;
+                    // record the final closes before the executor drops
+                    self.executors.insert(query_id, exec);
+                    self.observe_advance(ctx, query_id, n);
+                    self.executors.remove(&query_id);
+                    self.meta_queries.remove(&query_id);
+                    self.m_finished.inc();
                     if let Some(server) = self.server {
                         if !rows.is_empty() {
                             ctx.send(server, E::wrap(ScrubMsg::Rows { rows }));
@@ -146,6 +326,7 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
             }
             ScrubMsg::Batch(batch) => {
                 self.batches_received += 1;
+                self.m_batches.inc();
                 // Ack everything — duplicates and batches for unknown
                 // (already-finished) queries too — so the sender stops
                 // retransmitting even when the original ack was lost.
@@ -156,6 +337,10 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
                         seq: batch.seq,
                     }),
                 );
+                self.m_acks.inc();
+                if let Some(p) = self.profiles.get_mut(&batch.query_id) {
+                    p.observe_ack();
+                }
                 let fresh = self
                     .seen
                     .entry(batch.query_id)
@@ -163,8 +348,42 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
                     .entry(batch.host.clone())
                     .or_default()
                     .insert(batch.seq);
+                let now_ms = ctx.now.as_ms();
+                // Tap the meta-event for every arrival (dupes included —
+                // they are part of the transport's behavior), except for
+                // batches that themselves carry meta-events.
+                if let (Some(harness), false) =
+                    (&self.meta_harness, self.meta.contains(batch.type_id))
+                {
+                    self.meta_rid += 1;
+                    let (query, host, events, bytes, retransmit, duplicate) = (
+                        batch.query_id.0 as i64,
+                        batch.host.clone(),
+                        batch.events.len() as i64,
+                        batch.approx_bytes() as i64,
+                        (batch.attempt > 0) as i64,
+                        !fresh as i64,
+                    );
+                    harness.agent().log_typed(
+                        self.meta.batch,
+                        RequestId(self.meta_rid),
+                        now_ms,
+                        || ScrubBatchEvent {
+                            query,
+                            host,
+                            events,
+                            bytes,
+                            retransmit,
+                            duplicate,
+                        },
+                    );
+                }
                 if !fresh {
                     self.duplicate_batches += 1;
+                    self.m_duplicates.inc();
+                    if let Some(p) = self.profiles.get_mut(&batch.query_id) {
+                        p.observe_duplicate();
+                    }
                     if let Some(exec) = self.executors.get_mut(&batch.query_id) {
                         exec.note_duplicate();
                     }
@@ -173,8 +392,30 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
                 self.last_heard
                     .entry(batch.query_id)
                     .or_default()
-                    .insert(batch.host.clone(), ctx.now.as_ms());
+                    .insert(batch.host.clone(), now_ms);
                 self.events_ingested += batch.events.len() as u64;
+                self.m_events.add(batch.events.len() as u64);
+                let latency = batch
+                    .events
+                    .iter()
+                    .map(|e| e.timestamp)
+                    .max()
+                    .map(|newest| now_ms - newest);
+                if let Some(lat) = latency {
+                    self.m_ingest_latency.record(lat);
+                }
+                if let Some(p) = self.profiles.get_mut(&batch.query_id) {
+                    p.observe_batch(
+                        &batch.host,
+                        batch.approx_bytes() as u64,
+                        batch.events.len() as u64,
+                        batch.matched,
+                        batch.sampled,
+                        batch.shed,
+                        batch.attempt > 0,
+                        latency,
+                    );
+                }
                 if let Some(exec) = self.executors.get_mut(&batch.query_id) {
                     exec.ingest(batch);
                 }
@@ -184,6 +425,13 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, E>, timer: u64) {
+        if let Some(mut h) = self.meta_harness.take() {
+            let consumed = h.on_timer(ctx, timer);
+            self.meta_harness = Some(h);
+            if consumed {
+                return;
+            }
+        }
         if timer == TIMER_CENTRAL_ADVANCE {
             let now_ms = ctx.now.as_ms();
             self.refresh_dead_hosts();

@@ -10,7 +10,8 @@ use scrub_core::target::HostInfo;
 use scrub_simnet::{NodeId, NodeMeta, Sim};
 
 use crate::central_node::CentralNode;
-use crate::msg::{ScrubEnvelope, ScrubMsg};
+use crate::client::ScrubClient;
+use crate::msg::ScrubEnvelope;
 use crate::server_node::{QueryRecord, QueryServerNode};
 
 /// Service name of the ScrubCentral node (excluded from target
@@ -44,16 +45,38 @@ pub fn inventory_from_sim<E: ScrubEnvelope>(sim: &Sim<E>) -> Vec<(NodeId, HostIn
         .collect()
 }
 
+/// Scrub's own nodes as a target inventory. Only queries that
+/// *explicitly name* a Scrub service or host (e.g.
+/// `@[Service in ScrubCentral]`) resolve to these — blanket selectors
+/// like `@[all]` still reach application hosts only. This is what lets
+/// ScrubQL run over Scrub's own `scrub_batch`/`scrub_window` telemetry.
+pub fn meta_inventory_from_sim<E: ScrubEnvelope>(sim: &Sim<E>) -> Vec<(NodeId, HostInfo)> {
+    sim.metas()
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| m.service == SCRUB_CENTRAL_SERVICE)
+        .map(|(i, m)| {
+            (
+                NodeId(i as u32),
+                HostInfo::new(m.name.clone(), m.service.clone(), m.dc.clone()),
+            )
+        })
+        .collect()
+}
+
 /// Add the ScrubCentral node. Call this *before* creating application
-/// hosts so their agent harnesses know where to ship batches.
+/// hosts so their agent harnesses know where to ship batches. The schema
+/// registry must be the same one the query server validates against —
+/// central registers its meta-event types into it.
 pub fn deploy_central<E: ScrubEnvelope>(
     sim: &mut Sim<E>,
+    registry: &Arc<SchemaRegistry>,
     config: ScrubConfig,
     central_dc: &str,
 ) -> NodeId {
     sim.add_node(
         NodeMeta::new("scrub-central", SCRUB_CENTRAL_SERVICE, central_dc),
-        Box::new(CentralNode::<E>::new(config)),
+        Box::new(CentralNode::<E>::new(config, registry.clone())),
     )
 }
 
@@ -61,6 +84,7 @@ pub fn deploy_central<E: ScrubEnvelope>(
 /// a small cluster). Pair with [`deploy_server_clustered`].
 pub fn deploy_central_cluster<E: ScrubEnvelope>(
     sim: &mut Sim<E>,
+    registry: &Arc<SchemaRegistry>,
     config: ScrubConfig,
     central_dc: &str,
     n: usize,
@@ -73,7 +97,7 @@ pub fn deploy_central_cluster<E: ScrubEnvelope>(
                     SCRUB_CENTRAL_SERVICE,
                     central_dc,
                 ),
-                Box::new(CentralNode::<E>::new(config.clone())),
+                Box::new(CentralNode::<E>::new(config.clone(), registry.clone())),
             )
         })
         .collect()
@@ -89,14 +113,11 @@ pub fn deploy_server<E: ScrubEnvelope>(
     server_dc: &str,
 ) -> ScrubDeployment {
     let inventory = inventory_from_sim(sim);
+    let mut node = QueryServerNode::<E>::new(schema_registry, config, central, inventory);
+    node.set_meta_inventory(meta_inventory_from_sim(sim));
     let server = sim.add_node(
         NodeMeta::new("scrub-server", SCRUB_SERVER_SERVICE, server_dc),
-        Box::new(QueryServerNode::<E>::new(
-            schema_registry,
-            config,
-            central,
-            inventory,
-        )),
+        Box::new(node),
     );
     ScrubDeployment { server, central }
 }
@@ -104,33 +125,21 @@ pub fn deploy_server<E: ScrubEnvelope>(
 /// Submit a ScrubQL query and run the simulation just far enough for the
 /// server to admit (or reject) it; returns the id it received. Check
 /// [`results`] for existence — a rejected query leaves no record.
+#[deprecated(
+    since = "0.2.0",
+    note = "use ScrubClient::submit, which surfaces rejections as ScrubError::Rejected"
+)]
 pub fn submit_query<E: ScrubEnvelope>(sim: &mut Sim<E>, d: &ScrubDeployment, src: &str) -> QueryId {
-    let observe = |sim: &Sim<E>| {
-        let node = sim
-            .node_as::<QueryServerNode<E>>(d.server)
-            .expect("server node");
-        (node.peek_next_qid(), node.rejected.len())
-    };
-    let (next, rejected_before) = observe(sim);
-    sim.inject(
-        d.server,
-        d.server,
-        E::wrap(ScrubMsg::Submit {
-            src: src.to_string(),
-        }),
-    );
-    // Step until the submission is processed so sequential submissions get
-    // sequential ids.
-    for _ in 0..100_000 {
-        let (qid_now, rejected_now) = observe(sim);
-        if qid_now != next || rejected_now != rejected_before {
-            break;
-        }
-        if !sim.step() {
-            break;
-        }
+    let next = sim
+        .node_as::<QueryServerNode<E>>(d.server)
+        .expect("server node")
+        .peek_next_qid();
+    match ScrubClient::new(d).submit(sim, src) {
+        Ok(handle) => handle.id(),
+        // preserve the legacy contract: rejected queries still "return"
+        // the id they would have received, and leave no record behind
+        Err(_) => QueryId(next),
     }
-    QueryId(next)
 }
 
 /// Add the query server over a ScrubCentral cluster. Call after the
@@ -144,14 +153,12 @@ pub fn deploy_server_clustered<E: ScrubEnvelope>(
 ) -> ScrubDeployment {
     let inventory = inventory_from_sim(sim);
     let first_central = centrals[0];
+    let mut node =
+        QueryServerNode::<E>::with_centrals(schema_registry, config, centrals, inventory);
+    node.set_meta_inventory(meta_inventory_from_sim(sim));
     let server = sim.add_node(
         NodeMeta::new("scrub-server", SCRUB_SERVER_SERVICE, server_dc),
-        Box::new(QueryServerNode::<E>::with_centrals(
-            schema_registry,
-            config,
-            centrals,
-            inventory,
-        )),
+        Box::new(node),
     );
     ScrubDeployment {
         server,
@@ -160,15 +167,16 @@ pub fn deploy_server_clustered<E: ScrubEnvelope>(
 }
 
 /// Cancel a running (or scheduled) query before its span elapses.
+#[deprecated(since = "0.2.0", note = "use QueryHandle::stop")]
 pub fn cancel_query<E: ScrubEnvelope>(sim: &mut Sim<E>, d: &ScrubDeployment, qid: QueryId) {
-    sim.inject(
-        d.server,
-        d.server,
-        E::wrap(ScrubMsg::Cancel { query_id: qid }),
-    );
+    crate::client::QueryHandle::from_id(d, qid).stop(sim);
 }
 
 /// Fetch a query's record (rows, summary, state) from the server node.
+#[deprecated(
+    since = "0.2.0",
+    note = "use QueryHandle::record / QueryHandle::results"
+)]
 pub fn results<'a, E: ScrubEnvelope>(
     sim: &'a Sim<E>,
     d: &ScrubDeployment,
@@ -178,6 +186,7 @@ pub fn results<'a, E: ScrubEnvelope>(
 }
 
 /// Rejection reasons recorded by the server (submission order).
+#[deprecated(since = "0.2.0", note = "use ScrubClient::rejections")]
 pub fn rejections<'a, E: ScrubEnvelope>(
     sim: &'a Sim<E>,
     d: &ScrubDeployment,

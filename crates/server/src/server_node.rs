@@ -15,6 +15,7 @@ use scrub_core::ql::ast::StartSpec;
 use scrub_core::ql::parser::parse_query;
 use scrub_core::schema::SchemaRegistry;
 use scrub_core::target::{sample_indices, HostInfo};
+use scrub_obs::{Counter, MetricsSnapshot, Registry};
 use scrub_simnet::{Context, Node, NodeId, SimDuration};
 
 use crate::msg::{
@@ -68,6 +69,9 @@ pub struct QueryServerNode<E: ScrubEnvelope> {
     centrals: Vec<NodeId>,
     /// Application hosts (node id + target attributes).
     inventory: Vec<(NodeId, HostInfo)>,
+    /// Scrub's own nodes (ScrubCentral); targeted only by queries that
+    /// name them explicitly — self-observability queries.
+    meta_inventory: Vec<(NodeId, HostInfo)>,
     next_qid: u64,
     queries: HashMap<QueryId, QueryRecord>,
     /// Queries rejected at submission, with reasons (for tests/inspection).
@@ -76,6 +80,16 @@ pub struct QueryServerNode<E: ScrubEnvelope> {
     /// once they learn the server's address from their first
     /// `InstallQuery`.
     heartbeats: HashMap<NodeId, i64>,
+    /// Lifecycle metrics.
+    obs: Registry,
+    m_submitted: Arc<Counter>,
+    m_accepted: Arc<Counter>,
+    m_rejected: Arc<Counter>,
+    m_dispatched: Arc<Counter>,
+    m_completed: Arc<Counter>,
+    m_cancelled: Arc<Counter>,
+    m_rows: Arc<Counter>,
+    m_heartbeats: Arc<Counter>,
     _marker: PhantomData<fn(E)>,
 }
 
@@ -101,17 +115,49 @@ impl<E: ScrubEnvelope> QueryServerNode<E> {
         inventory: Vec<(NodeId, HostInfo)>,
     ) -> Self {
         assert!(!centrals.is_empty(), "need at least one ScrubCentral");
+        let obs = Registry::new();
+        let m_submitted = obs.counter("server.queries_submitted");
+        let m_accepted = obs.counter("server.queries_accepted");
+        let m_rejected = obs.counter("server.queries_rejected");
+        let m_dispatched = obs.counter("server.queries_dispatched");
+        let m_completed = obs.counter("server.queries_completed");
+        let m_cancelled = obs.counter("server.queries_cancelled");
+        let m_rows = obs.counter("server.rows_received");
+        let m_heartbeats = obs.counter("server.heartbeats_received");
         QueryServerNode {
             schema_registry,
             config,
             centrals,
             inventory,
+            meta_inventory: Vec::new(),
             next_qid: 1,
             queries: HashMap::new(),
             rejected: Vec::new(),
             heartbeats: HashMap::new(),
+            obs,
+            m_submitted,
+            m_accepted,
+            m_rejected,
+            m_dispatched,
+            m_completed,
+            m_cancelled,
+            m_rows,
+            m_heartbeats,
             _marker: PhantomData,
         }
+    }
+
+    /// Install the inventory of Scrub's own nodes. These resolve as
+    /// targets only for queries that name a Scrub service or host
+    /// explicitly (`@[Service in ScrubCentral]`); `@[all]` and other
+    /// blanket selectors keep matching application hosts only.
+    pub fn set_meta_inventory(&mut self, meta_inventory: Vec<(NodeId, HostInfo)>) {
+        self.meta_inventory = meta_inventory;
+    }
+
+    /// Lifecycle metrics snapshot at sim time `at_ms`.
+    pub fn metrics(&self, at_ms: i64) -> MetricsSnapshot {
+        self.obs.snapshot(at_ms)
     }
 
     /// Time (ms) of the last heartbeat received from `host`, if any.
@@ -190,15 +236,25 @@ impl<E: ScrubEnvelope> QueryServerNode<E> {
             .filter(|(_, info)| info.matches(&spec.target))
             .map(|(id, _)| *id)
             .collect();
-        if matching.is_empty() {
+        // Scrub's own nodes join the target set only when the clause names
+        // them explicitly; they are never host-sampled (there are few of
+        // them, and a meta query wants them all).
+        let meta_matching: Vec<NodeId> = self
+            .meta_inventory
+            .iter()
+            .filter(|(_, info)| info.matches(&spec.target) && info.explicitly_named(&spec.target))
+            .map(|(id, _)| *id)
+            .collect();
+        if matching.is_empty() && meta_matching.is_empty() {
             return Err(scrub_core::error::ScrubError::Target(
                 "target clause matches no hosts".into(),
             ));
         }
         let chosen = sample_indices(matching.len(), spec.sample.host_fraction, qid.0);
-        let hosts: Vec<NodeId> = chosen.iter().map(|&i| matching[i]).collect();
+        let mut hosts: Vec<NodeId> = chosen.iter().map(|&i| matching[i]).collect();
+        hosts.extend(meta_matching.iter().copied());
         compiled.central.host_info = HostSampleInfo {
-            matching: matching.len(),
+            matching: matching.len() + meta_matching.len(),
             selected: hosts.len(),
         };
 
@@ -209,7 +265,7 @@ impl<E: ScrubEnvelope> QueryServerNode<E> {
                 src: src.to_string(),
                 compiled,
                 hosts,
-                matching_hosts: matching.len(),
+                matching_hosts: matching.len() + meta_matching.len(),
                 state: QueryState::Scheduled,
                 rows: Vec::new(),
                 summary: None,
@@ -228,6 +284,7 @@ impl<E: ScrubEnvelope> QueryServerNode<E> {
             return; // cancelled before its start time
         }
         rec.state = QueryState::Running;
+        self.m_dispatched.inc();
         let central = self.centrals[(qid.0 as usize) % self.centrals.len()];
         for &host in &rec.hosts {
             ctx.send(
@@ -277,42 +334,51 @@ impl<E: ScrubEnvelope> Node<E> for QueryServerNode<E> {
             return;
         };
         match scrub {
-            ScrubMsg::Submit { src } => match self.admit(&src) {
-                Ok(qid) => {
-                    if let Some(rec) = self.queries.get_mut(&qid) {
-                        rec.client = from;
-                    }
-                    if from != ctx.self_id {
-                        ctx.send(from, E::wrap(ScrubMsg::Accepted { query_id: qid }));
-                    }
-                    // honor the query span's start spec
-                    let delay = match self.queries[&qid].compiled.spec.start {
-                        StartSpec::Now => SimDuration::ZERO,
-                        StartSpec::In(ms) => SimDuration::from_ms(ms.max(0)),
-                        StartSpec::At(t_ms) => {
-                            SimDuration::from_ms((t_ms - ctx.now.as_ms()).max(0))
+            ScrubMsg::Submit { src } => {
+                self.m_submitted.inc();
+                match self.admit(&src) {
+                    Ok(qid) => {
+                        self.m_accepted.inc();
+                        if let Some(rec) = self.queries.get_mut(&qid) {
+                            rec.client = from;
                         }
-                    };
-                    ctx.set_timer(delay, timer_query_start(qid));
-                }
-                Err(e) => {
-                    self.rejected.push((src, e.to_string()));
-                    if from != ctx.self_id {
-                        ctx.send(
-                            from,
-                            E::wrap(ScrubMsg::Rejected {
-                                reason: e.to_string(),
-                            }),
-                        );
+                        if from != ctx.self_id {
+                            ctx.send(from, E::wrap(ScrubMsg::Accepted { query_id: qid }));
+                        }
+                        // honor the query span's start spec
+                        let delay = match self.queries[&qid].compiled.spec.start {
+                            StartSpec::Now => SimDuration::ZERO,
+                            StartSpec::In(ms) => SimDuration::from_ms(ms.max(0)),
+                            StartSpec::At(t_ms) => {
+                                SimDuration::from_ms((t_ms - ctx.now.as_ms()).max(0))
+                            }
+                        };
+                        ctx.set_timer(delay, timer_query_start(qid));
+                    }
+                    Err(e) => {
+                        self.m_rejected.inc();
+                        self.rejected.push((src, e.to_string()));
+                        if from != ctx.self_id {
+                            ctx.send(
+                                from,
+                                E::wrap(ScrubMsg::Rejected {
+                                    reason: e.to_string(),
+                                }),
+                            );
+                        }
                     }
                 }
-            },
+            }
             ScrubMsg::Cancel { query_id } => {
                 let state = self.queries.get(&query_id).map(|r| r.state);
                 match state {
-                    Some(QueryState::Running) => self.stop(ctx, query_id),
+                    Some(QueryState::Running) => {
+                        self.m_cancelled.inc();
+                        self.stop(ctx, query_id);
+                    }
                     Some(QueryState::Scheduled) => {
                         // not yet dispatched: mark done with no results
+                        self.m_cancelled.inc();
                         if let Some(rec) = self.queries.get_mut(&query_id) {
                             rec.state = QueryState::Done;
                         }
@@ -326,6 +392,7 @@ impl<E: ScrubEnvelope> Node<E> for QueryServerNode<E> {
                     if let Some(rec) = self.queries.get_mut(&row.query_id) {
                         rec.first_rows_at_ms.get_or_insert(now_ms);
                         rec.rows.push(row);
+                        self.m_rows.inc();
                     }
                 }
             }
@@ -333,10 +400,12 @@ impl<E: ScrubEnvelope> Node<E> for QueryServerNode<E> {
                 if let Some(rec) = self.queries.get_mut(&summary.query_id) {
                     rec.summary = Some(summary);
                     rec.state = QueryState::Done;
+                    self.m_completed.inc();
                 }
             }
             ScrubMsg::Heartbeat { .. } => {
                 self.heartbeats.insert(from, ctx.now.as_ms());
+                self.m_heartbeats.inc();
             }
             _ => {}
         }

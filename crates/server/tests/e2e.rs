@@ -9,7 +9,7 @@ use scrub_core::config::ScrubConfig;
 use scrub_core::event::RequestId;
 use scrub_core::schema::{EventSchema, EventTypeId, FieldDef, FieldType, SchemaRegistry};
 use scrub_core::value::Value;
-use scrub_server::{rejections, results, submit_query, AgentHarness, QueryState, ScrubMsg};
+use scrub_server::{AgentHarness, QueryState, ScrubClient, ScrubMsg};
 use scrub_simnet::{Context, Node, NodeId, NodeMeta, Sim, SimDuration, SimTime, Topology};
 
 /// An application host emitting one `bid` event every millisecond.
@@ -79,7 +79,8 @@ fn schema_registry() -> Arc<SchemaRegistry> {
 fn cluster(n_hosts: usize) -> (Sim<ScrubMsg>, scrub_server::ScrubDeployment) {
     let mut sim: Sim<ScrubMsg> = Sim::new(Topology::default(), 42);
     let config = ScrubConfig::default();
-    let central = scrub_server::deploy_central(&mut sim, config.clone(), "DC1");
+    let reg = schema_registry();
+    let central = scrub_server::deploy_central(&mut sim, &reg, config.clone(), "DC1");
     for i in 0..n_hosts {
         let name = format!("bid-{i}");
         let dc = if i % 2 == 0 { "DC1" } else { "DC2" };
@@ -94,21 +95,22 @@ fn cluster(n_hosts: usize) -> (Sim<ScrubMsg>, scrub_server::ScrubDeployment) {
             }),
         );
     }
-    let d = scrub_server::deploy_server(&mut sim, schema_registry(), config, central, "DC1");
+    let d = scrub_server::deploy_server(&mut sim, reg, config, central, "DC1");
     (sim, d)
 }
 
 #[test]
 fn grouped_count_end_to_end() {
     let (mut sim, d) = cluster(4);
-    let qid = submit_query(
-        &mut sim,
-        &d,
-        "select bid.user_id, COUNT(*) from bid \
+    let qid = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select bid.user_id, COUNT(*) from bid \
          @[Service in BidServers] group by bid.user_id window 10 s duration 30 s",
-    );
+        )
+        .expect("query accepted");
     sim.run_until(SimTime::from_secs(60));
-    let rec = results(&sim, &d, qid).expect("query record");
+    let rec = qid.record(&sim).expect("query record");
     assert_eq!(rec.state, QueryState::Done);
     assert_eq!(rec.hosts.len(), 4);
     assert!(!rec.rows.is_empty(), "no rows produced");
@@ -132,14 +134,15 @@ fn grouped_count_end_to_end() {
 #[test]
 fn where_clause_filters_on_host() {
     let (mut sim, d) = cluster(2);
-    let qid = submit_query(
-        &mut sim,
-        &d,
-        "select COUNT(*) from bid where bid.bid_price >= 1.3 \
+    let qid = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select COUNT(*) from bid where bid.bid_price >= 1.3 \
          @[Service in BidServers] window 10 s duration 20 s",
-    );
+        )
+        .expect("query accepted");
     sim.run_until(SimTime::from_secs(45));
-    let rec = results(&sim, &d, qid).unwrap();
+    let rec = qid.record(&sim).unwrap();
     assert_eq!(rec.state, QueryState::Done);
     // prices cycle 0.5..1.4 by 0.1; >= 1.3 keeps 2 of 10 events
     let total: i64 = rec.rows.iter().map(|r| r.values[0].as_i64().unwrap()).sum();
@@ -152,14 +155,15 @@ fn where_clause_filters_on_host() {
 #[test]
 fn target_clause_limits_hosts() {
     let (mut sim, d) = cluster(4);
-    let qid = submit_query(
-        &mut sim,
-        &d,
-        "select COUNT(*) from bid @[Service in BidServers and DC = DC1] \
+    let qid = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select COUNT(*) from bid @[Service in BidServers and DC = DC1] \
          window 10 s duration 20 s",
-    );
+        )
+        .expect("query accepted");
     sim.run_until(SimTime::from_secs(45));
-    let rec = results(&sim, &d, qid).unwrap();
+    let rec = qid.record(&sim).unwrap();
     // hosts 0 and 2 are in DC1
     assert_eq!(rec.hosts.len(), 2);
     assert_eq!(rec.matching_hosts, 2);
@@ -169,23 +173,28 @@ fn target_clause_limits_hosts() {
 #[test]
 fn single_host_target() {
     let (mut sim, d) = cluster(3);
-    let qid = submit_query(
-        &mut sim,
-        &d,
-        "select COUNT(*) from bid @[Server = 'bid-1'] window 10 s duration 20 s",
-    );
+    let qid = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select COUNT(*) from bid @[Server = 'bid-1'] window 10 s duration 20 s",
+        )
+        .expect("query accepted");
     sim.run_until(SimTime::from_secs(45));
-    let rec = results(&sim, &d, qid).unwrap();
+    let rec = qid.record(&sim).unwrap();
     assert_eq!(rec.hosts.len(), 1);
 }
 
 #[test]
 fn bad_query_rejected_with_reason() {
     let (mut sim, d) = cluster(1);
-    let qid = submit_query(&mut sim, &d, "select NOPE(bid.x) from bid");
-    sim.run_until(SimTime::from_secs(2));
-    assert!(results(&sim, &d, qid).is_none());
-    let rej = rejections(&sim, &d);
+    let err = ScrubClient::new(&d)
+        .submit(&mut sim, "select NOPE(bid.x) from bid")
+        .expect_err("bad query must be rejected");
+    assert!(
+        matches!(&err, scrub_core::error::ScrubError::Rejected(r) if r.contains("unknown function")),
+        "{err}"
+    );
+    let rej = ScrubClient::new(&d).rejections(&sim);
     assert_eq!(rej.len(), 1);
     assert!(rej[0].1.contains("unknown function"));
 }
@@ -193,21 +202,23 @@ fn bad_query_rejected_with_reason() {
 #[test]
 fn unknown_event_type_rejected() {
     let (mut sim, d) = cluster(1);
-    submit_query(&mut sim, &d, "select COUNT(*) from nonexistent");
-    sim.run_until(SimTime::from_secs(2));
-    assert_eq!(rejections(&sim, &d).len(), 1);
+    ScrubClient::new(&d)
+        .submit(&mut sim, "select COUNT(*) from nonexistent")
+        .expect_err("unknown event type must be rejected");
+    assert_eq!(ScrubClient::new(&d).rejections(&sim).len(), 1);
 }
 
 #[test]
 fn no_matching_hosts_rejected() {
     let (mut sim, d) = cluster(1);
-    submit_query(
-        &mut sim,
-        &d,
-        "select COUNT(*) from bid @[Service in WrongService]",
-    );
-    sim.run_until(SimTime::from_secs(2));
-    let rej = rejections(&sim, &d);
+    let err = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select COUNT(*) from bid @[Service in WrongService]",
+        )
+        .expect_err("unmatched target must be rejected");
+    assert!(err.to_string().contains("no hosts"), "{err}");
+    let rej = ScrubClient::new(&d).rejections(&sim);
     assert_eq!(rej.len(), 1);
     assert!(rej[0].1.contains("no hosts"));
 }
@@ -215,14 +226,15 @@ fn no_matching_hosts_rejected() {
 #[test]
 fn query_span_stops_collection() {
     let (mut sim, d) = cluster(1);
-    let qid = submit_query(
-        &mut sim,
-        &d,
-        "select COUNT(*) from bid @[all] window 10 s duration 20 s",
-    );
+    let qid = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select COUNT(*) from bid @[all] window 10 s duration 20 s",
+        )
+        .expect("query accepted");
     // run far past the query span: collection must have stopped at ~20s
     sim.run_until(SimTime::from_secs(120));
-    let rec = results(&sim, &d, qid).unwrap();
+    let rec = qid.record(&sim).unwrap();
     assert_eq!(rec.state, QueryState::Done);
     let max_window = rec.rows.iter().map(|r| r.window_start_ms).max().unwrap();
     assert!(
@@ -238,13 +250,14 @@ fn query_span_stops_collection() {
 #[test]
 fn delayed_start_honored() {
     let (mut sim, d) = cluster(1);
-    let qid = submit_query(
-        &mut sim,
-        &d,
-        "select COUNT(*) from bid @[all] window 10 s start in 30 s duration 10 s",
-    );
+    let qid = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select COUNT(*) from bid @[all] window 10 s start in 30 s duration 10 s",
+        )
+        .expect("query accepted");
     sim.run_until(SimTime::from_secs(90));
-    let rec = results(&sim, &d, qid).unwrap();
+    let rec = qid.record(&sim).unwrap();
     assert_eq!(rec.state, QueryState::Done);
     let min_window = rec.rows.iter().map(|r| r.window_start_ms).min().unwrap();
     assert!(min_window >= 30_000, "collected before start: {min_window}");
@@ -253,24 +266,27 @@ fn delayed_start_honored() {
 #[test]
 fn event_sampling_scales_estimates() {
     let (mut sim, d) = cluster(2);
-    let exact = submit_query(
-        &mut sim,
-        &d,
-        "select COUNT(*) from bid @[all] window 10 s duration 20 s",
-    );
-    let sampled = submit_query(
-        &mut sim,
-        &d,
-        "select COUNT(*) from bid @[all] window 10 s duration 20 s sample events 10%",
-    );
+    let exact = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select COUNT(*) from bid @[all] window 10 s duration 20 s",
+        )
+        .expect("query accepted");
+    let sampled = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select COUNT(*) from bid @[all] window 10 s duration 20 s sample events 10%",
+        )
+        .expect("query accepted");
     sim.run_until(SimTime::from_secs(60));
-    let exact_total: f64 = results(&sim, &d, exact)
+    let exact_total: f64 = exact
+        .record(&sim)
         .unwrap()
         .rows
         .iter()
         .map(|r| r.values[0].as_f64().unwrap())
         .sum();
-    let rec = results(&sim, &d, sampled).unwrap();
+    let rec = sampled.record(&sim).unwrap();
     let sampled_total: f64 = rec.rows.iter().map(|r| r.values[0].as_f64().unwrap()).sum();
     // scaled estimate should be within 2% of the exact count (scaling uses
     // the true matched/sampled ratio, so only window-edge effects remain)
@@ -284,24 +300,26 @@ fn event_sampling_scales_estimates() {
 #[test]
 fn concurrent_queries_are_isolated() {
     let (mut sim, d) = cluster(2);
-    let q1 = submit_query(
-        &mut sim,
-        &d,
-        "select COUNT(*) from bid @[all] window 10 s duration 20 s",
-    );
-    let q2 = submit_query(
-        &mut sim,
-        &d,
-        "select bid.user_id, COUNT(*) from bid @[all] group by bid.user_id \
+    let q1 = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select COUNT(*) from bid @[all] window 10 s duration 20 s",
+        )
+        .expect("query accepted");
+    let q2 = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select bid.user_id, COUNT(*) from bid @[all] group by bid.user_id \
          window 10 s duration 20 s",
-    );
+        )
+        .expect("query accepted");
     sim.run_until(SimTime::from_secs(60));
-    let r1 = results(&sim, &d, q1).unwrap();
-    let r2 = results(&sim, &d, q2).unwrap();
+    let r1 = q1.record(&sim).unwrap();
+    let r2 = q2.record(&sim).unwrap();
     assert_eq!(r1.state, QueryState::Done);
     assert_eq!(r2.state, QueryState::Done);
-    assert!(r1.rows.iter().all(|r| r.query_id == q1));
-    assert!(r2.rows.iter().all(|r| r.query_id == q2));
+    assert!(r1.rows.iter().all(|r| r.query_id == q1.id()));
+    assert!(r2.rows.iter().all(|r| r.query_id == q2.id()));
     assert_eq!(r1.rows[0].values.len(), 1);
     assert_eq!(r2.rows[0].values.len(), 2);
 }
@@ -309,14 +327,15 @@ fn concurrent_queries_are_isolated() {
 #[test]
 fn host_sampling_selects_subset() {
     let (mut sim, d) = cluster(10);
-    let qid = submit_query(
-        &mut sim,
-        &d,
-        "select COUNT(*) from bid @[Service in BidServers] sample hosts 30% \
+    let qid = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select COUNT(*) from bid @[Service in BidServers] sample hosts 30% \
          window 10 s duration 20 s",
-    );
+        )
+        .expect("query accepted");
     sim.run_until(SimTime::from_secs(60));
-    let rec = results(&sim, &d, qid).unwrap();
+    let rec = qid.record(&sim).unwrap();
     assert_eq!(rec.matching_hosts, 10);
     assert_eq!(rec.hosts.len(), 3);
     assert_eq!(rec.summary.as_ref().unwrap().hosts_reporting, 3);
@@ -339,16 +358,17 @@ fn host_sampling_selects_subset() {
 #[test]
 fn cancel_stops_collection_early() {
     let (mut sim, d) = cluster(1);
-    let qid = submit_query(
-        &mut sim,
-        &d,
-        "select COUNT(*) from bid @[all] window 10 s duration 10 m",
-    );
+    let qid = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select COUNT(*) from bid @[all] window 10 s duration 10 m",
+        )
+        .expect("query accepted");
     // let it run 25 s, then cancel — far before the 10 min span
     sim.run_until(SimTime::from_secs(25));
-    scrub_server::cancel_query(&mut sim, &d, qid);
+    qid.stop(&mut sim);
     sim.run_until(SimTime::from_secs(120));
-    let rec = results(&sim, &d, qid).unwrap();
+    let rec = qid.record(&sim).unwrap();
     assert_eq!(rec.state, QueryState::Done);
     let max_window = rec.rows.iter().map(|r| r.window_start_ms).max().unwrap();
     assert!(max_window <= 30_000, "collected after cancel: {max_window}");
@@ -367,14 +387,15 @@ fn cancel_stops_collection_early() {
 #[test]
 fn cancel_scheduled_query_never_dispatches() {
     let (mut sim, d) = cluster(1);
-    let qid = submit_query(
-        &mut sim,
-        &d,
-        "select COUNT(*) from bid @[all] start in 1 m duration 1 m",
-    );
-    scrub_server::cancel_query(&mut sim, &d, qid);
+    let qid = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select COUNT(*) from bid @[all] start in 1 m duration 1 m",
+        )
+        .expect("query accepted");
+    qid.stop(&mut sim);
     sim.run_until(SimTime::from_secs(240));
-    let rec = results(&sim, &d, qid).unwrap();
+    let rec = qid.record(&sim).unwrap();
     assert_eq!(rec.state, QueryState::Done);
     assert!(rec.rows.is_empty(), "cancelled-before-start query has rows");
 }
@@ -382,16 +403,17 @@ fn cancel_scheduled_query_never_dispatches() {
 #[test]
 fn cancel_after_done_is_harmless() {
     let (mut sim, d) = cluster(1);
-    let qid = submit_query(
-        &mut sim,
-        &d,
-        "select COUNT(*) from bid @[all] window 10 s duration 10 s",
-    );
+    let qid = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select COUNT(*) from bid @[all] window 10 s duration 10 s",
+        )
+        .expect("query accepted");
     sim.run_until(SimTime::from_secs(60));
-    let rows_before = results(&sim, &d, qid).unwrap().rows.len();
-    scrub_server::cancel_query(&mut sim, &d, qid);
+    let rows_before = qid.record(&sim).unwrap().rows.len();
+    qid.stop(&mut sim);
     sim.run_until(SimTime::from_secs(90));
-    let rec = results(&sim, &d, qid).unwrap();
+    let rec = qid.record(&sim).unwrap();
     assert_eq!(rec.state, QueryState::Done);
     assert_eq!(rec.rows.len(), rows_before);
 }
@@ -402,7 +424,8 @@ fn central_cluster_spreads_queries() {
 
     let mut sim: Sim<ScrubMsg> = Sim::new(scrub_simnet::Topology::default(), 42);
     let config = ScrubConfig::default();
-    let centrals = deploy_central_cluster(&mut sim, config.clone(), "DC1", 3);
+    let reg = schema_registry();
+    let centrals = deploy_central_cluster(&mut sim, &reg, config.clone(), "DC1", 3);
     for i in 0..2 {
         let name = format!("bid-{i}");
         let harness = AgentHarness::new(name.clone(), config.clone(), centrals[0]);
@@ -416,24 +439,25 @@ fn central_cluster_spreads_queries() {
             }),
         );
     }
-    let d = deploy_server_clustered(&mut sim, schema_registry(), config, centrals.clone(), "DC1");
+    let d = deploy_server_clustered(&mut sim, reg, config, centrals.clone(), "DC1");
 
     // three queries land on three different centrals (round-robin by id)
     let qids: Vec<_> = (0..3)
         .map(|_| {
-            submit_query(
-                &mut sim,
-                &d,
-                "select COUNT(*) from bid @[all] window 10 s duration 20 s",
-            )
+            ScrubClient::new(&d)
+                .submit(
+                    &mut sim,
+                    "select COUNT(*) from bid @[all] window 10 s duration 20 s",
+                )
+                .expect("query accepted")
         })
         .collect();
     sim.run_until(SimTime::from_secs(60));
 
     let mut totals = Vec::new();
     for &qid in &qids {
-        let rec = results(&sim, &d, qid).unwrap();
-        assert_eq!(rec.state, QueryState::Done, "query {qid} unfinished");
+        let rec = qid.record(&sim).unwrap();
+        assert_eq!(rec.state, QueryState::Done, "query {} unfinished", qid.id());
         let total: i64 = rec.rows.iter().map(|r| r.values[0].as_i64().unwrap()).sum();
         totals.push(total);
     }

@@ -12,7 +12,6 @@
 
 use scrub::prelude::*;
 use scrub::scenario;
-use scrub_core::plan::QueryId;
 
 fn main() {
     let mut p = adplatform::build_platform(scenario::ab_test());
@@ -28,8 +27,12 @@ fn main() {
     let a_hosts = host_list(&p.pres_hosts_for_model("A"));
     let b_hosts = host_list(&p.pres_hosts_for_model("B"));
 
-    let mut submit = |src: String| submit_query(&mut p.sim, &p.scrub, &src);
-    let mut q = |event: &str, select: &str, hosts: &str| -> QueryId {
+    let mut submit = |src: String| {
+        ScrubClient::new(&p.scrub)
+            .submit(&mut p.sim, &src)
+            .expect("query accepted")
+    };
+    let mut q = |event: &str, select: &str, hosts: &str| -> QueryHandle {
         submit(format!(
             "Select {select} from {event} \
              where {event}.line_item_id = {li} \
@@ -49,13 +52,13 @@ fn main() {
     println!("running the A/B experiment for 11 simulated minutes...");
     p.sim.run_until(SimTime::from_secs(12 * 60));
 
-    let total = |qid| -> f64 {
-        results(&p.sim, &p.scrub, qid)
+    let total = |qid: QueryHandle| -> f64 {
+        qid.record(&p.sim)
             .map(|r| r.rows.iter().filter_map(|row| row.values[0].as_f64()).sum())
             .unwrap_or(0.0)
     };
-    let avg = |qid| -> f64 {
-        results(&p.sim, &p.scrub, qid)
+    let avg = |qid: QueryHandle| -> f64 {
+        qid.record(&p.sim)
             .map(|r| {
                 let vals: Vec<f64> = r
                     .rows

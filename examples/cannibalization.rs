@@ -29,23 +29,24 @@ fn main() {
 
     // Figure 19: join auctions with the impressions they produced, keep
     // the auctions λ participated in, group by the winning line item.
-    let qid = submit_query(
-        &mut p.sim,
-        &p.scrub,
-        &format!(
-            "Select impression.line_item_id, COUNT(*), AVG(auction.winner_price) \
+    let qid = ScrubClient::new(&p.scrub)
+        .submit(
+            &mut p.sim,
+            &format!(
+                "Select impression.line_item_id, COUNT(*), AVG(auction.winner_price) \
              from auction, impression \
              where contains(auction.line_item_ids, {lambda}) \
              @[Service in AdServers or Service in PresentationServers] \
              group by impression.line_item_id \
              window 1 m duration 8 m"
-        ),
-    );
+            ),
+        )
+        .expect("query accepted");
 
     println!("investigating why line item λ={lambda} never serves...");
     p.sim.run_until(SimTime::from_secs(10 * 60));
 
-    let rec = results(&p.sim, &p.scrub, qid).expect("accepted");
+    let rec = qid.record(&p.sim).expect("accepted");
 
     // Figure 18a/18b: per line item, wins and average winning price.
     let mut wins: BTreeMap<i64, (i64, f64, i64)> = BTreeMap::new();

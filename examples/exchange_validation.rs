@@ -17,21 +17,22 @@ use scrub::scenario;
 fn main() {
     let mut p = adplatform::build_platform(scenario::new_exchange());
 
-    let qid = submit_query(
-        &mut p.sim,
-        &p.scrub,
-        "select impression.exchange_id, COUNT(*) \
+    let qid = ScrubClient::new(&p.scrub)
+        .submit(
+            &mut p.sim,
+            "select impression.exchange_id, COUNT(*) \
          from impression \
          @[Service in PresentationServers] \
          sample hosts 50% events 10% \
          group by impression.exchange_id \
          window 10 s duration 11 m",
-    );
+        )
+        .expect("query accepted");
 
     println!("running the platform through the exchange-D launch (t=550s)...");
     p.sim.run_until(SimTime::from_secs(12 * 60));
 
-    let rec = results(&p.sim, &p.scrub, qid).expect("accepted");
+    let rec = qid.record(&p.sim).expect("accepted");
 
     // Figure 12: impressions per exchange over time.
     let mut series: BTreeMap<i64, [f64; 4]> = BTreeMap::new();

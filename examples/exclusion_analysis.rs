@@ -21,23 +21,24 @@ fn main() {
 
     // Narrow to exchange 0 via the bid side, line item via the exclusion
     // side; group by reason — the cross-service equi-join of §8.4.
-    let qid = submit_query(
-        &mut p.sim,
-        &p.scrub,
-        &format!(
-            "Select exclusion.reason, COUNT(*) \
+    let qid = ScrubClient::new(&p.scrub)
+        .submit(
+            &mut p.sim,
+            &format!(
+                "Select exclusion.reason, COUNT(*) \
              from bid, exclusion \
              where exclusion.line_item_id = {li} and bid.exchange_id = 0 \
              @[Service in BidServers or Service in AdServers] \
              group by exclusion.reason \
              window 1 m duration 6 m"
-        ),
-    );
+            ),
+        )
+        .expect("query accepted");
 
     println!("why does line item {li} not serve? (joining bid x exclusion)...");
     p.sim.run_until(SimTime::from_secs(8 * 60));
 
-    let rec = results(&p.sim, &p.scrub, qid).expect("accepted");
+    let rec = qid.record(&p.sim).expect("accepted");
     let mut histogram: BTreeMap<String, i64> = BTreeMap::new();
     for row in &rec.rows {
         let reason = row.values[0].as_str().unwrap_or("?").to_string();

@@ -18,23 +18,24 @@ fn main() {
     let li = scenario::CAPPED_LINE_ITEM;
     let mut p = adplatform::build_platform(scenario::freq_cap());
 
-    let qid = submit_query(
-        &mut p.sim,
-        &p.scrub,
-        &format!(
-            "Select impression.user_id, COUNT(*) \
+    let qid = ScrubClient::new(&p.scrub)
+        .submit(
+            &mut p.sim,
+            &format!(
+                "Select impression.user_id, COUNT(*) \
              from impression \
              where impression.line_item_id = {li} \
              @[Service in PresentationServers] \
              group by impression.user_id \
              window 1 d duration 10 m"
-        ),
-    );
+            ),
+        )
+        .expect("query accepted");
 
     println!("customer reports users see the capped ad more than once/day...");
     p.sim.run_until(SimTime::from_secs(12 * 60));
 
-    let rec = results(&p.sim, &p.scrub, qid).expect("accepted");
+    let rec = qid.record(&p.sim).expect("accepted");
     // A count slightly above the cap can be mere replication lag between
     // the ProfileStore and the AdServers' cap check; a count far above it
     // means the user's frequency count is not rising at all.

@@ -73,7 +73,7 @@ fn main() {
 
     // 2. Build a simulated cluster: 3 app hosts + a Scrub deployment.
     let mut sim: Sim<ScrubMsg> = Sim::new(Topology::default(), 1);
-    let central = deploy_central(&mut sim, ScrubConfig::default(), "DC1");
+    let central = deploy_central(&mut sim, &registry, ScrubConfig::default(), "DC1");
     for i in 0..3 {
         let name = format!("web-{i}");
         let harness = AgentHarness::new(name.clone(), ScrubConfig::default(), central);
@@ -85,19 +85,20 @@ fn main() {
     let scrub = deploy_server(&mut sim, registry, ScrubConfig::default(), central, "DC1");
 
     // 3. A troubleshooter submits a ScrubQL query.
-    let qid = submit_query(
-        &mut sim,
-        &scrub,
-        "select request.endpoint, COUNT(*), AVG(request.latency_ms) \
+    let qid = ScrubClient::new(&scrub)
+        .submit(
+            &mut sim,
+            "select request.endpoint, COUNT(*), AVG(request.latency_ms) \
          from request \
          @[Service in WebServers] \
          group by request.endpoint \
          window 5 s duration 20 s",
-    );
+        )
+        .expect("query accepted");
 
     // 4. Run the cluster and read the windowed results.
     sim.run_until(SimTime::from_secs(40));
-    let record = results(&sim, &scrub, qid).expect("query accepted");
+    let record = qid.record(&sim).expect("query accepted");
     println!("query state: {:?}", record.state);
     println!("window_start\tendpoint\tcount\tavg_latency");
     for row in &record.rows {

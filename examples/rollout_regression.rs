@@ -32,14 +32,15 @@ fn main() {
     let new_hosts = quote(&p.adserver_hosts_for_rollout(true));
 
     let mut q = |hosts: &str| {
-        submit_query(
-            &mut p.sim,
-            &p.scrub,
-            &format!(
-                "select AVG(auction.winner_price) from auction \
+        ScrubClient::new(&p.scrub)
+            .submit(
+                &mut p.sim,
+                &format!(
+                    "select AVG(auction.winner_price) from auction \
                  @[Servers in ({hosts})] window 30 s duration 5 m"
-            ),
-        )
+                ),
+            )
+            .expect("query accepted")
     };
     let q_old = q(&old_hosts);
     let q_new = q(&new_hosts);
@@ -47,8 +48,8 @@ fn main() {
     println!("rollout hits half the AdServers at t=120s; watching prices...");
     p.sim.run_until(SimTime::from_secs(6 * 60));
 
-    let series = |qid| -> Vec<(i64, f64)> {
-        results(&p.sim, &p.scrub, qid)
+    let series = |qid: QueryHandle| -> Vec<(i64, f64)> {
+        qid.record(&p.sim)
             .map(|r| {
                 r.rows
                     .iter()

@@ -22,22 +22,23 @@ fn main() {
 
     // Figure 9, verbatim structure: one BidServer, grouped counts.
     let host = p.sim.metas()[p.bidservers[0].0 as usize].name.clone();
-    let qid = submit_query(
-        &mut p.sim,
-        &p.scrub,
-        &format!(
-            "Select bid.user_id, COUNT(*) \
+    let qid = ScrubClient::new(&p.scrub)
+        .submit(
+            &mut p.sim,
+            &format!(
+                "Select bid.user_id, COUNT(*) \
              from bid \
              @[Service in BidServers and Server = '{host}'] \
              group by bid.user_id \
              window 10 s duration 8 m"
-        ),
-    );
+            ),
+        )
+        .expect("query accepted");
 
     println!("running the bidding platform for 9 simulated minutes...");
     p.sim.run_until(SimTime::from_secs(9 * 60));
 
-    let rec = results(&p.sim, &p.scrub, qid).expect("accepted");
+    let rec = qid.record(&p.sim).expect("accepted");
     println!("query finished: {:?}, {} rows", rec.state, rec.rows.len());
 
     // Figure 10's shape: per window, the distribution of requests/user.

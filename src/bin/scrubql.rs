@@ -13,11 +13,16 @@
 //!
 //! Commands: a ScrubQL query (terminated by a newline), `explain <query>`,
 //! `faults ...` (live fault injection: drop rates, partitions, host
-//! kill/revive), `\stats`, `\events`, `\hosts`, `\help`, `\quit`.
+//! kill/revive), `stats` (platform + Scrub self-observability metrics),
+//! `profile <qid>` (a query's execution profile), `\events`, `\hosts`,
+//! `\help`, `\quit`.
 
 use std::io::{BufRead, Write};
 
+use adplatform::PlatformMsg;
 use scrub::prelude::*;
+use scrub::server::CentralNode;
+use scrub_core::error::ScrubError;
 use scrub_core::plan::{compile, QueryId};
 
 fn main() {
@@ -85,12 +90,13 @@ fn main() {
                      faults kill <host> [secs]         crash a host (restart after secs if given)\n  \
                      faults revive <host>              bring a killed host back up now\n  \
                      (selectors: *, host:NAME, service:NAME, dc:NAME; bare word = host)\n  \
-                     \\stats            platform + scrub statistics\n  \
+                     stats             platform statistics + scrub self-observability metrics\n  \
+                     profile <qid>     a query's execution profile (taps, sheds, bytes, windows)\n  \
                      \\events           event types and schemas\n  \
                      \\hosts            host inventory\n  \\quit"
                 );
             }
-            "\\stats" => print_stats(&p),
+            "\\stats" | "stats" => print_stats(&p),
             "\\events" => {
                 for name in p.registry.names() {
                     let (_, schema) = p.registry.schema_by_name(&name).expect("listed");
@@ -105,6 +111,18 @@ fn main() {
             "\\hosts" => {
                 for m in p.sim.metas() {
                     println!("{}\t{}\t{}", m.name, m.service, m.dc);
+                }
+            }
+            other if other == "profile" || other.starts_with("profile ") => {
+                match other
+                    .split_whitespace()
+                    .nth(1)
+                    .and_then(|w| w.parse::<u64>().ok())
+                {
+                    Some(qid) => print_profile(&p, QueryId(qid)),
+                    None => {
+                        println!("usage: profile <qid> (query ids are printed when a query runs)")
+                    }
                 }
             }
             other if other == "faults" || other.starts_with("faults ") => {
@@ -243,26 +261,31 @@ fn faults_cmd(p: &mut Platform, args: &[&str]) {
 }
 
 fn run_query(p: &mut Platform, src: &str) {
-    let qid = submit_query(&mut p.sim, &p.scrub, src);
-    if results(&p.sim, &p.scrub, qid).is_none() {
-        if let Some((_, reason)) = scrub::server::rejections(&p.sim, &p.scrub).last() {
+    let client = ScrubClient::new(&p.scrub);
+    let query = match client.submit(&mut p.sim, src) {
+        Ok(q) => q,
+        Err(ScrubError::Rejected(reason)) => {
             println!("rejected: {reason}");
+            return;
         }
-        return;
-    }
+        Err(e) => {
+            println!("error: {e}");
+            return;
+        }
+    };
     // advance virtual time until the query completes (span + drain)
     let deadline = p.sim.now() + SimDuration::from_secs(3 * 3600);
     while p.sim.now() < deadline {
         let step_to = p.sim.now() + SimDuration::from_secs(5);
         p.sim.run_until(step_to);
-        let state = results(&p.sim, &p.scrub, qid).map(|r| r.state);
-        if state == Some(QueryState::Done) {
+        if query.state(&p.sim) == Some(QueryState::Done) {
             break;
         }
     }
-    let rec = results(&p.sim, &p.scrub, qid).expect("record exists");
+    let rec = query.record(&p.sim).expect("record exists");
     println!(
-        "-- query {qid} {:?} at virtual t={:.0}s, {} row(s)",
+        "-- query {} {:?} at virtual t={:.0}s, {} row(s)",
+        query.id(),
         rec.state,
         p.sim.now().as_secs_f64(),
         rec.rows.len()
@@ -292,6 +315,56 @@ fn run_query(p: &mut Platform, src: &str) {
             }
         }
     }
+    println!(
+        "-- profile {} shows this query's execution profile",
+        query.id()
+    );
+}
+
+/// `profile <qid>`: the per-query execution profile ScrubCentral kept —
+/// per-host taps/selection/shedding, first-sent vs retransmitted bytes,
+/// window accounting and ingest latency.
+fn print_profile(p: &Platform, qid: QueryId) {
+    let handle = QueryHandle::from_id(&p.scrub, qid);
+    let Some(prof) = handle.profile(&p.sim) else {
+        println!("no profile for query {qid} (unknown id, or it never reached ScrubCentral)");
+        return;
+    };
+    println!(
+        "query {}: {} batches ingested ({} duplicate, {} acked), {} rows emitted",
+        qid, prof.batches_ingested, prof.batches_duplicate, prof.batches_acked, prof.rows_emitted
+    );
+    println!(
+        "bytes: {} first-sent, {} retransmitted",
+        prof.bytes_first_sent, prof.bytes_retransmitted
+    );
+    println!(
+        "windows: {} opened, {} closed, {} degraded; {} join-state rows held",
+        prof.windows_opened, prof.windows_closed, prof.windows_degraded, prof.join_rows_held
+    );
+    let lat = &prof.ingest_latency_ms;
+    if lat.count > 0 {
+        println!(
+            "ingest latency: p50 {} ms, p99 {} ms over {} batches",
+            lat.p50().unwrap_or(0),
+            lat.p99().unwrap_or(0),
+            lat.count
+        );
+    }
+    println!("host\tevents\ttapped\tselected\tshed\tbatches\tretx\tbytes\tretx_bytes");
+    for (host, h) in &prof.hosts {
+        println!(
+            "{host}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            h.events,
+            h.tapped,
+            h.selected,
+            h.shed,
+            h.batches,
+            h.retransmitted_batches,
+            h.bytes_first_sent,
+            h.bytes_retransmitted
+        );
+    }
 }
 
 fn print_stats(p: &Platform) {
@@ -317,4 +390,35 @@ fn print_stats(p: &Platform) {
         p.sim.traffic().cross_dc_bytes(),
         p.sim.traffic().total_messages()
     );
+
+    // Scrub's own metrics (the scrub-obs registries on the server and
+    // central nodes).
+    let at_ms = p.sim.now().as_ms();
+    let mut snap = MetricsSnapshot::default();
+    if let Some(server) = p
+        .sim
+        .node_as::<scrub::server::QueryServerNode<PlatformMsg>>(p.scrub.server)
+    {
+        snap.merge(&server.metrics(at_ms));
+    }
+    if let Some(central) = p.sim.node_as::<CentralNode<PlatformMsg>>(p.scrub.central) {
+        snap.merge(&central.metrics(at_ms));
+    }
+    println!("scrub self-observability:");
+    for (name, v) in &snap.counters {
+        println!("  {name} = {v}");
+    }
+    for (name, v) in &snap.gauges {
+        println!("  {name} = {v}");
+    }
+    for (name, h) in &snap.histograms {
+        if h.count > 0 {
+            println!(
+                "  {name}: p50 {} p99 {} (n={})",
+                h.p50().unwrap_or(0),
+                h.p99().unwrap_or(0),
+                h.count
+            );
+        }
+    }
 }

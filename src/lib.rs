@@ -20,17 +20,22 @@
 //! let mut platform = build_platform(cfg);
 //!
 //! // Figure 9's query: count bid requests per user in 10 s windows.
-//! let qid = submit_query(
-//!     &mut platform.sim,
-//!     &platform.scrub,
-//!     "select bid.user_id, COUNT(*) from bid \
-//!      @[Service in BidServers] group by bid.user_id \
-//!      window 10 s duration 30 s",
-//! );
+//! let client = ScrubClient::new(&platform.scrub);
+//! let query = client
+//!     .submit(
+//!         &mut platform.sim,
+//!         "select bid.user_id, COUNT(*) from bid \
+//!          @[Service in BidServers] group by bid.user_id \
+//!          window 10 s duration 30 s",
+//!     )
+//!     .expect("query accepted");
 //! platform.sim.run_until(SimTime::from_secs(60));
 //!
-//! let record = results(&platform.sim, &platform.scrub, qid).unwrap();
-//! assert!(!record.rows.is_empty());
+//! assert!(!query.results(&platform.sim).is_empty());
+//! // Every query carries an execution profile: taps, sheds, bytes,
+//! // retransmissions, window accounting, ingest latency.
+//! let profile = query.profile(&platform.sim).expect("profile");
+//! assert!(profile.total_tapped() > 0);
 //! ```
 
 pub use adplatform;
@@ -38,6 +43,7 @@ pub use scrub_agent as agent;
 pub use scrub_baseline as baseline;
 pub use scrub_central as central;
 pub use scrub_core as core;
+pub use scrub_obs as obs;
 pub use scrub_server as server;
 pub use scrub_simnet as simnet;
 pub use scrub_sketch as sketch;
@@ -49,8 +55,9 @@ pub mod prelude {
     pub use adplatform::{build_platform, Platform, PlatformConfig};
     pub use scrub_central::{QuerySummary, ResultRow};
     pub use scrub_core::prelude::*;
+    pub use scrub_obs::{HostProfile, MetricsSnapshot, QueryProfile};
     pub use scrub_server::{
-        deploy_central, deploy_server, rejections, results, submit_query, AgentHarness, QueryState,
+        deploy_central, deploy_server, AgentHarness, QueryHandle, QueryState, ScrubClient,
         ScrubDeployment, ScrubEnvelope, ScrubMsg,
     };
     pub use scrub_simnet::{

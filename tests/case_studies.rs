@@ -5,7 +5,7 @@
 
 use scrub::prelude::*;
 use scrub::scenario;
-use scrub_server::results;
+use scrub_server::ScrubClient;
 
 #[test]
 fn spam_bots_detectable() {
@@ -13,16 +13,17 @@ fn spam_bots_detectable() {
     let bots = scenario::spam_bot_user_ids(&cfg);
     let mut p = adplatform::build_platform(cfg);
     let host = p.sim.metas()[p.bidservers[0].0 as usize].name.clone();
-    let qid = submit_query(
-        &mut p.sim,
-        &p.scrub,
-        &format!(
-            "Select bid.user_id, COUNT(*) from bid \
+    let qid = ScrubClient::new(&p.scrub)
+        .submit(
+            &mut p.sim,
+            &format!(
+                "Select bid.user_id, COUNT(*) from bid \
              @[Server = '{host}'] group by bid.user_id window 10 s duration 2 m"
-        ),
-    );
+            ),
+        )
+        .expect("query accepted");
     p.sim.run_until(SimTime::from_secs(150));
-    let rec = results(&p.sim, &p.scrub, qid).unwrap();
+    let rec = qid.record(&p.sim).unwrap();
     assert_eq!(rec.state, QueryState::Done);
     let mut max_human = 0i64;
     let mut max_bot = 0i64;
@@ -50,15 +51,16 @@ fn new_exchange_activation_visible() {
         }
     }
     let mut p = adplatform::build_platform(cfg);
-    let qid = submit_query(
-        &mut p.sim,
-        &p.scrub,
-        "select impression.exchange_id, COUNT(*) from impression \
+    let qid = ScrubClient::new(&p.scrub)
+        .submit(
+            &mut p.sim,
+            "select impression.exchange_id, COUNT(*) from impression \
          @[Service in PresentationServers] sample events 10% \
          group by impression.exchange_id window 10 s duration 2 m",
-    );
+        )
+        .expect("query accepted");
     p.sim.run_until(SimTime::from_secs(160));
-    let rec = results(&p.sim, &p.scrub, qid).unwrap();
+    let rec = qid.record(&p.sim).unwrap();
     let d_before: f64 = rec
         .rows
         .iter()
@@ -79,18 +81,19 @@ fn new_exchange_activation_visible() {
 fn cannibalized_line_item_never_wins() {
     let mut p = adplatform::build_platform(scenario::cannibalization());
     let lambda = scenario::LAMBDA_LINE_ITEM as i64;
-    let qid = submit_query(
-        &mut p.sim,
-        &p.scrub,
-        &format!(
-            "Select impression.line_item_id, COUNT(*) from auction, impression \
+    let qid = ScrubClient::new(&p.scrub)
+        .submit(
+            &mut p.sim,
+            &format!(
+                "Select impression.line_item_id, COUNT(*) from auction, impression \
              where contains(auction.line_item_ids, {lambda}) \
              @[Service in AdServers or Service in PresentationServers] \
              group by impression.line_item_id window 30 s duration 2 m"
-        ),
-    );
+            ),
+        )
+        .expect("query accepted");
     p.sim.run_until(SimTime::from_secs(160));
-    let rec = results(&p.sim, &p.scrub, qid).unwrap();
+    let rec = qid.record(&p.sim).unwrap();
     assert!(!rec.rows.is_empty(), "no auction-impression joins observed");
     let lambda_wins: i64 = rec
         .rows
@@ -105,18 +108,19 @@ fn cannibalized_line_item_never_wins() {
 fn corrupted_frequency_counts_detectable() {
     let mut p = adplatform::build_platform(scenario::freq_cap());
     let li = scenario::CAPPED_LINE_ITEM;
-    let qid = submit_query(
-        &mut p.sim,
-        &p.scrub,
-        &format!(
-            "Select impression.user_id, COUNT(*) from impression \
+    let qid = ScrubClient::new(&p.scrub)
+        .submit(
+            &mut p.sim,
+            &format!(
+                "Select impression.user_id, COUNT(*) from impression \
              where impression.line_item_id = {li} \
              @[Service in PresentationServers] \
              group by impression.user_id window 1 d duration 3 m"
-        ),
-    );
+            ),
+        )
+        .expect("query accepted");
     p.sim.run_until(SimTime::from_secs(240));
-    let rec = results(&p.sim, &p.scrub, qid).unwrap();
+    let rec = qid.record(&p.sim).unwrap();
     assert_eq!(rec.state, QueryState::Done);
     let gross: Vec<u64> = rec
         .rows
@@ -144,21 +148,22 @@ fn rollout_regression_detectable() {
     let old_hosts = quote(&p.adserver_hosts_for_rollout(false));
     let new_hosts = quote(&p.adserver_hosts_for_rollout(true));
     let mut q = |hosts: &str| {
-        submit_query(
-            &mut p.sim,
-            &p.scrub,
-            &format!(
-                "select AVG(auction.winner_price) from auction \
+        ScrubClient::new(&p.scrub)
+            .submit(
+                &mut p.sim,
+                &format!(
+                    "select AVG(auction.winner_price) from auction \
                  @[Servers in ({hosts})] window 30 s duration 4 m"
-            ),
-        )
+                ),
+            )
+            .expect("query accepted")
     };
     let q_old = q(&old_hosts);
     let q_new = q(&new_hosts);
     p.sim.run_until(SimTime::from_secs(5 * 60));
 
-    let avg_after = |qid| -> f64 {
-        let rec = results(&p.sim, &p.scrub, qid).unwrap();
+    let avg_after = |qid: QueryHandle| -> f64 {
+        let rec = qid.record(&p.sim).unwrap();
         let vals: Vec<f64> = rec
             .rows
             .iter()

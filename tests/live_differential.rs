@@ -149,7 +149,8 @@ proptest! {
     ) {
         let config = ScrubConfig::default();
         let mut sim: Sim<ScrubMsg> = Sim::new(Topology::default(), 1234);
-        let central = deploy_central(&mut sim, config.clone(), "DC1");
+        let reg = registry();
+        let central = deploy_central(&mut sim, &reg, config.clone(), "DC1");
         let mut all_events = Vec::new();
         for (h, raw) in [(0usize, &raw_a), (1, &raw_b)] {
             let mut events: Vec<Event> = raw
@@ -177,10 +178,12 @@ proptest! {
                 }),
             );
         }
-        let d = deploy_server(&mut sim, registry(), config.clone(), central, "DC1");
-        let qid = submit_query(&mut sim, &d, &src);
+        let d = deploy_server(&mut sim, reg, config.clone(), central, "DC1");
+        let qid = ScrubClient::new(&d)
+        .submit(&mut sim, &src)
+        .expect("query accepted");
         sim.run_until(SimTime::from_secs(180));
-        let rec = results(&sim, &d, qid).expect("query accepted");
+        let rec = qid.record(&sim).expect("query accepted");
         prop_assert_eq!(rec.state, QueryState::Done);
 
         let spec = parse_query(&src).unwrap();

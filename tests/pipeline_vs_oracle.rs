@@ -120,7 +120,8 @@ fn assert_live_equals_oracle(src: &str) {
     // ---- live ----
     let mut sim: Sim<ScrubMsg> = Sim::new(Topology::default(), 99);
     let config = ScrubConfig::default();
-    let central = deploy_central(&mut sim, config.clone(), "DC1");
+    let reg = registry();
+    let central = deploy_central(&mut sim, &reg, config.clone(), "DC1");
     let mut all_events = Vec::new();
     for h in 0..3 {
         let events = make_events(h);
@@ -139,10 +140,12 @@ fn assert_live_equals_oracle(src: &str) {
             }),
         );
     }
-    let d = deploy_server(&mut sim, registry(), config.clone(), central, "DC1");
-    let qid = submit_query(&mut sim, &d, src);
+    let d = deploy_server(&mut sim, reg, config.clone(), central, "DC1");
+    let qid = ScrubClient::new(&d)
+        .submit(&mut sim, src)
+        .expect("query accepted");
     sim.run_until(SimTime::from_secs(120));
-    let rec = results(&sim, &d, qid).expect("query accepted");
+    let rec = qid.record(&sim).expect("query accepted");
     assert_eq!(rec.state, QueryState::Done, "query did not finish");
 
     // ---- oracle ----

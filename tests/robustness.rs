@@ -61,7 +61,8 @@ fn burst_cluster(burst: u64, budget: u64) -> (Sim<ScrubMsg>, scrub_server::Scrub
     let mut config = ScrubConfig::default();
     config.agent_events_per_sec_budget = budget;
     let mut sim: Sim<ScrubMsg> = Sim::new(Topology::default(), 5);
-    let central = deploy_central(&mut sim, config.clone(), "DC1");
+    let reg = registry();
+    let central = deploy_central(&mut sim, &reg, config.clone(), "DC1");
     sim.add_node(
         NodeMeta::new("burst-0", "BurstServers", "DC1"),
         Box::new(BurstHost {
@@ -70,7 +71,7 @@ fn burst_cluster(burst: u64, budget: u64) -> (Sim<ScrubMsg>, scrub_server::Scrub
             emitted: 0,
         }),
     );
-    let d = deploy_server(&mut sim, registry(), config, central, "DC1");
+    let d = deploy_server(&mut sim, reg, config, central, "DC1");
     (sim, d)
 }
 
@@ -85,7 +86,8 @@ fn fault_cluster(
     Vec<scrub_simnet::NodeId>,
 ) {
     let mut sim: Sim<ScrubMsg> = Sim::new(Topology::default(), 5);
-    let central = deploy_central(&mut sim, config.clone(), "DC1");
+    let reg = registry();
+    let central = deploy_central(&mut sim, &reg, config.clone(), "DC1");
     let mut ids = Vec::new();
     for i in 0..hosts {
         let dc = if i % 2 == 0 { "DC1" } else { "DC2" };
@@ -99,7 +101,7 @@ fn fault_cluster(
             }),
         ));
     }
-    let d = deploy_server(&mut sim, registry(), config, central, "DC1");
+    let d = deploy_server(&mut sim, reg, config, central, "DC1");
     (sim, d, ids)
 }
 
@@ -115,11 +117,12 @@ fn message_drop_is_recovered_by_retransmission() {
     config.window_grace_ms = 5_000;
     config.host_grace_ms = 10_000;
     let (mut sim, d, ids) = fault_cluster(2, config);
-    let qid = submit_query(
-        &mut sim,
-        &d,
-        "select COUNT(*) from burst @[all] window 5 s duration 15 s",
-    );
+    let qid = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select COUNT(*) from burst @[all] window 5 s duration 15 s",
+        )
+        .expect("query accepted");
     sim.run_until(SimTime::from_ms(1_500));
     let agents = NodeSel::Service("BurstServers".into());
     let central = NodeSel::Host("scrub-central".into());
@@ -128,7 +131,7 @@ fn message_drop_is_recovered_by_retransmission() {
     sim.run_until(SimTime::from_secs(40));
 
     assert!(sim.fault_stats().dropped_random > 0, "faults never fired");
-    let rec = results(&sim, &d, qid).unwrap();
+    let rec = qid.record(&sim).unwrap();
     assert_eq!(rec.state, QueryState::Done);
     let s = rec.summary.as_ref().unwrap();
     let total: i64 = rec.rows.iter().map(|r| r.values[0].as_i64().unwrap()).sum();
@@ -159,11 +162,12 @@ fn partition_spanning_window_boundary_is_absorbed() {
     config.window_grace_ms = 8_000;
     config.host_grace_ms = 12_000;
     let (mut sim, d, _ids) = fault_cluster(2, config);
-    let qid = submit_query(
-        &mut sim,
-        &d,
-        "select COUNT(*) from burst @[all] window 5 s duration 20 s",
-    );
+    let qid = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select COUNT(*) from burst @[all] window 5 s duration 20 s",
+        )
+        .expect("query accepted");
     sim.add_partition(
         NodeSel::Dc("DC1".into()),
         NodeSel::Dc("DC2".into()),
@@ -173,7 +177,7 @@ fn partition_spanning_window_boundary_is_absorbed() {
     sim.run_until(SimTime::from_secs(45));
 
     assert!(sim.fault_stats().dropped_partition > 0, "partition inert");
-    let rec = results(&sim, &d, qid).unwrap();
+    let rec = qid.record(&sim).unwrap();
     assert_eq!(rec.state, QueryState::Done);
     let s = rec.summary.as_ref().unwrap();
     let total: i64 = rec.rows.iter().map(|r| r.values[0].as_i64().unwrap()).sum();
@@ -197,15 +201,16 @@ fn host_crash_mid_query_degrades_gracefully() {
     // to completion with windows closing on schedule, and the summary must
     // admit the blind spot: coverage < 100% and post-crash rows degraded.
     let (mut sim, d, _ids) = fault_cluster(4, ScrubConfig::default());
-    let qid = submit_query(
-        &mut sim,
-        &d,
-        "select COUNT(*) from burst @[all] window 5 s duration 20 s",
-    );
+    let qid = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select COUNT(*) from burst @[all] window 5 s duration 20 s",
+        )
+        .expect("query accepted");
     assert!(sim.inject_crash("burst-3", SimTime::from_secs(8), None));
     sim.run_until(SimTime::from_secs(45));
 
-    let rec = results(&sim, &d, qid).unwrap();
+    let rec = qid.record(&sim).unwrap();
     assert_eq!(rec.state, QueryState::Done, "query stalled on dead host");
     let s = rec.summary.as_ref().unwrap();
     assert!(
@@ -239,12 +244,13 @@ fn faulty_run_with_retries_converges_to_fault_free_results() {
         config.window_grace_ms = 6_000;
         config.host_grace_ms = 12_000;
         let (mut sim, d, _ids) = fault_cluster(3, config);
-        let qid = submit_query(
-            &mut sim,
-            &d,
-            "select burst.k, COUNT(*) from burst @[all] \
+        let qid = ScrubClient::new(&d)
+            .submit(
+                &mut sim,
+                "select burst.k, COUNT(*) from burst @[all] \
              group by burst.k window 5 s duration 15 s",
-        );
+            )
+            .expect("query accepted");
         sim.run_until(SimTime::from_ms(1_500));
         if faulty {
             let agents = NodeSel::Service("BurstServers".into());
@@ -256,7 +262,7 @@ fn faulty_run_with_retries_converges_to_fault_free_results() {
         if faulty {
             assert!(sim.fault_stats().dropped_random > 0, "faults never fired");
         }
-        let rec = results(&sim, &d, qid).unwrap();
+        let rec = qid.record(&sim).unwrap();
         assert_eq!(rec.state, QueryState::Done);
         let mut rows: Vec<(i64, String)> = rec
             .rows
@@ -279,13 +285,14 @@ fn faulty_run_with_retries_converges_to_fault_free_results() {
 fn shedding_bounds_shipped_volume_and_is_reported() {
     // 20k events/s against a 2k/s budget: ~90% must be shed, visibly.
     let (mut sim, d) = burst_cluster(20, 2_000);
-    let qid = submit_query(
-        &mut sim,
-        &d,
-        "select COUNT(*) from burst @[all] window 5 s duration 20 s",
-    );
+    let qid = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select COUNT(*) from burst @[all] window 5 s duration 20 s",
+        )
+        .expect("query accepted");
     sim.run_until(SimTime::from_secs(40));
-    let rec = results(&sim, &d, qid).unwrap();
+    let rec = qid.record(&sim).unwrap();
     let s = rec.summary.as_ref().unwrap();
     assert!(s.total_shed > 0, "no shedding under 10x overload");
     assert!(
@@ -314,13 +321,14 @@ fn shedding_bounds_shipped_volume_and_is_reported() {
 #[test]
 fn no_shedding_under_budget() {
     let (mut sim, d) = burst_cluster(1, 50_000);
-    let qid = submit_query(
-        &mut sim,
-        &d,
-        "select COUNT(*) from burst @[all] window 5 s duration 10 s",
-    );
+    let qid = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select COUNT(*) from burst @[all] window 5 s duration 10 s",
+        )
+        .expect("query accepted");
     sim.run_until(SimTime::from_secs(30));
-    let rec = results(&sim, &d, qid).unwrap();
+    let rec = qid.record(&sim).unwrap();
     let s = rec.summary.as_ref().unwrap();
     assert_eq!(s.total_shed, 0);
     assert_eq!(s.total_matched, s.total_sampled);
@@ -346,6 +354,7 @@ fn queries_survive_extreme_join_fanout() {
     for t in 0..2u32 {
         exec.ingest(EventBatch {
             seq: 0,
+            attempt: 0,
             query_id: QueryId(1),
             type_id: EventTypeId(t),
             host: format!("h{t}"),
@@ -371,20 +380,22 @@ fn queries_survive_extreme_join_fanout() {
 #[test]
 fn overlapping_query_spans_are_independent() {
     let (mut sim, d) = burst_cluster(2, 50_000);
-    let q1 = submit_query(
-        &mut sim,
-        &d,
-        "select COUNT(*) from burst @[all] window 5 s duration 10 s",
-    );
+    let q1 = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select COUNT(*) from burst @[all] window 5 s duration 10 s",
+        )
+        .expect("query accepted");
     // second query starts later and outlives the first
-    let q2 = submit_query(
-        &mut sim,
-        &d,
-        "select COUNT(*) from burst @[all] window 5 s start in 5 s duration 15 s",
-    );
+    let q2 = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select COUNT(*) from burst @[all] window 5 s start in 5 s duration 15 s",
+        )
+        .expect("query accepted");
     sim.run_until(SimTime::from_secs(45));
-    let r1 = results(&sim, &d, q1).unwrap();
-    let r2 = results(&sim, &d, q2).unwrap();
+    let r1 = q1.record(&sim).unwrap();
+    let r2 = q2.record(&sim).unwrap();
     assert_eq!(r1.state, QueryState::Done);
     assert_eq!(r2.state, QueryState::Done);
     let span = |r: &scrub_server::QueryRecord| {
@@ -407,7 +418,8 @@ fn wan_reordering_does_not_corrupt_counters() {
     let mut config = ScrubConfig::default();
     config.agent_batch_events = 7; // many small batches interleaved
     let mut sim: Sim<ScrubMsg> = Sim::new(Topology::default(), 6);
-    let central = deploy_central(&mut sim, config.clone(), "DC1");
+    let reg = registry();
+    let central = deploy_central(&mut sim, &reg, config.clone(), "DC1");
     sim.add_node(
         NodeMeta::new("far-0", "BurstServers", "DC2"),
         Box::new(BurstHost {
@@ -416,14 +428,15 @@ fn wan_reordering_does_not_corrupt_counters() {
             emitted: 0,
         }),
     );
-    let d = deploy_server(&mut sim, registry(), config, central, "DC1");
-    let qid = submit_query(
-        &mut sim,
-        &d,
-        "select COUNT(*) from burst @[all] window 5 s duration 15 s",
-    );
+    let d = deploy_server(&mut sim, reg, config, central, "DC1");
+    let qid = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select COUNT(*) from burst @[all] window 5 s duration 15 s",
+        )
+        .expect("query accepted");
     sim.run_until(SimTime::from_secs(40));
-    let rec = results(&sim, &d, qid).unwrap();
+    let rec = qid.record(&sim).unwrap();
     let s = rec.summary.as_ref().unwrap();
     let total: i64 = rec.rows.iter().map(|r| r.values[0].as_i64().unwrap()).sum();
     assert_eq!(total as u64, s.total_sampled, "rows disagree with counters");
@@ -433,13 +446,14 @@ fn wan_reordering_does_not_corrupt_counters() {
 #[test]
 fn sliding_window_end_to_end() {
     let (mut sim, d) = burst_cluster(1, 50_000);
-    let qid = submit_query(
-        &mut sim,
-        &d,
-        "select COUNT(*) from burst @[all] window 10 s slide 5 s duration 20 s",
-    );
+    let qid = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select COUNT(*) from burst @[all] window 10 s slide 5 s duration 20 s",
+        )
+        .expect("query accepted");
     sim.run_until(SimTime::from_secs(45));
-    let rec = results(&sim, &d, qid).unwrap();
+    let rec = qid.record(&sim).unwrap();
     assert_eq!(rec.state, QueryState::Done);
     // window starts every 5 s, each counting ~10 s of traffic at ~1000/s
     let starts: Vec<i64> = rec.rows.iter().map(|r| r.window_start_ms).collect();
