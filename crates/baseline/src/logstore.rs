@@ -18,6 +18,9 @@ use scrub_core::event::Event;
 pub struct HostLog {
     events: Vec<Event>,
     encoded_bytes: u64,
+    /// Reused per-append encode buffer — the encoding only exists to count
+    /// storage bytes, so one scratch allocation serves the whole log.
+    scratch: BytesMut,
 }
 
 impl HostLog {
@@ -28,9 +31,9 @@ impl HostLog {
 
     /// Append one event (encodes it to account storage bytes exactly).
     pub fn append(&mut self, ev: Event) {
-        let mut buf = BytesMut::with_capacity(64);
-        encode_event(&mut buf, &ev);
-        self.encoded_bytes += buf.len() as u64;
+        self.scratch.clear();
+        encode_event(&mut self.scratch, &ev);
+        self.encoded_bytes += self.scratch.len() as u64;
         self.events.push(ev);
     }
 

@@ -1,0 +1,157 @@
+//! Criterion benchmarks of the parallel ingest pipeline: single-pass
+//! routing + threaded partition ingest for aggregate and join queries,
+//! against the `partitions = 1` inline fast path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+
+use scrub_agent::EventBatch;
+use scrub_central::PartitionedExecutor;
+use scrub_core::config::ScrubConfig;
+use scrub_core::event::{Event, RequestId};
+use scrub_core::plan::{compile, CentralPlan, QueryId};
+use scrub_core::ql::parser::parse_query;
+use scrub_core::schema::{EventSchema, EventTypeId, FieldDef, FieldType, SchemaRegistry};
+use scrub_core::value::Value;
+
+fn registry() -> SchemaRegistry {
+    let reg = SchemaRegistry::new();
+    reg.register(
+        EventSchema::new(
+            "bid",
+            vec![
+                FieldDef::new("user_id", FieldType::Long),
+                FieldDef::new("price", FieldType::Double),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    reg.register(
+        EventSchema::new("impression", vec![FieldDef::new("cost", FieldType::Double)]).unwrap(),
+    )
+    .unwrap();
+    reg
+}
+
+fn plan(src: &str) -> CentralPlan {
+    compile(
+        &parse_query(src).unwrap(),
+        &registry(),
+        &ScrubConfig::default(),
+        QueryId(1),
+    )
+    .unwrap()
+    .central
+}
+
+fn bid_batch(n: u64) -> EventBatch {
+    EventBatch {
+        seq: 0,
+        attempt: 0,
+        query_id: QueryId(1),
+        type_id: EventTypeId(0),
+        host: "h".into(),
+        events: (0..n)
+            .map(|i| {
+                Event::new(
+                    EventTypeId(0),
+                    RequestId(i),
+                    (i % 60_000) as i64,
+                    vec![Value::Long((i % 1000) as i64), Value::Double(0.5)],
+                )
+            })
+            .collect(),
+        matched: n,
+        sampled: n,
+        shed: 0,
+    }
+}
+
+fn imp_batch(n: u64) -> EventBatch {
+    EventBatch {
+        seq: 0,
+        attempt: 0,
+        query_id: QueryId(1),
+        type_id: EventTypeId(1),
+        host: "h2".into(),
+        events: (0..n)
+            .map(|i| {
+                Event::new(
+                    EventTypeId(1),
+                    RequestId(i * 2),
+                    (i % 60_000) as i64,
+                    vec![],
+                )
+            })
+            .collect(),
+        matched: n,
+        sampled: n,
+        shed: 0,
+    }
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    const N: u64 = 10_000;
+    let agg_src = "select bid.user_id, COUNT(*), AVG(bid.price) from bid \
+                   group by bid.user_id window 10 s";
+    let join_src = "select COUNT(*) from bid, impression window 10 s";
+
+    let mut g = c.benchmark_group("ingest");
+    g.throughput(Throughput::Elements(N));
+
+    // Aggregate mode: routing + threaded ingest + merged window close.
+    for parts in [1usize, 4] {
+        let name = format!("aggregate_p{parts}_10k");
+        g.bench_function(&name, |b| {
+            let p = plan(agg_src);
+            b.iter_batched(
+                || (PartitionedExecutor::new(p.clone(), 0, parts), bid_batch(N)),
+                |(mut exec, batch)| {
+                    exec.ingest(batch);
+                    exec.advance(i64::MAX / 4)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // Join mode: request-id routing keeps the join partition-local.
+    for parts in [1usize, 4] {
+        let name = format!("join_p{parts}_10k");
+        g.bench_function(&name, |b| {
+            let p = plan(join_src);
+            b.iter_batched(
+                || {
+                    (
+                        PartitionedExecutor::new(p.clone(), 0, parts),
+                        bid_batch(N / 2),
+                        imp_batch(N / 2),
+                    )
+                },
+                |(mut exec, bids, imps)| {
+                    exec.ingest(bids);
+                    exec.ingest(imps);
+                    exec.advance(i64::MAX / 4)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    // The partitions=1 fast path: pure ingest, no advance — isolates the
+    // inline executor's per-event cost (scratch-buffer reuse, host
+    // interning, group-key fast path).
+    g.bench_function("inline_ingest_only_10k", |b| {
+        let p = plan(agg_src);
+        b.iter_batched(
+            || (PartitionedExecutor::new(p.clone(), 0, 1), bid_batch(N)),
+            |(mut exec, batch)| exec.ingest(batch),
+            BatchSize::SmallInput,
+        )
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

@@ -3,15 +3,19 @@
 //! partitioned execution).
 //!
 //! Method (real wall-clock measurement, not simulation): a grouped-count
-//! query ingests a fixed stream of events; partitions run on real threads,
-//! each with its own executor, merging per-window partial aggregates at
-//! the end — feasible because every aggregate state is mergeable.
+//! query ingests a fixed stream of pre-built batches through the
+//! *production* [`PartitionedExecutor`] — the same single-pass router,
+//! bounded channels and worker threads the central node runs — at
+//! partitions 1, 2, 4 and 8. Rendered rows must be identical across
+//! partition counts (the distributed-correctness half of the experiment);
+//! throughput scales with the machine's parallelism (the perf half).
+//! Results land in `BENCH_central_ingest.json` at the workspace root so
+//! later changes have a baseline to compare against.
 
-use std::collections::BTreeMap;
 use std::time::Instant;
 
 use scrub_agent::EventBatch;
-use scrub_central::QueryExecutor;
+use scrub_central::{PartitionedExecutor, ResultRow};
 use scrub_core::config::ScrubConfig;
 use scrub_core::event::{Event, RequestId};
 use scrub_core::plan::{compile, CentralPlan, QueryId};
@@ -20,6 +24,8 @@ use scrub_core::schema::{EventSchema, EventTypeId, FieldDef, FieldType, SchemaRe
 use scrub_core::value::Value;
 
 use crate::{Report, Table};
+
+const BATCH_EVENTS: usize = 4_096;
 
 fn plan() -> CentralPlan {
     let reg = SchemaRegistry::new();
@@ -44,8 +50,10 @@ fn plan() -> CentralPlan {
         .central
 }
 
-fn make_events(n: usize) -> Vec<Event> {
-    (0..n)
+/// Pre-build the ingest feed: `n` events chunked into batches the way an
+/// agent would ship them, with cumulative matched/sampled counters.
+fn make_batches(n: usize) -> Vec<EventBatch> {
+    let events: Vec<Event> = (0..n)
         .map(|i| {
             Event::new(
                 EventTypeId(0),
@@ -57,74 +65,49 @@ fn make_events(n: usize) -> Vec<Event> {
                 ],
             )
         })
-        .collect()
+        .collect();
+    let mut batches = Vec::with_capacity(n / BATCH_EVENTS + 1);
+    let mut cumulative = 0u64;
+    for (seq, chunk) in events.chunks(BATCH_EVENTS).enumerate() {
+        cumulative += chunk.len() as u64;
+        batches.push(EventBatch {
+            seq: seq as u64,
+            attempt: 0,
+            query_id: QueryId(1),
+            type_id: EventTypeId(0),
+            host: "h".into(),
+            events: chunk.to_vec(),
+            matched: cumulative,
+            sampled: cumulative,
+            shed: 0,
+        });
+    }
+    batches
 }
 
-/// Ingest `events` through `parts` thread-parallel executors; returns
-/// (events/sec, result row count).
-fn throughput(events: &[Event], parts: usize) -> (f64, usize) {
-    let n = events.len();
-    // shard by request id, mimicking the partitioned router
-    let mut shards: Vec<Vec<Event>> = (0..parts)
-        .map(|_| Vec::with_capacity(n / parts + 1))
-        .collect();
-    for ev in events {
-        shards[(ev.request_id.0 % parts as u64) as usize].push(ev.clone());
-    }
+/// Ingest the batch feed through the production executor at `parts`
+/// partitions; returns (events/sec, sorted rendered rows, backpressure
+/// stalls).
+fn throughput(batches: &[EventBatch], parts: usize) -> (f64, Vec<ResultRow>, u64) {
+    let n: usize = batches.iter().map(|b| b.events.len()).sum();
+    let mut exec = PartitionedExecutor::new(plan(), 0, parts);
+    let feed = batches.to_vec(); // clone outside the timed section
 
     let start = Instant::now();
-    let partials: Vec<Vec<scrub_central::WindowPartial>> = std::thread::scope(|s| {
-        let handles: Vec<_> = shards
-            .into_iter()
-            .map(|shard| {
-                s.spawn(move || {
-                    let mut exec = QueryExecutor::new(plan(), 0);
-                    let matched = shard.len() as u64;
-                    exec.ingest(EventBatch {
-                        seq: 0,
-                        attempt: 0,
-                        query_id: QueryId(1),
-                        type_id: EventTypeId(0),
-                        host: "h".into(),
-                        events: shard,
-                        matched,
-                        sampled: matched,
-                        shed: 0,
-                    });
-                    exec.take_closed_partials(i64::MAX / 4)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("partition thread"))
-            .collect()
-    });
-
-    // merge per (window, key)
-    let mut merged: BTreeMap<
-        (i64, Vec<scrub_core::value::GroupKey>),
-        scrub_central::executor::GroupState,
-    > = BTreeMap::new();
-    for partial_list in partials {
-        for p in partial_list {
-            for (key, state) in p.groups {
-                match merged.entry((p.window_start_ms, key)) {
-                    std::collections::btree_map::Entry::Vacant(e) => {
-                        e.insert(state);
-                    }
-                    std::collections::btree_map::Entry::Occupied(mut e) => {
-                        let dst = e.get_mut();
-                        for (a, b) in dst.aggs.iter_mut().zip(&state.aggs) {
-                            a.merge(b);
-                        }
-                    }
-                }
-            }
-        }
+    for batch in feed {
+        exec.ingest(batch);
     }
+    let mut rows = exec.advance(i64::MAX / 4);
     let elapsed = start.elapsed().as_secs_f64();
-    (n as f64 / elapsed, merged.len())
+
+    let stalls = exec.take_backpressure();
+    rows.sort_by_key(|r| {
+        (
+            r.window_start_ms,
+            r.values.iter().map(Value::group_key).collect::<Vec<_>>(),
+        )
+    });
+    (n as f64 / elapsed, rows, stalls)
 }
 
 /// Run E09.
@@ -133,43 +116,55 @@ pub fn run(quick: bool) -> Report {
         .map(|n| n.get())
         .unwrap_or(1);
     let n = if quick { 400_000 } else { 2_000_000 };
-    let events = make_events(n);
+    let batches = make_batches(n);
     let parts_list = [1usize, 2, 4, 8];
 
-    let mut t = Table::new(&["partitions", "events_per_sec", "speedup", "result_groups"]);
+    let mut t = Table::new(&[
+        "partitions",
+        "events_per_sec",
+        "speedup",
+        "result_rows",
+        "backpressure",
+    ]);
     let mut base = 0.0;
     let mut results = Vec::new();
-    let mut group_counts = Vec::new();
+    let mut reference_rows: Option<Vec<ResultRow>> = None;
+    let mut same_answers = true;
     for &parts in &parts_list {
-        let (eps, groups) = throughput(&events, parts);
+        let (eps, rows, stalls) = throughput(&batches, parts);
         if parts == 1 {
             base = eps;
+            reference_rows = Some(rows.clone());
+        } else if reference_rows.as_deref() != Some(&rows) {
+            same_answers = false;
         }
-        results.push((parts, eps));
-        group_counts.push(groups);
+        results.push((parts, eps, stalls));
         t.row(vec![
             parts.to_string(),
             format!("{eps:.0}"),
             format!("{:.2}x", eps / base),
-            groups.to_string(),
+            rows.len().to_string(),
+            stalls.to_string(),
         ]);
     }
 
-    let same_answers = group_counts.windows(2).all(|w| w[0] == w[1]);
     let speedup_at_4 = results
         .iter()
-        .find(|(p, _)| *p == 4)
-        .map(|(_, e)| e / base)
+        .find(|(p, _, _)| *p == 4)
+        .map(|(_, e, _)| e / base)
         .unwrap_or(0.0);
-    // Speedup is bounded by the machine's parallelism; on a single-core
-    // box the experiment still verifies that partitioning costs little and
-    // that merged results are identical (the distributed-correctness part).
+    write_bench_json(cores, n, quick, base, &results);
+    // Speedup is bounded by the machine's parallelism. On a single-core
+    // box a channel-fed worker pool can only lose wall-clock (context
+    // switches and the merge fan-in with no parallel work to win it back),
+    // so the binding assertion there is the distributed-correctness half —
+    // identical rows — plus a bound on how much the threading costs.
     let speedup_ok = if cores >= 4 {
         speedup_at_4 > 1.5
     } else if cores >= 2 {
         speedup_at_4 > 1.1
     } else {
-        speedup_at_4 > 0.6 // partitioning overhead stays small
+        speedup_at_4 > 0.25 // threading overhead stays bounded
     };
     let pass = same_answers && speedup_ok && base > 100_000.0;
     Report {
@@ -182,8 +177,45 @@ pub fn run(quick: bool) -> Report {
         pass,
         verdict: format!(
             "single-partition {base:.0} events/s, {speedup_at_4:.2}x at 4 partitions \
-             on a {cores}-core machine, identical groups across partition counts: \
+             on a {cores}-core machine, identical rows across partition counts: \
              {same_answers}"
         ),
+    }
+}
+
+/// Persist the run as `BENCH_central_ingest.json` at the workspace root —
+/// the repo's perf trajectory for central ingest. Results are only
+/// comparable across runs on machines with the same `cores`.
+fn write_bench_json(
+    cores: usize,
+    events: usize,
+    quick: bool,
+    base: f64,
+    results: &[(usize, f64, u64)],
+) {
+    let runs: Vec<String> = results
+        .iter()
+        .map(|(parts, eps, stalls)| {
+            format!(
+                "    {{ \"partitions\": {parts}, \"events_per_sec\": {:.0}, \
+                 \"speedup_vs_1\": {:.3}, \"backpressure_stalls\": {stalls} }}",
+                eps,
+                if base > 0.0 { eps / base } else { 0.0 }
+            )
+        })
+        .collect();
+    let doc = format!(
+        "{{\n  \"bench\": \"central_ingest\",\n  \"experiment\": \"E09\",\n  \
+         \"workload\": \"grouped count+avg, 10 s windows, 5000 groups\",\n  \
+         \"cores\": {cores},\n  \"events\": {events},\n  \"quick\": {quick},\n  \
+         \"results\": [\n{}\n  ]\n}}\n",
+        runs.join(",\n")
+    );
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_central_ingest.json"
+    );
+    if let Err(e) = std::fs::write(path, doc) {
+        eprintln!("E09: could not write {path}: {e}");
     }
 }

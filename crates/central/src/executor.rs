@@ -5,6 +5,7 @@
 //! part of the query, deliberately placed off the application hosts.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 use scrub_agent::EventBatch;
 use scrub_core::event::Event;
@@ -25,6 +26,46 @@ struct HostTotals {
     matched: u64,
     sampled: u64,
     shed: u64,
+}
+
+/// Dense id for an interned host name; per-batch and per-event host
+/// bookkeeping uses the id instead of cloning the host `String`.
+type HostId = u32;
+
+/// Host-name interner: one `Arc<str>` allocation the first time a host is
+/// seen, integer keys everywhere after.
+#[derive(Debug, Default)]
+struct HostTable {
+    ids: HashMap<Arc<str>, HostId>,
+    names: Vec<Arc<str>>,
+}
+
+impl HostTable {
+    fn intern(&mut self, name: &str) -> HostId {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as HostId;
+        let arc: Arc<str> = Arc::from(name);
+        self.names.push(arc.clone());
+        self.ids.insert(arc, id);
+        id
+    }
+
+    fn name(&self, id: HostId) -> &str {
+        &self.names[id as usize]
+    }
+}
+
+/// Reusable per-executor buffers for the event hot path: the joined row
+/// and the group key are rebuilt for every event, so they are cleared and
+/// refilled instead of reallocated (single-key group-bys in particular
+/// used to allocate a one-element `Vec<GroupKey>` per event).
+#[derive(Debug, Default)]
+struct EventScratch {
+    row: Vec<Value>,
+    keys: Vec<GroupKey>,
+    key_vals: Vec<Value>,
 }
 
 /// Per-(window, group) state.
@@ -57,15 +98,22 @@ pub struct WindowPartial {
 
 /// Executes one compiled query at ScrubCentral.
 pub struct QueryExecutor {
-    plan: CentralPlan,
+    /// Shared, immutable compiled plan — partitions of the same query all
+    /// point at one allocation instead of deep-cloning the plan each.
+    plan: Arc<CentralPlan>,
     grace_ms: i64,
     windows: BTreeMap<i64, WindowState>,
+    /// Interned host names (batch headers carry the host as a `String`;
+    /// everything per-host below keys on the dense id).
+    hosts: HostTable,
     /// Cumulative counters per (host, event type) — one agent subscription
     /// each; see `EventBatch::type_id`.
-    host_totals: HashMap<(String, scrub_core::schema::EventTypeId), HostTotals>,
+    host_totals: HashMap<(HostId, scrub_core::schema::EventTypeId), HostTotals>,
     /// Per-host value moments per aggregate (only for estimator-eligible
     /// queries: single input, ungrouped, sampled).
-    host_moments: HashMap<String, Vec<Welford>>,
+    host_moments: HashMap<HostId, Vec<Welford>>,
+    /// Hot-path scratch buffers, reused across events.
+    scratch: EventScratch,
     stream_out: Vec<ResultRow>,
     windows_emitted: u64,
     /// Join rows dropped by the cross-product cap.
@@ -84,14 +132,18 @@ pub struct QueryExecutor {
 
 impl QueryExecutor {
     /// Create an executor for a central plan. `grace_ms` is how long after
-    /// a window's end it stays open for stragglers.
-    pub fn new(plan: CentralPlan, grace_ms: i64) -> Self {
+    /// a window's end it stays open for stragglers. Accepts a plain plan
+    /// or a shared `Arc<CentralPlan>` (partitions of one query share the
+    /// compiled plan instead of cloning it).
+    pub fn new(plan: impl Into<Arc<CentralPlan>>, grace_ms: i64) -> Self {
         QueryExecutor {
-            plan,
+            plan: plan.into(),
             grace_ms,
             windows: BTreeMap::new(),
+            hosts: HostTable::default(),
             host_totals: HashMap::new(),
             host_moments: HashMap::new(),
+            scratch: EventScratch::default(),
             stream_out: Vec::new(),
             windows_emitted: 0,
             join_rows_capped: 0,
@@ -114,7 +166,12 @@ impl QueryExecutor {
 
     /// The plan under execution.
     pub fn plan(&self) -> &CentralPlan {
-        &self.plan
+        self.plan.as_ref()
+    }
+
+    /// Shared handle to the plan (cheap to clone across partitions).
+    pub fn plan_arc(&self) -> Arc<CentralPlan> {
+        Arc::clone(&self.plan)
     }
 
     /// Number of windows currently open (not yet past grace).
@@ -191,38 +248,40 @@ impl QueryExecutor {
         // Counters are cumulative and monotonic per (host, subscription);
         // batches can be reordered in flight (delivery delay grows with
         // batch size), so merge with max rather than last-writer-wins.
-        let totals = self
-            .host_totals
-            .entry((batch.host.clone(), batch.type_id))
-            .or_default();
+        let hid = self.hosts.intern(&batch.host);
+        let totals = self.host_totals.entry((hid, batch.type_id)).or_default();
         totals.matched = totals.matched.max(batch.matched);
         totals.sampled = totals.sampled.max(batch.sampled);
         totals.shed = totals.shed.max(batch.shed);
 
         let eligible = self.estimator_eligible();
+        // Take the scratch buffers for the duration of the batch (they
+        // cannot stay borrowed through the `&mut self` calls below).
+        let mut scratch = std::mem::take(&mut self.scratch);
         for ev in batch.events {
             let Some(input_idx) = self.plan.input_index(ev.type_id) else {
                 continue; // not part of this query
             };
             if eligible {
-                self.update_moments(&batch.host, &ev, input_idx);
+                self.build_row_into(&mut scratch.row, &ev, input_idx);
+                self.update_moments(hid, &scratch.row);
             }
-            self.ingest_event(ev, input_idx);
+            self.ingest_event(ev, input_idx, &mut scratch);
         }
+        self.scratch = scratch;
     }
 
-    fn update_moments(&mut self, host: &str, ev: &Event, input_idx: usize) {
+    fn update_moments(&mut self, host: HostId, row: &[Value]) {
         let OutputMode::Aggregate { aggregates, .. } = &self.plan.mode else {
             return;
         };
-        let row = self.build_block_row(ev, input_idx);
         let moments = self
             .host_moments
-            .entry(host.to_string())
+            .entry(host)
             .or_insert_with(|| vec![Welford::new(); aggregates.len()]);
         for (i, agg) in aggregates.iter().enumerate() {
             let v = match &agg.arg {
-                Some(a) => a.eval(&row).as_f64(),
+                Some(a) => a.eval(row).as_f64(),
                 None => Some(1.0), // COUNT(*)
             };
             if let Some(x) = v {
@@ -233,10 +292,11 @@ impl QueryExecutor {
 
     /// Build the full-width joined row for a single event (other blocks
     /// stay Null — correct for single-input plans where they don't exist).
-    fn build_block_row(&self, ev: &Event, input_idx: usize) -> Vec<Value> {
-        let mut row = vec![Value::Null; self.plan.row_width];
-        self.fill_block(&mut row, ev, input_idx);
-        row
+    /// Reuses `row`'s allocation across events.
+    fn build_row_into(&self, row: &mut Vec<Value>, ev: &Event, input_idx: usize) {
+        row.clear();
+        row.resize(self.plan.row_width, Value::Null);
+        self.fill_block(row, ev, input_idx);
     }
 
     fn fill_block(&self, row: &mut [Value], ev: &Event, input_idx: usize) {
@@ -263,7 +323,7 @@ impl QueryExecutor {
         (k_min..=k_max).map(move |k| k * s)
     }
 
-    fn ingest_event(&mut self, ev: Event, input_idx: usize) {
+    fn ingest_event(&mut self, ev: Event, input_idx: usize, scratch: &mut EventScratch) {
         let closed = self.closed_before_ms;
         let covered: Vec<i64> = self
             .covered_windows(ev.timestamp)
@@ -292,27 +352,33 @@ impl QueryExecutor {
             return;
         }
 
-        // Single input.
-        match &self.plan.mode {
+        // Single input. The plan handle is cheap to clone and unties the
+        // plan borrow from the `self.windows` mutation below.
+        let plan = Arc::clone(&self.plan);
+        match &plan.mode {
             OutputMode::Stream(exprs) => {
-                let row = self.build_block_row(&ev, input_idx);
-                if let Some(res) = &self.plan.residual {
-                    if !res.eval_bool(&row) {
+                self.build_row_into(&mut scratch.row, &ev, input_idx);
+                if let Some(res) = &plan.residual {
+                    if !res.eval_bool(&scratch.row) {
                         return;
                     }
                 }
-                let values: Vec<Value> = exprs.iter().map(|e| e.eval(&row)).collect();
+                let values: Vec<Value> = exprs.iter().map(|e| e.eval(&scratch.row)).collect();
                 self.stream_out.push(ResultRow {
-                    query_id: self.plan.query_id,
+                    query_id: plan.query_id,
                     window_start_ms: *covered.last().expect("checked non-empty"),
                     values,
                     degraded: false,
                 });
             }
-            OutputMode::Aggregate { .. } => {
-                let row = self.build_block_row(&ev, input_idx);
-                if let Some(res) = &self.plan.residual {
-                    if !res.eval_bool(&row) {
+            OutputMode::Aggregate {
+                group_by,
+                aggregates,
+                ..
+            } => {
+                self.build_row_into(&mut scratch.row, &ev, input_idx);
+                if let Some(res) = &plan.residual {
+                    if !res.eval_bool(&scratch.row) {
                         return;
                     }
                 }
@@ -323,15 +389,14 @@ impl QueryExecutor {
                     let WindowState::Eager { groups } = state else {
                         unreachable!("single-input aggregate plans are eager");
                     };
-                    let OutputMode::Aggregate {
+                    update_groups(
+                        groups,
                         group_by,
                         aggregates,
-                        ..
-                    } = &self.plan.mode
-                    else {
-                        unreachable!();
-                    };
-                    update_groups(groups, group_by, aggregates, &row);
+                        &scratch.row,
+                        &mut scratch.keys,
+                        &mut scratch.key_vals,
+                    );
                 }
             }
         }
@@ -391,6 +456,8 @@ impl QueryExecutor {
                     stream,
                 } = mode_ref(&self.plan.mode);
                 let mut groups: HashMap<Vec<GroupKey>, GroupState> = HashMap::new();
+                let mut scratch = EventScratch::default();
+                let mut row = vec![Value::Null; self.plan.row_width];
                 let mut req_ids: Vec<u64> = per_request.keys().copied().collect();
                 req_ids.sort_unstable();
                 for rid in req_ids {
@@ -404,7 +471,10 @@ impl QueryExecutor {
                     capped += (total - emit) as u64;
                     let mut combo = vec![0usize; slots.len()];
                     for _ in 0..emit {
-                        let mut row = vec![Value::Null; self.plan.row_width];
+                        // reuse one row buffer across the cross-product
+                        for v in row.iter_mut() {
+                            *v = Value::Null;
+                        }
                         for (i, slot) in slots.iter().enumerate() {
                             self.fill_block(&mut row, &slot[combo[i]], i);
                         }
@@ -425,7 +495,14 @@ impl QueryExecutor {
                                     degraded: false,
                                 });
                             } else {
-                                update_groups(&mut groups, group_by, aggregates, &row);
+                                update_groups(
+                                    &mut groups,
+                                    group_by,
+                                    aggregates,
+                                    &row,
+                                    &mut scratch.keys,
+                                    &mut scratch.key_vals,
+                                );
                             }
                         }
                         // advance the mixed-radix combination counter
@@ -483,14 +560,14 @@ impl QueryExecutor {
             self.host_totals.values().fold((0, 0, 0), |(m, s, d), t| {
                 (m + t.matched, s + t.sampled, d + t.shed)
             });
-        let distinct_hosts: std::collections::HashSet<&str> =
-            self.host_totals.keys().map(|(h, _)| h.as_str()).collect();
+        let distinct_hosts: std::collections::HashSet<HostId> =
+            self.host_totals.keys().map(|(h, _)| *h).collect();
 
         let estimates = self.compute_estimates();
         let hosts_targeted = self.plan.host_info.selected;
         let hosts_live = distinct_hosts
             .iter()
-            .filter(|h| !self.dead_hosts.contains(**h))
+            .filter(|h| !self.dead_hosts.contains(self.hosts.name(**h)))
             .count();
         let summary = QuerySummary {
             query_id: self.plan.query_id,
@@ -535,17 +612,22 @@ impl QueryExecutor {
                 if !matches!(aggregates[*i].func, AggFn::Count | AggFn::Sum) {
                     return None;
                 }
+                // Sorted by interned host id (= first-seen order) so the
+                // floating-point reduction order is deterministic.
+                let mut entries: Vec<(HostId, &HostTotals)> =
+                    self.host_totals.iter().map(|((h, _), t)| (*h, t)).collect();
+                entries.sort_by_key(|(h, _)| *h);
                 let mut hosts: Vec<HostSample> = Vec::new();
-                for ((host, _), totals) in &self.host_totals {
+                for (host, totals) in entries {
                     // A dead host's counters stopped at an unknown point;
                     // dropping its sample shrinks n, so the two-stage
                     // bounds widen instead of silently biasing (Eqs 1–3).
-                    if self.dead_hosts.contains(host) {
+                    if self.dead_hosts.contains(self.hosts.name(host)) {
                         continue;
                     }
                     let stats = self
                         .host_moments
-                        .get(host)
+                        .get(&host)
                         .and_then(|ms| ms.get(*i))
                         .copied()
                         .unwrap_or_default();
@@ -585,18 +667,38 @@ fn mode_ref(mode: &OutputMode) -> OutputModeRef<'_> {
     }
 }
 
+/// Fold one row into the group map. `keys`/`key_vals` are caller-owned
+/// scratch: the group key is built into them and only cloned into the map
+/// when a *new* group appears, so the steady state (existing groups —
+/// single-key group-bys especially) allocates nothing for the key.
 fn update_groups(
     groups: &mut HashMap<Vec<GroupKey>, GroupState>,
     group_by: &[scrub_core::expr::ResolvedExpr],
     aggregates: &[scrub_core::plan::AggSpec],
     row: &[Value],
+    keys: &mut Vec<GroupKey>,
+    key_vals: &mut Vec<Value>,
 ) {
-    let key_values: Vec<Value> = group_by.iter().map(|g| g.eval(row)).collect();
-    let key: Vec<GroupKey> = key_values.iter().map(Value::group_key).collect();
-    let entry = groups.entry(key).or_insert_with(|| GroupState {
-        keys: key_values,
-        aggs: aggregates.iter().map(AggState::new).collect(),
-    });
+    keys.clear();
+    key_vals.clear();
+    for g in group_by {
+        let v = g.eval(row);
+        keys.push(v.group_key());
+        key_vals.push(v);
+    }
+    // Lookup borrows the scratch as a slice (`Vec<GroupKey>: Borrow<[GroupKey]>`).
+    if !groups.contains_key(keys.as_slice()) {
+        groups.insert(
+            keys.clone(),
+            GroupState {
+                keys: key_vals.clone(),
+                aggs: aggregates.iter().map(AggState::new).collect(),
+            },
+        );
+    }
+    let entry = groups
+        .get_mut(keys.as_slice())
+        .expect("group just ensured present");
     for (i, agg) in aggregates.iter().enumerate() {
         let v = agg.arg.as_ref().map(|a| a.eval(row));
         entry.aggs[i].update(v.as_ref());

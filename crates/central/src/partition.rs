@@ -7,15 +7,43 @@
 //! closes, per-partition *partial* aggregate states are merged by group key
 //! — every [`AggState`](crate::agg::AggState) is mergeable for exactly this
 //! reason.
+//!
+//! # Threading model
+//!
+//! With `partitions == 1` the executor runs **inline** on the caller's
+//! thread — no channels, no threads, bit-identical to the historical
+//! sequential path; this is the deterministic reference all differential
+//! tests compare against. With `partitions >= 2` each partition owns a
+//! persistent OS worker thread fed by a bounded SPSC command channel:
+//!
+//! * `ingest` splits the batch **once** by request-id hash into
+//!   per-partition sub-batches (every event goes to exactly one
+//!   partition; every sub-batch keeps the header so cumulative host
+//!   counters replicate) and enqueues them. A full channel is counted as
+//!   a backpressure stall — visible through
+//!   [`PartitionedExecutor::take_backpressure`], never silently absorbed
+//!   — before the caller blocks.
+//! * `advance` is a synchronous barrier: every worker drains its stream
+//!   rows and closed-window partials onto a shared reply channel; replies
+//!   are re-ordered by partition index and partials merged by group key,
+//!   so the output is deterministic regardless of thread scheduling.
+//! * workers are joined on drop (or when `finish` tears the query down).
 
 use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::sync::Arc;
 
 use scrub_agent::EventBatch;
+use scrub_core::event::Event;
 use scrub_core::plan::{CentralPlan, OutputCol, OutputMode};
 use scrub_core::value::{GroupKey, Value};
 
-use crate::executor::{GroupState, QueryExecutor};
+use crate::executor::{GroupState, QueryExecutor, WindowPartial};
 use crate::row::{QuerySummary, ResultRow};
+
+/// Per-partition command-channel capacity (sub-batches in flight). Beyond
+/// it the router records a backpressure stall and blocks.
+pub const INGEST_CHANNEL_CAP: usize = 128;
 
 /// One aggregate window closing (for self-observability: ScrubCentral
 /// taps a `scrub_window` meta-event per close and feeds the per-query
@@ -30,10 +58,187 @@ pub struct WindowClose {
     pub degraded: bool,
 }
 
+/// Commands the router sends each partition worker.
+enum Cmd {
+    /// A pre-routed sub-batch (header always present, events may be empty
+    /// so cumulative host counters replicate to every partition).
+    Ingest(EventBatch),
+    /// Replace the suspected-dead host set.
+    SetDeadHosts(std::collections::HashSet<String>),
+    /// Barrier: drain stream rows + closed partials up to `now_ms`.
+    Advance(i64),
+    /// Produce the end-of-query summary (partition 0 only).
+    Finish,
+    /// Exit the worker loop.
+    Shutdown,
+}
+
+/// One partition's contribution to an [`Cmd::Advance`] barrier.
+struct AdvanceReply {
+    stream_rows: Vec<ResultRow>,
+    partials: Vec<WindowPartial>,
+    scale: f64,
+    open_windows: usize,
+    join_rows_held: u64,
+}
+
+enum ReplyBody {
+    Advance(AdvanceReply),
+    Finish(Box<QuerySummary>),
+}
+
+struct Reply {
+    part: usize,
+    body: ReplyBody,
+}
+
+/// A partition worker: bounded command channel + joinable thread.
+struct Worker {
+    tx: mpsc::SyncSender<Cmd>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+/// The persistent thread pool behind a threaded executor.
+struct WorkerPool {
+    workers: Vec<Worker>,
+    reply_rx: mpsc::Receiver<Reply>,
+    /// Gauges cached from the latest advance barrier (partition threads
+    /// own the live state; these lag by at most one advance tick).
+    open_windows: usize,
+    join_rows_held: u64,
+}
+
+impl WorkerPool {
+    fn spawn(plan: &Arc<CentralPlan>, grace_ms: i64, partitions: usize) -> Self {
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let workers = (0..partitions)
+            .map(|part| {
+                let (tx, rx) = mpsc::sync_channel::<Cmd>(INGEST_CHANNEL_CAP);
+                let exec = QueryExecutor::new(Arc::clone(plan), grace_ms);
+                let reply_tx = reply_tx.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("scrub-central-p{part}"))
+                    .spawn(move || worker_loop(exec, part, rx, reply_tx))
+                    .expect("spawn central partition worker");
+                Worker {
+                    tx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        WorkerPool {
+            workers,
+            reply_rx,
+            open_windows: 0,
+            join_rows_held: 0,
+        }
+    }
+
+    /// Send a control command (blocking; control traffic is not counted
+    /// as ingest backpressure).
+    fn send(&self, part: usize, cmd: Cmd) {
+        self.workers[part]
+            .tx
+            .send(cmd)
+            .expect("central partition worker alive");
+    }
+
+    /// Collect exactly one reply per partition and return them in
+    /// partition order — the determinism pivot of the parallel path.
+    fn collect_advance(&mut self) -> Vec<AdvanceReply> {
+        let n = self.workers.len();
+        let mut slots: Vec<Option<AdvanceReply>> = (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let reply = self
+                .reply_rx
+                .recv()
+                .expect("central partition worker alive");
+            let ReplyBody::Advance(body) = reply.body else {
+                panic!("unexpected reply kind during advance barrier");
+            };
+            slots[reply.part] = Some(body);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("one reply per partition"))
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        for w in &self.workers {
+            let _ = w.tx.send(Cmd::Shutdown);
+        }
+        for w in &mut self.workers {
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}
+
+fn worker_loop(
+    mut exec: QueryExecutor,
+    part: usize,
+    rx: mpsc::Receiver<Cmd>,
+    reply_tx: mpsc::Sender<Reply>,
+) {
+    while let Ok(cmd) = rx.recv() {
+        match cmd {
+            Cmd::Ingest(batch) => exec.ingest(batch),
+            Cmd::SetDeadHosts(hosts) => exec.set_dead_hosts(hosts),
+            Cmd::Advance(now_ms) => {
+                let stream_rows = exec.advance_stream_only();
+                let partials = exec.take_closed_partials(now_ms);
+                let body = AdvanceReply {
+                    stream_rows,
+                    partials,
+                    scale: exec.scale(),
+                    open_windows: exec.open_windows(),
+                    join_rows_held: (exec.buffered_events() + exec.open_groups()) as u64,
+                };
+                if reply_tx
+                    .send(Reply {
+                        part,
+                        body: ReplyBody::Advance(body),
+                    })
+                    .is_err()
+                {
+                    return; // router gone
+                }
+            }
+            Cmd::Finish => {
+                let (_, summary) = exec.finish();
+                if reply_tx
+                    .send(Reply {
+                        part,
+                        body: ReplyBody::Finish(Box::new(summary)),
+                    })
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            Cmd::Shutdown => return,
+        }
+    }
+}
+
+/// How the partitions execute.
+enum Backend {
+    /// `partitions == 1`: the historical sequential path, inline on the
+    /// caller's thread. Deterministic reference. (Boxed: the executor is
+    /// much larger than the threaded pool handle.)
+    Inline(Box<QueryExecutor>),
+    /// `partitions >= 2`: one worker thread per partition.
+    Threaded(WorkerPool),
+}
+
 /// Runs one query across `p` partitions and merges window results.
 pub struct PartitionedExecutor {
-    parts: Vec<QueryExecutor>,
-    plan: CentralPlan,
+    backend: Backend,
+    plan: Arc<CentralPlan>,
     /// Hosts suspected dead right now; rows emitted while this is
     /// non-empty are marked degraded.
     dead_hosts: std::collections::HashSet<String>,
@@ -41,36 +246,56 @@ pub struct PartitionedExecutor {
     duplicate_batches: u64,
     /// Window closes since the last [`take_window_closes`] drain.
     closes: Vec<WindowClose>,
+    /// Ingest stalls: sub-batch sends that found a partition's channel
+    /// full and had to block. Drained by [`take_backpressure`].
+    backpressure: u64,
+    /// Events routed to partitions since creation (each counted exactly
+    /// once — see [`split_by_request_id`]).
+    events_routed: u64,
 }
 
 impl PartitionedExecutor {
-    /// Create with `partitions >= 1` shards.
-    pub fn new(plan: CentralPlan, grace_ms: i64, partitions: usize) -> Self {
+    /// Create with `partitions >= 1` shards; the compiled plan is shared
+    /// across partitions via `Arc` instead of cloned per partition.
+    pub fn new(plan: impl Into<Arc<CentralPlan>>, grace_ms: i64, partitions: usize) -> Self {
+        let plan = plan.into();
         let partitions = partitions.max(1);
-        let parts = (0..partitions)
-            .map(|_| QueryExecutor::new(plan.clone(), grace_ms))
-            .collect();
+        let backend = if partitions == 1 {
+            Backend::Inline(Box::new(QueryExecutor::new(Arc::clone(&plan), grace_ms)))
+        } else {
+            Backend::Threaded(WorkerPool::spawn(&plan, grace_ms, partitions))
+        };
         PartitionedExecutor {
-            parts,
+            backend,
             plan,
             dead_hosts: std::collections::HashSet::new(),
             degraded_rows: 0,
             duplicate_batches: 0,
             closes: Vec::new(),
+            backpressure: 0,
+            events_routed: 0,
         }
     }
 
     /// Number of partitions.
     pub fn partitions(&self) -> usize {
-        self.parts.len()
+        match &self.backend {
+            Backend::Inline(_) => 1,
+            Backend::Threaded(pool) => pool.workers.len(),
+        }
     }
 
     /// Replace the set of hosts suspected dead: future rows are marked
     /// degraded and the dead hosts' samples leave every partition's
     /// estimator.
     pub fn set_dead_hosts(&mut self, hosts: std::collections::HashSet<String>) {
-        for part in &mut self.parts {
-            part.set_dead_hosts(hosts.clone());
+        match &mut self.backend {
+            Backend::Inline(part) => part.set_dead_hosts(hosts.clone()),
+            Backend::Threaded(pool) => {
+                for i in 0..pool.workers.len() {
+                    pool.send(i, Cmd::SetDeadHosts(hosts.clone()));
+                }
+            }
         }
         self.dead_hosts = hosts;
     }
@@ -97,71 +322,109 @@ impl PartitionedExecutor {
 
     /// Windows currently open (largest across partitions — partitions
     /// share window boundaries, they just see different event subsets).
+    /// On the threaded backend this is the gauge captured at the latest
+    /// advance barrier.
     pub fn open_windows(&self) -> usize {
-        self.parts
-            .iter()
-            .map(|p| p.open_windows())
-            .max()
-            .unwrap_or(0)
+        match &self.backend {
+            Backend::Inline(part) => part.open_windows(),
+            Backend::Threaded(pool) => pool.open_windows,
+        }
     }
 
-    /// Join/group state rows currently buffered across partitions.
+    /// Join/group state rows currently buffered across partitions (on the
+    /// threaded backend: as of the latest advance barrier).
     pub fn join_rows_held(&self) -> u64 {
-        self.parts
-            .iter()
-            .map(|p| (p.buffered_events() + p.open_groups()) as u64)
-            .sum()
+        match &self.backend {
+            Backend::Inline(part) => (part.buffered_events() + part.open_groups()) as u64,
+            Backend::Threaded(pool) => pool.join_rows_held,
+        }
     }
 
-    /// Route a batch's events to partitions by request id.
+    /// Drain the backpressure-stall count accumulated since the last call
+    /// (sub-batch sends that found a partition channel full and blocked).
+    pub fn take_backpressure(&mut self) -> u64 {
+        std::mem::take(&mut self.backpressure)
+    }
+
+    /// Backpressure stalls since the last [`Self::take_backpressure`] drain.
+    pub fn backpressure_events(&self) -> u64 {
+        self.backpressure
+    }
+
+    /// Events routed to partitions so far (each exactly once).
+    pub fn events_routed(&self) -> u64 {
+        self.events_routed
+    }
+
+    /// Route a batch's events to partitions by request id: split once at
+    /// ingest, deliver each event to exactly one partition.
     pub fn ingest(&mut self, batch: EventBatch) {
-        let p = self.parts.len() as u64;
-        if p == 1 {
-            self.parts[0].ingest(batch);
-            return;
-        }
-        // Split the batch, preserving the cumulative counters on every
-        // shard's copy (each partition needs the host totals for scaling;
-        // the merge step deduplicates by host so totals are not double
-        // counted — see merge_summaries).
-        let mut shards: Vec<Vec<scrub_core::event::Event>> =
-            (0..self.parts.len()).map(|_| Vec::new()).collect();
-        for ev in batch.events {
-            let shard = (mix(ev.request_id.0) % p) as usize;
-            shards[shard].push(ev);
-        }
-        for (i, events) in shards.into_iter().enumerate() {
-            self.parts[i].ingest(EventBatch {
-                query_id: batch.query_id,
-                seq: batch.seq,
-                attempt: batch.attempt,
-                type_id: batch.type_id,
-                host: batch.host.clone(),
-                events,
-                matched: batch.matched,
-                sampled: batch.sampled,
-                shed: batch.shed,
-            });
+        self.events_routed += batch.events.len() as u64;
+        match &mut self.backend {
+            Backend::Inline(part) => part.ingest(batch),
+            Backend::Threaded(pool) => {
+                let subs = split_by_request_id(batch, pool.workers.len());
+                for (i, sub) in subs.into_iter().enumerate() {
+                    match pool.workers[i].tx.try_send(Cmd::Ingest(sub)) {
+                        Ok(()) => {}
+                        Err(mpsc::TrySendError::Full(cmd)) => {
+                            // Explicit backpressure accounting, then block:
+                            // the caller (central's message loop) slows to
+                            // the partitions' pace instead of buffering
+                            // unboundedly.
+                            self.backpressure += 1;
+                            pool.workers[i]
+                                .tx
+                                .send(cmd)
+                                .expect("central partition worker alive");
+                        }
+                        Err(mpsc::TrySendError::Disconnected(_)) => {
+                            panic!("central partition worker died");
+                        }
+                    }
+                }
+            }
         }
     }
 
     /// Emit stream rows and merge+render all windows closed by `now_ms`.
     pub fn advance(&mut self, now_ms: i64) -> Vec<ResultRow> {
         let mut out = Vec::new();
-        for part in &mut self.parts {
-            out.extend(part.advance_stream_only());
-        }
-        // Gather closed partials from each partition, keyed by window.
         let mut by_window: BTreeMap<i64, Vec<(Vec<GroupKey>, GroupState)>> = BTreeMap::new();
-        for part in &mut self.parts {
-            for partial in part.take_closed_partials(now_ms) {
-                by_window
-                    .entry(partial.window_start_ms)
-                    .or_default()
-                    .extend(partial.groups);
+        let scale;
+        match &mut self.backend {
+            Backend::Inline(part) => {
+                out.extend(part.advance_stream_only());
+                for partial in part.take_closed_partials(now_ms) {
+                    by_window
+                        .entry(partial.window_start_ms)
+                        .or_default()
+                        .extend(partial.groups);
+                }
+                scale = part.scale();
+            }
+            Backend::Threaded(pool) => {
+                for i in 0..pool.workers.len() {
+                    pool.send(i, Cmd::Advance(now_ms));
+                }
+                let replies = pool.collect_advance();
+                // Partition 0 saw every host's cumulative counters
+                // (headers replicate), so its scale is authoritative —
+                // mirroring the sequential path.
+                scale = replies[0].scale;
+                pool.open_windows = replies.iter().map(|r| r.open_windows).max().unwrap_or(0);
+                pool.join_rows_held = replies.iter().map(|r| r.join_rows_held).sum();
+                for reply in replies {
+                    out.extend(reply.stream_rows);
+                    for partial in reply.partials {
+                        by_window
+                            .entry(partial.window_start_ms)
+                            .or_default()
+                            .extend(partial.groups);
+                    }
+                }
             }
         }
-        let scale = self.parts[0].scale();
         let degraded_now = !self.dead_hosts.is_empty();
         for (w, groups) in by_window {
             let rendered = self.render_merged(w, groups, scale);
@@ -232,11 +495,58 @@ impl PartitionedExecutor {
         let rows = self.advance(i64::MAX / 4);
         // Partition 0 saw every host's cumulative counters (batches are
         // replicated header-wise), so its summary totals are authoritative.
-        let (_, mut summary) = self.parts[0].finish();
+        let mut summary = match &mut self.backend {
+            Backend::Inline(part) => part.finish().1,
+            Backend::Threaded(pool) => {
+                pool.send(0, Cmd::Finish);
+                let reply = pool
+                    .reply_rx
+                    .recv()
+                    .expect("central partition worker alive");
+                let ReplyBody::Finish(summary) = reply.body else {
+                    panic!("unexpected reply kind during finish");
+                };
+                *summary
+            }
+        };
         summary.degraded_rows = self.degraded_rows;
         summary.duplicate_batches = self.duplicate_batches;
         (rows, summary)
     }
+}
+
+/// Split a batch by request-id hash into one sub-batch per partition in a
+/// single pass. Every event lands in exactly one sub-batch; every
+/// sub-batch carries the original header (host + cumulative
+/// matched/sampled/shed counters) so each partition's estimator sees the
+/// full per-host totals even when its event slice is empty.
+fn split_by_request_id(batch: EventBatch, partitions: usize) -> Vec<EventBatch> {
+    let p = partitions as u64;
+    let mut shards: Vec<Vec<Event>> = (0..partitions).map(|_| Vec::new()).collect();
+    let total = batch.events.len();
+    for ev in batch.events {
+        let shard = (mix(ev.request_id.0) % p) as usize;
+        shards[shard].push(ev);
+    }
+    debug_assert_eq!(
+        shards.iter().map(Vec::len).sum::<usize>(),
+        total,
+        "split must route every event to exactly one partition"
+    );
+    shards
+        .into_iter()
+        .map(|events| EventBatch {
+            query_id: batch.query_id,
+            seq: batch.seq,
+            attempt: batch.attempt,
+            type_id: batch.type_id,
+            host: batch.host.clone(),
+            events,
+            matched: batch.matched,
+            sampled: batch.sampled,
+            shed: batch.shed,
+        })
+        .collect()
 }
 
 /// splitmix64-style mixer for request-id routing.
@@ -404,5 +714,73 @@ mod tests {
         multi.ingest(feed(10));
         let rows = multi.advance(60_000);
         assert_eq!(rows.len(), 10);
+    }
+
+    #[test]
+    fn split_routes_every_event_exactly_once() {
+        let batch = feed(10_000);
+        let originals: std::collections::HashSet<u64> =
+            batch.events.iter().map(|e| e.request_id.0).collect();
+        let subs = split_by_request_id(batch, 7);
+        assert_eq!(subs.len(), 7);
+        // No drops, no duplicates: the union of sub-batch events is exactly
+        // the original event set and counts add up.
+        let mut seen = std::collections::HashSet::new();
+        let mut total = 0usize;
+        for sub in &subs {
+            assert_eq!(sub.host, "h1");
+            assert_eq!(sub.matched, 10_000);
+            assert_eq!(sub.sampled, 10_000);
+            for ev in &sub.events {
+                assert!(seen.insert(ev.request_id.0), "event routed twice");
+                // routing is by request-id hash, so stable per event
+                assert_eq!(
+                    (mix(ev.request_id.0) % 7) as usize,
+                    subs.iter().position(|s| std::ptr::eq(s, sub)).unwrap()
+                );
+            }
+            total += sub.events.len();
+        }
+        assert_eq!(total, 10_000);
+        assert_eq!(seen, originals);
+    }
+
+    #[test]
+    fn events_routed_counter_counts_each_event_once() {
+        let src = "select COUNT(*) from bid window 10 s";
+        let mut multi = PartitionedExecutor::new(plan_for(src), 0, 4);
+        multi.ingest(feed(500));
+        multi.ingest(feed(250));
+        assert_eq!(multi.events_routed(), 750);
+        let (rows, _) = multi.finish();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn threaded_backend_matches_inline_under_dead_hosts() {
+        let src = "select bid.user_id, COUNT(*) from bid group by bid.user_id window 10 s";
+        let mut single = PartitionedExecutor::new(plan_for(src), 0, 1);
+        let mut multi = PartitionedExecutor::new(plan_for(src), 0, 4);
+        let dead: std::collections::HashSet<String> = ["h9".to_string()].into_iter().collect();
+        for exec in [&mut single, &mut multi] {
+            exec.ingest(feed(300));
+            exec.set_dead_hosts(dead.clone());
+        }
+        let mut a = single.advance(60_000);
+        let mut b = multi.advance(60_000);
+        let key = |r: &ResultRow| {
+            (
+                r.window_start_ms,
+                r.values.iter().map(Value::group_key).collect::<Vec<_>>(),
+            )
+        };
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|r| r.degraded));
+        let ca = single.take_window_closes();
+        let cb = multi.take_window_closes();
+        assert_eq!(ca, cb);
+        assert_eq!(single.degraded_rows(), multi.degraded_rows());
     }
 }

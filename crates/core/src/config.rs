@@ -25,6 +25,9 @@ pub struct ScrubConfig {
     /// shedding kicks in (accuracy traded for host impact, §2).
     pub agent_events_per_sec_budget: u64,
     /// Central: number of parallel partitions for executing a query.
+    /// Defaults to the machine's available parallelism (clamped to 1..=8);
+    /// `1` runs the deterministic inline reference path.
+    #[serde(default = "default_central_partitions")]
     pub central_partitions: usize,
     /// Central: extra time after a window closes before it is finalized,
     /// to absorb host->central delivery skew (ms).
@@ -66,6 +69,12 @@ fn default_agent_heartbeat_interval_ms() -> i64 {
 fn default_host_grace_ms() -> i64 {
     5_000
 }
+fn default_central_partitions() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, 8)
+}
 
 impl Default for ScrubConfig {
     fn default() -> Self {
@@ -77,7 +86,7 @@ impl Default for ScrubConfig {
             agent_batch_events: 256,
             agent_flush_interval_ms: 1_000,
             agent_events_per_sec_budget: 50_000,
-            central_partitions: 1,
+            central_partitions: default_central_partitions(),
             window_grace_ms: 2_000,
             agent_retry_base_ms: default_agent_retry_base_ms(),
             agent_retry_max_ms: default_agent_retry_max_ms(),
@@ -99,5 +108,6 @@ mod tests {
         assert!(c.default_duration_ms < c.max_duration_ms);
         assert!(c.agent_batch_events > 0);
         assert!(c.central_partitions >= 1);
+        assert!(c.central_partitions <= 8);
     }
 }

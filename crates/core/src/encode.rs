@@ -226,19 +226,31 @@ pub fn encode_batch(events: &[Event]) -> Bytes {
 }
 
 /// Decode a batch frame produced by [`encode_batch`].
-pub fn decode_batch(mut buf: Bytes) -> ScrubResult<Vec<Event>> {
+pub fn decode_batch(buf: Bytes) -> ScrubResult<Vec<Event>> {
+    let mut out = Vec::new();
+    decode_batch_into(buf, &mut out)?;
+    Ok(out)
+}
+
+/// Decode a batch frame into a caller-provided vector (cleared first).
+///
+/// Hot-path variant of [`decode_batch`]: central decodes one frame per
+/// arriving batch, so reusing the output vector amortises its allocation
+/// across frames. On error the vector contents are unspecified (but valid).
+pub fn decode_batch_into(mut buf: Bytes, out: &mut Vec<Event>) -> ScrubResult<()> {
+    out.clear();
     let n = get_varint(&mut buf)? as usize;
     if n > 1 << 24 {
         return Err(ScrubError::Decode("implausible batch size".into()));
     }
-    let mut out = Vec::with_capacity(n.min(4096));
+    out.reserve(n.min(4096));
     for _ in 0..n {
         out.push(decode_event(&mut buf)?);
     }
     if buf.has_remaining() {
         return Err(ScrubError::Decode("trailing bytes after batch".into()));
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -297,6 +309,21 @@ mod tests {
     fn empty_batch() {
         let frame = encode_batch(&[]);
         assert_eq!(decode_batch(frame).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn decode_into_reuses_and_clears_the_buffer() {
+        let evs: Vec<Event> = (0..10)
+            .map(|i| Event::new(EventTypeId(0), RequestId(i), i as i64, vec![Value::Int(1)]))
+            .collect();
+        let mut out = Vec::new();
+        decode_batch_into(encode_batch(&evs), &mut out).unwrap();
+        assert_eq!(out, evs);
+        let cap = out.capacity();
+        // a second, smaller frame reuses the allocation and replaces content
+        decode_batch_into(encode_batch(&evs[..3]), &mut out).unwrap();
+        assert_eq!(out, evs[..3]);
+        assert_eq!(out.capacity(), cap);
     }
 
     #[test]

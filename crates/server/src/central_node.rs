@@ -76,6 +76,7 @@ pub struct CentralNode<E: ScrubEnvelope> {
     m_windows_degraded: Arc<Counter>,
     m_installed: Arc<Counter>,
     m_finished: Arc<Counter>,
+    m_backpressure: Arc<Counter>,
     m_ingest_latency: Arc<Histogram>,
     /// Resolved meta-event type ids (registered into the shared schema
     /// registry at construction).
@@ -107,6 +108,7 @@ impl<E: ScrubEnvelope> CentralNode<E> {
         let m_windows_degraded = obs.counter("central.windows_degraded");
         let m_installed = obs.counter("central.queries_installed");
         let m_finished = obs.counter("central.queries_finished");
+        let m_backpressure = obs.counter("central.ingest_backpressure");
         let m_ingest_latency = obs.histogram("central.ingest_latency_ms");
         CentralNode {
             config,
@@ -129,6 +131,7 @@ impl<E: ScrubEnvelope> CentralNode<E> {
             m_windows_degraded,
             m_installed,
             m_finished,
+            m_backpressure,
             m_ingest_latency,
             meta,
             meta_harness: None,
@@ -417,7 +420,18 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
                     );
                 }
                 if let Some(exec) = self.executors.get_mut(&batch.query_id) {
+                    let qid = batch.query_id;
                     exec.ingest(batch);
+                    // Surface parallel-ingest stalls instead of absorbing
+                    // them silently: the counter feeds `scrubql stats`, the
+                    // profile feeds `profile <qid>`.
+                    let stalls = exec.take_backpressure();
+                    if stalls > 0 {
+                        self.m_backpressure.add(stalls);
+                        if let Some(p) = self.profiles.get_mut(&qid) {
+                            p.observe_backpressure(stalls);
+                        }
+                    }
                 }
             }
             _ => {}

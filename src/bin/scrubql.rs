@@ -342,6 +342,10 @@ fn print_profile(p: &Platform, qid: QueryId) {
         "windows: {} opened, {} closed, {} degraded; {} join-state rows held",
         prof.windows_opened, prof.windows_closed, prof.windows_degraded, prof.join_rows_held
     );
+    println!(
+        "parallel ingest: {} backpressure stalls",
+        prof.ingest_backpressure
+    );
     let lat = &prof.ingest_latency_ms;
     if lat.count > 0 {
         println!(
