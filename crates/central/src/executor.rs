@@ -96,6 +96,111 @@ pub struct WindowPartial {
     pub groups: Vec<(Vec<GroupKey>, GroupState)>,
 }
 
+/// One host's contribution to the two-stage estimator, exported from an
+/// executor so partitions can be merged: interned host ids are
+/// partition-local, so the export keys on the host *name*, and the
+/// per-aggregate [`Welford`] moments merge exactly (Chan et al.).
+#[derive(Debug, Clone)]
+pub struct HostEstimatorState {
+    /// Host name (globally unique, unlike the partition-local id).
+    pub host: String,
+    /// `M_i`: the host's cumulative matched-event count from batch
+    /// headers. Headers replicate to every partition, so cross-partition
+    /// merge takes the max, mirroring the in-executor monotonic merge.
+    pub matched: u64,
+    /// Per-aggregate moments of the values this executor sampled (empty
+    /// when the host shipped no estimator-eligible events here).
+    pub moments: Vec<Welford>,
+}
+
+impl HostEstimatorState {
+    /// Fold another partition's view of the same host into this one.
+    pub fn merge(&mut self, other: HostEstimatorState) {
+        debug_assert_eq!(self.host, other.host);
+        self.matched = self.matched.max(other.matched);
+        if self.moments.is_empty() {
+            self.moments = other.moments;
+            return;
+        }
+        for (i, m) in other.moments.into_iter().enumerate() {
+            if let Some(dst) = self.moments.get_mut(i) {
+                dst.merge(&m);
+            } else {
+                self.moments.push(m);
+            }
+        }
+    }
+}
+
+/// Whether a plan's summary gets Eq 1–3 two-stage estimates: single
+/// input, ungrouped aggregation, under host or event sampling.
+pub fn plan_estimator_eligible(plan: &CentralPlan) -> bool {
+    if plan.inputs.len() > 1 {
+        return false;
+    }
+    let sampled = plan.sample.is_sampled()
+        || (plan.host_info.matching > plan.host_info.selected && plan.host_info.selected > 0);
+    if !sampled {
+        return false;
+    }
+    matches!(
+        &plan.mode,
+        OutputMode::Aggregate { group_by, .. } if group_by.is_empty()
+    )
+}
+
+/// Compute the per-column two-stage estimates (Eqs 1–3) from per-host
+/// estimator state. `states` must be in a deterministic host order (the
+/// executor exports first-seen order) — the floating-point reduction
+/// order follows it.
+pub fn estimates_from_states(
+    plan: &CentralPlan,
+    states: &[HostEstimatorState],
+    dead_hosts: &std::collections::HashSet<String>,
+) -> Vec<Option<scrub_sketch::TwoStageEstimate>> {
+    let OutputMode::Aggregate {
+        aggregates, output, ..
+    } = &plan.mode
+    else {
+        return vec![None; plan.headers.len()];
+    };
+    if !plan_estimator_eligible(plan) {
+        return vec![None; output.len()];
+    }
+    let n_total = if plan.host_info.matching > 0 {
+        plan.host_info.matching
+    } else {
+        states.len()
+    };
+    output
+        .iter()
+        .map(|col| {
+            let OutputCol::Agg(i) = col else {
+                return None;
+            };
+            use scrub_core::ql::ast::AggFn;
+            if !matches!(aggregates[*i].func, AggFn::Count | AggFn::Sum) {
+                return None;
+            }
+            let mut hosts: Vec<HostSample> = Vec::new();
+            for st in states {
+                // A dead host's counters stopped at an unknown point;
+                // dropping its sample shrinks n, so the two-stage bounds
+                // widen instead of silently biasing (Eqs 1–3).
+                if dead_hosts.contains(&st.host) {
+                    continue;
+                }
+                let stats = st.moments.get(*i).copied().unwrap_or_default();
+                hosts.push(HostSample {
+                    population: st.matched,
+                    stats,
+                });
+            }
+            Some(estimate_total(n_total, &hosts, 0.95))
+        })
+        .collect()
+}
+
 /// Executes one compiled query at ScrubCentral.
 pub struct QueryExecutor {
     /// Shared, immutable compiled plan — partitions of the same query all
@@ -210,19 +315,7 @@ impl QueryExecutor {
     }
 
     fn estimator_eligible(&self) -> bool {
-        if self.is_join() {
-            return false;
-        }
-        let sampled = self.plan.sample.is_sampled()
-            || (self.plan.host_info.matching > self.plan.host_info.selected
-                && self.plan.host_info.selected > 0);
-        if !sampled {
-            return false;
-        }
-        matches!(
-            &self.plan.mode,
-            OutputMode::Aggregate { group_by, .. } if group_by.is_empty()
-        )
+        plan_estimator_eligible(&self.plan)
     }
 
     /// Current scale-up factor compensating host and event sampling:
@@ -585,60 +678,31 @@ impl QueryExecutor {
         (rows, summary)
     }
 
-    fn compute_estimates(&self) -> Vec<Option<scrub_sketch::TwoStageEstimate>> {
-        // (estimator-eligible queries are single-input, so the (host, type)
-        // key degenerates to the host)
-        let OutputMode::Aggregate {
-            aggregates, output, ..
-        } = &self.plan.mode
-        else {
-            return vec![None; self.plan.headers.len()];
-        };
-        if !self.estimator_eligible() {
-            return vec![None; output.len()];
+    /// Export this executor's per-host estimator state (host-name keyed,
+    /// in first-seen host order so the floating-point reduction order is
+    /// deterministic). Partitions of one query export independently and
+    /// the router merges by host name — see
+    /// [`HostEstimatorState::merge`].
+    pub fn export_estimator_state(&self) -> Vec<HostEstimatorState> {
+        // (estimator-eligible queries are single-input, so the (host,
+        // type) key degenerates to the host; matched sums over the
+        // host's subscriptions)
+        let mut per_host: BTreeMap<HostId, u64> = BTreeMap::new();
+        for ((h, _), t) in &self.host_totals {
+            *per_host.entry(*h).or_default() += t.matched;
         }
-        let n_total = if self.plan.host_info.matching > 0 {
-            self.plan.host_info.matching
-        } else {
-            self.host_totals.len()
-        };
-        output
-            .iter()
-            .map(|col| {
-                let OutputCol::Agg(i) = col else {
-                    return None;
-                };
-                use scrub_core::ql::ast::AggFn;
-                if !matches!(aggregates[*i].func, AggFn::Count | AggFn::Sum) {
-                    return None;
-                }
-                // Sorted by interned host id (= first-seen order) so the
-                // floating-point reduction order is deterministic.
-                let mut entries: Vec<(HostId, &HostTotals)> =
-                    self.host_totals.iter().map(|((h, _), t)| (*h, t)).collect();
-                entries.sort_by_key(|(h, _)| *h);
-                let mut hosts: Vec<HostSample> = Vec::new();
-                for (host, totals) in entries {
-                    // A dead host's counters stopped at an unknown point;
-                    // dropping its sample shrinks n, so the two-stage
-                    // bounds widen instead of silently biasing (Eqs 1–3).
-                    if self.dead_hosts.contains(self.hosts.name(host)) {
-                        continue;
-                    }
-                    let stats = self
-                        .host_moments
-                        .get(&host)
-                        .and_then(|ms| ms.get(*i))
-                        .copied()
-                        .unwrap_or_default();
-                    hosts.push(HostSample {
-                        population: totals.matched,
-                        stats,
-                    });
-                }
-                Some(estimate_total(n_total, &hosts, 0.95))
+        per_host
+            .into_iter()
+            .map(|(h, matched)| HostEstimatorState {
+                host: self.hosts.name(h).to_string(),
+                matched,
+                moments: self.host_moments.get(&h).cloned().unwrap_or_default(),
             })
             .collect()
+    }
+
+    fn compute_estimates(&self) -> Vec<Option<scrub_sketch::TwoStageEstimate>> {
+        estimates_from_states(&self.plan, &self.export_estimator_state(), &self.dead_hosts)
     }
 }
 

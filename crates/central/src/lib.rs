@@ -13,6 +13,6 @@ pub mod partition;
 pub mod row;
 
 pub use agg::AggState;
-pub use executor::{QueryExecutor, WindowPartial, MAX_JOIN_ROWS_PER_REQUEST};
+pub use executor::{HostEstimatorState, QueryExecutor, WindowPartial, MAX_JOIN_ROWS_PER_REQUEST};
 pub use partition::{PartitionedExecutor, WindowClose};
 pub use row::{QuerySummary, ResultRow};

@@ -27,7 +27,17 @@
 //!   rows and closed-window partials onto a shared reply channel; replies
 //!   are re-ordered by partition index and partials merged by group key,
 //!   so the output is deterministic regardless of thread scheduling.
+//! * `finish` is a broadcast barrier: every partition exports its
+//!   per-host estimator moments, and the router merges them before
+//!   computing the Eq 1–3 estimates — one partition's slice alone would
+//!   bias them (see [`PartitionedExecutor::finish`]).
 //! * workers are joined on drop (or when `finish` tears the query down).
+//!
+//! Each threaded query owns `partitions` worker threads plus `partitions`
+//! bounded channels of up to [`INGEST_CHANNEL_CAP`] sub-batches for its
+//! whole lifetime; with N concurrently installed queries that is N×p
+//! threads. A shared cross-query pool is future work — until then, size
+//! `central_partitions` with the expected concurrent query count in mind.
 
 use std::collections::BTreeMap;
 use std::sync::mpsc;
@@ -38,7 +48,9 @@ use scrub_core::event::Event;
 use scrub_core::plan::{CentralPlan, OutputCol, OutputMode};
 use scrub_core::value::{GroupKey, Value};
 
-use crate::executor::{GroupState, QueryExecutor, WindowPartial};
+use crate::executor::{
+    estimates_from_states, GroupState, HostEstimatorState, QueryExecutor, WindowPartial,
+};
 use crate::row::{QuerySummary, ResultRow};
 
 /// Per-partition command-channel capacity (sub-batches in flight). Beyond
@@ -67,7 +79,9 @@ enum Cmd {
     SetDeadHosts(std::collections::HashSet<String>),
     /// Barrier: drain stream rows + closed partials up to `now_ms`.
     Advance(i64),
-    /// Produce the end-of-query summary (partition 0 only).
+    /// Produce the end-of-query summary and exported estimator state
+    /// (broadcast: every partition holds a slice of each host's sampled
+    /// moments, so the router must merge all of them).
     Finish,
     /// Exit the worker loop.
     Shutdown,
@@ -84,7 +98,10 @@ struct AdvanceReply {
 
 enum ReplyBody {
     Advance(AdvanceReply),
-    Finish(Box<QuerySummary>),
+    Finish {
+        summary: Box<QuerySummary>,
+        estimator: Vec<HostEstimatorState>,
+    },
 }
 
 struct Reply {
@@ -163,6 +180,27 @@ impl WorkerPool {
             .map(|s| s.expect("one reply per partition"))
             .collect()
     }
+
+    /// Collect one finish reply per partition, in partition order.
+    fn collect_finish(&mut self) -> Vec<(Box<QuerySummary>, Vec<HostEstimatorState>)> {
+        let n = self.workers.len();
+        let mut slots: Vec<Option<(Box<QuerySummary>, Vec<HostEstimatorState>)>> =
+            (0..n).map(|_| None).collect();
+        for _ in 0..n {
+            let reply = self
+                .reply_rx
+                .recv()
+                .expect("central partition worker alive");
+            let ReplyBody::Finish { summary, estimator } = reply.body else {
+                panic!("unexpected reply kind during finish barrier");
+            };
+            slots[reply.part] = Some((summary, estimator));
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("one reply per partition"))
+            .collect()
+    }
 }
 
 impl Drop for WorkerPool {
@@ -209,11 +247,15 @@ fn worker_loop(
                 }
             }
             Cmd::Finish => {
+                let estimator = exec.export_estimator_state();
                 let (_, summary) = exec.finish();
                 if reply_tx
                     .send(Reply {
                         part,
-                        body: ReplyBody::Finish(Box::new(summary)),
+                        body: ReplyBody::Finish {
+                            summary: Box::new(summary),
+                            estimator,
+                        },
                     })
                     .is_err()
                 {
@@ -252,6 +294,10 @@ pub struct PartitionedExecutor {
     /// Events routed to partitions since creation (each counted exactly
     /// once — see [`split_by_request_id`]).
     events_routed: u64,
+    /// Windows rendered with at least one group. Counted here at the
+    /// router (where merged windows are rendered) so the figure is
+    /// partition-count-invariant; per-partition executors never render.
+    windows_emitted: u64,
 }
 
 impl PartitionedExecutor {
@@ -274,6 +320,7 @@ impl PartitionedExecutor {
             closes: Vec::new(),
             backpressure: 0,
             events_routed: 0,
+            windows_emitted: 0,
         }
     }
 
@@ -427,6 +474,11 @@ impl PartitionedExecutor {
         }
         let degraded_now = !self.dead_hosts.is_empty();
         for (w, groups) in by_window {
+            // Same semantics as the sequential executor's render path: a
+            // window counts as emitted when it closed holding groups.
+            if !groups.is_empty() {
+                self.windows_emitted += 1;
+            }
             let rendered = self.render_merged(w, groups, scale);
             self.closes.push(WindowClose {
                 window_start_ms: w,
@@ -488,29 +540,53 @@ impl PartitionedExecutor {
             .collect()
     }
 
-    /// Close everything; summaries are merged across partitions (host
-    /// totals are per-host cumulative and identical on every shard, so the
-    /// first partition's summary carries them).
+    /// Close everything and produce the end-of-query summary.
+    ///
+    /// Counter totals (matched/sampled/shed, hosts reporting/live) come
+    /// from partition 0 — batch headers replicate to every partition, so
+    /// its cumulative counters are authoritative. The Eq 1–3 estimates do
+    /// **not** replicate: each partition holds the moments of only the
+    /// events it ingested, so every partition exports its per-host
+    /// [`HostEstimatorState`] and the router merges them (Welford states
+    /// combine exactly) before computing the estimates. Partition 0's
+    /// first-seen host order fixes the reduction order, so the result is
+    /// deterministic for a given partition count and matches the inline
+    /// reference up to floating-point rounding of the moment merge.
     pub fn finish(&mut self) -> (Vec<ResultRow>, QuerySummary) {
         let rows = self.advance(i64::MAX / 4);
-        // Partition 0 saw every host's cumulative counters (batches are
-        // replicated header-wise), so its summary totals are authoritative.
         let mut summary = match &mut self.backend {
             Backend::Inline(part) => part.finish().1,
             Backend::Threaded(pool) => {
-                pool.send(0, Cmd::Finish);
-                let reply = pool
-                    .reply_rx
-                    .recv()
-                    .expect("central partition worker alive");
-                let ReplyBody::Finish(summary) = reply.body else {
-                    panic!("unexpected reply kind during finish");
-                };
-                *summary
+                for i in 0..pool.workers.len() {
+                    pool.send(i, Cmd::Finish);
+                }
+                let replies = pool.collect_finish();
+                let mut merged: Vec<HostEstimatorState> = Vec::new();
+                let mut index: std::collections::HashMap<String, usize> =
+                    std::collections::HashMap::new();
+                let mut summary0: Option<Box<QuerySummary>> = None;
+                for (part, (summary, states)) in replies.into_iter().enumerate() {
+                    if part == 0 {
+                        summary0 = Some(summary);
+                    }
+                    for st in states {
+                        match index.get(&st.host) {
+                            Some(&i) => merged[i].merge(st),
+                            None => {
+                                index.insert(st.host.clone(), merged.len());
+                                merged.push(st);
+                            }
+                        }
+                    }
+                }
+                let mut summary = *summary0.expect("partition 0 always replies");
+                summary.estimates = estimates_from_states(&self.plan, &merged, &self.dead_hosts);
+                summary
             }
         };
         summary.degraded_rows = self.degraded_rows;
         summary.duplicate_batches = self.duplicate_batches;
+        summary.windows_emitted = self.windows_emitted;
         (rows, summary)
     }
 }
@@ -562,7 +638,7 @@ mod tests {
     use super::*;
     use scrub_core::config::ScrubConfig;
     use scrub_core::event::{Event, RequestId};
-    use scrub_core::plan::{compile, QueryId};
+    use scrub_core::plan::{compile, HostSampleInfo, QueryId};
     use scrub_core::ql::parser::parse_query;
     use scrub_core::schema::{EventSchema, EventTypeId, FieldDef, FieldType, SchemaRegistry};
 
@@ -754,6 +830,77 @@ mod tests {
         assert_eq!(multi.events_routed(), 750);
         let (rows, _) = multi.finish();
         assert_eq!(rows.len(), 1);
+    }
+
+    /// Relative comparison tolerating the floating-point rounding of the
+    /// cross-partition Welford merge (and ∞ == ∞ for degenerate bounds).
+    fn assert_approx(a: f64, b: f64) {
+        if a.is_infinite() || b.is_infinite() {
+            assert!(a == b, "{a} vs {b}");
+            return;
+        }
+        let denom = a.abs().max(b.abs()).max(1e-12);
+        assert!((a - b).abs() / denom < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn finish_estimates_partition_invariant() {
+        // Regression test: the threaded backend used to take estimates
+        // from partition 0 alone, whose moments cover only its slice of
+        // each host's events — hosts whose events all hashed elsewhere
+        // estimated 0, biasing τ̂ low. Estimates must now come from the
+        // merged per-host moments of every partition.
+        let sampled_plan = || {
+            let src = "select SUM(bid.price), COUNT(*) from bid sample events 50% window 10 s";
+            let spec = parse_query(src).unwrap();
+            let mut cq = compile(&spec, &registry(), &ScrubConfig::default(), QueryId(5)).unwrap();
+            cq.central.host_info = HostSampleInfo {
+                matching: 6,
+                selected: 6,
+            };
+            cq.central
+        };
+        let mut single = PartitionedExecutor::new(sampled_plan(), 0, 1);
+        let mut multi = PartitionedExecutor::new(sampled_plan(), 0, 4);
+        for exec in [&mut single, &mut multi] {
+            for h in 0..6u64 {
+                // few events per host with distinct request ids, so some
+                // hosts land entirely outside partition 0
+                let events: Vec<Event> = (0..3)
+                    .map(|i| {
+                        ev(
+                            0,
+                            h * 100 + i,
+                            1_000,
+                            vec![Value::Double((h * 3 + i) as f64)],
+                        )
+                    })
+                    .collect();
+                exec.ingest(EventBatch {
+                    seq: 0,
+                    attempt: 0,
+                    query_id: QueryId(5),
+                    type_id: EventTypeId(0),
+                    host: format!("h{h}"),
+                    events,
+                    matched: 10,
+                    sampled: 3,
+                    shed: 0,
+                });
+            }
+        }
+        let (_, s1) = single.finish();
+        let (_, s4) = multi.finish();
+        assert_eq!(s1.windows_emitted, s4.windows_emitted);
+        assert!(s1.windows_emitted > 0);
+        assert_eq!(s1.estimates.len(), s4.estimates.len());
+        for (a, b) in s1.estimates.iter().zip(&s4.estimates) {
+            let (a, b) = (a.expect("SUM/COUNT estimate"), b.expect("SUM/COUNT estimate"));
+            assert!(a.estimate > 0.0);
+            assert_approx(a.estimate, b.estimate);
+            assert_approx(a.error_bound, b.error_bound);
+            assert_approx(a.variance, b.variance);
+        }
     }
 
     #[test]

@@ -1,9 +1,18 @@
 //! Differential tests for the parallel ingest pipeline: the same
 //! simulated deployment run with `central_partitions = 1` (the inline
 //! deterministic reference) and `central_partitions = 4` (the threaded
-//! worker pool) must produce identical sorted result rows and an
-//! identical `QuerySummary` coverage picture — for plain aggregation,
-//! for the request-id join, and under a chaos fault plan with link loss.
+//! worker pool) must produce equal sorted result rows and an equal
+//! `QuerySummary` (coverage picture, windows emitted, and — for
+//! estimator-eligible sampled queries — the Eq 1–3 estimates) — for
+//! plain aggregation, the request-id join, a sampled ungrouped
+//! aggregate, and a chaos fault plan with link loss.
+//!
+//! "Equal" is bitwise for everything except `f64`-valued figures
+//! (Double aggregate columns, estimates, error bounds): the threaded
+//! backend reduces per-partition partials in a different order than the
+//! sequential reference, and f64 addition is not associative, so those
+//! are compared to a 1e-9 relative tolerance. Integer counts, group
+//! keys, windows and every summary counter must match exactly.
 
 #![allow(clippy::field_reassign_with_default)]
 
@@ -83,10 +92,16 @@ fn registry() -> Arc<SchemaRegistry> {
     Arc::new(reg)
 }
 
-/// One full simulated run; returns (sorted rows, summary signature).
-/// Everything except `partitions` is held fixed, so any divergence is the
-/// parallel backend's fault.
-fn run(partitions: usize, query: &str, chaos: bool) -> (Vec<(i64, String, bool)>, String) {
+/// One full simulated run; returns (sorted rows, summary signature,
+/// per-column two-stage estimates). Everything except `partitions` is
+/// held fixed, so any divergence is the parallel backend's fault.
+type RunOutput = (
+    Vec<(i64, Vec<Value>, bool)>,
+    String,
+    Vec<Option<scrub_sketch::TwoStageEstimate>>,
+);
+
+fn run(partitions: usize, query: &str, chaos: bool) -> RunOutput {
     let mut config = ScrubConfig::default();
     config.central_partitions = partitions;
     if chaos {
@@ -126,34 +141,85 @@ fn run(partitions: usize, query: &str, chaos: bool) -> (Vec<(i64, String, bool)>
     let rec = qid.record(&sim).unwrap();
     assert_eq!(rec.state, QueryState::Done);
     let s = rec.summary.as_ref().unwrap();
-    let mut rows: Vec<(i64, String, bool)> = rec
+    let mut rows: Vec<(i64, Vec<Value>, bool)> = rec
         .rows
         .iter()
-        .map(|r| (r.window_start_ms, format!("{:?}", r.values), r.degraded))
+        .map(|r| (r.window_start_ms, r.values.clone(), r.degraded))
         .collect();
-    rows.sort();
+    rows.sort_by_key(|(w, values, degraded)| (*w, format!("{values:?}"), *degraded));
     let sig = format!(
         "targeted={} live={} reporting={} matched={} sampled={} shed={} \
-         coverage={:.9} degraded_rows={} duplicates={}",
+         windows={} coverage={:.9} degraded_rows={} duplicates={}",
         s.hosts_targeted,
         s.hosts_live,
         s.hosts_reporting,
         s.total_matched,
         s.total_sampled,
         s.total_shed,
+        s.windows_emitted,
         s.coverage(),
         s.degraded_rows,
         s.duplicate_batches,
     );
-    (rows, sig)
+    (rows, sig, s.estimates.clone())
+}
+
+/// Floating-point figures must agree across partition counts; the
+/// threaded backend sums/merges per-partition partials, so its values
+/// match the inline reference up to floating-point rounding (∞ must
+/// agree exactly). Integer values are compared exactly elsewhere.
+fn assert_f64_eq(a: f64, b: f64, what: &str) {
+    if a.is_infinite() || b.is_infinite() {
+        assert!(a == b, "{what}: {a} vs {b}");
+        return;
+    }
+    let denom = a.abs().max(b.abs()).max(1e-12);
+    assert!(
+        (a - b).abs() / denom < 1e-9,
+        "{what} diverges between partitions 1 and 4: {a} vs {b}"
+    );
+}
+
+/// Exact equality for every value except `Double`, which tolerates the
+/// reduction-order rounding of the parallel merge (SUM/AVG of doubles is
+/// not FP-associative; counts and group keys must match bitwise).
+fn assert_rows_eq(rows1: &[(i64, Vec<Value>, bool)], rows4: &[(i64, Vec<Value>, bool)]) {
+    assert_eq!(
+        rows1.len(),
+        rows4.len(),
+        "row count diverges between partitions 1 and 4"
+    );
+    for (i, ((w1, v1, d1), (w4, v4, d4))) in rows1.iter().zip(rows4).enumerate() {
+        assert_eq!((w1, d1), (w4, d4), "row {i} window/degraded diverge");
+        assert_eq!(v1.len(), v4.len(), "row {i} arity diverges");
+        for (j, (a, b)) in v1.iter().zip(v4).enumerate() {
+            match (a, b) {
+                (Value::Double(x), Value::Double(y)) => {
+                    assert_f64_eq(*x, *y, &format!("row {i} col {j}"));
+                }
+                _ => assert_eq!(a, b, "row {i} col {j} diverges"),
+            }
+        }
+    }
 }
 
 fn assert_differential(query: &str, chaos: bool) {
-    let (rows1, sig1) = run(1, query, chaos);
-    let (rows4, sig4) = run(4, query, chaos);
+    let (rows1, sig1, est1) = run(1, query, chaos);
+    let (rows4, sig4, est4) = run(4, query, chaos);
     assert!(!rows1.is_empty(), "reference run produced no rows");
-    assert_eq!(rows1, rows4, "rows diverge between partitions 1 and 4");
+    assert_rows_eq(&rows1, &rows4);
     assert_eq!(sig1, sig4, "summary diverges between partitions 1 and 4");
+    assert_eq!(est1.len(), est4.len(), "estimate column count diverges");
+    for (i, (a, b)) in est1.iter().zip(&est4).enumerate() {
+        match (a, b) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_f64_eq(a.estimate, b.estimate, &format!("estimate[{i}]"));
+                assert_f64_eq(a.error_bound, b.error_bound, &format!("error_bound[{i}]"));
+            }
+            _ => panic!("estimate[{i}] present in one run only"),
+        }
+    }
 }
 
 #[test]
@@ -171,6 +237,22 @@ fn join_rows_identical_across_partition_counts() {
         "select COUNT(*) from bid, impression @[all] window 5 s duration 15 s",
         false,
     );
+}
+
+#[test]
+fn sampled_estimates_identical_across_partition_counts() {
+    // Estimator-eligible query (single stream, ungrouped, event-sampled):
+    // the summary carries Eq 1–3 estimates, which the threaded backend
+    // must assemble from every partition's per-host moments — taking one
+    // partition's slice would bias τ̂ low.
+    let query = "select COUNT(*), SUM(bid.price) from bid @[all] \
+                 sample events 50% window 5 s duration 15 s";
+    assert_differential(query, false);
+    let (_, _, est) = run(4, query, false);
+    for (i, e) in est.iter().enumerate() {
+        let e = e.unwrap_or_else(|| panic!("column {i} should carry an estimate"));
+        assert!(e.estimate > 0.0, "column {i} estimate degenerate: {e:?}");
+    }
 }
 
 #[test]
