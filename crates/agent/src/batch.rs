@@ -5,6 +5,7 @@ use serde::{Deserialize, Serialize};
 use scrub_core::event::Event;
 use scrub_core::plan::QueryId;
 use scrub_core::schema::EventTypeId;
+use scrub_obs::TraceSpan;
 
 /// A batch of selected/projected events for one query from one host.
 ///
@@ -46,13 +47,20 @@ pub struct EventBatch {
     pub sampled: u64,
     /// Cumulative count of events dropped by load shedding.
     pub shed: u64,
+    /// Lifecycle trace spans piggybacking on this batch (empty unless
+    /// `ScrubConfig::trace_sample_rate > 0`). Spans ride the batches the
+    /// agent ships anyway — tracing adds no messages to the network.
+    #[serde(default)]
+    pub spans: Vec<TraceSpan>,
 }
 
 impl EventBatch {
     /// Approximate wire size of this batch in bytes.
     pub fn approx_bytes(&self) -> usize {
         let header = 8 + self.host.len() + 24;
-        header + self.events.iter().map(Event::approx_bytes).sum::<usize>()
+        header
+            + self.events.iter().map(Event::approx_bytes).sum::<usize>()
+            + self.spans.len() * TraceSpan::APPROX_BYTES
     }
 }
 
@@ -76,11 +84,26 @@ mod tests {
             matched: 0,
             sampled: 0,
             shed: 0,
+            spans: vec![],
         };
         let one = EventBatch {
             events: vec![ev.clone()],
             ..empty.clone()
         };
         assert_eq!(one.approx_bytes() - empty.approx_bytes(), ev.approx_bytes());
+        let spanned = EventBatch {
+            spans: vec![scrub_obs::TraceSpan::new(
+                1,
+                scrub_obs::SpanKind::Emit,
+                0,
+                0,
+            )],
+            ..empty.clone()
+        };
+        assert_eq!(
+            spanned.approx_bytes() - empty.approx_bytes(),
+            scrub_obs::TraceSpan::APPROX_BYTES,
+            "piggybacked spans must be charged to the wire-size model"
+        );
     }
 }

@@ -205,6 +205,7 @@ mod tests {
             matched: 1,
             sampled: 1,
             shed: 0,
+            spans: vec![],
         }
     }
 

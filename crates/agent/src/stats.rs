@@ -38,6 +38,10 @@ pub struct AgentStats {
     pub heartbeats_sent: AtomicU64,
     /// Pending batches evicted because the retransmit buffer overflowed.
     pub retransmit_evictions: AtomicU64,
+    /// Lifecycle trace spans recorded (only when tracing is enabled).
+    pub trace_spans: AtomicU64,
+    /// Trace spans dropped because the per-host span budget was hit.
+    pub trace_spans_shed: AtomicU64,
 }
 
 impl AgentStats {
@@ -59,6 +63,8 @@ impl AgentStats {
             acks_pending: self.acks_pending.load(Ordering::Relaxed),
             heartbeats_sent: self.heartbeats_sent.load(Ordering::Relaxed),
             retransmit_evictions: self.retransmit_evictions.load(Ordering::Relaxed),
+            trace_spans: self.trace_spans.load(Ordering::Relaxed),
+            trace_spans_shed: self.trace_spans_shed.load(Ordering::Relaxed),
         }
     }
 
@@ -90,6 +96,10 @@ pub struct StatsSnapshot {
     pub heartbeats_sent: u64,
     #[serde(default)]
     pub retransmit_evictions: u64,
+    #[serde(default)]
+    pub trace_spans: u64,
+    #[serde(default)]
+    pub trace_spans_shed: u64,
 }
 
 impl StatsSnapshot {
@@ -117,6 +127,8 @@ impl StatsSnapshot {
             ("agent.bytes_retransmitted", self.bytes_retransmitted),
             ("agent.heartbeats_sent", self.heartbeats_sent),
             ("agent.retransmit_evictions", self.retransmit_evictions),
+            ("agent.trace_spans", self.trace_spans),
+            ("agent.trace_spans_shed", self.trace_spans_shed),
         ];
         for (name, v) in counters {
             m.counters.insert(name.to_string(), v);
@@ -145,6 +157,8 @@ impl StatsSnapshot {
             acks_pending: self.acks_pending,
             heartbeats_sent: self.heartbeats_sent - earlier.heartbeats_sent,
             retransmit_evictions: self.retransmit_evictions - earlier.retransmit_evictions,
+            trace_spans: self.trace_spans - earlier.trace_spans,
+            trace_spans_shed: self.trace_spans_shed - earlier.trace_spans_shed,
         }
     }
 }

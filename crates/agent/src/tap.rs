@@ -22,6 +22,7 @@ use scrub_core::event::{Event, FieldSlot, RequestId, ToEvent};
 use scrub_core::plan::{HostPlan, QueryId};
 use scrub_core::schema::EventTypeId;
 use scrub_core::value::Value;
+use scrub_obs::trace::{should_trace, trace_threshold, SpanKind, TraceSpan};
 
 use crate::batch::EventBatch;
 use crate::stats::AgentStats;
@@ -42,6 +43,12 @@ pub struct ScrubAgent {
     stats: Arc<AgentStats>,
     /// True while any query is installed (cheap global check).
     any_active: AtomicBool,
+    /// Precomputed lifecycle-trace sampler threshold
+    /// ([`scrub_obs::trace::trace_threshold`] of
+    /// `ScrubConfig::trace_sample_rate`). `0` — the default — disables
+    /// tracing, and the already-cold active path pays exactly one integer
+    /// compare; the inactive fast path is untouched either way.
+    trace_threshold: u64,
 }
 
 #[derive(Default)]
@@ -50,6 +57,10 @@ struct Inner {
     subs: Vec<Vec<Subscription>>,
     /// Batches ready to ship.
     outbox: Vec<EventBatch>,
+    /// Trace spans currently buffered across all subscriptions, bounded
+    /// by `ScrubConfig::trace_span_budget` (the host-impact cap; spans
+    /// over budget are dropped and counted, never allocated).
+    spans_buffered: usize,
 }
 
 struct Subscription {
@@ -59,6 +70,9 @@ struct Subscription {
     /// `next_u64 <= threshold` keeps the event.
     sample_threshold: u64,
     batch: Vec<Event>,
+    /// Lifecycle spans of traced events awaiting the next flush (drained
+    /// into `EventBatch::spans`, so tracing adds no extra messages).
+    trace: Vec<TraceSpan>,
     /// Cumulative counters (shipped with every batch).
     matched: u64,
     sampled: u64,
@@ -80,6 +94,7 @@ impl Subscription {
             rng: seed | 1,
             sample_threshold: threshold,
             batch: Vec::new(),
+            trace: Vec::new(),
             matched: 0,
             sampled: 0,
             shed: 0,
@@ -101,6 +116,7 @@ impl Subscription {
 impl ScrubAgent {
     /// Create an agent for the named host.
     pub fn new(host: impl Into<String>, config: ScrubConfig) -> Self {
+        let threshold = trace_threshold(config.trace_sample_rate);
         ScrubAgent {
             host: host.into(),
             config,
@@ -108,6 +124,7 @@ impl ScrubAgent {
             inner: Mutex::new(Inner::default()),
             stats: Arc::new(AgentStats::default()),
             any_active: AtomicBool::new(false),
+            trace_threshold: threshold,
         }
     }
 
@@ -178,15 +195,19 @@ impl ScrubAgent {
         inner.outbox = kept;
         for t in 0..inner.subs.len() {
             let mut removed = Vec::new();
+            let host = &self.host;
             inner.subs[t].retain_mut(|s| {
                 if s.plan.query_id == query_id {
-                    removed.push(make_batch(&self.host, s, now_ms));
+                    removed.push(make_batch(host, s, now_ms));
                     false
                 } else {
                     true
                 }
             });
-            out.extend(removed.into_iter().flatten());
+            for b in removed.into_iter().flatten() {
+                inner.spans_buffered -= b.spans.len();
+                out.push(b);
+            }
             if inner.subs[t].is_empty() {
                 self.active_mask[t >> 6].fetch_and(!(1u64 << (t & 63)), Ordering::Relaxed);
             }
@@ -261,9 +282,18 @@ impl ScrubAgent {
         values: &[Value],
     ) {
         self.stats.bump(&self.stats.events_active, 1);
+        // Lifecycle tracing: one integer compare when disabled (threshold
+        // 0 short-circuits before hashing); one hash of the request id
+        // when enabled. Deterministic in the request id, so every host and
+        // every partition count traces the same requests.
+        let traced = should_trace(request_id.0, self.trace_threshold);
         let mut inner = self.inner.lock();
         let t = type_id.0 as usize;
-        let Inner { subs, outbox } = &mut *inner;
+        let Inner {
+            subs,
+            outbox,
+            spans_buffered,
+        } = &mut *inner;
         let Some(type_subs) = subs.get_mut(t) else {
             return;
         };
@@ -287,10 +317,29 @@ impl ScrubAgent {
             }
             sub.matched += 1;
             self.stats.bump(&self.stats.events_matched, 1);
+            if traced {
+                self.record_span(
+                    spans_buffered,
+                    &mut sub.trace,
+                    TraceSpan::new(request_id.0, SpanKind::Emit, timestamp_ms, 0),
+                );
+                self.record_span(
+                    spans_buffered,
+                    &mut sub.trace,
+                    TraceSpan::new(request_id.0, SpanKind::TapSelect, timestamp_ms, 0),
+                );
+            }
 
             // per-event sampling (accuracy for impact, §3.2)
             if sub.sample_threshold != u64::MAX && sub.next_u64() > sub.sample_threshold {
                 self.stats.bump(&self.stats.events_sampled_out, 1);
+                if traced {
+                    self.record_span(
+                        spans_buffered,
+                        &mut sub.trace,
+                        TraceSpan::new(request_id.0, SpanKind::SampledOut, timestamp_ms, 0),
+                    );
+                }
                 continue;
             }
 
@@ -302,6 +351,13 @@ impl ScrubAgent {
             if sub.shed_window.1 >= self.config.agent_events_per_sec_budget {
                 sub.shed += 1;
                 self.stats.bump(&self.stats.events_shed, 1);
+                if traced {
+                    self.record_span(
+                        spans_buffered,
+                        &mut sub.trace,
+                        TraceSpan::new(request_id.0, SpanKind::Shed, timestamp_ms, 0),
+                    );
+                }
                 continue;
             }
             sub.shed_window.1 += 1;
@@ -322,10 +378,18 @@ impl ScrubAgent {
             sub.batch
                 .push(Event::new(type_id, request_id, timestamp_ms, projected));
             self.stats.bump(&self.stats.events_shipped, 1);
+            if traced {
+                self.record_span(
+                    spans_buffered,
+                    &mut sub.trace,
+                    TraceSpan::new(request_id.0, SpanKind::Enqueue, timestamp_ms, 0),
+                );
+            }
 
             // size-triggered flush
             if sub.batch.len() >= self.config.agent_batch_events {
                 if let Some(b) = make_batch(&self.host, sub, timestamp_ms) {
+                    *spans_buffered -= b.spans.len();
                     self.stats
                         .bump(&self.stats.bytes_shipped, b.approx_bytes() as u64);
                     self.stats.bump(&self.stats.batches_flushed, 1);
@@ -335,17 +399,36 @@ impl ScrubAgent {
         }
     }
 
+    /// Buffer one trace span, honoring the hard per-host span budget:
+    /// over budget the span is dropped and counted, never allocated — the
+    /// host-impact contract holds no matter the trace rate.
+    fn record_span(&self, spans_buffered: &mut usize, buf: &mut Vec<TraceSpan>, span: TraceSpan) {
+        if *spans_buffered >= self.config.trace_span_budget {
+            self.stats.bump(&self.stats.trace_spans_shed, 1);
+            return;
+        }
+        *spans_buffered += 1;
+        self.stats.bump(&self.stats.trace_spans, 1);
+        buf.push(span);
+    }
+
     /// Collect batches due for shipment: size-flushed batches plus any
     /// subscription whose flush interval elapsed (called periodically by
     /// the host's network loop).
     pub fn take_batches(&self, now_ms: i64) -> Vec<EventBatch> {
         let mut inner = self.inner.lock();
         let mut out = std::mem::take(&mut inner.outbox);
-        for type_subs in inner.subs.iter_mut() {
+        let Inner {
+            subs,
+            spans_buffered,
+            ..
+        } = &mut *inner;
+        for type_subs in subs.iter_mut() {
             for sub in type_subs.iter_mut() {
                 let due = now_ms - sub.last_flush_ms >= self.config.agent_flush_interval_ms;
                 if due {
                     if let Some(b) = make_batch(&self.host, sub, now_ms) {
+                        *spans_buffered -= b.spans.len();
                         self.stats
                             .bump(&self.stats.bytes_shipped, b.approx_bytes() as u64);
                         self.stats.bump(&self.stats.batches_flushed, 1);
@@ -365,6 +448,8 @@ fn make_batch(host: &str, sub: &mut Subscription, now_ms: i64) -> Option<EventBa
     if sub.batch.is_empty() && sub.matched == 0 {
         return None;
     }
+    // Spans only exist for events that matched selection, so matched > 0
+    // whenever `trace` is non-empty — spans always find a batch to ride.
     Some(EventBatch {
         seq: 0,
         attempt: 0,
@@ -375,6 +460,7 @@ fn make_batch(host: &str, sub: &mut Subscription, now_ms: i64) -> Option<EventBa
         matched: sub.matched,
         sampled: sub.sampled,
         shed: sub.shed,
+        spans: std::mem::take(&mut sub.trace),
     })
 }
 
@@ -644,6 +730,135 @@ mod tests {
             }
         });
         assert_eq!(built, 1);
+    }
+
+    #[test]
+    fn tracing_disabled_by_default_no_spans() {
+        let a = agent();
+        a.install(plan_for("select COUNT(*) from bid", 1)).unwrap();
+        a.log(
+            EventTypeId(0),
+            RequestId(1),
+            0,
+            &[Value::Long(1), Value::Double(1.0)],
+        );
+        let batches = a.take_batches(10_000);
+        assert!(batches.iter().all(|b| b.spans.is_empty()));
+        let s = a.stats().snapshot();
+        assert_eq!(s.trace_spans, 0);
+        assert_eq!(s.trace_spans_shed, 0);
+    }
+
+    #[test]
+    fn tracing_records_lifecycle_spans() {
+        let mut cfg = ScrubConfig::default();
+        cfg.trace_sample_rate = 1.0;
+        let a = ScrubAgent::new("h1", cfg);
+        a.install(plan_for("select COUNT(*) from bid", 1)).unwrap();
+        a.log(
+            EventTypeId(0),
+            RequestId(42),
+            7,
+            &[Value::Long(1), Value::Double(1.0)],
+        );
+        let batches = a.take_batches(10_000);
+        assert_eq!(batches.len(), 1);
+        let spans = &batches[0].spans;
+        let kinds: Vec<SpanKind> = spans.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![SpanKind::Emit, SpanKind::TapSelect, SpanKind::Enqueue]
+        );
+        assert!(spans.iter().all(|s| s.request_id == 42 && s.at_ms == 7));
+        // hosts stay empty on the wire; central backfills from the batch
+        assert!(spans.iter().all(|s| s.host.is_empty()));
+        assert_eq!(a.stats().snapshot().trace_spans, 3);
+        // drained: the next flush carries no stale spans
+        assert!(a.take_batches(20_000).iter().all(|b| b.spans.is_empty()));
+    }
+
+    #[test]
+    fn tracing_records_sampled_out_and_shed_decisions() {
+        let mut cfg = ScrubConfig::default();
+        cfg.trace_sample_rate = 1.0;
+        cfg.agent_events_per_sec_budget = 5;
+        let a = ScrubAgent::new("h1", cfg);
+        a.install(plan_for("select COUNT(*) from bid sample events 50%", 1))
+            .unwrap();
+        for i in 0..50u64 {
+            a.log(
+                EventTypeId(0),
+                RequestId(i),
+                100, // one second: budget 5 forces shedding
+                &[Value::Long(1), Value::Double(1.0)],
+            );
+        }
+        let batches = a.take_batches(10_000);
+        let spans: Vec<&TraceSpan> = batches.iter().flat_map(|b| &b.spans).collect();
+        assert!(spans.iter().any(|s| s.kind == SpanKind::SampledOut));
+        assert!(spans.iter().any(|s| s.kind == SpanKind::Shed));
+        assert!(spans.iter().any(|s| s.kind == SpanKind::Enqueue));
+    }
+
+    #[test]
+    fn trace_span_budget_is_a_hard_cap() {
+        let mut cfg = ScrubConfig::default();
+        cfg.trace_sample_rate = 1.0;
+        cfg.trace_span_budget = 4;
+        let a = ScrubAgent::new("h1", cfg);
+        a.install(plan_for("select COUNT(*) from bid", 1)).unwrap();
+        for i in 0..10u64 {
+            a.log(
+                EventTypeId(0),
+                RequestId(i),
+                0,
+                &[Value::Long(1), Value::Double(1.0)],
+            );
+        }
+        let batches = a.take_batches(10_000);
+        let buffered: usize = batches.iter().map(|b| b.spans.len()).sum();
+        assert_eq!(buffered, 4, "budget caps buffered spans");
+        let s = a.stats().snapshot();
+        assert_eq!(s.trace_spans, 4);
+        assert_eq!(s.trace_spans_shed, 10 * 3 - 4);
+        // the flush freed the budget: tracing resumes
+        a.log(
+            EventTypeId(0),
+            RequestId(99),
+            20_000,
+            &[Value::Long(1), Value::Double(1.0)],
+        );
+        assert_eq!(a.stats().snapshot().trace_spans, 7);
+    }
+
+    #[test]
+    fn trace_sampling_is_deterministic_across_agents() {
+        let mut cfg = ScrubConfig::default();
+        cfg.trace_sample_rate = 0.3;
+        let run = |host: &str| -> Vec<u64> {
+            let a = ScrubAgent::new(host, cfg.clone());
+            a.install(plan_for("select COUNT(*) from bid", 1)).unwrap();
+            for i in 0..200u64 {
+                a.log(
+                    EventTypeId(0),
+                    RequestId(i),
+                    0,
+                    &[Value::Long(1), Value::Double(1.0)],
+                );
+            }
+            let mut rids: Vec<u64> = a
+                .take_batches(10_000)
+                .iter()
+                .flat_map(|b| &b.spans)
+                .map(|s| s.request_id)
+                .collect();
+            rids.dedup();
+            rids
+        };
+        let a = run("h1");
+        let b = run("completely-different-host");
+        assert_eq!(a, b, "trace pick depends only on the request id");
+        assert!(!a.is_empty() && a.len() < 200);
     }
 
     #[test]

@@ -63,6 +63,7 @@ fn bid_batch(n: u64) -> EventBatch {
         matched: n,
         sampled: n,
         shed: 0,
+        spans: vec![],
     }
 }
 
@@ -118,6 +119,7 @@ fn bench_central(c: &mut Criterion) {
                     matched: N / 2,
                     sampled: N / 2,
                     shed: 0,
+                    spans: vec![],
                 };
                 (QueryExecutor::new(p.clone(), 0), bid_batch(N / 2), imps)
             },

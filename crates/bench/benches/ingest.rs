@@ -64,6 +64,7 @@ fn bid_batch(n: u64) -> EventBatch {
         matched: n,
         sampled: n,
         shed: 0,
+        spans: vec![],
     }
 }
 
@@ -87,6 +88,7 @@ fn imp_batch(n: u64) -> EventBatch {
         matched: n,
         sampled: n,
         shed: 0,
+        spans: vec![],
     }
 }
 

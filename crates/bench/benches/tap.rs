@@ -33,9 +33,14 @@ fn registry() -> SchemaRegistry {
 }
 
 fn agent_with(queries: &[&str]) -> ScrubAgent {
+    agent_with_trace_rate(queries, 0.0)
+}
+
+fn agent_with_trace_rate(queries: &[&str], trace_rate: f64) -> ScrubAgent {
     let reg = registry();
     let mut config = ScrubConfig::default();
     config.agent_batch_events = usize::MAX; // avoid flush noise in the bench
+    config.trace_sample_rate = trace_rate;
     let agent = ScrubAgent::new("bench-host", config);
     for (i, q) in queries.iter().enumerate() {
         let spec = parse_query(q).unwrap();
@@ -90,10 +95,35 @@ fn bench_tap(c: &mut Criterion) {
         })
     });
 
-    // one active query matching + projecting one field
+    // one active query matching + projecting one field; this is also the
+    // tracing-disabled guard — trace_sample_rate is 0 here, so compare
+    // this number across commits to prove lifecycle tracing added nothing
+    // to the default matched-event path (the only new work is one integer
+    // compare against a precomputed threshold of 0)
     g.bench_function("active_match_project_1_field", |b| {
         b.iter_batched(
             || agent_with(&["select bid.user_id, COUNT(*) from bid group by bid.user_id"]),
+            |agent| {
+                for i in 0..1000u64 {
+                    agent.log(EventTypeId(0), RequestId(i), i as i64, &vals);
+                }
+                agent
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // the tracing-enabled twin: what a 5% lifecycle-trace rate costs on
+    // the same matched path (hash + compare per event; span pushes for
+    // the sampled 5%)
+    g.bench_function("active_match_project_1_field_tracing_5pct", |b| {
+        b.iter_batched(
+            || {
+                agent_with_trace_rate(
+                    &["select bid.user_id, COUNT(*) from bid group by bid.user_id"],
+                    0.05,
+                )
+            },
             |agent| {
                 for i in 0..1000u64 {
                     agent.log(EventTypeId(0), RequestId(i), i as i64, &vals);

@@ -80,6 +80,7 @@ fn make_batches(n: usize) -> Vec<EventBatch> {
             matched: cumulative,
             sampled: cumulative,
             shed: 0,
+            spans: vec![],
         });
     }
     batches

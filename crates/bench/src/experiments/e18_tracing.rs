@@ -1,0 +1,226 @@
+//! E18 — lifecycle tracing and loss provenance under chaos (observability;
+//! no paper figure).
+//!
+//! Reruns E16's chaos scenario (5% loss each way, a DC1/DC2 partition
+//! mid-query, one BidServer crashed for good) with lifecycle tracing
+//! enabled at 10%, and checks that the new provenance layer *explains*
+//! the degradation rather than merely reporting it:
+//!
+//! * at least one assembled trace shows the retransmit hop — the lost
+//!   first transmission is visible as `Send` followed by `Retransmit`
+//!   on the same request's timeline;
+//! * the loss ledger attributes events to `batch_dropped` (shipped but
+//!   never ingested — the crashed host's unacked tail and any batch the
+//!   fault plane ate past the retry horizon) and flags the crashed host
+//!   dead, while still reconciling exactly against the tap counters
+//!   (`tapped == delivered + sampled_out + load_shed + batch_dropped`);
+//! * the fault-free twin run's ledger is all-zero: every tapped event
+//!   reached a result, and no trace carries a retransmit hop.
+//!
+//! The chaos run's full telemetry surface is also rendered to
+//! `BENCH_telemetry.prom` at the workspace root — the scrapeable,
+//! byte-stable export checked by `tests/golden.rs`.
+
+use adplatform::{scenario, PlatformConfig, PlatformMsg};
+use scrub_obs::{LossLedger, SpanKind, TraceStore};
+use scrub_server::{CentralNode, ScrubClient};
+use scrub_simnet::SimTime;
+
+use crate::{Report, Table};
+
+struct RunOutcome {
+    /// Assembled per-request trace trees for the spam query.
+    traces: TraceStore,
+    /// Traced requests whose timeline contains a `Retransmit` hop.
+    retransmit_traces: usize,
+    /// Traced requests whose timeline reaches a `WindowClose` hop.
+    closed_traces: usize,
+    /// The spam query's loss ledger.
+    ledger: LossLedger,
+    /// Rendered telemetry surface at end of run.
+    telemetry: String,
+}
+
+fn run_once(mut cfg: PlatformConfig, minutes: i64) -> RunOutcome {
+    // Trace one request in ten: plenty of lifecycles cross the partition
+    // window, and the deterministic sampler keeps both runs comparable.
+    cfg.scrub.trace_sample_rate = 0.1;
+    let mut p = adplatform::build_platform(cfg);
+
+    let q = ScrubClient::new(&p.scrub)
+        .submit(
+            &mut p.sim,
+            &format!(
+                "Select bid.user_id, COUNT(*) from bid @[Service in BidServers] \
+                 group by bid.user_id window 10 s duration {minutes} m"
+            ),
+        )
+        .expect("query accepted");
+    p.sim.run_until(SimTime::from_secs(minutes * 60 + 60));
+
+    let traces = q.traces(&p.sim).expect("trace store for the query");
+    let has_kind = |rid: u64, kind: SpanKind| {
+        traces
+            .trace(rid)
+            .is_some_and(|spans| spans.iter().any(|s| s.kind == kind))
+    };
+    let rids: Vec<u64> = traces.request_ids().collect();
+    let retransmit_traces = rids
+        .iter()
+        .filter(|&&rid| has_kind(rid, SpanKind::Retransmit))
+        .count();
+    let closed_traces = rids
+        .iter()
+        .filter(|&&rid| has_kind(rid, SpanKind::WindowClose))
+        .count();
+    let ledger = q.loss_ledger(&p.sim).expect("ledger for the query");
+    let telemetry = {
+        let node = p
+            .sim
+            .node_as::<CentralNode<PlatformMsg>>(p.scrub.central)
+            .expect("central node");
+        scrub_obs::render_text(&node.metrics(p.sim.now().as_ms()))
+    };
+    RunOutcome {
+        traces,
+        retransmit_traces,
+        closed_traces,
+        ledger,
+        telemetry,
+    }
+}
+
+/// Run E18.
+pub fn run(quick: bool) -> Report {
+    let minutes = if quick { 3 } else { 5 };
+    let chaos_cfg = scenario::spam_under_chaos();
+    let mut clean_cfg = scenario::spam_under_chaos();
+    clean_cfg.faults = None;
+
+    let chaos = run_once(chaos_cfg, minutes);
+    let clean = run_once(clean_cfg, minutes);
+    write_telemetry_artifact(&chaos.telemetry);
+
+    let sum = |l: &LossLedger, f: fn(&scrub_obs::HostLosses) -> u64| l.total(f);
+    let mut t = Table::new(&["metric", "chaos", "clean"]);
+    t.row(vec![
+        "traced requests".into(),
+        chaos.traces.len().to_string(),
+        clean.traces.len().to_string(),
+    ]);
+    t.row(vec![
+        "spans assembled".into(),
+        chaos.traces.span_count().to_string(),
+        clean.traces.span_count().to_string(),
+    ]);
+    t.row(vec![
+        "traces with retransmit hop".into(),
+        chaos.retransmit_traces.to_string(),
+        clean.retransmit_traces.to_string(),
+    ]);
+    t.row(vec![
+        "traces reaching window close".into(),
+        chaos.closed_traces.to_string(),
+        clean.closed_traces.to_string(),
+    ]);
+    t.row(vec![
+        "ledger: tapped".into(),
+        sum(&chaos.ledger, |h| h.tapped).to_string(),
+        sum(&clean.ledger, |h| h.tapped).to_string(),
+    ]);
+    t.row(vec![
+        "ledger: delivered".into(),
+        sum(&chaos.ledger, |h| h.delivered).to_string(),
+        sum(&clean.ledger, |h| h.delivered).to_string(),
+    ]);
+    t.row(vec![
+        "ledger: batch_dropped".into(),
+        sum(&chaos.ledger, |h| h.batch_dropped).to_string(),
+        sum(&clean.ledger, |h| h.batch_dropped).to_string(),
+    ]);
+    t.row(vec![
+        "ledger: deduped retransmits".into(),
+        sum(&chaos.ledger, |h| h.deduped_retransmit).to_string(),
+        sum(&clean.ledger, |h| h.deduped_retransmit).to_string(),
+    ]);
+    let dead = |o: &RunOutcome| {
+        o.ledger
+            .hosts
+            .iter()
+            .filter(|(_, h)| h.host_dead)
+            .map(|(n, _)| n.clone())
+            .collect::<Vec<_>>()
+            .join("/")
+    };
+    t.row(vec![
+        "ledger: hosts flagged dead".into(),
+        dead(&chaos),
+        dead(&clean),
+    ]);
+    t.row(vec![
+        "telemetry surface (bytes)".into(),
+        chaos.telemetry.len().to_string(),
+        clean.telemetry.len().to_string(),
+    ]);
+
+    let crashed = chaos.ledger.hosts.get(scenario::CHAOS_CRASHED_HOST);
+    // The retransmit hop is visible on real lifecycles, chaos run only.
+    let retransmit_traced = chaos.retransmit_traces > 0 && clean.retransmit_traces == 0;
+    // Traces run end to end: emission through window close.
+    let traces_complete = chaos.closed_traces > 0 && clean.closed_traces > 0;
+    // The ledger blames the injected faults: events lost in flight, and
+    // the crashed host called out by name.
+    let loss_attributed = sum(&chaos.ledger, |h| h.batch_dropped) > 0
+        && crashed.is_some_and(|h| h.host_dead)
+        && sum(&chaos.ledger, |h| h.deduped_retransmit) > 0;
+    // Both ledgers reconcile exactly against the tap counters ...
+    let books_balance = chaos.ledger.reconciles() && clean.ledger.reconciles();
+    // ... and the fault-free twin has nothing to explain.
+    let clean_is_clean = clean.ledger.is_all_zero();
+    // The artifact is a real Prometheus-style surface, not an empty shell.
+    let telemetry_rendered = chaos
+        .telemetry
+        .contains("# TYPE scrub_central_events_ingested counter")
+        && chaos.telemetry.contains("_bucket{le=\"+Inf\"}");
+
+    let pass = retransmit_traced
+        && traces_complete
+        && loss_attributed
+        && books_balance
+        && clean_is_clean
+        && telemetry_rendered;
+    Report {
+        id: "E18",
+        title: "Lifecycle tracing + loss provenance under chaos (observability)",
+        paper: "an online troubleshooter must explain its own losses: sampled \
+                per-request traces show each hop (including retransmissions), \
+                and a per-host loss ledger accounts for every tapped event that \
+                missed a result, reconciling exactly with the tap counters; a \
+                fault-free twin shows an all-zero ledger",
+        body: t.to_string(),
+        pass,
+        verdict: format!(
+            "{} traced requests, {} with a retransmit hop (clean {}); \
+             batch_dropped {} (clean {}), crashed host flagged {}, \
+             ledgers reconcile {}, clean all-zero {}",
+            chaos.traces.len(),
+            chaos.retransmit_traces,
+            clean.retransmit_traces,
+            sum(&chaos.ledger, |h| h.batch_dropped),
+            sum(&clean.ledger, |h| h.batch_dropped),
+            crashed.is_some_and(|h| h.host_dead),
+            books_balance,
+            clean_is_clean,
+        ),
+    }
+}
+
+/// Persist the chaos run's rendered telemetry surface as
+/// `BENCH_telemetry.prom` at the workspace root — the scrapeable artifact
+/// whose byte-stability `tests/golden.rs` guards.
+fn write_telemetry_artifact(telemetry: &str) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_telemetry.prom");
+    if let Err(e) = std::fs::write(path, telemetry) {
+        eprintln!("E18: could not write {path}: {e}");
+    }
+}

@@ -17,6 +17,7 @@ pub mod e14_pushdown;
 pub mod e15_baggage;
 pub mod e16_chaos;
 pub mod e17_self_obs;
+pub mod e18_tracing;
 
 use crate::Report;
 
@@ -43,5 +44,6 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("e15_baggage", e15_baggage::run),
         ("e16_chaos", e16_chaos::run),
         ("e17_self_obs", e17_self_obs::run),
+        ("e18_tracing", e18_tracing::run),
     ]
 }

@@ -135,6 +135,8 @@ pub fn sum_stats(stats: &[(String, StatsSnapshot)]) -> StatsSnapshot {
         total.acks_pending += s.acks_pending;
         total.heartbeats_sent += s.heartbeats_sent;
         total.retransmit_evictions += s.retransmit_evictions;
+        total.trace_spans += s.trace_spans;
+        total.trace_spans_shed += s.trace_spans_shed;
     }
     total
 }

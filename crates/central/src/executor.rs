@@ -825,6 +825,7 @@ mod tests {
             matched,
             sampled,
             shed: 0,
+            spans: vec![],
         }
     }
 
@@ -1112,6 +1113,7 @@ mod sliding_tests {
             matched: 1,
             sampled: 1,
             shed: 0,
+            spans: vec![],
         }
     }
 
@@ -1194,6 +1196,7 @@ mod sliding_tests {
             matched: 1,
             sampled: 1,
             shed: 0,
+            spans: vec![],
         };
         ex.ingest(mk(0, 6_000));
         ex.ingest(mk(1, 7_000));
@@ -1250,6 +1253,7 @@ mod memory_tests {
                     matched: 1,
                     sampled: 1,
                     shed: 0,
+                    spans: vec![],
                 });
             }
             let _ = ex.advance(ts);
@@ -1296,6 +1300,7 @@ mod memory_tests {
                 matched: 100,
                 sampled: 100,
                 shed: 0,
+                spans: vec![],
             });
             let _ = ex.advance(ts);
             assert!(ex.open_groups() <= 3 * 100);

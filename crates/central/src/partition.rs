@@ -332,6 +332,23 @@ impl PartitionedExecutor {
         }
     }
 
+    /// The compiled plan this executor runs (window/slide/mode — used by
+    /// central's tracer to compute window assignments at the router).
+    pub fn plan(&self) -> &CentralPlan {
+        &self.plan
+    }
+
+    /// The partition an event with this request id routes to (`0` on the
+    /// inline backend). Same hash as [`split_by_request_id`], exposed so
+    /// lifecycle traces can record the `Route` hop without re-deriving
+    /// the mixer.
+    pub fn route_partition(&self, request_id: u64) -> usize {
+        match &self.backend {
+            Backend::Inline(_) => 0,
+            Backend::Threaded(pool) => (mix(request_id) % pool.workers.len() as u64) as usize,
+        }
+    }
+
     /// Replace the set of hosts suspected dead: future rows are marked
     /// degraded and the dead hosts' samples leave every partition's
     /// estimator.
@@ -621,6 +638,7 @@ fn split_by_request_id(batch: EventBatch, partitions: usize) -> Vec<EventBatch> 
             matched: batch.matched,
             sampled: batch.sampled,
             shed: batch.shed,
+            spans: vec![],
         })
         .collect()
 }
@@ -686,6 +704,7 @@ mod tests {
             matched: n,
             sampled: n,
             shed: 0,
+            spans: vec![],
         }
     }
 
@@ -728,6 +747,7 @@ mod tests {
                 matched: 200,
                 sampled: 200,
                 shed: 0,
+                spans: vec![],
             });
             exec.ingest(EventBatch {
                 seq: 0,
@@ -739,6 +759,7 @@ mod tests {
                 matched: 100,
                 sampled: 100,
                 shed: 0,
+                spans: vec![],
             });
         }
         let a = single.advance(60_000);
@@ -767,6 +788,7 @@ mod tests {
             matched: 100,
             sampled: 100,
             shed: 0,
+            spans: vec![],
         });
         let rows = multi.advance(60_000);
         assert_eq!(rows.len(), 1);
@@ -886,6 +908,7 @@ mod tests {
                     matched: 10,
                     sampled: 3,
                     shed: 0,
+                    spans: vec![],
                 });
             }
         }
@@ -895,7 +918,10 @@ mod tests {
         assert!(s1.windows_emitted > 0);
         assert_eq!(s1.estimates.len(), s4.estimates.len());
         for (a, b) in s1.estimates.iter().zip(&s4.estimates) {
-            let (a, b) = (a.expect("SUM/COUNT estimate"), b.expect("SUM/COUNT estimate"));
+            let (a, b) = (
+                a.expect("SUM/COUNT estimate"),
+                b.expect("SUM/COUNT estimate"),
+            );
             assert!(a.estimate > 0.0);
             assert_approx(a.estimate, b.estimate);
             assert_approx(a.error_bound, b.error_bound);

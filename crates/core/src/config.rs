@@ -57,6 +57,24 @@ pub struct ScrubConfig {
     /// samples leave the estimator.
     #[serde(default = "default_host_grace_ms")]
     pub host_grace_ms: i64,
+    /// Agent: fraction of tapped events whose lifecycle is traced
+    /// hop-by-hop (deterministic seeded hash of the request id, so every
+    /// host and partition count agrees). `0.0` (the default) disables
+    /// tracing: the tap's only cost is one integer compare against a
+    /// precomputed threshold of zero.
+    #[serde(default = "default_trace_sample_rate")]
+    pub trace_sample_rate: f64,
+    /// Agent: hard cap on trace spans buffered per host across all
+    /// queries; once reached, further spans are dropped (and counted in
+    /// `agent.trace_spans_shed`) so tracing can never violate the
+    /// host-impact contract.
+    #[serde(default = "default_trace_span_budget")]
+    pub trace_span_budget: usize,
+    /// Central: capacity of the metrics-history ring (periodic snapshots
+    /// on the sim clock, one per watermark advance). 240 entries at the
+    /// default 2.5 s advance interval cover the last ~10 minutes.
+    #[serde(default = "default_obs_history_len")]
+    pub obs_history_len: usize,
 }
 
 fn default_agent_retry_base_ms() -> i64 {
@@ -76,6 +94,15 @@ fn default_host_grace_ms() -> i64 {
 }
 fn default_central_partitions() -> usize {
     1
+}
+fn default_trace_sample_rate() -> f64 {
+    0.0
+}
+fn default_trace_span_budget() -> usize {
+    256
+}
+fn default_obs_history_len() -> usize {
+    240
 }
 
 impl ScrubConfig {
@@ -111,6 +138,9 @@ impl Default for ScrubConfig {
             agent_retransmit_buffer: default_agent_retransmit_buffer(),
             agent_heartbeat_interval_ms: default_agent_heartbeat_interval_ms(),
             host_grace_ms: default_host_grace_ms(),
+            trace_sample_rate: default_trace_sample_rate(),
+            trace_span_budget: default_trace_span_budget(),
+            obs_history_len: default_obs_history_len(),
         }
     }
 }
@@ -127,6 +157,10 @@ mod tests {
         assert!(c.agent_batch_events > 0);
         // Determinism-first: parallel ingest is opt-in, never the default.
         assert_eq!(c.central_partitions, 1);
+        // Host-impact-first: tracing is opt-in, never the default.
+        assert_eq!(c.trace_sample_rate, 0.0);
+        assert!(c.trace_span_budget > 0);
+        assert!(c.obs_history_len >= 2);
         let auto = ScrubConfig::auto_partitions();
         assert!((1..=8).contains(&auto));
     }

@@ -1,0 +1,135 @@
+//! Prometheus-style text exposition of a [`MetricsSnapshot`].
+//!
+//! Experiments write this next to their JSON artifacts so a BENCH run
+//! leaves a scrapeable telemetry surface, and `Registry::render_text`
+//! exposes it live. The output is **stable**: metric names sort
+//! lexicographically (the snapshot's `BTreeMap` order), histogram
+//! buckets render in bound order, and values are plain integers — two
+//! runs of the same seeded scenario produce byte-identical text, which
+//! CI checks as a golden output.
+//!
+//! Metric names are sanitized to the Prometheus charset
+//! (`[a-zA-Z0-9_:]`, no leading digit): Scrub's `central.batches` style
+//! becomes `scrub_central_batches`.
+
+use std::fmt::Write;
+
+use crate::metrics::MetricsSnapshot;
+
+/// Sanitize a Scrub metric name into the Prometheus charset, prefixed
+/// with `scrub_` (which also guarantees no leading digit).
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("scrub_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Render a snapshot in the Prometheus text exposition format, sorted
+/// and deterministic. Counters and gauges render as single samples;
+/// histograms render cumulative `_bucket{le=...}` samples plus `_sum`
+/// and `_count`.
+pub fn render_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# scrub metrics snapshot at sim t={} ms", snap.at_ms);
+    for (name, value) in &snap.counters {
+        let n = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        let n = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {value}");
+    }
+    for (name, h) in &snap.histograms {
+        let n = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cumulative = 0u64;
+        for (i, &count) in h.buckets.iter().enumerate() {
+            cumulative += count;
+            match h.bounds.get(i) {
+                Some(bound) => {
+                    let _ = writeln!(out, "{n}_bucket{{le=\"{bound}\"}} {cumulative}");
+                }
+                None => {
+                    let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {cumulative}");
+                }
+            }
+        }
+        let _ = writeln!(out, "{n}_sum {}", h.sum);
+        let _ = writeln!(out, "{n}_count {}", h.count);
+        if h.dropped_merges > 0 {
+            let _ = writeln!(
+                out,
+                "# WARN {n}: {} merges skipped (bounds mismatch)",
+                h.dropped_merges
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn names_sanitize_to_prometheus_charset() {
+        assert_eq!(sanitize_name("central.batches"), "scrub_central_batches");
+        assert_eq!(
+            sanitize_name("agent.acks-pending"),
+            "scrub_agent_acks_pending"
+        );
+        assert_eq!(sanitize_name("9weird name"), "scrub_9weird_name");
+    }
+
+    #[test]
+    fn render_is_sorted_stable_and_complete() {
+        let r = Registry::new();
+        r.counter("central.batches").add(3);
+        r.counter("agent.matched").add(7);
+        r.gauge("agent.acks_pending").set(-2);
+        let h = r.histogram_with("central.lat", &[10, 100]);
+        h.record(5);
+        h.record(50);
+        h.record(5_000);
+
+        let text = r.render_text(1_234);
+        let again = r.render_text(1_234);
+        assert_eq!(text, again, "rendering must be deterministic");
+
+        // counters sort lexicographically: agent before central
+        let a = text.find("scrub_agent_matched 7").unwrap();
+        let c = text.find("scrub_central_batches 3").unwrap();
+        assert!(a < c);
+        assert!(text.contains("scrub_agent_acks_pending -2"));
+        // histogram buckets are cumulative and end at +Inf
+        assert!(text.contains("scrub_central_lat_bucket{le=\"10\"} 1"));
+        assert!(text.contains("scrub_central_lat_bucket{le=\"100\"} 2"));
+        assert!(text.contains("scrub_central_lat_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("scrub_central_lat_sum 5055"));
+        assert!(text.contains("scrub_central_lat_count 3"));
+        assert!(text.starts_with("# scrub metrics snapshot at sim t=1234 ms"));
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn dropped_merges_surface_as_warning() {
+        let a = Registry::new();
+        let mut snap = a.histogram_with("h", &[1]).snapshot();
+        let foreign = Registry::new().histogram_with("h", &[2, 3]).snapshot();
+        snap.merge(&foreign);
+        let mut ms = MetricsSnapshot::default();
+        ms.histograms.insert("h".into(), snap);
+        let text = render_text(&ms);
+        assert!(text.contains("# WARN scrub_h: 1 merges skipped"));
+    }
+}

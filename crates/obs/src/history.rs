@@ -1,0 +1,236 @@
+//! Metric time-series history: a fixed-capacity ring of periodic
+//! [`MetricsSnapshot`]s on the sim clock.
+//!
+//! A point-in-time snapshot answers "how many?"; troubleshooting needs
+//! "when did it start?". [`MetricsHistory`] keeps the last *N* periodic
+//! snapshots (capacity fixed at construction, old entries overwritten),
+//! so `scrubql watch <metric>` can render per-interval deltas as a
+//! sparkline and experiments can locate the onset of an anomaly without
+//! any external time-series store. Memory is bounded by
+//! `capacity × snapshot size`, independent of run length.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::MetricsSnapshot;
+
+/// Fixed-capacity ring buffer of periodic metrics snapshots.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsHistory {
+    cap: usize,
+    snaps: VecDeque<MetricsSnapshot>,
+}
+
+/// One point of a metric's time series: the sim time and the value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MetricPoint {
+    /// Sim time (ms) of the snapshot.
+    pub at_ms: i64,
+    /// Metric value at that instant (counters as of, gauges as is).
+    pub value: i64,
+}
+
+impl MetricsHistory {
+    /// Empty history retaining up to `cap` snapshots (min 2 — a history
+    /// that cannot hold two points cannot answer a rate query).
+    pub fn new(cap: usize) -> Self {
+        MetricsHistory {
+            cap: cap.max(2),
+            snaps: VecDeque::new(),
+        }
+    }
+
+    /// Record one periodic snapshot, evicting the oldest at capacity.
+    /// Snapshots must arrive in sim-clock order (same-time re-records
+    /// replace the newest entry so a forced snapshot does not skew
+    /// deltas).
+    pub fn record(&mut self, snap: MetricsSnapshot) {
+        if let Some(last) = self.snaps.back() {
+            debug_assert!(snap.at_ms >= last.at_ms, "history must advance in sim time");
+            if snap.at_ms == last.at_ms {
+                *self.snaps.back_mut().unwrap() = snap;
+                return;
+            }
+        }
+        if self.snaps.len() == self.cap {
+            self.snaps.pop_front();
+        }
+        self.snaps.push_back(snap);
+    }
+
+    /// Snapshots currently held.
+    pub fn len(&self) -> usize {
+        self.snaps.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.snaps.is_empty()
+    }
+
+    /// Capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// The newest snapshot, if any.
+    pub fn latest(&self) -> Option<&MetricsSnapshot> {
+        self.snaps.back()
+    }
+
+    /// Oldest-to-newest iteration over the retained snapshots.
+    pub fn iter(&self) -> impl Iterator<Item = &MetricsSnapshot> {
+        self.snaps.iter()
+    }
+
+    /// The retained time series of one metric (counter or gauge),
+    /// oldest to newest. Snapshots that do not carry the metric yet
+    /// report 0 — a counter created mid-run starts its series at zero.
+    pub fn series(&self, metric: &str) -> Vec<MetricPoint> {
+        self.snaps
+            .iter()
+            .map(|s| MetricPoint {
+                at_ms: s.at_ms,
+                value: s
+                    .counters
+                    .get(metric)
+                    .map(|&v| v as i64)
+                    .or_else(|| s.gauges.get(metric).copied())
+                    .unwrap_or(0),
+            })
+            .collect()
+    }
+
+    /// Per-interval deltas of one metric: `series[i+1] - series[i]`,
+    /// timestamped at the end of each interval. For counters this is the
+    /// increment per interval (a rate once divided by the interval); for
+    /// gauges it is the change. One point shorter than [`Self::series`].
+    pub fn deltas(&self, metric: &str) -> Vec<MetricPoint> {
+        let series = self.series(metric);
+        series
+            .windows(2)
+            .map(|w| MetricPoint {
+                at_ms: w[1].at_ms,
+                value: w[1].value - w[0].value,
+            })
+            .collect()
+    }
+
+    /// Rate of a counter over the newest `n` intervals: total increment
+    /// divided by elapsed sim seconds (`None` with fewer than 2 points
+    /// or zero elapsed time).
+    pub fn rate_per_sec(&self, metric: &str, n: usize) -> Option<f64> {
+        let series = self.series(metric);
+        if series.len() < 2 {
+            return None;
+        }
+        let newest = *series.last().unwrap();
+        let oldest = series[series.len().saturating_sub(n + 1).min(series.len() - 2)];
+        let dt_ms = newest.at_ms - oldest.at_ms;
+        (dt_ms > 0).then(|| (newest.value - oldest.value) as f64 * 1_000.0 / dt_ms as f64)
+    }
+}
+
+/// Render a value series as a unicode sparkline (one block glyph per
+/// point, scaled to the series max; negative values clamp to the
+/// baseline). Deterministic pure-text output for `scrubql watch` and
+/// experiment tables.
+pub fn sparkline(values: &[i64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().copied().max().unwrap_or(0).max(1);
+    values
+        .iter()
+        .map(|&v| {
+            let v = v.max(0);
+            // 0 maps to the lowest glyph, max to the highest
+            let idx = ((v as u128 * (GLYPHS.len() as u128 - 1)).div_ceil(max as u128)) as usize;
+            GLYPHS[idx.min(GLYPHS.len() - 1)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(at_ms: i64, counter: u64, gauge: i64) -> MetricsSnapshot {
+        let mut s = MetricsSnapshot {
+            at_ms,
+            ..Default::default()
+        };
+        s.counters.insert("c".into(), counter);
+        s.gauges.insert("g".into(), gauge);
+        s
+    }
+
+    #[test]
+    fn ring_evicts_oldest_at_capacity() {
+        let mut h = MetricsHistory::new(3);
+        for i in 0..5 {
+            h.record(snap(i * 1_000, i as u64, 0));
+        }
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.capacity(), 3);
+        let times: Vec<i64> = h.iter().map(|s| s.at_ms).collect();
+        assert_eq!(times, vec![2_000, 3_000, 4_000]);
+        assert_eq!(h.latest().unwrap().at_ms, 4_000);
+    }
+
+    #[test]
+    fn same_time_record_replaces_newest() {
+        let mut h = MetricsHistory::new(4);
+        h.record(snap(1_000, 1, 0));
+        h.record(snap(1_000, 5, 0));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.latest().unwrap().counters["c"], 5);
+    }
+
+    #[test]
+    fn series_and_deltas_cover_counters_and_gauges() {
+        let mut h = MetricsHistory::new(8);
+        h.record(snap(0, 0, 10));
+        h.record(snap(1_000, 4, 7));
+        h.record(snap(2_000, 9, 12));
+        let s = h.series("c");
+        assert_eq!(s.iter().map(|p| p.value).collect::<Vec<_>>(), vec![0, 4, 9]);
+        let d = h.deltas("c");
+        assert_eq!(d.iter().map(|p| p.value).collect::<Vec<_>>(), vec![4, 5]);
+        assert_eq!(
+            d.iter().map(|p| p.at_ms).collect::<Vec<_>>(),
+            vec![1_000, 2_000]
+        );
+        // gauges can go down
+        let dg = h.deltas("g");
+        assert_eq!(dg.iter().map(|p| p.value).collect::<Vec<_>>(), vec![-3, 5]);
+        // unknown metric: all zeros, not a panic
+        assert!(h.deltas("nope").iter().all(|p| p.value == 0));
+    }
+
+    #[test]
+    fn rate_per_sec_over_recent_window() {
+        let mut h = MetricsHistory::new(8);
+        assert_eq!(h.rate_per_sec("c", 3), None);
+        h.record(snap(0, 0, 0));
+        h.record(snap(1_000, 100, 0));
+        h.record(snap(2_000, 300, 0));
+        // over the last interval: 200 events / 1 s
+        assert_eq!(h.rate_per_sec("c", 1), Some(200.0));
+        // over everything retained
+        assert_eq!(h.rate_per_sec("c", 10), Some(150.0));
+    }
+
+    #[test]
+    fn sparkline_is_deterministic_and_scaled() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0, 0]), "▁▁");
+        let line = sparkline(&[0, 1, 4, 8]);
+        assert_eq!(line.chars().count(), 4);
+        assert!(line.starts_with('▁'));
+        assert!(line.ends_with('█'));
+        // negative values clamp to baseline rather than panicking
+        assert_eq!(sparkline(&[-5, 10]).chars().next(), Some('▁'));
+        // stable across calls
+        assert_eq!(sparkline(&[3, 1, 2]), sparkline(&[3, 1, 2]));
+    }
+}

@@ -1,0 +1,234 @@
+//! Loss ledger: where did the events that never reached a result go?
+//!
+//! Scrub drops events on purpose (sampling, load shedding) and by
+//! accident (a lossy network, dead hosts); the [`QueryProfile`] carries
+//! enough cumulative per-host counters to attribute every missing event
+//! to a cause, and this module does the bookkeeping. The central
+//! invariant, enforced per host:
+//!
+//! ```text
+//! tapped == delivered + sampled_out + load_shed + batch_dropped
+//! ```
+//!
+//! where the right-hand buckets are derived from counters with a
+//! provable ordering:
+//!
+//! * the agent maintains `tapped = selected + sampled_out + shed` as a
+//!   single-threaded identity, and ships the cumulative `(tapped,
+//!   selected, shed)` triple on every batch header; central max-merges
+//!   them, so the triple it holds is the agent's own consistent snapshot
+//!   at the highest-seq batch received → `sampled_out = tapped -
+//!   selected - shed ≥ 0`;
+//! * delivered events are a subset of the batches `0..=max_seq`, whose
+//!   event total equals `selected` at that same snapshot → `batch_dropped
+//!   = selected - delivered ≥ 0`.
+//!
+//! Two further buckets are *annotations*, not terms of the sum (they
+//! classify events already counted above, so adding them would
+//! double-count): `deduped_retransmit` (events that arrived again on a
+//! duplicate batch copy — the first copy is in `delivered`) and
+//! `window_degraded` (delivered events whose window later closed
+//! degraded). `host_dead` flags hosts currently suspected dead, the
+//! usual explanation for a large `batch_dropped`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::profile::QueryProfile;
+
+/// Where one host's tapped events went, bucketed by cause.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HostLosses {
+    /// Events tapped (matched selection) on the host — the total the
+    /// buckets below must account for.
+    pub tapped: u64,
+    /// Events that reached central and entered the executor.
+    pub delivered: u64,
+    /// Events dropped by the agent's per-event sampler.
+    pub sampled_out: u64,
+    /// Events dropped by agent load shedding (per-second budget).
+    pub load_shed: u64,
+    /// Events selected for shipment that never arrived: dropped in
+    /// flight, buffered past the retransmit-buffer cap, or stranded on a
+    /// dead host.
+    pub batch_dropped: u64,
+    /// Annotation: events that arrived again on duplicate batch copies
+    /// and were discarded by dedup (the first copy is in `delivered`;
+    /// not a term of the invariant sum).
+    pub deduped_retransmit: u64,
+    /// Annotation: delivered events whose window later closed degraded
+    /// (subset of `delivered`; not a term of the invariant sum).
+    pub window_degraded: u64,
+    /// The host is currently suspected dead — the likely explanation for
+    /// `batch_dropped`.
+    pub host_dead: bool,
+}
+
+impl HostLosses {
+    /// Events lost for any reason (the invariant's right side minus
+    /// `delivered`).
+    pub fn total_lost(&self) -> u64 {
+        self.sampled_out + self.load_shed + self.batch_dropped
+    }
+
+    /// Does `tapped == delivered + sampled_out + load_shed +
+    /// batch_dropped` hold?
+    pub fn reconciles(&self) -> bool {
+        self.tapped == self.delivered + self.sampled_out + self.load_shed + self.batch_dropped
+    }
+}
+
+/// Central-side observations that are not in [`QueryProfile`]'s per-host
+/// counters: per-host events lost to degraded windows and the current
+/// dead-host suspicion set.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LedgerParts {
+    /// Host → delivered events whose window closed degraded.
+    pub degraded_events: BTreeMap<String, u64>,
+    /// Hosts currently suspected dead.
+    pub dead_hosts: BTreeSet<String>,
+}
+
+/// Per-query, per-host loss accounting, reconciled against the query's
+/// profile.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LossLedger {
+    /// The query this ledger describes.
+    pub query_id: u64,
+    /// Per-host buckets.
+    pub hosts: BTreeMap<String, HostLosses>,
+}
+
+impl LossLedger {
+    /// Derive the ledger from a query's profile plus central-side parts.
+    ///
+    /// Debug builds assert the counter orderings the derivation relies
+    /// on (`selected + shed <= tapped`, `delivered <= selected`) — a
+    /// violation means a producer broke the cumulative-counter contract.
+    pub fn build(profile: &QueryProfile, parts: &LedgerParts) -> Self {
+        let mut hosts = BTreeMap::new();
+        for (host, hp) in &profile.hosts {
+            debug_assert!(
+                hp.selected + hp.shed <= hp.tapped,
+                "host {host}: selected {} + shed {} > tapped {} — cumulative counter contract broken",
+                hp.selected,
+                hp.shed,
+                hp.tapped
+            );
+            debug_assert!(
+                hp.events <= hp.selected,
+                "host {host}: delivered {} > selected {} — events arrived that were never selected",
+                hp.events,
+                hp.selected
+            );
+            let sampled_out = hp.tapped.saturating_sub(hp.selected + hp.shed);
+            let batch_dropped = hp.selected.saturating_sub(hp.events);
+            let losses = HostLosses {
+                tapped: hp.tapped,
+                delivered: hp.events,
+                sampled_out,
+                load_shed: hp.shed,
+                batch_dropped,
+                deduped_retransmit: hp.duplicate_events,
+                window_degraded: parts.degraded_events.get(host).copied().unwrap_or(0),
+                host_dead: parts.dead_hosts.contains(host),
+            };
+            debug_assert!(
+                losses.reconciles(),
+                "host {host}: ledger does not reconcile: {losses:?}"
+            );
+            hosts.insert(host.clone(), losses);
+        }
+        LossLedger {
+            query_id: profile.query_id,
+            hosts,
+        }
+    }
+
+    /// Does every host reconcile?
+    pub fn reconciles(&self) -> bool {
+        self.hosts.values().all(HostLosses::reconciles)
+    }
+
+    /// True when no event was lost anywhere (every bucket zero on every
+    /// host — the clean-run shape).
+    pub fn is_all_zero(&self) -> bool {
+        self.hosts.values().all(|h| {
+            h.total_lost() == 0
+                && h.deduped_retransmit == 0
+                && h.window_degraded == 0
+                && !h.host_dead
+        })
+    }
+
+    /// Sum one bucket across hosts.
+    pub fn total<F: Fn(&HostLosses) -> u64>(&self, f: F) -> u64 {
+        self.hosts.values().map(f).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile_with(
+        host: &str,
+        delivered: u64,
+        tapped: u64,
+        selected: u64,
+        shed: u64,
+    ) -> QueryProfile {
+        let mut p = QueryProfile::new(9);
+        p.observe_batch(host, 0, 100, delivered, tapped, selected, shed, false, None);
+        p
+    }
+
+    #[test]
+    fn clean_run_reconciles_all_zero() {
+        let p = profile_with("h1", 50, 50, 50, 0);
+        let l = LossLedger::build(&p, &LedgerParts::default());
+        assert!(l.reconciles());
+        assert!(l.is_all_zero());
+        assert_eq!(l.hosts["h1"].delivered, 50);
+    }
+
+    #[test]
+    fn losses_bucket_by_cause() {
+        // tapped 100: 60 selected (10 never arrived), 25 sampled out, 15 shed
+        let p = profile_with("h1", 50, 100, 60, 15);
+        let mut parts = LedgerParts::default();
+        parts.degraded_events.insert("h1".into(), 7);
+        parts.dead_hosts.insert("h1".into());
+        let l = LossLedger::build(&p, &parts);
+        let h = &l.hosts["h1"];
+        assert_eq!(h.sampled_out, 25);
+        assert_eq!(h.load_shed, 15);
+        assert_eq!(h.batch_dropped, 10);
+        assert_eq!(h.window_degraded, 7);
+        assert!(h.host_dead);
+        assert!(h.reconciles());
+        assert!(!l.is_all_zero());
+        assert_eq!(l.total(|h| h.batch_dropped), 10);
+    }
+
+    #[test]
+    fn duplicates_are_annotations_not_losses() {
+        let mut p = profile_with("h1", 50, 50, 50, 0);
+        p.observe_duplicate("h1", 20);
+        let l = LossLedger::build(&p, &LedgerParts::default());
+        let h = &l.hosts["h1"];
+        assert_eq!(h.deduped_retransmit, 20);
+        assert_eq!(h.total_lost(), 0, "dup copies are not lost events");
+        assert!(h.reconciles());
+    }
+
+    #[test]
+    fn ledger_serializes() {
+        let p = profile_with("h1", 5, 10, 6, 2);
+        let l = LossLedger::build(&p, &LedgerParts::default());
+        let json = serde_json::to_string(&l).unwrap();
+        let back: LossLedger = serde_json::from_str(&json).unwrap();
+        assert_eq!(l, back);
+    }
+}

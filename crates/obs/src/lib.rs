@@ -18,11 +18,31 @@
 //! * [`meta`] — `scrub_batch` / `scrub_window` meta-event types emitted
 //!   through the very same `log()` tap the application uses, so ScrubQL
 //!   queries can run over Scrub's own telemetry (dogfooding).
+//! * [`trace`] — deterministic, budgeted event-lifecycle traces: a
+//!   seeded hash of the request id marks a small fraction of tapped
+//!   events, which accumulate causally-ordered [`TraceSpan`]s at every
+//!   pipeline hop, assembled into per-query [`TraceStore`]s at central.
+//! * [`ledger`] — per-query, per-host loss provenance: every tapped
+//!   event that missed a result is attributed to a cause (sampled-out,
+//!   load-shed, dropped in flight, …) under the enforced invariant
+//!   `tapped == delivered + sampled_out + load_shed + batch_dropped`.
+//! * [`history`] — a fixed-capacity ring of periodic snapshots with
+//!   delta/rate queries, the data behind `scrubql watch`.
+//! * [`export`] — stable, sorted Prometheus-style text exposition
+//!   ([`Registry::render_text`]) so runs leave a scrapeable artifact.
 
+pub mod export;
+pub mod history;
+pub mod ledger;
 pub mod meta;
 pub mod metrics;
 pub mod profile;
+pub mod trace;
 
+pub use export::{render_text, sanitize_name};
+pub use history::{sparkline, MetricPoint, MetricsHistory};
+pub use ledger::{HostLosses, LedgerParts, LossLedger};
 pub use meta::{register_meta_events, MetaEvents, ScrubBatchEvent, ScrubWindowEvent};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use profile::{HostProfile, QueryProfile};
+pub use trace::{should_trace, trace_threshold, SpanKind, TraceSpan, TraceStore};

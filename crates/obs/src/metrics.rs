@@ -145,6 +145,7 @@ impl Histogram {
                 .collect(),
             count: self.count.load(Ordering::Relaxed),
             sum: self.sum.load(Ordering::Relaxed),
+            dropped_merges: 0,
         }
     }
 }
@@ -166,6 +167,11 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of (clamped) samples.
     pub sum: u64,
+    /// Merges skipped because the other side had different bucket
+    /// bounds (see [`HistogramSnapshot::merge`]); nonzero means `count`
+    /// and the quantiles undercount the true totals.
+    #[serde(default)]
+    pub dropped_merges: u64,
 }
 
 impl HistogramSnapshot {
@@ -205,26 +211,35 @@ impl HistogramSnapshot {
         (self.count > 0).then(|| self.sum as f64 / self.count as f64)
     }
 
-    /// Merge `other` into `self` bucket-wise. Both sides must share the
-    /// same bounds (all Scrub histograms of a given name do); an empty
-    /// side adopts the other's shape.
+    /// Merge `other` into `self` bucket-wise. An empty side adopts the
+    /// other's shape. Both sides normally share the same bounds (all
+    /// Scrub histograms of a given name do); if they differ — e.g. a
+    /// node on an older build with different bucketing — the buckets
+    /// cannot be combined meaningfully, so the merge is **skipped** and
+    /// counted in [`HistogramSnapshot::dropped_merges`] instead of
+    /// panicking or silently corrupting quantiles. Readers surface a
+    /// nonzero `dropped_merges` as a data-quality warning.
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         if self.bounds.is_empty() {
+            let dropped = self.dropped_merges;
             *self = other.clone();
+            self.dropped_merges += dropped;
             return;
         }
         if other.bounds.is_empty() {
+            self.dropped_merges += other.dropped_merges;
             return;
         }
-        assert_eq!(
-            self.bounds, other.bounds,
-            "merging histograms with different bucket bounds"
-        );
+        if self.bounds != other.bounds {
+            self.dropped_merges += 1;
+            return;
+        }
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
         }
         self.count += other.count;
         self.sum += other.sum;
+        self.dropped_merges += other.dropped_merges;
     }
 }
 
@@ -298,6 +313,12 @@ impl Registry {
             Metric::Histogram(h) => h.clone(),
             _ => panic!("metric {name:?} already registered with a different kind"),
         }
+    }
+
+    /// Prometheus-style text exposition of every metric (stable sorted
+    /// output; see [`crate::export::render_text`]).
+    pub fn render_text(&self, at_ms: i64) -> String {
+        crate::export::render_text(&self.snapshot(at_ms))
     }
 
     /// Snapshot every metric at sim-time `at_ms`.
@@ -453,6 +474,50 @@ mod tests {
         r1.counter("x").add(10);
         let diff = r1.snapshot(200).since(&before);
         assert_eq!(diff.counter("x"), 10);
+    }
+
+    #[test]
+    fn merge_empty_sides_adopt_shape() {
+        // both empty: stays empty
+        let mut a = HistogramSnapshot::default();
+        a.merge(&HistogramSnapshot::default());
+        assert_eq!(a, HistogramSnapshot::default());
+        // empty left adopts right's shape wholesale
+        let full = Histogram::with_bounds(&[10, 100]);
+        full.record(5);
+        let mut a = HistogramSnapshot::default();
+        a.merge(&full.snapshot());
+        assert_eq!(a, full.snapshot());
+        // empty right leaves left untouched
+        let mut b = full.snapshot();
+        b.merge(&HistogramSnapshot::default());
+        assert_eq!(b, full.snapshot());
+        assert_eq!(b.dropped_merges, 0);
+    }
+
+    #[test]
+    fn merge_mismatched_bounds_skips_and_counts() {
+        let left = Histogram::with_bounds(&[10, 100]);
+        left.record(5);
+        let right = Histogram::with_bounds(&[1, 2, 3]);
+        right.record(2);
+        let mut a = left.snapshot();
+        a.merge(&right.snapshot());
+        // left's data is intact, not corrupted by foreign buckets
+        assert_eq!(a.count, 1);
+        assert_eq!(a.buckets, vec![1, 0, 0]);
+        assert_eq!(a.dropped_merges, 1);
+        // repeated mismatches accumulate
+        a.merge(&right.snapshot());
+        assert_eq!(a.dropped_merges, 2);
+        // the counter survives further compatible merges and
+        // adoption-by-empty
+        a.merge(&left.snapshot());
+        assert_eq!(a.count, 2);
+        assert_eq!(a.dropped_merges, 2);
+        let mut empty = HistogramSnapshot::default();
+        empty.merge(&a);
+        assert_eq!(empty.dropped_merges, 2);
     }
 
     #[test]

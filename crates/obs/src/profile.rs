@@ -13,19 +13,39 @@ use serde::{Deserialize, Serialize};
 
 use crate::metrics::{HistogramSnapshot, DEFAULT_LATENCY_BOUNDS_MS};
 
+/// Cumulative tap counters for one event type on one host, as of the
+/// highest-seq batch received. A join query runs one subscription — one
+/// counter triple — per FROM type on each host, so triples are keyed by
+/// type and max-merged per type; summing across types (never max across
+/// types) gives honest host totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TypeCounters {
+    /// Events that matched selection (cumulative).
+    pub tapped: u64,
+    /// Matched events that survived sampling and shedding (cumulative).
+    pub selected: u64,
+    /// Matched events dropped by load shedding (cumulative).
+    pub shed: u64,
+}
+
 /// What one host contributed to one query.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HostProfile {
     /// Events ingested at central from this host (post-dedup).
     pub events: u64,
-    /// Cumulative events that matched selection on the host (tap counter
-    /// carried on every batch; max-merged since it is cumulative).
+    /// Events that matched selection on the host: sum over event types
+    /// of the per-type cumulative counters in `by_type`.
     pub tapped: u64,
-    /// Cumulative matched events that survived event sampling (selected
-    /// for shipment).
+    /// Matched events selected for shipment (survived sampling and
+    /// shedding); sum over `by_type`.
     pub selected: u64,
-    /// Cumulative matched events dropped by load shedding.
+    /// Matched events dropped by load shedding; sum over `by_type`.
     pub shed: u64,
+    /// Per-event-type cumulative counter triples (max-merged per type —
+    /// the counters on a batch are the subscription's own monotone
+    /// snapshot, so the highest-seq batch carries the truth).
+    #[serde(default)]
+    pub by_type: BTreeMap<u32, TypeCounters>,
     /// Distinct batches ingested (post-dedup).
     pub batches: u64,
     /// Batches that arrived marked as retransmissions.
@@ -34,21 +54,39 @@ pub struct HostProfile {
     pub bytes_first_sent: u64,
     /// Bytes that arrived on retransmitted batches.
     pub bytes_retransmitted: u64,
+    /// Events that arrived again on duplicate batch copies and were
+    /// discarded by dedup (informational: the first copy was counted in
+    /// `events`, so these are not missing data).
+    #[serde(default)]
+    pub duplicate_events: u64,
 }
 
 impl HostProfile {
+    /// Refresh the summed totals after a `by_type` update.
+    fn recompute_totals(&mut self) {
+        self.tapped = self.by_type.values().map(|t| t.tapped).sum();
+        self.selected = self.by_type.values().map(|t| t.selected).sum();
+        self.shed = self.by_type.values().map(|t| t.shed).sum();
+    }
+
     fn merge(&mut self, other: &HostProfile) {
         self.events += other.events;
         // cumulative tap counters: both sides saw the same host counters,
-        // keep the larger (a cluster never splits one host's batches for
-        // one query across centrals, but max is safe either way)
-        self.tapped = self.tapped.max(other.tapped);
-        self.selected = self.selected.max(other.selected);
-        self.shed = self.shed.max(other.shed);
+        // keep the larger per type (a cluster never splits one host's
+        // batches for one query across centrals, but max is safe either
+        // way)
+        for (ty, oc) in &other.by_type {
+            let t = self.by_type.entry(*ty).or_default();
+            t.tapped = t.tapped.max(oc.tapped);
+            t.selected = t.selected.max(oc.selected);
+            t.shed = t.shed.max(oc.shed);
+        }
+        self.recompute_totals();
         self.batches += other.batches;
         self.retransmitted_batches += other.retransmitted_batches;
         self.bytes_first_sent += other.bytes_first_sent;
         self.bytes_retransmitted += other.bytes_retransmitted;
+        self.duplicate_events += other.duplicate_events;
     }
 }
 
@@ -112,15 +150,19 @@ impl QueryProfile {
                 buckets: vec![0; DEFAULT_LATENCY_BOUNDS_MS.len() + 1],
                 count: 0,
                 sum: 0,
+                dropped_merges: 0,
             },
         }
     }
 
-    /// Record a deduplicated batch arrival.
+    /// Record a deduplicated batch arrival. `type_id` keys the cumulative
+    /// counter triple: a join query has one triple per FROM type, and
+    /// only same-type counters may be max-merged.
     #[allow(clippy::too_many_arguments)]
     pub fn observe_batch(
         &mut self,
         host: &str,
+        type_id: u32,
         bytes: u64,
         events: u64,
         tapped: u64,
@@ -132,9 +174,11 @@ impl QueryProfile {
         self.batches_ingested += 1;
         let h = self.hosts.entry(host.to_string()).or_default();
         h.events += events;
-        h.tapped = h.tapped.max(tapped);
-        h.selected = h.selected.max(selected);
-        h.shed = h.shed.max(shed);
+        let t = h.by_type.entry(type_id).or_default();
+        t.tapped = t.tapped.max(tapped);
+        t.selected = t.selected.max(selected);
+        t.shed = t.shed.max(shed);
+        h.recompute_totals();
         h.batches += 1;
         if retransmit {
             h.retransmitted_batches += 1;
@@ -149,9 +193,14 @@ impl QueryProfile {
         }
     }
 
-    /// Record a duplicate batch (discarded, but acked).
-    pub fn observe_duplicate(&mut self) {
+    /// Record a duplicate batch copy from `host` carrying `events`
+    /// already-ingested events (discarded, but acked).
+    pub fn observe_duplicate(&mut self, host: &str, events: u64) {
         self.batches_duplicate += 1;
+        self.hosts
+            .entry(host.to_string())
+            .or_default()
+            .duplicate_events += events;
     }
 
     /// Record an ack sent back toward the host.
@@ -238,11 +287,11 @@ mod tests {
     #[test]
     fn batches_split_first_vs_retransmitted_bytes() {
         let mut p = QueryProfile::new(7);
-        p.observe_batch("h1", 100, 10, 10, 10, 0, false, Some(12));
+        p.observe_batch("h1", 0, 100, 10, 10, 10, 0, false, Some(12));
         p.observe_ack();
-        p.observe_batch("h1", 100, 10, 20, 20, 0, true, Some(800));
+        p.observe_batch("h1", 0, 100, 10, 20, 20, 0, true, Some(800));
         p.observe_ack();
-        p.observe_duplicate();
+        p.observe_duplicate("h1", 10);
         p.observe_ack();
         assert_eq!(p.bytes_first_sent, 100);
         assert_eq!(p.bytes_retransmitted, 100);
@@ -253,6 +302,7 @@ mod tests {
         assert_eq!(h.tapped, 20); // cumulative counter max-merged
         assert_eq!(h.events, 20);
         assert_eq!(h.retransmitted_batches, 1);
+        assert_eq!(h.duplicate_events, 10);
         assert_eq!(p.ingest_latency_ms.count, 2);
         assert!(p.ingest_latency_ms.p99().unwrap() >= 800);
     }
@@ -271,9 +321,9 @@ mod tests {
     #[test]
     fn profiles_merge_across_centrals() {
         let mut a = QueryProfile::new(1);
-        a.observe_batch("h1", 50, 5, 5, 5, 0, false, Some(10));
+        a.observe_batch("h1", 0, 50, 5, 5, 5, 0, false, Some(10));
         let mut b = QueryProfile::new(1);
-        b.observe_batch("h2", 70, 7, 7, 7, 0, true, Some(20));
+        b.observe_batch("h2", 0, 70, 7, 7, 7, 0, true, Some(20));
         b.observe_windows_closed(1, 1);
         a.merge(&b);
         assert_eq!(a.hosts.len(), 2);
@@ -285,9 +335,35 @@ mod tests {
     }
 
     #[test]
+    fn join_queries_sum_counters_across_types_not_max() {
+        // A join has one subscription (one cumulative counter stream) per
+        // FROM type; the host totals must be the sum of the per-type maxes,
+        // never a max across types.
+        let mut p = QueryProfile::new(9);
+        p.observe_batch("h1", 1, 100, 10, 10, 10, 0, false, None);
+        p.observe_batch("h1", 2, 80, 4, 4, 4, 0, false, None);
+        p.observe_batch("h1", 1, 60, 5, 15, 15, 0, false, None);
+        let h = &p.hosts["h1"];
+        assert_eq!(h.by_type.len(), 2);
+        assert_eq!(h.by_type[&1].tapped, 15);
+        assert_eq!(h.by_type[&2].tapped, 4);
+        assert_eq!(h.tapped, 19);
+        assert_eq!(h.selected, 19);
+        assert_eq!(h.events, 19);
+
+        // cross-central merge stays per-type as well
+        let mut other = QueryProfile::new(9);
+        other.observe_batch("h1", 2, 30, 2, 6, 6, 0, false, None);
+        p.merge(&other);
+        let h = &p.hosts["h1"];
+        assert_eq!(h.by_type[&2].tapped, 6);
+        assert_eq!(h.tapped, 21);
+    }
+
+    #[test]
     fn profile_serializes() {
         let mut p = QueryProfile::new(3);
-        p.observe_batch("h", 10, 1, 1, 1, 0, false, None);
+        p.observe_batch("h", 0, 10, 1, 1, 1, 0, false, None);
         let json = serde_json::to_string(&p).unwrap();
         let back: QueryProfile = serde_json::from_str(&json).unwrap();
         assert_eq!(p, back);

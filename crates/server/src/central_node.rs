@@ -25,18 +25,20 @@
 //! Batches that themselves carry meta-events are not re-tapped, which
 //! breaks the feedback loop after one hop.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::marker::PhantomData;
 use std::sync::Arc;
 
+use scrub_agent::EventBatch;
 use scrub_central::PartitionedExecutor;
 use scrub_core::config::ScrubConfig;
 use scrub_core::event::RequestId;
-use scrub_core::plan::QueryId;
+use scrub_core::plan::{OutputMode, QueryId};
 use scrub_core::schema::SchemaRegistry;
 use scrub_obs::{
-    register_meta_events, Counter, Histogram, MetaEvents, MetricsSnapshot, QueryProfile, Registry,
-    ScrubBatchEvent, ScrubWindowEvent,
+    register_meta_events, should_trace, trace_threshold, Counter, Histogram, LedgerParts,
+    LossLedger, MetaEvents, MetricsHistory, MetricsSnapshot, QueryProfile, Registry,
+    ScrubBatchEvent, ScrubWindowEvent, SpanKind, TraceSpan, TraceStore,
 };
 use scrub_simnet::{Context, Node, NodeId, SimDuration};
 
@@ -62,6 +64,22 @@ pub struct CentralNode<E: ScrubEnvelope> {
     /// Per-query execution profiles; retained after a query finishes so
     /// `profile <qid>` works post-hoc.
     profiles: HashMap<QueryId, QueryProfile>,
+    /// Per-query lifecycle trace trees assembled from the spans batches
+    /// piggyback; retained after a query finishes, like `profiles`.
+    traces: HashMap<QueryId, TraceStore>,
+    /// Loss-provenance inputs central observes directly (events lost to
+    /// degraded windows, hosts suspected dead); joined with the profile's
+    /// tap counters to build a [`LossLedger`]. Retained post-finish.
+    ledger_parts: HashMap<QueryId, LedgerParts>,
+    /// Delivered events per open window per host, for aggregate-mode
+    /// queries: window start → host → events. Drained at window close to
+    /// attribute degraded-window losses to the hosts that fed the window.
+    window_events: HashMap<QueryId, BTreeMap<i64, BTreeMap<String, u64>>>,
+    /// Ring of periodic node-metrics snapshots (recorded each advance
+    /// tick) backing `scrubql watch`.
+    history: MetricsHistory,
+    /// Precomputed trace-sampler threshold (0 = tracing disabled).
+    trace_threshold: u64,
     /// Queries whose inputs are meta-events (their window closes are not
     /// re-tapped as `scrub_window`).
     meta_queries: HashSet<QueryId>,
@@ -110,6 +128,8 @@ impl<E: ScrubEnvelope> CentralNode<E> {
         let m_finished = obs.counter("central.queries_finished");
         let m_backpressure = obs.counter("central.ingest_backpressure");
         let m_ingest_latency = obs.histogram("central.ingest_latency_ms");
+        let history = MetricsHistory::new(config.obs_history_len);
+        let trace_thresh = trace_threshold(config.trace_sample_rate);
         CentralNode {
             config,
             server: None,
@@ -120,6 +140,11 @@ impl<E: ScrubEnvelope> CentralNode<E> {
             batches_received: 0,
             duplicate_batches: 0,
             profiles: HashMap::new(),
+            traces: HashMap::new(),
+            ledger_parts: HashMap::new(),
+            window_events: HashMap::new(),
+            history,
+            trace_threshold: trace_thresh,
             meta_queries: HashSet::new(),
             obs,
             m_batches,
@@ -153,6 +178,25 @@ impl<E: ScrubEnvelope> CentralNode<E> {
     /// Node-level metrics snapshot at sim time `at_ms`.
     pub fn metrics(&self, at_ms: i64) -> MetricsSnapshot {
         self.obs.snapshot(at_ms)
+    }
+
+    /// Lifecycle trace trees of a query (live or finished); `None` when
+    /// tracing never recorded a span for it.
+    pub fn trace_store(&self, qid: QueryId) -> Option<&TraceStore> {
+        self.traces.get(&qid)
+    }
+
+    /// Build the loss ledger of a query from its profile and the
+    /// centrally-observed loss parts. `None` for unknown queries.
+    pub fn ledger(&self, qid: QueryId) -> Option<LossLedger> {
+        let profile = self.profiles.get(&qid)?;
+        let parts = self.ledger_parts.get(&qid).cloned().unwrap_or_default();
+        Some(LossLedger::build(profile, &parts))
+    }
+
+    /// Ring of periodic node-metrics snapshots (oldest first).
+    pub fn history(&self) -> &MetricsHistory {
+        &self.history
     }
 
     /// Tap-side counters of the embedded meta agent (how much of Scrub's
@@ -192,9 +236,88 @@ impl<E: ScrubEnvelope> CentralNode<E> {
         let qids: Vec<QueryId> = self.executors.keys().copied().collect();
         for qid in qids {
             let dead = self.suspect_hosts(qid);
+            if !dead.is_empty() || self.ledger_parts.contains_key(&qid) {
+                self.ledger_parts.entry(qid).or_default().dead_hosts =
+                    dead.iter().cloned().collect();
+            }
             if let Some(exec) = self.executors.get_mut(&qid) {
                 if *exec.dead_hosts() != dead {
                     exec.set_dead_hosts(dead);
+                }
+            }
+        }
+    }
+
+    /// Fold a fresh batch's piggybacked spans into the query's trace
+    /// store and append the central-side hops (ingest, partition route,
+    /// window assignment) for every traced request the batch carries.
+    /// Also accrues per-window delivered-event counts for aggregate-mode
+    /// queries so degraded-window losses can be attributed per host.
+    fn observe_ingest(&mut self, batch: &mut EventBatch, now_ms: i64) {
+        let qid = batch.query_id;
+        let Some(exec) = self.executors.get(&qid) else {
+            // Late batch for a finished query: keep the agent-side spans
+            // so the trace still shows how far the events got.
+            if self.trace_threshold != 0 && !batch.spans.is_empty() {
+                self.traces
+                    .entry(qid)
+                    .or_default()
+                    .ingest_spans(std::mem::take(&mut batch.spans), &batch.host);
+            }
+            return;
+        };
+        let plan = exec.plan();
+        let (window, slide) = (plan.window_ms.max(1), plan.slide_ms.max(1));
+        let aggregate = matches!(plan.mode, OutputMode::Aggregate { .. });
+        if aggregate {
+            // count this batch's events into every window that covers them
+            let mut counts: BTreeMap<i64, u64> = BTreeMap::new();
+            for ev in &batch.events {
+                let ts = ev.timestamp;
+                for k in ((ts - window).div_euclid(slide) + 1)..=ts.div_euclid(slide) {
+                    *counts.entry(k * slide).or_default() += 1;
+                }
+            }
+            let wmap = self.window_events.entry(qid).or_default();
+            for (w, n) in counts {
+                *wmap
+                    .entry(w)
+                    .or_default()
+                    .entry(batch.host.clone())
+                    .or_default() += n;
+            }
+        }
+        if self.trace_threshold == 0 {
+            return;
+        }
+        let store = self.traces.entry(qid).or_default();
+        store.ingest_spans(std::mem::take(&mut batch.spans), &batch.host);
+        let mut done: HashSet<u64> = HashSet::new();
+        for ev in &batch.events {
+            let rid = ev.request_id.0;
+            if !should_trace(rid, self.trace_threshold) {
+                continue;
+            }
+            if done.insert(rid) {
+                store.add(TraceSpan {
+                    request_id: rid,
+                    kind: SpanKind::Ingest,
+                    at_ms: now_ms,
+                    host: "central".to_string(),
+                    detail: 0,
+                });
+                store.add(TraceSpan {
+                    request_id: rid,
+                    kind: SpanKind::Route,
+                    at_ms: now_ms,
+                    host: "central".to_string(),
+                    detail: exec.route_partition(rid) as i64,
+                });
+            }
+            if aggregate {
+                let ts = ev.timestamp;
+                for k in ((ts - window).div_euclid(slide) + 1)..=ts.div_euclid(slide) {
+                    store.assign_window(rid, k * slide, now_ms, "central");
                 }
             }
         }
@@ -221,6 +344,41 @@ impl<E: ScrubEnvelope> CentralNode<E> {
         self.m_windows_closed.add(closes.len() as u64);
         self.m_windows_degraded
             .add(closes.iter().filter(|c| c.degraded).count() as u64);
+        for c in &closes {
+            // Windows close in start order; drop the per-window delivery
+            // counts up to this close, folding degraded windows' counts
+            // into the ledger so the loss is attributed per host.
+            if let Some(wmap) = self.window_events.get_mut(&qid) {
+                let later = wmap.split_off(&(c.window_start_ms + 1));
+                let closed = std::mem::replace(wmap, later);
+                if c.degraded {
+                    if let Some(hosts) = closed.get(&c.window_start_ms) {
+                        let parts = self.ledger_parts.entry(qid).or_default();
+                        for (host, n) in hosts {
+                            *parts.degraded_events.entry(host.clone()).or_default() += n;
+                        }
+                    }
+                }
+            }
+            if self.trace_threshold != 0 {
+                if let Some(store) = self.traces.get_mut(&qid) {
+                    store.close_window(c.window_start_ms, ctx.now.as_ms(), "central", c.degraded);
+                }
+            }
+        }
+        // Continuously enforce the provenance invariant — every tapped
+        // event is delivered or attributed to exactly one loss cause
+        // (LossLedger::build debug-asserts reconciliation internally).
+        #[cfg(debug_assertions)]
+        if let Some(profile) = self.profiles.get(&qid) {
+            let parts = self.ledger_parts.get(&qid).cloned().unwrap_or_default();
+            let ledger = LossLedger::build(profile, &parts);
+            debug_assert!(
+                ledger.reconciles(),
+                "loss ledger fails to reconcile for query {}",
+                qid.0
+            );
+        }
         if let Some(harness) = &self.meta_harness {
             let now_ms = ctx.now.as_ms();
             for c in closes {
@@ -310,6 +468,7 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
             ScrubMsg::CentralStop { query_id } => {
                 self.seen.remove(&query_id);
                 self.last_heard.remove(&query_id);
+                self.window_events.remove(&query_id);
                 if let Some(mut exec) = self.executors.remove(&query_id) {
                     let (rows, summary) = exec.finish();
                     let n = rows.len() as u64;
@@ -327,7 +486,7 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
                     }
                 }
             }
-            ScrubMsg::Batch(batch) => {
+            ScrubMsg::Batch(mut batch) => {
                 self.batches_received += 1;
                 self.m_batches.inc();
                 // Ack everything — duplicates and batches for unknown
@@ -385,7 +544,7 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
                     self.duplicate_batches += 1;
                     self.m_duplicates.inc();
                     if let Some(p) = self.profiles.get_mut(&batch.query_id) {
-                        p.observe_duplicate();
+                        p.observe_duplicate(&batch.host, batch.events.len() as u64);
                     }
                     if let Some(exec) = self.executors.get_mut(&batch.query_id) {
                         exec.note_duplicate();
@@ -410,6 +569,7 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
                 if let Some(p) = self.profiles.get_mut(&batch.query_id) {
                     p.observe_batch(
                         &batch.host,
+                        batch.type_id.0,
                         batch.approx_bytes() as u64,
                         batch.events.len() as u64,
                         batch.matched,
@@ -419,6 +579,7 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
                         latency,
                     );
                 }
+                self.observe_ingest(&mut batch, now_ms);
                 if let Some(exec) = self.executors.get_mut(&batch.query_id) {
                     let qid = batch.query_id;
                     exec.ingest(batch);
@@ -450,6 +611,7 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
             let now_ms = ctx.now.as_ms();
             self.refresh_dead_hosts();
             self.flush_rows(ctx, now_ms);
+            self.history.record(self.obs.snapshot(now_ms));
             ctx.set_timer(self.advance_interval(), TIMER_CENTRAL_ADVANCE);
         }
     }

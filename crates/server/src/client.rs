@@ -17,7 +17,7 @@
 use scrub_central::{QuerySummary, ResultRow};
 use scrub_core::error::{ScrubError, ScrubResult};
 use scrub_core::plan::QueryId;
-use scrub_obs::QueryProfile;
+use scrub_obs::{LossLedger, QueryProfile, TraceStore};
 use scrub_simnet::{NodeId, Sim};
 
 use crate::central_node::CentralNode;
@@ -169,6 +169,24 @@ impl QueryHandle {
         sim.node_as::<CentralNode<E>>(central)?
             .profile(self.qid)
             .cloned()
+    }
+
+    /// The lifecycle trace trees central assembled for this query's
+    /// sampled requests (see `ScrubConfig::trace_sample_rate`). Retained
+    /// after the query finishes. `None` when tracing recorded nothing.
+    pub fn traces<E: ScrubEnvelope>(&self, sim: &Sim<E>) -> Option<TraceStore> {
+        let central = self.central(sim);
+        sim.node_as::<CentralNode<E>>(central)?
+            .trace_store(self.qid)
+            .cloned()
+    }
+
+    /// The loss ledger: per-host accounting of every tapped event that
+    /// did not reach a result, bucketed by cause, reconciled against the
+    /// profile's tap counters. `None` if the query never reached central.
+    pub fn loss_ledger<E: ScrubEnvelope>(&self, sim: &Sim<E>) -> Option<LossLedger> {
+        let central = self.central(sim);
+        sim.node_as::<CentralNode<E>>(central)?.ledger(self.qid)
     }
 
     /// Stop the query before its span elapses (injects a cancel; step the

@@ -16,6 +16,7 @@ use rand::Rng;
 use scrub_agent::{EventBatch, ReliableShipper, RetryPolicy, ScrubAgent};
 use scrub_core::config::ScrubConfig;
 use scrub_core::plan::QueryId;
+use scrub_obs::{should_trace, trace_threshold, SpanKind, TraceSpan};
 use scrub_simnet::{Context, NodeId, SimDuration};
 
 use crate::msg::{
@@ -42,6 +43,32 @@ pub struct AgentHarness {
     retry_armed: bool,
     flush_interval: SimDuration,
     heartbeat_interval: SimDuration,
+    /// Precomputed trace-sampler threshold (0 = tracing disabled).
+    trace_threshold: u64,
+}
+
+/// Append a transport-hop span to a wire copy of `batch` for every
+/// distinct traced request it carries. Only the copy going on the wire is
+/// annotated — the shipper's buffered original is untouched — so each
+/// (re)transmission documents its own journey, and whichever copy reaches
+/// central first tells the truth about how it got there.
+fn annotate_wire_copy(
+    batch: &mut EventBatch,
+    threshold: u64,
+    kind: SpanKind,
+    at_ms: i64,
+    detail: i64,
+) {
+    if threshold == 0 {
+        return;
+    }
+    let mut done: HashSet<u64> = HashSet::new();
+    for ev in &batch.events {
+        let rid = ev.request_id.0;
+        if should_trace(rid, threshold) && done.insert(rid) {
+            batch.spans.push(TraceSpan::new(rid, kind, at_ms, detail));
+        }
+    }
 }
 
 impl AgentHarness {
@@ -57,6 +84,7 @@ impl AgentHarness {
                 .max(config.agent_retry_base_ms.max(1)),
             buffer_cap: config.agent_retransmit_buffer.max(1),
         };
+        let trace_thresh = trace_threshold(config.trace_sample_rate);
         AgentHarness {
             agent: Arc::new(ScrubAgent::new(host.clone(), config)),
             host,
@@ -68,6 +96,7 @@ impl AgentHarness {
             retry_armed: false,
             flush_interval,
             heartbeat_interval,
+            trace_threshold: trace_thresh,
         }
     }
 
@@ -122,7 +151,16 @@ impl AgentHarness {
 
     fn ship<E: ScrubEnvelope>(&mut self, ctx: &mut Context<'_, E>, batch: EventBatch) {
         let dest = self.central_for(batch.query_id);
-        let batch = self.shipper.ship(batch, ctx.now.as_ms());
+        let now_ms = ctx.now.as_ms();
+        let mut batch = self.shipper.ship(batch, now_ms);
+        let seq = batch.seq as i64;
+        annotate_wire_copy(
+            &mut batch,
+            self.trace_threshold,
+            SpanKind::Send,
+            now_ms,
+            seq,
+        );
         ctx.send(dest, E::wrap(ScrubMsg::Batch(batch)));
         self.update_pending_gauge();
         self.arm_retry(ctx);
@@ -200,8 +238,15 @@ impl AgentHarness {
                     .shipper
                     .due_retransmits(now_ms, |backoff| rng.gen_range(0..=backoff / 4));
                 let stats = self.agent.stats();
-                for r in due {
+                for mut r in due {
                     let dest = self.central_for(r.batch.query_id);
+                    annotate_wire_copy(
+                        &mut r.batch,
+                        self.trace_threshold,
+                        SpanKind::Retransmit,
+                        now_ms,
+                        r.attempt as i64,
+                    );
                     stats.retransmits.fetch_add(1, Ordering::Relaxed);
                     stats
                         .bytes_retransmitted

@@ -14,8 +14,11 @@
 //! Commands: a ScrubQL query (terminated by a newline), `explain <query>`,
 //! `faults ...` (live fault injection: drop rates, partitions, host
 //! kill/revive), `stats` (platform + Scrub self-observability metrics),
-//! `profile <qid>` (a query's execution profile), `\events`, `\hosts`,
-//! `\help`, `\quit`.
+//! `profile <qid>` (a query's execution profile + loss ledger),
+//! `trace <qid> [request-id]` (lifecycle trace timelines), `watch
+//! <metric>` (a metric's recent per-interval deltas as a sparkline),
+//! `\events`, `\hosts`, `\help`, `\quit`. Lifecycle tracing samples 5%
+//! of requests by default; tune with `--trace <rate>` (0 disables).
 
 use std::io::{BufRead, Write};
 
@@ -35,7 +38,14 @@ fn main() {
         .unwrap_or("default")
         .to_string();
 
-    let cfg = match scenario.as_str() {
+    let trace_rate = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.05);
+
+    let mut cfg = match scenario.as_str() {
         "spam" => scrub::scenario::spam(),
         "new_exchange" => scrub::scenario::new_exchange(),
         "ab_test" => scrub::scenario::ab_test(),
@@ -51,6 +61,8 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    cfg.scrub.trace_sample_rate = trace_rate;
 
     eprintln!("building platform for scenario {scenario:?} ...");
     let mut p = adplatform::build_platform(cfg);
@@ -91,7 +103,10 @@ fn main() {
                      faults revive <host>              bring a killed host back up now\n  \
                      (selectors: *, host:NAME, service:NAME, dc:NAME; bare word = host)\n  \
                      stats             platform statistics + scrub self-observability metrics\n  \
-                     profile <qid>     a query's execution profile (taps, sheds, bytes, windows)\n  \
+                     profile <qid>     a query's execution profile + loss ledger\n  \
+                     trace <qid>       traced request ids of a query (sampled lifecycles)\n  \
+                     trace <qid> <rid> one traced request's span timeline\n  \
+                     watch <metric>    a metric's per-interval deltas as a sparkline\n  \
                      \\events           event types and schemas\n  \
                      \\hosts            host inventory\n  \\quit"
                 );
@@ -123,6 +138,21 @@ fn main() {
                     None => {
                         println!("usage: profile <qid> (query ids are printed when a query runs)")
                     }
+                }
+            }
+            other if other == "trace" || other.starts_with("trace ") => {
+                let mut words = other.split_whitespace().skip(1);
+                let qid = words.next().and_then(|w| w.parse::<u64>().ok());
+                let rid = words.next().and_then(|w| w.parse::<u64>().ok());
+                match qid {
+                    Some(qid) => print_trace(&p, QueryId(qid), rid),
+                    None => println!("usage: trace <qid> [request-id]"),
+                }
+            }
+            other if other == "watch" || other.starts_with("watch ") => {
+                match other.split_whitespace().nth(1) {
+                    Some(metric) => watch_metric(&p, metric),
+                    None => println!("usage: watch <metric> (stats lists metric names)"),
                 }
             }
             other if other == "faults" || other.starts_with("faults ") => {
@@ -369,6 +399,142 @@ fn print_profile(p: &Platform, qid: QueryId) {
             h.bytes_retransmitted
         );
     }
+    if let Some(ledger) = handle.loss_ledger(&p.sim) {
+        if ledger.is_all_zero() {
+            println!("loss ledger: clean — every tapped event reached a result");
+        } else {
+            println!(
+                "loss ledger (invariant: tapped = delivered + sampled_out + load_shed + batch_dropped):"
+            );
+            println!(
+                "host\tdelivered\tsampled_out\tload_shed\tbatch_dropped\tdedup_retx\tdegraded\tdead"
+            );
+            for (host, h) in &ledger.hosts {
+                println!(
+                    "{host}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                    h.delivered,
+                    h.sampled_out,
+                    h.load_shed,
+                    h.batch_dropped,
+                    h.deduped_retransmit,
+                    h.window_degraded,
+                    if h.host_dead { "yes" } else { "no" }
+                );
+            }
+        }
+        if !ledger.reconciles() {
+            println!("WARNING: ledger does not reconcile with the profile's tap counters");
+        }
+    }
+}
+
+/// `trace <qid> [rid]`: the lifecycle traces central assembled for the
+/// query's sampled requests — a listing of traced ids, or one request's
+/// causally-ordered span timeline.
+fn print_trace(p: &Platform, qid: QueryId, rid: Option<u64>) {
+    let handle = QueryHandle::from_id(&p.scrub, qid);
+    let Some(store) = handle.traces(&p.sim) else {
+        println!(
+            "no traces for query {qid} (tracing off — rerun scrubql with --trace <rate> — \
+             or no sampled request reached ScrubCentral)"
+        );
+        return;
+    };
+    match rid {
+        None => {
+            println!(
+                "query {qid}: {} traced request(s), {} span(s) total{}",
+                store.len(),
+                store.span_count(),
+                if store.dropped_spans > 0 {
+                    format!(" ({} dropped at the store cap)", store.dropped_spans)
+                } else {
+                    String::new()
+                }
+            );
+            const MAX_IDS: usize = 40;
+            for r in store.request_ids().take(MAX_IDS) {
+                let spans = store.trace(r).unwrap_or_default();
+                let hops: Vec<String> = spans.iter().map(|s| format!("{:?}", s.kind)).collect();
+                println!("  {r}\t{}", hops.join(" > "));
+            }
+            if store.len() > MAX_IDS {
+                println!(
+                    "  ... ({} more; trace {} <rid> for one timeline)",
+                    store.len() - MAX_IDS,
+                    qid.0
+                );
+            }
+        }
+        Some(r) => {
+            let Some(spans) = store.trace(r) else {
+                println!(
+                    "request {r} is not traced for query {qid} (trace {} lists traced ids)",
+                    qid.0
+                );
+                return;
+            };
+            let t0 = spans.first().map(|s| s.at_ms).unwrap_or(0);
+            println!("request {r} lifecycle ({} spans):", spans.len());
+            for s in &spans {
+                let detail = match s.kind {
+                    SpanKind::Send => format!("seq={}", s.detail),
+                    SpanKind::Retransmit => format!("attempt={}", s.detail),
+                    SpanKind::Route => format!("partition={}", s.detail),
+                    SpanKind::WindowAssign | SpanKind::WindowClose | SpanKind::WindowDegrade => {
+                        format!("window_start={}ms", s.detail)
+                    }
+                    _ => String::new(),
+                };
+                println!(
+                    "  +{:>7} ms  {:<14} {:<14} {detail}",
+                    s.at_ms - t0,
+                    format!("{:?}", s.kind),
+                    s.host
+                );
+            }
+        }
+    }
+}
+
+/// `watch <metric>`: per-interval deltas of one central metric from the
+/// snapshot-history ring, rendered as a sparkline.
+fn watch_metric(p: &Platform, metric: &str) {
+    let Some(central) = p.sim.node_as::<CentralNode<PlatformMsg>>(p.scrub.central) else {
+        println!("central node not found");
+        return;
+    };
+    let hist = central.history();
+    let deltas = hist.deltas(metric);
+    if deltas.is_empty() {
+        println!(
+            "no history yet for {metric:?} (the ring fills as virtual time passes; \
+             stats lists metric names)"
+        );
+        return;
+    }
+    let values: Vec<i64> = deltas.iter().map(|d| d.value).collect();
+    println!(
+        "{metric} deltas per {:.0}s interval, t=[{:.0}s, {:.0}s]:",
+        if deltas.len() > 1 {
+            (deltas[1].at_ms - deltas[0].at_ms) as f64 / 1_000.0
+        } else {
+            0.0
+        },
+        deltas.first().unwrap().at_ms as f64 / 1_000.0,
+        deltas.last().unwrap().at_ms as f64 / 1_000.0
+    );
+    println!("  {}", scrub::obs::sparkline(&values));
+    let rate = hist
+        .rate_per_sec(metric, 10)
+        .map(|r| format!(", ~{r:.1}/s over the newest intervals"))
+        .unwrap_or_default();
+    println!(
+        "  min {} max {} last {}{rate}",
+        values.iter().min().unwrap(),
+        values.iter().max().unwrap(),
+        values.last().unwrap()
+    );
 }
 
 fn print_stats(p: &Platform) {
@@ -409,20 +575,44 @@ fn print_stats(p: &Platform) {
         snap.merge(&central.metrics(at_ms));
     }
     println!("scrub self-observability:");
+    // group by subsystem prefix (the part before the first '.'), sort
+    // within each group, and align the value column
+    let mut groups: std::collections::BTreeMap<&str, Vec<(&str, String)>> =
+        std::collections::BTreeMap::new();
+    fn prefix(name: &str) -> &str {
+        name.split('.').next().unwrap_or(name)
+    }
     for (name, v) in &snap.counters {
-        println!("  {name} = {v}");
+        groups
+            .entry(prefix(name))
+            .or_default()
+            .push((name, v.to_string()));
     }
     for (name, v) in &snap.gauges {
-        println!("  {name} = {v}");
+        groups
+            .entry(prefix(name))
+            .or_default()
+            .push((name, v.to_string()));
     }
     for (name, h) in &snap.histograms {
         if h.count > 0 {
-            println!(
-                "  {name}: p50 {} p99 {} (n={})",
-                h.p50().unwrap_or(0),
-                h.p99().unwrap_or(0),
-                h.count
-            );
+            groups.entry(prefix(name)).or_default().push((
+                name,
+                format!(
+                    "p50 {} p99 {} (n={})",
+                    h.p50().unwrap_or(0),
+                    h.p99().unwrap_or(0),
+                    h.count
+                ),
+            ));
+        }
+    }
+    for (group, mut rows) in groups {
+        rows.sort();
+        let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        println!("  [{group}]");
+        for (name, value) in rows {
+            println!("    {name:<width$}  {value}");
         }
     }
 }

@@ -55,7 +55,10 @@ pub mod prelude {
     pub use adplatform::{build_platform, Platform, PlatformConfig};
     pub use scrub_central::{QuerySummary, ResultRow};
     pub use scrub_core::prelude::*;
-    pub use scrub_obs::{HostProfile, MetricsSnapshot, QueryProfile};
+    pub use scrub_obs::{
+        HostLosses, HostProfile, LossLedger, MetricsHistory, MetricsSnapshot, QueryProfile,
+        SpanKind, TraceSpan, TraceStore,
+    };
     pub use scrub_server::{
         deploy_central, deploy_server, AgentHarness, QueryHandle, QueryState, ScrubClient,
         ScrubDeployment, ScrubEnvelope, ScrubMsg,

@@ -1,0 +1,105 @@
+//! Golden-output check of the Prometheus-style telemetry surface: two
+//! runs of the same seeded scenario must render byte-identical
+//! `render_text` output (metric names sorted, buckets in bound order,
+//! integer values), so the exported artifact is diffable across CI runs
+//! and a changed byte means behavior actually changed.
+
+#![allow(clippy::field_reassign_with_default)]
+
+use std::sync::Arc;
+
+use scrub::prelude::*;
+use scrub::server::CentralNode;
+use scrub_core::event::RequestId;
+use scrub_core::schema::EventTypeId;
+use scrub_simnet::{Context, Node};
+
+/// A host emitting one `bid` event per millisecond.
+struct OneHost {
+    harness: AgentHarness,
+    emitted: u64,
+}
+
+impl Node<ScrubMsg> for OneHost {
+    fn on_start(&mut self, ctx: &mut Context<'_, ScrubMsg>) {
+        self.harness.start(ctx);
+        ctx.set_timer(SimDuration::from_ms(1), 1);
+    }
+    fn on_message(&mut self, ctx: &mut Context<'_, ScrubMsg>, from: NodeId, msg: ScrubMsg) {
+        let _ = self.harness.on_message(ctx, from, msg);
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_, ScrubMsg>, timer: u64) {
+        if self.harness.on_timer(ctx, timer) {
+            return;
+        }
+        self.emitted += 1;
+        self.harness.agent().log(
+            EventTypeId(0),
+            RequestId(self.emitted),
+            ctx.now.as_ms(),
+            &[Value::Long((self.emitted % 7) as i64)],
+        );
+        ctx.set_timer(SimDuration::from_ms(1), 1);
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+fn run_once() -> String {
+    let mut config = ScrubConfig::default();
+    config.trace_sample_rate = 0.1;
+    let reg = SchemaRegistry::new();
+    reg.register(EventSchema::new("bid", vec![FieldDef::new("user_id", FieldType::Long)]).unwrap())
+        .unwrap();
+    let reg = Arc::new(reg);
+    let mut sim: Sim<ScrubMsg> = Sim::new(Topology::default(), 1771);
+    let central = deploy_central(&mut sim, &reg, config.clone(), "DC1");
+    sim.add_node(
+        NodeMeta::new("gold-0", "GoldServers", "DC1"),
+        Box::new(OneHost {
+            harness: AgentHarness::new("gold-0", config.clone(), central),
+            emitted: 0,
+        }),
+    );
+    let d = deploy_server(&mut sim, reg, config, central, "DC1");
+    let q = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select bid.user_id, COUNT(*) from bid @[all] \
+             group by bid.user_id window 5 s duration 10 s",
+        )
+        .expect("query accepted");
+    sim.run_until(SimTime::from_secs(30));
+    assert_eq!(q.state(&sim), Some(QueryState::Done));
+    let node = sim
+        .node_as::<CentralNode<ScrubMsg>>(central)
+        .expect("central node");
+    scrub::obs::render_text(&node.metrics(sim.now().as_ms()))
+}
+
+#[test]
+fn render_text_is_byte_identical_across_seeded_runs() {
+    let a = run_once();
+    let b = run_once();
+    assert_eq!(a, b, "telemetry surface must be reproducible byte-for-byte");
+    // the surface carries the expected shape, not just emptiness
+    assert!(a.starts_with("# scrub metrics snapshot at sim t="));
+    assert!(a.contains("# TYPE scrub_central_batches_received counter"));
+    assert!(a.contains("# TYPE scrub_central_ingest_latency_ms histogram"));
+    assert!(a.contains("_bucket{le=\"+Inf\"}"));
+    let events_line = a
+        .lines()
+        .find(|l| l.starts_with("scrub_central_events_ingested "))
+        .expect("events_ingested sample present");
+    let n: u64 = events_line
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .parse()
+        .expect("integer sample");
+    assert!(n > 0, "the seeded run must actually ingest events");
+}

@@ -93,17 +93,24 @@ fn registry() -> Arc<SchemaRegistry> {
 }
 
 /// One full simulated run; returns (sorted rows, summary signature,
-/// per-column two-stage estimates). Everything except `partitions` is
-/// held fixed, so any divergence is the parallel backend's fault.
+/// per-column two-stage estimates, trace signature, loss ledger).
+/// Everything except `partitions` is held fixed, so any divergence is
+/// the parallel backend's fault.
 type RunOutput = (
     Vec<(i64, Vec<Value>, bool)>,
     String,
     Vec<Option<scrub_sketch::TwoStageEstimate>>,
+    std::collections::BTreeMap<u64, Vec<(SpanKind, i64, String)>>,
+    String,
 );
 
 fn run(partitions: usize, query: &str, chaos: bool) -> RunOutput {
     let mut config = ScrubConfig::default();
     config.central_partitions = partitions;
+    // Trace a fixed slice of requests: the deterministic sampler must
+    // pick the same requests and produce hop-identical lifecycles no
+    // matter how many partitions central runs.
+    config.trace_sample_rate = 0.2;
     if chaos {
         config.agent_retry_base_ms = 200;
         config.window_grace_ms = 6_000;
@@ -161,7 +168,19 @@ fn run(partitions: usize, query: &str, chaos: bool) -> RunOutput {
         s.degraded_rows,
         s.duplicate_batches,
     );
-    (rows, sig, s.estimates.clone())
+    // Trace signatures deliberately exclude the Route partition index —
+    // that is the one hop detail allowed to differ across backends.
+    let trace_sig = qid
+        .traces(&sim)
+        .map(|store| store.signature())
+        .unwrap_or_default();
+    let ledger = qid.loss_ledger(&sim).expect("ledger for a known query");
+    assert!(
+        ledger.reconciles(),
+        "loss ledger must reconcile with the profile's tap counters"
+    );
+    let ledger_sig = format!("{ledger:?}");
+    (rows, sig, s.estimates.clone(), trace_sig, ledger_sig)
 }
 
 /// Floating-point figures must agree across partition counts; the
@@ -204,11 +223,20 @@ fn assert_rows_eq(rows1: &[(i64, Vec<Value>, bool)], rows4: &[(i64, Vec<Value>, 
 }
 
 fn assert_differential(query: &str, chaos: bool) {
-    let (rows1, sig1, est1) = run(1, query, chaos);
-    let (rows4, sig4, est4) = run(4, query, chaos);
+    let (rows1, sig1, est1, traces1, ledger1) = run(1, query, chaos);
+    let (rows4, sig4, est4, traces4, ledger4) = run(4, query, chaos);
     assert!(!rows1.is_empty(), "reference run produced no rows");
     assert_rows_eq(&rows1, &rows4);
     assert_eq!(sig1, sig4, "summary diverges between partitions 1 and 4");
+    assert!(!traces1.is_empty(), "no request was traced at rate 0.2");
+    assert_eq!(
+        traces1, traces4,
+        "trace signatures diverge between partitions 1 and 4"
+    );
+    assert_eq!(
+        ledger1, ledger4,
+        "loss ledgers diverge between partitions 1 and 4"
+    );
     assert_eq!(est1.len(), est4.len(), "estimate column count diverges");
     for (i, (a, b)) in est1.iter().zip(&est4).enumerate() {
         match (a, b) {
@@ -248,7 +276,7 @@ fn sampled_estimates_identical_across_partition_counts() {
     let query = "select COUNT(*), SUM(bid.price) from bid @[all] \
                  sample events 50% window 5 s duration 15 s";
     assert_differential(query, false);
-    let (_, _, est) = run(4, query, false);
+    let (_, _, est, _, _) = run(4, query, false);
     for (i, e) in est.iter().enumerate() {
         let e = e.unwrap_or_else(|| panic!("column {i} should carry an estimate"));
         assert!(e.estimate > 0.0, "column {i} estimate degenerate: {e:?}");

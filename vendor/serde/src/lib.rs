@@ -9,7 +9,7 @@
 //! workspace only uses plain derives (no `#[serde(...)]` attributes, no
 //! hand-written impls), so this simplified shape is a drop-in.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use std::fmt;
 use std::hash::{BuildHasher, Hash};
 
@@ -422,6 +422,30 @@ impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
 impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
     fn from_content(c: &Content) -> Result<Self, DeError> {
         Ok(map_from_content::<K, V>(c)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(Vec::<T>::from_content(c)?.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(Vec::<T>::from_content(c)?.into_iter().collect())
     }
 }
 
