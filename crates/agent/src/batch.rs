@@ -47,6 +47,18 @@ pub struct EventBatch {
     pub sampled: u64,
     /// Cumulative count of events dropped by load shedding.
     pub shed: u64,
+    /// Cumulative count of events of this type *seen* by the tap on this
+    /// host (the selection operator's input cardinality — `EXPLAIN
+    /// ANALYZE` audits the predicate's estimated selectivity against
+    /// `matched / seen`). Like `seq`, rides the fixed header allowance
+    /// and is not counted in `approx_bytes`.
+    #[serde(default)]
+    pub seen: u64,
+    /// Cumulative bytes this subscription shipped in first-transmission
+    /// batches (feeds the sampling/ship operator's byte cost at central).
+    /// Not counted in `approx_bytes`.
+    #[serde(default)]
+    pub bytes: u64,
     /// Lifecycle trace spans piggybacking on this batch (empty unless
     /// `ScrubConfig::trace_sample_rate > 0`). Spans ride the batches the
     /// agent ships anyway — tracing adds no messages to the network.
@@ -84,6 +96,8 @@ mod tests {
             matched: 0,
             sampled: 0,
             shed: 0,
+            seen: 0,
+            bytes: 0,
             spans: vec![],
         };
         let one = EventBatch {

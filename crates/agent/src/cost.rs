@@ -63,6 +63,33 @@ impl CostModel {
         }
         self.cpu_ns(d) / interval_ns
     }
+
+    /// Model ns attributed to the host *selection* operator of one
+    /// subscription: the active-tap entry plus (when the plan carries a
+    /// predicate) one evaluation per seen event. Deterministic — `EXPLAIN
+    /// ANALYZE` reconstructs host overhead from shipped counters instead
+    /// of timing the hot path.
+    pub fn selection_ns(&self, seen: u64, has_predicate: bool) -> u64 {
+        let mut ns = seen as f64 * self.tap_active_ns;
+        if has_predicate {
+            ns += seen as f64 * self.predicate_ns;
+        }
+        ns as u64
+    }
+
+    /// Model ns attributed to the host *sampling* operator: the sampling
+    /// decision itself is folded into the active-tap cost, so this is the
+    /// enqueue/ship cost of the events that survived (per-event batch
+    /// bookkeeping plus per-byte serialization).
+    pub fn sampling_ns(&self, shipped: u64, bytes: u64) -> u64 {
+        (shipped as f64 * self.ship_event_ns + bytes as f64 * self.ship_byte_ns) as u64
+    }
+
+    /// Model ns attributed to the host *projection* operator: copying
+    /// `fields` field values for each shipped event.
+    pub fn projection_ns(&self, shipped: u64, fields: usize) -> u64 {
+        (shipped as f64 * fields as f64 * self.project_field_ns) as u64
+    }
 }
 
 #[cfg(test)]

@@ -77,6 +77,11 @@ struct Subscription {
     matched: u64,
     sampled: u64,
     shed: u64,
+    /// Events of the subscribed type seen by the tap (pre-selection) —
+    /// the selection operator's input cardinality for `EXPLAIN ANALYZE`.
+    seen: u64,
+    /// Bytes shipped in first-transmission batches.
+    bytes: u64,
     /// Shedding window: (second, events this second).
     shed_window: (i64, u64),
     last_flush_ms: i64,
@@ -98,6 +103,8 @@ impl Subscription {
             matched: 0,
             sampled: 0,
             shed: 0,
+            seen: 0,
+            bytes: 0,
             shed_window: (i64::MIN, 0),
             last_flush_ms: 0,
         }
@@ -298,6 +305,7 @@ impl ScrubAgent {
             return;
         };
         for sub in type_subs.iter_mut() {
+            sub.seen += 1;
             // selection
             if let Some(pred) = &sub.plan.predicate {
                 self.stats.bump(&self.stats.predicates_evaluated, 1);
@@ -450,7 +458,7 @@ fn make_batch(host: &str, sub: &mut Subscription, now_ms: i64) -> Option<EventBa
     }
     // Spans only exist for events that matched selection, so matched > 0
     // whenever `trace` is non-empty — spans always find a batch to ride.
-    Some(EventBatch {
+    let mut b = EventBatch {
         seq: 0,
         attempt: 0,
         query_id: sub.plan.query_id,
@@ -460,8 +468,15 @@ fn make_batch(host: &str, sub: &mut Subscription, now_ms: i64) -> Option<EventBa
         matched: sub.matched,
         sampled: sub.sampled,
         shed: sub.shed,
+        seen: sub.seen,
+        bytes: 0,
         spans: std::mem::take(&mut sub.trace),
-    })
+    };
+    // Charge this batch's wire size to the cumulative shipped-bytes
+    // counter it carries (the header fields themselves are not counted).
+    sub.bytes += b.approx_bytes() as u64;
+    b.bytes = sub.bytes;
+    Some(b)
 }
 
 fn fxhash(bytes: &[u8]) -> u64 {

@@ -63,6 +63,8 @@ fn bid_batch(n: u64) -> EventBatch {
         matched: n,
         sampled: n,
         shed: 0,
+        seen: n,
+        bytes: 0,
         spans: vec![],
     }
 }
@@ -119,6 +121,8 @@ fn bench_central(c: &mut Criterion) {
                     matched: N / 2,
                     sampled: N / 2,
                     shed: 0,
+                    seen: N / 2,
+                    bytes: 0,
                     spans: vec![],
                 };
                 (QueryExecutor::new(p.clone(), 0), bid_batch(N / 2), imps)

@@ -64,6 +64,8 @@ fn bid_batch(n: u64) -> EventBatch {
         matched: n,
         sampled: n,
         shed: 0,
+        seen: n,
+        bytes: 0,
         spans: vec![],
     }
 }
@@ -88,6 +90,8 @@ fn imp_batch(n: u64) -> EventBatch {
         matched: n,
         sampled: n,
         shed: 0,
+        seen: n,
+        bytes: 0,
         spans: vec![],
     }
 }

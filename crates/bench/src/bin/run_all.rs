@@ -1,4 +1,4 @@
-//! Run every experiment (E01–E18) and print the combined report — the data
+//! Run every experiment (E01–E19) and print the combined report — the data
 //! behind EXPERIMENTS.md. Pass `--quick` for shorter runs.
 
 fn main() {

@@ -80,6 +80,8 @@ fn make_batches(n: usize) -> Vec<EventBatch> {
             matched: cumulative,
             sampled: cumulative,
             shed: 0,
+            seen: cumulative,
+            bytes: 0,
             spans: vec![],
         });
     }

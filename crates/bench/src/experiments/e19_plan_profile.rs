@@ -1,0 +1,293 @@
+//! E19 — EXPLAIN ANALYZE plan audit over the paper's five use cases (§2,
+//! §5; reconstructed). Runs the spam / new-exchange / A-B / exclusions /
+//! cannibalization queries concurrently on the busy bidding workload,
+//! collects each query's [`PlanProfile`] (per-operator rows in/out,
+//! estimate-vs-actual selectivity, ns attribution), and checks the
+//! placement story the paper tells:
+//!
+//! - host-side operators are selection/projection/sampling ONLY — joins
+//!   and aggregations never cost host ns (they run at ScrubCentral);
+//! - selection + projection dominate the host-side ns attribution;
+//! - the summed host-side operator ns stays inside the paper's ≤2.5 %
+//!   CPU envelope (measured exactly like E07, through the calibrated
+//!   cost model over a steady-state interval).
+//!
+//! Results land in `BENCH_plan_profile.json` at the workspace root:
+//! per-operator `rows_in` / `rows_out` / `est_rows_out` /
+//! `host_ns_share` rows for every query (central operators report a
+//! `host_ns_share` of 0).
+
+use scrub_agent::CostModel;
+use scrub_obs::PlanProfile;
+use scrub_server::{QueryHandle, QueryState, ScrubClient};
+use scrub_simnet::SimDuration;
+
+use super::e07_cpu_overhead::busy_config;
+use crate::{Report, Table};
+
+/// The five §2 use-case queries, instantiated against the busy workload
+/// (same templates as E01–E05, with spans sized for one steady-state
+/// measurement interval). `li` is the line item under investigation in
+/// the A/B use case — found by [`probe_line_item`], since which line
+/// items win impressions is a property of the workload.
+fn use_case_queries(
+    p: &adplatform::Platform,
+    duration_secs: i64,
+    li: i64,
+) -> Vec<(&'static str, String)> {
+    let host = p.sim.metas()[p.bidservers[0].0 as usize].name.clone();
+    vec![
+        (
+            "spam_users",
+            format!(
+                "Select bid.user_id, COUNT(*) from bid \
+                 @[Service in BidServers and Server = '{host}'] \
+                 group by bid.user_id window 10 s duration {duration_secs} s"
+            ),
+        ),
+        (
+            "new_exchange",
+            format!(
+                "select impression.exchange_id, COUNT(*) from impression \
+                 @[Service in PresentationServers] \
+                 sample hosts 50% events 10% \
+                 group by impression.exchange_id window 10 s duration {duration_secs} s"
+            ),
+        ),
+        (
+            "ab_test",
+            format!(
+                "Select 1000*AVG(impression.cost) from impression \
+                 where impression.line_item_id = {li} \
+                 @[Service in PresentationServers] window 1 m duration {duration_secs} s"
+            ),
+        ),
+        (
+            "exclusions",
+            format!(
+                "Select exclusion.reason, COUNT(*) from bid, exclusion \
+                 where exclusion.line_item_id = 2000 and bid.exchange_id = 0 \
+                 @[Service in BidServers or Service in AdServers] \
+                 group by exclusion.reason window 1 m duration {duration_secs} s"
+            ),
+        ),
+        (
+            "cannibalization",
+            format!(
+                "Select impression.line_item_id, COUNT(*), AVG(auction.winner_price) \
+                 from auction, impression \
+                 where contains(auction.line_item_ids, 1000) \
+                 @[Service in AdServers or Service in PresentationServers] \
+                 group by impression.line_item_id window 1 m duration {duration_secs} s"
+            ),
+        ),
+    ]
+}
+
+/// Host-side ns split of one profile: (selection+projection, sampling).
+fn host_split(pp: &PlanProfile) -> (u64, u64) {
+    let mut sel_proj = 0u64;
+    let mut sampling = 0u64;
+    for o in pp.ops.iter().filter(|o| o.host_side) {
+        if o.label.starts_with("sampling(") {
+            sampling += o.ns;
+        } else {
+            sel_proj += o.ns;
+        }
+    }
+    (sel_proj, sampling)
+}
+
+/// Find the line item winning the most impressions in this workload —
+/// the one the A/B use case investigates.
+fn probe_line_item(p: &mut adplatform::Platform) -> i64 {
+    let probe = ScrubClient::new(&p.scrub)
+        .submit(
+            &mut p.sim,
+            "Select impression.line_item_id, COUNT(*) from impression \
+             @[Service in PresentationServers] \
+             group by impression.line_item_id window 10 s duration 10 s",
+        )
+        .expect("probe accepted");
+    let deadline = p.sim.now() + SimDuration::from_secs(90);
+    while p.sim.now() < deadline && probe.state(&p.sim) != Some(QueryState::Done) {
+        let step_to = p.sim.now() + SimDuration::from_secs(5);
+        p.sim.run_until(step_to);
+    }
+    probe
+        .record(&p.sim)
+        .into_iter()
+        .flat_map(|r| r.rows.iter())
+        .filter_map(|row| Some((row.values[0].as_i64()?, row.values[1].as_i64()?)))
+        .max_by_key(|(_, count)| *count)
+        .map(|(li, _)| li)
+        .unwrap_or(1000)
+}
+
+/// Run E19.
+pub fn run(quick: bool) -> Report {
+    let measure_secs: i64 = if quick { 20 } else { 60 };
+    let duration_secs = measure_secs + 30; // covers warm-up + measurement
+    let mut p = adplatform::build_platform(busy_config(quick));
+    let li = probe_line_item(&mut p);
+    let queries = use_case_queries(&p, duration_secs, li);
+    let handles: Vec<(&'static str, QueryHandle)> = queries
+        .iter()
+        .map(|(name, src)| {
+            (
+                *name,
+                ScrubClient::new(&p.scrub)
+                    .submit(&mut p.sim, src)
+                    .expect("query accepted"),
+            )
+        })
+        .collect();
+
+    // Warm up, then measure host CPU over a steady-state interval with
+    // all five queries live (the E07 method: agent work -> calibrated
+    // cost model -> fraction of wall time).
+    let t0 = p.sim.now();
+    p.sim.run_until(t0 + SimDuration::from_secs(10));
+    let before = p.agent_stats();
+    p.sim
+        .run_until(t0 + SimDuration::from_secs(10 + measure_secs));
+    let after = p.agent_stats();
+    let model = CostModel::default();
+    let mut max_pct = 0.0f64;
+    for ((_, b), (_, a)) in before.iter().zip(after.iter()) {
+        let pct = model.cpu_fraction(&a.since(b), measure_secs as f64 * 1e9) * 100.0;
+        max_pct = max_pct.max(pct);
+    }
+
+    // Run the spans out (plus drain) so every profile is the retained
+    // end-of-query copy, then collect them.
+    let deadline = t0 + SimDuration::from_secs(duration_secs + 120);
+    while p.sim.now() < deadline
+        && handles
+            .iter()
+            .any(|(_, h)| h.state(&p.sim) != Some(QueryState::Done))
+    {
+        let step_to = p.sim.now() + SimDuration::from_secs(5);
+        p.sim.run_until(step_to);
+    }
+    let profiles: Vec<(&'static str, PlanProfile)> = handles
+        .iter()
+        .filter_map(|(name, h)| h.plan_profile(&p.sim).map(|pp| (*name, pp)))
+        .collect();
+
+    let mut t = Table::new(&[
+        "use_case",
+        "host_ns",
+        "sel_proj_share",
+        "sampling_share",
+        "max_est_err_pp",
+        "placement_ok",
+    ]);
+    let mut placement_ok = true;
+    let mut total_sel_proj = 0u64;
+    let mut total_sampling = 0u64;
+    let mut host_rows = 0u64;
+    for (name, pp) in &profiles {
+        let ok = pp.host_ops_are_select_project_sample();
+        placement_ok &= ok;
+        let (sel_proj, sampling) = host_split(pp);
+        total_sel_proj += sel_proj;
+        total_sampling += sampling;
+        host_rows += pp
+            .ops
+            .iter()
+            .filter(|o| o.host_side)
+            .map(|o| o.rows_in)
+            .max()
+            .unwrap_or(0);
+        let host_ns = pp.host_ns().max(1);
+        t.row(vec![
+            name.to_string(),
+            pp.host_ns().to_string(),
+            format!("{:.1}%", sel_proj as f64 / host_ns as f64 * 100.0),
+            format!("{:.1}%", sampling as f64 / host_ns as f64 * 100.0),
+            format!("{:.1}", pp.max_estimate_error() * 100.0),
+            if ok { "yes".into() } else { "NO".into() },
+        ]);
+    }
+
+    write_bench_json(quick, max_pct, &profiles);
+
+    let sel_proj_dominate = total_sel_proj >= total_sampling;
+    let pass = profiles.len() == handles.len()
+        && placement_ok
+        && sel_proj_dominate
+        && host_rows > 0
+        && max_pct <= 2.5;
+    Report {
+        id: "E19",
+        title: "EXPLAIN ANALYZE plan audit: placement + host-overhead attribution (§2/§5)",
+        paper: "selection/projection/sampling run on hosts (joins and aggregations cost \
+                zero host ns); host overhead stays within the 2.5% CPU envelope",
+        body: t.to_string(),
+        pass,
+        verdict: format!(
+            "{}/{} profiles, placement invariant {}, selection+projection {:.0}% of \
+             host ns, max host CPU {max_pct:.2}% (envelope 2.5%)",
+            profiles.len(),
+            handles.len(),
+            if placement_ok { "holds" } else { "VIOLATED" },
+            total_sel_proj as f64 / (total_sel_proj + total_sampling).max(1) as f64 * 100.0,
+        ),
+    }
+}
+
+/// Persist the audit as `BENCH_plan_profile.json` at the workspace root —
+/// per-operator `rows_in`/`rows_out`/`est_rows_out`/`host_ns_share` for
+/// every use-case query (CI validates this schema).
+fn write_bench_json(quick: bool, max_pct: f64, profiles: &[(&'static str, PlanProfile)]) {
+    let queries: Vec<String> = profiles
+        .iter()
+        .map(|(name, pp)| {
+            let host_ns = pp.host_ns().max(1);
+            let operators: Vec<String> = pp
+                .ops
+                .iter()
+                .map(|o| {
+                    format!(
+                        "        {{ \"id\": {}, \"label\": {:?}, \"host_side\": {}, \
+                         \"rows_in\": {}, \"rows_out\": {}, \"est_rows_out\": {}, \
+                         \"host_ns_share\": {:.4} }}",
+                        o.id,
+                        o.label,
+                        o.host_side,
+                        o.rows_in,
+                        o.rows_out,
+                        o.est_rows_out(),
+                        if o.host_side {
+                            o.ns as f64 / host_ns as f64
+                        } else {
+                            0.0
+                        },
+                    )
+                })
+                .collect();
+            format!(
+                "    {{\n      \"use_case\": {name:?},\n      \"query_id\": {},\n      \
+                 \"host_ns\": {},\n      \"central_ns\": {},\n      \
+                 \"max_estimate_error\": {:.4},\n      \"operators\": [\n{}\n      ]\n    }}",
+                pp.query_id,
+                pp.host_ns(),
+                pp.central_ns(),
+                pp.max_estimate_error(),
+                operators.join(",\n"),
+            )
+        })
+        .collect();
+    let doc = format!(
+        "{{\n  \"bench\": \"plan_profile\",\n  \"experiment\": \"E19\",\n  \
+         \"workload\": \"five paper use-case queries, concurrent, busy bidding workload\",\n  \
+         \"quick\": {quick},\n  \"max_host_cpu_pct\": {max_pct:.3},\n  \
+         \"envelope_pct\": 2.5,\n  \"queries\": [\n{}\n  ]\n}}\n",
+        queries.join(",\n"),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_plan_profile.json");
+    if let Err(e) = std::fs::write(path, doc) {
+        eprintln!("E19: could not write {path}: {e}");
+    }
+}

@@ -1,4 +1,4 @@
-//! Experiment modules, one per paper figure/table (DESIGN.md E01–E14).
+//! Experiment modules, one per paper figure/table (DESIGN.md E01–E19).
 
 pub mod e01_spam;
 pub mod e02_exchange;
@@ -18,6 +18,7 @@ pub mod e15_baggage;
 pub mod e16_chaos;
 pub mod e17_self_obs;
 pub mod e18_tracing;
+pub mod e19_plan_profile;
 
 use crate::Report;
 
@@ -45,5 +46,6 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("e16_chaos", e16_chaos::run),
         ("e17_self_obs", e17_self_obs::run),
         ("e18_tracing", e18_tracing::run),
+        ("e19_plan_profile", e19_plan_profile::run),
     ]
 }

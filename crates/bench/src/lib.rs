@@ -1,7 +1,7 @@
 //! # scrub-bench
 //!
 //! The experiment harness: one module per paper figure/table (see
-//! DESIGN.md's experiment index E01–E14), each runnable as its own binary
+//! DESIGN.md's experiment index E01–E19), each runnable as its own binary
 //! (`cargo run -p scrub-bench --release --bin e01_spam`) or all together
 //! (`--bin run_all`), plus criterion microbenchmarks of the host tap, the
 //! parser, ScrubCentral ingestion and the sketches.

@@ -6,11 +6,13 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
+use std::time::Instant;
 
-use scrub_agent::EventBatch;
+use scrub_agent::{CostModel, EventBatch};
 use scrub_core::event::Event;
-use scrub_core::plan::{CentralPlan, OutputCol, OutputMode};
+use scrub_core::plan::{CentralPlan, OperatorKind, OutputCol, OutputMode};
 use scrub_core::value::{GroupKey, Value};
+use scrub_obs::{OperatorStats, PlanProfile};
 use scrub_sketch::{estimate_total, HostSample, Welford};
 
 use crate::agg::AggState;
@@ -26,6 +28,8 @@ struct HostTotals {
     matched: u64,
     sampled: u64,
     shed: u64,
+    seen: u64,
+    bytes: u64,
 }
 
 /// Dense id for an interned host name; per-batch and per-event host
@@ -55,6 +59,48 @@ impl HostTable {
     fn name(&self, id: HostId) -> &str {
         &self.names[id as usize]
     }
+}
+
+/// Central-side operator counters for `EXPLAIN ANALYZE`. One partition's
+/// executor counts only the (disjoint) event slice routed to it, so the
+/// partitioned router merges these by summing — unlike the host-side
+/// operators, which are reconstructed from the replicated batch headers
+/// and merge by max. `ns` fields are wall-clock and nondeterministic;
+/// everything else is integer-exact across partition counts.
+///
+/// Counters that are *not* partition-invariant under summation — rendered
+/// group rows, windows closed (every partition closes its own copy of the
+/// same window), decode bytes (sub-batch headers replicate) — are left at
+/// zero here and overlaid by the router, where merged rendering actually
+/// happens.
+#[derive(Debug, Default, Clone, Copy)]
+struct CentralOpCounters {
+    /// Events arriving in ingested batches (post-dedup).
+    decode_rows_in: u64,
+    /// Events routed into at least one open window (not foreign, not late).
+    decode_rows_out: u64,
+    /// Wall-clock ingest time net of the residual/group/stream/build time
+    /// accounted below.
+    decode_ns: u64,
+    /// Events entering the join build side (each buffered copy counted
+    /// once per covering window on the way out).
+    join_build_rows_in: u64,
+    join_build_rows_out: u64,
+    join_build_ns: u64,
+    /// Buffered events consumed when a join window closes, and joined
+    /// rows actually enumerated (post cross-product cap).
+    join_probe_rows_in: u64,
+    join_probe_rows_out: u64,
+    join_probe_ns: u64,
+    residual_rows_in: u64,
+    residual_rows_out: u64,
+    residual_ns: u64,
+    /// Rows folded into group/aggregate state (one per covering window).
+    group_rows_in: u64,
+    group_ns: u64,
+    stream_rows_in: u64,
+    stream_rows_out: u64,
+    stream_ns: u64,
 }
 
 /// Reusable per-executor buffers for the event hot path: the joined row
@@ -233,6 +279,8 @@ pub struct QueryExecutor {
     dead_hosts: std::collections::HashSet<String>,
     /// Batches discarded as duplicate (host, query, seq) retransmissions.
     pub duplicate_batches: u64,
+    /// Central-side per-operator counters for `EXPLAIN ANALYZE`.
+    opc: CentralOpCounters,
 }
 
 impl QueryExecutor {
@@ -256,6 +304,7 @@ impl QueryExecutor {
             closed_before_ms: i64::MIN,
             dead_hosts: std::collections::HashSet::new(),
             duplicate_batches: 0,
+            opc: CentralOpCounters::default(),
         }
     }
 
@@ -341,17 +390,24 @@ impl QueryExecutor {
         // Counters are cumulative and monotonic per (host, subscription);
         // batches can be reordered in flight (delivery delay grows with
         // batch size), so merge with max rather than last-writer-wins.
+        let t0 = Instant::now();
         let hid = self.hosts.intern(&batch.host);
         let totals = self.host_totals.entry((hid, batch.type_id)).or_default();
         totals.matched = totals.matched.max(batch.matched);
         totals.sampled = totals.sampled.max(batch.sampled);
         totals.shed = totals.shed.max(batch.shed);
+        totals.seen = totals.seen.max(batch.seen);
+        totals.bytes = totals.bytes.max(batch.bytes);
 
+        // Downstream-operator ns accounted inside the loop is subtracted
+        // from the decode attribution below.
+        let inner_before = self.inner_op_ns();
         let eligible = self.estimator_eligible();
         // Take the scratch buffers for the duration of the batch (they
         // cannot stay borrowed through the `&mut self` calls below).
         let mut scratch = std::mem::take(&mut self.scratch);
         for ev in batch.events {
+            self.opc.decode_rows_in += 1;
             let Some(input_idx) = self.plan.input_index(ev.type_id) else {
                 continue; // not part of this query
             };
@@ -362,6 +418,14 @@ impl QueryExecutor {
             self.ingest_event(ev, input_idx, &mut scratch);
         }
         self.scratch = scratch;
+        let inner_spent = self.inner_op_ns().saturating_sub(inner_before);
+        self.opc.decode_ns += (t0.elapsed().as_nanos() as u64).saturating_sub(inner_spent);
+    }
+
+    /// Sum of the operator ns accounted *inside* the ingest loop (used to
+    /// keep decode/route from double-counting downstream time).
+    fn inner_op_ns(&self) -> u64 {
+        self.opc.join_build_ns + self.opc.residual_ns + self.opc.group_ns + self.opc.stream_ns
     }
 
     fn update_moments(&mut self, host: HostId, row: &[Value]) {
@@ -426,7 +490,11 @@ impl QueryExecutor {
             self.late_events_dropped += 1;
             return;
         }
+        self.opc.decode_rows_out += 1;
         if self.is_join() {
+            let t0 = Instant::now();
+            self.opc.join_build_rows_in += 1;
+            self.opc.join_build_rows_out += covered.len() as u64;
             for &w in &covered {
                 let state = self
                     .windows
@@ -442,20 +510,28 @@ impl QueryExecutor {
                     .or_insert_with(|| vec![Vec::new(); self.plan.inputs.len()]);
                 slots[input_idx].push(ev.clone());
             }
+            self.opc.join_build_ns += t0.elapsed().as_nanos() as u64;
             return;
         }
 
         // Single input. The plan handle is cheap to clone and unties the
         // plan borrow from the `self.windows` mutation below.
         let plan = Arc::clone(&self.plan);
+        let t0 = Instant::now();
         match &plan.mode {
             OutputMode::Stream(exprs) => {
                 self.build_row_into(&mut scratch.row, &ev, input_idx);
+                self.opc.stream_rows_in += 1;
                 if let Some(res) = &plan.residual {
-                    if !res.eval_bool(&scratch.row) {
+                    self.opc.residual_rows_in += 1;
+                    let pass = res.eval_bool(&scratch.row);
+                    self.opc.residual_ns += t0.elapsed().as_nanos() as u64;
+                    if !pass {
                         return;
                     }
+                    self.opc.residual_rows_out += 1;
                 }
+                let t1 = Instant::now();
                 let values: Vec<Value> = exprs.iter().map(|e| e.eval(&scratch.row)).collect();
                 self.stream_out.push(ResultRow {
                     query_id: plan.query_id,
@@ -463,6 +539,8 @@ impl QueryExecutor {
                     values,
                     degraded: false,
                 });
+                self.opc.stream_rows_out += 1;
+                self.opc.stream_ns += t1.elapsed().as_nanos() as u64;
             }
             OutputMode::Aggregate {
                 group_by,
@@ -471,10 +549,15 @@ impl QueryExecutor {
             } => {
                 self.build_row_into(&mut scratch.row, &ev, input_idx);
                 if let Some(res) = &plan.residual {
-                    if !res.eval_bool(&scratch.row) {
+                    self.opc.residual_rows_in += 1;
+                    let pass = res.eval_bool(&scratch.row);
+                    self.opc.residual_ns += t0.elapsed().as_nanos() as u64;
+                    if !pass {
                         return;
                     }
+                    self.opc.residual_rows_out += 1;
                 }
+                let t1 = Instant::now();
                 for &w in &covered {
                     let state = self.windows.entry(w).or_insert_with(|| WindowState::Eager {
                         groups: HashMap::new(),
@@ -482,6 +565,7 @@ impl QueryExecutor {
                     let WindowState::Eager { groups } = state else {
                         unreachable!("single-input aggregate plans are eager");
                     };
+                    self.opc.group_rows_in += 1;
                     update_groups(
                         groups,
                         group_by,
@@ -491,6 +575,7 @@ impl QueryExecutor {
                         &mut scratch.key_vals,
                     );
                 }
+                self.opc.group_ns += t1.elapsed().as_nanos() as u64;
             }
         }
     }
@@ -543,6 +628,11 @@ impl QueryExecutor {
                 groups_out.extend(groups);
             }
             WindowState::Buffered { per_request } => {
+                let t_close = Instant::now();
+                // downstream time accounted inside the combo loop, carved
+                // out of the probe attribution at the end
+                let mut res_ns = 0u64;
+                let mut fold_ns = 0u64;
                 let OutputModeRef {
                     group_by,
                     aggregates,
@@ -553,6 +643,10 @@ impl QueryExecutor {
                 let mut row = vec![Value::Null; self.plan.row_width];
                 let mut req_ids: Vec<u64> = per_request.keys().copied().collect();
                 req_ids.sort_unstable();
+                self.opc.join_probe_rows_in += per_request
+                    .values()
+                    .map(|slots| slots.iter().map(Vec::len).sum::<usize>() as u64)
+                    .sum::<u64>();
                 for rid in req_ids {
                     let slots = &per_request[&rid];
                     // inner join: every input must have at least one event
@@ -562,6 +656,7 @@ impl QueryExecutor {
                     let total: usize = slots.iter().map(Vec::len).product();
                     let emit = total.min(MAX_JOIN_ROWS_PER_REQUEST);
                     capped += (total - emit) as u64;
+                    self.opc.join_probe_rows_out += emit as u64;
                     let mut combo = vec![0usize; slots.len()];
                     for _ in 0..emit {
                         // reuse one row buffer across the cross-product
@@ -571,13 +666,21 @@ impl QueryExecutor {
                         for (i, slot) in slots.iter().enumerate() {
                             self.fill_block(&mut row, &slot[combo[i]], i);
                         }
-                        if self
-                            .plan
-                            .residual
-                            .as_ref()
-                            .map(|r| r.eval_bool(&row))
-                            .unwrap_or(true)
-                        {
+                        let passes = match self.plan.residual.as_ref() {
+                            Some(r) => {
+                                let t_res = Instant::now();
+                                self.opc.residual_rows_in += 1;
+                                let ok = r.eval_bool(&row);
+                                res_ns += t_res.elapsed().as_nanos() as u64;
+                                if ok {
+                                    self.opc.residual_rows_out += 1;
+                                }
+                                ok
+                            }
+                            None => true,
+                        };
+                        if passes {
+                            let t_fold = Instant::now();
                             if let Some(exprs) = stream {
                                 let values: Vec<Value> =
                                     exprs.iter().map(|e| e.eval(&row)).collect();
@@ -587,7 +690,10 @@ impl QueryExecutor {
                                     values,
                                     degraded: false,
                                 });
+                                self.opc.stream_rows_in += 1;
+                                self.opc.stream_rows_out += 1;
                             } else {
+                                self.opc.group_rows_in += 1;
                                 update_groups(
                                     &mut groups,
                                     group_by,
@@ -597,6 +703,7 @@ impl QueryExecutor {
                                     &mut scratch.key_vals,
                                 );
                             }
+                            fold_ns += t_fold.elapsed().as_nanos() as u64;
                         }
                         // advance the mixed-radix combination counter
                         for i in (0..combo.len()).rev() {
@@ -609,6 +716,15 @@ impl QueryExecutor {
                     }
                 }
                 groups_out.extend(groups);
+                self.opc.residual_ns += res_ns;
+                if stream.is_some() {
+                    self.opc.stream_ns += fold_ns;
+                } else {
+                    self.opc.group_ns += fold_ns;
+                }
+                self.opc.join_probe_ns += (t_close.elapsed().as_nanos() as u64)
+                    .saturating_sub(res_ns)
+                    .saturating_sub(fold_ns);
             }
         }
         self.stream_out.extend(stream_rows);
@@ -703,6 +819,145 @@ impl QueryExecutor {
 
     fn compute_estimates(&self) -> Vec<Option<scrub_sketch::TwoStageEstimate>> {
         estimates_from_states(&self.plan, &self.export_estimator_state(), &self.dead_hosts)
+    }
+
+    /// Summed header counters for one input's event type across hosts
+    /// (within a host the ingest-time merge already kept the max of the
+    /// monotone cumulative stream).
+    fn input_totals(&self, type_id: scrub_core::schema::EventTypeId) -> HostTotals {
+        let mut out = HostTotals::default();
+        for ((_h, t), totals) in &self.host_totals {
+            if *t == type_id {
+                out.matched += totals.matched;
+                out.sampled += totals.sampled;
+                out.shed += totals.shed;
+                out.seen += totals.seen;
+                out.bytes += totals.bytes;
+            }
+        }
+        out
+    }
+
+    /// Assemble this executor's `EXPLAIN ANALYZE` profile.
+    ///
+    /// Host-side operators are reconstructed *deterministically* from the
+    /// cumulative batch-header counters through the agent's [`CostModel`]
+    /// — the paper's host agents never time their own hot path (that
+    /// would be overhead), so central attributes host ns from the same
+    /// model that the ≤2.5 % CPU envelope is audited against. Central
+    /// operators report the wall-clock counters accumulated above.
+    ///
+    /// Counters that are not partition-invariant (rendered rows, windows
+    /// closed, decode bytes) stay zero here; the partitioned router
+    /// overlays them after merging — see `CentralOpCounters`.
+    pub fn plan_profile(&self) -> PlanProfile {
+        let model = CostModel::default();
+        let mut profile = PlanProfile {
+            query_id: self.plan.query_id.0,
+            ops: Vec::new(),
+            notes: Vec::new(),
+        };
+        for desc in self.plan.operators() {
+            let mut op = OperatorStats {
+                id: desc.id.0,
+                label: desc.label.clone(),
+                host_side: desc.host_side,
+                merge_max: desc.host_side,
+                est_selectivity: desc.est_selectivity,
+                ..Default::default()
+            };
+            match desc.kind {
+                OperatorKind::Selection | OperatorKind::Sampling | OperatorKind::Projection => {
+                    let input = &self.plan.inputs[desc.input.expect("host ops carry their input")];
+                    let t = self.input_totals(input.type_id);
+                    match desc.kind {
+                        OperatorKind::Selection => {
+                            op.rows_in = t.seen;
+                            op.rows_out = t.matched;
+                            op.ns = model.selection_ns(t.seen, input.has_predicate);
+                        }
+                        OperatorKind::Sampling => {
+                            // `sampled` counts events actually shipped;
+                            // shed events survived the sampling decision
+                            // too, so the operator's selectivity audits
+                            // against (sampled + shed) / matched.
+                            op.rows_in = t.matched;
+                            op.rows_out = t.sampled + t.shed;
+                            op.bytes = t.bytes;
+                            op.ns = model.sampling_ns(t.sampled, t.bytes);
+                        }
+                        _ => {
+                            op.rows_in = t.sampled;
+                            op.rows_out = t.sampled;
+                            op.ns = model.projection_ns(t.sampled, input.fields.len());
+                        }
+                    }
+                }
+                OperatorKind::Decode => {
+                    op.rows_in = self.opc.decode_rows_in;
+                    op.rows_out = self.opc.decode_rows_out;
+                    op.ns = self.opc.decode_ns;
+                }
+                OperatorKind::JoinBuild => {
+                    op.rows_in = self.opc.join_build_rows_in;
+                    op.rows_out = self.opc.join_build_rows_out;
+                    op.ns = self.opc.join_build_ns;
+                }
+                OperatorKind::JoinProbe => {
+                    op.rows_in = self.opc.join_probe_rows_in;
+                    op.rows_out = self.opc.join_probe_rows_out;
+                    op.ns = self.opc.join_probe_ns;
+                }
+                OperatorKind::Residual => {
+                    op.rows_in = self.opc.residual_rows_in;
+                    op.rows_out = self.opc.residual_rows_out;
+                    op.ns = self.opc.residual_ns;
+                }
+                OperatorKind::GroupAgg => {
+                    op.rows_in = self.opc.group_rows_in;
+                    op.ns = self.opc.group_ns;
+                }
+                OperatorKind::WindowClose => {}
+                OperatorKind::Stream => {
+                    op.rows_in = self.opc.stream_rows_in;
+                    op.rows_out = self.opc.stream_rows_out;
+                    op.ns = self.opc.stream_ns;
+                }
+            }
+            profile.ops.push(op);
+        }
+        // Notes derive only from replicated headers and plan constants so
+        // every partition produces the identical list (the merge keeps
+        // one copy).
+        let hi = &self.plan.host_info;
+        if hi.selected > 0 && hi.matching > hi.selected {
+            profile.notes.push(format!(
+                "host sampling: {} of {} matching hosts selected (two-stage τ̂, Eqs 1–3)",
+                hi.selected, hi.matching
+            ));
+        }
+        let mut all = HostTotals::default();
+        for input in &self.plan.inputs {
+            let t = self.input_totals(input.type_id);
+            all.matched += t.matched;
+            all.sampled += t.sampled;
+            all.shed += t.shed;
+        }
+        if self.plan.sample.event_fraction < 1.0 {
+            profile.notes.push(format!(
+                "event sampling {:.0}%: hosts shipped {} of {} matched events",
+                self.plan.sample.event_fraction * 100.0,
+                all.sampled,
+                all.matched
+            ));
+        }
+        if all.shed > 0 {
+            profile.notes.push(format!(
+                "load shedding dropped {} sampled events before ship (accuracy traded for host impact)",
+                all.shed
+            ));
+        }
+        profile
     }
 }
 
@@ -825,6 +1080,8 @@ mod tests {
             matched,
             sampled,
             shed: 0,
+            seen: matched,
+            bytes: 0,
             spans: vec![],
         }
     }
@@ -1113,6 +1370,8 @@ mod sliding_tests {
             matched: 1,
             sampled: 1,
             shed: 0,
+            seen: 1,
+            bytes: 0,
             spans: vec![],
         }
     }
@@ -1196,6 +1455,8 @@ mod sliding_tests {
             matched: 1,
             sampled: 1,
             shed: 0,
+            seen: 1,
+            bytes: 0,
             spans: vec![],
         };
         ex.ingest(mk(0, 6_000));
@@ -1253,6 +1514,8 @@ mod memory_tests {
                     matched: 1,
                     sampled: 1,
                     shed: 0,
+                    seen: 1,
+                    bytes: 0,
                     spans: vec![],
                 });
             }
@@ -1300,6 +1563,8 @@ mod memory_tests {
                 matched: 100,
                 sampled: 100,
                 shed: 0,
+                seen: 100,
+                bytes: 0,
                 spans: vec![],
             });
             let _ = ex.advance(ts);

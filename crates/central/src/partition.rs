@@ -42,11 +42,13 @@
 use std::collections::BTreeMap;
 use std::sync::mpsc;
 use std::sync::Arc;
+use std::time::Instant;
 
 use scrub_agent::EventBatch;
 use scrub_core::event::Event;
-use scrub_core::plan::{CentralPlan, OutputCol, OutputMode};
+use scrub_core::plan::{CentralPlan, OperatorKind, OutputCol, OutputMode};
 use scrub_core::value::{GroupKey, Value};
+use scrub_obs::PlanProfile;
 
 use crate::executor::{
     estimates_from_states, GroupState, HostEstimatorState, QueryExecutor, WindowPartial,
@@ -94,6 +96,7 @@ struct AdvanceReply {
     scale: f64,
     open_windows: usize,
     join_rows_held: u64,
+    profile: PlanProfile,
 }
 
 enum ReplyBody {
@@ -101,6 +104,7 @@ enum ReplyBody {
     Finish {
         summary: Box<QuerySummary>,
         estimator: Vec<HostEstimatorState>,
+        profile: Box<PlanProfile>,
     },
 }
 
@@ -123,6 +127,11 @@ struct WorkerPool {
     /// own the live state; these lag by at most one advance tick).
     open_windows: usize,
     join_rows_held: u64,
+    /// Per-partition `EXPLAIN ANALYZE` profiles, cached from the latest
+    /// advance barrier and refreshed one final time at the finish
+    /// barrier. Like the gauges above, a live read lags by at most one
+    /// advance tick.
+    profiles: Vec<PlanProfile>,
 }
 
 impl WorkerPool {
@@ -148,6 +157,7 @@ impl WorkerPool {
             reply_rx,
             open_windows: 0,
             join_rows_held: 0,
+            profiles: Vec::new(),
         }
     }
 
@@ -181,21 +191,31 @@ impl WorkerPool {
             .collect()
     }
 
-    /// Collect one finish reply per partition, in partition order.
+    /// Collect one finish reply per partition, in partition order, caching
+    /// each partition's final profile.
+    #[allow(clippy::type_complexity)]
     fn collect_finish(&mut self) -> Vec<(Box<QuerySummary>, Vec<HostEstimatorState>)> {
         let n = self.workers.len();
         let mut slots: Vec<Option<(Box<QuerySummary>, Vec<HostEstimatorState>)>> =
             (0..n).map(|_| None).collect();
+        let mut profiles: Vec<PlanProfile> = vec![PlanProfile::default(); n];
         for _ in 0..n {
             let reply = self
                 .reply_rx
                 .recv()
                 .expect("central partition worker alive");
-            let ReplyBody::Finish { summary, estimator } = reply.body else {
+            let ReplyBody::Finish {
+                summary,
+                estimator,
+                profile,
+            } = reply.body
+            else {
                 panic!("unexpected reply kind during finish barrier");
             };
+            profiles[reply.part] = *profile;
             slots[reply.part] = Some((summary, estimator));
         }
+        self.profiles = profiles;
         slots
             .into_iter()
             .map(|s| s.expect("one reply per partition"))
@@ -235,6 +255,7 @@ fn worker_loop(
                     scale: exec.scale(),
                     open_windows: exec.open_windows(),
                     join_rows_held: (exec.buffered_events() + exec.open_groups()) as u64,
+                    profile: exec.plan_profile(),
                 };
                 if reply_tx
                     .send(Reply {
@@ -255,6 +276,7 @@ fn worker_loop(
                         body: ReplyBody::Finish {
                             summary: Box::new(summary),
                             estimator,
+                            profile: Box::new(exec.plan_profile()),
                         },
                     })
                     .is_err()
@@ -298,6 +320,17 @@ pub struct PartitionedExecutor {
     /// router (where merged windows are rendered) so the figure is
     /// partition-count-invariant; per-partition executors never render.
     windows_emitted: u64,
+    /// `EXPLAIN ANALYZE` counters that are only partition-count-invariant
+    /// when taken at the router: batch bytes decoded (sub-batch headers
+    /// replicate, so per-partition sums would overcount), windows closed
+    /// (each partition closes its own copy of a window), merged group
+    /// rows rendered, and the wall-clock spent in merged rendering. These
+    /// overlay the corresponding operators of the merged per-partition
+    /// profile — see [`Self::plan_profile`].
+    decode_bytes: u64,
+    windows_closed: u64,
+    rendered_rows: u64,
+    render_ns: u64,
 }
 
 impl PartitionedExecutor {
@@ -321,6 +354,10 @@ impl PartitionedExecutor {
             backpressure: 0,
             events_routed: 0,
             windows_emitted: 0,
+            decode_bytes: 0,
+            windows_closed: 0,
+            rendered_rows: 0,
+            render_ns: 0,
         }
     }
 
@@ -339,7 +376,7 @@ impl PartitionedExecutor {
     }
 
     /// The partition an event with this request id routes to (`0` on the
-    /// inline backend). Same hash as [`split_by_request_id`], exposed so
+    /// inline backend). Same hash as `split_by_request_id`, exposed so
     /// lifecycle traces can record the `Route` hop without re-deriving
     /// the mixer.
     pub fn route_partition(&self, request_id: u64) -> usize {
@@ -424,6 +461,9 @@ impl PartitionedExecutor {
     /// ingest, deliver each event to exactly one partition.
     pub fn ingest(&mut self, batch: EventBatch) {
         self.events_routed += batch.events.len() as u64;
+        // Counted once at the router: summing per-partition sub-batch
+        // sizes would replicate the header allowance per partition.
+        self.decode_bytes += batch.approx_bytes() as u64;
         match &mut self.backend {
             Backend::Inline(part) => part.ingest(batch),
             Backend::Threaded(pool) => {
@@ -478,6 +518,7 @@ impl PartitionedExecutor {
                 scale = replies[0].scale;
                 pool.open_windows = replies.iter().map(|r| r.open_windows).max().unwrap_or(0);
                 pool.join_rows_held = replies.iter().map(|r| r.join_rows_held).sum();
+                pool.profiles = replies.iter().map(|r| r.profile.clone()).collect();
                 for reply in replies {
                     out.extend(reply.stream_rows);
                     for partial in reply.partials {
@@ -490,13 +531,16 @@ impl PartitionedExecutor {
             }
         }
         let degraded_now = !self.dead_hosts.is_empty();
+        let t_render = Instant::now();
         for (w, groups) in by_window {
+            self.windows_closed += 1;
             // Same semantics as the sequential executor's render path: a
             // window counts as emitted when it closed holding groups.
             if !groups.is_empty() {
                 self.windows_emitted += 1;
             }
             let rendered = self.render_merged(w, groups, scale);
+            self.rendered_rows += rendered.len() as u64;
             self.closes.push(WindowClose {
                 window_start_ms: w,
                 rows: rendered.len() as u64,
@@ -504,6 +548,7 @@ impl PartitionedExecutor {
             });
             out.extend(rendered);
         }
+        self.render_ns += t_render.elapsed().as_nanos() as u64;
         if !self.dead_hosts.is_empty() {
             for row in &mut out {
                 row.degraded = true;
@@ -606,6 +651,53 @@ impl PartitionedExecutor {
         summary.windows_emitted = self.windows_emitted;
         (rows, summary)
     }
+
+    /// The merged `EXPLAIN ANALYZE` profile of this query.
+    ///
+    /// Per-partition profiles merge under the [`PlanProfile`] contract
+    /// (host-side operators by max — headers replicate — central-side by
+    /// sum over disjoint event slices); the router then overlays the
+    /// counters only it can measure partition-invariantly: decoded batch
+    /// bytes, windows closed/emitted, merged group rows rendered and the
+    /// render wall-clock. On the threaded backend the inputs are the
+    /// profiles cached at the latest advance barrier (≤ 1 tick stale
+    /// while live; final after [`Self::finish`]).
+    pub fn plan_profile(&self) -> PlanProfile {
+        let mut merged = match &self.backend {
+            Backend::Inline(part) => part.plan_profile(),
+            Backend::Threaded(pool) => {
+                let mut it = pool.profiles.iter();
+                match it.next() {
+                    Some(first) => {
+                        let mut acc = first.clone();
+                        for p in it {
+                            acc.merge(p);
+                        }
+                        acc
+                    }
+                    // No barrier yet: a fresh executor yields the
+                    // all-zero operator skeleton for this plan.
+                    None => QueryExecutor::new(Arc::clone(&self.plan), 0).plan_profile(),
+                }
+            }
+        };
+        for desc in self.plan.operators() {
+            let Some(op) = merged.op_mut(desc.id.0) else {
+                continue;
+            };
+            match desc.kind {
+                OperatorKind::Decode => op.bytes = self.decode_bytes,
+                OperatorKind::GroupAgg => op.rows_out = self.rendered_rows,
+                OperatorKind::WindowClose => {
+                    op.rows_in = self.windows_closed;
+                    op.rows_out = self.windows_emitted;
+                    op.ns = self.render_ns;
+                }
+                _ => {}
+            }
+        }
+        merged
+    }
 }
 
 /// Split a batch by request-id hash into one sub-batch per partition in a
@@ -638,6 +730,8 @@ fn split_by_request_id(batch: EventBatch, partitions: usize) -> Vec<EventBatch> 
             matched: batch.matched,
             sampled: batch.sampled,
             shed: batch.shed,
+            seen: batch.seen,
+            bytes: batch.bytes,
             spans: vec![],
         })
         .collect()
@@ -704,6 +798,8 @@ mod tests {
             matched: n,
             sampled: n,
             shed: 0,
+            seen: n,
+            bytes: 0,
             spans: vec![],
         }
     }
@@ -747,6 +843,8 @@ mod tests {
                 matched: 200,
                 sampled: 200,
                 shed: 0,
+                seen: 200,
+                bytes: 0,
                 spans: vec![],
             });
             exec.ingest(EventBatch {
@@ -759,6 +857,8 @@ mod tests {
                 matched: 100,
                 sampled: 100,
                 shed: 0,
+                seen: 100,
+                bytes: 0,
                 spans: vec![],
             });
         }
@@ -788,6 +888,8 @@ mod tests {
             matched: 100,
             sampled: 100,
             shed: 0,
+            seen: 100,
+            bytes: 0,
             spans: vec![],
         });
         let rows = multi.advance(60_000);
@@ -908,6 +1010,8 @@ mod tests {
                     matched: 10,
                     sampled: 3,
                     shed: 0,
+                    seen: 10,
+                    bytes: 0,
                     spans: vec![],
                 });
             }

@@ -58,6 +58,11 @@ pub struct HostPlan {
     pub projection: Vec<FieldSlot>,
     /// Per-event sampling fraction in (0, 1].
     pub event_fraction: f64,
+    /// Planner's estimate of the predicate's selectivity (System-R style
+    /// magic fractions; `1.0` when there is no predicate). `EXPLAIN
+    /// ANALYZE` audits this against the observed match rate.
+    #[serde(default)]
+    pub est_selectivity: f64,
 }
 
 impl HostPlan {
@@ -85,6 +90,14 @@ pub struct CentralInput {
     /// Offset of this input's block in the joined row. Block layout:
     /// `fields...` then `request_id` then `timestamp`.
     pub block_offset: usize,
+    /// Whether the matching host plan carries a predicate (so central can
+    /// enumerate the host-side operators without seeing the host plans).
+    #[serde(default)]
+    pub has_predicate: bool,
+    /// Planner's selectivity estimate for that predicate (`1.0` without
+    /// one); mirrored from [`HostPlan::est_selectivity`].
+    #[serde(default)]
+    pub pred_selectivity: f64,
 }
 
 impl CentralInput {
@@ -167,6 +180,10 @@ pub struct CentralPlan {
     pub sample: SampleSpec,
     /// Host counts for the estimator; filled by the server at dispatch.
     pub host_info: HostSampleInfo,
+    /// Planner's selectivity estimate for the residual cross-type
+    /// selection (`1.0` when there is none).
+    #[serde(default)]
+    pub residual_selectivity: f64,
 }
 
 impl CentralPlan {
@@ -178,6 +195,218 @@ impl CentralPlan {
     /// True if this plan joins multiple event types.
     pub fn is_join(&self) -> bool {
         self.inputs.len() > 1
+    }
+
+    /// Enumerate every operator of the full (host + central) plan, in
+    /// pipeline order, with stable [`OperatorId`]s. The central plan
+    /// carries enough metadata (`has_predicate`, `pred_selectivity`,
+    /// projected field lists, the sample spec) for the enumeration to be
+    /// self-contained — ScrubCentral derives the `EXPLAIN ANALYZE`
+    /// skeleton from the plan it already holds.
+    pub fn operators(&self) -> Vec<OperatorDesc> {
+        let mut ops = Vec::new();
+        for (i, input) in self.inputs.iter().enumerate() {
+            let base = (i * OPS_PER_HOST_PLAN) as u32;
+            ops.push(OperatorDesc {
+                id: OperatorId(base),
+                kind: OperatorKind::Selection,
+                input: Some(i),
+                host_side: true,
+                est_selectivity: input.pred_selectivity,
+                label: format!("selection({})", input.event_type),
+            });
+            ops.push(OperatorDesc {
+                id: OperatorId(base + 1),
+                kind: OperatorKind::Sampling,
+                input: Some(i),
+                host_side: true,
+                est_selectivity: self.sample.event_fraction,
+                label: format!("sampling({})", input.event_type),
+            });
+            ops.push(OperatorDesc {
+                id: OperatorId(base + 2),
+                kind: OperatorKind::Projection,
+                input: Some(i),
+                host_side: true,
+                est_selectivity: 1.0,
+                label: format!("projection({})", input.event_type),
+            });
+        }
+        let base = (self.inputs.len() * OPS_PER_HOST_PLAN) as u32;
+        ops.push(OperatorDesc {
+            id: OperatorId(base),
+            kind: OperatorKind::Decode,
+            input: None,
+            host_side: false,
+            est_selectivity: 1.0,
+            label: "decode/route".to_string(),
+        });
+        if self.is_join() {
+            ops.push(OperatorDesc {
+                id: OperatorId(base + 1),
+                kind: OperatorKind::JoinBuild,
+                input: None,
+                host_side: false,
+                est_selectivity: 1.0,
+                label: "join-build(request_id)".to_string(),
+            });
+            ops.push(OperatorDesc {
+                id: OperatorId(base + 2),
+                kind: OperatorKind::JoinProbe,
+                input: None,
+                host_side: false,
+                est_selectivity: 1.0,
+                label: "join-probe(request_id)".to_string(),
+            });
+        }
+        if self.residual.is_some() {
+            ops.push(OperatorDesc {
+                id: OperatorId(base + 3),
+                kind: OperatorKind::Residual,
+                input: None,
+                host_side: false,
+                est_selectivity: self.residual_selectivity,
+                label: "residual-filter".to_string(),
+            });
+        }
+        match &self.mode {
+            OutputMode::Aggregate { .. } => {
+                ops.push(OperatorDesc {
+                    id: OperatorId(base + 4),
+                    kind: OperatorKind::GroupAgg,
+                    input: None,
+                    host_side: false,
+                    est_selectivity: 1.0,
+                    label: "group/aggregate".to_string(),
+                });
+                ops.push(OperatorDesc {
+                    id: OperatorId(base + 5),
+                    kind: OperatorKind::WindowClose,
+                    input: None,
+                    host_side: false,
+                    est_selectivity: 1.0,
+                    label: "window-close".to_string(),
+                });
+            }
+            OutputMode::Stream(_) => {
+                ops.push(OperatorDesc {
+                    id: OperatorId(base + 4),
+                    kind: OperatorKind::Stream,
+                    input: None,
+                    host_side: false,
+                    est_selectivity: 1.0,
+                    label: "stream-project".to_string(),
+                });
+            }
+        }
+        ops
+    }
+}
+
+/// Operators each host plan contributes (selection, sampling, projection
+/// — the *only* operators Scrub places on hosts).
+pub const OPS_PER_HOST_PLAN: usize = 3;
+
+/// Stable identifier of one operator in a compiled plan. Host plans get
+/// [`OPS_PER_HOST_PLAN`] consecutive ids each, in FROM order; central
+/// operators follow at fixed slots after them, so the same query shape
+/// always yields the same ids — profiles from different partitions (or
+/// runs) merge by id.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct OperatorId(pub u32);
+
+impl fmt::Display for OperatorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// What a plan operator does (and therefore where it is allowed to run:
+/// the first three are the host-side trio, everything else is central).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OperatorKind {
+    /// Host-side predicate evaluation at the tap.
+    Selection,
+    /// Host-side per-event sampling decision (plus batch enqueue/ship).
+    Sampling,
+    /// Host-side field projection of shipped events.
+    Projection,
+    /// Central batch decode + partition routing.
+    Decode,
+    /// Central equi-join build (buffering events per request id).
+    JoinBuild,
+    /// Central equi-join probe (producing joined rows at window close).
+    JoinProbe,
+    /// Central residual cross-type selection after the join.
+    Residual,
+    /// Central group-by + aggregate update.
+    GroupAgg,
+    /// Central window close + merged render.
+    WindowClose,
+    /// Central stream-mode row projection.
+    Stream,
+}
+
+/// One operator of the compiled plan, as enumerated by
+/// [`CentralPlan::operators`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorDesc {
+    /// Stable operator id.
+    pub id: OperatorId,
+    /// Operator kind.
+    pub kind: OperatorKind,
+    /// FROM-input index for host-side operators.
+    pub input: Option<usize>,
+    /// True for the host-side trio (placement invariant: only selection,
+    /// sampling and projection ever run on hosts).
+    pub host_side: bool,
+    /// Planner's selectivity estimate for this operator.
+    pub est_selectivity: f64,
+    /// Human-readable label, e.g. `selection(bid)`.
+    pub label: String,
+}
+
+/// System-R-style selectivity estimate for a resolved predicate: equality
+/// passes 1/10, ranges pass 1/3, `AND` multiplies, `OR` adds minus the
+/// overlap, `NOT` complements, and anything opaque (calls, bare fields)
+/// is assumed to pass everything. Deliberately crude — the point of
+/// `EXPLAIN ANALYZE` is to show how these guesses compare to reality.
+pub fn selectivity_estimate(e: &ResolvedExpr) -> f64 {
+    use crate::expr::UnaryOp;
+    match e {
+        ResolvedExpr::Binary { op, lhs, rhs } => match op {
+            BinOp::Eq => 0.1,
+            BinOp::Ne => 0.9,
+            BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => 1.0 / 3.0,
+            BinOp::And => selectivity_estimate(lhs) * selectivity_estimate(rhs),
+            BinOp::Or => {
+                let (a, b) = (selectivity_estimate(lhs), selectivity_estimate(rhs));
+                a + b - a * b
+            }
+            _ => 1.0,
+        },
+        ResolvedExpr::Unary {
+            op: UnaryOp::Not,
+            expr,
+        } => 1.0 - selectivity_estimate(expr),
+        ResolvedExpr::InList { list, negated, .. } => {
+            let s = (0.1 * list.len() as f64).min(1.0);
+            if *negated {
+                1.0 - s
+            } else {
+                s
+            }
+        }
+        ResolvedExpr::IsNull { negated, .. } => {
+            if *negated {
+                0.9
+            } else {
+                0.1
+            }
+        }
+        _ => 1.0,
     }
 }
 
@@ -471,6 +700,7 @@ pub fn compile(
             Some(p) => Some(p.resolve(&binder)?),
             None => None,
         };
+        let est_selectivity = predicate.as_ref().map_or(1.0, selectivity_estimate);
         // deterministic projection order: schema field order
         let mut projection = Vec::new();
         for (fi, f) in schema.fields.iter().enumerate() {
@@ -486,6 +716,7 @@ pub fn compile(
             predicate,
             projection,
             event_fraction: spec.sample.event_fraction,
+            est_selectivity,
         });
     }
 
@@ -504,6 +735,8 @@ pub fn compile(
             type_id: *type_id,
             fields,
             block_offset: offset,
+            has_predicate: host_plans[i].predicate.is_some(),
+            pred_selectivity: host_plans[i].est_selectivity,
         };
         offset += input.block_len();
         inputs.push(input);
@@ -587,6 +820,7 @@ pub fn compile(
         return Err(ScrubError::Validate("duration must be positive".into()));
     }
 
+    let residual_selectivity = residual_resolved.as_ref().map_or(1.0, selectivity_estimate);
     let central = CentralPlan {
         query_id,
         window_ms,
@@ -598,6 +832,7 @@ pub fn compile(
         row_width,
         sample: spec.sample,
         host_info: HostSampleInfo::default(),
+        residual_selectivity,
     };
 
     Ok(CompiledQuery {

@@ -26,6 +26,9 @@
 //!   event that missed a result is attributed to a cause (sampled-out,
 //!   load-shed, dropped in flight, …) under the enforced invariant
 //!   `tapped == delivered + sampled_out + load_shed + batch_dropped`.
+//! * [`opstats`] — per-operator runtime statistics ([`PlanProfile`]):
+//!   rows in/out, bytes and ns per plan operator, paired with the
+//!   planner's estimates — the data behind `scrubql explain analyze`.
 //! * [`history`] — a fixed-capacity ring of periodic snapshots with
 //!   delta/rate queries, the data behind `scrubql watch`.
 //! * [`export`] — stable, sorted Prometheus-style text exposition
@@ -36,6 +39,7 @@ pub mod history;
 pub mod ledger;
 pub mod meta;
 pub mod metrics;
+pub mod opstats;
 pub mod profile;
 pub mod trace;
 
@@ -44,5 +48,6 @@ pub use history::{sparkline, MetricPoint, MetricsHistory};
 pub use ledger::{HostLosses, LedgerParts, LossLedger};
 pub use meta::{register_meta_events, MetaEvents, ScrubBatchEvent, ScrubWindowEvent};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
+pub use opstats::{OperatorStats, PlanProfile};
 pub use profile::{HostProfile, QueryProfile};
 pub use trace::{should_trace, trace_threshold, SpanKind, TraceSpan, TraceStore};

@@ -37,7 +37,7 @@ use scrub_core::plan::{OutputMode, QueryId};
 use scrub_core::schema::SchemaRegistry;
 use scrub_obs::{
     register_meta_events, should_trace, trace_threshold, Counter, Histogram, LedgerParts,
-    LossLedger, MetaEvents, MetricsHistory, MetricsSnapshot, QueryProfile, Registry,
+    LossLedger, MetaEvents, MetricsHistory, MetricsSnapshot, PlanProfile, QueryProfile, Registry,
     ScrubBatchEvent, ScrubWindowEvent, SpanKind, TraceSpan, TraceStore,
 };
 use scrub_simnet::{Context, Node, NodeId, SimDuration};
@@ -64,6 +64,10 @@ pub struct CentralNode<E: ScrubEnvelope> {
     /// Per-query execution profiles; retained after a query finishes so
     /// `profile <qid>` works post-hoc.
     profiles: HashMap<QueryId, QueryProfile>,
+    /// Per-query `EXPLAIN ANALYZE` plan profiles, captured at query stop
+    /// and retained (like `profiles`) so `explain analyze <qid>` works
+    /// post-hoc. Live queries read the executor directly instead.
+    plan_profiles: HashMap<QueryId, PlanProfile>,
     /// Per-query lifecycle trace trees assembled from the spans batches
     /// piggyback; retained after a query finishes, like `profiles`.
     traces: HashMap<QueryId, TraceStore>,
@@ -140,6 +144,7 @@ impl<E: ScrubEnvelope> CentralNode<E> {
             batches_received: 0,
             duplicate_batches: 0,
             profiles: HashMap::new(),
+            plan_profiles: HashMap::new(),
             traces: HashMap::new(),
             ledger_parts: HashMap::new(),
             window_events: HashMap::new(),
@@ -173,6 +178,44 @@ impl<E: ScrubEnvelope> CentralNode<E> {
     /// Execution profile of a query (live or finished).
     pub fn profile(&self, qid: QueryId) -> Option<&QueryProfile> {
         self.profiles.get(&qid)
+    }
+
+    /// `EXPLAIN ANALYZE` plan profile of a query: assembled fresh from the
+    /// executor while the query runs (on the threaded backend the figures
+    /// lag the live state by at most one advance tick), and served from
+    /// the retained copy captured at stop afterwards.
+    pub fn plan_profile(&self, qid: QueryId) -> Option<PlanProfile> {
+        match self.executors.get(&qid) {
+            Some(exec) => Some(exec.plan_profile()),
+            None => self.plan_profiles.get(&qid).cloned(),
+        }
+    }
+
+    /// Export a finished query's per-operator counters and worst
+    /// estimate-error gauge into the node registry, so `scrubql stats` /
+    /// `render_text` surface the plan audit alongside the other metrics.
+    /// Counter values are integer-exact; the nondeterministic wall-clock
+    /// `.ns` counters carry an `_ns` suffix so deterministic consumers
+    /// (golden tests) can mask them.
+    fn export_plan_metrics(&self, profile: &PlanProfile) {
+        let q = profile.query_id;
+        for op in &profile.ops {
+            let label = op.metric_label();
+            self.obs
+                .counter(&format!("plan.q{q}.{label}.rows_in"))
+                .add(op.rows_in);
+            self.obs
+                .counter(&format!("plan.q{q}.{label}.rows_out"))
+                .add(op.rows_out);
+            self.obs
+                .counter(&format!("plan.q{q}.{label}.op_ns"))
+                .add(op.ns);
+        }
+        // worst per-operator |est − actual| selectivity error, in basis
+        // points (the registry's gauges are integers)
+        self.obs
+            .gauge(&format!("plan.q{q}.estimate_error_bp"))
+            .set((profile.max_estimate_error() * 10_000.0).round() as i64);
     }
 
     /// Node-level metrics snapshot at sim time `at_ms`.
@@ -472,7 +515,12 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
                 if let Some(mut exec) = self.executors.remove(&query_id) {
                     let (rows, summary) = exec.finish();
                     let n = rows.len() as u64;
-                    // record the final closes before the executor drops
+                    // capture the final plan profile (post-finish, so the
+                    // close/render counters are complete) before the
+                    // executor drops, then record the final closes
+                    let plan_profile = exec.plan_profile();
+                    self.export_plan_metrics(&plan_profile);
+                    self.plan_profiles.insert(query_id, plan_profile);
                     self.executors.insert(query_id, exec);
                     self.observe_advance(ctx, query_id, n);
                     self.executors.remove(&query_id);

@@ -1,14 +1,10 @@
 //! Typed client API: [`ScrubClient`] + [`QueryHandle`].
 //!
-//! The free functions in [`crate::deploy`] (`submit_query`, `results`,
-//! `rejections`, `cancel_query`) grew up as test helpers: submission
-//! silently swallows parse/validate errors, and callers must thread the
-//! raw `QueryId` around and know which node to interrogate for what. The
-//! typed API fixes both. `ScrubClient::submit` returns
-//! `ScrubResult<QueryHandle>` — rejections come back as
-//! [`ScrubError::Rejected`] with the server's reason — and the handle
-//! knows how to fetch state, rows, and the per-query execution
-//! [`QueryProfile`] from whichever ScrubCentral node runs the query.
+//! `ScrubClient::submit` returns `ScrubResult<QueryHandle>` — rejections
+//! come back as [`ScrubError::Rejected`] with the server's reason — and
+//! the handle knows how to fetch state, rows, the per-query execution
+//! [`QueryProfile`] and the `EXPLAIN ANALYZE` [`PlanProfile`] from
+//! whichever ScrubCentral node runs the query.
 //!
 //! Everything is driven through the deterministic simulation, so all
 //! accessors take the [`Sim`] explicitly; the client and handle
@@ -17,7 +13,7 @@
 use scrub_central::{QuerySummary, ResultRow};
 use scrub_core::error::{ScrubError, ScrubResult};
 use scrub_core::plan::QueryId;
-use scrub_obs::{LossLedger, QueryProfile, TraceStore};
+use scrub_obs::{LossLedger, PlanProfile, QueryProfile, TraceStore};
 use scrub_simnet::{NodeId, Sim};
 
 use crate::central_node::CentralNode;
@@ -169,6 +165,17 @@ impl QueryHandle {
         sim.node_as::<CentralNode<E>>(central)?
             .profile(self.qid)
             .cloned()
+    }
+
+    /// The `EXPLAIN ANALYZE` plan profile: per-operator rows in/out,
+    /// estimated-vs-actual selectivity, and ns attribution (cost-model ns
+    /// for the host-side trio, wall-clock at central). Live queries are
+    /// read from the running executor; finished queries from the copy
+    /// retained at stop. `None` if the query never reached central.
+    pub fn plan_profile<E: ScrubEnvelope>(&self, sim: &Sim<E>) -> Option<PlanProfile> {
+        let central = self.central(sim);
+        sim.node_as::<CentralNode<E>>(central)?
+            .plan_profile(self.qid)
     }
 
     /// The lifecycle trace trees central assembled for this query's

@@ -4,15 +4,13 @@
 use std::sync::Arc;
 
 use scrub_core::config::ScrubConfig;
-use scrub_core::plan::QueryId;
 use scrub_core::schema::SchemaRegistry;
 use scrub_core::target::HostInfo;
 use scrub_simnet::{NodeId, NodeMeta, Sim};
 
 use crate::central_node::CentralNode;
-use crate::client::ScrubClient;
 use crate::msg::ScrubEnvelope;
-use crate::server_node::{QueryRecord, QueryServerNode};
+use crate::server_node::QueryServerNode;
 
 /// Service name of the ScrubCentral node (excluded from target
 /// resolution: queries never run on Scrub's own machines).
@@ -122,26 +120,6 @@ pub fn deploy_server<E: ScrubEnvelope>(
     ScrubDeployment { server, central }
 }
 
-/// Submit a ScrubQL query and run the simulation just far enough for the
-/// server to admit (or reject) it; returns the id it received. Check
-/// [`results`] for existence — a rejected query leaves no record.
-#[deprecated(
-    since = "0.2.0",
-    note = "use ScrubClient::submit, which surfaces rejections as ScrubError::Rejected"
-)]
-pub fn submit_query<E: ScrubEnvelope>(sim: &mut Sim<E>, d: &ScrubDeployment, src: &str) -> QueryId {
-    let next = sim
-        .node_as::<QueryServerNode<E>>(d.server)
-        .expect("server node")
-        .peek_next_qid();
-    match ScrubClient::new(d).submit(sim, src) {
-        Ok(handle) => handle.id(),
-        // preserve the legacy contract: rejected queries still "return"
-        // the id they would have received, and leave no record behind
-        Err(_) => QueryId(next),
-    }
-}
-
 /// Add the query server over a ScrubCentral cluster. Call after the
 /// application hosts exist.
 pub fn deploy_server_clustered<E: ScrubEnvelope>(
@@ -164,34 +142,4 @@ pub fn deploy_server_clustered<E: ScrubEnvelope>(
         server,
         central: first_central,
     }
-}
-
-/// Cancel a running (or scheduled) query before its span elapses.
-#[deprecated(since = "0.2.0", note = "use QueryHandle::stop")]
-pub fn cancel_query<E: ScrubEnvelope>(sim: &mut Sim<E>, d: &ScrubDeployment, qid: QueryId) {
-    crate::client::QueryHandle::from_id(d, qid).stop(sim);
-}
-
-/// Fetch a query's record (rows, summary, state) from the server node.
-#[deprecated(
-    since = "0.2.0",
-    note = "use QueryHandle::record / QueryHandle::results"
-)]
-pub fn results<'a, E: ScrubEnvelope>(
-    sim: &'a Sim<E>,
-    d: &ScrubDeployment,
-    qid: QueryId,
-) -> Option<&'a QueryRecord> {
-    sim.node_as::<QueryServerNode<E>>(d.server)?.record(qid)
-}
-
-/// Rejection reasons recorded by the server (submission order).
-#[deprecated(since = "0.2.0", note = "use ScrubClient::rejections")]
-pub fn rejections<'a, E: ScrubEnvelope>(
-    sim: &'a Sim<E>,
-    d: &ScrubDeployment,
-) -> &'a [(String, String)] {
-    &sim.node_as::<QueryServerNode<E>>(d.server)
-        .expect("server node")
-        .rejected
 }

@@ -16,11 +16,10 @@ pub mod server_node;
 
 pub use central_node::CentralNode;
 pub use client::{QueryHandle, ScrubClient};
-#[allow(deprecated)]
 pub use deploy::{
-    cancel_query, deploy_central, deploy_central_cluster, deploy_server, deploy_server_clustered,
-    inventory_from_sim, meta_inventory_from_sim, rejections, results, submit_query,
-    ScrubDeployment, SCRUB_CENTRAL_SERVICE, SCRUB_SERVER_SERVICE,
+    deploy_central, deploy_central_cluster, deploy_server, deploy_server_clustered,
+    inventory_from_sim, meta_inventory_from_sim, ScrubDeployment, SCRUB_CENTRAL_SERVICE,
+    SCRUB_SERVER_SERVICE,
 };
 pub use harness::AgentHarness;
 pub use msg::{ScrubEnvelope, ScrubMsg};

@@ -12,9 +12,10 @@
 //! ```
 //!
 //! Commands: a ScrubQL query (terminated by a newline), `explain <query>`,
+//! `explain analyze <qid>` (per-operator actuals vs planner estimates),
 //! `faults ...` (live fault injection: drop rates, partitions, host
-//! kill/revive), `stats` (platform + Scrub self-observability metrics),
-//! `profile <qid>` (a query's execution profile + loss ledger),
+//! kill/revive), `stats [metric]` (platform + Scrub self-observability
+//! metrics), `profile <qid>` (a query's execution profile + loss ledger),
 //! `trace <qid> [request-id]` (lifecycle trace timelines), `watch
 //! <metric>` (a metric's recent per-interval deltas as a sparkline),
 //! `\events`, `\hosts`, `\help`, `\quit`. Lifecycle tracing samples 5%
@@ -96,13 +97,14 @@ fn main() {
                 println!(
                     "commands:\n  <scrubql query>   run a query (span controls how long)\n  \
                      explain <query>   show the host/central plan split\n  \
+                     explain analyze <qid>  per-operator rows, est-vs-actual selectivity, ns\n  \
                      faults            show the live fault plan and counters\n  \
                      faults drop <from> <to> <p>       lose p (e.g. 5%) of from->to messages\n  \
                      faults partition <a> <b> <secs>   sever a<->b for the next secs seconds\n  \
                      faults kill <host> [secs]         crash a host (restart after secs if given)\n  \
                      faults revive <host>              bring a killed host back up now\n  \
                      (selectors: *, host:NAME, service:NAME, dc:NAME; bare word = host)\n  \
-                     stats             platform statistics + scrub self-observability metrics\n  \
+                     stats [metric]    platform statistics + scrub self-observability metrics\n  \
                      profile <qid>     a query's execution profile + loss ledger\n  \
                      trace <qid>       traced request ids of a query (sampled lifecycles)\n  \
                      trace <qid> <rid> one traced request's span timeline\n  \
@@ -111,7 +113,9 @@ fn main() {
                      \\hosts            host inventory\n  \\quit"
                 );
             }
-            "\\stats" | "stats" => print_stats(&p),
+            other if other == "stats" || other == "\\stats" || other.starts_with("stats ") => {
+                print_stats(&p, other.split_whitespace().nth(1));
+            }
             "\\events" => {
                 for name in p.registry.names() {
                     let (_, schema) = p.registry.schema_by_name(&name).expect("listed");
@@ -158,6 +162,18 @@ fn main() {
             other if other == "faults" || other.starts_with("faults ") => {
                 let args: Vec<&str> = other.split_whitespace().skip(1).collect();
                 faults_cmd(&mut p, &args);
+            }
+            other if other == "explain analyze" || other.starts_with("explain analyze ") => {
+                match other
+                    .split_whitespace()
+                    .nth(2)
+                    .and_then(|w| w.parse::<u64>().ok())
+                {
+                    Some(qid) => print_plan_profile(&p, QueryId(qid)),
+                    None => println!(
+                        "usage: explain analyze <qid> (query ids are printed when a query runs)"
+                    ),
+                }
             }
             other if other.starts_with("explain ") => {
                 let src = &other["explain ".len()..];
@@ -428,6 +444,19 @@ fn print_profile(p: &Platform, qid: QueryId) {
     }
 }
 
+/// `explain analyze <qid>`: the annotated plan tree — per-operator rows
+/// in/out, estimated vs actual selectivity, and ns attribution
+/// (cost-model ns for the host-side trio, wall-clock at central).
+fn print_plan_profile(p: &Platform, qid: QueryId) {
+    let handle = QueryHandle::from_id(&p.scrub, qid);
+    match handle.plan_profile(&p.sim) {
+        Some(profile) => print!("{}", profile.render(false)),
+        None => println!(
+            "no plan profile for query {qid} (unknown id, or it never reached ScrubCentral)"
+        ),
+    }
+}
+
 /// `trace <qid> [rid]`: the lifecycle traces central assembled for the
 /// query's sampled requests — a listing of traced ids, or one request's
 /// causally-ordered span timeline.
@@ -497,6 +526,77 @@ fn print_trace(p: &Platform, qid: QueryId, rid: Option<u64>) {
     }
 }
 
+/// The server + central scrub-obs registries, merged — the full universe
+/// of registered metric names at this instant.
+fn merged_snapshot(p: &Platform) -> MetricsSnapshot {
+    let at_ms = p.sim.now().as_ms();
+    let mut snap = MetricsSnapshot::default();
+    if let Some(server) = p
+        .sim
+        .node_as::<scrub::server::QueryServerNode<PlatformMsg>>(p.scrub.server)
+    {
+        snap.merge(&server.metrics(at_ms));
+    }
+    if let Some(central) = p.sim.node_as::<CentralNode<PlatformMsg>>(p.scrub.central) {
+        snap.merge(&central.metrics(at_ms));
+    }
+    snap
+}
+
+/// Every registered metric name (counters, gauges and histograms), sorted.
+fn metric_names(snap: &MetricsSnapshot) -> Vec<String> {
+    let mut names: Vec<String> = snap
+        .counters
+        .keys()
+        .chain(snap.gauges.keys())
+        .chain(snap.histograms.keys())
+        .cloned()
+        .collect();
+    names.sort();
+    names.dedup();
+    names
+}
+
+/// The closest registered metric names to an unknown input: substring
+/// matches first, then names sharing a `.`-segment prefix with the input.
+fn suggest_metrics<'a>(names: &'a [String], unknown: &str) -> Vec<&'a String> {
+    let q = unknown.to_ascii_lowercase();
+    let mut hits: Vec<&String> = names
+        .iter()
+        .filter(|n| n.to_ascii_lowercase().contains(&q))
+        .collect();
+    if hits.is_empty() {
+        hits = names
+            .iter()
+            .filter(|n| {
+                n.to_ascii_lowercase()
+                    .split('.')
+                    .zip(q.split('.'))
+                    .any(|(seg, qseg)| seg.starts_with(qseg) || qseg.starts_with(seg))
+            })
+            .collect();
+    }
+    hits.truncate(8);
+    hits
+}
+
+/// Print a did-you-mean list for an unknown metric name (or a pointer at
+/// `stats` when nothing comes close).
+fn print_suggestions(names: &[String], unknown: &str) {
+    let close = suggest_metrics(names, unknown);
+    if close.is_empty() {
+        println!(
+            "  (nothing close; stats lists all {} metric names)",
+            names.len()
+        );
+    } else {
+        println!("  closest registered names:");
+        for n in close {
+            println!("    {n}");
+        }
+    }
+}
+
 /// `watch <metric>`: per-interval deltas of one central metric from the
 /// snapshot-history ring, rendered as a sparkline.
 fn watch_metric(p: &Platform, metric: &str) {
@@ -504,13 +604,16 @@ fn watch_metric(p: &Platform, metric: &str) {
         println!("central node not found");
         return;
     };
+    let names = metric_names(&merged_snapshot(p));
+    if !names.iter().any(|n| n == metric) {
+        println!("unknown metric {metric:?}");
+        print_suggestions(&names, metric);
+        return;
+    }
     let hist = central.history();
     let deltas = hist.deltas(metric);
     if deltas.is_empty() {
-        println!(
-            "no history yet for {metric:?} (the ring fills as virtual time passes; \
-             stats lists metric names)"
-        );
+        println!("no history yet for {metric:?} (the ring fills as virtual time passes)");
         return;
     }
     let values: Vec<i64> = deltas.iter().map(|d| d.value).collect();
@@ -537,7 +640,20 @@ fn watch_metric(p: &Platform, metric: &str) {
     );
 }
 
-fn print_stats(p: &Platform) {
+/// `stats [metric]`: platform statistics plus Scrub's own metrics. With a
+/// metric argument, show only matching metric rows — and suggest the
+/// closest registered names when nothing matches.
+fn print_stats(p: &Platform, filter: Option<&str>) {
+    let snap = merged_snapshot(p);
+    if let Some(f) = filter {
+        let names = metric_names(&snap);
+        let matched = print_metric_groups(&snap, Some(f));
+        if matched == 0 {
+            println!("unknown metric {f:?}");
+            print_suggestions(&names, f);
+        }
+        return;
+    }
     println!("virtual time: {:.0}s", p.sim.now().as_secs_f64());
     println!(
         "events processed by the simulator: {}",
@@ -563,39 +679,43 @@ fn print_stats(p: &Platform) {
 
     // Scrub's own metrics (the scrub-obs registries on the server and
     // central nodes).
-    let at_ms = p.sim.now().as_ms();
-    let mut snap = MetricsSnapshot::default();
-    if let Some(server) = p
-        .sim
-        .node_as::<scrub::server::QueryServerNode<PlatformMsg>>(p.scrub.server)
-    {
-        snap.merge(&server.metrics(at_ms));
-    }
-    if let Some(central) = p.sim.node_as::<CentralNode<PlatformMsg>>(p.scrub.central) {
-        snap.merge(&central.metrics(at_ms));
-    }
     println!("scrub self-observability:");
+    print_metric_groups(&snap, None);
+}
+
+/// Print the snapshot's metrics grouped by subsystem prefix, optionally
+/// restricted to names containing `filter`. Returns how many metric rows
+/// were printed.
+fn print_metric_groups(snap: &MetricsSnapshot, filter: Option<&str>) -> usize {
     // group by subsystem prefix (the part before the first '.'), sort
     // within each group, and align the value column
+    let keep = |name: &str| match filter {
+        Some(f) => name.to_ascii_lowercase().contains(&f.to_ascii_lowercase()),
+        None => true,
+    };
     let mut groups: std::collections::BTreeMap<&str, Vec<(&str, String)>> =
         std::collections::BTreeMap::new();
     fn prefix(name: &str) -> &str {
         name.split('.').next().unwrap_or(name)
     }
     for (name, v) in &snap.counters {
-        groups
-            .entry(prefix(name))
-            .or_default()
-            .push((name, v.to_string()));
+        if keep(name) {
+            groups
+                .entry(prefix(name))
+                .or_default()
+                .push((name, v.to_string()));
+        }
     }
     for (name, v) in &snap.gauges {
-        groups
-            .entry(prefix(name))
-            .or_default()
-            .push((name, v.to_string()));
+        if keep(name) {
+            groups
+                .entry(prefix(name))
+                .or_default()
+                .push((name, v.to_string()));
+        }
     }
     for (name, h) in &snap.histograms {
-        if h.count > 0 {
+        if h.count > 0 && keep(name) {
             groups.entry(prefix(name)).or_default().push((
                 name,
                 format!(
@@ -607,12 +727,15 @@ fn print_stats(p: &Platform) {
             ));
         }
     }
+    let mut printed = 0;
     for (group, mut rows) in groups {
         rows.sort();
         let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
         println!("  [{group}]");
         for (name, value) in rows {
             println!("    {name:<width$}  {value}");
+            printed += 1;
         }
     }
+    printed
 }

@@ -214,35 +214,3 @@ fn meta_query_needs_explicit_target() {
         .sum();
     assert!(meta_total > 0, "meta pipeline saw no batches");
 }
-
-/// The deprecated free-function API must observe exactly what the typed
-/// API observes on the same seed — it is a thin wrapper, not a fork.
-#[test]
-#[allow(deprecated)]
-fn deprecated_api_matches_typed_api() {
-    use scrub_server::{results, submit_query};
-
-    let run_typed = || {
-        let (mut sim, d) = cluster(2, 21);
-        let q = ScrubClient::new(&d)
-            .submit(&mut sim, QUERY)
-            .expect("accepted");
-        sim.run_until(SimTime::from_secs(60));
-        q.record(&sim).expect("record").rows.clone()
-    };
-    let run_deprecated = || {
-        let (mut sim, d) = cluster(2, 21);
-        let qid = submit_query(&mut sim, &d, QUERY);
-        sim.run_until(SimTime::from_secs(60));
-        results(&sim, &d, qid).expect("record").rows.clone()
-    };
-
-    let a = run_typed();
-    let b = run_deprecated();
-    assert!(!a.is_empty());
-    assert_eq!(a.len(), b.len());
-    for (x, y) in a.iter().zip(&b) {
-        assert_eq!(x.window_start_ms, y.window_start_ms);
-        assert_eq!(x.values, y.values);
-    }
-}

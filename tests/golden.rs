@@ -1,8 +1,14 @@
-//! Golden-output check of the Prometheus-style telemetry surface: two
-//! runs of the same seeded scenario must render byte-identical
-//! `render_text` output (metric names sorted, buckets in bound order,
-//! integer values), so the exported artifact is diffable across CI runs
-//! and a changed byte means behavior actually changed.
+//! Golden-output checks: two runs of the same seeded scenario must
+//! render byte-identical output, so the exported artifacts are diffable
+//! across CI runs and a changed byte means behavior actually changed.
+//!
+//! Covered surfaces: the Prometheus-style `render_text` telemetry
+//! (metric names sorted, buckets in bound order, integer values), and
+//! the `explain` / `explain analyze` plan renderings for the paper's
+//! five use-case queries. Wall-clock ns values (the per-operator
+//! `*_op_ns` counters and the plan profile's ns column) are masked
+//! before comparing — they are real elapsed time, the one
+//! nondeterministic ingredient of an otherwise deterministic simulation.
 
 #![allow(clippy::field_reassign_with_default)]
 
@@ -49,6 +55,25 @@ impl Node<ScrubMsg> for OneHost {
     }
 }
 
+/// Mask the sample value of every `_ns`-suffixed metric line: those
+/// counters accumulate wall-clock ns and legitimately differ between two
+/// otherwise identical runs.
+fn mask_ns_lines(rendered: &str) -> String {
+    let mut out = String::new();
+    for l in rendered.lines() {
+        let name = l.split([' ', '{']).next().unwrap_or("");
+        if !l.starts_with('#') && name.ends_with("_ns") {
+            let masked = l.rsplit_once(' ').map(|(head, _)| head).unwrap_or(l);
+            out.push_str(masked);
+            out.push_str(" -\n");
+        } else {
+            out.push_str(l);
+            out.push('\n');
+        }
+    }
+    out
+}
+
 fn run_once() -> String {
     let mut config = ScrubConfig::default();
     config.trace_sample_rate = 0.1;
@@ -83,8 +108,8 @@ fn run_once() -> String {
 
 #[test]
 fn render_text_is_byte_identical_across_seeded_runs() {
-    let a = run_once();
-    let b = run_once();
+    let a = mask_ns_lines(&run_once());
+    let b = mask_ns_lines(&run_once());
     assert_eq!(a, b, "telemetry surface must be reproducible byte-for-byte");
     // the surface carries the expected shape, not just emptiness
     assert!(a.starts_with("# scrub metrics snapshot at sim t="));
@@ -102,4 +127,106 @@ fn render_text_is_byte_identical_across_seeded_runs() {
         .parse()
         .expect("integer sample");
     assert!(n > 0, "the seeded run must actually ingest events");
+}
+
+/// The paper's five §2 use cases, instantiated for the default seeded
+/// bidding workload with short spans (line items picked from the ones
+/// this workload actually serves).
+fn use_case_queries() -> Vec<&'static str> {
+    vec![
+        // spam users
+        "Select bid.user_id, COUNT(*) from bid @[Service in BidServers] \
+         group by bid.user_id window 10 s duration 30 s",
+        // new exchange, host+event sampled
+        "select impression.exchange_id, COUNT(*) from impression \
+         @[Service in PresentationServers] sample hosts 50% events 10% \
+         group by impression.exchange_id window 10 s duration 30 s",
+        // A/B line-item investigation
+        "Select 1000*AVG(impression.cost) from impression \
+         where impression.line_item_id = 1011 \
+         @[Service in PresentationServers] window 10 s duration 30 s",
+        // exclusion-reason histogram over a bid+exclusion join
+        "Select exclusion.reason, COUNT(*) from bid, exclusion \
+         where exclusion.line_item_id = 1001 and bid.exchange_id = 0 \
+         @[Service in BidServers or Service in AdServers] \
+         group by exclusion.reason window 10 s duration 30 s",
+        // cannibalization join over auction+impression
+        "Select impression.line_item_id, COUNT(*), AVG(auction.winner_price) \
+         from auction, impression \
+         where contains(auction.line_item_ids, 1000) \
+         @[Service in AdServers or Service in PresentationServers] \
+         group by impression.line_item_id window 10 s duration 30 s",
+    ]
+}
+
+/// One seeded platform run of all five use-case queries; returns each
+/// query's (static `explain`, ns-masked `explain analyze`) rendering.
+fn run_explains() -> Vec<(String, String)> {
+    let mut p = adplatform::build_platform(PlatformConfig::default());
+    let handles: Vec<QueryHandle> = use_case_queries()
+        .into_iter()
+        .map(|src| {
+            ScrubClient::new(&p.scrub)
+                .submit(&mut p.sim, src)
+                .expect("query accepted")
+        })
+        .collect();
+    let deadline = p.sim.now() + SimDuration::from_secs(180);
+    while p.sim.now() < deadline
+        && handles
+            .iter()
+            .any(|h| h.state(&p.sim) != Some(QueryState::Done))
+    {
+        let step_to = p.sim.now() + SimDuration::from_secs(5);
+        p.sim.run_until(step_to);
+    }
+    handles
+        .iter()
+        .map(|h| {
+            let rec = h.record(&p.sim).expect("record exists");
+            assert_eq!(rec.state, QueryState::Done, "query never finished");
+            let explain = rec.compiled.explain();
+            let analyze = h
+                .plan_profile(&p.sim)
+                .expect("plan profile retained after stop")
+                .render(true);
+            (explain, analyze)
+        })
+        .collect()
+}
+
+#[test]
+fn explain_and_explain_analyze_are_byte_stable() {
+    let a = run_explains();
+    let b = run_explains();
+    assert_eq!(a.len(), 5);
+    for (i, ((ex_a, an_a), (ex_b, an_b))) in a.iter().zip(&b).enumerate() {
+        assert_eq!(ex_a, ex_b, "use case {i}: static explain not byte-stable");
+        assert_eq!(
+            an_a, an_b,
+            "use case {i}: explain analyze (ns masked) not byte-stable"
+        );
+        // shape: both stages render, the ns column is masked, and the
+        // host stage carries the placement invariant in its header
+        assert!(
+            an_a.contains("host stage (selection + projection + sampling ONLY):"),
+            "use case {i}: host stage missing"
+        );
+        assert!(
+            an_a.contains("central stage (ScrubCentral):"),
+            "use case {i}: central stage missing"
+        );
+        assert!(an_a.contains("ns -"), "use case {i}: ns column not masked");
+    }
+    // the workload must actually flow through at least the spam query's
+    // host trio, or the goldens prove nothing
+    let spam = &a[0].1;
+    let sel_line = spam
+        .lines()
+        .find(|l| l.contains("selection(bid)"))
+        .expect("selection operator rendered");
+    assert!(
+        !sel_line.contains("rows         0"),
+        "spam use case saw no bids: {sel_line}"
+    );
 }

@@ -93,16 +93,37 @@ fn registry() -> Arc<SchemaRegistry> {
 }
 
 /// One full simulated run; returns (sorted rows, summary signature,
-/// per-column two-stage estimates, trace signature, loss ledger).
-/// Everything except `partitions` is held fixed, so any divergence is
-/// the parallel backend's fault.
+/// per-column two-stage estimates, trace signature, loss ledger, plan
+/// profile signature). Everything except `partitions` is held fixed, so
+/// any divergence is the parallel backend's fault.
 type RunOutput = (
     Vec<(i64, Vec<Value>, bool)>,
     String,
     Vec<Option<scrub_sketch::TwoStageEstimate>>,
     std::collections::BTreeMap<u64, Vec<(SpanKind, i64, String)>>,
     String,
+    String,
 );
+
+/// The partition-invariant slice of a merged [`PlanProfile`]: operator
+/// identity, estimates, integer row/byte counters and the annotation
+/// notes. Cumulative `ns` is deliberately excluded — central-side ns is
+/// wall-clock and varies run to run (like `ingest_backpressure` in the
+/// query profile), so only the integer counters are held to exact
+/// equality across partition counts.
+fn plan_profile_sig(pp: &scrub_obs::PlanProfile) -> String {
+    pp.ops
+        .iter()
+        .map(|o| {
+            format!(
+                "op{} {} host={} est={:.6} rows_in={} rows_out={} bytes={}",
+                o.id, o.label, o.host_side, o.est_selectivity, o.rows_in, o.rows_out, o.bytes
+            )
+        })
+        .chain(pp.notes.iter().cloned())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
 
 fn run(partitions: usize, query: &str, chaos: bool) -> RunOutput {
     let mut config = ScrubConfig::default();
@@ -180,7 +201,18 @@ fn run(partitions: usize, query: &str, chaos: bool) -> RunOutput {
         "loss ledger must reconcile with the profile's tap counters"
     );
     let ledger_sig = format!("{ledger:?}");
-    (rows, sig, s.estimates.clone(), trace_sig, ledger_sig)
+    let plan_sig = qid
+        .plan_profile(&sim)
+        .map(|pp| plan_profile_sig(&pp))
+        .expect("plan profile for a known query");
+    (
+        rows,
+        sig,
+        s.estimates.clone(),
+        trace_sig,
+        ledger_sig,
+        plan_sig,
+    )
 }
 
 /// Floating-point figures must agree across partition counts; the
@@ -223,11 +255,19 @@ fn assert_rows_eq(rows1: &[(i64, Vec<Value>, bool)], rows4: &[(i64, Vec<Value>, 
 }
 
 fn assert_differential(query: &str, chaos: bool) {
-    let (rows1, sig1, est1, traces1, ledger1) = run(1, query, chaos);
-    let (rows4, sig4, est4, traces4, ledger4) = run(4, query, chaos);
+    let (rows1, sig1, est1, traces1, ledger1, plan1) = run(1, query, chaos);
+    let (rows4, sig4, est4, traces4, ledger4, plan4) = run(4, query, chaos);
     assert!(!rows1.is_empty(), "reference run produced no rows");
     assert_rows_eq(&rows1, &rows4);
     assert_eq!(sig1, sig4, "summary diverges between partitions 1 and 4");
+    assert!(
+        plan1.contains("rows_in"),
+        "plan profile signature is empty: {plan1:?}"
+    );
+    assert_eq!(
+        plan1, plan4,
+        "merged plan profiles diverge between partitions 1 and 4"
+    );
     assert!(!traces1.is_empty(), "no request was traced at rate 0.2");
     assert_eq!(
         traces1, traces4,
@@ -276,7 +316,7 @@ fn sampled_estimates_identical_across_partition_counts() {
     let query = "select COUNT(*), SUM(bid.price) from bid @[all] \
                  sample events 50% window 5 s duration 15 s";
     assert_differential(query, false);
-    let (_, _, est, _, _) = run(4, query, false);
+    let (_, _, est, _, _, _) = run(4, query, false);
     for (i, e) in est.iter().enumerate() {
         let e = e.unwrap_or_else(|| panic!("column {i} should carry an estimate"));
         assert!(e.estimate > 0.0, "column {i} estimate degenerate: {e:?}");
