@@ -47,6 +47,13 @@ pub struct EventBatch {
     pub sampled: u64,
     /// Cumulative count of events dropped by load shedding.
     pub shed: u64,
+    /// Cumulative count of events dropped by the per-host CPU budget
+    /// tracker (`ScrubConfig::enforce_host_budget`): they matched and
+    /// passed sampling, but shipping them would have pushed the modeled
+    /// host cost past `host_cpu_budget` this second. Like `seq`, rides
+    /// the fixed header allowance.
+    #[serde(default)]
+    pub budget_shed: u64,
     /// Cumulative count of events of this type *seen* by the tap on this
     /// host (the selection operator's input cardinality — `EXPLAIN
     /// ANALYZE` audits the predicate's estimated selectivity against
@@ -96,6 +103,7 @@ mod tests {
             matched: 0,
             sampled: 0,
             shed: 0,
+            budget_shed: 0,
             seen: 0,
             bytes: 0,
             spans: vec![],

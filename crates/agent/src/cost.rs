@@ -90,6 +90,65 @@ impl CostModel {
     pub fn projection_ns(&self, shipped: u64, fields: usize) -> u64 {
         (shipped as f64 * fields as f64 * self.project_field_ns) as u64
     }
+
+    /// Model ns one *seen* event costs a subscription before any ship
+    /// decision: the active-tap entry plus (with a predicate) one
+    /// evaluation. This is the irreducible per-event cost — budget
+    /// shedding cannot avoid it, and admission control treats it as the
+    /// fixed part of a query's price.
+    pub fn seen_event_ns(&self, has_predicate: bool) -> f64 {
+        self.tap_active_ns
+            + if has_predicate {
+                self.predicate_ns
+            } else {
+                0.0
+            }
+    }
+
+    /// Model ns spent *shipping* one selected event: projecting `fields`
+    /// field values, batch bookkeeping and `bytes` of serialization. The
+    /// avoidable part of an event's cost — what budget shedding saves.
+    pub fn ship_event_cost_ns(&self, fields: usize, bytes: u64) -> f64 {
+        fields as f64 * self.project_field_ns
+            + self.ship_event_ns
+            + bytes as f64 * self.ship_byte_ns
+    }
+
+    /// Estimated per-host cost of one host plan, as a fraction of one
+    /// core, at an assumed `events_per_sec` arrival rate of its event
+    /// type. Split into `(fixed, variable)`: the irreducible
+    /// selection-side cost and the ship-side cost that scales with the
+    /// event-sampling fraction. Deterministic — admission control prices
+    /// every query through this, so decisions replay exactly.
+    pub fn plan_cost_fractions(
+        &self,
+        plan: &scrub_core::plan::HostPlan,
+        events_per_sec: f64,
+    ) -> (f64, f64) {
+        let fixed = events_per_sec * self.seen_event_ns(plan.predicate.is_some()) / 1e9;
+        // wire size mirrors Event::approx_bytes: projected values plus the
+        // request-id/timestamp slots, 8 bytes each
+        let bytes = 8 * (plan.projection.len() as u64 + 2);
+        let shipped_per_sec = events_per_sec
+            * plan.est_selectivity.clamp(0.0, 1.0)
+            * plan.event_fraction.clamp(0.0, 1.0);
+        let variable =
+            shipped_per_sec * self.ship_event_cost_ns(plan.projection.len(), bytes) / 1e9;
+        (fixed, variable)
+    }
+
+    /// Estimated per-host cost of a whole query (sum over its host
+    /// plans), as `(fixed, variable)` fractions of one core.
+    pub fn query_cost_fractions(
+        &self,
+        plans: &[scrub_core::plan::HostPlan],
+        events_per_sec: f64,
+    ) -> (f64, f64) {
+        plans
+            .iter()
+            .map(|p| self.plan_cost_fractions(p, events_per_sec))
+            .fold((0.0, 0.0), |(f, v), (pf, pv)| (f + pf, v + pv))
+    }
 }
 
 #[cfg(test)]
@@ -138,5 +197,35 @@ mod tests {
         let f = m.cpu_fraction(&d, 1e9);
         assert!((f - 0.002).abs() < 1e-9);
         assert_eq!(m.cpu_fraction(&d, 0.0), 0.0);
+    }
+
+    #[test]
+    fn admission_pricing_splits_fixed_and_variable() {
+        let m = CostModel::default();
+        let plan = scrub_core::plan::HostPlan {
+            query_id: scrub_core::plan::QueryId(1),
+            event_type: "bid".into(),
+            type_id: scrub_core::schema::EventTypeId(0),
+            arity: 4,
+            predicate: None,
+            projection: vec![],
+            event_fraction: 0.5,
+            est_selectivity: 1.0,
+        };
+        let (fixed, variable) = m.plan_cost_fractions(&plan, 10_000.0);
+        // 10k events/s * 30 ns active-tap = 0.3 ms/s = 0.03 %
+        assert!((fixed - 10_000.0 * 30.0 / 1e9).abs() < 1e-12);
+        // half the events ship at 50 ns + 16 bytes * 0.3 ns
+        assert!((variable - 5_000.0 * (50.0 + 16.0 * 0.3) / 1e9).abs() < 1e-12);
+        // a predicate adds per-seen cost to the fixed part only
+        let with_pred = scrub_core::plan::HostPlan {
+            predicate: Some(scrub_core::expr::ResolvedExpr::Literal(
+                scrub_core::value::Value::Long(1),
+            )),
+            ..plan
+        };
+        let (fixed2, variable2) = m.plan_cost_fractions(&with_pred, 10_000.0);
+        assert!(fixed2 > fixed);
+        assert!((variable2 - variable).abs() < 1e-12);
     }
 }

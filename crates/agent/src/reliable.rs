@@ -205,6 +205,7 @@ mod tests {
             matched: 1,
             sampled: 1,
             shed: 0,
+            budget_shed: 0,
             seen: 1,
             bytes: 0,
             spans: vec![],

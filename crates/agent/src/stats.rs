@@ -19,6 +19,8 @@ pub struct AgentStats {
     pub events_sampled_out: AtomicU64,
     /// Matched events dropped by load shedding.
     pub events_shed: AtomicU64,
+    /// Matched events dropped by the per-host CPU budget tracker.
+    pub events_budget_shed: AtomicU64,
     /// Events projected and enqueued for shipment.
     pub events_shipped: AtomicU64,
     /// Field values copied by projection.
@@ -54,6 +56,7 @@ impl AgentStats {
             events_matched: self.events_matched.load(Ordering::Relaxed),
             events_sampled_out: self.events_sampled_out.load(Ordering::Relaxed),
             events_shed: self.events_shed.load(Ordering::Relaxed),
+            events_budget_shed: self.events_budget_shed.load(Ordering::Relaxed),
             events_shipped: self.events_shipped.load(Ordering::Relaxed),
             fields_projected: self.fields_projected.load(Ordering::Relaxed),
             bytes_shipped: self.bytes_shipped.load(Ordering::Relaxed),
@@ -82,6 +85,8 @@ pub struct StatsSnapshot {
     pub events_matched: u64,
     pub events_sampled_out: u64,
     pub events_shed: u64,
+    #[serde(default)]
+    pub events_budget_shed: u64,
     pub events_shipped: u64,
     pub fields_projected: u64,
     pub bytes_shipped: u64,
@@ -119,6 +124,7 @@ impl StatsSnapshot {
             ("agent.events_matched", self.events_matched),
             ("agent.events_sampled_out", self.events_sampled_out),
             ("agent.events_shed", self.events_shed),
+            ("agent.events_budget_shed", self.events_budget_shed),
             ("agent.events_shipped", self.events_shipped),
             ("agent.fields_projected", self.fields_projected),
             ("agent.bytes_shipped", self.bytes_shipped),
@@ -147,6 +153,7 @@ impl StatsSnapshot {
             events_matched: self.events_matched - earlier.events_matched,
             events_sampled_out: self.events_sampled_out - earlier.events_sampled_out,
             events_shed: self.events_shed - earlier.events_shed,
+            events_budget_shed: self.events_budget_shed - earlier.events_budget_shed,
             events_shipped: self.events_shipped - earlier.events_shipped,
             fields_projected: self.fields_projected - earlier.fields_projected,
             bytes_shipped: self.bytes_shipped - earlier.bytes_shipped,

@@ -25,6 +25,7 @@ use scrub_core::value::Value;
 use scrub_obs::trace::{should_trace, trace_threshold, SpanKind, TraceSpan};
 
 use crate::batch::EventBatch;
+use crate::cost::CostModel;
 use crate::stats::AgentStats;
 
 /// Maximum number of event types an agent supports (flags are a fixed
@@ -49,6 +50,13 @@ pub struct ScrubAgent {
     /// tracing, and the already-cold active path pays exactly one integer
     /// compare; the inactive fast path is untouched either way.
     trace_threshold: u64,
+    /// Per-host CPU budget in modeled ns per second
+    /// (`host_cpu_budget * 1e9`), enforced only when
+    /// `ScrubConfig::enforce_host_budget` is set. Priced through the
+    /// deterministic [`CostModel`], so enforcement replays exactly: the
+    /// same event stream sheds the same events on every run.
+    budget_ns_per_sec: f64,
+    enforce_budget: bool,
 }
 
 #[derive(Default)]
@@ -61,6 +69,10 @@ struct Inner {
     /// by `ScrubConfig::trace_span_budget` (the host-impact cap; spans
     /// over budget are dropped and counted, never allocated).
     spans_buffered: usize,
+    /// CPU-budget window shared by every subscription on this host:
+    /// (second, modeled ns accrued that second). Keyed on the event
+    /// timestamp — virtual time — so the tracker is deterministic.
+    budget_window: (i64, f64),
 }
 
 struct Subscription {
@@ -77,6 +89,10 @@ struct Subscription {
     matched: u64,
     sampled: u64,
     shed: u64,
+    /// Events dropped because shipping them would break the per-host
+    /// CPU budget (cumulative; a separate loss-ledger provenance from
+    /// rate-based load shedding).
+    budget_shed: u64,
     /// Events of the subscribed type seen by the tap (pre-selection) —
     /// the selection operator's input cardinality for `EXPLAIN ANALYZE`.
     seen: u64,
@@ -85,15 +101,28 @@ struct Subscription {
     /// Shedding window: (second, events this second).
     shed_window: (i64, u64),
     last_flush_ms: i64,
+    /// Modeled ns one seen event of this subscription costs before any
+    /// ship decision (active tap + predicate); precomputed at install.
+    seen_cost_ns: f64,
+    /// Modeled ns shipping one selected event costs (projection + batch
+    /// bookkeeping + serialization); precomputed at install.
+    ship_cost_ns: f64,
 }
 
 impl Subscription {
-    fn new(plan: HostPlan, seed: u64) -> Self {
+    fn new(plan: HostPlan, seed: u64, cost: &CostModel) -> Self {
         let threshold = if plan.event_fraction >= 1.0 {
             u64::MAX
         } else {
             (plan.event_fraction * u64::MAX as f64) as u64
         };
+        let seen_cost_ns = cost.seen_event_ns(plan.predicate.is_some());
+        // same per-event wire-size approximation the admission pricer
+        // uses: projected values plus the request-id/timestamp slots
+        let ship_cost_ns = cost.ship_event_cost_ns(
+            plan.projection.len(),
+            8 * (plan.projection.len() as u64 + 2),
+        );
         Subscription {
             plan,
             rng: seed | 1,
@@ -103,10 +132,13 @@ impl Subscription {
             matched: 0,
             sampled: 0,
             shed: 0,
+            budget_shed: 0,
             seen: 0,
             bytes: 0,
             shed_window: (i64::MIN, 0),
             last_flush_ms: 0,
+            seen_cost_ns,
+            ship_cost_ns,
         }
     }
 
@@ -124,6 +156,8 @@ impl ScrubAgent {
     /// Create an agent for the named host.
     pub fn new(host: impl Into<String>, config: ScrubConfig) -> Self {
         let threshold = trace_threshold(config.trace_sample_rate);
+        let budget_ns_per_sec = config.host_cpu_budget.max(0.0) * 1e9;
+        let enforce_budget = config.enforce_host_budget;
         ScrubAgent {
             host: host.into(),
             config,
@@ -132,6 +166,8 @@ impl ScrubAgent {
             stats: Arc::new(AgentStats::default()),
             any_active: AtomicBool::new(false),
             trace_threshold: threshold,
+            budget_ns_per_sec,
+            enforce_budget,
         }
     }
 
@@ -177,7 +213,7 @@ impl ScrubAgent {
             )));
         }
         let seed = plan.query_id.0 ^ fxhash(self.host.as_bytes());
-        inner.subs[t].push(Subscription::new(plan, seed));
+        inner.subs[t].push(Subscription::new(plan, seed, &CostModel::default()));
         self.active_mask[t >> 6].fetch_or(1u64 << (t & 63), Ordering::Relaxed);
         self.any_active.store(true, Ordering::Relaxed);
         Ok(())
@@ -300,12 +336,25 @@ impl ScrubAgent {
             subs,
             outbox,
             spans_buffered,
+            budget_window,
         } = &mut *inner;
         let Some(type_subs) = subs.get_mut(t) else {
             return;
         };
+        if self.enforce_budget {
+            let sec = timestamp_ms.div_euclid(1000);
+            if budget_window.0 != sec {
+                *budget_window = (sec, 0.0);
+            }
+        }
         for sub in type_subs.iter_mut() {
             sub.seen += 1;
+            // The irreducible per-event cost (active tap + predicate) is
+            // incurred whether or not the event ships; charge it to the
+            // budget window so enforcement sees the host's true spend.
+            if self.enforce_budget {
+                budget_window.1 += sub.seen_cost_ns;
+            }
             // selection
             if let Some(pred) = &sub.plan.predicate {
                 self.stats.bump(&self.stats.predicates_evaluated, 1);
@@ -369,6 +418,27 @@ impl ScrubAgent {
                 continue;
             }
             sub.shed_window.1 += 1;
+
+            // per-host CPU budget: shipping this event costs a known,
+            // model-priced amount; once the second's budget is spent the
+            // event is dropped *after* the sampling decision (so the
+            // estimator's m_i/M_i accounting stays intact) and attributed
+            // to the `budget_shed` loss provenance.
+            if self.enforce_budget {
+                if budget_window.1 + sub.ship_cost_ns > self.budget_ns_per_sec {
+                    sub.budget_shed += 1;
+                    self.stats.bump(&self.stats.events_budget_shed, 1);
+                    if traced {
+                        self.record_span(
+                            spans_buffered,
+                            &mut sub.trace,
+                            TraceSpan::new(request_id.0, SpanKind::BudgetShed, timestamp_ms, 0),
+                        );
+                    }
+                    continue;
+                }
+                budget_window.1 += sub.ship_cost_ns;
+            }
             sub.sampled += 1;
 
             // projection
@@ -468,6 +538,7 @@ fn make_batch(host: &str, sub: &mut Subscription, now_ms: i64) -> Option<EventBa
         matched: sub.matched,
         sampled: sub.sampled,
         shed: sub.shed,
+        budget_shed: sub.budget_shed,
         seen: sub.seen,
         bytes: 0,
         spans: std::mem::take(&mut sub.trace),

@@ -36,6 +36,7 @@ pub fn run_batch(cq: &CompiledQuery, events: &[Event]) -> (Vec<ResultRow>, Query
             matched,
             sampled: matched,
             shed: 0,
+            budget_shed: 0,
             seen: matched,
             bytes: 0,
             spans: vec![],

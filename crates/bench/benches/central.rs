@@ -63,6 +63,7 @@ fn bid_batch(n: u64) -> EventBatch {
         matched: n,
         sampled: n,
         shed: 0,
+        budget_shed: 0,
         seen: n,
         bytes: 0,
         spans: vec![],
@@ -121,6 +122,7 @@ fn bench_central(c: &mut Criterion) {
                     matched: N / 2,
                     sampled: N / 2,
                     shed: 0,
+                    budget_shed: 0,
                     seen: N / 2,
                     bytes: 0,
                     spans: vec![],

@@ -64,6 +64,7 @@ fn bid_batch(n: u64) -> EventBatch {
         matched: n,
         sampled: n,
         shed: 0,
+        budget_shed: 0,
         seen: n,
         bytes: 0,
         spans: vec![],
@@ -90,6 +91,7 @@ fn imp_batch(n: u64) -> EventBatch {
         matched: n,
         sampled: n,
         shed: 0,
+        budget_shed: 0,
         seen: n,
         bytes: 0,
         spans: vec![],

@@ -27,6 +27,89 @@ use crate::{Report, Table};
 
 const BATCH_EVENTS: usize = 4_096;
 
+/// The core-count signals the bench records alongside its numbers.
+/// Perf figures are only comparable across runs on machines with the
+/// same *effective* core count, and in containers the scheduler-visible
+/// count (`available_parallelism`, which honors cpuset/affinity) can
+/// differ from both the raw `/proc/cpuinfo` count and the cgroup CPU
+/// quota — so all three are detected and persisted.
+#[derive(Debug, Clone, Copy)]
+pub struct CoreSignals {
+    /// `std::thread::available_parallelism()` (affinity/cpuset-aware).
+    pub available_parallelism: usize,
+    /// Processors listed in `/proc/cpuinfo` (the raw machine, quota-blind).
+    pub cpuinfo: Option<usize>,
+    /// Cores granted by the cgroup CPU quota (v2 `cpu.max` or v1
+    /// `cpu.cfs_quota_us`/`cpu.cfs_period_us`), rounded up; `None` when
+    /// unlimited or not in a cgroup.
+    pub cgroup_quota: Option<usize>,
+}
+
+impl CoreSignals {
+    /// Detect every signal on this machine.
+    pub fn detect() -> Self {
+        CoreSignals {
+            available_parallelism: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            cpuinfo: cpuinfo_processors(),
+            cgroup_quota: cgroup_quota_cores(),
+        }
+    }
+
+    /// The effective core count perf numbers should be judged against:
+    /// the scheduler-visible parallelism, further clamped by any cgroup
+    /// CPU quota (a container can show 64 schedulable CPUs yet only be
+    /// allowed 1 core of runtime).
+    pub fn effective(&self) -> usize {
+        let mut cores = self.available_parallelism;
+        if let Some(q) = self.cgroup_quota {
+            cores = cores.min(q);
+        }
+        cores.max(1)
+    }
+}
+
+fn cpuinfo_processors() -> Option<usize> {
+    let text = std::fs::read_to_string("/proc/cpuinfo").ok()?;
+    let n = text.lines().filter(|l| l.starts_with("processor")).count();
+    (n > 0).then_some(n)
+}
+
+/// Cores granted by the cgroup CPU controller, if this process runs
+/// under a quota. Checks cgroup v2 (`/sys/fs/cgroup/cpu.max`: either
+/// `max <period>` for unlimited or `<quota> <period>`), then cgroup v1
+/// (`cpu.cfs_quota_us` of -1 for unlimited over `cpu.cfs_period_us`).
+fn cgroup_quota_cores() -> Option<usize> {
+    if let Ok(text) = std::fs::read_to_string("/sys/fs/cgroup/cpu.max") {
+        let mut it = text.split_whitespace();
+        let quota = it.next()?;
+        if quota == "max" {
+            return None;
+        }
+        let quota: f64 = quota.parse().ok()?;
+        let period: f64 = it.next()?.parse().ok()?;
+        if quota > 0.0 && period > 0.0 {
+            return Some((quota / period).ceil() as usize);
+        }
+        return None;
+    }
+    let quota: f64 = std::fs::read_to_string("/sys/fs/cgroup/cpu/cpu.cfs_quota_us")
+        .ok()?
+        .trim()
+        .parse()
+        .ok()?;
+    if quota <= 0.0 {
+        return None; // -1: unlimited
+    }
+    let period: f64 = std::fs::read_to_string("/sys/fs/cgroup/cpu/cpu.cfs_period_us")
+        .ok()?
+        .trim()
+        .parse()
+        .ok()?;
+    (period > 0.0).then(|| (quota / period).ceil() as usize)
+}
+
 fn plan() -> CentralPlan {
     let reg = SchemaRegistry::new();
     reg.register(
@@ -80,6 +163,7 @@ fn make_batches(n: usize) -> Vec<EventBatch> {
             matched: cumulative,
             sampled: cumulative,
             shed: 0,
+            budget_shed: 0,
             seen: cumulative,
             bytes: 0,
             spans: vec![],
@@ -115,9 +199,8 @@ fn throughput(batches: &[EventBatch], parts: usize) -> (f64, Vec<ResultRow>, u64
 
 /// Run E09.
 pub fn run(quick: bool) -> Report {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let signals = CoreSignals::detect();
+    let cores = signals.effective();
     let n = if quick { 400_000 } else { 2_000_000 };
     let batches = make_batches(n);
     let parts_list = [1usize, 2, 4, 8];
@@ -133,7 +216,15 @@ pub fn run(quick: bool) -> Report {
     let mut results = Vec::new();
     let mut reference_rows: Option<Vec<ResultRow>> = None;
     let mut same_answers = true;
+    let mut warnings = String::new();
     for &parts in &parts_list {
+        if parts > cores {
+            warnings.push_str(&format!(
+                "WARNING: {parts} partitions on {cores} effective core(s) — threads \
+                 time-slice instead of running in parallel; expect no speedup at \
+                 this point, only the threading overhead.\n"
+            ));
+        }
         let (eps, rows, stalls) = throughput(&batches, parts);
         if parts == 1 {
             base = eps;
@@ -156,7 +247,7 @@ pub fn run(quick: bool) -> Report {
         .find(|(p, _, _)| *p == 4)
         .map(|(_, e, _)| e / base)
         .unwrap_or(0.0);
-    write_bench_json(cores, n, quick, base, &results);
+    write_bench_json(&signals, n, quick, base, &results);
     // Speedup is bounded by the machine's parallelism. On a single-core
     // box a channel-fed worker pool can only lose wall-clock (context
     // switches and the merge fan-in with no parallel work to win it back),
@@ -176,7 +267,15 @@ pub fn run(quick: bool) -> Report {
         paper: "a small centralized cluster suffices: throughput scales with \
                 partitions (up to the machine's parallelism), and merged results \
                 are identical",
-        body: format!("{t}\navailable cores on this machine: {cores}\n"),
+        body: format!(
+            "{t}\n{warnings}effective cores: {cores} (available_parallelism {}, \
+             /proc/cpuinfo {}, cgroup quota {})\n",
+            signals.available_parallelism,
+            signals.cpuinfo.map_or("n/a".into(), |n| n.to_string()),
+            signals
+                .cgroup_quota
+                .map_or("unlimited".into(), |n| n.to_string()),
+        ),
         pass,
         verdict: format!(
             "single-partition {base:.0} events/s, {speedup_at_4:.2}x at 4 partitions \
@@ -188,9 +287,10 @@ pub fn run(quick: bool) -> Report {
 
 /// Persist the run as `BENCH_central_ingest.json` at the workspace root —
 /// the repo's perf trajectory for central ingest. Results are only
-/// comparable across runs on machines with the same `cores`.
+/// comparable across runs on machines with the same *effective* core
+/// count, so every detection signal is persisted alongside the numbers.
 fn write_bench_json(
-    cores: usize,
+    signals: &CoreSignals,
     events: usize,
     quick: bool,
     base: f64,
@@ -210,8 +310,16 @@ fn write_bench_json(
     let doc = format!(
         "{{\n  \"bench\": \"central_ingest\",\n  \"experiment\": \"E09\",\n  \
          \"workload\": \"grouped count+avg, 10 s windows, 5000 groups\",\n  \
-         \"cores\": {cores},\n  \"events\": {events},\n  \"quick\": {quick},\n  \
+         \"cores\": {},\n  \"core_signals\": {{ \"available_parallelism\": {}, \
+         \"cpuinfo\": {}, \"cgroup_quota\": {} }},\n  \
+         \"events\": {events},\n  \"quick\": {quick},\n  \
          \"results\": [\n{}\n  ]\n}}\n",
+        signals.effective(),
+        signals.available_parallelism,
+        signals.cpuinfo.map_or("null".into(), |n| n.to_string()),
+        signals
+            .cgroup_quota
+            .map_or("null".into(), |n| n.to_string()),
         runs.join(",\n")
     );
     let path = concat!(

@@ -1,4 +1,4 @@
-//! Experiment modules, one per paper figure/table (DESIGN.md E01–E19).
+//! Experiment modules, one per paper figure/table (DESIGN.md E01–E20).
 
 pub mod e01_spam;
 pub mod e02_exchange;
@@ -19,6 +19,7 @@ pub mod e16_chaos;
 pub mod e17_self_obs;
 pub mod e18_tracing;
 pub mod e19_plan_profile;
+pub mod e20_overload;
 
 use crate::Report;
 
@@ -47,5 +48,6 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("e17_self_obs", e17_self_obs::run),
         ("e18_tracing", e18_tracing::run),
         ("e19_plan_profile", e19_plan_profile::run),
+        ("e20_overload", e20_overload::run),
     ]
 }

@@ -28,6 +28,7 @@ struct HostTotals {
     matched: u64,
     sampled: u64,
     shed: u64,
+    budget_shed: u64,
     seen: u64,
     bytes: u64,
 }
@@ -121,12 +122,20 @@ pub struct GroupState {
     pub keys: Vec<Value>,
     /// One state per aggregate in the plan.
     pub aggs: Vec<AggState>,
+    /// Rows folded into this group (additive across partitions; when a
+    /// group is evicted by the `max_groups` cap these rows become
+    /// `groups_overflow`).
+    pub rows: u64,
 }
 
 enum WindowState {
     /// Single-input aggregate mode: aggregated eagerly, memory O(groups).
+    /// The map is bounded at `CentralPlan::max_groups` by keeping the
+    /// smallest group keys (see [`update_groups`]); `overflow_rows`
+    /// counts the rows this window dropped to stay under the cap.
     Eager {
-        groups: HashMap<Vec<GroupKey>, GroupState>,
+        groups: BTreeMap<Vec<GroupKey>, GroupState>,
+        overflow_rows: u64,
     },
     /// Join queries buffer per request id until the window closes.
     Buffered {
@@ -138,8 +147,12 @@ enum WindowState {
 pub struct WindowPartial {
     /// Window start (ms).
     pub window_start_ms: i64,
-    /// Aggregate-mode groups (empty in stream mode).
+    /// Aggregate-mode groups (empty in stream mode), sorted by key.
     pub groups: Vec<(Vec<GroupKey>, GroupState)>,
+    /// Rows dropped by the `max_groups` cap while this window was open
+    /// (additive across partitions; the router adds its own re-cap drops
+    /// on top).
+    pub overflow_rows: u64,
 }
 
 /// One host's contribution to the two-stage estimator, exported from an
@@ -279,6 +292,9 @@ pub struct QueryExecutor {
     dead_hosts: std::collections::HashSet<String>,
     /// Batches discarded as duplicate (host, query, seq) retransmissions.
     pub duplicate_batches: u64,
+    /// Rows dropped by the `max_groups` bound on group state (counted at
+    /// the moment they are dropped or their group is evicted).
+    pub groups_overflow: u64,
     /// Central-side per-operator counters for `EXPLAIN ANALYZE`.
     opc: CentralOpCounters,
 }
@@ -304,6 +320,7 @@ impl QueryExecutor {
             closed_before_ms: i64::MIN,
             dead_hosts: std::collections::HashSet::new(),
             duplicate_batches: 0,
+            groups_overflow: 0,
             opc: CentralOpCounters::default(),
         }
     }
@@ -353,7 +370,7 @@ impl QueryExecutor {
         self.windows
             .values()
             .map(|w| match w {
-                WindowState::Eager { groups } => groups.len(),
+                WindowState::Eager { groups, .. } => groups.len(),
                 WindowState::Buffered { .. } => 0,
             })
             .sum()
@@ -396,6 +413,7 @@ impl QueryExecutor {
         totals.matched = totals.matched.max(batch.matched);
         totals.sampled = totals.sampled.max(batch.sampled);
         totals.shed = totals.shed.max(batch.shed);
+        totals.budget_shed = totals.budget_shed.max(batch.budget_shed);
         totals.seen = totals.seen.max(batch.seen);
         totals.bytes = totals.bytes.max(batch.bytes);
 
@@ -558,22 +576,31 @@ impl QueryExecutor {
                     self.opc.residual_rows_out += 1;
                 }
                 let t1 = Instant::now();
+                let cap = plan.max_groups.max(1);
                 for &w in &covered {
                     let state = self.windows.entry(w).or_insert_with(|| WindowState::Eager {
-                        groups: HashMap::new(),
+                        groups: BTreeMap::new(),
+                        overflow_rows: 0,
                     });
-                    let WindowState::Eager { groups } = state else {
+                    let WindowState::Eager {
+                        groups,
+                        overflow_rows,
+                    } = state
+                    else {
                         unreachable!("single-input aggregate plans are eager");
                     };
                     self.opc.group_rows_in += 1;
-                    update_groups(
+                    let dropped = update_groups(
                         groups,
+                        cap,
                         group_by,
                         aggregates,
                         &scratch.row,
                         &mut scratch.keys,
                         &mut scratch.key_vals,
                     );
+                    *overflow_rows += dropped;
+                    self.groups_overflow += dropped;
                 }
                 self.opc.group_ns += t1.elapsed().as_nanos() as u64;
             }
@@ -623,8 +650,13 @@ impl QueryExecutor {
         let mut groups_out: Vec<(Vec<GroupKey>, GroupState)> = Vec::new();
         let mut stream_rows: Vec<ResultRow> = Vec::new();
         let mut capped = 0u64;
+        let mut overflow_rows = 0u64;
         match state {
-            WindowState::Eager { groups } => {
+            WindowState::Eager {
+                groups,
+                overflow_rows: of,
+            } => {
+                overflow_rows = of;
                 groups_out.extend(groups);
             }
             WindowState::Buffered { per_request } => {
@@ -638,7 +670,8 @@ impl QueryExecutor {
                     aggregates,
                     stream,
                 } = mode_ref(&self.plan.mode);
-                let mut groups: HashMap<Vec<GroupKey>, GroupState> = HashMap::new();
+                let cap = self.plan.max_groups.max(1);
+                let mut groups: BTreeMap<Vec<GroupKey>, GroupState> = BTreeMap::new();
                 let mut scratch = EventScratch::default();
                 let mut row = vec![Value::Null; self.plan.row_width];
                 let mut req_ids: Vec<u64> = per_request.keys().copied().collect();
@@ -694,14 +727,17 @@ impl QueryExecutor {
                                 self.opc.stream_rows_out += 1;
                             } else {
                                 self.opc.group_rows_in += 1;
-                                update_groups(
+                                let dropped = update_groups(
                                     &mut groups,
+                                    cap,
                                     group_by,
                                     aggregates,
                                     &row,
                                     &mut scratch.keys,
                                     &mut scratch.key_vals,
                                 );
+                                overflow_rows += dropped;
+                                self.groups_overflow += dropped;
                             }
                             fold_ns += t_fold.elapsed().as_nanos() as u64;
                         }
@@ -729,10 +765,11 @@ impl QueryExecutor {
         }
         self.stream_out.extend(stream_rows);
         self.join_rows_capped += capped;
-        groups_out.sort_by(|a, b| a.0.cmp(&b.0));
+        // groups_out came out of a BTreeMap, so it is already key-sorted
         WindowPartial {
             window_start_ms: w,
             groups: groups_out,
+            overflow_rows,
         }
     }
 
@@ -765,9 +802,11 @@ impl QueryExecutor {
     /// Close everything and produce the end-of-query summary.
     pub fn finish(&mut self) -> (Vec<ResultRow>, QuerySummary) {
         let rows = self.advance(i64::MAX / 4);
-        let (total_matched, total_sampled, total_shed) =
-            self.host_totals.values().fold((0, 0, 0), |(m, s, d), t| {
-                (m + t.matched, s + t.sampled, d + t.shed)
+        let (total_matched, total_sampled, total_shed, total_budget_shed) = self
+            .host_totals
+            .values()
+            .fold((0, 0, 0, 0), |(m, s, d, b), t| {
+                (m + t.matched, s + t.sampled, d + t.shed, b + t.budget_shed)
             });
         let distinct_hosts: std::collections::HashSet<HostId> =
             self.host_totals.keys().map(|(h, _)| *h).collect();
@@ -784,12 +823,14 @@ impl QueryExecutor {
             total_matched,
             total_sampled,
             total_shed,
+            total_budget_shed,
             windows_emitted: self.windows_emitted,
             estimates,
             hosts_targeted,
             hosts_live,
             degraded_rows: 0,
             duplicate_batches: self.duplicate_batches,
+            groups_overflow: self.groups_overflow,
         };
         (rows, summary)
     }
@@ -878,11 +919,12 @@ impl QueryExecutor {
                         }
                         OperatorKind::Sampling => {
                             // `sampled` counts events actually shipped;
-                            // shed events survived the sampling decision
-                            // too, so the operator's selectivity audits
-                            // against (sampled + shed) / matched.
+                            // shed and budget-shed events survived the
+                            // sampling decision too, so the operator's
+                            // selectivity audits against
+                            // (sampled + shed + budget_shed) / matched.
                             op.rows_in = t.matched;
-                            op.rows_out = t.sampled + t.shed;
+                            op.rows_out = t.sampled + t.shed + t.budget_shed;
                             op.bytes = t.bytes;
                             op.ns = model.sampling_ns(t.sampled, t.bytes);
                         }
@@ -942,6 +984,7 @@ impl QueryExecutor {
             all.matched += t.matched;
             all.sampled += t.sampled;
             all.shed += t.shed;
+            all.budget_shed += t.budget_shed;
         }
         if self.plan.sample.event_fraction < 1.0 {
             profile.notes.push(format!(
@@ -955,6 +998,12 @@ impl QueryExecutor {
             profile.notes.push(format!(
                 "load shedding dropped {} sampled events before ship (accuracy traded for host impact)",
                 all.shed
+            ));
+        }
+        if all.budget_shed > 0 {
+            profile.notes.push(format!(
+                "budget shedding dropped {} sampled events before ship (host CPU budget enforced)",
+                all.budget_shed
             ));
         }
         profile
@@ -986,18 +1035,33 @@ fn mode_ref(mode: &OutputMode) -> OutputModeRef<'_> {
     }
 }
 
-/// Fold one row into the group map. `keys`/`key_vals` are caller-owned
-/// scratch: the group key is built into them and only cloned into the map
-/// when a *new* group appears, so the steady state (existing groups —
-/// single-key group-bys especially) allocates nothing for the key.
+/// Fold one row into the group map, holding it to at most `cap` groups.
+/// Returns the number of rows dropped by the bound (0 when the row was
+/// folded without evicting anything).
+///
+/// The overflow policy keeps the `cap` *smallest* group keys: a new key
+/// larger than the current maximum is rejected outright (its row is
+/// dropped), and a new key smaller than the maximum evicts the largest
+/// group (all rows already folded into it count as dropped). The policy
+/// is deterministic in the key values alone — arrival order never
+/// matters, and a key's rank in any subset of the keys is at most its
+/// global rank, so the kept set and the *total* dropped-row count are
+/// identical whether the rows pass through one executor or are split
+/// across N partitions and re-capped at the merge.
+///
+/// `keys`/`key_vals` are caller-owned scratch: the group key is built
+/// into them and only cloned into the map when a *new* group appears, so
+/// the steady state (existing groups — single-key group-bys especially)
+/// allocates nothing for the key.
 fn update_groups(
-    groups: &mut HashMap<Vec<GroupKey>, GroupState>,
+    groups: &mut BTreeMap<Vec<GroupKey>, GroupState>,
+    cap: usize,
     group_by: &[scrub_core::expr::ResolvedExpr],
     aggregates: &[scrub_core::plan::AggSpec],
     row: &[Value],
     keys: &mut Vec<GroupKey>,
     key_vals: &mut Vec<Value>,
-) {
+) -> u64 {
     keys.clear();
     key_vals.clear();
     for g in group_by {
@@ -1005,23 +1069,40 @@ fn update_groups(
         keys.push(v.group_key());
         key_vals.push(v);
     }
+    let mut dropped = 0u64;
     // Lookup borrows the scratch as a slice (`Vec<GroupKey>: Borrow<[GroupKey]>`).
     if !groups.contains_key(keys.as_slice()) {
+        if groups.len() >= cap {
+            let new_is_largest = groups
+                .last_key_value()
+                .map(|(k, _)| k.as_slice() < keys.as_slice())
+                .unwrap_or(false);
+            if new_is_largest || cap == 0 {
+                // the new key ranks past the cap — drop this row
+                return 1;
+            }
+            // the new key displaces the current largest group
+            let (_, evicted) = groups.pop_last().expect("len >= cap >= 1");
+            dropped += evicted.rows;
+        }
         groups.insert(
             keys.clone(),
             GroupState {
                 keys: key_vals.clone(),
                 aggs: aggregates.iter().map(AggState::new).collect(),
+                rows: 0,
             },
         );
     }
     let entry = groups
         .get_mut(keys.as_slice())
         .expect("group just ensured present");
+    entry.rows += 1;
     for (i, agg) in aggregates.iter().enumerate() {
         let v = agg.arg.as_ref().map(|a| a.eval(row));
         entry.aggs[i].update(v.as_ref());
     }
+    dropped
 }
 
 #[cfg(test)]
@@ -1080,6 +1161,7 @@ mod tests {
             matched,
             sampled,
             shed: 0,
+            budget_shed: 0,
             seen: matched,
             bytes: 0,
             spans: vec![],
@@ -1370,6 +1452,7 @@ mod sliding_tests {
             matched: 1,
             sampled: 1,
             shed: 0,
+            budget_shed: 0,
             seen: 1,
             bytes: 0,
             spans: vec![],
@@ -1455,6 +1538,7 @@ mod sliding_tests {
             matched: 1,
             sampled: 1,
             shed: 0,
+            budget_shed: 0,
             seen: 1,
             bytes: 0,
             spans: vec![],
@@ -1514,6 +1598,7 @@ mod memory_tests {
                     matched: 1,
                     sampled: 1,
                     shed: 0,
+                    budget_shed: 0,
                     seen: 1,
                     bytes: 0,
                     spans: vec![],
@@ -1563,6 +1648,7 @@ mod memory_tests {
                 matched: 100,
                 sampled: 100,
                 shed: 0,
+                budget_shed: 0,
                 seen: 100,
                 bytes: 0,
                 spans: vec![],

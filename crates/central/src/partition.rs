@@ -331,6 +331,12 @@ pub struct PartitionedExecutor {
     windows_closed: u64,
     rendered_rows: u64,
     render_ns: u64,
+    /// Rows dropped by the `max_groups` bound: per-partition drops
+    /// (carried on closed [`WindowPartial`]s) plus the router's own
+    /// re-cap of the merged group set. Partition-count invariant — see
+    /// [`update_groups`](crate::executor) for the keep-smallest-keys
+    /// argument.
+    groups_overflow: u64,
 }
 
 impl PartitionedExecutor {
@@ -358,6 +364,7 @@ impl PartitionedExecutor {
             windows_closed: 0,
             rendered_rows: 0,
             render_ns: 0,
+            groups_overflow: 0,
         }
     }
 
@@ -414,6 +421,12 @@ impl PartitionedExecutor {
     /// Result rows emitted while some targeted host was suspected dead.
     pub fn degraded_rows(&self) -> u64 {
         self.degraded_rows
+    }
+
+    /// Rows dropped so far by the `max_groups` bound (per-partition drops
+    /// plus the router's merge re-cap; partition-count invariant).
+    pub fn groups_overflow(&self) -> u64 {
+        self.groups_overflow
     }
 
     /// Drain the window closes recorded since the last call.
@@ -494,16 +507,18 @@ impl PartitionedExecutor {
     /// Emit stream rows and merge+render all windows closed by `now_ms`.
     pub fn advance(&mut self, now_ms: i64) -> Vec<ResultRow> {
         let mut out = Vec::new();
-        let mut by_window: BTreeMap<i64, Vec<(Vec<GroupKey>, GroupState)>> = BTreeMap::new();
+        // window start → (merged partial groups, rows already dropped by
+        // the per-partition `max_groups` bound)
+        type WindowAcc = (Vec<(Vec<GroupKey>, GroupState)>, u64);
+        let mut by_window: BTreeMap<i64, WindowAcc> = BTreeMap::new();
         let scale;
         match &mut self.backend {
             Backend::Inline(part) => {
                 out.extend(part.advance_stream_only());
                 for partial in part.take_closed_partials(now_ms) {
-                    by_window
-                        .entry(partial.window_start_ms)
-                        .or_default()
-                        .extend(partial.groups);
+                    let acc = by_window.entry(partial.window_start_ms).or_default();
+                    acc.0.extend(partial.groups);
+                    acc.1 += partial.overflow_rows;
                 }
                 scale = part.scale();
             }
@@ -522,50 +537,66 @@ impl PartitionedExecutor {
                 for reply in replies {
                     out.extend(reply.stream_rows);
                     for partial in reply.partials {
-                        by_window
-                            .entry(partial.window_start_ms)
-                            .or_default()
-                            .extend(partial.groups);
+                        let acc = by_window.entry(partial.window_start_ms).or_default();
+                        acc.0.extend(partial.groups);
+                        acc.1 += partial.overflow_rows;
                     }
                 }
             }
         }
         let degraded_now = !self.dead_hosts.is_empty();
         let t_render = Instant::now();
-        for (w, groups) in by_window {
+        for (w, (groups, partial_overflow)) in by_window {
             self.windows_closed += 1;
             // Same semantics as the sequential executor's render path: a
             // window counts as emitted when it closed holding groups.
             if !groups.is_empty() {
                 self.windows_emitted += 1;
             }
-            let rendered = self.render_merged(w, groups, scale);
+            let (mut rendered, recap_dropped) = self.render_merged(w, groups, scale);
+            let overflow_w = partial_overflow + recap_dropped;
+            self.groups_overflow += overflow_w;
+            if overflow_w > 0 {
+                // The window's aggregates are missing the dropped rows:
+                // mark what it did render as degraded, same as rows
+                // emitted under a dead host.
+                for row in &mut rendered {
+                    row.degraded = true;
+                }
+                self.degraded_rows += rendered.len() as u64;
+            }
             self.rendered_rows += rendered.len() as u64;
             self.closes.push(WindowClose {
                 window_start_ms: w,
                 rows: rendered.len() as u64,
-                degraded: degraded_now,
+                degraded: degraded_now || overflow_w > 0,
             });
             out.extend(rendered);
         }
         self.render_ns += t_render.elapsed().as_nanos() as u64;
         if !self.dead_hosts.is_empty() {
             for row in &mut out {
-                row.degraded = true;
+                if !row.degraded {
+                    self.degraded_rows += 1;
+                    row.degraded = true;
+                }
             }
-            self.degraded_rows += out.len() as u64;
         }
         out
     }
 
+    /// Merge one window's per-partition partial groups, re-apply the
+    /// `max_groups` bound to the merged set (each partition kept its own
+    /// `cap` smallest keys; their union can exceed the cap) and render.
+    /// Returns the rendered rows and the rows dropped by the re-cap.
     fn render_merged(
         &self,
         window_start_ms: i64,
         groups: Vec<(Vec<GroupKey>, GroupState)>,
         scale: f64,
-    ) -> Vec<ResultRow> {
+    ) -> (Vec<ResultRow>, u64) {
         let OutputMode::Aggregate { output, .. } = &self.plan.mode else {
-            return Vec::new();
+            return (Vec::new(), 0);
         };
         // merge same-key groups from different partitions
         let mut merged: BTreeMap<Vec<GroupKey>, GroupState> = BTreeMap::new();
@@ -579,10 +610,20 @@ impl PartitionedExecutor {
                     for (a, b) in dst.aggs.iter_mut().zip(&state.aggs) {
                         a.merge(b);
                     }
+                    dst.rows += state.rows;
                 }
             }
         }
-        merged
+        // Re-cap: keep the `cap` smallest keys of the merged set — the
+        // same keys a single executor would have kept, so results and
+        // dropped-row totals are partition-count invariant.
+        let cap = self.plan.max_groups.max(1);
+        let mut recap_dropped = 0u64;
+        while merged.len() > cap {
+            let (_, g) = merged.pop_last().expect("len > cap");
+            recap_dropped += g.rows;
+        }
+        let rows = merged
             .into_values()
             .map(|g| {
                 let values: Vec<Value> = output
@@ -599,7 +640,8 @@ impl PartitionedExecutor {
                     degraded: false,
                 }
             })
-            .collect()
+            .collect();
+        (rows, recap_dropped)
     }
 
     /// Close everything and produce the end-of-query summary.
@@ -649,6 +691,9 @@ impl PartitionedExecutor {
         summary.degraded_rows = self.degraded_rows;
         summary.duplicate_batches = self.duplicate_batches;
         summary.windows_emitted = self.windows_emitted;
+        // overridden from the router, where every closed window's
+        // overflow (per-partition drops + merge re-cap) is accumulated
+        summary.groups_overflow = self.groups_overflow;
         (rows, summary)
     }
 
@@ -696,6 +741,14 @@ impl PartitionedExecutor {
                 _ => {}
             }
         }
+        if self.groups_overflow > 0 {
+            merged.notes.push(format!(
+                "group state capped at {} groups: groups_kept {} (rendered), groups_dropped {} rows past the cap",
+                self.plan.max_groups.max(1),
+                self.rendered_rows,
+                self.groups_overflow
+            ));
+        }
         merged
     }
 }
@@ -730,6 +783,7 @@ fn split_by_request_id(batch: EventBatch, partitions: usize) -> Vec<EventBatch> 
             matched: batch.matched,
             sampled: batch.sampled,
             shed: batch.shed,
+            budget_shed: batch.budget_shed,
             seen: batch.seen,
             bytes: batch.bytes,
             spans: vec![],
@@ -798,6 +852,7 @@ mod tests {
             matched: n,
             sampled: n,
             shed: 0,
+            budget_shed: 0,
             seen: n,
             bytes: 0,
             spans: vec![],
@@ -843,6 +898,7 @@ mod tests {
                 matched: 200,
                 sampled: 200,
                 shed: 0,
+                budget_shed: 0,
                 seen: 200,
                 bytes: 0,
                 spans: vec![],
@@ -857,6 +913,7 @@ mod tests {
                 matched: 100,
                 sampled: 100,
                 shed: 0,
+                budget_shed: 0,
                 seen: 100,
                 bytes: 0,
                 spans: vec![],
@@ -888,6 +945,7 @@ mod tests {
             matched: 100,
             sampled: 100,
             shed: 0,
+            budget_shed: 0,
             seen: 100,
             bytes: 0,
             spans: vec![],
@@ -1010,6 +1068,7 @@ mod tests {
                     matched: 10,
                     sampled: 3,
                     shed: 0,
+                    budget_shed: 0,
                     seen: 10,
                     bytes: 0,
                     spans: vec![],

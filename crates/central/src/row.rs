@@ -50,6 +50,9 @@ pub struct QuerySummary {
     pub total_sampled: u64,
     /// Events dropped by load shedding across hosts.
     pub total_shed: u64,
+    /// Events dropped by the per-host CPU budget tracker across hosts.
+    #[serde(default)]
+    pub total_budget_shed: u64,
     /// Windows emitted.
     pub windows_emitted: u64,
     /// Per select-column whole-span estimate with error bound, when
@@ -70,6 +73,10 @@ pub struct QuerySummary {
     /// `(host, query, seq)` (retransmissions whose ack was lost).
     #[serde(default)]
     pub duplicate_batches: u64,
+    /// Rows dropped because group state hit the `max_groups` bound (the
+    /// keep-smallest-keys overflow policy; partition-count invariant).
+    #[serde(default)]
+    pub groups_overflow: u64,
 }
 
 impl QuerySummary {

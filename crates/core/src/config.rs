@@ -75,6 +75,57 @@ pub struct ScrubConfig {
     /// default 2.5 s advance interval cover the last ~10 minutes.
     #[serde(default = "default_obs_history_len")]
     pub obs_history_len: usize,
+    /// Per-host CPU envelope for Scrub tap work, as a fraction of one
+    /// core (the paper's ≤2.5 % guarantee, §2). Both the agent's budget
+    /// tracker and central admission control price against this figure
+    /// via the deterministic cost model.
+    #[serde(default = "default_host_cpu_budget")]
+    pub host_cpu_budget: f64,
+    /// Agent: enforce `host_cpu_budget` at the tap — once the modeled ns
+    /// spent this second exceed the budget, further per-event ship work
+    /// is shed and counted as `budget_shed` in the loss ledger. Off by
+    /// default: enforcement changes results, so it is an explicit opt-in
+    /// (like parallel ingest).
+    #[serde(default = "default_enforce_host_budget")]
+    pub enforce_host_budget: bool,
+    /// Central: cap on distinct group-by keys held per window. Overflow
+    /// follows a deterministic keep-smallest-keys policy (the same key
+    /// set survives for any partition count); dropped rows are counted
+    /// in `groups_overflow` and surviving rows of the window are marked
+    /// degraded. The default is far above every reproduced workload's
+    /// cardinality, so results are unchanged unless a run opts into a
+    /// tighter cap.
+    #[serde(default = "default_max_groups")]
+    pub max_groups: usize,
+    /// Server: admission-control policy applied when a new query's
+    /// estimated per-host cost would push the running total past
+    /// `host_cpu_budget`. `Off` (default) admits everything.
+    #[serde(default)]
+    pub admission: AdmissionPolicy,
+    /// Server: assumed per-host event rate (events/s) used to price a
+    /// query at admission time. Deterministic by construction — the same
+    /// config always prices a query the same way.
+    #[serde(default = "default_admission_events_per_host_per_sec")]
+    pub admission_events_per_host_per_sec: f64,
+}
+
+/// What the query server does when admitting a query would break the
+/// per-host CPU envelope (`ScrubConfig::host_cpu_budget`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AdmissionPolicy {
+    /// No admission control (the default): every valid query runs.
+    #[default]
+    Off,
+    /// Reject the new query outright (`ScrubError::Rejected`).
+    Reject,
+    /// Admit the new query with its event-sampling fraction scaled down
+    /// until its estimate fits the remaining headroom; reject only when
+    /// even the irreducible selection cost does not fit.
+    Degrade,
+    /// Evict running queries — most expensive first, newest first on
+    /// ties (the cheapest value per unit of CPU) — until the new query
+    /// fits; reject it if eviction cannot free enough headroom.
+    Evict,
 }
 
 fn default_agent_retry_base_ms() -> i64 {
@@ -103,6 +154,18 @@ fn default_trace_span_budget() -> usize {
 }
 fn default_obs_history_len() -> usize {
     240
+}
+fn default_host_cpu_budget() -> f64 {
+    0.025
+}
+fn default_enforce_host_budget() -> bool {
+    false
+}
+fn default_max_groups() -> usize {
+    65_536
+}
+fn default_admission_events_per_host_per_sec() -> f64 {
+    10_000.0
 }
 
 impl ScrubConfig {
@@ -141,6 +204,11 @@ impl Default for ScrubConfig {
             trace_sample_rate: default_trace_sample_rate(),
             trace_span_budget: default_trace_span_budget(),
             obs_history_len: default_obs_history_len(),
+            host_cpu_budget: default_host_cpu_budget(),
+            enforce_host_budget: default_enforce_host_budget(),
+            max_groups: default_max_groups(),
+            admission: AdmissionPolicy::default(),
+            admission_events_per_host_per_sec: default_admission_events_per_host_per_sec(),
         }
     }
 }
@@ -161,7 +229,33 @@ mod tests {
         assert_eq!(c.trace_sample_rate, 0.0);
         assert!(c.trace_span_budget > 0);
         assert!(c.obs_history_len >= 2);
+        // Overload protection defaults: the paper's 2.5 % envelope, with
+        // enforcement and admission control opt-in so the reproduced
+        // figures are unchanged out of the box.
+        assert_eq!(c.host_cpu_budget, 0.025);
+        assert!(!c.enforce_host_budget);
+        assert_eq!(c.max_groups, 65_536);
+        assert_eq!(c.admission, AdmissionPolicy::Off);
+        assert_eq!(c.admission_events_per_host_per_sec, 10_000.0);
         let auto = ScrubConfig::auto_partitions();
         assert!((1..=8).contains(&auto));
+    }
+
+    #[test]
+    fn admission_policy_serde_round_trips() {
+        for p in [
+            AdmissionPolicy::Off,
+            AdmissionPolicy::Reject,
+            AdmissionPolicy::Degrade,
+            AdmissionPolicy::Evict,
+        ] {
+            let json = serde_json::to_string(&p).unwrap();
+            let back: AdmissionPolicy = serde_json::from_str(&json).unwrap();
+            assert_eq!(p, back);
+        }
+        assert_eq!(
+            serde_json::to_string(&AdmissionPolicy::Evict).unwrap(),
+            "\"Evict\""
+        );
     }
 }

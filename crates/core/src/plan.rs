@@ -184,6 +184,12 @@ pub struct CentralPlan {
     /// selection (`1.0` when there is none).
     #[serde(default)]
     pub residual_selectivity: f64,
+    /// Cap on distinct group-by keys held per window (from
+    /// `ScrubConfig::max_groups`). Overflow keeps the `max_groups`
+    /// smallest keys — deterministic and identical for every partition
+    /// count — and counts dropped rows in `groups_overflow`.
+    #[serde(default)]
+    pub max_groups: usize,
 }
 
 impl CentralPlan {
@@ -833,6 +839,7 @@ pub fn compile(
         sample: spec.sample,
         host_info: HostSampleInfo::default(),
         residual_selectivity,
+        max_groups: config.max_groups.max(1),
     };
 
     Ok(CompiledQuery {

@@ -7,18 +7,18 @@
 //! invariant, enforced per host:
 //!
 //! ```text
-//! tapped == delivered + sampled_out + load_shed + batch_dropped
+//! tapped == delivered + sampled_out + load_shed + budget_shed + batch_dropped
 //! ```
 //!
 //! where the right-hand buckets are derived from counters with a
 //! provable ordering:
 //!
-//! * the agent maintains `tapped = selected + sampled_out + shed` as a
-//!   single-threaded identity, and ships the cumulative `(tapped,
-//!   selected, shed)` triple on every batch header; central max-merges
-//!   them, so the triple it holds is the agent's own consistent snapshot
-//!   at the highest-seq batch received → `sampled_out = tapped -
-//!   selected - shed ≥ 0`;
+//! * the agent maintains `tapped = selected + sampled_out + shed +
+//!   budget_shed` as a single-threaded identity, and ships the
+//!   cumulative `(tapped, selected, shed, budget_shed)` tuple on every
+//!   batch header; central max-merges them, so the tuple it holds is the
+//!   agent's own consistent snapshot at the highest-seq batch received →
+//!   `sampled_out = tapped - selected - shed - budget_shed ≥ 0`;
 //! * delivered events are a subset of the batches `0..=max_seq`, whose
 //!   event total equals `selected` at that same snapshot → `batch_dropped
 //!   = selected - delivered ≥ 0`.
@@ -49,6 +49,11 @@ pub struct HostLosses {
     pub sampled_out: u64,
     /// Events dropped by agent load shedding (per-second budget).
     pub load_shed: u64,
+    /// Events dropped by the per-host CPU budget tracker: they passed
+    /// sampling, but shipping them would have broken `host_cpu_budget`
+    /// that second.
+    #[serde(default)]
+    pub budget_shed: u64,
     /// Events selected for shipment that never arrived: dropped in
     /// flight, buffered past the retransmit-buffer cap, or stranded on a
     /// dead host.
@@ -69,13 +74,18 @@ impl HostLosses {
     /// Events lost for any reason (the invariant's right side minus
     /// `delivered`).
     pub fn total_lost(&self) -> u64 {
-        self.sampled_out + self.load_shed + self.batch_dropped
+        self.sampled_out + self.load_shed + self.budget_shed + self.batch_dropped
     }
 
-    /// Does `tapped == delivered + sampled_out + load_shed +
-    /// batch_dropped` hold?
+    /// Does `tapped == delivered + sampled_out + load_shed + budget_shed
+    /// + batch_dropped` hold?
     pub fn reconciles(&self) -> bool {
-        self.tapped == self.delivered + self.sampled_out + self.load_shed + self.batch_dropped
+        self.tapped
+            == self.delivered
+                + self.sampled_out
+                + self.load_shed
+                + self.budget_shed
+                + self.batch_dropped
     }
 }
 
@@ -110,10 +120,11 @@ impl LossLedger {
         let mut hosts = BTreeMap::new();
         for (host, hp) in &profile.hosts {
             debug_assert!(
-                hp.selected + hp.shed <= hp.tapped,
-                "host {host}: selected {} + shed {} > tapped {} — cumulative counter contract broken",
+                hp.selected + hp.shed + hp.budget_shed <= hp.tapped,
+                "host {host}: selected {} + shed {} + budget_shed {} > tapped {} — cumulative counter contract broken",
                 hp.selected,
                 hp.shed,
+                hp.budget_shed,
                 hp.tapped
             );
             debug_assert!(
@@ -122,13 +133,16 @@ impl LossLedger {
                 hp.events,
                 hp.selected
             );
-            let sampled_out = hp.tapped.saturating_sub(hp.selected + hp.shed);
+            let sampled_out = hp
+                .tapped
+                .saturating_sub(hp.selected + hp.shed + hp.budget_shed);
             let batch_dropped = hp.selected.saturating_sub(hp.events);
             let losses = HostLosses {
                 tapped: hp.tapped,
                 delivered: hp.events,
                 sampled_out,
                 load_shed: hp.shed,
+                budget_shed: hp.budget_shed,
                 batch_dropped,
                 deduped_retransmit: hp.duplicate_events,
                 window_degraded: parts.degraded_events.get(host).copied().unwrap_or(0),
@@ -179,8 +193,30 @@ mod tests {
         selected: u64,
         shed: u64,
     ) -> QueryProfile {
+        profile_with_budget(host, delivered, tapped, selected, shed, 0)
+    }
+
+    fn profile_with_budget(
+        host: &str,
+        delivered: u64,
+        tapped: u64,
+        selected: u64,
+        shed: u64,
+        budget_shed: u64,
+    ) -> QueryProfile {
         let mut p = QueryProfile::new(9);
-        p.observe_batch(host, 0, 100, delivered, tapped, selected, shed, false, None);
+        p.observe_batch(
+            host,
+            0,
+            100,
+            delivered,
+            tapped,
+            selected,
+            shed,
+            budget_shed,
+            false,
+            None,
+        );
         p
     }
 
@@ -210,6 +246,22 @@ mod tests {
         assert!(h.reconciles());
         assert!(!l.is_all_zero());
         assert_eq!(l.total(|h| h.batch_dropped), 10);
+    }
+
+    #[test]
+    fn budget_shed_is_its_own_bucket() {
+        // tapped 100: 60 selected (5 never arrived), 12 budget-shed,
+        // 8 load-shed, 20 sampled out
+        let p = profile_with_budget("h1", 55, 100, 60, 8, 12);
+        let l = LossLedger::build(&p, &LedgerParts::default());
+        let h = &l.hosts["h1"];
+        assert_eq!(h.budget_shed, 12);
+        assert_eq!(h.load_shed, 8);
+        assert_eq!(h.sampled_out, 20);
+        assert_eq!(h.batch_dropped, 5);
+        assert!(h.reconciles());
+        assert_eq!(h.total_lost(), 45);
+        assert!(!l.is_all_zero());
     }
 
     #[test]

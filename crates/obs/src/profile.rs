@@ -26,6 +26,10 @@ pub struct TypeCounters {
     pub selected: u64,
     /// Matched events dropped by load shedding (cumulative).
     pub shed: u64,
+    /// Matched events dropped by the per-host CPU budget tracker
+    /// (cumulative).
+    #[serde(default)]
+    pub budget_shed: u64,
 }
 
 /// What one host contributed to one query.
@@ -41,6 +45,10 @@ pub struct HostProfile {
     pub selected: u64,
     /// Matched events dropped by load shedding; sum over `by_type`.
     pub shed: u64,
+    /// Matched events dropped by the per-host CPU budget tracker; sum
+    /// over `by_type`.
+    #[serde(default)]
+    pub budget_shed: u64,
     /// Per-event-type cumulative counter triples (max-merged per type —
     /// the counters on a batch are the subscription's own monotone
     /// snapshot, so the highest-seq batch carries the truth).
@@ -67,6 +75,7 @@ impl HostProfile {
         self.tapped = self.by_type.values().map(|t| t.tapped).sum();
         self.selected = self.by_type.values().map(|t| t.selected).sum();
         self.shed = self.by_type.values().map(|t| t.shed).sum();
+        self.budget_shed = self.by_type.values().map(|t| t.budget_shed).sum();
     }
 
     fn merge(&mut self, other: &HostProfile) {
@@ -80,6 +89,7 @@ impl HostProfile {
             t.tapped = t.tapped.max(oc.tapped);
             t.selected = t.selected.max(oc.selected);
             t.shed = t.shed.max(oc.shed);
+            t.budget_shed = t.budget_shed.max(oc.budget_shed);
         }
         self.recompute_totals();
         self.batches += other.batches;
@@ -168,6 +178,7 @@ impl QueryProfile {
         tapped: u64,
         selected: u64,
         shed: u64,
+        budget_shed: u64,
         retransmit: bool,
         latency_ms: Option<i64>,
     ) {
@@ -178,6 +189,7 @@ impl QueryProfile {
         t.tapped = t.tapped.max(tapped);
         t.selected = t.selected.max(selected);
         t.shed = t.shed.max(shed);
+        t.budget_shed = t.budget_shed.max(budget_shed);
         h.recompute_totals();
         h.batches += 1;
         if retransmit {
@@ -259,6 +271,11 @@ impl QueryProfile {
         self.hosts.values().map(|h| h.shed).sum()
     }
 
+    /// Events budget-shed across hosts.
+    pub fn total_budget_shed(&self) -> u64 {
+        self.hosts.values().map(|h| h.budget_shed).sum()
+    }
+
     /// Merge a profile shard from another central node.
     pub fn merge(&mut self, other: &QueryProfile) {
         debug_assert_eq!(self.query_id, other.query_id);
@@ -287,9 +304,9 @@ mod tests {
     #[test]
     fn batches_split_first_vs_retransmitted_bytes() {
         let mut p = QueryProfile::new(7);
-        p.observe_batch("h1", 0, 100, 10, 10, 10, 0, false, Some(12));
+        p.observe_batch("h1", 0, 100, 10, 10, 10, 0, 0, false, Some(12));
         p.observe_ack();
-        p.observe_batch("h1", 0, 100, 10, 20, 20, 0, true, Some(800));
+        p.observe_batch("h1", 0, 100, 10, 20, 20, 0, 0, true, Some(800));
         p.observe_ack();
         p.observe_duplicate("h1", 10);
         p.observe_ack();
@@ -321,9 +338,9 @@ mod tests {
     #[test]
     fn profiles_merge_across_centrals() {
         let mut a = QueryProfile::new(1);
-        a.observe_batch("h1", 0, 50, 5, 5, 5, 0, false, Some(10));
+        a.observe_batch("h1", 0, 50, 5, 5, 5, 0, 0, false, Some(10));
         let mut b = QueryProfile::new(1);
-        b.observe_batch("h2", 0, 70, 7, 7, 7, 0, true, Some(20));
+        b.observe_batch("h2", 0, 70, 7, 7, 7, 0, 0, true, Some(20));
         b.observe_windows_closed(1, 1);
         a.merge(&b);
         assert_eq!(a.hosts.len(), 2);
@@ -340,9 +357,9 @@ mod tests {
         // FROM type; the host totals must be the sum of the per-type maxes,
         // never a max across types.
         let mut p = QueryProfile::new(9);
-        p.observe_batch("h1", 1, 100, 10, 10, 10, 0, false, None);
-        p.observe_batch("h1", 2, 80, 4, 4, 4, 0, false, None);
-        p.observe_batch("h1", 1, 60, 5, 15, 15, 0, false, None);
+        p.observe_batch("h1", 1, 100, 10, 10, 10, 0, 0, false, None);
+        p.observe_batch("h1", 2, 80, 4, 4, 4, 0, 0, false, None);
+        p.observe_batch("h1", 1, 60, 5, 15, 15, 0, 0, false, None);
         let h = &p.hosts["h1"];
         assert_eq!(h.by_type.len(), 2);
         assert_eq!(h.by_type[&1].tapped, 15);
@@ -353,7 +370,7 @@ mod tests {
 
         // cross-central merge stays per-type as well
         let mut other = QueryProfile::new(9);
-        other.observe_batch("h1", 2, 30, 2, 6, 6, 0, false, None);
+        other.observe_batch("h1", 2, 30, 2, 6, 6, 0, 0, false, None);
         p.merge(&other);
         let h = &p.hosts["h1"];
         assert_eq!(h.by_type[&2].tapped, 6);
@@ -363,7 +380,7 @@ mod tests {
     #[test]
     fn profile_serializes() {
         let mut p = QueryProfile::new(3);
-        p.observe_batch("h", 0, 10, 1, 1, 1, 0, false, None);
+        p.observe_batch("h", 0, 10, 1, 1, 1, 0, 0, false, None);
         let json = serde_json::to_string(&p).unwrap();
         let back: QueryProfile = serde_json::from_str(&json).unwrap();
         assert_eq!(p, back);

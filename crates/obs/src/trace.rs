@@ -49,6 +49,9 @@ pub enum SpanKind {
     SampledOut,
     /// Load shedding dropped the event (budget exhausted this second).
     Shed,
+    /// The per-host CPU budget tracker dropped the event (shipping it
+    /// would have broken `host_cpu_budget` this second).
+    BudgetShed,
     /// The event was projected and enqueued into the subscription batch.
     Enqueue,
     /// The batch carrying this event was first shipped (`detail` = seq).

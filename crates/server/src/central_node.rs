@@ -100,6 +100,11 @@ pub struct CentralNode<E: ScrubEnvelope> {
     m_finished: Arc<Counter>,
     m_backpressure: Arc<Counter>,
     m_ingest_latency: Arc<Histogram>,
+    m_budget_shed: Arc<Counter>,
+    m_groups_overflow: Arc<Counter>,
+    /// Last `(budget_shed, groups_overflow)` totals folded into the node
+    /// counters per query, so each advance adds only the delta.
+    overload_seen: HashMap<QueryId, (u64, u64)>,
     /// Resolved meta-event type ids (registered into the shared schema
     /// registry at construction).
     meta: MetaEvents,
@@ -132,6 +137,8 @@ impl<E: ScrubEnvelope> CentralNode<E> {
         let m_finished = obs.counter("central.queries_finished");
         let m_backpressure = obs.counter("central.ingest_backpressure");
         let m_ingest_latency = obs.histogram("central.ingest_latency_ms");
+        let m_budget_shed = obs.counter("overload.budget_shed_events");
+        let m_groups_overflow = obs.counter("overload.groups_overflow");
         let history = MetricsHistory::new(config.obs_history_len);
         let trace_thresh = trace_threshold(config.trace_sample_rate);
         CentralNode {
@@ -163,6 +170,9 @@ impl<E: ScrubEnvelope> CentralNode<E> {
             m_finished,
             m_backpressure,
             m_ingest_latency,
+            m_budget_shed,
+            m_groups_overflow,
+            overload_seen: HashMap::new(),
             meta,
             meta_harness: None,
             meta_rid: 0,
@@ -375,14 +385,25 @@ impl<E: ScrubEnvelope> CentralNode<E> {
         let closes = exec.take_window_closes();
         let open = exec.open_windows() as u64;
         let held = exec.join_rows_held();
+        let overflow_total = exec.groups_overflow();
         let is_meta_query = self.meta_queries.contains(&qid);
+        let mut budget_shed_total = 0u64;
         if let Some(profile) = self.profiles.get_mut(&qid) {
             for c in &closes {
                 profile.observe_windows_closed(1, c.degraded as u64);
             }
             profile.observe_state(open, held);
             profile.observe_rows(rows_emitted);
+            budget_shed_total = profile.total_budget_shed();
         }
+        // Node-level overload counters advance by the per-query deltas so
+        // `scrubql stats` shows fleet totals without double counting.
+        let seen = self.overload_seen.entry(qid).or_insert((0, 0));
+        self.m_budget_shed
+            .add(budget_shed_total.saturating_sub(seen.0));
+        self.m_groups_overflow
+            .add(overflow_total.saturating_sub(seen.1));
+        *seen = (budget_shed_total.max(seen.0), overflow_total.max(seen.1));
         self.m_rows.add(rows_emitted);
         self.m_windows_closed.add(closes.len() as u64);
         self.m_windows_degraded
@@ -623,6 +644,7 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
                         batch.matched,
                         batch.sampled,
                         batch.shed,
+                        batch.budget_shed,
                         batch.attempt > 0,
                         latency,
                     );

@@ -23,4 +23,6 @@ pub use deploy::{
 };
 pub use harness::AgentHarness;
 pub use msg::{ScrubEnvelope, ScrubMsg};
-pub use server_node::{QueryRecord, QueryServerNode, QueryState};
+pub use server_node::{
+    AdmissionDecision, AdmissionVerdict, QueryRecord, QueryServerNode, QueryState,
+};

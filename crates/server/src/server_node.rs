@@ -7,9 +7,10 @@ use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::sync::Arc;
 
+use scrub_agent::CostModel;
 use scrub_central::{QuerySummary, ResultRow};
-use scrub_core::config::ScrubConfig;
-use scrub_core::error::ScrubResult;
+use scrub_core::config::{AdmissionPolicy, ScrubConfig};
+use scrub_core::error::{ScrubError, ScrubResult};
 use scrub_core::plan::{compile, CompiledQuery, HostSampleInfo, QueryId};
 use scrub_core::ql::ast::StartSpec;
 use scrub_core::ql::parser::parse_query;
@@ -17,6 +18,7 @@ use scrub_core::schema::SchemaRegistry;
 use scrub_core::target::{sample_indices, HostInfo};
 use scrub_obs::{Counter, MetricsSnapshot, Registry};
 use scrub_simnet::{Context, Node, NodeId, SimDuration};
+use serde::Serialize;
 
 use crate::msg::{
     decode_query_timer, timer_query_drain, timer_query_start, timer_query_stop, QueryTimerKind,
@@ -59,6 +61,49 @@ pub struct QueryRecord {
     pub first_rows_at_ms: Option<i64>,
     /// Who submitted (gets Accepted/Rejected notifications).
     pub client: NodeId,
+    /// Estimated per-host CPU fraction this query costs, priced by the
+    /// deterministic cost model at admission time (after any degrade).
+    /// The admission controller sums this over Scheduled/Running queries
+    /// to decide whether a new query fits the envelope.
+    pub est_cost: f64,
+}
+
+/// How the admission controller disposed of one submission that was
+/// otherwise valid (parse/validate/target resolution all passed).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum AdmissionVerdict {
+    /// Fit within the envelope (or admission control is off).
+    Admitted,
+    /// Admitted with its event-sampling fraction multiplied by `factor`
+    /// so the estimate fits the remaining headroom.
+    Degraded { factor: f64 },
+    /// Admitted after evicting the listed running queries (most
+    /// expensive first, newest first on ties).
+    Evicted { victims: Vec<u64> },
+    /// Rejected: the envelope could not be met even by degrading or
+    /// evicting (per the configured policy).
+    Rejected,
+}
+
+/// One admission decision, recorded in submission order. Deterministic
+/// for a fixed config + submission sequence: pricing uses the cost model
+/// at the configured assumed event rate, never wall-clock measurements.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AdmissionDecision {
+    /// Query id the submission received (or would have received).
+    pub query_id: u64,
+    /// What the controller decided.
+    pub verdict: AdmissionVerdict,
+    /// Rate-independent part of the estimate (tap + predicate on every
+    /// event seen), as a fraction of one core.
+    pub est_fixed: f64,
+    /// Sampling-scalable part (projection + ship of selected events), as
+    /// a fraction of one core, before any degrade.
+    pub est_variable: f64,
+    /// Σ est_cost over Scheduled/Running queries before this decision.
+    pub running_before: f64,
+    /// The envelope the decision was made against.
+    pub budget: f64,
 }
 
 /// The query-server node.
@@ -76,6 +121,13 @@ pub struct QueryServerNode<E: ScrubEnvelope> {
     queries: HashMap<QueryId, QueryRecord>,
     /// Queries rejected at submission, with reasons (for tests/inspection).
     pub rejected: Vec<(String, String)>,
+    /// Every admission-control decision in submission order (only
+    /// submissions that passed parse/validate/target resolution).
+    pub admission_log: Vec<AdmissionDecision>,
+    /// Victims selected by an `Evict` admission, cancelled by the Submit
+    /// handler right after the new query is accepted (admit() itself is
+    /// pure and cannot send messages).
+    pending_evictions: Vec<QueryId>,
     /// Last heartbeat per agent host (ms). Hosts only start heartbeating
     /// once they learn the server's address from their first
     /// `InstallQuery`.
@@ -90,6 +142,9 @@ pub struct QueryServerNode<E: ScrubEnvelope> {
     m_cancelled: Arc<Counter>,
     m_rows: Arc<Counter>,
     m_heartbeats: Arc<Counter>,
+    m_rejected_budget: Arc<Counter>,
+    m_degraded: Arc<Counter>,
+    m_evicted: Arc<Counter>,
     _marker: PhantomData<fn(E)>,
 }
 
@@ -124,6 +179,9 @@ impl<E: ScrubEnvelope> QueryServerNode<E> {
         let m_cancelled = obs.counter("server.queries_cancelled");
         let m_rows = obs.counter("server.rows_received");
         let m_heartbeats = obs.counter("server.heartbeats_received");
+        let m_rejected_budget = obs.counter("overload.queries_rejected_budget");
+        let m_degraded = obs.counter("overload.queries_degraded");
+        let m_evicted = obs.counter("overload.queries_evicted");
         QueryServerNode {
             schema_registry,
             config,
@@ -133,6 +191,8 @@ impl<E: ScrubEnvelope> QueryServerNode<E> {
             next_qid: 1,
             queries: HashMap::new(),
             rejected: Vec::new(),
+            admission_log: Vec::new(),
+            pending_evictions: Vec::new(),
             heartbeats: HashMap::new(),
             obs,
             m_submitted,
@@ -143,6 +203,9 @@ impl<E: ScrubEnvelope> QueryServerNode<E> {
             m_cancelled,
             m_rows,
             m_heartbeats,
+            m_rejected_budget,
+            m_degraded,
+            m_evicted,
             _marker: PhantomData,
         }
     }
@@ -258,6 +321,111 @@ impl<E: ScrubEnvelope> QueryServerNode<E> {
             selected: hosts.len(),
         };
 
+        // Admission control: price the query's per-host CPU cost with the
+        // deterministic cost model and hold the fleet to the envelope.
+        // Pricing uses the configured assumed event rate, never wall-clock
+        // measurements, so a fixed config + submission order always yields
+        // the same decisions.
+        let cost = CostModel::default();
+        let (est_fixed, est_variable) = cost.query_cost_fractions(
+            &compiled.host_plans,
+            self.config.admission_events_per_host_per_sec,
+        );
+        let mut est = est_fixed + est_variable;
+        let budget = self.config.host_cpu_budget;
+        let running_before: f64 = self
+            .queries
+            .values()
+            .filter(|r| matches!(r.state, QueryState::Scheduled | QueryState::Running))
+            .map(|r| r.est_cost)
+            .sum();
+        let mut verdict = AdmissionVerdict::Admitted;
+        if self.config.admission != AdmissionPolicy::Off && running_before + est > budget {
+            match self.config.admission {
+                AdmissionPolicy::Off => unreachable!("guarded above"),
+                AdmissionPolicy::Reject => verdict = AdmissionVerdict::Rejected,
+                AdmissionPolicy::Degrade => {
+                    let headroom = budget - running_before;
+                    if est_fixed >= headroom || est_variable <= 0.0 {
+                        // Even the irreducible selection cost (every event
+                        // must be seen regardless of sampling) does not
+                        // fit: there is nothing left to degrade.
+                        verdict = AdmissionVerdict::Rejected;
+                    } else {
+                        let factor = ((headroom - est_fixed) / est_variable).clamp(0.0, 1.0);
+                        for hp in &mut compiled.host_plans {
+                            hp.event_fraction *= factor;
+                        }
+                        // Keep the central plan's copy consistent so the
+                        // estimator and EXPLAIN output see the admitted
+                        // fraction, not the requested one.
+                        compiled.central.sample.event_fraction *= factor;
+                        est = est_fixed + est_variable * factor;
+                        verdict = AdmissionVerdict::Degraded { factor };
+                    }
+                }
+                AdmissionPolicy::Evict => {
+                    // Most expensive first; newest (highest id) on ties —
+                    // the cheapest accumulated value per unit of CPU.
+                    let mut victims: Vec<QueryId> = Vec::new();
+                    let mut running_now = running_before;
+                    while running_now + est > budget {
+                        let candidate = self
+                            .queries
+                            .iter()
+                            .filter(|(id, r)| {
+                                matches!(r.state, QueryState::Scheduled | QueryState::Running)
+                                    && !victims.contains(id)
+                            })
+                            .map(|(id, r)| (*id, r.est_cost))
+                            .max_by(|a, b| {
+                                a.1.partial_cmp(&b.1)
+                                    .unwrap_or(std::cmp::Ordering::Equal)
+                                    .then(a.0.cmp(&b.0))
+                            });
+                        let Some((vid, vcost)) = candidate else { break };
+                        victims.push(vid);
+                        running_now -= vcost;
+                    }
+                    if running_now + est > budget {
+                        // Even an empty fleet cannot host this query;
+                        // reject it without sacrificing anyone.
+                        verdict = AdmissionVerdict::Rejected;
+                    } else {
+                        self.pending_evictions.extend(victims.iter().copied());
+                        verdict = AdmissionVerdict::Evicted {
+                            victims: victims.iter().map(|q| q.0).collect(),
+                        };
+                    }
+                }
+            }
+        }
+        match &verdict {
+            AdmissionVerdict::Degraded { .. } => self.m_degraded.inc(),
+            AdmissionVerdict::Evicted { victims } => self.m_evicted.add(victims.len() as u64),
+            AdmissionVerdict::Rejected => self.m_rejected_budget.inc(),
+            AdmissionVerdict::Admitted => {}
+        }
+        let rejected = verdict == AdmissionVerdict::Rejected;
+        self.admission_log.push(AdmissionDecision {
+            query_id: qid.0,
+            verdict,
+            est_fixed,
+            est_variable,
+            running_before,
+            budget,
+        });
+        if rejected {
+            return Err(ScrubError::Rejected(format!(
+                "admission control ({:?}): estimated per-host cost {:.4}% on top of \
+                 {:.4}% already running exceeds the {:.2}% CPU budget",
+                self.config.admission,
+                (est_fixed + est_variable) * 100.0,
+                running_before * 100.0,
+                budget * 100.0
+            )));
+        }
+
         self.next_qid += 1;
         self.queries.insert(
             qid,
@@ -271,6 +439,7 @@ impl<E: ScrubEnvelope> QueryServerNode<E> {
                 summary: None,
                 first_rows_at_ms: None,
                 client: NodeId(0), // set by caller
+                est_cost: est,
             },
         );
         Ok(qid)
@@ -341,6 +510,20 @@ impl<E: ScrubEnvelope> Node<E> for QueryServerNode<E> {
                         self.m_accepted.inc();
                         if let Some(rec) = self.queries.get_mut(&qid) {
                             rec.client = from;
+                        }
+                        // Carry out evictions the admission controller
+                        // scheduled to make room for this query.
+                        let victims = std::mem::take(&mut self.pending_evictions);
+                        for vid in victims {
+                            match self.queries.get(&vid).map(|r| r.state) {
+                                Some(QueryState::Running) => self.stop(ctx, vid),
+                                Some(QueryState::Scheduled) => {
+                                    if let Some(rec) = self.queries.get_mut(&vid) {
+                                        rec.state = QueryState::Done;
+                                    }
+                                }
+                                _ => {}
+                            }
                         }
                         if from != ctx.self_id {
                             ctx.send(from, E::wrap(ScrubMsg::Accepted { query_id: qid }));

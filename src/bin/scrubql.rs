@@ -346,9 +346,15 @@ fn run_query(p: &mut Platform, src: &str) {
     }
     if let Some(s) = &rec.summary {
         println!(
-            "-- {} hosts, matched {}, shipped {}, shed {}",
-            s.hosts_reporting, s.total_matched, s.total_sampled, s.total_shed
+            "-- {} hosts, matched {}, shipped {}, shed {}, budget-shed {}",
+            s.hosts_reporting, s.total_matched, s.total_sampled, s.total_shed, s.total_budget_shed
         );
+        if s.groups_overflow > 0 {
+            println!(
+                "-- overload: {} rows dropped past the max_groups cap",
+                s.groups_overflow
+            );
+        }
         for (i, est) in s.estimates.iter().enumerate() {
             if let Some(e) = est {
                 println!(
@@ -401,14 +407,15 @@ fn print_profile(p: &Platform, qid: QueryId) {
             lat.count
         );
     }
-    println!("host\tevents\ttapped\tselected\tshed\tbatches\tretx\tbytes\tretx_bytes");
+    println!("host\tevents\ttapped\tselected\tshed\tbudget_shed\tbatches\tretx\tbytes\tretx_bytes");
     for (host, h) in &prof.hosts {
         println!(
-            "{host}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "{host}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             h.events,
             h.tapped,
             h.selected,
             h.shed,
+            h.budget_shed,
             h.batches,
             h.retransmitted_batches,
             h.bytes_first_sent,
@@ -420,17 +427,18 @@ fn print_profile(p: &Platform, qid: QueryId) {
             println!("loss ledger: clean — every tapped event reached a result");
         } else {
             println!(
-                "loss ledger (invariant: tapped = delivered + sampled_out + load_shed + batch_dropped):"
+                "loss ledger (invariant: tapped = delivered + sampled_out + load_shed + budget_shed + batch_dropped):"
             );
             println!(
-                "host\tdelivered\tsampled_out\tload_shed\tbatch_dropped\tdedup_retx\tdegraded\tdead"
+                "host\tdelivered\tsampled_out\tload_shed\tbudget_shed\tbatch_dropped\tdedup_retx\tdegraded\tdead"
             );
             for (host, h) in &ledger.hosts {
                 println!(
-                    "{host}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                    "{host}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
                     h.delivered,
                     h.sampled_out,
                     h.load_shed,
+                    h.budget_shed,
                     h.batch_dropped,
                     h.deduped_retransmit,
                     h.window_degraded,

@@ -126,6 +126,15 @@ fn plan_profile_sig(pp: &scrub_obs::PlanProfile) -> String {
 }
 
 fn run(partitions: usize, query: &str, chaos: bool) -> RunOutput {
+    run_with(partitions, query, chaos, |_| {})
+}
+
+fn run_with(
+    partitions: usize,
+    query: &str,
+    chaos: bool,
+    tweak: impl Fn(&mut ScrubConfig),
+) -> RunOutput {
     let mut config = ScrubConfig::default();
     config.central_partitions = partitions;
     // Trace a fixed slice of requests: the deterministic sampler must
@@ -137,6 +146,7 @@ fn run(partitions: usize, query: &str, chaos: bool) -> RunOutput {
         config.window_grace_ms = 6_000;
         config.host_grace_ms = 12_000;
     }
+    tweak(&mut config);
     let mut sim: Sim<ScrubMsg> = Sim::new(Topology::default(), 7);
     let reg = registry();
     let central = deploy_central(&mut sim, &reg, config.clone(), "DC1");
@@ -177,6 +187,7 @@ fn run(partitions: usize, query: &str, chaos: bool) -> RunOutput {
     rows.sort_by_key(|(w, values, degraded)| (*w, format!("{values:?}"), *degraded));
     let sig = format!(
         "targeted={} live={} reporting={} matched={} sampled={} shed={} \
+         budget_shed={} groups_overflow={} \
          windows={} coverage={:.9} degraded_rows={} duplicates={}",
         s.hosts_targeted,
         s.hosts_live,
@@ -184,6 +195,8 @@ fn run(partitions: usize, query: &str, chaos: bool) -> RunOutput {
         s.total_matched,
         s.total_sampled,
         s.total_shed,
+        s.total_budget_shed,
+        s.groups_overflow,
         s.windows_emitted,
         s.coverage(),
         s.degraded_rows,
@@ -255,8 +268,19 @@ fn assert_rows_eq(rows1: &[(i64, Vec<Value>, bool)], rows4: &[(i64, Vec<Value>, 
 }
 
 fn assert_differential(query: &str, chaos: bool) {
-    let (rows1, sig1, est1, traces1, ledger1, plan1) = run(1, query, chaos);
-    let (rows4, sig4, est4, traces4, ledger4, plan4) = run(4, query, chaos);
+    assert_differential_with(query, chaos, |_| {});
+}
+
+/// Differential run with a config tweak applied identically to both
+/// partition counts; returns the reference (partitions = 1) output so
+/// callers can make scenario-specific assertions on it.
+fn assert_differential_with(
+    query: &str,
+    chaos: bool,
+    tweak: impl Fn(&mut ScrubConfig),
+) -> RunOutput {
+    let (rows1, sig1, est1, traces1, ledger1, plan1) = run_with(1, query, chaos, &tweak);
+    let (rows4, sig4, est4, traces4, ledger4, plan4) = run_with(4, query, chaos, &tweak);
     assert!(!rows1.is_empty(), "reference run produced no rows");
     assert_rows_eq(&rows1, &rows4);
     assert_eq!(sig1, sig4, "summary diverges between partitions 1 and 4");
@@ -288,6 +312,7 @@ fn assert_differential(query: &str, chaos: bool) {
             _ => panic!("estimate[{i}] present in one run only"),
         }
     }
+    (rows1, sig1, est1, traces1, ledger1, plan1)
 }
 
 #[test]
@@ -324,6 +349,67 @@ fn sampled_estimates_identical_across_partition_counts() {
 }
 
 #[test]
+fn bounded_groups_overflow_identical_across_partition_counts() {
+    // 11 distinct user ids per window under a cap of 4: the
+    // keep-smallest-keys overflow policy must drop the same rows and
+    // keep the same groups no matter how the events are partitioned.
+    let (rows, sig, _, _, _, plan_sig) = assert_differential_with(
+        "select bid.user_id, COUNT(*) from bid @[all] \
+         group by bid.user_id window 5 s duration 15 s",
+        false,
+        |c| c.max_groups = 4,
+    );
+    assert!(
+        sig.split_whitespace().any(|f| f
+            .strip_prefix("groups_overflow=")
+            .is_some_and(|v| v.parse::<u64>().unwrap_or(0) > 0)),
+        "the cap never overflowed: {sig}"
+    );
+    // The overflow surfaces in EXPLAIN ANALYZE as a groups_kept /
+    // groups_dropped annotation on the plan profile.
+    assert!(
+        plan_sig.contains("group state capped at 4 groups") && plan_sig.contains("groups_dropped"),
+        "plan profile missing the overflow annotation: {plan_sig}"
+    );
+    // The cap binds per window: at most 4 groups survive each.
+    let mut per_window = std::collections::BTreeMap::<i64, usize>::new();
+    for (w, _, degraded) in &rows {
+        *per_window.entry(*w).or_default() += 1;
+        assert!(
+            degraded,
+            "overflowed windows must mark surviving rows degraded"
+        );
+    }
+    assert!(
+        per_window.values().all(|&n| n <= 4),
+        "cap exceeded: {per_window:?}"
+    );
+}
+
+#[test]
+fn budget_shed_identical_across_partition_counts() {
+    // A budget far below the workload's tap cost: the agent's per-second
+    // tracker sheds most ship work, and the cumulative budget_shed
+    // counters must survive partition routing, max-merge and the ledger
+    // identically for 1 and 4 partitions.
+    let (_, sig, ..) = assert_differential_with(
+        "select bid.user_id, COUNT(*) from bid @[all] \
+         group by bid.user_id window 5 s duration 15 s",
+        false,
+        |c| {
+            c.enforce_host_budget = true;
+            c.host_cpu_budget = 0.0001; // 100k ns of tap work per second
+        },
+    );
+    assert!(
+        sig.split_whitespace().any(|f| f
+            .strip_prefix("budget_shed=")
+            .is_some_and(|v| v.parse::<u64>().unwrap_or(0) > 0)),
+        "the budget tracker never shed: {sig}"
+    );
+}
+
+#[test]
 fn chaos_run_identical_across_partition_counts() {
     // 15% bidirectional loss between the agents and central: the retransmit
     // and dedup machinery runs hot, and the threaded backend must still
@@ -333,4 +419,84 @@ fn chaos_run_identical_across_partition_counts() {
          group by bid.user_id window 5 s duration 15 s",
         true,
     );
+}
+
+// ---------------------------------------------------------------------
+// Admission determinism: a fixed seed + config + submission order must
+// always produce byte-identical admission decisions (the controller
+// prices with the cost model at a configured assumed rate — wall-clock
+// never enters the decision).
+
+use proptest::prelude::*;
+use scrub_core::config::AdmissionPolicy;
+use scrub_server::{AdmissionDecision, QueryServerNode};
+
+/// Build the DualHost deployment with the given admission config, submit
+/// `queries` in order, and return (admission log, accepted ids).
+fn admission_run(
+    policy: AdmissionPolicy,
+    budget: f64,
+    rate: f64,
+    queries: &[String],
+) -> (Vec<AdmissionDecision>, Vec<Option<u64>>) {
+    let mut config = ScrubConfig::default();
+    config.admission = policy;
+    config.host_cpu_budget = budget;
+    config.admission_events_per_host_per_sec = rate;
+    let mut sim: Sim<ScrubMsg> = Sim::new(Topology::default(), 7);
+    let reg = registry();
+    let central = deploy_central(&mut sim, &reg, config.clone(), "DC1");
+    for i in 0..3 {
+        let dc = if i % 2 == 0 { "DC1" } else { "DC2" };
+        let name = format!("dual-{i}");
+        sim.add_node(
+            NodeMeta::new(name.clone(), "DualServers", dc),
+            Box::new(DualHost {
+                harness: AgentHarness::new(&name, config.clone(), central),
+                emitted: 0,
+            }),
+        );
+    }
+    let d = deploy_server(&mut sim, reg, config, central, "DC1");
+    let client = ScrubClient::new(&d);
+    let accepted: Vec<Option<u64>> = queries
+        .iter()
+        .map(|q| client.submit(&mut sim, q).ok().map(|h| h.id().0))
+        .collect();
+    let server = sim
+        .node_as::<QueryServerNode<ScrubMsg>>(d.server)
+        .expect("server node");
+    (server.admission_log.clone(), accepted)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn admission_decisions_deterministic(
+        policy_idx in 0usize..3,
+        budget in 1e-4f64..1e-2,
+        rate in 1_000.0f64..50_000.0,
+        n in 1usize..7,
+    ) {
+        let policy = [
+            AdmissionPolicy::Reject,
+            AdmissionPolicy::Degrade,
+            AdmissionPolicy::Evict,
+        ][policy_idx];
+        let pool = [
+            "select COUNT(*) from bid @[all] window 5 s duration 15 s",
+            "select bid.user_id, COUNT(*) from bid @[all] \
+             group by bid.user_id window 5 s duration 15 s",
+            "select AVG(bid.price) from bid @[all] window 5 s duration 15 s",
+            "select COUNT(*) from impression @[all] window 5 s duration 15 s",
+        ];
+        let queries: Vec<String> = (0..n).map(|i| pool[i % pool.len()].to_string()).collect();
+        let (log_a, acc_a) = admission_run(policy, budget, rate, &queries);
+        let (log_b, acc_b) = admission_run(policy, budget, rate, &queries);
+        // Every submission that parsed gets exactly one logged decision.
+        prop_assert_eq!(log_a.len(), queries.len());
+        prop_assert_eq!(log_a, log_b);
+        prop_assert_eq!(acc_a, acc_b);
+    }
 }

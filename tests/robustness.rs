@@ -364,6 +364,7 @@ fn queries_survive_extreme_join_fanout() {
             matched: 1000,
             sampled: 1000,
             shed: 0,
+            budget_shed: 0,
             seen: 1000,
             bytes: 0,
             spans: vec![],
