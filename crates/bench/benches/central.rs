@@ -1,5 +1,6 @@
 //! Criterion benchmarks of ScrubCentral's ingest path: grouped
-//! aggregation, the request-id equi-join, and partitioned execution.
+//! aggregation, the request-id equi-join, and partitioned execution
+//! (batch-granularity hand-off behind the `IngestBackend` split).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 

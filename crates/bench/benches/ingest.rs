@@ -1,6 +1,7 @@
-//! Criterion benchmarks of the parallel ingest pipeline: single-pass
-//! routing + threaded partition ingest for aggregate and join queries,
-//! against the `partitions = 1` inline fast path.
+//! Criterion benchmarks of the parallel ingest pipeline: whole-batch
+//! hand-off + per-partition pre-folding for aggregate queries and
+//! request-id-split routing for joins (the `ThreadedBackend`), against
+//! the `partitions = 1` `InlineBackend` fast path.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
@@ -123,7 +124,8 @@ fn bench_ingest(c: &mut Criterion) {
         });
     }
 
-    // Join mode: request-id routing keeps the join partition-local.
+    // Join mode: request-id shard routing keeps the join partition-local
+    // (the only plan shape that still splits batches).
     for parts in [1usize, 4] {
         let name = format!("join_p{parts}_10k");
         g.bench_function(&name, |b| {

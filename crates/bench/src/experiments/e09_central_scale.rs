@@ -15,7 +15,7 @@
 use std::time::Instant;
 
 use scrub_agent::EventBatch;
-use scrub_central::{PartitionedExecutor, ResultRow};
+use scrub_central::{ExecutorStats, PartitionedExecutor, ResultRow};
 use scrub_core::config::ScrubConfig;
 use scrub_core::event::{Event, RequestId};
 use scrub_core::plan::{compile, CentralPlan, QueryId};
@@ -173,9 +173,24 @@ fn make_batches(n: usize) -> Vec<EventBatch> {
 }
 
 /// Ingest the batch feed through the production executor at `parts`
-/// partitions; returns (events/sec, sorted rendered rows, backpressure
-/// stalls).
-fn throughput(batches: &[EventBatch], parts: usize) -> (f64, Vec<ResultRow>, u64) {
+/// partitions; returns (events/sec, sorted rendered rows, the final
+/// executor stats snapshot — backpressure stalls plus per-worker
+/// busy/idle clocks).
+fn throughput(batches: &[EventBatch], parts: usize) -> (f64, Vec<ResultRow>, ExecutorStats) {
+    // Warm-up: run a slice of the feed through a throwaway executor with
+    // the same partition count, so thread spawn, allocator growth and the
+    // ingest code paths are hot before the timed section. (The timed
+    // executor must be fresh — re-ingesting into the warm one would drop
+    // everything as late after its advance.)
+    {
+        let take = (batches.len() / 4).max(1);
+        let mut warm = PartitionedExecutor::new(plan(), 0, parts);
+        for batch in batches.iter().take(take).cloned() {
+            warm.ingest(batch);
+        }
+        let _ = warm.advance(i64::MAX / 4);
+    }
+
     let n: usize = batches.iter().map(|b| b.events.len()).sum();
     let mut exec = PartitionedExecutor::new(plan(), 0, parts);
     let feed = batches.to_vec(); // clone outside the timed section
@@ -187,14 +202,14 @@ fn throughput(batches: &[EventBatch], parts: usize) -> (f64, Vec<ResultRow>, u64
     let mut rows = exec.advance(i64::MAX / 4);
     let elapsed = start.elapsed().as_secs_f64();
 
-    let stalls = exec.take_backpressure();
+    let stats = exec.stats();
     rows.sort_by_key(|r| {
         (
             r.window_start_ms,
             r.values.iter().map(Value::group_key).collect::<Vec<_>>(),
         )
     });
-    (n as f64 / elapsed, rows, stalls)
+    (n as f64 / elapsed, rows, stats)
 }
 
 /// Run E09.
@@ -211,9 +226,10 @@ pub fn run(quick: bool) -> Report {
         "speedup",
         "result_rows",
         "backpressure",
+        "worker_busy",
     ]);
     let mut base = 0.0;
-    let mut results = Vec::new();
+    let mut results: Vec<(usize, f64, ExecutorStats)> = Vec::new();
     let mut reference_rows: Option<Vec<ResultRow>> = None;
     let mut same_answers = true;
     let mut warnings = String::new();
@@ -225,21 +241,30 @@ pub fn run(quick: bool) -> Report {
                  this point, only the threading overhead.\n"
             ));
         }
-        let (eps, rows, stalls) = throughput(&batches, parts);
+        let (eps, rows, stats) = throughput(&batches, parts);
         if parts == 1 {
             base = eps;
             reference_rows = Some(rows.clone());
         } else if reference_rows.as_deref() != Some(&rows) {
             same_answers = false;
         }
-        results.push((parts, eps, stalls));
+        // Mean busy share across workers: near 1.0 means the fold is the
+        // bottleneck, low values point at the router / hand-off.
+        let busy_share = {
+            let (busy, total) = stats.workers.iter().fold((0u64, 0u64), |(b, t), w| {
+                (b + w.busy_ns, t + w.busy_ns + w.idle_ns)
+            });
+            (total > 0).then(|| busy as f64 / total as f64)
+        };
         t.row(vec![
             parts.to_string(),
             format!("{eps:.0}"),
             format!("{:.2}x", eps / base),
             rows.len().to_string(),
-            stalls.to_string(),
+            stats.backpressure_stalls.to_string(),
+            busy_share.map_or("-".into(), |s| format!("{:.0}%", s * 100.0)),
         ]);
+        results.push((parts, eps, stats));
     }
 
     let speedup_at_4 = results
@@ -294,16 +319,29 @@ fn write_bench_json(
     events: usize,
     quick: bool,
     base: f64,
-    results: &[(usize, f64, u64)],
+    results: &[(usize, f64, ExecutorStats)],
 ) {
     let runs: Vec<String> = results
         .iter()
-        .map(|(parts, eps, stalls)| {
+        .map(|(parts, eps, stats)| {
+            let workers: Vec<String> = stats
+                .workers
+                .iter()
+                .map(|w| {
+                    format!(
+                        "{{ \"partition\": {}, \"busy_ns\": {}, \"idle_ns\": {} }}",
+                        w.partition, w.busy_ns, w.idle_ns
+                    )
+                })
+                .collect();
             format!(
                 "    {{ \"partitions\": {parts}, \"events_per_sec\": {:.0}, \
-                 \"speedup_vs_1\": {:.3}, \"backpressure_stalls\": {stalls} }}",
+                 \"speedup_vs_1\": {:.3}, \"backpressure_stalls\": {}, \
+                 \"workers\": [{}] }}",
                 eps,
-                if base > 0.0 { eps / base } else { 0.0 }
+                if base > 0.0 { eps / base } else { 0.0 },
+                stats.backpressure_stalls,
+                workers.join(", ")
             )
         })
         .collect();

@@ -8,7 +8,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
 
-use scrub_agent::{CostModel, EventBatch};
+use scrub_agent::EventBatch;
 use scrub_core::event::Event;
 use scrub_core::plan::{CentralPlan, OperatorKind, OutputCol, OutputMode};
 use scrub_core::value::{GroupKey, Value};
@@ -17,50 +17,11 @@ use scrub_sketch::{estimate_total, HostSample, Welford};
 
 use crate::agg::AggState;
 use crate::row::{QuerySummary, ResultRow};
+use crate::totals::{HostId, TotalsTracker};
 
 /// Safety cap on the per-request join cross-product (a request with tens of
 /// thousands of exclusions joined to several bids could otherwise explode).
 pub const MAX_JOIN_ROWS_PER_REQUEST: usize = 100_000;
-
-/// Cumulative per-host counters extracted from batch headers.
-#[derive(Debug, Clone, Copy, Default)]
-struct HostTotals {
-    matched: u64,
-    sampled: u64,
-    shed: u64,
-    budget_shed: u64,
-    seen: u64,
-    bytes: u64,
-}
-
-/// Dense id for an interned host name; per-batch and per-event host
-/// bookkeeping uses the id instead of cloning the host `String`.
-type HostId = u32;
-
-/// Host-name interner: one `Arc<str>` allocation the first time a host is
-/// seen, integer keys everywhere after.
-#[derive(Debug, Default)]
-struct HostTable {
-    ids: HashMap<Arc<str>, HostId>,
-    names: Vec<Arc<str>>,
-}
-
-impl HostTable {
-    fn intern(&mut self, name: &str) -> HostId {
-        if let Some(&id) = self.ids.get(name) {
-            return id;
-        }
-        let id = self.names.len() as HostId;
-        let arc: Arc<str> = Arc::from(name);
-        self.names.push(arc.clone());
-        self.ids.insert(arc, id);
-        id
-    }
-
-    fn name(&self, id: HostId) -> &str {
-        &self.names[id as usize]
-    }
-}
 
 /// Central-side operator counters for `EXPLAIN ANALYZE`. One partition's
 /// executor counts only the (disjoint) event slice routed to it, so the
@@ -267,12 +228,14 @@ pub struct QueryExecutor {
     plan: Arc<CentralPlan>,
     grace_ms: i64,
     windows: BTreeMap<i64, WindowState>,
-    /// Interned host names (batch headers carry the host as a `String`;
-    /// everything per-host below keys on the dense id).
-    hosts: HostTable,
-    /// Cumulative counters per (host, event type) — one agent subscription
-    /// each; see `EventBatch::type_id`.
-    host_totals: HashMap<(HostId, scrub_core::schema::EventTypeId), HostTotals>,
+    /// Interned host names plus cumulative per-(host, subscription) header
+    /// counters (see [`TotalsTracker`]). Under the batch pipeline only the
+    /// component that sees every batch once holds authoritative totals:
+    /// this executor when fed through [`QueryExecutor::ingest`], the
+    /// router when this executor is a partition worker fed through
+    /// [`QueryExecutor::ingest_routed`] (which interns but never observes
+    /// headers, leaving the totals here empty).
+    totals: TotalsTracker,
     /// Per-host value moments per aggregate (only for estimator-eligible
     /// queries: single input, ungrouped, sampled).
     host_moments: HashMap<HostId, Vec<Welford>>,
@@ -309,8 +272,7 @@ impl QueryExecutor {
             plan: plan.into(),
             grace_ms,
             windows: BTreeMap::new(),
-            hosts: HostTable::default(),
-            host_totals: HashMap::new(),
+            totals: TotalsTracker::default(),
             host_moments: HashMap::new(),
             scratch: EventScratch::default(),
             stream_out: Vec::new(),
@@ -388,35 +350,29 @@ impl QueryExecutor {
     /// `(N/n) · (ΣM_i/Σm_i)` using observed totals (Eq. 1's population
     /// scale, applied globally).
     pub fn scale(&self) -> f64 {
-        let host_scale = if self.plan.host_info.selected > 0 && self.plan.host_info.matching > 0 {
-            self.plan.host_info.matching as f64 / self.plan.host_info.selected as f64
-        } else {
-            1.0
-        };
-        let (m, s) = self
-            .host_totals
-            .values()
-            .fold((0u64, 0u64), |(m, s), t| (m + t.matched, s + t.sampled));
-        let event_scale = if s > 0 { m as f64 / s as f64 } else { 1.0 };
-        host_scale * event_scale
+        self.totals.scale(&self.plan)
     }
 
-    /// Ingest one batch from a host agent.
+    /// Ingest one batch from a host agent, folding the header totals here
+    /// (the inline path: this executor sees every batch exactly once).
     pub fn ingest(&mut self, batch: EventBatch) {
         debug_assert_eq!(batch.query_id, self.plan.query_id);
-        // Counters are cumulative and monotonic per (host, subscription);
-        // batches can be reordered in flight (delivery delay grows with
-        // batch size), so merge with max rather than last-writer-wins.
-        let t0 = Instant::now();
-        let hid = self.hosts.intern(&batch.host);
-        let totals = self.host_totals.entry((hid, batch.type_id)).or_default();
-        totals.matched = totals.matched.max(batch.matched);
-        totals.sampled = totals.sampled.max(batch.sampled);
-        totals.shed = totals.shed.max(batch.shed);
-        totals.budget_shed = totals.budget_shed.max(batch.budget_shed);
-        totals.seen = totals.seen.max(batch.seen);
-        totals.bytes = totals.bytes.max(batch.bytes);
+        let hid = self.totals.observe_header(&batch);
+        self.ingest_events(hid, batch.events);
+    }
 
+    /// Ingest a batch routed down from a partitioned router that already
+    /// observed the header: the host is interned (estimator moments key on
+    /// it) but the cumulative counters are *not* folded here — the router
+    /// is authoritative for totals, scale, and host-side profile figures.
+    pub fn ingest_routed(&mut self, batch: EventBatch) {
+        debug_assert_eq!(batch.query_id, self.plan.query_id);
+        let hid = self.totals.intern(&batch.host);
+        self.ingest_events(hid, batch.events);
+    }
+
+    fn ingest_events(&mut self, hid: HostId, events: Vec<Event>) {
+        let t0 = Instant::now();
         // Downstream-operator ns accounted inside the loop is subtracted
         // from the decode attribution below.
         let inner_before = self.inner_op_ns();
@@ -424,7 +380,7 @@ impl QueryExecutor {
         // Take the scratch buffers for the duration of the batch (they
         // cannot stay borrowed through the `&mut self` calls below).
         let mut scratch = std::mem::take(&mut self.scratch);
-        for ev in batch.events {
+        for ev in events {
             self.opc.decode_rows_in += 1;
             let Some(input_idx) = self.plan.input_index(ev.type_id) else {
                 continue; // not part of this query
@@ -622,7 +578,9 @@ impl QueryExecutor {
     /// the partitioned executor; aggregate mode only — stream rows still
     /// come out of [`QueryExecutor::advance_stream_only`]).
     pub fn take_closed_partials(&mut self, now_ms: i64) -> Vec<WindowPartial> {
-        let cutoff = now_ms - self.plan.window_ms - self.grace_ms;
+        let cutoff = now_ms
+            .saturating_sub(self.plan.window_ms)
+            .saturating_sub(self.grace_ms);
         let mut due: Vec<i64> = self
             .windows
             .keys()
@@ -802,32 +760,19 @@ impl QueryExecutor {
     /// Close everything and produce the end-of-query summary.
     pub fn finish(&mut self) -> (Vec<ResultRow>, QuerySummary) {
         let rows = self.advance(i64::MAX / 4);
-        let (total_matched, total_sampled, total_shed, total_budget_shed) = self
-            .host_totals
-            .values()
-            .fold((0, 0, 0, 0), |(m, s, d, b), t| {
-                (m + t.matched, s + t.sampled, d + t.shed, b + t.budget_shed)
-            });
-        let distinct_hosts: std::collections::HashSet<HostId> =
-            self.host_totals.keys().map(|(h, _)| *h).collect();
-
+        let (total_matched, total_sampled, total_shed, total_budget_shed) = self.totals.sums();
         let estimates = self.compute_estimates();
-        let hosts_targeted = self.plan.host_info.selected;
-        let hosts_live = distinct_hosts
-            .iter()
-            .filter(|h| !self.dead_hosts.contains(self.hosts.name(**h)))
-            .count();
         let summary = QuerySummary {
             query_id: self.plan.query_id,
-            hosts_reporting: distinct_hosts.len(),
+            hosts_reporting: self.totals.hosts_reporting(),
             total_matched,
             total_sampled,
             total_shed,
             total_budget_shed,
             windows_emitted: self.windows_emitted,
             estimates,
-            hosts_targeted,
-            hosts_live,
+            hosts_targeted: self.plan.host_info.selected,
+            hosts_live: self.totals.hosts_live(&self.dead_hosts),
             degraded_rows: 0,
             duplicate_batches: self.duplicate_batches,
             groups_overflow: self.groups_overflow,
@@ -840,18 +785,20 @@ impl QueryExecutor {
     /// deterministic). Partitions of one query export independently and
     /// the router merges by host name — see
     /// [`HostEstimatorState::merge`].
+    ///
+    /// Hosts appear if they contributed header totals *or* moments: a
+    /// partition worker fed through [`QueryExecutor::ingest_routed`] holds
+    /// moments but no totals (the router is authoritative for `matched`
+    /// there), so the export must not key on totals alone.
     pub fn export_estimator_state(&self) -> Vec<HostEstimatorState> {
-        // (estimator-eligible queries are single-input, so the (host,
-        // type) key degenerates to the host; matched sums over the
-        // host's subscriptions)
-        let mut per_host: BTreeMap<HostId, u64> = BTreeMap::new();
-        for ((h, _), t) in &self.host_totals {
-            *per_host.entry(*h).or_default() += t.matched;
+        let mut per_host = self.totals.per_host_matched();
+        for h in self.host_moments.keys() {
+            per_host.entry(*h).or_insert(0);
         }
         per_host
             .into_iter()
             .map(|(h, matched)| HostEstimatorState {
-                host: self.hosts.name(h).to_string(),
+                host: self.totals.name(h).to_string(),
                 matched,
                 moments: self.host_moments.get(&h).cloned().unwrap_or_default(),
             })
@@ -862,37 +809,14 @@ impl QueryExecutor {
         estimates_from_states(&self.plan, &self.export_estimator_state(), &self.dead_hosts)
     }
 
-    /// Summed header counters for one input's event type across hosts
-    /// (within a host the ingest-time merge already kept the max of the
-    /// monotone cumulative stream).
-    fn input_totals(&self, type_id: scrub_core::schema::EventTypeId) -> HostTotals {
-        let mut out = HostTotals::default();
-        for ((_h, t), totals) in &self.host_totals {
-            if *t == type_id {
-                out.matched += totals.matched;
-                out.sampled += totals.sampled;
-                out.shed += totals.shed;
-                out.seen += totals.seen;
-                out.bytes += totals.bytes;
-            }
-        }
-        out
-    }
-
-    /// Assemble this executor's `EXPLAIN ANALYZE` profile.
-    ///
-    /// Host-side operators are reconstructed *deterministically* from the
-    /// cumulative batch-header counters through the agent's [`CostModel`]
-    /// — the paper's host agents never time their own hot path (that
-    /// would be overhead), so central attributes host ns from the same
-    /// model that the ≤2.5 % CPU envelope is audited against. Central
-    /// operators report the wall-clock counters accumulated above.
-    ///
-    /// Counters that are not partition-invariant (rendered rows, windows
-    /// closed, decode bytes) stay zero here; the partitioned router
-    /// overlays them after merging — see `CentralOpCounters`.
-    pub fn plan_profile(&self) -> PlanProfile {
-        let model = CostModel::default();
+    /// The central-side operator skeleton with this executor's wall-clock
+    /// counters filled in — host-side operators and notes left empty.
+    /// This is what partition workers return from the profile barrier:
+    /// central ops count only the (disjoint) event slice routed to each
+    /// worker and merge by summing, while host ops and notes derive from
+    /// header totals the workers never observe — the router overlays those
+    /// from its own `TotalsTracker`.
+    pub fn plan_profile_partial(&self) -> PlanProfile {
         let mut profile = PlanProfile {
             query_id: self.plan.query_id.0,
             ops: Vec::new(),
@@ -908,33 +832,7 @@ impl QueryExecutor {
                 ..Default::default()
             };
             match desc.kind {
-                OperatorKind::Selection | OperatorKind::Sampling | OperatorKind::Projection => {
-                    let input = &self.plan.inputs[desc.input.expect("host ops carry their input")];
-                    let t = self.input_totals(input.type_id);
-                    match desc.kind {
-                        OperatorKind::Selection => {
-                            op.rows_in = t.seen;
-                            op.rows_out = t.matched;
-                            op.ns = model.selection_ns(t.seen, input.has_predicate);
-                        }
-                        OperatorKind::Sampling => {
-                            // `sampled` counts events actually shipped;
-                            // shed and budget-shed events survived the
-                            // sampling decision too, so the operator's
-                            // selectivity audits against
-                            // (sampled + shed + budget_shed) / matched.
-                            op.rows_in = t.matched;
-                            op.rows_out = t.sampled + t.shed + t.budget_shed;
-                            op.bytes = t.bytes;
-                            op.ns = model.sampling_ns(t.sampled, t.bytes);
-                        }
-                        _ => {
-                            op.rows_in = t.sampled;
-                            op.rows_out = t.sampled;
-                            op.ns = model.projection_ns(t.sampled, input.fields.len());
-                        }
-                    }
-                }
+                OperatorKind::Selection | OperatorKind::Sampling | OperatorKind::Projection => {}
                 OperatorKind::Decode => {
                     op.rows_in = self.opc.decode_rows_in;
                     op.rows_out = self.opc.decode_rows_out;
@@ -968,44 +866,25 @@ impl QueryExecutor {
             }
             profile.ops.push(op);
         }
-        // Notes derive only from replicated headers and plan constants so
-        // every partition produces the identical list (the merge keeps
-        // one copy).
-        let hi = &self.plan.host_info;
-        if hi.selected > 0 && hi.matching > hi.selected {
-            profile.notes.push(format!(
-                "host sampling: {} of {} matching hosts selected (two-stage τ̂, Eqs 1–3)",
-                hi.selected, hi.matching
-            ));
-        }
-        let mut all = HostTotals::default();
-        for input in &self.plan.inputs {
-            let t = self.input_totals(input.type_id);
-            all.matched += t.matched;
-            all.sampled += t.sampled;
-            all.shed += t.shed;
-            all.budget_shed += t.budget_shed;
-        }
-        if self.plan.sample.event_fraction < 1.0 {
-            profile.notes.push(format!(
-                "event sampling {:.0}%: hosts shipped {} of {} matched events",
-                self.plan.sample.event_fraction * 100.0,
-                all.sampled,
-                all.matched
-            ));
-        }
-        if all.shed > 0 {
-            profile.notes.push(format!(
-                "load shedding dropped {} sampled events before ship (accuracy traded for host impact)",
-                all.shed
-            ));
-        }
-        if all.budget_shed > 0 {
-            profile.notes.push(format!(
-                "budget shedding dropped {} sampled events before ship (host CPU budget enforced)",
-                all.budget_shed
-            ));
-        }
+        profile
+    }
+
+    /// Assemble this executor's full `EXPLAIN ANALYZE` profile.
+    ///
+    /// Host-side operators are reconstructed *deterministically* from the
+    /// cumulative batch-header counters through the agent's `CostModel`
+    /// — the paper's host agents never time their own hot path (that
+    /// would be overhead), so central attributes host ns from the same
+    /// model that the ≤2.5 % CPU envelope is audited against. Central
+    /// operators report the wall-clock counters accumulated above.
+    ///
+    /// Counters that are not partition-invariant (rendered rows, windows
+    /// closed, decode bytes) stay zero here; the partitioned router
+    /// overlays them after merging — see `CentralOpCounters`.
+    pub fn plan_profile(&self) -> PlanProfile {
+        let mut profile = self.plan_profile_partial();
+        self.totals.fill_host_ops(&self.plan, &mut profile);
+        profile.notes = self.totals.profile_notes(&self.plan);
         profile
     }
 }

@@ -2,62 +2,48 @@
 //!
 //! A single query at Turn's scale can ingest events from thousands of
 //! hosts; ScrubCentral therefore shards a query's work across partitions.
-//! Events are routed by request id (so the equi-join stays partition-local)
-//! and each partition runs an independent [`QueryExecutor`]; when a window
-//! closes, per-partition *partial* aggregate states are merged by group key
-//! — every [`AggState`](crate::agg::AggState) is mergeable for exactly this
+//! Each partition runs an independent [`QueryExecutor`](crate::QueryExecutor)
+//! and folds its own
+//! group/window state; when a window closes, per-partition *partial*
+//! aggregate states are merged by group key — every
+//! [`AggState`](crate::agg::AggState) is mergeable for exactly this
 //! reason.
 //!
-//! # Threading model
+//! The execution strategy lives behind the sealed
+//! [`IngestBackend`] trait:
 //!
-//! With `partitions == 1` the executor runs **inline** on the caller's
-//! thread — no channels, no threads, bit-identical to the historical
-//! sequential path; this is the deterministic reference all differential
-//! tests compare against. With `partitions >= 2` each partition owns a
-//! persistent OS worker thread fed by a bounded SPSC command channel:
+//! * [`InlineBackend`] (`partitions == 1`) runs on the caller's thread —
+//!   no channels, no threads, bit-identical to the historical sequential
+//!   path. This is the deterministic reference all differential tests
+//!   compare against.
+//! * [`ThreadedBackend`]
+//!   (`partitions >= 2`) hands whole batches to per-partition worker
+//!   threads over deep bounded channels, with router-side header
+//!   accounting, pre-folded two-phase aggregation, and an amortized
+//!   advance protocol that only pays the cross-partition barrier when a
+//!   window is actually due — see the `threaded` module docs.
 //!
-//! * `ingest` splits the batch **once** by request-id hash into
-//!   per-partition sub-batches (every event goes to exactly one
-//!   partition; every sub-batch keeps the header so cumulative host
-//!   counters replicate) and enqueues them. A full channel is counted as
-//!   a backpressure stall — visible through
-//!   [`PartitionedExecutor::take_backpressure`], never silently absorbed
-//!   — before the caller blocks.
-//! * `advance` is a synchronous barrier: every worker drains its stream
-//!   rows and closed-window partials onto a shared reply channel; replies
-//!   are re-ordered by partition index and partials merged by group key,
-//!   so the output is deterministic regardless of thread scheduling.
-//! * `finish` is a broadcast barrier: every partition exports its
-//!   per-host estimator moments, and the router merges them before
-//!   computing the Eq 1–3 estimates — one partition's slice alone would
-//!   bias them (see [`PartitionedExecutor::finish`]).
-//! * workers are joined on drop (or when `finish` tears the query down).
-//!
-//! Each threaded query owns `partitions` worker threads plus `partitions`
-//! bounded channels of up to [`INGEST_CHANNEL_CAP`] sub-batches for its
-//! whole lifetime; with N concurrently installed queries that is N×p
-//! threads. A shared cross-query pool is future work — until then, size
-//! `central_partitions` with the expected concurrent query count in mind.
+//! This router owns everything that must be partition-count-invariant:
+//! it observes each batch exactly once (events routed, bytes decoded),
+//! merges and re-caps closed windows' group states, renders result rows,
+//! marks degradation, and overlays the merged `EXPLAIN ANALYZE` profile.
+//! Its observability surface is one call: [`PartitionedExecutor::stats`]
+//! returns an [`ExecutorStats`] snapshot.
 
 use std::collections::BTreeMap;
-use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
 
 use scrub_agent::EventBatch;
-use scrub_core::event::Event;
 use scrub_core::plan::{CentralPlan, OperatorKind, OutputCol, OutputMode};
 use scrub_core::value::{GroupKey, Value};
 use scrub_obs::PlanProfile;
 
-use crate::executor::{
-    estimates_from_states, GroupState, HostEstimatorState, QueryExecutor, WindowPartial,
-};
+use crate::backend::{BackendAdvance, IngestBackend, InlineBackend};
+use crate::executor::GroupState;
 use crate::row::{QuerySummary, ResultRow};
-
-/// Per-partition command-channel capacity (sub-batches in flight). Beyond
-/// it the router records a backpressure stall and blocks.
-pub const INGEST_CHANNEL_CAP: usize = 128;
+use crate::stats::ExecutorStats;
+use crate::threaded::ThreadedBackend;
 
 /// One aggregate window closing (for self-observability: ScrubCentral
 /// taps a `scrub_window` meta-event per close and feeds the per-query
@@ -72,236 +58,9 @@ pub struct WindowClose {
     pub degraded: bool,
 }
 
-/// Commands the router sends each partition worker.
-enum Cmd {
-    /// A pre-routed sub-batch (header always present, events may be empty
-    /// so cumulative host counters replicate to every partition).
-    Ingest(EventBatch),
-    /// Replace the suspected-dead host set.
-    SetDeadHosts(std::collections::HashSet<String>),
-    /// Barrier: drain stream rows + closed partials up to `now_ms`.
-    Advance(i64),
-    /// Produce the end-of-query summary and exported estimator state
-    /// (broadcast: every partition holds a slice of each host's sampled
-    /// moments, so the router must merge all of them).
-    Finish,
-    /// Exit the worker loop.
-    Shutdown,
-}
-
-/// One partition's contribution to an [`Cmd::Advance`] barrier.
-struct AdvanceReply {
-    stream_rows: Vec<ResultRow>,
-    partials: Vec<WindowPartial>,
-    scale: f64,
-    open_windows: usize,
-    join_rows_held: u64,
-    profile: PlanProfile,
-}
-
-enum ReplyBody {
-    Advance(AdvanceReply),
-    Finish {
-        summary: Box<QuerySummary>,
-        estimator: Vec<HostEstimatorState>,
-        profile: Box<PlanProfile>,
-    },
-}
-
-struct Reply {
-    part: usize,
-    body: ReplyBody,
-}
-
-/// A partition worker: bounded command channel + joinable thread.
-struct Worker {
-    tx: mpsc::SyncSender<Cmd>,
-    handle: Option<std::thread::JoinHandle<()>>,
-}
-
-/// The persistent thread pool behind a threaded executor.
-struct WorkerPool {
-    workers: Vec<Worker>,
-    reply_rx: mpsc::Receiver<Reply>,
-    /// Gauges cached from the latest advance barrier (partition threads
-    /// own the live state; these lag by at most one advance tick).
-    open_windows: usize,
-    join_rows_held: u64,
-    /// Per-partition `EXPLAIN ANALYZE` profiles, cached from the latest
-    /// advance barrier and refreshed one final time at the finish
-    /// barrier. Like the gauges above, a live read lags by at most one
-    /// advance tick.
-    profiles: Vec<PlanProfile>,
-}
-
-impl WorkerPool {
-    fn spawn(plan: &Arc<CentralPlan>, grace_ms: i64, partitions: usize) -> Self {
-        let (reply_tx, reply_rx) = mpsc::channel();
-        let workers = (0..partitions)
-            .map(|part| {
-                let (tx, rx) = mpsc::sync_channel::<Cmd>(INGEST_CHANNEL_CAP);
-                let exec = QueryExecutor::new(Arc::clone(plan), grace_ms);
-                let reply_tx = reply_tx.clone();
-                let handle = std::thread::Builder::new()
-                    .name(format!("scrub-central-p{part}"))
-                    .spawn(move || worker_loop(exec, part, rx, reply_tx))
-                    .expect("spawn central partition worker");
-                Worker {
-                    tx,
-                    handle: Some(handle),
-                }
-            })
-            .collect();
-        WorkerPool {
-            workers,
-            reply_rx,
-            open_windows: 0,
-            join_rows_held: 0,
-            profiles: Vec::new(),
-        }
-    }
-
-    /// Send a control command (blocking; control traffic is not counted
-    /// as ingest backpressure).
-    fn send(&self, part: usize, cmd: Cmd) {
-        self.workers[part]
-            .tx
-            .send(cmd)
-            .expect("central partition worker alive");
-    }
-
-    /// Collect exactly one reply per partition and return them in
-    /// partition order — the determinism pivot of the parallel path.
-    fn collect_advance(&mut self) -> Vec<AdvanceReply> {
-        let n = self.workers.len();
-        let mut slots: Vec<Option<AdvanceReply>> = (0..n).map(|_| None).collect();
-        for _ in 0..n {
-            let reply = self
-                .reply_rx
-                .recv()
-                .expect("central partition worker alive");
-            let ReplyBody::Advance(body) = reply.body else {
-                panic!("unexpected reply kind during advance barrier");
-            };
-            slots[reply.part] = Some(body);
-        }
-        slots
-            .into_iter()
-            .map(|s| s.expect("one reply per partition"))
-            .collect()
-    }
-
-    /// Collect one finish reply per partition, in partition order, caching
-    /// each partition's final profile.
-    #[allow(clippy::type_complexity)]
-    fn collect_finish(&mut self) -> Vec<(Box<QuerySummary>, Vec<HostEstimatorState>)> {
-        let n = self.workers.len();
-        let mut slots: Vec<Option<(Box<QuerySummary>, Vec<HostEstimatorState>)>> =
-            (0..n).map(|_| None).collect();
-        let mut profiles: Vec<PlanProfile> = vec![PlanProfile::default(); n];
-        for _ in 0..n {
-            let reply = self
-                .reply_rx
-                .recv()
-                .expect("central partition worker alive");
-            let ReplyBody::Finish {
-                summary,
-                estimator,
-                profile,
-            } = reply.body
-            else {
-                panic!("unexpected reply kind during finish barrier");
-            };
-            profiles[reply.part] = *profile;
-            slots[reply.part] = Some((summary, estimator));
-        }
-        self.profiles = profiles;
-        slots
-            .into_iter()
-            .map(|s| s.expect("one reply per partition"))
-            .collect()
-    }
-}
-
-impl Drop for WorkerPool {
-    fn drop(&mut self) {
-        for w in &self.workers {
-            let _ = w.tx.send(Cmd::Shutdown);
-        }
-        for w in &mut self.workers {
-            if let Some(h) = w.handle.take() {
-                let _ = h.join();
-            }
-        }
-    }
-}
-
-fn worker_loop(
-    mut exec: QueryExecutor,
-    part: usize,
-    rx: mpsc::Receiver<Cmd>,
-    reply_tx: mpsc::Sender<Reply>,
-) {
-    while let Ok(cmd) = rx.recv() {
-        match cmd {
-            Cmd::Ingest(batch) => exec.ingest(batch),
-            Cmd::SetDeadHosts(hosts) => exec.set_dead_hosts(hosts),
-            Cmd::Advance(now_ms) => {
-                let stream_rows = exec.advance_stream_only();
-                let partials = exec.take_closed_partials(now_ms);
-                let body = AdvanceReply {
-                    stream_rows,
-                    partials,
-                    scale: exec.scale(),
-                    open_windows: exec.open_windows(),
-                    join_rows_held: (exec.buffered_events() + exec.open_groups()) as u64,
-                    profile: exec.plan_profile(),
-                };
-                if reply_tx
-                    .send(Reply {
-                        part,
-                        body: ReplyBody::Advance(body),
-                    })
-                    .is_err()
-                {
-                    return; // router gone
-                }
-            }
-            Cmd::Finish => {
-                let estimator = exec.export_estimator_state();
-                let (_, summary) = exec.finish();
-                if reply_tx
-                    .send(Reply {
-                        part,
-                        body: ReplyBody::Finish {
-                            summary: Box::new(summary),
-                            estimator,
-                            profile: Box::new(exec.plan_profile()),
-                        },
-                    })
-                    .is_err()
-                {
-                    return;
-                }
-            }
-            Cmd::Shutdown => return,
-        }
-    }
-}
-
-/// How the partitions execute.
-enum Backend {
-    /// `partitions == 1`: the historical sequential path, inline on the
-    /// caller's thread. Deterministic reference. (Boxed: the executor is
-    /// much larger than the threaded pool handle.)
-    Inline(Box<QueryExecutor>),
-    /// `partitions >= 2`: one worker thread per partition.
-    Threaded(WorkerPool),
-}
-
 /// Runs one query across `p` partitions and merges window results.
 pub struct PartitionedExecutor {
-    backend: Backend,
+    backend: Box<dyn IngestBackend>,
     plan: Arc<CentralPlan>,
     /// Hosts suspected dead right now; rows emitted while this is
     /// non-empty are marked degraded.
@@ -310,19 +69,20 @@ pub struct PartitionedExecutor {
     duplicate_batches: u64,
     /// Window closes since the last [`take_window_closes`] drain.
     closes: Vec<WindowClose>,
-    /// Ingest stalls: sub-batch sends that found a partition's channel
-    /// full and had to block. Drained by [`take_backpressure`].
+    /// Ingest stalls: hand-offs that found a partition's channel full and
+    /// had to block. Cumulative (snapshot via [`Self::stats`]; callers
+    /// needing deltas diff snapshots).
     backpressure: u64,
-    /// Events routed to partitions since creation (each counted exactly
-    /// once — see [`split_by_request_id`]).
+    /// Events routed to the backend since creation (each counted exactly
+    /// once, whether the batch was handed off whole or split by request
+    /// id).
     events_routed: u64,
     /// Windows rendered with at least one group. Counted here at the
     /// router (where merged windows are rendered) so the figure is
     /// partition-count-invariant; per-partition executors never render.
     windows_emitted: u64,
     /// `EXPLAIN ANALYZE` counters that are only partition-count-invariant
-    /// when taken at the router: batch bytes decoded (sub-batch headers
-    /// replicate, so per-partition sums would overcount), windows closed
+    /// when taken at the router: batch bytes decoded, windows closed
     /// (each partition closes its own copy of a window), merged group
     /// rows rendered, and the wall-clock spent in merged rendering. These
     /// overlay the corresponding operators of the merged per-partition
@@ -332,24 +92,48 @@ pub struct PartitionedExecutor {
     rendered_rows: u64,
     render_ns: u64,
     /// Rows dropped by the `max_groups` bound: per-partition drops
-    /// (carried on closed [`WindowPartial`]s) plus the router's own
-    /// re-cap of the merged group set. Partition-count invariant — see
+    /// (carried on closed [`WindowPartial`](crate::WindowPartial)s) plus
+    /// the router's own re-cap of the merged group set.
+    /// Partition-count invariant — see
     /// [`update_groups`](crate::executor) for the keep-smallest-keys
     /// argument.
     groups_overflow: u64,
+    /// Advance calls that paid the backend barrier / were answered from
+    /// the watermark alone (the amortized advance protocol).
+    advance_barriers: u64,
+    advances_skipped: u64,
 }
 
 impl PartitionedExecutor {
     /// Create with `partitions >= 1` shards; the compiled plan is shared
-    /// across partitions via `Arc` instead of cloned per partition.
+    /// across partitions via `Arc` instead of cloned per partition. This
+    /// is the single front door: `partitions == 1` gets the inline
+    /// deterministic reference, anything more the threaded batch
+    /// pipeline.
     pub fn new(plan: impl Into<Arc<CentralPlan>>, grace_ms: i64, partitions: usize) -> Self {
         let plan = plan.into();
         let partitions = partitions.max(1);
-        let backend = if partitions == 1 {
-            Backend::Inline(Box::new(QueryExecutor::new(Arc::clone(&plan), grace_ms)))
+        let backend: Box<dyn IngestBackend> = if partitions == 1 {
+            Box::new(InlineBackend::new(Arc::clone(&plan), grace_ms))
         } else {
-            Backend::Threaded(WorkerPool::spawn(&plan, grace_ms, partitions))
+            Box::new(ThreadedBackend::new(
+                Arc::clone(&plan),
+                grace_ms,
+                partitions,
+            ))
         };
+        Self::assemble(backend, plan)
+    }
+
+    /// Wrap a pre-built backend (the plan is taken from it). Lets callers
+    /// that already chose a strategy — or tests exercising one backend
+    /// directly — skip the partition-count dispatch in [`Self::new`].
+    pub fn with_backend(backend: Box<dyn IngestBackend>) -> Self {
+        let plan = backend.plan_arc();
+        Self::assemble(backend, plan)
+    }
+
+    fn assemble(backend: Box<dyn IngestBackend>, plan: Arc<CentralPlan>) -> Self {
         PartitionedExecutor {
             backend,
             plan,
@@ -365,15 +149,14 @@ impl PartitionedExecutor {
             rendered_rows: 0,
             render_ns: 0,
             groups_overflow: 0,
+            advance_barriers: 0,
+            advances_skipped: 0,
         }
     }
 
     /// Number of partitions.
     pub fn partitions(&self) -> usize {
-        match &self.backend {
-            Backend::Inline(_) => 1,
-            Backend::Threaded(pool) => pool.workers.len(),
-        }
+        self.backend.partitions()
     }
 
     /// The compiled plan this executor runs (window/slide/mode — used by
@@ -383,28 +166,17 @@ impl PartitionedExecutor {
     }
 
     /// The partition an event with this request id routes to (`0` on the
-    /// inline backend). Same hash as `split_by_request_id`, exposed so
-    /// lifecycle traces can record the `Route` hop without re-deriving
-    /// the mixer.
+    /// inline backend; the upcoming round-robin partition for whole-batch
+    /// routed plans). Exposed so lifecycle traces can record the `Route`
+    /// hop without re-deriving the routing.
     pub fn route_partition(&self, request_id: u64) -> usize {
-        match &self.backend {
-            Backend::Inline(_) => 0,
-            Backend::Threaded(pool) => (mix(request_id) % pool.workers.len() as u64) as usize,
-        }
+        self.backend.route_partition(request_id)
     }
 
     /// Replace the set of hosts suspected dead: future rows are marked
-    /// degraded and the dead hosts' samples leave every partition's
-    /// estimator.
+    /// degraded and the dead hosts' samples leave the estimator.
     pub fn set_dead_hosts(&mut self, hosts: std::collections::HashSet<String>) {
-        match &mut self.backend {
-            Backend::Inline(part) => part.set_dead_hosts(hosts.clone()),
-            Backend::Threaded(pool) => {
-                for i in 0..pool.workers.len() {
-                    pool.send(i, Cmd::SetDeadHosts(hosts.clone()));
-                }
-            }
-        }
+        self.backend.set_dead_hosts(&hosts);
         self.dead_hosts = hosts;
     }
 
@@ -418,131 +190,72 @@ impl PartitionedExecutor {
         self.duplicate_batches += 1;
     }
 
-    /// Result rows emitted while some targeted host was suspected dead.
-    pub fn degraded_rows(&self) -> u64 {
-        self.degraded_rows
-    }
-
-    /// Rows dropped so far by the `max_groups` bound (per-partition drops
-    /// plus the router's merge re-cap; partition-count invariant).
-    pub fn groups_overflow(&self) -> u64 {
-        self.groups_overflow
-    }
-
     /// Drain the window closes recorded since the last call.
     pub fn take_window_closes(&mut self) -> Vec<WindowClose> {
         std::mem::take(&mut self.closes)
     }
 
-    /// Windows currently open (largest across partitions — partitions
-    /// share window boundaries, they just see different event subsets).
-    /// On the threaded backend this is the gauge captured at the latest
-    /// advance barrier.
-    pub fn open_windows(&self) -> usize {
-        match &self.backend {
-            Backend::Inline(part) => part.open_windows(),
-            Backend::Threaded(pool) => pool.open_windows,
+    /// Snapshot every observable counter in one call. Replaces the
+    /// pre-redesign getter-per-counter API; all fields are cumulative
+    /// (see [`ExecutorStats`] for per-field semantics and which are
+    /// partition-invariant).
+    pub fn stats(&self) -> ExecutorStats {
+        let (open_windows, join_rows_held) = self.backend.gauges();
+        ExecutorStats {
+            partitions: self.backend.partitions(),
+            events_routed: self.events_routed,
+            backpressure_stalls: self.backpressure,
+            degraded_rows: self.degraded_rows,
+            duplicate_batches: self.duplicate_batches,
+            groups_overflow: self.groups_overflow,
+            windows_emitted: self.windows_emitted,
+            open_windows,
+            join_rows_held,
+            advance_barriers: self.advance_barriers,
+            advances_skipped: self.advances_skipped,
+            workers: self.backend.worker_times(),
         }
     }
 
-    /// Join/group state rows currently buffered across partitions (on the
-    /// threaded backend: as of the latest advance barrier).
-    pub fn join_rows_held(&self) -> u64 {
-        match &self.backend {
-            Backend::Inline(part) => (part.buffered_events() + part.open_groups()) as u64,
-            Backend::Threaded(pool) => pool.join_rows_held,
-        }
-    }
-
-    /// Drain the backpressure-stall count accumulated since the last call
-    /// (sub-batch sends that found a partition channel full and blocked).
-    pub fn take_backpressure(&mut self) -> u64 {
-        std::mem::take(&mut self.backpressure)
-    }
-
-    /// Backpressure stalls since the last [`Self::take_backpressure`] drain.
-    pub fn backpressure_events(&self) -> u64 {
-        self.backpressure
-    }
-
-    /// Events routed to partitions so far (each exactly once).
-    pub fn events_routed(&self) -> u64 {
-        self.events_routed
-    }
-
-    /// Route a batch's events to partitions by request id: split once at
-    /// ingest, deliver each event to exactly one partition.
+    /// Hand a batch to the backend: whole-batch round-robin for non-join
+    /// plans, request-id split for joins. Header totals are observed
+    /// exactly once by whichever component is authoritative for them.
     pub fn ingest(&mut self, batch: EventBatch) {
         self.events_routed += batch.events.len() as u64;
-        // Counted once at the router: summing per-partition sub-batch
-        // sizes would replicate the header allowance per partition.
+        // Counted once at the router: per-partition figures would not be
+        // invariant under the partition count.
         self.decode_bytes += batch.approx_bytes() as u64;
-        match &mut self.backend {
-            Backend::Inline(part) => part.ingest(batch),
-            Backend::Threaded(pool) => {
-                let subs = split_by_request_id(batch, pool.workers.len());
-                for (i, sub) in subs.into_iter().enumerate() {
-                    match pool.workers[i].tx.try_send(Cmd::Ingest(sub)) {
-                        Ok(()) => {}
-                        Err(mpsc::TrySendError::Full(cmd)) => {
-                            // Explicit backpressure accounting, then block:
-                            // the caller (central's message loop) slows to
-                            // the partitions' pace instead of buffering
-                            // unboundedly.
-                            self.backpressure += 1;
-                            pool.workers[i]
-                                .tx
-                                .send(cmd)
-                                .expect("central partition worker alive");
-                        }
-                        Err(mpsc::TrySendError::Disconnected(_)) => {
-                            panic!("central partition worker died");
-                        }
-                    }
-                }
-            }
-        }
+        self.backpressure += self.backend.ingest(batch);
     }
 
     /// Emit stream rows and merge+render all windows closed by `now_ms`.
+    ///
+    /// When the backend can prove no window is due
+    /// ([`IngestBackend::needs_advance`]) the barrier is skipped outright
+    /// and only the watermark is recorded — on the threaded backend this
+    /// makes watermark advancement ride the ingest hand-offs, and the
+    /// cross-partition barrier is paid only at window close.
     pub fn advance(&mut self, now_ms: i64) -> Vec<ResultRow> {
-        let mut out = Vec::new();
+        if !self.backend.needs_advance(now_ms) {
+            self.advances_skipped += 1;
+            self.backend.note_watermark(now_ms);
+            return Vec::new();
+        }
+        self.advance_barriers += 1;
+        let BackendAdvance {
+            stream_rows,
+            partials,
+            scale,
+        } = self.backend.advance(now_ms);
+        let mut out = stream_rows;
         // window start → (merged partial groups, rows already dropped by
         // the per-partition `max_groups` bound)
         type WindowAcc = (Vec<(Vec<GroupKey>, GroupState)>, u64);
         let mut by_window: BTreeMap<i64, WindowAcc> = BTreeMap::new();
-        let scale;
-        match &mut self.backend {
-            Backend::Inline(part) => {
-                out.extend(part.advance_stream_only());
-                for partial in part.take_closed_partials(now_ms) {
-                    let acc = by_window.entry(partial.window_start_ms).or_default();
-                    acc.0.extend(partial.groups);
-                    acc.1 += partial.overflow_rows;
-                }
-                scale = part.scale();
-            }
-            Backend::Threaded(pool) => {
-                for i in 0..pool.workers.len() {
-                    pool.send(i, Cmd::Advance(now_ms));
-                }
-                let replies = pool.collect_advance();
-                // Partition 0 saw every host's cumulative counters
-                // (headers replicate), so its scale is authoritative —
-                // mirroring the sequential path.
-                scale = replies[0].scale;
-                pool.open_windows = replies.iter().map(|r| r.open_windows).max().unwrap_or(0);
-                pool.join_rows_held = replies.iter().map(|r| r.join_rows_held).sum();
-                pool.profiles = replies.iter().map(|r| r.profile.clone()).collect();
-                for reply in replies {
-                    out.extend(reply.stream_rows);
-                    for partial in reply.partials {
-                        let acc = by_window.entry(partial.window_start_ms).or_default();
-                        acc.0.extend(partial.groups);
-                        acc.1 += partial.overflow_rows;
-                    }
-                }
-            }
+        for partial in partials {
+            let acc = by_window.entry(partial.window_start_ms).or_default();
+            acc.0.extend(partial.groups);
+            acc.1 += partial.overflow_rows;
         }
         let degraded_now = !self.dead_hosts.is_empty();
         let t_render = Instant::now();
@@ -647,85 +360,39 @@ impl PartitionedExecutor {
     /// Close everything and produce the end-of-query summary.
     ///
     /// Counter totals (matched/sampled/shed, hosts reporting/live) come
-    /// from partition 0 — batch headers replicate to every partition, so
-    /// its cumulative counters are authoritative. The Eq 1–3 estimates do
-    /// **not** replicate: each partition holds the moments of only the
-    /// events it ingested, so every partition exports its per-host
-    /// [`HostEstimatorState`] and the router merges them (Welford states
-    /// combine exactly) before computing the estimates. Partition 0's
-    /// first-seen host order fixes the reduction order, so the result is
-    /// deterministic for a given partition count and matches the inline
-    /// reference up to floating-point rounding of the moment merge.
+    /// from whichever component observed every batch header exactly once
+    /// — the inline executor itself, or the threaded router's
+    /// `TotalsTracker` — so they are identical across
+    /// backends. The Eq 1–3 estimates need every partition's per-host
+    /// Welford moments: the threaded backend merges the workers'
+    /// exports in its first-seen host order before computing them (Welford
+    /// states combine exactly), matching the inline reference up to
+    /// floating-point rounding of the moment merge.
     pub fn finish(&mut self) -> (Vec<ResultRow>, QuerySummary) {
         let rows = self.advance(i64::MAX / 4);
-        let mut summary = match &mut self.backend {
-            Backend::Inline(part) => part.finish().1,
-            Backend::Threaded(pool) => {
-                for i in 0..pool.workers.len() {
-                    pool.send(i, Cmd::Finish);
-                }
-                let replies = pool.collect_finish();
-                let mut merged: Vec<HostEstimatorState> = Vec::new();
-                let mut index: std::collections::HashMap<String, usize> =
-                    std::collections::HashMap::new();
-                let mut summary0: Option<Box<QuerySummary>> = None;
-                for (part, (summary, states)) in replies.into_iter().enumerate() {
-                    if part == 0 {
-                        summary0 = Some(summary);
-                    }
-                    for st in states {
-                        match index.get(&st.host) {
-                            Some(&i) => merged[i].merge(st),
-                            None => {
-                                index.insert(st.host.clone(), merged.len());
-                                merged.push(st);
-                            }
-                        }
-                    }
-                }
-                let mut summary = *summary0.expect("partition 0 always replies");
-                summary.estimates = estimates_from_states(&self.plan, &merged, &self.dead_hosts);
-                summary
-            }
-        };
+        let mut summary = self.backend.finish_summary(&self.dead_hosts);
+        // Overridden from the router, which is the only component that
+        // can count these partition-invariantly (it renders the merged
+        // windows and re-caps the merged groups).
         summary.degraded_rows = self.degraded_rows;
         summary.duplicate_batches = self.duplicate_batches;
         summary.windows_emitted = self.windows_emitted;
-        // overridden from the router, where every closed window's
-        // overflow (per-partition drops + merge re-cap) is accumulated
         summary.groups_overflow = self.groups_overflow;
         (rows, summary)
     }
 
     /// The merged `EXPLAIN ANALYZE` profile of this query.
     ///
-    /// Per-partition profiles merge under the [`PlanProfile`] contract
-    /// (host-side operators by max — headers replicate — central-side by
-    /// sum over disjoint event slices); the router then overlays the
-    /// counters only it can measure partition-invariantly: decoded batch
-    /// bytes, windows closed/emitted, merged group rows rendered and the
-    /// render wall-clock. On the threaded backend the inputs are the
-    /// profiles cached at the latest advance barrier (≤ 1 tick stale
-    /// while live; final after [`Self::finish`]).
+    /// The backend provides its merged profile (inline: the executor's
+    /// own; threaded: a profile barrier that collects each worker's
+    /// central-op slice, sums them, and overlays host ops + notes from
+    /// the router-side totals — always fresh, never a tick stale). The
+    /// router then overlays the counters only it can measure
+    /// partition-invariantly: decoded batch bytes, windows
+    /// closed/emitted, merged group rows rendered and the render
+    /// wall-clock.
     pub fn plan_profile(&self) -> PlanProfile {
-        let mut merged = match &self.backend {
-            Backend::Inline(part) => part.plan_profile(),
-            Backend::Threaded(pool) => {
-                let mut it = pool.profiles.iter();
-                match it.next() {
-                    Some(first) => {
-                        let mut acc = first.clone();
-                        for p in it {
-                            acc.merge(p);
-                        }
-                        acc
-                    }
-                    // No barrier yet: a fresh executor yields the
-                    // all-zero operator skeleton for this plan.
-                    None => QueryExecutor::new(Arc::clone(&self.plan), 0).plan_profile(),
-                }
-            }
-        };
+        let mut merged = self.backend.plan_profile();
         for desc in self.plan.operators() {
             let Some(op) = merged.op_mut(desc.id.0) else {
                 continue;
@@ -753,55 +420,10 @@ impl PartitionedExecutor {
     }
 }
 
-/// Split a batch by request-id hash into one sub-batch per partition in a
-/// single pass. Every event lands in exactly one sub-batch; every
-/// sub-batch carries the original header (host + cumulative
-/// matched/sampled/shed counters) so each partition's estimator sees the
-/// full per-host totals even when its event slice is empty.
-fn split_by_request_id(batch: EventBatch, partitions: usize) -> Vec<EventBatch> {
-    let p = partitions as u64;
-    let mut shards: Vec<Vec<Event>> = (0..partitions).map(|_| Vec::new()).collect();
-    let total = batch.events.len();
-    for ev in batch.events {
-        let shard = (mix(ev.request_id.0) % p) as usize;
-        shards[shard].push(ev);
-    }
-    debug_assert_eq!(
-        shards.iter().map(Vec::len).sum::<usize>(),
-        total,
-        "split must route every event to exactly one partition"
-    );
-    shards
-        .into_iter()
-        .map(|events| EventBatch {
-            query_id: batch.query_id,
-            seq: batch.seq,
-            attempt: batch.attempt,
-            type_id: batch.type_id,
-            host: batch.host.clone(),
-            events,
-            matched: batch.matched,
-            sampled: batch.sampled,
-            shed: batch.shed,
-            budget_shed: batch.budget_shed,
-            seen: batch.seen,
-            bytes: batch.bytes,
-            spans: vec![],
-        })
-        .collect()
-}
-
-/// splitmix64-style mixer for request-id routing.
-fn mix(x: u64) -> u64 {
-    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::threaded::{mix, split_by_request_id};
     use scrub_core::config::ScrubConfig;
     use scrub_core::event::{Event, RequestId};
     use scrub_core::plan::{compile, HostSampleInfo, QueryId};
@@ -931,28 +553,35 @@ mod tests {
         let mut multi = PartitionedExecutor::new(plan_for(src), 0, 4);
         // values 1..=100; avg = 50.5 — merging naive per-partition
         // averages unweighted would only coincide by luck; Welford merge is
-        // weighted and exact.
-        let events: Vec<Event> = (1..=100)
-            .map(|i| ev(0, i, 1_000, vec![Value::Double(i as f64)]))
-            .collect();
-        multi.ingest(EventBatch {
-            seq: 0,
-            attempt: 0,
-            query_id: QueryId(5),
-            type_id: EventTypeId(0),
-            host: "h1".into(),
-            events,
-            matched: 100,
-            sampled: 100,
-            shed: 0,
-            budget_shed: 0,
-            seen: 100,
-            bytes: 0,
-            spans: vec![],
-        });
+        // weighted and exact. Under whole-batch routing a single batch
+        // lands on one partition, so split it to occupy several.
+        for chunk in (1..=100i64).collect::<Vec<_>>().chunks(10) {
+            let events: Vec<Event> = chunk
+                .iter()
+                .map(|i| ev(0, *i as u64, 1_000, vec![Value::Double(*i as f64)]))
+                .collect();
+            multi.ingest(EventBatch {
+                seq: 0,
+                attempt: 0,
+                query_id: QueryId(5),
+                type_id: EventTypeId(0),
+                host: "h1".into(),
+                events,
+                matched: 100,
+                sampled: 100,
+                shed: 0,
+                budget_shed: 0,
+                seen: 100,
+                bytes: 0,
+                spans: vec![],
+            });
+        }
         let rows = multi.advance(60_000);
         assert_eq!(rows.len(), 1);
-        assert_eq!(rows[0].values, vec![Value::Double(50.5)]);
+        let Value::Double(avg) = rows[0].values[0] else {
+            panic!("AVG renders a Double");
+        };
+        assert_approx(avg, 50.5);
     }
 
     #[test]
@@ -979,39 +608,77 @@ mod tests {
         let batch = feed(10_000);
         let originals: std::collections::HashSet<u64> =
             batch.events.iter().map(|e| e.request_id.0).collect();
-        let subs = split_by_request_id(batch, 7);
-        assert_eq!(subs.len(), 7);
-        // No drops, no duplicates: the union of sub-batch events is exactly
-        // the original event set and counts add up.
+        let shards = split_by_request_id(batch, 7);
+        // Only non-empty shards come back, each tagged with its partition.
+        assert!(shards.len() <= 7);
+        assert!(shards.iter().all(|(_, s)| !s.events.is_empty()));
+        // No drops, no duplicates: the union of shard events is exactly
+        // the original event set.
         let mut seen = std::collections::HashSet::new();
         let mut total = 0usize;
-        for sub in &subs {
-            assert_eq!(sub.host, "h1");
-            assert_eq!(sub.matched, 10_000);
-            assert_eq!(sub.sampled, 10_000);
-            for ev in &sub.events {
+        for (part, shard) in &shards {
+            // The host survives (workers intern it for estimator
+            // moments); cumulative counters are zeroed — the router is
+            // authoritative for totals and must not double-count.
+            assert_eq!(shard.host, "h1");
+            assert_eq!(shard.matched, 0);
+            assert_eq!(shard.sampled, 0);
+            assert_eq!(shard.seen, 0);
+            for ev in &shard.events {
                 assert!(seen.insert(ev.request_id.0), "event routed twice");
                 // routing is by request-id hash, so stable per event
-                assert_eq!(
-                    (mix(ev.request_id.0) % 7) as usize,
-                    subs.iter().position(|s| std::ptr::eq(s, sub)).unwrap()
-                );
+                assert_eq!((mix(ev.request_id.0) % 7) as usize, *part);
             }
-            total += sub.events.len();
+            total += shard.events.len();
         }
         assert_eq!(total, 10_000);
         assert_eq!(seen, originals);
     }
 
     #[test]
-    fn events_routed_counter_counts_each_event_once() {
+    fn stats_counts_each_event_once() {
         let src = "select COUNT(*) from bid window 10 s";
         let mut multi = PartitionedExecutor::new(plan_for(src), 0, 4);
         multi.ingest(feed(500));
         multi.ingest(feed(250));
-        assert_eq!(multi.events_routed(), 750);
+        let stats = multi.stats();
+        assert_eq!(stats.events_routed, 750);
+        assert_eq!(stats.partitions, 4);
+        assert_eq!(stats.workers.len(), 4);
         let (rows, _) = multi.finish();
         assert_eq!(rows.len(), 1);
+        // workers were fed and hit at least one barrier, so their clocks
+        // moved
+        let stats = multi.stats();
+        assert!(stats.advance_barriers >= 1);
+        assert!(stats.workers.iter().any(|w| w.busy_ns > 0));
+    }
+
+    #[test]
+    fn advance_skips_barrier_until_window_due() {
+        let src = "select bid.user_id, COUNT(*) from bid group by bid.user_id window 10 s";
+        let mut multi = PartitionedExecutor::new(plan_for(src), 0, 4);
+        // All events land at ts=1000 → window [0, 10s), closing at 10s
+        // (grace 0): every earlier tick is answerable from the watermark
+        // alone.
+        multi.ingest(feed(100));
+        assert!(multi.advance(2_000).is_empty());
+        assert!(multi.advance(5_000).is_empty());
+        assert!(multi.advance(9_999).is_empty());
+        let stats = multi.stats();
+        assert_eq!(stats.advance_barriers, 0);
+        assert_eq!(stats.advances_skipped, 3);
+        // Due now: the barrier fires and the window renders.
+        let rows = multi.advance(20_000);
+        assert_eq!(rows.len(), 7);
+        let stats = multi.stats();
+        assert_eq!(stats.advance_barriers, 1);
+        assert_eq!(stats.advances_skipped, 3);
+        // Inline never skips: advancing is not a barrier there.
+        let mut single = PartitionedExecutor::new(plan_for(src), 0, 1);
+        single.ingest(feed(100));
+        assert!(single.advance(2_000).is_empty());
+        assert_eq!(single.stats().advances_skipped, 0);
     }
 
     /// Relative comparison tolerating the floating-point rounding of the
@@ -1027,11 +694,12 @@ mod tests {
 
     #[test]
     fn finish_estimates_partition_invariant() {
-        // Regression test: the threaded backend used to take estimates
+        // Regression test: the first threaded backend took estimates
         // from partition 0 alone, whose moments cover only its slice of
-        // each host's events — hosts whose events all hashed elsewhere
-        // estimated 0, biasing τ̂ low. Estimates must now come from the
-        // merged per-host moments of every partition.
+        // each host's events — hosts whose events all routed elsewhere
+        // estimated 0, biasing τ̂ low. Estimates must come from the
+        // merged per-host moments of every partition (workers export
+        // moments; the router is authoritative for per-host `matched`).
         let sampled_plan = || {
             let src = "select SUM(bid.price), COUNT(*) from bid sample events 50% window 10 s";
             let spec = parse_query(src).unwrap();
@@ -1046,8 +714,9 @@ mod tests {
         let mut multi = PartitionedExecutor::new(sampled_plan(), 0, 4);
         for exec in [&mut single, &mut multi] {
             for h in 0..6u64 {
-                // few events per host with distinct request ids, so some
-                // hosts land entirely outside partition 0
+                // one batch per host lands whole on one partition under
+                // round-robin, so most hosts' moments live entirely
+                // outside partition 0
                 let events: Vec<Event> = (0..3)
                     .map(|i| {
                         ev(
@@ -1117,6 +786,29 @@ mod tests {
         let ca = single.take_window_closes();
         let cb = multi.take_window_closes();
         assert_eq!(ca, cb);
-        assert_eq!(single.degraded_rows(), multi.degraded_rows());
+        assert_eq!(single.stats().degraded_rows, multi.stats().degraded_rows);
+    }
+
+    #[test]
+    fn with_backend_wraps_an_explicit_strategy() {
+        let src = "select bid.user_id, COUNT(*) from bid group by bid.user_id window 10 s";
+        let plan = Arc::new(plan_for(src));
+        let mut via_new = PartitionedExecutor::new(Arc::clone(&plan), 0, 1);
+        let mut via_backend = PartitionedExecutor::with_backend(Box::new(
+            crate::backend::InlineBackend::new(Arc::clone(&plan), 0),
+        ));
+        assert_eq!(via_backend.partitions(), 1);
+        via_new.ingest(feed(100));
+        via_backend.ingest(feed(100));
+        assert_eq!(via_new.advance(60_000), via_backend.advance(60_000));
+        let mut threaded = PartitionedExecutor::with_backend(Box::new(ThreadedBackend::new(
+            Arc::clone(&plan),
+            0,
+            3,
+        )));
+        assert_eq!(threaded.partitions(), 3);
+        threaded.ingest(feed(100));
+        let rows = threaded.advance(60_000);
+        assert_eq!(rows.len(), 7);
     }
 }

@@ -105,6 +105,10 @@ pub struct CentralNode<E: ScrubEnvelope> {
     /// Last `(budget_shed, groups_overflow)` totals folded into the node
     /// counters per query, so each advance adds only the delta.
     overload_seen: HashMap<QueryId, (u64, u64)>,
+    /// Last cumulative `backpressure_stalls` folded per query
+    /// (`ExecutorStats` counters are cumulative; the node metric wants
+    /// deltas).
+    bp_seen: HashMap<QueryId, u64>,
     /// Resolved meta-event type ids (registered into the shared schema
     /// registry at construction).
     meta: MetaEvents,
@@ -173,6 +177,7 @@ impl<E: ScrubEnvelope> CentralNode<E> {
             m_budget_shed,
             m_groups_overflow,
             overload_seen: HashMap::new(),
+            bp_seen: HashMap::new(),
             meta,
             meta_harness: None,
             meta_rid: 0,
@@ -383,9 +388,10 @@ impl<E: ScrubEnvelope> CentralNode<E> {
             return;
         };
         let closes = exec.take_window_closes();
-        let open = exec.open_windows() as u64;
-        let held = exec.join_rows_held();
-        let overflow_total = exec.groups_overflow();
+        let stats = exec.stats();
+        let open = stats.open_windows as u64;
+        let held = stats.join_rows_held;
+        let overflow_total = stats.groups_overflow;
         let is_meta_query = self.meta_queries.contains(&qid);
         let mut budget_shed_total = 0u64;
         if let Some(profile) = self.profiles.get_mut(&qid) {
@@ -546,6 +552,8 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
                     self.observe_advance(ctx, query_id, n);
                     self.executors.remove(&query_id);
                     self.meta_queries.remove(&query_id);
+                    self.overload_seen.remove(&query_id);
+                    self.bp_seen.remove(&query_id);
                     self.m_finished.inc();
                     if let Some(server) = self.server {
                         if !rows.is_empty() {
@@ -656,7 +664,10 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
                     // Surface parallel-ingest stalls instead of absorbing
                     // them silently: the counter feeds `scrubql stats`, the
                     // profile feeds `profile <qid>`.
-                    let stalls = exec.take_backpressure();
+                    let total = exec.stats().backpressure_stalls;
+                    let seen = self.bp_seen.entry(qid).or_insert(0);
+                    let stalls = total.saturating_sub(*seen);
+                    *seen = total.max(*seen);
                     if stalls > 0 {
                         self.m_backpressure.add(stalls);
                         if let Some(p) = self.profiles.get_mut(&qid) {

@@ -1,11 +1,14 @@
 //! Differential tests for the parallel ingest pipeline: the same
 //! simulated deployment run with `central_partitions = 1` (the inline
-//! deterministic reference) and `central_partitions = 4` (the threaded
-//! worker pool) must produce equal sorted result rows and an equal
-//! `QuerySummary` (coverage picture, windows emitted, and — for
-//! estimator-eligible sampled queries — the Eq 1–3 estimates) — for
-//! plain aggregation, the request-id join, a sampled ungrouped
-//! aggregate, and a chaos fault plan with link loss.
+//! deterministic reference) and `central_partitions = N` (the threaded
+//! batch pipeline, N = 4 and 8 here) must produce equal sorted result
+//! rows and an equal `QuerySummary` (coverage picture, windows emitted,
+//! and — for estimator-eligible sampled queries — the Eq 1–3 estimates)
+//! — for plain aggregation, the request-id join, a sampled ungrouped
+//! aggregate, and a chaos fault plan with link loss. A property test at
+//! the executor level additionally checks that merging pre-folded
+//! per-partition group states equals the inline single-state fold for
+//! arbitrary event interleavings.
 //!
 //! "Equal" is bitwise for everything except `f64`-valued figures
 //! (Double aggregate columns, estimates, error bounds): the threaded
@@ -240,23 +243,23 @@ fn assert_f64_eq(a: f64, b: f64, what: &str) {
     let denom = a.abs().max(b.abs()).max(1e-12);
     assert!(
         (a - b).abs() / denom < 1e-9,
-        "{what} diverges between partitions 1 and 4: {a} vs {b}"
+        "{what} diverges across partition counts: {a} vs {b}"
     );
 }
 
 /// Exact equality for every value except `Double`, which tolerates the
 /// reduction-order rounding of the parallel merge (SUM/AVG of doubles is
 /// not FP-associative; counts and group keys must match bitwise).
-fn assert_rows_eq(rows1: &[(i64, Vec<Value>, bool)], rows4: &[(i64, Vec<Value>, bool)]) {
+fn assert_rows_eq(rows1: &[(i64, Vec<Value>, bool)], rows_n: &[(i64, Vec<Value>, bool)]) {
     assert_eq!(
         rows1.len(),
-        rows4.len(),
-        "row count diverges between partitions 1 and 4"
+        rows_n.len(),
+        "row count diverges across partition counts"
     );
-    for (i, ((w1, v1, d1), (w4, v4, d4))) in rows1.iter().zip(rows4).enumerate() {
-        assert_eq!((w1, d1), (w4, d4), "row {i} window/degraded diverge");
-        assert_eq!(v1.len(), v4.len(), "row {i} arity diverges");
-        for (j, (a, b)) in v1.iter().zip(v4).enumerate() {
+    for (i, ((w1, v1, d1), (wn, vn, dn))) in rows1.iter().zip(rows_n).enumerate() {
+        assert_eq!((w1, d1), (wn, dn), "row {i} window/degraded diverge");
+        assert_eq!(v1.len(), vn.len(), "row {i} arity diverges");
+        for (j, (a, b)) in v1.iter().zip(vn).enumerate() {
             match (a, b) {
                 (Value::Double(x), Value::Double(y)) => {
                     assert_f64_eq(*x, *y, &format!("row {i} col {j}"));
@@ -268,41 +271,45 @@ fn assert_rows_eq(rows1: &[(i64, Vec<Value>, bool)], rows4: &[(i64, Vec<Value>, 
 }
 
 fn assert_differential(query: &str, chaos: bool) {
-    assert_differential_with(query, chaos, |_| {});
+    assert_differential_with(query, chaos, 4, |_| {});
 }
 
-/// Differential run with a config tweak applied identically to both
-/// partition counts; returns the reference (partitions = 1) output so
-/// callers can make scenario-specific assertions on it.
+/// Differential run of partitions 1 vs `parts`, with a config tweak
+/// applied identically to both; returns the reference (partitions = 1)
+/// output so callers can make scenario-specific assertions on it.
 fn assert_differential_with(
     query: &str,
     chaos: bool,
+    parts: usize,
     tweak: impl Fn(&mut ScrubConfig),
 ) -> RunOutput {
     let (rows1, sig1, est1, traces1, ledger1, plan1) = run_with(1, query, chaos, &tweak);
-    let (rows4, sig4, est4, traces4, ledger4, plan4) = run_with(4, query, chaos, &tweak);
+    let (rows_n, sig_n, est_n, traces_n, ledger_n, plan_n) = run_with(parts, query, chaos, &tweak);
     assert!(!rows1.is_empty(), "reference run produced no rows");
-    assert_rows_eq(&rows1, &rows4);
-    assert_eq!(sig1, sig4, "summary diverges between partitions 1 and 4");
+    assert_rows_eq(&rows1, &rows_n);
+    assert_eq!(
+        sig1, sig_n,
+        "summary diverges between partitions 1 and {parts}"
+    );
     assert!(
         plan1.contains("rows_in"),
         "plan profile signature is empty: {plan1:?}"
     );
     assert_eq!(
-        plan1, plan4,
-        "merged plan profiles diverge between partitions 1 and 4"
+        plan1, plan_n,
+        "merged plan profiles diverge between partitions 1 and {parts}"
     );
     assert!(!traces1.is_empty(), "no request was traced at rate 0.2");
     assert_eq!(
-        traces1, traces4,
-        "trace signatures diverge between partitions 1 and 4"
+        traces1, traces_n,
+        "trace signatures diverge between partitions 1 and {parts}"
     );
     assert_eq!(
-        ledger1, ledger4,
-        "loss ledgers diverge between partitions 1 and 4"
+        ledger1, ledger_n,
+        "loss ledgers diverge between partitions 1 and {parts}"
     );
-    assert_eq!(est1.len(), est4.len(), "estimate column count diverges");
-    for (i, (a, b)) in est1.iter().zip(&est4).enumerate() {
+    assert_eq!(est1.len(), est_n.len(), "estimate column count diverges");
+    for (i, (a, b)) in est1.iter().zip(&est_n).enumerate() {
         match (a, b) {
             (None, None) => {}
             (Some(a), Some(b)) => {
@@ -357,6 +364,7 @@ fn bounded_groups_overflow_identical_across_partition_counts() {
         "select bid.user_id, COUNT(*) from bid @[all] \
          group by bid.user_id window 5 s duration 15 s",
         false,
+        4,
         |c| c.max_groups = 4,
     );
     assert!(
@@ -396,6 +404,7 @@ fn budget_shed_identical_across_partition_counts() {
         "select bid.user_id, COUNT(*) from bid @[all] \
          group by bid.user_id window 5 s duration 15 s",
         false,
+        4,
         |c| {
             c.enforce_host_budget = true;
             c.host_cpu_budget = 0.0001; // 100k ns of tap work per second
@@ -410,6 +419,20 @@ fn budget_shed_identical_across_partition_counts() {
 }
 
 #[test]
+fn aggregate_rows_identical_at_eight_partitions() {
+    // Same contract at the full E09 fan-out: eight workers time-slicing
+    // on however many cores the test box has must still land on the
+    // inline reference's rows, summary, traces, ledger and profile.
+    assert_differential_with(
+        "select bid.user_id, COUNT(*), AVG(bid.price) from bid @[all] \
+         group by bid.user_id window 5 s duration 15 s",
+        false,
+        8,
+        |_| {},
+    );
+}
+
+#[test]
 fn chaos_run_identical_across_partition_counts() {
     // 15% bidirectional loss between the agents and central: the retransmit
     // and dedup machinery runs hot, and the threaded backend must still
@@ -419,6 +442,106 @@ fn chaos_run_identical_across_partition_counts() {
          group by bid.user_id window 5 s duration 15 s",
         true,
     );
+}
+
+// ---------------------------------------------------------------------
+// Merge/fold equivalence at the executor level: for ARBITRARY event
+// interleavings (timestamps, group keys, values, batch boundaries) the
+// two-phase aggregation — each partition folds its own group states,
+// the router merges the pre-folded states at window close — must equal
+// the inline single-state fold. This is the algebraic heart of the
+// batch pipeline (Welford merge + keep-smallest-keys re-cap), exercised
+// directly against the production `PartitionedExecutor`.
+
+use scrub_agent::EventBatch;
+use scrub_central::PartitionedExecutor;
+use scrub_core::event::Event;
+use scrub_core::plan::{compile, QueryId};
+use scrub_core::ql::parser::parse_query;
+
+/// Fold the event stream through the production executor at `parts`
+/// partitions (chunked into batches of `chunk` events, rotating over
+/// three hosts) and finish; returns sorted rows and the summary.
+fn fold_run(
+    events: &[(i64, i64, f64)],
+    chunk: usize,
+    parts: usize,
+) -> (Vec<(i64, Vec<Value>, bool)>, QuerySummary) {
+    let reg = registry();
+    let spec = parse_query(
+        "select bid.user_id, COUNT(*), AVG(bid.price), SUM(bid.price) from bid \
+         group by bid.user_id window 10 s",
+    )
+    .unwrap();
+    let plan = compile(&spec, &reg, &ScrubConfig::default(), QueryId(9))
+        .unwrap()
+        .central;
+    let mut exec = PartitionedExecutor::new(plan, 0, parts);
+    for (seq, batch) in events.chunks(chunk).enumerate() {
+        let evs: Vec<Event> = batch
+            .iter()
+            .enumerate()
+            .map(|(i, (ts, user, price))| {
+                Event::new(
+                    EventTypeId(0),
+                    RequestId((seq * chunk + i) as u64),
+                    *ts,
+                    vec![Value::Long(*user), Value::Double(*price)],
+                )
+            })
+            .collect();
+        let n = evs.len() as u64;
+        exec.ingest(EventBatch {
+            seq: seq as u64,
+            attempt: 0,
+            query_id: QueryId(9),
+            type_id: EventTypeId(0),
+            host: format!("h{}", seq % 3),
+            events: evs,
+            matched: n,
+            sampled: n,
+            shed: 0,
+            budget_shed: 0,
+            seen: n,
+            bytes: 0,
+            spans: vec![],
+        });
+    }
+    let (rows, summary) = exec.finish();
+    let mut rows: Vec<(i64, Vec<Value>, bool)> = rows
+        .into_iter()
+        .map(|r| (r.window_start_ms, r.values, r.degraded))
+        .collect();
+    // The leading column is the Long group key — exact, so the sort
+    // order cannot be perturbed by Double rounding.
+    rows.sort_by_key(|(w, values, _)| (*w, values.first().cloned().map(|v| format!("{v:?}"))));
+    (rows, summary)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn prefolded_partition_merge_equals_inline_fold(
+        raw in prop::collection::vec((0i64..30_000, 0i64..10, 0u32..1_000), 1..200),
+        chunk in 1usize..50,
+        parts in 2usize..=8,
+    ) {
+        let events: Vec<(i64, i64, f64)> = raw
+            .iter()
+            .map(|(ts, user, p)| (*ts, *user, *p as f64 * 0.01))
+            .collect();
+        let (rows1, s1) = fold_run(&events, chunk, 1);
+        let (rows_n, sn) = fold_run(&events, chunk, parts);
+        prop_assert!(!rows1.is_empty());
+        assert_rows_eq(&rows1, &rows_n);
+        prop_assert_eq!(s1.total_matched, sn.total_matched);
+        prop_assert_eq!(s1.total_sampled, sn.total_sampled);
+        prop_assert_eq!(s1.hosts_reporting, sn.hosts_reporting);
+        prop_assert_eq!(s1.windows_emitted, sn.windows_emitted);
+        prop_assert_eq!(s1.groups_overflow, sn.groups_overflow);
+        prop_assert_eq!(s1.degraded_rows, sn.degraded_rows);
+    }
 }
 
 // ---------------------------------------------------------------------
