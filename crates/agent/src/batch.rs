@@ -2,10 +2,113 @@
 
 use serde::{Deserialize, Serialize};
 
+use scrub_core::columnar::ColumnarFrame;
+use scrub_core::config::WireFormat;
 use scrub_core::event::Event;
 use scrub_core::plan::QueryId;
 use scrub_core::schema::EventTypeId;
 use scrub_obs::TraceSpan;
+
+/// The event payload of a batch, in the shape the agent shipped it.
+///
+/// `Rows` is the v1 wire format: materialised row events. `Columnar` is
+/// the v2 format: the agent encoded its flush buffer into per-column
+/// segments at ship time, so what rides the wire (and what byte
+/// accounting charges) is the actual encoded frame. ScrubCentral's
+/// vectorized operators consume the columnar frame directly; `Rows`
+/// survives as the compatibility path and as the hand-off shape for
+/// request-id-sharded joins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BatchPayload {
+    /// Interleaved row events (wire format v1).
+    Rows(Vec<Event>),
+    /// Encoded columnar frame plus cached count/timestamp metadata
+    /// (wire format v2).
+    Columnar(ColumnarFrame),
+}
+
+impl BatchPayload {
+    /// Build a payload from a flush buffer in the configured wire format.
+    pub fn from_events(events: Vec<Event>, format: WireFormat) -> BatchPayload {
+        match format {
+            WireFormat::Row => BatchPayload::Rows(events),
+            WireFormat::Columnar => BatchPayload::Columnar(ColumnarFrame::from_events(&events)),
+        }
+    }
+
+    /// Number of events in the payload (O(1) for both formats).
+    pub fn len(&self) -> usize {
+        match self {
+            BatchPayload::Rows(evs) => evs.len(),
+            BatchPayload::Columnar(f) => f.len(),
+        }
+    }
+
+    /// True when the payload carries no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(min, max)` event timestamp, `None` when empty. O(1) for
+    /// columnar payloads (cached at encode time).
+    pub fn ts_range(&self) -> Option<(i64, i64)> {
+        match self {
+            BatchPayload::Rows(evs) => {
+                let lo = evs.iter().map(|e| e.timestamp).min()?;
+                let hi = evs.iter().map(|e| e.timestamp).max()?;
+                Some((lo, hi))
+            }
+            BatchPayload::Columnar(f) => f.ts_range(),
+        }
+    }
+
+    /// Visit `(request_id, timestamp)` for every event in order, without
+    /// materialising rows (columnar frames scan chunk headers only).
+    pub fn for_each_meta(&self, mut f: impl FnMut(u64, i64)) {
+        match self {
+            BatchPayload::Rows(evs) => {
+                for ev in evs {
+                    f(ev.request_id.0, ev.timestamp);
+                }
+            }
+            BatchPayload::Columnar(fr) => fr.for_each_meta(f),
+        }
+    }
+
+    /// Materialise row events (cloning for `Rows`, decoding for
+    /// `Columnar`). Frames are produced in-process, so a decode failure
+    /// indicates a bug; it yields an empty vector (asserted in debug).
+    pub fn to_rows(&self) -> Vec<Event> {
+        match self {
+            BatchPayload::Rows(evs) => evs.clone(),
+            BatchPayload::Columnar(f) => {
+                let mut out = Vec::new();
+                let res = f.decode_rows_into(&mut out);
+                debug_assert!(res.is_ok(), "columnar payload decode failed: {res:?}");
+                out
+            }
+        }
+    }
+
+    /// Like [`BatchPayload::to_rows`] but consumes the payload, avoiding
+    /// the clone in the `Rows` case.
+    pub fn into_rows(self) -> Vec<Event> {
+        match self {
+            BatchPayload::Rows(evs) => evs,
+            BatchPayload::Columnar(_) => self.to_rows(),
+        }
+    }
+
+    /// Wire size of the payload alone. For columnar payloads this is the
+    /// exact encoded frame length; for rows it is the modeled per-event
+    /// footprint (the v1 accounting).
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            BatchPayload::Rows(evs) => evs.iter().map(Event::approx_bytes).sum(),
+            BatchPayload::Columnar(f) => f.bytes.len(),
+        }
+    }
+}
 
 /// A batch of selected/projected events for one query from one host.
 ///
@@ -38,8 +141,9 @@ pub struct EventBatch {
     pub type_id: EventTypeId,
     /// Reporting host name.
     pub host: String,
-    /// Projected events (values in host-plan projection order).
-    pub events: Vec<Event>,
+    /// Projected events (values in host-plan projection order), in the
+    /// wire format the shipping agent was configured with.
+    pub payload: BatchPayload,
     /// Cumulative count of events that matched selection on this host.
     pub matched: u64,
     /// Cumulative count of matched events that passed event sampling and
@@ -74,12 +178,21 @@ pub struct EventBatch {
 }
 
 impl EventBatch {
-    /// Approximate wire size of this batch in bytes.
+    /// Number of events in the batch.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// True when the batch carries no events.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+
+    /// Approximate wire size of this batch in bytes. For columnar
+    /// payloads the event portion is the exact encoded frame length.
     pub fn approx_bytes(&self) -> usize {
         let header = 8 + self.host.len() + 24;
-        header
-            + self.events.iter().map(Event::approx_bytes).sum::<usize>()
-            + self.spans.len() * TraceSpan::APPROX_BYTES
+        header + self.payload.approx_bytes() + self.spans.len() * TraceSpan::APPROX_BYTES
     }
 }
 
@@ -90,16 +203,14 @@ mod tests {
     use scrub_core::schema::EventTypeId;
     use scrub_core::value::Value;
 
-    #[test]
-    fn batch_size_accounts_events() {
-        let ev = Event::new(EventTypeId(0), RequestId(1), 0, vec![Value::Long(5)]);
-        let empty = EventBatch {
+    fn empty_batch() -> EventBatch {
+        EventBatch {
             query_id: QueryId(1),
             seq: 0,
             attempt: 0,
             type_id: EventTypeId(0),
             host: "h".into(),
-            events: vec![],
+            payload: BatchPayload::Rows(vec![]),
             matched: 0,
             sampled: 0,
             shed: 0,
@@ -107,9 +218,15 @@ mod tests {
             seen: 0,
             bytes: 0,
             spans: vec![],
-        };
+        }
+    }
+
+    #[test]
+    fn batch_size_accounts_events() {
+        let ev = Event::new(EventTypeId(0), RequestId(1), 0, vec![Value::Long(5)]);
+        let empty = empty_batch();
         let one = EventBatch {
-            events: vec![ev.clone()],
+            payload: BatchPayload::Rows(vec![ev.clone()]),
             ..empty.clone()
         };
         assert_eq!(one.approx_bytes() - empty.approx_bytes(), ev.approx_bytes());
@@ -127,5 +244,50 @@ mod tests {
             scrub_obs::TraceSpan::APPROX_BYTES,
             "piggybacked spans must be charged to the wire-size model"
         );
+    }
+
+    #[test]
+    fn columnar_batch_bytes_are_exact_frame_lengths() {
+        let events: Vec<Event> = (0..100)
+            .map(|i| {
+                Event::new(
+                    EventTypeId(0),
+                    RequestId(i),
+                    i as i64,
+                    vec![Value::Long(i as i64 % 7), Value::Str(format!("s{}", i % 3))],
+                )
+            })
+            .collect();
+        let payload = BatchPayload::from_events(events.clone(), WireFormat::Columnar);
+        let frame_len = match &payload {
+            BatchPayload::Columnar(f) => f.bytes.len(),
+            _ => unreachable!(),
+        };
+        let batch = EventBatch {
+            payload,
+            ..empty_batch()
+        };
+        assert_eq!(batch.len(), 100);
+        assert_eq!(
+            batch.approx_bytes(),
+            8 + batch.host.len() + 24 + frame_len,
+            "columnar byte accounting is the encoded frame, not a model"
+        );
+        assert_eq!(batch.payload.to_rows(), events);
+        assert_eq!(batch.payload.ts_range(), Some((0, 99)));
+    }
+
+    #[test]
+    fn payload_meta_iteration_agrees_across_formats() {
+        let events: Vec<Event> = (0..10)
+            .map(|i| Event::new(EventTypeId(0), RequestId(i * 2), 100 - i as i64, vec![]))
+            .collect();
+        let mut row_meta = Vec::new();
+        BatchPayload::from_events(events.clone(), WireFormat::Row)
+            .for_each_meta(|r, t| row_meta.push((r, t)));
+        let mut col_meta = Vec::new();
+        BatchPayload::from_events(events, WireFormat::Columnar)
+            .for_each_meta(|r, t| col_meta.push((r, t)));
+        assert_eq!(row_meta, col_meta);
     }
 }

@@ -9,6 +9,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use scrub_core::config::WireFormat;
+
 use crate::stats::StatsSnapshot;
 
 /// Nanosecond costs per agent operation.
@@ -114,6 +116,19 @@ impl CostModel {
             + bytes as f64 * self.ship_byte_ns
     }
 
+    /// Modeled wire bytes of one shipped event with `fields` projected
+    /// values, per wire format. Row frames carry roughly 8 bytes per
+    /// value plus the request-id/timestamp slots (mirroring
+    /// `Event::approx_bytes`); columnar frames amortise tags across the
+    /// column and varint/dictionary-pack values, landing near half that
+    /// on the reproduced workloads.
+    pub fn event_wire_bytes(&self, fields: usize, format: WireFormat) -> u64 {
+        match format {
+            WireFormat::Row => 8 * (fields as u64 + 2),
+            WireFormat::Columnar => 4 * (fields as u64 + 2),
+        }
+    }
+
     /// Estimated per-host cost of one host plan, as a fraction of one
     /// core, at an assumed `events_per_sec` arrival rate of its event
     /// type. Split into `(fixed, variable)`: the irreducible
@@ -124,11 +139,10 @@ impl CostModel {
         &self,
         plan: &scrub_core::plan::HostPlan,
         events_per_sec: f64,
+        format: WireFormat,
     ) -> (f64, f64) {
         let fixed = events_per_sec * self.seen_event_ns(plan.predicate.is_some()) / 1e9;
-        // wire size mirrors Event::approx_bytes: projected values plus the
-        // request-id/timestamp slots, 8 bytes each
-        let bytes = 8 * (plan.projection.len() as u64 + 2);
+        let bytes = self.event_wire_bytes(plan.projection.len(), format);
         let shipped_per_sec = events_per_sec
             * plan.est_selectivity.clamp(0.0, 1.0)
             * plan.event_fraction.clamp(0.0, 1.0);
@@ -143,10 +157,11 @@ impl CostModel {
         &self,
         plans: &[scrub_core::plan::HostPlan],
         events_per_sec: f64,
+        format: WireFormat,
     ) -> (f64, f64) {
         plans
             .iter()
-            .map(|p| self.plan_cost_fractions(p, events_per_sec))
+            .map(|p| self.plan_cost_fractions(p, events_per_sec, format))
             .fold((0.0, 0.0), |(f, v), (pf, pv)| (f + pf, v + pv))
     }
 }
@@ -212,7 +227,7 @@ mod tests {
             event_fraction: 0.5,
             est_selectivity: 1.0,
         };
-        let (fixed, variable) = m.plan_cost_fractions(&plan, 10_000.0);
+        let (fixed, variable) = m.plan_cost_fractions(&plan, 10_000.0, WireFormat::Row);
         // 10k events/s * 30 ns active-tap = 0.3 ms/s = 0.03 %
         assert!((fixed - 10_000.0 * 30.0 / 1e9).abs() < 1e-12);
         // half the events ship at 50 ns + 16 bytes * 0.3 ns
@@ -222,10 +237,16 @@ mod tests {
             predicate: Some(scrub_core::expr::ResolvedExpr::Literal(
                 scrub_core::value::Value::Long(1),
             )),
-            ..plan
+            ..plan.clone()
         };
-        let (fixed2, variable2) = m.plan_cost_fractions(&with_pred, 10_000.0);
+        let (fixed2, variable2) = m.plan_cost_fractions(&with_pred, 10_000.0, WireFormat::Row);
         assert!(fixed2 > fixed);
         assert!((variable2 - variable).abs() < 1e-12);
+        // columnar frames price fewer bytes per event, so the variable
+        // (ship-side) cost strictly shrinks
+        let (fixed3, variable3) = m.plan_cost_fractions(&plan, 10_000.0, WireFormat::Columnar);
+        assert_eq!(fixed3, fixed);
+        assert!(variable3 < variable);
+        assert!((variable3 - 5_000.0 * (50.0 + 8.0 * 0.3) / 1e9).abs() < 1e-12);
     }
 }

@@ -12,7 +12,7 @@ pub mod reliable;
 pub mod stats;
 pub mod tap;
 
-pub use batch::EventBatch;
+pub use batch::{BatchPayload, EventBatch};
 pub use cost::CostModel;
 pub use reliable::{ReliableShipper, Retransmit, RetryPolicy};
 pub use stats::{AgentStats, StatsSnapshot};

@@ -201,7 +201,7 @@ mod tests {
             attempt: 0,
             type_id: EventTypeId(0),
             host: "h".into(),
-            events: vec![],
+            payload: crate::batch::BatchPayload::Rows(vec![]),
             matched: 1,
             sampled: 1,
             shed: 0,

@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
-use scrub_core::config::ScrubConfig;
+use scrub_core::config::{ScrubConfig, WireFormat};
 use scrub_core::error::{ScrubError, ScrubResult};
 use scrub_core::event::{Event, FieldSlot, RequestId, ToEvent};
 use scrub_core::plan::{HostPlan, QueryId};
@@ -24,7 +24,7 @@ use scrub_core::schema::EventTypeId;
 use scrub_core::value::Value;
 use scrub_obs::trace::{should_trace, trace_threshold, SpanKind, TraceSpan};
 
-use crate::batch::EventBatch;
+use crate::batch::{BatchPayload, EventBatch};
 use crate::cost::CostModel;
 use crate::stats::AgentStats;
 
@@ -110,7 +110,7 @@ struct Subscription {
 }
 
 impl Subscription {
-    fn new(plan: HostPlan, seed: u64, cost: &CostModel) -> Self {
+    fn new(plan: HostPlan, seed: u64, cost: &CostModel, format: WireFormat) -> Self {
         let threshold = if plan.event_fraction >= 1.0 {
             u64::MAX
         } else {
@@ -118,10 +118,10 @@ impl Subscription {
         };
         let seen_cost_ns = cost.seen_event_ns(plan.predicate.is_some());
         // same per-event wire-size approximation the admission pricer
-        // uses: projected values plus the request-id/timestamp slots
+        // uses, per the configured wire format
         let ship_cost_ns = cost.ship_event_cost_ns(
             plan.projection.len(),
-            8 * (plan.projection.len() as u64 + 2),
+            cost.event_wire_bytes(plan.projection.len(), format),
         );
         Subscription {
             plan,
@@ -213,7 +213,12 @@ impl ScrubAgent {
             )));
         }
         let seed = plan.query_id.0 ^ fxhash(self.host.as_bytes());
-        inner.subs[t].push(Subscription::new(plan, seed, &CostModel::default()));
+        inner.subs[t].push(Subscription::new(
+            plan,
+            seed,
+            &CostModel::default(),
+            self.config.wire_format,
+        ));
         self.active_mask[t >> 6].fetch_or(1u64 << (t & 63), Ordering::Relaxed);
         self.any_active.store(true, Ordering::Relaxed);
         Ok(())
@@ -239,9 +244,10 @@ impl ScrubAgent {
         for t in 0..inner.subs.len() {
             let mut removed = Vec::new();
             let host = &self.host;
+            let fmt = self.config.wire_format;
             inner.subs[t].retain_mut(|s| {
                 if s.plan.query_id == query_id {
-                    removed.push(make_batch(host, s, now_ms));
+                    removed.push(make_batch(host, s, now_ms, fmt));
                     false
                 } else {
                     true
@@ -466,7 +472,8 @@ impl ScrubAgent {
 
             // size-triggered flush
             if sub.batch.len() >= self.config.agent_batch_events {
-                if let Some(b) = make_batch(&self.host, sub, timestamp_ms) {
+                if let Some(b) = make_batch(&self.host, sub, timestamp_ms, self.config.wire_format)
+                {
                     *spans_buffered -= b.spans.len();
                     self.stats
                         .bump(&self.stats.bytes_shipped, b.approx_bytes() as u64);
@@ -505,7 +512,7 @@ impl ScrubAgent {
             for sub in type_subs.iter_mut() {
                 let due = now_ms - sub.last_flush_ms >= self.config.agent_flush_interval_ms;
                 if due {
-                    if let Some(b) = make_batch(&self.host, sub, now_ms) {
+                    if let Some(b) = make_batch(&self.host, sub, now_ms, self.config.wire_format) {
                         *spans_buffered -= b.spans.len();
                         self.stats
                             .bump(&self.stats.bytes_shipped, b.approx_bytes() as u64);
@@ -519,9 +526,15 @@ impl ScrubAgent {
     }
 }
 
-/// Build a batch from a subscription's buffered events; `None` when there
-/// is nothing new to report. Always updates `last_flush_ms`.
-fn make_batch(host: &str, sub: &mut Subscription, now_ms: i64) -> Option<EventBatch> {
+/// Build a batch from a subscription's buffered events, encoding the
+/// payload in the configured wire format; `None` when there is nothing
+/// new to report. Always updates `last_flush_ms`.
+fn make_batch(
+    host: &str,
+    sub: &mut Subscription,
+    now_ms: i64,
+    format: WireFormat,
+) -> Option<EventBatch> {
     sub.last_flush_ms = now_ms;
     if sub.batch.is_empty() && sub.matched == 0 {
         return None;
@@ -534,7 +547,7 @@ fn make_batch(host: &str, sub: &mut Subscription, now_ms: i64) -> Option<EventBa
         query_id: sub.plan.query_id,
         type_id: sub.plan.type_id,
         host: host.to_string(),
-        events: std::mem::take(&mut sub.batch),
+        payload: BatchPayload::from_events(std::mem::take(&mut sub.batch), format),
         matched: sub.matched,
         sampled: sub.sampled,
         shed: sub.shed,
@@ -545,6 +558,7 @@ fn make_batch(host: &str, sub: &mut Subscription, now_ms: i64) -> Option<EventBa
     };
     // Charge this batch's wire size to the cumulative shipped-bytes
     // counter it carries (the header fields themselves are not counted).
+    // For columnar payloads this is the exact encoded frame length.
     sub.bytes += b.approx_bytes() as u64;
     b.bytes = sub.bytes;
     Some(b)
@@ -640,12 +654,13 @@ mod tests {
         let batches = a.take_batches(10_000);
         assert_eq!(batches.len(), 1);
         let b = &batches[0];
-        assert_eq!(b.events.len(), 1);
+        assert_eq!(b.len(), 1);
         assert_eq!(b.matched, 1);
         assert_eq!(b.sampled, 1);
         // projection shipped only user_id
-        assert_eq!(b.events[0].values, vec![Value::Long(7)]);
-        assert_eq!(b.events[0].request_id, RequestId(1));
+        let evs = b.payload.to_rows();
+        assert_eq!(evs[0].values, vec![Value::Long(7)]);
+        assert_eq!(evs[0].request_id, RequestId(1));
     }
 
     #[test]
@@ -663,7 +678,7 @@ mod tests {
             );
         }
         let batches = a.take_batches(100_000);
-        let shipped: usize = batches.iter().map(|b| b.events.len()).sum();
+        let shipped: usize = batches.iter().map(|b| b.len()).sum();
         let last = batches.last().unwrap();
         assert_eq!(last.matched, 10_000);
         // ~10% ± generous tolerance
@@ -723,7 +738,7 @@ mod tests {
         // two full batches flushed by size without take_batches being called
         let batches = a.take_batches(0);
         assert!(batches.len() >= 2);
-        assert_eq!(batches[0].events.len(), 10);
+        assert_eq!(batches[0].len(), 10);
     }
 
     #[test]
@@ -738,7 +753,7 @@ mod tests {
         );
         let tail = a.remove(QueryId(1), 100);
         assert_eq!(tail.len(), 1);
-        assert_eq!(tail[0].events.len(), 1);
+        assert_eq!(tail[0].len(), 1);
     }
 
     #[test]
@@ -759,12 +774,12 @@ mod tests {
         // each query: two full batches in the outbox + one open event
         let tail = a.remove(QueryId(1), 100);
         assert_eq!(tail.len(), 3);
-        assert_eq!(tail.iter().map(|b| b.events.len()).sum::<usize>(), 5);
+        assert_eq!(tail.iter().map(|b| b.len()).sum::<usize>(), 5);
         assert!(tail.iter().all(|b| b.query_id == QueryId(1)));
         // the other query's outbox batches are untouched
         let rest = a.take_batches(10_000);
         assert!(rest.iter().all(|b| b.query_id == QueryId(2)));
-        assert_eq!(rest.iter().map(|b| b.events.len()).sum::<usize>(), 5);
+        assert_eq!(rest.iter().map(|b| b.len()).sum::<usize>(), 5);
     }
 
     #[test]

@@ -79,7 +79,7 @@ fn concurrent_taps_count_exactly() {
     assert_eq!(snap.events_matched, THREADS * PER_THREAD);
     // drain everything and count shipped events
     let batches = agent.take_batches(1_000_000);
-    let shipped: u64 = batches.iter().map(|b| b.events.len() as u64).sum();
+    let shipped: u64 = batches.iter().map(|b| b.len() as u64).sum();
     assert_eq!(shipped, THREADS * PER_THREAD);
     let final_counters = batches.iter().map(|b| b.matched).max().unwrap();
     assert_eq!(final_counters, THREADS * PER_THREAD);
@@ -122,7 +122,7 @@ fn install_remove_races_never_lose_or_corrupt() {
                     let tail = agent.remove(QueryId(qid), round as i64);
                     for b in &tail {
                         assert!(b.sampled <= b.matched);
-                        assert_eq!(b.events.len() as u64, b.sampled - b.shed.min(b.sampled));
+                        assert_eq!(b.len() as u64, b.sampled - b.shed.min(b.sampled));
                     }
                 }
                 stop.store(true, Ordering::Relaxed);

@@ -4,7 +4,7 @@
 //! tests can compare the live sampled/windowed pipeline against ground
 //! truth.
 
-use scrub_agent::EventBatch;
+use scrub_agent::{BatchPayload, EventBatch};
 use scrub_central::{QueryExecutor, QuerySummary, ResultRow};
 use scrub_core::event::Event;
 use scrub_core::plan::{CompiledQuery, HostPlan};
@@ -32,7 +32,7 @@ pub fn run_batch(cq: &CompiledQuery, events: &[Event]) -> (Vec<ResultRow>, Query
             query_id: cq.query_id,
             type_id: plan.type_id,
             host: "batch".into(),
-            events: shipped,
+            payload: BatchPayload::Rows(shipped),
             matched,
             sampled: matched,
             shed: 0,

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
-use scrub_agent::EventBatch;
+use scrub_agent::{BatchPayload, EventBatch};
 use scrub_central::{PartitionedExecutor, QueryExecutor};
 use scrub_core::config::ScrubConfig;
 use scrub_core::event::{Event, RequestId};
@@ -51,16 +51,18 @@ fn bid_batch(n: u64) -> EventBatch {
         query_id: QueryId(1),
         type_id: EventTypeId(0),
         host: "h".into(),
-        events: (0..n)
-            .map(|i| {
-                Event::new(
-                    EventTypeId(0),
-                    RequestId(i),
-                    (i % 60_000) as i64,
-                    vec![Value::Long((i % 1000) as i64), Value::Double(0.5)],
-                )
-            })
-            .collect(),
+        payload: BatchPayload::Rows(
+            (0..n)
+                .map(|i| {
+                    Event::new(
+                        EventTypeId(0),
+                        RequestId(i),
+                        (i % 60_000) as i64,
+                        vec![Value::Long((i % 1000) as i64), Value::Double(0.5)],
+                    )
+                })
+                .collect(),
+        ),
         matched: n,
         sampled: n,
         shed: 0,
@@ -110,16 +112,18 @@ fn bench_central(c: &mut Criterion) {
                     query_id: QueryId(1),
                     type_id: EventTypeId(1),
                     host: "h2".into(),
-                    events: (0..N / 2)
-                        .map(|i| {
-                            Event::new(
-                                EventTypeId(1),
-                                RequestId(i * 2),
-                                (i % 60_000) as i64,
-                                vec![],
-                            )
-                        })
-                        .collect(),
+                    payload: BatchPayload::Rows(
+                        (0..N / 2)
+                            .map(|i| {
+                                Event::new(
+                                    EventTypeId(1),
+                                    RequestId(i * 2),
+                                    (i % 60_000) as i64,
+                                    vec![],
+                                )
+                            })
+                            .collect(),
+                    ),
                     matched: N / 2,
                     sampled: N / 2,
                     shed: 0,

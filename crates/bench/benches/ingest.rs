@@ -5,9 +5,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 
-use scrub_agent::EventBatch;
+use scrub_agent::{BatchPayload, EventBatch};
 use scrub_central::PartitionedExecutor;
-use scrub_core::config::ScrubConfig;
+use scrub_core::config::{ScrubConfig, WireFormat};
 use scrub_core::event::{Event, RequestId};
 use scrub_core::plan::{compile, CentralPlan, QueryId};
 use scrub_core::ql::parser::parse_query;
@@ -45,23 +45,24 @@ fn plan(src: &str) -> CentralPlan {
     .central
 }
 
-fn bid_batch(n: u64) -> EventBatch {
+fn bid_batch(n: u64, format: WireFormat) -> EventBatch {
+    let events = (0..n)
+        .map(|i| {
+            Event::new(
+                EventTypeId(0),
+                RequestId(i),
+                (i % 60_000) as i64,
+                vec![Value::Long((i % 1000) as i64), Value::Double(0.5)],
+            )
+        })
+        .collect();
     EventBatch {
         seq: 0,
         attempt: 0,
         query_id: QueryId(1),
         type_id: EventTypeId(0),
         host: "h".into(),
-        events: (0..n)
-            .map(|i| {
-                Event::new(
-                    EventTypeId(0),
-                    RequestId(i),
-                    (i % 60_000) as i64,
-                    vec![Value::Long((i % 1000) as i64), Value::Double(0.5)],
-                )
-            })
-            .collect(),
+        payload: BatchPayload::from_events(events, format),
         matched: n,
         sampled: n,
         shed: 0,
@@ -72,23 +73,24 @@ fn bid_batch(n: u64) -> EventBatch {
     }
 }
 
-fn imp_batch(n: u64) -> EventBatch {
+fn imp_batch(n: u64, format: WireFormat) -> EventBatch {
+    let events = (0..n)
+        .map(|i| {
+            Event::new(
+                EventTypeId(1),
+                RequestId(i * 2),
+                (i % 60_000) as i64,
+                vec![],
+            )
+        })
+        .collect();
     EventBatch {
         seq: 0,
         attempt: 0,
         query_id: QueryId(1),
         type_id: EventTypeId(1),
         host: "h2".into(),
-        events: (0..n)
-            .map(|i| {
-                Event::new(
-                    EventTypeId(1),
-                    RequestId(i * 2),
-                    (i % 60_000) as i64,
-                    vec![],
-                )
-            })
-            .collect(),
+        payload: BatchPayload::from_events(events, format),
         matched: n,
         sampled: n,
         shed: 0,
@@ -108,20 +110,28 @@ fn bench_ingest(c: &mut Criterion) {
     let mut g = c.benchmark_group("ingest");
     g.throughput(Throughput::Elements(N));
 
-    // Aggregate mode: routing + threaded ingest + merged window close.
+    // Aggregate mode: routing + threaded ingest + merged window close,
+    // per wire format (row = v1 event loop, col = vectorized columnar).
     for parts in [1usize, 4] {
-        let name = format!("aggregate_p{parts}_10k");
-        g.bench_function(&name, |b| {
-            let p = plan(agg_src);
-            b.iter_batched(
-                || (PartitionedExecutor::new(p.clone(), 0, parts), bid_batch(N)),
-                |(mut exec, batch)| {
-                    exec.ingest(batch);
-                    exec.advance(i64::MAX / 4)
-                },
-                BatchSize::SmallInput,
-            )
-        });
+        for (fmt_name, fmt) in [("row", WireFormat::Row), ("col", WireFormat::Columnar)] {
+            let name = format!("aggregate_{fmt_name}_p{parts}_10k");
+            g.bench_function(&name, |b| {
+                let p = plan(agg_src);
+                b.iter_batched(
+                    || {
+                        (
+                            PartitionedExecutor::new(p.clone(), 0, parts),
+                            bid_batch(N, fmt),
+                        )
+                    },
+                    |(mut exec, batch)| {
+                        exec.ingest(batch);
+                        exec.advance(i64::MAX / 4)
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        }
     }
 
     // Join mode: request-id shard routing keeps the join partition-local
@@ -134,8 +144,8 @@ fn bench_ingest(c: &mut Criterion) {
                 || {
                     (
                         PartitionedExecutor::new(p.clone(), 0, parts),
-                        bid_batch(N / 2),
-                        imp_batch(N / 2),
+                        bid_batch(N / 2, WireFormat::Row),
+                        imp_batch(N / 2, WireFormat::Row),
                     )
                 },
                 |(mut exec, bids, imps)| {
@@ -149,16 +159,19 @@ fn bench_ingest(c: &mut Criterion) {
     }
 
     // The partitions=1 fast path: pure ingest, no advance — isolates the
-    // inline executor's per-event cost (scratch-buffer reuse, host
-    // interning, group-key fast path).
-    g.bench_function("inline_ingest_only_10k", |b| {
-        let p = plan(agg_src);
-        b.iter_batched(
-            || (PartitionedExecutor::new(p.clone(), 0, 1), bid_batch(N)),
-            |(mut exec, batch)| exec.ingest(batch),
-            BatchSize::SmallInput,
-        )
-    });
+    // per-event decode+fold cost per wire format (the tentpole
+    // comparison: vectorized columnar vs the v1 row loop).
+    for (fmt_name, fmt) in [("row", WireFormat::Row), ("col", WireFormat::Columnar)] {
+        let name = format!("inline_ingest_only_{fmt_name}_10k");
+        g.bench_function(&name, |b| {
+            let p = plan(agg_src);
+            b.iter_batched(
+                || (PartitionedExecutor::new(p.clone(), 0, 1), bid_batch(N, fmt)),
+                |(mut exec, batch)| exec.ingest(batch),
+                BatchSize::SmallInput,
+            )
+        });
+    }
 
     g.finish();
 }

@@ -14,9 +14,9 @@
 
 use std::time::Instant;
 
-use scrub_agent::EventBatch;
+use scrub_agent::{BatchPayload, EventBatch};
 use scrub_central::{ExecutorStats, PartitionedExecutor, ResultRow};
-use scrub_core::config::ScrubConfig;
+use scrub_core::config::{ScrubConfig, WireFormat};
 use scrub_core::event::{Event, RequestId};
 use scrub_core::plan::{compile, CentralPlan, QueryId};
 use scrub_core::ql::parser::parse_query;
@@ -134,8 +134,9 @@ fn plan() -> CentralPlan {
 }
 
 /// Pre-build the ingest feed: `n` events chunked into batches the way an
-/// agent would ship them, with cumulative matched/sampled counters.
-fn make_batches(n: usize) -> Vec<EventBatch> {
+/// agent would ship them (encoded in `format`), with cumulative
+/// matched/sampled counters.
+fn make_batches(n: usize, format: WireFormat) -> Vec<EventBatch> {
     let events: Vec<Event> = (0..n)
         .map(|i| {
             Event::new(
@@ -159,7 +160,7 @@ fn make_batches(n: usize) -> Vec<EventBatch> {
             query_id: QueryId(1),
             type_id: EventTypeId(0),
             host: "h".into(),
-            events: chunk.to_vec(),
+            payload: BatchPayload::from_events(chunk.to_vec(), format),
             matched: cumulative,
             sampled: cumulative,
             shed: 0,
@@ -191,7 +192,7 @@ fn throughput(batches: &[EventBatch], parts: usize) -> (f64, Vec<ResultRow>, Exe
         let _ = warm.advance(i64::MAX / 4);
     }
 
-    let n: usize = batches.iter().map(|b| b.events.len()).sum();
+    let n: usize = batches.iter().map(EventBatch::len).sum();
     let mut exec = PartitionedExecutor::new(plan(), 0, parts);
     let feed = batches.to_vec(); // clone outside the timed section
 
@@ -217,7 +218,19 @@ pub fn run(quick: bool) -> Report {
     let signals = CoreSignals::detect();
     let cores = signals.effective();
     let n = if quick { 400_000 } else { 2_000_000 };
-    let batches = make_batches(n);
+    let batches = make_batches(n, WireFormat::Columnar);
+    let row_batches = make_batches(n, WireFormat::Row);
+    // Wire footprint per event, per format (payload bytes only, headers
+    // excluded): columnar is the actual encoded frame length, row the
+    // v1 modeled footprint.
+    let payload_bytes = |bs: &[EventBatch]| -> f64 {
+        bs.iter().map(|b| b.payload.approx_bytes()).sum::<usize>() as f64 / n as f64
+    };
+    let col_bytes_per_event = payload_bytes(&batches);
+    let row_bytes_per_event = payload_bytes(&row_batches);
+    // Single-partition decode+fold throughput of the v1 row path, for the
+    // columnar-speedup figure reported below.
+    let (row_eps, row_rows, _) = throughput(&row_batches, 1);
     let parts_list = [1usize, 2, 4, 8];
 
     let mut t = Table::new(&[
@@ -244,6 +257,10 @@ pub fn run(quick: bool) -> Report {
         let (eps, rows, stats) = throughput(&batches, parts);
         if parts == 1 {
             base = eps;
+            // row-format and columnar-format answers must agree too
+            if row_rows != rows {
+                same_answers = false;
+            }
             reference_rows = Some(rows.clone());
         } else if reference_rows.as_deref() != Some(&rows) {
             same_answers = false;
@@ -272,7 +289,17 @@ pub fn run(quick: bool) -> Report {
         .find(|(p, _, _)| *p == 4)
         .map(|(_, e, _)| e / base)
         .unwrap_or(0.0);
-    write_bench_json(&signals, n, quick, base, &results);
+    let col_vs_row = if row_eps > 0.0 { base / row_eps } else { 0.0 };
+    write_bench_json(
+        &signals,
+        n,
+        quick,
+        base,
+        &results,
+        row_eps,
+        row_bytes_per_event,
+        col_bytes_per_event,
+    );
     // Speedup is bounded by the machine's parallelism. On a single-core
     // box a channel-fed worker pool can only lose wall-clock (context
     // switches and the merge fan-in with no parallel work to win it back),
@@ -293,7 +320,10 @@ pub fn run(quick: bool) -> Report {
                 partitions (up to the machine's parallelism), and merged results \
                 are identical",
         body: format!(
-            "{t}\n{warnings}effective cores: {cores} (available_parallelism {}, \
+            "{t}\n{warnings}columnar vs row (1 partition): {col_vs_row:.2}x \
+             ({base:.0} vs {row_eps:.0} events/s); wire bytes/event: \
+             columnar {col_bytes_per_event:.1} vs row {row_bytes_per_event:.1}\n\
+             effective cores: {cores} (available_parallelism {}, \
              /proc/cpuinfo {}, cgroup quota {})\n",
             signals.available_parallelism,
             signals.cpuinfo.map_or("n/a".into(), |n| n.to_string()),
@@ -303,9 +333,9 @@ pub fn run(quick: bool) -> Report {
         ),
         pass,
         verdict: format!(
-            "single-partition {base:.0} events/s, {speedup_at_4:.2}x at 4 partitions \
-             on a {cores}-core machine, identical rows across partition counts: \
-             {same_answers}"
+            "single-partition {base:.0} events/s ({col_vs_row:.2}x vs row format), \
+             {speedup_at_4:.2}x at 4 partitions on a {cores}-core machine, identical \
+             rows across partition counts and wire formats: {same_answers}"
         ),
     }
 }
@@ -314,12 +344,16 @@ pub fn run(quick: bool) -> Report {
 /// the repo's perf trajectory for central ingest. Results are only
 /// comparable across runs on machines with the same *effective* core
 /// count, so every detection signal is persisted alongside the numbers.
+#[allow(clippy::too_many_arguments)]
 fn write_bench_json(
     signals: &CoreSignals,
     events: usize,
     quick: bool,
     base: f64,
     results: &[(usize, f64, ExecutorStats)],
+    row_eps: f64,
+    row_bytes_per_event: f64,
+    col_bytes_per_event: f64,
 ) {
     let runs: Vec<String> = results
         .iter()
@@ -351,6 +385,11 @@ fn write_bench_json(
          \"cores\": {},\n  \"core_signals\": {{ \"available_parallelism\": {}, \
          \"cpuinfo\": {}, \"cgroup_quota\": {} }},\n  \
          \"events\": {events},\n  \"quick\": {quick},\n  \
+         \"wire_format\": \"columnar\",\n  \
+         \"wire_bytes_per_event\": {{ \"row\": {row_bytes_per_event:.2}, \
+         \"columnar\": {col_bytes_per_event:.2} }},\n  \
+         \"row_format_events_per_sec\": {row_eps:.0},\n  \
+         \"columnar_speedup_vs_row\": {:.3},\n  \
          \"results\": [\n{}\n  ]\n}}\n",
         signals.effective(),
         signals.available_parallelism,
@@ -358,6 +397,7 @@ fn write_bench_json(
         signals
             .cgroup_quota
             .map_or("null".into(), |n| n.to_string()),
+        if row_eps > 0.0 { base / row_eps } else { 0.0 },
         runs.join(",\n")
     );
     let path = concat!(

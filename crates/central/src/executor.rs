@@ -8,8 +8,10 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::Instant;
 
-use scrub_agent::EventBatch;
+use scrub_agent::{BatchPayload, EventBatch};
+use scrub_core::columnar::{ColumnChunk, ColumnarFrame};
 use scrub_core::event::Event;
+use scrub_core::expr::ResolvedExpr;
 use scrub_core::plan::{CentralPlan, OperatorKind, OutputCol, OutputMode};
 use scrub_core::value::{GroupKey, Value};
 use scrub_obs::{OperatorStats, PlanProfile};
@@ -358,7 +360,7 @@ impl QueryExecutor {
     pub fn ingest(&mut self, batch: EventBatch) {
         debug_assert_eq!(batch.query_id, self.plan.query_id);
         let hid = self.totals.observe_header(&batch);
-        self.ingest_events(hid, batch.events);
+        self.ingest_payload(hid, batch.payload);
     }
 
     /// Ingest a batch routed down from a partitioned router that already
@@ -368,7 +370,18 @@ impl QueryExecutor {
     pub fn ingest_routed(&mut self, batch: EventBatch) {
         debug_assert_eq!(batch.query_id, self.plan.query_id);
         let hid = self.totals.intern(&batch.host);
-        self.ingest_events(hid, batch.events);
+        self.ingest_payload(hid, batch.payload);
+    }
+
+    /// Dispatch on the wire shape: row batches walk the v1 event loop;
+    /// columnar frames take the vectorized column path (falling back to
+    /// materialised rows only where the plan itself wants events — join
+    /// buffering and stream emission).
+    fn ingest_payload(&mut self, hid: HostId, payload: BatchPayload) {
+        match payload {
+            BatchPayload::Rows(events) => self.ingest_events(hid, events),
+            BatchPayload::Columnar(frame) => self.ingest_columnar(hid, &frame),
+        }
     }
 
     fn ingest_events(&mut self, hid: HostId, events: Vec<Event>) {
@@ -394,6 +407,180 @@ impl QueryExecutor {
         self.scratch = scratch;
         let inner_spent = self.inner_op_ns().saturating_sub(inner_before);
         self.opc.decode_ns += (t0.elapsed().as_nanos() as u64).saturating_sub(inner_spent);
+    }
+
+    /// Ingest a columnar frame. Single-input aggregate plans consume the
+    /// column slices directly — no per-event `Event` materialisation, the
+    /// late-window selection reads only the timestamp column, and the
+    /// residual/group passes fetch just the slots their expressions
+    /// reference. Join and stream plans (and any decode failure, which
+    /// in-process frames cannot hit) fall back to materialised rows and
+    /// the v1 loop, so their buffering/emission semantics are untouched.
+    fn ingest_columnar(&mut self, hid: HostId, frame: &ColumnarFrame) {
+        let vectorize = !self.is_join() && matches!(self.plan.mode, OutputMode::Aggregate { .. });
+        let t0 = Instant::now();
+        let decoded = if vectorize { frame.decode().ok() } else { None };
+        match decoded {
+            Some(batch) => {
+                let inner_before = self.inner_op_ns();
+                let eligible = self.estimator_eligible();
+                let mut scratch = std::mem::take(&mut self.scratch);
+                for chunk in &batch.chunks {
+                    self.ingest_chunk(hid, chunk, eligible, &mut scratch);
+                }
+                self.scratch = scratch;
+                let inner_spent = self.inner_op_ns().saturating_sub(inner_before);
+                self.opc.decode_ns += (t0.elapsed().as_nanos() as u64).saturating_sub(inner_spent);
+            }
+            None => {
+                let mut rows = Vec::with_capacity(frame.len());
+                let res = frame.decode_rows_into(&mut rows);
+                debug_assert!(res.is_ok(), "columnar frame decode failed: {res:?}");
+                // materialisation cost is decode work; the row loop times
+                // itself from here
+                self.opc.decode_ns += t0.elapsed().as_nanos() as u64;
+                self.ingest_events(hid, rows);
+            }
+        }
+    }
+
+    /// Vectorized ingest of one column chunk into a single-input eager
+    /// aggregate plan. Mirrors the row path pass-for-pass so every integer
+    /// counter (`decode_rows_*`, `residual_rows_*`, `group_rows_in`,
+    /// `late_events_dropped`, group/overflow state, estimator moments) is
+    /// bit-identical to feeding the same events through
+    /// [`QueryExecutor::ingest_events`].
+    fn ingest_chunk(
+        &mut self,
+        hid: HostId,
+        chunk: &ColumnChunk,
+        eligible: bool,
+        scratch: &mut EventScratch,
+    ) {
+        let n = chunk.len();
+        self.opc.decode_rows_in += n as u64;
+        let Some(input_idx) = self.plan.input_index(chunk.type_id) else {
+            return; // not part of this query
+        };
+        let plan = Arc::clone(&self.plan);
+        let input = &plan.inputs[input_idx];
+        let off = input.block_offset;
+        let nfields = input.fields.len();
+        let rid_slot = off + nfields;
+        let ts_slot = rid_slot + 1;
+        // Slot accessor mirroring `fill_block`: projected columns first,
+        // then the request-id and timestamp slots; out-of-block slots and
+        // short chunks (arity < plan fields) read Null, extra trailing
+        // columns are ignored — exactly the row builder's semantics.
+        let col_fetch = |i: usize, slot: usize| -> Value {
+            if slot >= off && slot < rid_slot {
+                match chunk.columns.get(slot - off) {
+                    Some(col) => col.value_at(i),
+                    None => Value::Null,
+                }
+            } else if slot == rid_slot {
+                Value::Long(chunk.request_ids[i] as i64)
+            } else if slot == ts_slot {
+                Value::DateTime(chunk.timestamps[i])
+            } else {
+                Value::Null
+            }
+        };
+        let OutputMode::Aggregate {
+            group_by,
+            aggregates,
+            ..
+        } = &plan.mode
+        else {
+            unreachable!("columnar vectorization is aggregate-only");
+        };
+
+        // Estimator moments fold every arriving event of this input —
+        // before late-window filtering, same as the row path.
+        if eligible {
+            let moments = self
+                .host_moments
+                .entry(hid)
+                .or_insert_with(|| vec![Welford::new(); aggregates.len()]);
+            for i in 0..n {
+                let fetch = |slot: usize| col_fetch(i, slot);
+                for (j, agg) in aggregates.iter().enumerate() {
+                    let v = match &agg.arg {
+                        Some(a) => a.eval_by(&fetch).as_f64(),
+                        None => Some(1.0), // COUNT(*)
+                    };
+                    if let Some(x) = v {
+                        moments[j].add(x);
+                    }
+                }
+            }
+        }
+
+        // Selection pass over the timestamp column alone: surviving events
+        // record their covering window starts in a flat arena.
+        let closed = self.closed_before_ms;
+        let mut wins: Vec<i64> = Vec::with_capacity(n);
+        let mut sel: Vec<(u32, u32, u32)> = Vec::with_capacity(n);
+        for (i, &ts) in chunk.timestamps.iter().enumerate() {
+            let lo = wins.len() as u32;
+            wins.extend(self.covered_windows(ts).filter(|w| *w >= closed));
+            let hi = wins.len() as u32;
+            if lo == hi {
+                self.late_events_dropped += 1;
+            } else {
+                self.opc.decode_rows_out += 1;
+                sel.push((i as u32, lo, hi));
+            }
+        }
+
+        // Residual pass: one per-column evaluation per surviving event,
+        // shrinking the selection in place.
+        if let Some(res) = &plan.residual {
+            let t_res = Instant::now();
+            sel.retain(|&(i, _, _)| {
+                self.opc.residual_rows_in += 1;
+                let fetch = |slot: usize| col_fetch(i as usize, slot);
+                let pass = res.eval_bool_by(&fetch);
+                if pass {
+                    self.opc.residual_rows_out += 1;
+                }
+                pass
+            });
+            self.opc.residual_ns += t_res.elapsed().as_nanos() as u64;
+        }
+
+        // Fold pass: group state folds straight off the columns.
+        let t_fold = Instant::now();
+        let cap = plan.max_groups.max(1);
+        for &(i, lo, hi) in &sel {
+            let fetch = |slot: usize| col_fetch(i as usize, slot);
+            for &w in &wins[lo as usize..hi as usize] {
+                let state = self.windows.entry(w).or_insert_with(|| WindowState::Eager {
+                    groups: BTreeMap::new(),
+                    overflow_rows: 0,
+                });
+                let WindowState::Eager {
+                    groups,
+                    overflow_rows,
+                } = state
+                else {
+                    unreachable!("single-input aggregate plans are eager");
+                };
+                self.opc.group_rows_in += 1;
+                let dropped = update_groups_with(
+                    groups,
+                    cap,
+                    group_by,
+                    aggregates,
+                    &|e| e.eval_by(&fetch),
+                    &mut scratch.keys,
+                    &mut scratch.key_vals,
+                );
+                *overflow_rows += dropped;
+                self.groups_overflow += dropped;
+            }
+        }
+        self.opc.group_ns += t_fold.elapsed().as_nanos() as u64;
     }
 
     /// Sum of the operator ns accounted *inside* the ingest loop (used to
@@ -935,16 +1122,39 @@ fn mode_ref(mode: &OutputMode) -> OutputModeRef<'_> {
 fn update_groups(
     groups: &mut BTreeMap<Vec<GroupKey>, GroupState>,
     cap: usize,
-    group_by: &[scrub_core::expr::ResolvedExpr],
+    group_by: &[ResolvedExpr],
     aggregates: &[scrub_core::plan::AggSpec],
     row: &[Value],
+    keys: &mut Vec<GroupKey>,
+    key_vals: &mut Vec<Value>,
+) -> u64 {
+    update_groups_with(
+        groups,
+        cap,
+        group_by,
+        aggregates,
+        &|e| e.eval(row),
+        keys,
+        key_vals,
+    )
+}
+
+/// [`update_groups`] behind an expression evaluator instead of a
+/// materialised row — the columnar fold pass plugs in a column-slot
+/// accessor here and skips row building entirely.
+fn update_groups_with(
+    groups: &mut BTreeMap<Vec<GroupKey>, GroupState>,
+    cap: usize,
+    group_by: &[ResolvedExpr],
+    aggregates: &[scrub_core::plan::AggSpec],
+    eval: &dyn Fn(&ResolvedExpr) -> Value,
     keys: &mut Vec<GroupKey>,
     key_vals: &mut Vec<Value>,
 ) -> u64 {
     keys.clear();
     key_vals.clear();
     for g in group_by {
-        let v = g.eval(row);
+        let v = eval(g);
         keys.push(v.group_key());
         key_vals.push(v);
     }
@@ -978,7 +1188,7 @@ fn update_groups(
         .expect("group just ensured present");
     entry.rows += 1;
     for (i, agg) in aggregates.iter().enumerate() {
-        let v = agg.arg.as_ref().map(|a| a.eval(row));
+        let v = agg.arg.as_ref().map(eval);
         entry.aggs[i].update(v.as_ref());
     }
     dropped
@@ -1036,7 +1246,7 @@ mod tests {
             query_id: QueryId(9),
             type_id,
             host: host.into(),
-            events,
+            payload: BatchPayload::Rows(events),
             matched,
             sampled,
             shed: 0,
@@ -1322,12 +1532,12 @@ mod sliding_tests {
             query_id: QueryId(3),
             type_id: EventTypeId(0),
             host: "h".into(),
-            events: vec![Event::new(
+            payload: BatchPayload::Rows(vec![Event::new(
                 EventTypeId(0),
                 RequestId(ts as u64),
                 ts,
                 vec![Value::Long(1)],
-            )],
+            )]),
             matched: 1,
             sampled: 1,
             shed: 0,
@@ -1413,7 +1623,7 @@ mod sliding_tests {
             query_id: QueryId(4),
             type_id: EventTypeId(t),
             host: "h".into(),
-            events: vec![Event::new(EventTypeId(t), RequestId(7), ts, vec![])],
+            payload: BatchPayload::Rows(vec![Event::new(EventTypeId(t), RequestId(7), ts, vec![])]),
             matched: 1,
             sampled: 1,
             shed: 0,
@@ -1468,12 +1678,12 @@ mod memory_tests {
                     query_id: QueryId(1),
                     type_id: EventTypeId(0),
                     host: "h1".into(),
-                    events: vec![Event::new(
+                    payload: BatchPayload::Rows(vec![Event::new(
                         EventTypeId(0),
                         RequestId(w as u64 * 100 + i),
                         ts,
                         vec![Value::Long(i as i64)],
-                    )],
+                    )]),
                     matched: 1,
                     sampled: 1,
                     shed: 0,
@@ -1514,16 +1724,18 @@ mod memory_tests {
                 query_id: QueryId(1),
                 type_id: EventTypeId(0),
                 host: "h1".into(),
-                events: (0..100)
-                    .map(|i| {
-                        Event::new(
-                            EventTypeId(0),
-                            RequestId(i),
-                            ts,
-                            vec![Value::Long(i as i64)],
-                        )
-                    })
-                    .collect(),
+                payload: BatchPayload::Rows(
+                    (0..100)
+                        .map(|i| {
+                            Event::new(
+                                EventTypeId(0),
+                                RequestId(i),
+                                ts,
+                                vec![Value::Long(i as i64)],
+                            )
+                        })
+                        .collect(),
+                ),
                 matched: 100,
                 sampled: 100,
                 shed: 0,

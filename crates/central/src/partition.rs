@@ -221,7 +221,7 @@ impl PartitionedExecutor {
     /// plans, request-id split for joins. Header totals are observed
     /// exactly once by whichever component is authoritative for them.
     pub fn ingest(&mut self, batch: EventBatch) {
-        self.events_routed += batch.events.len() as u64;
+        self.events_routed += batch.len() as u64;
         // Counted once at the router: per-partition figures would not be
         // invariant under the partition count.
         self.decode_bytes += batch.approx_bytes() as u64;
@@ -424,6 +424,7 @@ impl PartitionedExecutor {
 mod tests {
     use super::*;
     use crate::threaded::{mix, split_by_request_id};
+    use scrub_agent::BatchPayload;
     use scrub_core::config::ScrubConfig;
     use scrub_core::event::{Event, RequestId};
     use scrub_core::plan::{compile, HostSampleInfo, QueryId};
@@ -468,9 +469,11 @@ mod tests {
             query_id: QueryId(5),
             type_id: EventTypeId(0),
             host: "h1".into(),
-            events: (0..n)
-                .map(|i| ev(0, i, 1_000, vec![Value::Long((i % 7) as i64)]))
-                .collect(),
+            payload: BatchPayload::Rows(
+                (0..n)
+                    .map(|i| ev(0, i, 1_000, vec![Value::Long((i % 7) as i64)]))
+                    .collect(),
+            ),
             matched: n,
             sampled: n,
             shed: 0,
@@ -479,6 +482,56 @@ mod tests {
             bytes: 0,
             spans: vec![],
         }
+    }
+
+    /// The decode operator's profiled byte total is the sum of the
+    /// batches' accounted sizes, and for columnar payloads that accounted
+    /// size is the *exact* encoded frame length — no modeled
+    /// approximation anywhere in the chain.
+    #[test]
+    fn profile_bytes_equal_encoded_columnar_lengths() {
+        use scrub_core::config::WireFormat;
+        use scrub_core::encode::encode_batch_format;
+
+        let src = "select bid.user_id, COUNT(*) from bid group by bid.user_id window 10 s";
+        let mut exec = PartitionedExecutor::new(plan_for(src), 0, 2);
+        let mut expect = 0u64;
+        for b in 0..4u64 {
+            let events: Vec<Event> = (0..50)
+                .map(|i| ev(0, b * 50 + i, 1_000, vec![Value::Long((i % 7) as i64)]))
+                .collect();
+            let frame = encode_batch_format(&events, WireFormat::Columnar);
+            let batch = EventBatch {
+                seq: b,
+                attempt: 0,
+                query_id: QueryId(5),
+                type_id: EventTypeId(0),
+                host: "h1".into(),
+                payload: BatchPayload::from_events(events, WireFormat::Columnar),
+                matched: 50,
+                sampled: 50,
+                shed: 0,
+                budget_shed: 0,
+                seen: 50,
+                bytes: 0,
+                spans: vec![],
+            };
+            assert_eq!(
+                batch.payload.approx_bytes(),
+                frame.len(),
+                "columnar payload accounting must be the encoded frame length"
+            );
+            expect += batch.approx_bytes() as u64;
+            exec.ingest(batch);
+        }
+        exec.advance(60_000);
+        let profile = exec.plan_profile();
+        let decode = profile
+            .ops
+            .iter()
+            .find(|op| op.label.starts_with("decode"))
+            .expect("decode operator in profile");
+        assert_eq!(decode.bytes, expect);
     }
 
     #[test]
@@ -516,7 +569,7 @@ mod tests {
                 query_id: QueryId(5),
                 type_id: EventTypeId(0),
                 host: "h1".into(),
-                events: bids,
+                payload: BatchPayload::Rows(bids),
                 matched: 200,
                 sampled: 200,
                 shed: 0,
@@ -531,7 +584,7 @@ mod tests {
                 query_id: QueryId(5),
                 type_id: EventTypeId(1),
                 host: "h2".into(),
-                events: imps,
+                payload: BatchPayload::Rows(imps),
                 matched: 100,
                 sampled: 100,
                 shed: 0,
@@ -566,7 +619,7 @@ mod tests {
                 query_id: QueryId(5),
                 type_id: EventTypeId(0),
                 host: "h1".into(),
-                events,
+                payload: BatchPayload::Rows(events),
                 matched: 100,
                 sampled: 100,
                 shed: 0,
@@ -606,12 +659,16 @@ mod tests {
     #[test]
     fn split_routes_every_event_exactly_once() {
         let batch = feed(10_000);
-        let originals: std::collections::HashSet<u64> =
-            batch.events.iter().map(|e| e.request_id.0).collect();
+        let originals: std::collections::HashSet<u64> = batch
+            .payload
+            .to_rows()
+            .iter()
+            .map(|e| e.request_id.0)
+            .collect();
         let shards = split_by_request_id(batch, 7);
         // Only non-empty shards come back, each tagged with its partition.
         assert!(shards.len() <= 7);
-        assert!(shards.iter().all(|(_, s)| !s.events.is_empty()));
+        assert!(shards.iter().all(|(_, s)| !s.is_empty()));
         // No drops, no duplicates: the union of shard events is exactly
         // the original event set.
         let mut seen = std::collections::HashSet::new();
@@ -624,12 +681,12 @@ mod tests {
             assert_eq!(shard.matched, 0);
             assert_eq!(shard.sampled, 0);
             assert_eq!(shard.seen, 0);
-            for ev in &shard.events {
+            for ev in shard.payload.to_rows() {
                 assert!(seen.insert(ev.request_id.0), "event routed twice");
                 // routing is by request-id hash, so stable per event
                 assert_eq!((mix(ev.request_id.0) % 7) as usize, *part);
             }
-            total += shard.events.len();
+            total += shard.len();
         }
         assert_eq!(total, 10_000);
         assert_eq!(seen, originals);
@@ -733,7 +790,7 @@ mod tests {
                     query_id: QueryId(5),
                     type_id: EventTypeId(0),
                     host: format!("h{h}"),
-                    events,
+                    payload: BatchPayload::Rows(events),
                     matched: 10,
                     sampled: 3,
                     shed: 0,

@@ -44,7 +44,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Instant;
 
-use scrub_agent::EventBatch;
+use scrub_agent::{BatchPayload, EventBatch};
 use scrub_core::event::Event;
 use scrub_core::plan::{CentralPlan, OutputMode};
 use scrub_obs::PlanProfile;
@@ -193,11 +193,8 @@ impl ThreadedBackend {
     /// amortized-advance due check. Late events already past the
     /// watermark only make `pending_low` conservative (an extra no-op
     /// barrier), never wrong.
-    fn note_window_range(&mut self, events: &[Event]) {
-        let (Some(ts_min), Some(ts_max)) = (
-            events.iter().map(|e| e.timestamp).min(),
-            events.iter().map(|e| e.timestamp).max(),
-        ) else {
+    fn note_window_range(&mut self, range: Option<(i64, i64)>) {
+        let Some((ts_min, ts_max)) = range else {
             return;
         };
         let w = self.plan.window_ms;
@@ -274,8 +271,8 @@ impl IngestBackend for ThreadedBackend {
 
     fn ingest(&mut self, batch: EventBatch) -> u64 {
         self.totals.observe_header(&batch);
-        self.note_window_range(&batch.events);
-        if batch.events.is_empty() {
+        self.note_window_range(batch.payload.ts_range());
+        if batch.is_empty() {
             // Header-only batch: the router just folded everything a
             // worker could use from it.
             return 0;
@@ -573,8 +570,10 @@ pub(crate) fn split_by_request_id(
 ) -> Vec<(usize, EventBatch)> {
     let p = partitions as u64;
     let mut shards: Vec<Vec<Event>> = (0..partitions).map(|_| Vec::new()).collect();
-    let total = batch.events.len();
-    for ev in batch.events {
+    let total = batch.len();
+    // Joins shard by request id, so columnar frames materialise here —
+    // the per-request buffers hold events anyway.
+    for ev in batch.payload.into_rows() {
         let shard = (mix(ev.request_id.0) % p) as usize;
         shards[shard].push(ev);
     }
@@ -596,7 +595,7 @@ pub(crate) fn split_by_request_id(
                     attempt: batch.attempt,
                     type_id: batch.type_id,
                     host: batch.host.clone(),
-                    events,
+                    payload: BatchPayload::Rows(events),
                     matched: 0,
                     sampled: 0,
                     shed: 0,

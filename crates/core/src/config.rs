@@ -107,6 +107,28 @@ pub struct ScrubConfig {
     /// config always prices a query the same way.
     #[serde(default = "default_admission_events_per_host_per_sec")]
     pub admission_events_per_host_per_sec: f64,
+    /// Agents: wire format for shipped event batches. `Columnar` (the
+    /// default) encodes per-(type, field) column segments — smaller on
+    /// the wire and decoded into typed column vectors that ScrubCentral's
+    /// vectorized operators consume directly. `Row` keeps the v1
+    /// interleaved tagged-row payload; results are identical either way
+    /// (only byte-valued counters differ), so the knob exists for
+    /// mixed-version fleets and for differential testing.
+    #[serde(default)]
+    pub wire_format: WireFormat,
+}
+
+/// Wire format agents use for shipped event batches (see
+/// [`ScrubConfig::wire_format`]). Central decodes both, plus headerless
+/// legacy v1 frames, regardless of this setting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WireFormat {
+    /// Interleaved tagged rows (wire format v1).
+    Row,
+    /// Per-column segments with dictionary strings and null bitmaps
+    /// (wire format v2, the default).
+    #[default]
+    Columnar,
 }
 
 /// What the query server does when admitting a query would break the
@@ -209,6 +231,7 @@ impl Default for ScrubConfig {
             max_groups: default_max_groups(),
             admission: AdmissionPolicy::default(),
             admission_events_per_host_per_sec: default_admission_events_per_host_per_sec(),
+            wire_format: WireFormat::default(),
         }
     }
 }
@@ -237,6 +260,9 @@ mod tests {
         assert_eq!(c.max_groups, 65_536);
         assert_eq!(c.admission, AdmissionPolicy::Off);
         assert_eq!(c.admission_events_per_host_per_sec, 10_000.0);
+        // Columnar is the default wire format; `Row` stays available for
+        // mixed-version fleets and differential tests.
+        assert_eq!(c.wire_format, WireFormat::Columnar);
         let auto = ScrubConfig::auto_partitions();
         assert!((1..=8).contains(&auto));
     }

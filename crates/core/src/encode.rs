@@ -8,10 +8,20 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
+use crate::columnar;
+use crate::config::WireFormat;
 use crate::error::{ScrubError, ScrubResult};
 use crate::event::{Event, RequestId};
 use crate::schema::EventTypeId;
 use crate::value::Value;
+
+/// Wire format byte for versioned frames: row (v1) layout after the header.
+pub const FORMAT_ROW: u8 = 1;
+/// Wire format byte for versioned frames: columnar (v2) layout.
+pub const FORMAT_COLUMNAR: u8 = 2;
+
+/// Decoder sanity cap on the claimed event count of a frame.
+pub(crate) const MAX_BATCH_EVENTS: usize = 1 << 24;
 
 const TAG_NULL: u8 = 0;
 const TAG_BOOL_FALSE: u8 = 1;
@@ -26,17 +36,17 @@ const TAG_LIST: u8 = 9;
 const TAG_NESTED: u8 = 10;
 
 /// ZigZag-encode a signed integer so small magnitudes stay small.
-fn zigzag(v: i64) -> u64 {
+pub(crate) fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }
 
 /// Inverse of [`zigzag`].
-fn unzigzag(v: u64) -> i64 {
+pub(crate) fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
 /// Append a LEB128 varint.
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+pub(crate) fn put_varint(buf: &mut BytesMut, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -49,7 +59,7 @@ fn put_varint(buf: &mut BytesMut, mut v: u64) {
 }
 
 /// Read a LEB128 varint.
-fn get_varint(buf: &mut Bytes) -> ScrubResult<u64> {
+pub(crate) fn get_varint(buf: &mut Bytes) -> ScrubResult<u64> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {
@@ -68,7 +78,7 @@ fn get_varint(buf: &mut Bytes) -> ScrubResult<u64> {
     }
 }
 
-fn put_value(buf: &mut BytesMut, v: &Value) {
+pub(crate) fn put_value(buf: &mut BytesMut, v: &Value) {
     match v {
         Value::Null => buf.put_u8(TAG_NULL),
         Value::Bool(false) => buf.put_u8(TAG_BOOL_FALSE),
@@ -117,7 +127,7 @@ fn put_value(buf: &mut BytesMut, v: &Value) {
     }
 }
 
-fn get_string(buf: &mut Bytes) -> ScrubResult<String> {
+pub(crate) fn get_string(buf: &mut Bytes) -> ScrubResult<String> {
     let len = get_varint(buf)? as usize;
     if buf.remaining() < len {
         return Err(ScrubError::Decode("truncated string".into()));
@@ -126,7 +136,7 @@ fn get_string(buf: &mut Bytes) -> ScrubResult<String> {
     String::from_utf8(raw.to_vec()).map_err(|_| ScrubError::Decode("invalid utf-8".into()))
 }
 
-fn get_value(buf: &mut Bytes, depth: u32) -> ScrubResult<Value> {
+pub(crate) fn get_value(buf: &mut Bytes, depth: u32) -> ScrubResult<Value> {
     if depth > 16 {
         return Err(ScrubError::Decode("value nesting too deep".into()));
     }
@@ -216,6 +226,11 @@ pub fn decode_event(buf: &mut Bytes) -> ScrubResult<Event> {
 }
 
 /// Encode a batch of events into a single frame (count-prefixed).
+///
+/// This is the *legacy* (unversioned) row frame, kept byte-identical for
+/// compatibility with already-stored data (the logging baseline) and old
+/// agents. New frames should use [`encode_batch_format`], which prefixes
+/// a `[0x00, format]` header.
 pub fn encode_batch(events: &[Event]) -> Bytes {
     let mut buf = BytesMut::with_capacity(events.len() * 32 + 8);
     put_varint(&mut buf, events.len() as u64);
@@ -225,7 +240,33 @@ pub fn encode_batch(events: &[Event]) -> Bytes {
     buf.freeze()
 }
 
-/// Decode a batch frame produced by [`encode_batch`].
+/// Encode a batch into a *versioned* frame: `[0x00, format, body]`.
+///
+/// The leading `0x00` cannot open a legacy non-empty frame (the count
+/// varint of `n >= 1` never starts with a zero byte) and the legacy empty
+/// frame is exactly one byte, so [`decode_batch`] can tell the three
+/// apart without external context.
+pub fn encode_batch_format(events: &[Event], format: WireFormat) -> Bytes {
+    let mut buf = BytesMut::with_capacity(events.len() * 32 + 16);
+    buf.put_u8(0x00);
+    match format {
+        WireFormat::Row => {
+            buf.put_u8(FORMAT_ROW);
+            put_varint(&mut buf, events.len() as u64);
+            for ev in events {
+                encode_event(&mut buf, ev);
+            }
+        }
+        WireFormat::Columnar => {
+            buf.put_u8(FORMAT_COLUMNAR);
+            columnar::encode_columnar_body(&mut buf, events);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a batch frame produced by [`encode_batch`] or
+/// [`encode_batch_format`] (any wire format).
 pub fn decode_batch(buf: Bytes) -> ScrubResult<Vec<Event>> {
     let mut out = Vec::new();
     decode_batch_into(buf, &mut out)?;
@@ -237,10 +278,30 @@ pub fn decode_batch(buf: Bytes) -> ScrubResult<Vec<Event>> {
 /// Hot-path variant of [`decode_batch`]: central decodes one frame per
 /// arriving batch, so reusing the output vector amortises its allocation
 /// across frames. On error the vector contents are unspecified (but valid).
+/// Dispatches on the wire format: frames opening with `0x00` and at least
+/// two bytes carry a format byte; anything else is a legacy row frame.
 pub fn decode_batch_into(mut buf: Bytes, out: &mut Vec<Event>) -> ScrubResult<()> {
     out.clear();
+    if buf.len() >= 2 && buf[0] == 0x00 {
+        let format = buf[1];
+        buf.advance(2);
+        return match format {
+            FORMAT_ROW => decode_row_body(buf, out),
+            FORMAT_COLUMNAR => {
+                let batch = columnar::decode_columnar_body(buf)?;
+                out.reserve(batch.event_count().min(4096));
+                batch.push_events(out);
+                Ok(())
+            }
+            other => Err(ScrubError::Decode(format!("unknown wire format {other}"))),
+        };
+    }
+    decode_row_body(buf, out)
+}
+
+fn decode_row_body(mut buf: Bytes, out: &mut Vec<Event>) -> ScrubResult<()> {
     let n = get_varint(&mut buf)? as usize;
-    if n > 1 << 24 {
+    if n > MAX_BATCH_EVENTS {
         return Err(ScrubError::Decode("implausible batch size".into()));
     }
     out.reserve(n.min(4096));
@@ -363,6 +424,58 @@ mod tests {
         for v in [0i64, 1, -1, i64::MAX, i64::MIN, 42, -42] {
             assert_eq!(unzigzag(zigzag(v)), v);
         }
+    }
+
+    #[test]
+    fn versioned_frames_decode_identically_to_legacy() {
+        let evs: Vec<Event> = (0..40)
+            .map(|i| {
+                Event::new(
+                    EventTypeId(1),
+                    RequestId(i),
+                    i as i64,
+                    vec![
+                        Value::Long(i as i64 % 5),
+                        Value::Str(format!("v{}", i % 3)),
+                        if i % 4 == 0 {
+                            Value::Null
+                        } else {
+                            Value::Double(0.5)
+                        },
+                    ],
+                )
+            })
+            .collect();
+        let legacy = encode_batch(&evs);
+        let row = encode_batch_format(&evs, WireFormat::Row);
+        let col = encode_batch_format(&evs, WireFormat::Columnar);
+        assert_eq!(&row[..2], &[0x00, FORMAT_ROW]);
+        assert_eq!(&col[..2], &[0x00, FORMAT_COLUMNAR]);
+        assert_eq!(decode_batch(legacy).unwrap(), evs);
+        assert_eq!(decode_batch(row).unwrap(), evs);
+        assert_eq!(
+            decode_batch(col).unwrap(),
+            evs,
+            "row-vs-columnar differential"
+        );
+    }
+
+    #[test]
+    fn legacy_empty_frame_still_decodes() {
+        // the legacy empty frame is the single byte 0x00 — it must not be
+        // mistaken for a versioned header
+        let frame = encode_batch(&[]);
+        assert_eq!(&frame[..], &[0x00]);
+        assert_eq!(decode_batch(frame).unwrap(), vec![]);
+        for fmt in [WireFormat::Row, WireFormat::Columnar] {
+            assert_eq!(decode_batch(encode_batch_format(&[], fmt)).unwrap(), vec![]);
+        }
+    }
+
+    #[test]
+    fn unknown_format_byte_rejected() {
+        let frame = Bytes::copy_from_slice(&[0x00, 0x77, 0x01]);
+        assert!(decode_batch(frame).is_err());
     }
 
     #[test]

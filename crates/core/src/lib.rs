@@ -40,6 +40,7 @@
 //! assert_eq!(compiled.window_ms, 10_000);
 //! ```
 
+pub mod columnar;
 pub mod config;
 pub mod encode;
 pub mod error;

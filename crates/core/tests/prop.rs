@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use scrub_core::encode::{decode_batch, encode_batch};
+use scrub_core::columnar::ColumnarFrame;
+use scrub_core::config::WireFormat;
+use scrub_core::encode::{decode_batch, encode_batch, encode_batch_format, FORMAT_COLUMNAR};
 use scrub_core::event::{Event, RequestId};
 use scrub_core::plan::{compile, QueryId};
 use scrub_core::prelude::*;
@@ -61,6 +63,87 @@ proptest! {
     #[test]
     fn decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
         let _ = decode_batch(bytes::Bytes::from(bytes));
+    }
+
+    /// Columnar frames round-trip any batch: empty batches, null cells
+    /// (validity bitmaps), and list/nested values (opaque row-encoded
+    /// fallback columns) included.
+    #[test]
+    fn columnar_codec_round_trips(events in prop::collection::vec(arb_event(), 0..20)) {
+        let frame = encode_batch_format(&events, WireFormat::Columnar);
+        let back = decode_batch(frame).unwrap();
+        prop_assert_eq!(back.len(), events.len());
+        for (a, b) in back.iter().zip(&events) {
+            prop_assert_eq!(a.type_id, b.type_id);
+            prop_assert_eq!(a.request_id, b.request_id);
+            prop_assert_eq!(a.timestamp, b.timestamp);
+            prop_assert_eq!(a.values.len(), b.values.len());
+            for (x, y) in a.values.iter().zip(&b.values) {
+                prop_assert_eq!(x.group_key(), y.group_key());
+            }
+        }
+    }
+
+    /// Row and columnar encodings of the same batch decode to the same
+    /// events — the differential the central ingest path relies on.
+    #[test]
+    fn row_and_columnar_decodes_agree(events in prop::collection::vec(arb_event(), 0..20)) {
+        let row = decode_batch(encode_batch_format(&events, WireFormat::Row)).unwrap();
+        let col = decode_batch(encode_batch_format(&events, WireFormat::Columnar)).unwrap();
+        prop_assert_eq!(row.len(), col.len());
+        for (a, b) in row.iter().zip(&col) {
+            prop_assert_eq!(a.type_id, b.type_id);
+            prop_assert_eq!(a.request_id, b.request_id);
+            prop_assert_eq!(a.timestamp, b.timestamp);
+            prop_assert_eq!(a.values.len(), b.values.len());
+            for (x, y) in a.values.iter().zip(&b.values) {
+                prop_assert_eq!(x.group_key(), y.group_key());
+            }
+        }
+    }
+
+    /// Column slices materialized without per-event allocation agree with
+    /// the original rows cell-for-cell, chunks preserve event order, and
+    /// the metadata iterator visits every (request id, timestamp) in
+    /// sequence.
+    #[test]
+    fn columnar_slices_match_rows(events in prop::collection::vec(arb_event(), 0..20)) {
+        let frame = ColumnarFrame::from_events(&events);
+        prop_assert_eq!(frame.len(), events.len());
+        let mut meta = Vec::new();
+        frame.for_each_meta(|rid, ts| meta.push((rid, ts)));
+        let expect: Vec<(u64, i64)> =
+            events.iter().map(|e| (e.request_id.0, e.timestamp)).collect();
+        prop_assert_eq!(meta, expect);
+        let batch = frame.decode().unwrap();
+        prop_assert_eq!(batch.event_count(), events.len());
+        let mut idx = 0;
+        for chunk in &batch.chunks {
+            for i in 0..chunk.len() {
+                let ev = &events[idx];
+                prop_assert_eq!(chunk.type_id, ev.type_id);
+                prop_assert_eq!(chunk.request_ids[i], ev.request_id.0);
+                prop_assert_eq!(chunk.timestamps[i], ev.timestamp);
+                prop_assert_eq!(chunk.columns.len(), ev.values.len());
+                for (j, col) in chunk.columns.iter().enumerate() {
+                    prop_assert_eq!(
+                        col.value_at(i).group_key(),
+                        ev.values[j].group_key()
+                    );
+                }
+                idx += 1;
+            }
+        }
+        prop_assert_eq!(idx, events.len());
+    }
+
+    /// The v2 columnar decoder is total: any byte soup behind a
+    /// `[0x00, FORMAT_COLUMNAR]` header returns Ok or Err, never panics.
+    #[test]
+    fn columnar_decoder_is_total(bytes in prop::collection::vec(any::<u8>(), 0..200)) {
+        let mut framed = vec![0u8, FORMAT_COLUMNAR];
+        framed.extend_from_slice(&bytes);
+        let _ = decode_batch(bytes::Bytes::from(framed));
     }
 
     /// total_cmp is antisymmetric and transitive (a genuine total order).

@@ -330,12 +330,11 @@ impl<E: ScrubEnvelope> CentralNode<E> {
         if aggregate {
             // count this batch's events into every window that covers them
             let mut counts: BTreeMap<i64, u64> = BTreeMap::new();
-            for ev in &batch.events {
-                let ts = ev.timestamp;
+            batch.payload.for_each_meta(|_rid, ts| {
                 for k in ((ts - window).div_euclid(slide) + 1)..=ts.div_euclid(slide) {
                     *counts.entry(k * slide).or_default() += 1;
                 }
-            }
+            });
             let wmap = self.window_events.entry(qid).or_default();
             for (w, n) in counts {
                 *wmap
@@ -351,10 +350,10 @@ impl<E: ScrubEnvelope> CentralNode<E> {
         let store = self.traces.entry(qid).or_default();
         store.ingest_spans(std::mem::take(&mut batch.spans), &batch.host);
         let mut done: HashSet<u64> = HashSet::new();
-        for ev in &batch.events {
-            let rid = ev.request_id.0;
-            if !should_trace(rid, self.trace_threshold) {
-                continue;
+        let threshold = self.trace_threshold;
+        batch.payload.for_each_meta(|rid, ts| {
+            if !should_trace(rid, threshold) {
+                return;
             }
             if done.insert(rid) {
                 store.add(TraceSpan {
@@ -373,12 +372,11 @@ impl<E: ScrubEnvelope> CentralNode<E> {
                 });
             }
             if aggregate {
-                let ts = ev.timestamp;
                 for k in ((ts - window).div_euclid(slide) + 1)..=ts.div_euclid(slide) {
                     store.assign_window(rid, k * slide, now_ms, "central");
                 }
             }
-        }
+        });
     }
 
     /// Drain one executor's window closes into the profile, node metrics
@@ -598,7 +596,7 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
                     let (query, host, events, bytes, retransmit, duplicate) = (
                         batch.query_id.0 as i64,
                         batch.host.clone(),
-                        batch.events.len() as i64,
+                        batch.len() as i64,
                         batch.approx_bytes() as i64,
                         (batch.attempt > 0) as i64,
                         !fresh as i64,
@@ -621,7 +619,7 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
                     self.duplicate_batches += 1;
                     self.m_duplicates.inc();
                     if let Some(p) = self.profiles.get_mut(&batch.query_id) {
-                        p.observe_duplicate(&batch.host, batch.events.len() as u64);
+                        p.observe_duplicate(&batch.host, batch.len() as u64);
                     }
                     if let Some(exec) = self.executors.get_mut(&batch.query_id) {
                         exec.note_duplicate();
@@ -632,14 +630,9 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
                     .entry(batch.query_id)
                     .or_default()
                     .insert(batch.host.clone(), now_ms);
-                self.events_ingested += batch.events.len() as u64;
-                self.m_events.add(batch.events.len() as u64);
-                let latency = batch
-                    .events
-                    .iter()
-                    .map(|e| e.timestamp)
-                    .max()
-                    .map(|newest| now_ms - newest);
+                self.events_ingested += batch.len() as u64;
+                self.m_events.add(batch.len() as u64);
+                let latency = batch.payload.ts_range().map(|(_, newest)| now_ms - newest);
                 if let Some(lat) = latency {
                     self.m_ingest_latency.record(lat);
                 }
@@ -648,7 +641,7 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
                         &batch.host,
                         batch.type_id.0,
                         batch.approx_bytes() as u64,
-                        batch.events.len() as u64,
+                        batch.len() as u64,
                         batch.matched,
                         batch.sampled,
                         batch.shed,

@@ -63,12 +63,13 @@ fn annotate_wire_copy(
         return;
     }
     let mut done: HashSet<u64> = HashSet::new();
-    for ev in &batch.events {
-        let rid = ev.request_id.0;
+    let mut spans = std::mem::take(&mut batch.spans);
+    batch.payload.for_each_meta(|rid, _ts| {
         if should_trace(rid, threshold) && done.insert(rid) {
-            batch.spans.push(TraceSpan::new(rid, kind, at_ms, detail));
+            spans.push(TraceSpan::new(rid, kind, at_ms, detail));
         }
-    }
+    });
+    batch.spans = spans;
 }
 
 impl AgentHarness {

@@ -3,7 +3,7 @@
 //! service registry, applies host sampling, dispatches query objects to
 //! hosts and ScrubCentral, enforces the query span, and collects results.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::marker::PhantomData;
 use std::sync::Arc;
 
@@ -118,7 +118,8 @@ pub struct QueryServerNode<E: ScrubEnvelope> {
     /// name them explicitly — self-observability queries.
     meta_inventory: Vec<(NodeId, HostInfo)>,
     next_qid: u64,
-    queries: HashMap<QueryId, QueryRecord>,
+    /// Ordered so float-summing running costs is deterministic across runs.
+    queries: BTreeMap<QueryId, QueryRecord>,
     /// Queries rejected at submission, with reasons (for tests/inspection).
     pub rejected: Vec<(String, String)>,
     /// Every admission-control decision in submission order (only
@@ -189,7 +190,7 @@ impl<E: ScrubEnvelope> QueryServerNode<E> {
             inventory,
             meta_inventory: Vec::new(),
             next_qid: 1,
-            queries: HashMap::new(),
+            queries: BTreeMap::new(),
             rejected: Vec::new(),
             admission_log: Vec::new(),
             pending_evictions: Vec::new(),
@@ -330,6 +331,7 @@ impl<E: ScrubEnvelope> QueryServerNode<E> {
         let (est_fixed, est_variable) = cost.query_cost_fractions(
             &compiled.host_plans,
             self.config.admission_events_per_host_per_sec,
+            self.config.wire_format,
         );
         let mut est = est_fixed + est_variable;
         let budget = self.config.host_cpu_budget;

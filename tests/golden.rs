@@ -162,7 +162,13 @@ fn use_case_queries() -> Vec<&'static str> {
 /// One seeded platform run of all five use-case queries; returns each
 /// query's (static `explain`, ns-masked `explain analyze`) rendering.
 fn run_explains() -> Vec<(String, String)> {
-    let mut p = adplatform::build_platform(PlatformConfig::default());
+    run_explains_with(|_| {})
+}
+
+fn run_explains_with(tweak: impl Fn(&mut PlatformConfig)) -> Vec<(String, String)> {
+    let mut cfg = PlatformConfig::default();
+    tweak(&mut cfg);
+    let mut p = adplatform::build_platform(cfg);
     let handles: Vec<QueryHandle> = use_case_queries()
         .into_iter()
         .map(|src| {
@@ -229,4 +235,45 @@ fn explain_and_explain_analyze_are_byte_stable() {
         !sel_line.contains("rows         0"),
         "spam use case saw no bids: {sel_line}"
     );
+}
+
+/// Strip the trailing `  bytes N` column: wire bytes legitimately differ
+/// between the row and columnar encodings of the same event stream.
+fn mask_bytes_column(rendered: &str) -> String {
+    rendered
+        .lines()
+        .map(|l| l.split("  bytes ").next().unwrap_or(l))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// The `explain analyze` goldens must be wire-format invariant: running
+/// the same seeded platform with row (v1) instead of columnar (v2,
+/// default) encoding changes only the byte column (columnar frames are
+/// smaller) and wall-clock ns (masked by `render(true)`). Every row
+/// counter, selectivity estimate and note stays byte-identical — the
+/// vectorized columnar operators must not change what the platform
+/// observes, only how fast and how small. Scrub's host-overhead
+/// feedback is disabled for both runs: with it on, smaller frames mean
+/// less per-byte agent CPU, which (correctly) changes how the modeled
+/// application itself behaves and thus the traffic being observed.
+#[test]
+fn explain_analyze_is_wire_format_invariant_modulo_bytes() {
+    let col = run_explains_with(|c| c.scrub_overhead_enabled = false);
+    let row = run_explains_with(|c| {
+        c.scrub_overhead_enabled = false;
+        c.scrub.wire_format = scrub_core::config::WireFormat::Row;
+    });
+    assert_eq!(col.len(), row.len());
+    for (i, ((ex_c, an_c), (ex_r, an_r))) in col.iter().zip(&row).enumerate() {
+        assert_eq!(
+            ex_c, ex_r,
+            "use case {i}: static explain differs across wire formats"
+        );
+        assert_eq!(
+            mask_bytes_column(an_c),
+            mask_bytes_column(an_r),
+            "use case {i}: analyze counters differ across wire formats"
+        );
+    }
 }

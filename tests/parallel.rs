@@ -331,6 +331,85 @@ fn aggregate_rows_identical_across_partition_counts() {
     );
 }
 
+/// The v1 row wire format must stay partition-invariant too (the default
+/// config runs columnar, so every other differential here covers v2).
+#[test]
+fn aggregate_rows_identical_across_partitions_with_row_wire_format() {
+    assert_differential_with(
+        "select bid.user_id, COUNT(*) from bid @[all] \
+         group by bid.user_id window 5 s duration 15 s",
+        false,
+        4,
+        |c| c.wire_format = scrub_core::config::WireFormat::Row,
+    );
+}
+
+/// The plan-profile signature with byte-valued counters removed: wire
+/// bytes legitimately differ between row and columnar encodings, but
+/// every integer row counter, estimate and operator identity must not.
+fn format_invariant_plan_sig(sig: &str) -> String {
+    sig.lines()
+        .filter(|l| l.starts_with("op"))
+        .map(|l| l.split(" bytes=").next().unwrap_or(l).to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// Row-encoded and columnar-encoded runs of the same deployment must
+/// produce the same results, summary counters, trace lifecycles,
+/// estimates and integer plan-profile counters. Two artifacts are
+/// compared with format-aware tolerance: wire bytes legitimately differ
+/// (columnar frames are smaller), and — because the simnet charges a
+/// per-byte transmit delay — batch arrival interleaving across hosts
+/// shifts, which perturbs f64 reduction order (AVG/SUM of doubles) and
+/// span timestamps. Bitwise fold identity between the row loop and the
+/// vectorized columnar path is proven separately by the executor-level
+/// property test below, where the interleaving is held fixed.
+#[test]
+fn row_and_columnar_wire_formats_agree_end_to_end() {
+    let q = "select bid.user_id, COUNT(*), AVG(bid.price) from bid @[all] \
+             group by bid.user_id window 5 s duration 15 s";
+    let (rows_c, sig_c, est_c, traces_c, _ledger_c, plan_c) = run_with(1, q, false, |_| {});
+    let (rows_r, sig_r, est_r, traces_r, _ledger_r, plan_r) = run_with(1, q, false, |c| {
+        c.wire_format = scrub_core::config::WireFormat::Row;
+    });
+    assert!(!rows_c.is_empty(), "reference run produced no rows");
+    assert_rows_eq(&rows_c, &rows_r);
+    assert_eq!(sig_c, sig_r, "summaries diverge between wire formats");
+    // Same requests traced, same hop sequence per request; at_ms is
+    // arrival-time dependent and therefore format dependent.
+    let hops = |t: &std::collections::BTreeMap<u64, Vec<(SpanKind, i64, String)>>| {
+        t.iter()
+            .map(|(rid, spans)| {
+                let seq: Vec<(SpanKind, String)> =
+                    spans.iter().map(|(k, _, h)| (*k, h.clone())).collect();
+                (*rid, seq)
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        hops(&traces_c),
+        hops(&traces_r),
+        "trace lifecycles diverge between wire formats"
+    );
+    assert_eq!(est_c.len(), est_r.len());
+    for (i, (a, b)) in est_c.iter().zip(&est_r).enumerate() {
+        match (a, b) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert_f64_eq(a.estimate, b.estimate, &format!("estimate[{i}]"));
+                assert_f64_eq(a.error_bound, b.error_bound, &format!("error_bound[{i}]"));
+            }
+            _ => panic!("estimate[{i}] present in one format only"),
+        }
+    }
+    assert_eq!(
+        format_invariant_plan_sig(&plan_c),
+        format_invariant_plan_sig(&plan_r),
+        "integer plan-profile counters diverge between wire formats"
+    );
+}
+
 #[test]
 fn join_rows_identical_across_partition_counts() {
     assert_differential(
@@ -453,8 +532,9 @@ fn chaos_run_identical_across_partition_counts() {
 // batch pipeline (Welford merge + keep-smallest-keys re-cap), exercised
 // directly against the production `PartitionedExecutor`.
 
-use scrub_agent::EventBatch;
+use scrub_agent::{BatchPayload, EventBatch};
 use scrub_central::PartitionedExecutor;
+use scrub_core::config::WireFormat;
 use scrub_core::event::Event;
 use scrub_core::plan::{compile, QueryId};
 use scrub_core::ql::parser::parse_query;
@@ -466,6 +546,7 @@ fn fold_run(
     events: &[(i64, i64, f64)],
     chunk: usize,
     parts: usize,
+    format: WireFormat,
 ) -> (Vec<(i64, Vec<Value>, bool)>, QuerySummary) {
     let reg = registry();
     let spec = parse_query(
@@ -497,7 +578,7 @@ fn fold_run(
             query_id: QueryId(9),
             type_id: EventTypeId(0),
             host: format!("h{}", seq % 3),
-            events: evs,
+            payload: BatchPayload::from_events(evs, format),
             matched: n,
             sampled: n,
             shed: 0,
@@ -531,10 +612,20 @@ proptest! {
             .iter()
             .map(|(ts, user, p)| (*ts, *user, *p as f64 * 0.01))
             .collect();
-        let (rows1, s1) = fold_run(&events, chunk, 1);
-        let (rows_n, sn) = fold_run(&events, chunk, parts);
+        let (rows1, s1) = fold_run(&events, chunk, 1, WireFormat::Columnar);
+        let (rows_n, sn) = fold_run(&events, chunk, parts, WireFormat::Columnar);
         prop_assert!(!rows1.is_empty());
         assert_rows_eq(&rows1, &rows_n);
+        // the vectorized columnar fold replicates the row loop's exact
+        // operation order, so a row-encoded run is *bitwise* identical
+        let (rows_r, sr) = fold_run(&events, chunk, 1, WireFormat::Row);
+        prop_assert_eq!(&rows1, &rows_r);
+        let (rows_rn, srn) = fold_run(&events, chunk, parts, WireFormat::Row);
+        assert_rows_eq(&rows_r, &rows_rn);
+        prop_assert_eq!(s1.total_matched, sr.total_matched);
+        prop_assert_eq!(s1.windows_emitted, sr.windows_emitted);
+        prop_assert_eq!(s1.groups_overflow, sr.groups_overflow);
+        prop_assert_eq!(sr.groups_overflow, srn.groups_overflow);
         prop_assert_eq!(s1.total_matched, sn.total_matched);
         prop_assert_eq!(s1.total_sampled, sn.total_sampled);
         prop_assert_eq!(s1.hosts_reporting, sn.hosts_reporting);

@@ -338,7 +338,7 @@ fn no_shedding_under_budget() {
 fn queries_survive_extreme_join_fanout() {
     // one request id shared by a flood of events on both sides of a join:
     // the cross-product cap must keep central alive and results bounded
-    use scrub_agent::EventBatch;
+    use scrub_agent::{BatchPayload, EventBatch};
     use scrub_central::{QueryExecutor, MAX_JOIN_ROWS_PER_REQUEST};
     use scrub_core::event::Event;
     use scrub_core::plan::{compile, QueryId};
@@ -358,9 +358,11 @@ fn queries_survive_extreme_join_fanout() {
             query_id: QueryId(1),
             type_id: EventTypeId(t),
             host: format!("h{t}"),
-            events: (0..1000)
-                .map(|i| Event::new(EventTypeId(t), RequestId(7), i, vec![]))
-                .collect(),
+            payload: BatchPayload::Rows(
+                (0..1000)
+                    .map(|i| Event::new(EventTypeId(t), RequestId(7), i, vec![]))
+                    .collect(),
+            ),
             matched: 1000,
             sampled: 1000,
             shed: 0,
