@@ -29,7 +29,7 @@ use crate::{Report, Table};
 /// Query templates ramped in both phases (cycled until `n` submissions).
 /// Deliberately heavier than E07's mix: two high-cardinality group-bys
 /// (user ids; exclusion fan-out) so central group state is exercised too.
-const RAMP_QUERIES: &[&str] = &[
+pub(crate) const RAMP_QUERIES: &[&str] = &[
     "select bid.user_id, COUNT(*) from bid group by bid.user_id @[Service in BidServers]",
     "select COUNT(*) from exclusion @[Service in AdServers]",
     "select impression.exchange_id, COUNT(*) from impression \

@@ -20,6 +20,7 @@ pub mod e17_self_obs;
 pub mod e18_tracing;
 pub mod e19_plan_profile;
 pub mod e20_overload;
+pub mod e21_watchdog;
 
 use crate::Report;
 
@@ -49,5 +50,6 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("e18_tracing", e18_tracing::run),
         ("e19_plan_profile", e19_plan_profile::run),
         ("e20_overload", e20_overload::run),
+        ("e21_watchdog", e21_watchdog::run),
     ]
 }

@@ -22,11 +22,11 @@
 //! A chunk covers a maximal run of consecutive events with equal
 //! `(type_id, arity)`; since a subscription taps a single event type, a
 //! batch is one chunk in practice. The column `tag` is a base type in the
-//! low bits plus the [`COL_NULLABLE`] flag; when set, the body starts with
+//! low bits plus the `COL_NULLABLE` flag; when set, the body starts with
 //! a validity bitmap (bit i set = value i present) and the typed values
 //! that follow are dense over the *present* rows only. Columns that mix
 //! value variants (including `Int` vs `Long`), or contain lists/nested
-//! values, fall back to [`COL_MIXED`]: per-row tagged encoding identical
+//! values, fall back to `COL_MIXED`: per-row tagged encoding identical
 //! to the row format. Exact `Value` variants always round-trip — `Int` is
 //! never widened to `Long` nor `Float` to `Double` — because decoded
 //! values feed group keys and MIN/MAX aggregates whose rendered output

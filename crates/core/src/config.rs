@@ -116,6 +116,43 @@ pub struct ScrubConfig {
     /// mixed-version fleets and for differential testing.
     #[serde(default)]
     pub wire_format: WireFormat,
+    /// Central: evaluate the health plane's alert rules at every
+    /// metrics-history tick. On by default — evaluation is a handful of
+    /// integer comparisons per rule per advance and only watches
+    /// partition-invariant metrics, so it cannot perturb results.
+    #[serde(default = "default_alerts_enabled")]
+    pub alerts_enabled: bool,
+    /// Central: capacity of the bounded alert log (oldest evicted and
+    /// counted beyond it).
+    #[serde(default = "default_alert_log_cap")]
+    pub alert_log_cap: usize,
+    /// Alert hysteresis: consecutive true evaluations required before a
+    /// default rule fires.
+    #[serde(default = "default_alert_for_ticks")]
+    pub alert_for_ticks: u32,
+    /// Alert hysteresis: consecutive false evaluations required before
+    /// a firing default rule clears.
+    #[serde(default = "default_alert_clear_ticks")]
+    pub alert_clear_ticks: u32,
+    /// Anomaly detection: z-score bound on per-interval deltas (the
+    /// Welford baseline flags excursions beyond this many σ).
+    #[serde(default = "default_anomaly_z")]
+    pub anomaly_z: f64,
+    /// Anomaly detection: warmup — baselines with fewer than this many
+    /// observed intervals never flag.
+    #[serde(default = "default_anomaly_min_intervals")]
+    pub anomaly_min_intervals: usize,
+    /// Anomaly detection: watched metric names. The default watches
+    /// central ingest volume; entries must be per-tick
+    /// partition-invariant metrics (never `_ns` wall-clock values or
+    /// `central.ingest_backpressure`) or the determinism contract of
+    /// the alert log breaks.
+    #[serde(default = "default_anomaly_metrics")]
+    pub anomaly_metrics: Vec<String>,
+    /// Server/central: per-query flight-recorder capacity (lifecycle
+    /// journal entries; oldest evicted and counted beyond it).
+    #[serde(default = "default_flight_recorder_cap")]
+    pub flight_recorder_cap: usize,
 }
 
 /// Wire format agents use for shipped event batches (see
@@ -189,6 +226,30 @@ fn default_max_groups() -> usize {
 fn default_admission_events_per_host_per_sec() -> f64 {
     10_000.0
 }
+fn default_alerts_enabled() -> bool {
+    true
+}
+fn default_alert_log_cap() -> usize {
+    256
+}
+fn default_alert_for_ticks() -> u32 {
+    1
+}
+fn default_alert_clear_ticks() -> u32 {
+    2
+}
+fn default_anomaly_z() -> f64 {
+    6.0
+}
+fn default_anomaly_min_intervals() -> usize {
+    12
+}
+fn default_anomaly_metrics() -> Vec<String> {
+    vec!["central.events_ingested".to_string()]
+}
+fn default_flight_recorder_cap() -> usize {
+    256
+}
 
 impl ScrubConfig {
     /// Opt-in parallelism for `central_partitions`: the machine's
@@ -232,6 +293,14 @@ impl Default for ScrubConfig {
             admission: AdmissionPolicy::default(),
             admission_events_per_host_per_sec: default_admission_events_per_host_per_sec(),
             wire_format: WireFormat::default(),
+            alerts_enabled: default_alerts_enabled(),
+            alert_log_cap: default_alert_log_cap(),
+            alert_for_ticks: default_alert_for_ticks(),
+            alert_clear_ticks: default_alert_clear_ticks(),
+            anomaly_z: default_anomaly_z(),
+            anomaly_min_intervals: default_anomaly_min_intervals(),
+            anomaly_metrics: default_anomaly_metrics(),
+            flight_recorder_cap: default_flight_recorder_cap(),
         }
     }
 }
@@ -263,6 +332,19 @@ mod tests {
         // Columnar is the default wire format; `Row` stays available for
         // mixed-version fleets and differential tests.
         assert_eq!(c.wire_format, WireFormat::Columnar);
+        // Health plane: alerts are on by default (pure observation —
+        // they cannot change results), with bounded logs/journals and
+        // an anomaly watchlist restricted to partition-invariant
+        // metrics.
+        assert!(c.alerts_enabled);
+        assert!(c.alert_log_cap > 0);
+        assert!(c.alert_for_ticks >= 1);
+        assert!(c.alert_clear_ticks >= 1);
+        assert!(c.anomaly_z > 0.0);
+        assert!(c.anomaly_min_intervals >= 2);
+        assert_eq!(c.anomaly_metrics, vec!["central.events_ingested"]);
+        assert!(!c.anomaly_metrics.iter().any(|m| m.ends_with("_ns")));
+        assert!(c.flight_recorder_cap >= 4);
         let auto = ScrubConfig::auto_partitions();
         assert!((1..=8).contains(&auto));
     }

@@ -66,11 +66,10 @@ pub fn render_text(snap: &MetricsSnapshot) -> String {
         let _ = writeln!(out, "{n}_sum {}", h.sum);
         let _ = writeln!(out, "{n}_count {}", h.count);
         if h.dropped_merges > 0 {
-            let _ = writeln!(
-                out,
-                "# WARN {n}: {} merges skipped (bounds mismatch)",
-                h.dropped_merges
-            );
+            // first-class counter, not a footnote: silent telemetry
+            // loss must itself be scrapeable and alertable
+            let _ = writeln!(out, "# TYPE {n}_dropped_merges counter");
+            let _ = writeln!(out, "{n}_dropped_merges {}", h.dropped_merges);
         }
     }
     out
@@ -122,7 +121,7 @@ mod tests {
     }
 
     #[test]
-    fn dropped_merges_surface_as_warning() {
+    fn dropped_merges_surface_as_counter() {
         let a = Registry::new();
         let mut snap = a.histogram_with("h", &[1]).snapshot();
         let foreign = Registry::new().histogram_with("h", &[2, 3]).snapshot();
@@ -130,6 +129,15 @@ mod tests {
         let mut ms = MetricsSnapshot::default();
         ms.histograms.insert("h".into(), snap);
         let text = render_text(&ms);
-        assert!(text.contains("# WARN scrub_h: 1 merges skipped"));
+        assert!(text.contains("# TYPE scrub_h_dropped_merges counter"));
+        assert!(text.contains("scrub_h_dropped_merges 1"));
+        // a clean histogram emits no dropped_merges sample at all
+        let clean = render_text(&{
+            let mut m = MetricsSnapshot::default();
+            m.histograms
+                .insert("h".into(), a.histogram_with("h", &[1]).snapshot());
+            m
+        });
+        assert!(!clean.contains("dropped_merges"));
     }
 }

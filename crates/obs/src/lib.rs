@@ -33,7 +33,15 @@
 //!   delta/rate queries, the data behind `scrubql watch`.
 //! * [`export`] — stable, sorted Prometheus-style text exposition
 //!   ([`Registry::render_text`]) so runs leave a scrapeable artifact.
+//! * [`alert`] — a deterministic rule engine (threshold / delta /
+//!   burn-rate with hysteresis) plus Welford-baseline anomaly
+//!   detection evaluated at each history tick, feeding a bounded
+//!   byte-stable [`AlertLog`] whose events carry provenance links.
+//! * [`timeline`] — a per-query [`FlightRecorder`]: a bounded journal
+//!   of lifecycle events (admission, plan, windows, evictions,
+//!   retransmit episodes, alert firings) behind `scrubql timeline`.
 
+pub mod alert;
 pub mod export;
 pub mod history;
 pub mod ledger;
@@ -41,8 +49,13 @@ pub mod meta;
 pub mod metrics;
 pub mod opstats;
 pub mod profile;
+pub mod timeline;
 pub mod trace;
 
+pub use alert::{
+    default_rules, AlertEngine, AlertEvent, AlertEventKind, AlertLog, AlertProvenance, AlertRule,
+    AnomalyDetector, RuleKind,
+};
 pub use export::{render_text, sanitize_name};
 pub use history::{sparkline, MetricPoint, MetricsHistory};
 pub use ledger::{HostLosses, LedgerParts, LossLedger};
@@ -50,4 +63,8 @@ pub use meta::{register_meta_events, MetaEvents, ScrubBatchEvent, ScrubWindowEve
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use opstats::{OperatorStats, PlanProfile};
 pub use profile::{HostProfile, QueryProfile};
+pub use timeline::{
+    merge_timelines, render_timeline, render_timeline_json, FlightEvent, FlightEventKind,
+    FlightRecorder, DEFAULT_FLIGHT_RECORDER_CAP,
+};
 pub use trace::{should_trace, trace_threshold, SpanKind, TraceSpan, TraceStore};

@@ -25,7 +25,7 @@
 //! Batches that themselves carry meta-events are not re-tapped, which
 //! breaks the feedback loop after one hop.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::marker::PhantomData;
 use std::sync::Arc;
 
@@ -36,7 +36,8 @@ use scrub_core::event::RequestId;
 use scrub_core::plan::{OutputMode, QueryId};
 use scrub_core::schema::SchemaRegistry;
 use scrub_obs::{
-    register_meta_events, should_trace, trace_threshold, Counter, Histogram, LedgerParts,
+    register_meta_events, should_trace, trace_threshold, AlertEngine, AlertEventKind,
+    AlertProvenance, Counter, FlightEventKind, FlightRecorder, Gauge, Histogram, LedgerParts,
     LossLedger, MetaEvents, MetricsHistory, MetricsSnapshot, PlanProfile, QueryProfile, Registry,
     ScrubBatchEvent, ScrubWindowEvent, SpanKind, TraceSpan, TraceStore,
 };
@@ -102,13 +103,35 @@ pub struct CentralNode<E: ScrubEnvelope> {
     m_ingest_latency: Arc<Histogram>,
     m_budget_shed: Arc<Counter>,
     m_groups_overflow: Arc<Counter>,
-    /// Last `(budget_shed, groups_overflow)` totals folded into the node
-    /// counters per query, so each advance adds only the delta.
-    overload_seen: HashMap<QueryId, (u64, u64)>,
+    m_retransmitted: Arc<Counter>,
+    m_batch_dropped: Arc<Counter>,
+    m_trace_dropped: Arc<Counter>,
+    m_advance_barriers: Arc<Counter>,
+    m_advances_skipped: Arc<Counter>,
+    m_hosts_suspected: Arc<Gauge>,
+    m_alerts_fired: Arc<Counter>,
+    m_alerts_cleared: Arc<Counter>,
+    m_anomalies: Arc<Counter>,
+    /// Last per-query cumulative totals folded into the node counters,
+    /// so each advance adds only the delta (profiles and
+    /// `ExecutorStats` are cumulative; the node metrics want fleet
+    /// totals without double counting).
+    fold_seen: HashMap<QueryId, FoldSeen>,
     /// Last cumulative `backpressure_stalls` folded per query
     /// (`ExecutorStats` counters are cumulative; the node metric wants
     /// deltas).
     bp_seen: HashMap<QueryId, u64>,
+    /// The health plane: rule engine + anomaly baselines + bounded
+    /// alert log, ticked right after each history snapshot.
+    alerts: AlertEngine,
+    /// Per-query lifecycle journals (data-plane half: window closes,
+    /// retransmit episodes, host deaths, alert firings). Retained after
+    /// a query finishes, like `profiles`.
+    recorders: HashMap<QueryId, FlightRecorder>,
+    /// Per-metric evidence hints for the alert engine, refreshed
+    /// whenever a fold sees a positive delta: which query/host moved
+    /// the metric last, and which ledger column names the cause.
+    prov_hints: BTreeMap<String, AlertProvenance>,
     /// Resolved meta-event type ids (registered into the shared schema
     /// registry at construction).
     meta: MetaEvents,
@@ -119,6 +142,19 @@ pub struct CentralNode<E: ScrubEnvelope> {
     /// queries never join on it).
     meta_rid: u64,
     _marker: PhantomData<fn(E)>,
+}
+
+/// Per-query high-water marks of cumulative figures already folded into
+/// the node counters (see `CentralNode::fold_seen`).
+#[derive(Debug, Clone, Copy, Default)]
+struct FoldSeen {
+    budget_shed: u64,
+    groups_overflow: u64,
+    retransmitted: u64,
+    batch_dropped: u64,
+    trace_dropped: u64,
+    advance_barriers: u64,
+    advances_skipped: u64,
 }
 
 impl<E: ScrubEnvelope> CentralNode<E> {
@@ -143,8 +179,22 @@ impl<E: ScrubEnvelope> CentralNode<E> {
         let m_ingest_latency = obs.histogram("central.ingest_latency_ms");
         let m_budget_shed = obs.counter("overload.budget_shed_events");
         let m_groups_overflow = obs.counter("overload.groups_overflow");
+        let m_retransmitted = obs.counter("agent.retransmitted_batches");
+        let m_batch_dropped = obs.counter("ledger.batch_dropped");
+        let m_trace_dropped = obs.counter("trace.dropped_spans");
+        let m_advance_barriers = obs.counter("executor.advance_barriers");
+        let m_advances_skipped = obs.counter("executor.advances_skipped");
+        let m_hosts_suspected = obs.gauge("central.hosts_suspected");
+        let m_alerts_fired = obs.counter("alert.fired");
+        let m_alerts_cleared = obs.counter("alert.cleared");
+        let m_anomalies = obs.counter("alert.anomalies");
         let history = MetricsHistory::new(config.obs_history_len);
         let trace_thresh = trace_threshold(config.trace_sample_rate);
+        let alerts = if config.alerts_enabled {
+            AlertEngine::from_config(&config)
+        } else {
+            AlertEngine::new(config.alert_log_cap)
+        };
         CentralNode {
             config,
             server: None,
@@ -176,8 +226,20 @@ impl<E: ScrubEnvelope> CentralNode<E> {
             m_ingest_latency,
             m_budget_shed,
             m_groups_overflow,
-            overload_seen: HashMap::new(),
+            m_retransmitted,
+            m_batch_dropped,
+            m_trace_dropped,
+            m_advance_barriers,
+            m_advances_skipped,
+            m_hosts_suspected,
+            m_alerts_fired,
+            m_alerts_cleared,
+            m_anomalies,
+            fold_seen: HashMap::new(),
             bp_seen: HashMap::new(),
+            alerts,
+            recorders: HashMap::new(),
+            prov_hints: BTreeMap::new(),
             meta,
             meta_harness: None,
             meta_rid: 0,
@@ -257,6 +319,19 @@ impl<E: ScrubEnvelope> CentralNode<E> {
         &self.history
     }
 
+    /// The health plane: alert rules, hysteresis states, anomaly
+    /// baselines and the bounded alert log.
+    pub fn alert_engine(&self) -> &AlertEngine {
+        &self.alerts
+    }
+
+    /// The data-plane half of a query's flight recorder (window closes,
+    /// retransmit episodes, host deaths, alert firings); retained after
+    /// the query finishes. `None` for unknown queries.
+    pub fn flight_recorder(&self, qid: QueryId) -> Option<&FlightRecorder> {
+        self.recorders.get(&qid)
+    }
+
     /// Tap-side counters of the embedded meta agent (how much of Scrub's
     /// own telemetry was collected/shipped).
     pub fn meta_agent_stats(&self) -> Option<scrub_agent::StatsSnapshot> {
@@ -290,8 +365,11 @@ impl<E: ScrubEnvelope> CentralNode<E> {
             .collect()
     }
 
-    fn refresh_dead_hosts(&mut self) {
-        let qids: Vec<QueryId> = self.executors.keys().copied().collect();
+    fn refresh_dead_hosts(&mut self, now_ms: i64) {
+        let mut qids: Vec<QueryId> = self.executors.keys().copied().collect();
+        qids.sort();
+        let mut union: BTreeSet<String> = BTreeSet::new();
+        let mut first_hint: Option<AlertProvenance> = None;
         for qid in qids {
             let dead = self.suspect_hosts(qid);
             if !dead.is_empty() || self.ledger_parts.contains_key(&qid) {
@@ -300,9 +378,47 @@ impl<E: ScrubEnvelope> CentralNode<E> {
             }
             if let Some(exec) = self.executors.get_mut(&qid) {
                 if *exec.dead_hosts() != dead {
-                    exec.set_dead_hosts(dead);
+                    // journal hosts crossing into suspected-dead for
+                    // this query (qids are sorted, so entry order is
+                    // deterministic)
+                    let mut newly: Vec<&String> = dead
+                        .iter()
+                        .filter(|h| !exec.dead_hosts().contains(*h))
+                        .collect();
+                    newly.sort();
+                    if let Some(rec) = self.recorders.get_mut(&qid) {
+                        for host in newly {
+                            rec.record(
+                                now_ms,
+                                FlightEventKind::HostDead,
+                                format!("host={host} silent past grace"),
+                                AlertProvenance {
+                                    query_id: Some(qid.0),
+                                    host: Some(host.clone()),
+                                    ledger_column: Some("host_dead".to_string()),
+                                    trace_rid: None,
+                                },
+                            );
+                        }
+                    }
+                    exec.set_dead_hosts(dead.clone());
                 }
             }
+            if !dead.is_empty() && first_hint.is_none() {
+                let host = dead.iter().min().cloned();
+                first_hint = Some(AlertProvenance {
+                    query_id: Some(qid.0),
+                    host,
+                    ledger_column: Some("host_dead".to_string()),
+                    trace_rid: None,
+                });
+            }
+            union.extend(dead);
+        }
+        self.m_hosts_suspected.set(union.len() as i64);
+        if let Some(hint) = first_hint {
+            self.prov_hints
+                .insert("central.hosts_suspected".to_string(), hint);
         }
     }
 
@@ -392,6 +508,14 @@ impl<E: ScrubEnvelope> CentralNode<E> {
         let overflow_total = stats.groups_overflow;
         let is_meta_query = self.meta_queries.contains(&qid);
         let mut budget_shed_total = 0u64;
+        let mut retransmitted_total = 0u64;
+        let mut batch_dropped_total = 0u64;
+        // most-implicated host per figure: largest cumulative
+        // contribution, first name on ties (hosts is a BTreeMap, so the
+        // scan order — and therefore the pick — is deterministic)
+        let mut retransmit_host: Option<(u64, String)> = None;
+        let mut dropped_host: Option<(u64, String)> = None;
+        let mut shed_host: Option<(u64, String)> = None;
         if let Some(profile) = self.profiles.get_mut(&qid) {
             for c in &closes {
                 profile.observe_windows_closed(1, c.degraded as u64);
@@ -399,15 +523,88 @@ impl<E: ScrubEnvelope> CentralNode<E> {
             profile.observe_state(open, held);
             profile.observe_rows(rows_emitted);
             budget_shed_total = profile.total_budget_shed();
+            for (host, hp) in &profile.hosts {
+                retransmitted_total += hp.retransmitted_batches;
+                if hp.retransmitted_batches > retransmit_host.as_ref().map_or(0, |(n, _)| *n) {
+                    retransmit_host = Some((hp.retransmitted_batches, host.clone()));
+                }
+                let gap = hp.selected.saturating_sub(hp.events);
+                batch_dropped_total += gap;
+                if gap > dropped_host.as_ref().map_or(0, |(n, _)| *n) {
+                    dropped_host = Some((gap, host.clone()));
+                }
+                if hp.budget_shed > shed_host.as_ref().map_or(0, |(n, _)| *n) {
+                    shed_host = Some((hp.budget_shed, host.clone()));
+                }
+            }
         }
-        // Node-level overload counters advance by the per-query deltas so
+        let trace_dropped_total = self.traces.get(&qid).map_or(0, |s| s.dropped_spans);
+        // Node-level counters advance by the per-query deltas so
         // `scrubql stats` shows fleet totals without double counting.
-        let seen = self.overload_seen.entry(qid).or_insert((0, 0));
-        self.m_budget_shed
-            .add(budget_shed_total.saturating_sub(seen.0));
-        self.m_groups_overflow
-            .add(overflow_total.saturating_sub(seen.1));
-        *seen = (budget_shed_total.max(seen.0), overflow_total.max(seen.1));
+        // All of these are observed node-side (profiles, trace stores),
+        // so the deltas are per-tick partition-invariant and safe for
+        // alert rules. A positive delta also refreshes the provenance
+        // hint for the metric: which query/host moved it last.
+        let seen = self.fold_seen.entry(qid).or_default();
+        let d_shed = budget_shed_total.saturating_sub(seen.budget_shed);
+        let d_retransmit = retransmitted_total.saturating_sub(seen.retransmitted);
+        let d_dropped = batch_dropped_total.saturating_sub(seen.batch_dropped);
+        self.m_budget_shed.add(d_shed);
+        self.m_retransmitted.add(d_retransmit);
+        self.m_batch_dropped.add(d_dropped);
+        self.m_trace_dropped
+            .add(trace_dropped_total.saturating_sub(seen.trace_dropped));
+        self.m_advance_barriers
+            .add(stats.advance_barriers.saturating_sub(seen.advance_barriers));
+        self.m_advances_skipped
+            .add(stats.advances_skipped.saturating_sub(seen.advances_skipped));
+        // groups_overflow comes from inside the executor, where the
+        // inline backend accrues mid-window but the threaded backend's
+        // snapshot refreshes only at advance barriers. Both agree at
+        // window-close ticks, so the fold is gated on closes — that is
+        // what keeps alert firing ticks identical at 1 vs N partitions.
+        let mut d_overflow = 0u64;
+        if !closes.is_empty() {
+            d_overflow = overflow_total.saturating_sub(seen.groups_overflow);
+            self.m_groups_overflow.add(d_overflow);
+            seen.groups_overflow = overflow_total.max(seen.groups_overflow);
+        }
+        seen.budget_shed = budget_shed_total.max(seen.budget_shed);
+        seen.retransmitted = retransmitted_total.max(seen.retransmitted);
+        seen.batch_dropped = batch_dropped_total.max(seen.batch_dropped);
+        seen.trace_dropped = trace_dropped_total.max(seen.trace_dropped);
+        seen.advance_barriers = stats.advance_barriers.max(seen.advance_barriers);
+        seen.advances_skipped = stats.advances_skipped.max(seen.advances_skipped);
+        let hint = |host: Option<(u64, String)>, column: Option<&str>| AlertProvenance {
+            query_id: Some(qid.0),
+            host: host.map(|(_, h)| h),
+            ledger_column: column.map(str::to_string),
+            trace_rid: None,
+        };
+        if d_retransmit > 0 {
+            self.prov_hints.insert(
+                "agent.retransmitted_batches".to_string(),
+                hint(retransmit_host, None),
+            );
+        }
+        if d_dropped > 0 {
+            self.prov_hints.insert(
+                "ledger.batch_dropped".to_string(),
+                hint(dropped_host, Some("batch_dropped")),
+            );
+        }
+        if d_shed > 0 {
+            self.prov_hints.insert(
+                "overload.budget_shed_events".to_string(),
+                hint(shed_host, Some("budget_shed")),
+            );
+        }
+        if d_overflow > 0 {
+            self.prov_hints.insert(
+                "overload.groups_overflow".to_string(),
+                hint(None, Some("groups_overflow")),
+            );
+        }
         self.m_rows.add(rows_emitted);
         self.m_windows_closed.add(closes.len() as u64);
         self.m_windows_degraded
@@ -432,6 +629,21 @@ impl<E: ScrubEnvelope> CentralNode<E> {
                 if let Some(store) = self.traces.get_mut(&qid) {
                     store.close_window(c.window_start_ms, ctx.now.as_ms(), "central", c.degraded);
                 }
+            }
+            if let Some(rec) = self.recorders.get_mut(&qid) {
+                rec.record(
+                    ctx.now.as_ms(),
+                    if c.degraded {
+                        FlightEventKind::WindowDegrade
+                    } else {
+                        FlightEventKind::WindowClose
+                    },
+                    format!("start={} rows={}", c.window_start_ms, c.rows),
+                    AlertProvenance {
+                        query_id: Some(qid.0),
+                        ..Default::default()
+                    },
+                );
             }
         }
         // Continuously enforce the provenance invariant — every tapped
@@ -472,7 +684,10 @@ impl<E: ScrubEnvelope> CentralNode<E> {
     }
 
     fn flush_rows(&mut self, ctx: &mut Context<'_, E>, now_ms: i64) {
-        let qids: Vec<QueryId> = self.executors.keys().copied().collect();
+        // sorted so cross-query side effects (row sends, provenance
+        // hints) happen in a deterministic order
+        let mut qids: Vec<QueryId> = self.executors.keys().copied().collect();
+        qids.sort();
         for qid in qids {
             let Some(exec) = self.executors.get_mut(&qid) else {
                 continue;
@@ -483,6 +698,81 @@ impl<E: ScrubEnvelope> CentralNode<E> {
                 ctx.send(server, E::wrap(ScrubMsg::Rows { rows }));
             }
             self.observe_advance(ctx, qid, n);
+        }
+        // threaded-backend health: per-partition worker clocks summed
+        // across queries. Wall-clock figures — the `_ns` suffix marks
+        // them nondeterministic so golden consumers mask them. Empty
+        // (no gauges ever created) on the inline backend.
+        let mut per_part: BTreeMap<usize, (u64, u64)> = BTreeMap::new();
+        for exec in self.executors.values() {
+            for w in exec.stats().workers {
+                let slot = per_part.entry(w.partition).or_default();
+                slot.0 += w.busy_ns;
+                slot.1 += w.idle_ns;
+            }
+        }
+        for (p, (busy, idle)) in per_part {
+            self.obs
+                .gauge(&format!("executor.p{p}.busy_ns"))
+                .set(busy.min(i64::MAX as u64) as i64);
+            self.obs
+                .gauge(&format!("executor.p{p}.idle_ns"))
+                .set(idle.min(i64::MAX as u64) as i64);
+        }
+    }
+
+    /// Tick the alert engine against the just-recorded history
+    /// snapshot: attach provenance hints (enriched with a sampled trace
+    /// rid where one carries a relevant span), count the events, and
+    /// journal firings into the implicated query's flight recorder.
+    fn evaluate_alerts(&mut self, now_ms: i64) {
+        if !self.config.alerts_enabled {
+            return;
+        }
+        let hints = &self.prov_hints;
+        let traces = &self.traces;
+        let events = self.alerts.tick(&self.history, |rule, _value| {
+            let mut prov = hints.get(&rule.metric).cloned().unwrap_or_default();
+            if prov.trace_rid.is_none() && rule.metric == "agent.retransmitted_batches" {
+                if let Some(store) = prov.query_id.and_then(|q| traces.get(&QueryId(q))) {
+                    // smallest sampled rid that carries a retransmit
+                    // hop (request_ids iterates a BTreeMap)
+                    prov.trace_rid = store.request_ids().find(|&rid| {
+                        store.trace(rid).is_some_and(|spans| {
+                            spans.iter().any(|s| s.kind == SpanKind::Retransmit)
+                        })
+                    });
+                }
+            }
+            prov
+        });
+        for ev in &events {
+            let kind = match ev.kind {
+                AlertEventKind::Fired => {
+                    self.m_alerts_fired.inc();
+                    FlightEventKind::AlertFired
+                }
+                AlertEventKind::Cleared => {
+                    self.m_alerts_cleared.inc();
+                    FlightEventKind::AlertCleared
+                }
+                AlertEventKind::Anomaly => {
+                    self.m_anomalies.inc();
+                    continue;
+                }
+            };
+            if let Some(rec) = ev
+                .provenance
+                .query_id
+                .and_then(|q| self.recorders.get_mut(&QueryId(q)))
+            {
+                rec.record(
+                    now_ms,
+                    kind,
+                    format!("rule={} {}={}", ev.rule, ev.metric, ev.value),
+                    ev.provenance.clone(),
+                );
+            }
         }
     }
 }
@@ -531,6 +821,9 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
                 );
                 self.executors.insert(qid, exec);
                 self.profiles.insert(qid, QueryProfile::new(qid.0));
+                self.recorders
+                    .entry(qid)
+                    .or_insert_with(|| FlightRecorder::new(qid.0, self.config.flight_recorder_cap));
                 self.m_installed.inc();
             }
             ScrubMsg::CentralStop { query_id } => {
@@ -550,7 +843,7 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
                     self.observe_advance(ctx, query_id, n);
                     self.executors.remove(&query_id);
                     self.meta_queries.remove(&query_id);
-                    self.overload_seen.remove(&query_id);
+                    self.fold_seen.remove(&query_id);
                     self.bp_seen.remove(&query_id);
                     self.m_finished.inc();
                     if let Some(server) = self.server {
@@ -614,6 +907,23 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
                             duplicate,
                         },
                     );
+                }
+                if batch.attempt > 0 {
+                    // journal the retransmit episode; consecutive
+                    // resends from the same host coalesce into one run
+                    if let Some(rec) = self.recorders.get_mut(&batch.query_id) {
+                        rec.record_coalesced(
+                            now_ms,
+                            FlightEventKind::Retransmit,
+                            format!("host={}", batch.host),
+                            AlertProvenance {
+                                query_id: Some(batch.query_id.0),
+                                host: Some(batch.host.clone()),
+                                ledger_column: None,
+                                trace_rid: None,
+                            },
+                        );
+                    }
                 }
                 if !fresh {
                     self.duplicate_batches += 1;
@@ -683,9 +993,10 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
         }
         if timer == TIMER_CENTRAL_ADVANCE {
             let now_ms = ctx.now.as_ms();
-            self.refresh_dead_hosts();
+            self.refresh_dead_hosts(now_ms);
             self.flush_rows(ctx, now_ms);
             self.history.record(self.obs.snapshot(now_ms));
+            self.evaluate_alerts(now_ms);
             ctx.set_timer(self.advance_interval(), TIMER_CENTRAL_ADVANCE);
         }
     }

@@ -13,7 +13,7 @@
 use scrub_central::{QuerySummary, ResultRow};
 use scrub_core::error::{ScrubError, ScrubResult};
 use scrub_core::plan::QueryId;
-use scrub_obs::{LossLedger, PlanProfile, QueryProfile, TraceStore};
+use scrub_obs::{merge_timelines, FlightEvent, LossLedger, PlanProfile, QueryProfile, TraceStore};
 use scrub_simnet::{NodeId, Sim};
 
 use crate::central_node::CentralNode;
@@ -194,6 +194,29 @@ impl QueryHandle {
     pub fn loss_ledger<E: ScrubEnvelope>(&self, sim: &Sim<E>) -> Option<LossLedger> {
         let central = self.central(sim);
         sim.node_as::<CentralNode<E>>(central)?.ledger(self.qid)
+    }
+
+    /// The query's full flight-recorder timeline: the server's
+    /// control-plane journal (admission, plan, dispatch, eviction,
+    /// stop, completion) merged with central's data-plane journal
+    /// (window closes/degrades, retransmit episodes, host deaths, alert
+    /// firings), ordered by sim time with a stable tiebreak. Returns
+    /// the merged events plus the total count of entries evicted from
+    /// the bounded journals. `None` if neither side journaled anything.
+    pub fn timeline<E: ScrubEnvelope>(&self, sim: &Sim<E>) -> Option<(Vec<FlightEvent>, u64)> {
+        let server_rec = sim
+            .node_as::<QueryServerNode<E>>(self.d.server)
+            .and_then(|n| n.flight_recorder(self.qid));
+        let central = self.central(sim);
+        let central_rec = sim
+            .node_as::<CentralNode<E>>(central)
+            .and_then(|n| n.flight_recorder(self.qid));
+        let sources: Vec<_> = [server_rec, central_rec].into_iter().flatten().collect();
+        if sources.is_empty() {
+            return None;
+        }
+        let dropped = sources.iter().map(|r| r.dropped).sum();
+        Some((merge_timelines(&sources), dropped))
     }
 
     /// Stop the query before its span elapses (injects a cancel; step the

@@ -16,7 +16,9 @@ use scrub_core::ql::ast::StartSpec;
 use scrub_core::ql::parser::parse_query;
 use scrub_core::schema::SchemaRegistry;
 use scrub_core::target::{sample_indices, HostInfo};
-use scrub_obs::{Counter, MetricsSnapshot, Registry};
+use scrub_obs::{
+    AlertProvenance, Counter, FlightEventKind, FlightRecorder, MetricsSnapshot, Registry,
+};
 use scrub_simnet::{Context, Node, NodeId, SimDuration};
 use serde::Serialize;
 
@@ -129,6 +131,10 @@ pub struct QueryServerNode<E: ScrubEnvelope> {
     /// handler right after the new query is accepted (admit() itself is
     /// pure and cannot send messages).
     pending_evictions: Vec<QueryId>,
+    /// Per-query lifecycle journals (control-plane half: admission
+    /// verdict, plan chosen, dispatch, eviction, stop, completion).
+    /// Merged with central's data-plane half by `QueryHandle::timeline`.
+    recorders: HashMap<QueryId, FlightRecorder>,
     /// Last heartbeat per agent host (ms). Hosts only start heartbeating
     /// once they learn the server's address from their first
     /// `InstallQuery`.
@@ -194,6 +200,7 @@ impl<E: ScrubEnvelope> QueryServerNode<E> {
             rejected: Vec::new(),
             admission_log: Vec::new(),
             pending_evictions: Vec::new(),
+            recorders: HashMap::new(),
             heartbeats: HashMap::new(),
             obs,
             m_submitted,
@@ -285,6 +292,28 @@ impl<E: ScrubEnvelope> QueryServerNode<E> {
         let mut ids: Vec<QueryId> = self.queries.keys().copied().collect();
         ids.sort();
         ids
+    }
+
+    /// The control-plane half of a query's flight recorder (admission,
+    /// plan, dispatch, eviction, stop, completion). `None` for queries
+    /// that were never accepted.
+    pub fn flight_recorder(&self, qid: QueryId) -> Option<&FlightRecorder> {
+        self.recorders.get(&qid)
+    }
+
+    fn journal(&mut self, qid: QueryId, at_ms: i64, kind: FlightEventKind, detail: String) {
+        self.recorders
+            .entry(qid)
+            .or_insert_with(|| FlightRecorder::new(qid.0, self.config.flight_recorder_cap))
+            .record(
+                at_ms,
+                kind,
+                detail,
+                AlertProvenance {
+                    query_id: Some(qid.0),
+                    ..Default::default()
+                },
+            );
     }
 
     /// Validate + plan + target-resolve a query. Pure (no dispatch).
@@ -455,7 +484,17 @@ impl<E: ScrubEnvelope> QueryServerNode<E> {
             return; // cancelled before its start time
         }
         rec.state = QueryState::Running;
+        let n_hosts = rec.hosts.len();
         self.m_dispatched.inc();
+        self.journal(
+            qid,
+            ctx.now.as_ms(),
+            FlightEventKind::Dispatched,
+            format!("installed on {n_hosts} host(s) + central"),
+        );
+        let Some(rec) = self.queries.get_mut(&qid) else {
+            return;
+        };
         let central = self.centrals[(qid.0 as usize) % self.centrals.len()];
         for &host in &rec.hosts {
             ctx.send(
@@ -486,6 +525,16 @@ impl<E: ScrubEnvelope> QueryServerNode<E> {
             return; // already stopped (e.g. cancelled before the span timer)
         }
         rec.state = QueryState::Draining;
+        let n_hosts = rec.hosts.len();
+        self.journal(
+            qid,
+            ctx.now.as_ms(),
+            FlightEventKind::Stopped,
+            format!("stopping {n_hosts} host(s), draining central"),
+        );
+        let Some(rec) = self.queries.get(&qid) else {
+            return;
+        };
         for &host in &rec.hosts {
             ctx.send(host, E::wrap(ScrubMsg::StopQuery { query_id: qid }));
         }
@@ -510,13 +559,51 @@ impl<E: ScrubEnvelope> Node<E> for QueryServerNode<E> {
                 match self.admit(&src) {
                     Ok(qid) => {
                         self.m_accepted.inc();
+                        let now_ms = ctx.now.as_ms();
                         if let Some(rec) = self.queries.get_mut(&qid) {
                             rec.client = from;
+                        }
+                        // Journal the admission verdict and the chosen
+                        // plan — the first two entries of every
+                        // accepted query's timeline.
+                        if let Some(d) = self.admission_log.last() {
+                            let verdict = match &d.verdict {
+                                AdmissionVerdict::Admitted => "verdict=admitted".to_string(),
+                                AdmissionVerdict::Degraded { factor } => {
+                                    format!("verdict=degraded factor={factor:.4}")
+                                }
+                                AdmissionVerdict::Evicted { victims } => {
+                                    format!("verdict=admitted, evicting {} running", victims.len())
+                                }
+                                AdmissionVerdict::Rejected => "verdict=rejected".to_string(),
+                            };
+                            let detail = format!(
+                                "{verdict} est={:.4}% over {:.4}% running (budget {:.2}%)",
+                                (d.est_fixed + d.est_variable) * 100.0,
+                                d.running_before * 100.0,
+                                d.budget * 100.0
+                            );
+                            self.journal(qid, now_ms, FlightEventKind::Admitted, detail);
+                        }
+                        if let Some(rec) = self.queries.get(&qid) {
+                            let detail = format!(
+                                "{} host plan(s), window {} ms, est cost {:.4}%",
+                                rec.compiled.host_plans.len(),
+                                rec.compiled.central.window_ms,
+                                rec.est_cost * 100.0
+                            );
+                            self.journal(qid, now_ms, FlightEventKind::PlanChosen, detail);
                         }
                         // Carry out evictions the admission controller
                         // scheduled to make room for this query.
                         let victims = std::mem::take(&mut self.pending_evictions);
                         for vid in victims {
+                            self.journal(
+                                vid,
+                                now_ms,
+                                FlightEventKind::Evicted,
+                                format!("evicted to admit query {}", qid.0),
+                            );
                             match self.queries.get(&vid).map(|r| r.state) {
                                 Some(QueryState::Running) => self.stop(ctx, vid),
                                 Some(QueryState::Scheduled) => {
@@ -582,10 +669,18 @@ impl<E: ScrubEnvelope> Node<E> for QueryServerNode<E> {
                 }
             }
             ScrubMsg::Summary { summary } => {
-                if let Some(rec) = self.queries.get_mut(&summary.query_id) {
+                let qid = summary.query_id;
+                if let Some(rec) = self.queries.get_mut(&qid) {
                     rec.summary = Some(summary);
                     rec.state = QueryState::Done;
+                    let rows = rec.rows.len();
                     self.m_completed.inc();
+                    self.journal(
+                        qid,
+                        ctx.now.as_ms(),
+                        FlightEventKind::Completed,
+                        format!("summary received, {rows} row(s)"),
+                    );
                 }
             }
             ScrubMsg::Heartbeat { .. } => {

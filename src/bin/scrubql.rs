@@ -17,9 +17,12 @@
 //! kill/revive), `stats [metric]` (platform + Scrub self-observability
 //! metrics), `profile <qid>` (a query's execution profile + loss ledger),
 //! `trace <qid> [request-id]` (lifecycle trace timelines), `watch
-//! <metric>` (a metric's recent per-interval deltas as a sparkline),
-//! `\events`, `\hosts`, `\help`, `\quit`. Lifecycle tracing samples 5%
-//! of requests by default; tune with `--trace <rate>` (0 disables).
+//! <metric> [--alert]` (a metric's recent per-interval deltas as a
+//! sparkline, plus any alert rules watching it), `alerts` (the health
+//! plane: rules, firing state, the alert log), `timeline <qid> [json]`
+//! (the per-query flight recorder), `\events`, `\hosts`, `\help`,
+//! `\quit`. Lifecycle tracing samples 5% of requests by default; tune
+//! with `--trace <rate>` (0 disables).
 
 use std::io::{BufRead, Write};
 
@@ -108,7 +111,9 @@ fn main() {
                      profile <qid>     a query's execution profile + loss ledger\n  \
                      trace <qid>       traced request ids of a query (sampled lifecycles)\n  \
                      trace <qid> <rid> one traced request's span timeline\n  \
-                     watch <metric>    a metric's per-interval deltas as a sparkline\n  \
+                     watch <metric> [--alert]  per-interval deltas as a sparkline (+ alert rules)\n  \
+                     alerts            health plane: rules, firing state, the alert log\n  \
+                     timeline <qid> [json]     a query's flight-recorder journal\n  \
                      \\events           event types and schemas\n  \
                      \\hosts            host inventory\n  \\quit"
                 );
@@ -154,9 +159,23 @@ fn main() {
                 }
             }
             other if other == "watch" || other.starts_with("watch ") => {
-                match other.split_whitespace().nth(1) {
-                    Some(metric) => watch_metric(&p, metric),
-                    None => println!("usage: watch <metric> (stats lists metric names)"),
+                let words: Vec<&str> = other.split_whitespace().skip(1).collect();
+                let alert = words.contains(&"--alert");
+                match words.iter().find(|w| !w.starts_with("--")) {
+                    Some(metric) => watch_metric(&p, metric, alert),
+                    None => println!("usage: watch <metric> [--alert] (stats lists metric names)"),
+                }
+            }
+            other if other == "alerts" || other == "\\alerts" => {
+                print_alerts(&p);
+            }
+            other if other == "timeline" || other.starts_with("timeline ") => {
+                let mut words = other.split_whitespace().skip(1);
+                let qid = words.next().and_then(|w| w.parse::<u64>().ok());
+                let json = words.next() == Some("json");
+                match qid {
+                    Some(qid) => print_timeline(&p, QueryId(qid), json),
+                    None => println!("usage: timeline <qid> [json]"),
                 }
             }
             other if other == "faults" || other.starts_with("faults ") => {
@@ -379,7 +398,12 @@ fn run_query(p: &mut Platform, src: &str) {
 fn print_profile(p: &Platform, qid: QueryId) {
     let handle = QueryHandle::from_id(&p.scrub, qid);
     let Some(prof) = handle.profile(&p.sim) else {
-        println!("no profile for query {qid} (unknown id, or it never reached ScrubCentral)");
+        if handle.record(&p.sim).is_none() {
+            println!("unknown query id {qid}");
+            print_qid_suggestions(p, qid);
+        } else {
+            println!("no profile for query {qid} (it never reached ScrubCentral)");
+        }
         return;
     };
     println!(
@@ -459,9 +483,14 @@ fn print_plan_profile(p: &Platform, qid: QueryId) {
     let handle = QueryHandle::from_id(&p.scrub, qid);
     match handle.plan_profile(&p.sim) {
         Some(profile) => print!("{}", profile.render(false)),
-        None => println!(
-            "no plan profile for query {qid} (unknown id, or it never reached ScrubCentral)"
-        ),
+        None => {
+            if handle.record(&p.sim).is_none() {
+                println!("unknown query id {qid}");
+                print_qid_suggestions(p, qid);
+            } else {
+                println!("no plan profile for query {qid} (it never reached ScrubCentral)");
+            }
+        }
     }
 }
 
@@ -471,10 +500,15 @@ fn print_plan_profile(p: &Platform, qid: QueryId) {
 fn print_trace(p: &Platform, qid: QueryId, rid: Option<u64>) {
     let handle = QueryHandle::from_id(&p.scrub, qid);
     let Some(store) = handle.traces(&p.sim) else {
-        println!(
-            "no traces for query {qid} (tracing off — rerun scrubql with --trace <rate> — \
-             or no sampled request reached ScrubCentral)"
-        );
+        if handle.record(&p.sim).is_none() {
+            println!("unknown query id {qid}");
+            print_qid_suggestions(p, qid);
+        } else {
+            println!(
+                "no traces for query {qid} (tracing off — rerun scrubql with --trace <rate> — \
+                 or no sampled request reached ScrubCentral)"
+            );
+        }
         return;
     };
     match rid {
@@ -605,9 +639,78 @@ fn print_suggestions(names: &[String], unknown: &str) {
     }
 }
 
-/// `watch <metric>`: per-interval deltas of one central metric from the
-/// snapshot-history ring, rendered as a sparkline.
-fn watch_metric(p: &Platform, metric: &str) {
+/// Print a did-you-mean list for an unknown query id: the known ids the
+/// server still tracks, nearest numerically first.
+fn print_qid_suggestions(p: &Platform, unknown: QueryId) {
+    let Some(server) = p
+        .sim
+        .node_as::<scrub::server::QueryServerNode<PlatformMsg>>(p.scrub.server)
+    else {
+        return;
+    };
+    let mut ids = server.query_ids();
+    if ids.is_empty() {
+        println!("  (no queries have been submitted yet)");
+        return;
+    }
+    ids.sort_by_key(|q| (q.0.abs_diff(unknown.0), q.0));
+    ids.truncate(8);
+    let list: Vec<String> = ids.iter().map(|q| q.0.to_string()).collect();
+    println!("  closest known query ids: {}", list.join(", "));
+}
+
+/// `alerts`: the health plane — every rule with its condition and firing
+/// state, the anomaly watchlist, and the bounded alert log.
+fn print_alerts(p: &Platform) {
+    let Some(central) = p.sim.node_as::<CentralNode<PlatformMsg>>(p.scrub.central) else {
+        println!("central node not found");
+        return;
+    };
+    let engine = central.alert_engine();
+    println!("rules ({}):", engine.rules().len());
+    for r in engine.rules() {
+        let firing = if engine.is_firing(&r.id) {
+            "  [FIRING]"
+        } else {
+            ""
+        };
+        println!(
+            "  {:<17} {:<32} {} (for {}, clear {}){firing}",
+            r.id,
+            r.metric,
+            r.kind.describe(),
+            r.for_ticks,
+            r.clear_ticks
+        );
+    }
+    let watched = engine.anomaly().metrics();
+    if !watched.is_empty() {
+        println!("anomaly watchlist: {}", watched.join(", "));
+    }
+    println!("{}", engine.log().render());
+}
+
+/// `timeline <qid> [json]`: the query's merged flight-recorder journal —
+/// the server's control-plane events interleaved with central's
+/// data-plane events in sim-time order.
+fn print_timeline(p: &Platform, qid: QueryId, json: bool) {
+    let handle = QueryHandle::from_id(&p.scrub, qid);
+    let Some((events, dropped)) = handle.timeline(&p.sim) else {
+        println!("unknown query id {qid} (no flight recorder on the server or central)");
+        print_qid_suggestions(p, qid);
+        return;
+    };
+    if json {
+        println!("{}", scrub::obs::render_timeline_json(qid.0, &events));
+    } else {
+        print!("{}", scrub::obs::render_timeline(qid.0, &events, dropped));
+    }
+}
+
+/// `watch <metric> [--alert]`: per-interval deltas of one central metric
+/// from the snapshot-history ring, rendered as a sparkline; with
+/// `--alert`, also the alert rules watching the metric and their state.
+fn watch_metric(p: &Platform, metric: &str, alert: bool) {
     let Some(central) = p.sim.node_as::<CentralNode<PlatformMsg>>(p.scrub.central) else {
         println!("central node not found");
         return;
@@ -646,6 +749,35 @@ fn watch_metric(p: &Platform, metric: &str) {
         values.iter().max().unwrap(),
         values.last().unwrap()
     );
+    if alert {
+        let engine = central.alert_engine();
+        let watching: Vec<_> = engine
+            .rules()
+            .iter()
+            .filter(|r| r.metric == metric)
+            .collect();
+        if watching.is_empty() {
+            println!("  no alert rules watch {metric:?} (alerts lists all rules)");
+        } else {
+            for r in watching {
+                let state = if engine.is_firing(&r.id) {
+                    "FIRING"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "  rule {:<17} {} (for {}, clear {}) — {state}",
+                    r.id,
+                    r.kind.describe(),
+                    r.for_ticks,
+                    r.clear_ticks
+                );
+            }
+        }
+        if engine.anomaly().metrics().iter().any(|m| m == metric) {
+            println!("  anomaly watchlist: baseline tracked for {metric:?}");
+        }
+    }
 }
 
 /// `stats [metric]`: platform statistics plus Scrub's own metrics. With a
@@ -701,7 +833,7 @@ fn print_metric_groups(snap: &MetricsSnapshot, filter: Option<&str>) -> usize {
         Some(f) => name.to_ascii_lowercase().contains(&f.to_ascii_lowercase()),
         None => true,
     };
-    let mut groups: std::collections::BTreeMap<&str, Vec<(&str, String)>> =
+    let mut groups: std::collections::BTreeMap<&str, Vec<(String, String)>> =
         std::collections::BTreeMap::new();
     fn prefix(name: &str) -> &str {
         name.split('.').next().unwrap_or(name)
@@ -711,7 +843,7 @@ fn print_metric_groups(snap: &MetricsSnapshot, filter: Option<&str>) -> usize {
             groups
                 .entry(prefix(name))
                 .or_default()
-                .push((name, v.to_string()));
+                .push((name.clone(), v.to_string()));
         }
     }
     for (name, v) in &snap.gauges {
@@ -719,19 +851,26 @@ fn print_metric_groups(snap: &MetricsSnapshot, filter: Option<&str>) -> usize {
             groups
                 .entry(prefix(name))
                 .or_default()
-                .push((name, v.to_string()));
+                .push((name.clone(), v.to_string()));
         }
     }
     for (name, h) in &snap.histograms {
         if h.count > 0 && keep(name) {
             groups.entry(prefix(name)).or_default().push((
-                name,
+                name.clone(),
                 format!(
                     "p50 {} p99 {} (n={})",
                     h.p50().unwrap_or(0),
                     h.p99().unwrap_or(0),
                     h.count
                 ),
+            ));
+        }
+        // silent telemetry loss is a first-class row, not a footnote
+        if h.dropped_merges > 0 && keep(name) {
+            groups.entry(prefix(name)).or_default().push((
+                format!("{name}.dropped_merges"),
+                h.dropped_merges.to_string(),
             ));
         }
     }

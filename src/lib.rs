@@ -56,8 +56,10 @@ pub mod prelude {
     pub use scrub_central::{ExecutorStats, QuerySummary, ResultRow, WorkerTime};
     pub use scrub_core::prelude::*;
     pub use scrub_obs::{
-        HostLosses, HostProfile, LossLedger, MetricsHistory, MetricsSnapshot, QueryProfile,
-        SpanKind, TraceSpan, TraceStore,
+        default_rules, merge_timelines, render_timeline, render_timeline_json, AlertEngine,
+        AlertEvent, AlertEventKind, AlertLog, AlertProvenance, AlertRule, AnomalyDetector,
+        FlightEvent, FlightEventKind, FlightRecorder, HostLosses, HostProfile, LossLedger,
+        MetricsHistory, MetricsSnapshot, QueryProfile, RuleKind, SpanKind, TraceSpan, TraceStore,
     };
     pub use scrub_server::{
         deploy_central, deploy_server, AgentHarness, QueryHandle, QueryState, ScrubClient,

@@ -129,6 +129,90 @@ fn render_text_is_byte_identical_across_seeded_runs() {
     assert!(n > 0, "the seeded run must actually ingest events");
 }
 
+/// One seeded run with a mid-query host crash, returning the health
+/// plane's two renders: the central alert log and the query's merged
+/// flight-recorder timeline. Both are driven entirely by sim time (alert
+/// evaluation happens at snapshot ticks, journal entries carry sim
+/// timestamps), so no ns masking is needed — the bytes must match.
+fn run_watchdog_once() -> (String, String) {
+    let mut config = ScrubConfig::default();
+    config.trace_sample_rate = 0.1;
+    let reg = SchemaRegistry::new();
+    reg.register(EventSchema::new("bid", vec![FieldDef::new("user_id", FieldType::Long)]).unwrap())
+        .unwrap();
+    let reg = Arc::new(reg);
+    let mut sim: Sim<ScrubMsg> = Sim::new(Topology::default(), 1771);
+    let central = deploy_central(&mut sim, &reg, config.clone(), "DC1");
+    for i in 0..2 {
+        let name = format!("gold-{i}");
+        sim.add_node(
+            NodeMeta::new(name.clone(), "GoldServers", "DC1"),
+            Box::new(OneHost {
+                harness: AgentHarness::new(&name, config.clone(), central),
+                emitted: 0,
+            }),
+        );
+    }
+    let d = deploy_server(&mut sim, reg, config, central, "DC1");
+    let q = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select bid.user_id, COUNT(*) from bid @[all] \
+             group by bid.user_id window 5 s duration 20 s",
+        )
+        .expect("query accepted");
+    // Kill one of the two tapped hosts mid-query: past the host grace the
+    // suspected-hosts gauge rises, `host_dead` fires, and the flight
+    // recorder journals the death and the degraded window closes.
+    sim.run_until(SimTime::from_secs(6));
+    assert!(sim.inject_crash("gold-1", sim.now(), None));
+    sim.run_until(SimTime::from_secs(40));
+    assert_eq!(q.state(&sim), Some(QueryState::Done));
+    let node = sim
+        .node_as::<CentralNode<ScrubMsg>>(central)
+        .expect("central node");
+    let alert_log = node.alert_engine().log().render();
+    let (events, dropped) = q.timeline(&sim).expect("flight recorder journaled");
+    let timeline = render_timeline(q.id().0, &events, dropped);
+    (alert_log, timeline)
+}
+
+#[test]
+fn alert_log_and_timeline_are_byte_identical_across_seeded_runs() {
+    let (alerts_a, timeline_a) = run_watchdog_once();
+    let (alerts_b, timeline_b) = run_watchdog_once();
+    assert_eq!(alerts_a, alerts_b, "alert log must render byte-identically");
+    assert_eq!(
+        timeline_a, timeline_b,
+        "flight recorder must render byte-identically"
+    );
+    // The crashed host was detected, with provenance pointing at it.
+    assert!(
+        alerts_a.contains("FIRED") && alerts_a.contains("host_dead"),
+        "host_dead never fired:\n{alerts_a}"
+    );
+    assert!(
+        alerts_a.contains("host=gold-1"),
+        "alert provenance missing the dead host:\n{alerts_a}"
+    );
+    // The journal covers the whole lifecycle: control plane (admission,
+    // plan, dispatch), data plane (window closes, the host death) and the
+    // health plane echo (alert firings), ordered by sim time.
+    for kind in [
+        "admitted",
+        "plan",
+        "dispatched",
+        "window_close",
+        "host_dead",
+        "alert_fired",
+    ] {
+        assert!(
+            timeline_a.contains(kind),
+            "timeline missing {kind:?}:\n{timeline_a}"
+        );
+    }
+}
+
 /// The paper's five §2 use cases, instantiated for the default seeded
 /// bidding workload with short spans (line items picked from the ones
 /// this workload actually serves).

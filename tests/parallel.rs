@@ -511,6 +511,85 @@ fn aggregate_rows_identical_at_eight_partitions() {
     );
 }
 
+/// One chaos run at the given partition count, returning the health
+/// plane's renders: the central alert log and the query's merged
+/// flight-recorder timeline.
+fn alert_run(partitions: usize) -> (String, String) {
+    let mut config = ScrubConfig::default();
+    config.central_partitions = partitions;
+    config.trace_sample_rate = 0.2;
+    config.agent_retry_base_ms = 200;
+    config.window_grace_ms = 6_000;
+    config.host_grace_ms = 12_000;
+    let mut sim: Sim<ScrubMsg> = Sim::new(Topology::default(), 7);
+    let reg = registry();
+    let central = deploy_central(&mut sim, &reg, config.clone(), "DC1");
+    for i in 0..3 {
+        let dc = if i % 2 == 0 { "DC1" } else { "DC2" };
+        let name = format!("dual-{i}");
+        sim.add_node(
+            NodeMeta::new(name.clone(), "DualServers", dc),
+            Box::new(DualHost {
+                harness: AgentHarness::new(&name, config.clone(), central),
+                emitted: 0,
+            }),
+        );
+    }
+    let d = deploy_server(&mut sim, reg, config, central, "DC1");
+    let q = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select bid.user_id, COUNT(*) from bid @[all] \
+             group by bid.user_id window 5 s duration 15 s",
+        )
+        .expect("query accepted");
+    sim.run_until(SimTime::from_ms(1_500));
+    let agents = NodeSel::Service("DualServers".into());
+    let central_sel = NodeSel::Host("scrub-central".into());
+    sim.set_link_drop(agents.clone(), central_sel.clone(), 0.15);
+    sim.set_link_drop(central_sel, agents, 0.15);
+    sim.run_until(SimTime::from_secs(45));
+    assert_eq!(q.state(&sim), Some(QueryState::Done));
+    let node = sim
+        .node_as::<scrub::server::CentralNode<ScrubMsg>>(central)
+        .expect("central node");
+    let alert_log = node.alert_engine().log().render();
+    let (events, dropped) = q.timeline(&sim).expect("flight recorder journaled");
+    let timeline = render_timeline(q.id().0, &events, dropped);
+    (alert_log, timeline)
+}
+
+/// The health plane is part of the partition-invariance contract: the
+/// alert log (which rules fired, when, at what value, blaming whom) and
+/// the per-query flight recorder must render byte-identically whether
+/// central folds inline or across 4 threaded partitions. Alert
+/// evaluation reads only node-side folds (profiles, heartbeats, trace
+/// stores) plus the close-gated groups_overflow counter, so nothing in
+/// the log may depend on executor scheduling.
+#[test]
+fn alert_sequence_identical_across_partition_counts() {
+    let (alerts_1, timeline_1) = alert_run(1);
+    let (alerts_4, timeline_4) = alert_run(4);
+    assert_eq!(
+        alerts_1, alerts_4,
+        "alert sequences diverge between partitions 1 and 4"
+    );
+    assert_eq!(
+        timeline_1, timeline_4,
+        "flight recorders diverge between partitions 1 and 4"
+    );
+    // The chaos actually tripped the retransmit machinery and the rules
+    // saw it — an empty log would make the equality vacuous.
+    assert!(
+        alerts_1.contains("FIRED") && alerts_1.contains("retransmit_storm"),
+        "retransmit_storm never fired under 15% loss:\n{alerts_1}"
+    );
+    assert!(
+        timeline_1.contains("retransmit"),
+        "timeline missing retransmit episodes:\n{timeline_1}"
+    );
+}
+
 #[test]
 fn chaos_run_identical_across_partition_counts() {
     // 15% bidirectional loss between the agents and central: the retransmit
