@@ -1,0 +1,6 @@
+//! Binary wrapper for the `e22_tsdb` experiment (see DESIGN.md's index).
+//! Pass `--quick` or set `SCRUB_BENCH_QUICK=1` for a shorter run.
+
+fn main() {
+    scrub_bench::run_and_print(scrub_bench::experiments::e22_tsdb::run);
+}

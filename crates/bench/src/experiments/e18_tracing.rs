@@ -19,7 +19,8 @@
 //!
 //! The chaos run's full telemetry surface is also rendered to
 //! `BENCH_telemetry.prom` at the workspace root — the scrapeable,
-//! byte-stable export checked by `tests/golden.rs`.
+//! byte-stable export checked by `tests/golden.rs`, including exemplar
+//! comment lines linking hot metrics to trace request ids.
 
 use adplatform::{scenario, PlatformConfig, PlatformMsg};
 use scrub_obs::{LossLedger, SpanKind, TraceStore};
@@ -79,7 +80,7 @@ fn run_once(mut cfg: PlatformConfig, minutes: i64) -> RunOutcome {
             .sim
             .node_as::<CentralNode<PlatformMsg>>(p.scrub.central)
             .expect("central node");
-        scrub_obs::render_text(&node.metrics(p.sim.now().as_ms()))
+        scrub_obs::render_text_with_exemplars(&node.metrics(p.sim.now().as_ms()), node.telemetry())
     };
     RunOutcome {
         traces,

@@ -1,4 +1,4 @@
-//! Experiment modules, one per paper figure/table (DESIGN.md E01–E20).
+//! Experiment modules, one per paper figure/table (DESIGN.md E01–E22).
 
 pub mod e01_spam;
 pub mod e02_exchange;
@@ -21,6 +21,7 @@ pub mod e18_tracing;
 pub mod e19_plan_profile;
 pub mod e20_overload;
 pub mod e21_watchdog;
+pub mod e22_tsdb;
 
 use crate::Report;
 
@@ -51,5 +52,6 @@ pub fn all() -> Vec<(&'static str, ExperimentFn)> {
         ("e19_plan_profile", e19_plan_profile::run),
         ("e20_overload", e20_overload::run),
         ("e21_watchdog", e21_watchdog::run),
+        ("e22_tsdb", e22_tsdb::run),
     ]
 }

@@ -75,6 +75,21 @@ pub struct ScrubConfig {
     /// default 2.5 s advance interval cover the last ~10 minutes.
     #[serde(default = "default_obs_history_len")]
     pub obs_history_len: usize,
+    /// Telemetry store: raw intervals folded into one mid-tier rolled
+    /// point (10× the snapshot interval by default — ~25 s buckets).
+    #[serde(default = "default_tsdb_mid_factor")]
+    pub tsdb_mid_factor: usize,
+    /// Telemetry store: raw intervals folded into one coarse-tier
+    /// rolled point (100× the snapshot interval by default — ~250 s
+    /// buckets, so a bounded store covers runs two orders of magnitude
+    /// longer than the raw ring).
+    #[serde(default = "default_tsdb_coarse_factor")]
+    pub tsdb_coarse_factor: usize,
+    /// Telemetry store: rolled points retained per metric per
+    /// downsampled tier (memory stays bounded by
+    /// `metrics × tiers × cap`, independent of run length).
+    #[serde(default = "default_tsdb_tier_cap")]
+    pub tsdb_tier_cap: usize,
     /// Per-host CPU envelope for Scrub tap work, as a fraction of one
     /// core (the paper's ≤2.5 % guarantee, §2). Both the agent's budget
     /// tracker and central admission control price against this figure
@@ -214,6 +229,15 @@ fn default_trace_span_budget() -> usize {
 fn default_obs_history_len() -> usize {
     240
 }
+fn default_tsdb_mid_factor() -> usize {
+    10
+}
+fn default_tsdb_coarse_factor() -> usize {
+    100
+}
+fn default_tsdb_tier_cap() -> usize {
+    240
+}
 fn default_host_cpu_budget() -> f64 {
     0.025
 }
@@ -287,6 +311,9 @@ impl Default for ScrubConfig {
             trace_sample_rate: default_trace_sample_rate(),
             trace_span_budget: default_trace_span_budget(),
             obs_history_len: default_obs_history_len(),
+            tsdb_mid_factor: default_tsdb_mid_factor(),
+            tsdb_coarse_factor: default_tsdb_coarse_factor(),
+            tsdb_tier_cap: default_tsdb_tier_cap(),
             host_cpu_budget: default_host_cpu_budget(),
             enforce_host_budget: default_enforce_host_budget(),
             max_groups: default_max_groups(),
@@ -321,6 +348,10 @@ mod tests {
         assert_eq!(c.trace_sample_rate, 0.0);
         assert!(c.trace_span_budget > 0);
         assert!(c.obs_history_len >= 2);
+        assert_eq!(c.tsdb_mid_factor, 10);
+        assert_eq!(c.tsdb_coarse_factor, 100);
+        assert!(c.tsdb_coarse_factor > c.tsdb_mid_factor);
+        assert_eq!(c.tsdb_tier_cap, 240);
         // Overload protection defaults: the paper's 2.5 % envelope, with
         // enforcement and admission control opt-in so the reproduced
         // figures are unchanged out of the box.

@@ -1,7 +1,8 @@
 //! Deterministic alert engine over the metric history.
 //!
 //! Pull-only telemetry leaves the operator to notice trouble; the alert
-//! engine watches [`MetricsHistory`] at every snapshot tick and turns
+//! engine reads the [`TelemetryStore`]'s raw tier (explicitly, at
+//! [`Resolution::Raw`]) at every snapshot tick and turns
 //! metric movement into a bounded, byte-stable log of fired/cleared
 //! events with provenance links back to the evidence (query, host,
 //! ledger column, trace rid). Three rule kinds cover the known failure
@@ -41,7 +42,7 @@ use scrub_core::config::ScrubConfig;
 use scrub_sketch::Welford;
 use serde::{Deserialize, Serialize};
 
-use crate::history::MetricsHistory;
+use crate::tsdb::{Resolution, TelemetryStore};
 
 /// How a rule condenses a metric's history into one figure per tick.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -66,13 +67,23 @@ pub enum RuleKind {
 }
 
 impl RuleKind {
-    /// The figure this rule evaluates against the history right now.
-    fn value(&self, hist: &MetricsHistory, metric: &str) -> i64 {
+    /// The figure this rule evaluates against the store right now, read
+    /// at an explicit resolution (the engine evaluates at
+    /// [`Resolution::Raw`] so hysteresis ticks stay snapshot ticks).
+    fn value(&self, store: &TelemetryStore, metric: &str, res: Resolution) -> i64 {
         match *self {
-            RuleKind::Threshold { .. } => hist.series(metric).last().map(|p| p.value).unwrap_or(0),
-            RuleKind::Delta { .. } => hist.deltas(metric).last().map(|p| p.value).unwrap_or(0),
+            RuleKind::Threshold { .. } => store
+                .series(metric, res)
+                .last()
+                .map(|p| p.value)
+                .unwrap_or(0),
+            RuleKind::Delta { .. } => store
+                .deltas(metric, res)
+                .last()
+                .map(|p| p.value)
+                .unwrap_or(0),
             RuleKind::Burn { intervals, .. } => {
-                let deltas = hist.deltas(metric);
+                let deltas = store.deltas(metric, res);
                 let n = deltas.len().saturating_sub(intervals.max(1));
                 deltas[n..].iter().map(|p| p.value).sum()
             }
@@ -343,14 +354,15 @@ impl AnomalyDetector {
         self.baselines.get(metric)
     }
 
-    /// Absorb deltas newer than the last call and return anomaly events.
-    fn tick(&mut self, hist: &MetricsHistory) -> Vec<AlertEvent> {
+    /// Absorb raw-tier deltas newer than the last call and return
+    /// anomaly events.
+    fn tick(&mut self, store: &TelemetryStore) -> Vec<AlertEvent> {
         let mut out = Vec::new();
         for metric in &self.metrics {
             let seen = self.last_at.get(metric).copied().unwrap_or(i64::MIN);
             let base = self.baselines.entry(metric.clone()).or_default();
             let mut newest = seen;
-            for p in hist.deltas(metric) {
+            for p in store.deltas(metric, Resolution::Raw) {
                 if p.at_ms <= seen {
                     continue;
                 }
@@ -443,6 +455,27 @@ impl AlertEngine {
         &self.log
     }
 
+    /// Rule and anomaly-watchlist entries naming metrics absent from
+    /// `known` (the metric names a live deployment actually exposes),
+    /// as `(source, metric)` pairs in evaluation order. A typo'd rule
+    /// or `anomaly_metrics` entry otherwise watches a series that never
+    /// moves — callers surface these as a startup warning with
+    /// closest-match suggestions.
+    pub fn missing_metrics(&self, known: &[String]) -> Vec<(String, String)> {
+        let mut out = Vec::new();
+        for rule in &self.rules {
+            if !known.iter().any(|k| k == &rule.metric) {
+                out.push((format!("rule {}", rule.id), rule.metric.clone()));
+            }
+        }
+        for metric in self.anomaly.metrics() {
+            if !known.iter().any(|k| k == metric) {
+                out.push(("anomaly_metrics".to_string(), metric.clone()));
+            }
+        }
+        out
+    }
+
     /// True when the rule with this id is currently firing.
     pub fn is_firing(&self, rule_id: &str) -> bool {
         self.states.get(rule_id).map(|s| s.firing).unwrap_or(false)
@@ -458,15 +491,16 @@ impl AlertEngine {
     }
 
     /// Evaluate every rule (and the anomaly baselines) against the
-    /// history's newest snapshot. `provenance` is consulted for each
-    /// newly-fired rule to attach evidence links. Returns the events
-    /// produced this tick (also appended to the log). Re-evaluating the
-    /// same tick is a no-op, so a forced snapshot cannot double-fire.
-    pub fn tick<F>(&mut self, hist: &MetricsHistory, mut provenance: F) -> Vec<AlertEvent>
+    /// telemetry store's newest raw snapshot. `provenance` is consulted
+    /// for each newly-fired rule to attach evidence links. Returns the
+    /// events produced this tick (also appended to the log).
+    /// Re-evaluating the same tick is a no-op, so a forced snapshot
+    /// cannot double-fire.
+    pub fn tick<F>(&mut self, store: &TelemetryStore, mut provenance: F) -> Vec<AlertEvent>
     where
         F: FnMut(&AlertRule, i64) -> AlertProvenance,
     {
-        let Some(last) = hist.latest() else {
+        let Some(last) = store.raw().latest() else {
             return Vec::new();
         };
         let at_ms = last.at_ms;
@@ -477,7 +511,7 @@ impl AlertEngine {
 
         let mut out = Vec::new();
         for rule in &self.rules {
-            let value = rule.kind.value(hist, &rule.metric);
+            let value = rule.kind.value(store, &rule.metric, Resolution::Raw);
             let cond = value >= rule.kind.min();
             let s = self.states.entry(rule.id.clone()).or_default();
             if cond {
@@ -511,7 +545,7 @@ impl AlertEngine {
                 });
             }
         }
-        out.extend(self.anomaly.tick(hist));
+        out.extend(self.anomaly.tick(store));
         for ev in &out {
             self.log.push(ev.clone());
         }
@@ -599,7 +633,7 @@ mod tests {
             for_ticks: 2,
             clear_ticks: 2,
         });
-        let mut h = MetricsHistory::new(16);
+        let mut h = TelemetryStore::new(16, 10, 100, 8);
         let mut fire_at = None;
         let mut clear_at = None;
         for (i, g) in [0i64, 7, 7, 7, 0, 7, 0, 0, 0].iter().enumerate() {
@@ -631,7 +665,7 @@ mod tests {
             for_ticks: 1,
             clear_ticks: 1,
         });
-        let mut h = MetricsHistory::new(16);
+        let mut h = TelemetryStore::new(16, 10, 100, 8);
         let mut events = Vec::new();
         // counter: +5, +20, +20, +0
         for (i, c) in [0u64, 5, 25, 45, 45].iter().enumerate() {
@@ -662,7 +696,7 @@ mod tests {
             for_ticks: 1,
             clear_ticks: 1,
         });
-        let mut h = MetricsHistory::new(16);
+        let mut h = TelemetryStore::new(16, 10, 100, 8);
         let mut fired = Vec::new();
         // +12/tick: window of 3 intervals crosses 30 at the 3rd delta
         for (i, c) in [0u64, 12, 24, 36, 36, 36, 36].iter().enumerate() {
@@ -688,7 +722,7 @@ mod tests {
             for_ticks: 1,
             clear_ticks: 1,
         });
-        let mut h = MetricsHistory::new(8);
+        let mut h = TelemetryStore::new(8, 10, 100, 8);
         h.record(snap(1_000, 0, 1));
         assert_eq!(eng.tick(&h, no_prov).len(), 1);
         assert!(eng.tick(&h, no_prov).is_empty(), "same tick re-eval");
@@ -704,7 +738,7 @@ mod tests {
     #[test]
     fn anomaly_detector_flags_excursion_then_absorbs_it() {
         let mut det = AnomalyDetector::new(4.0, 4, vec!["c".into()]);
-        let mut h = MetricsHistory::new(64);
+        let mut h = TelemetryStore::new(64, 10, 100, 8);
         let mut events = Vec::new();
         // steady +10/tick for 8 ticks, then one +200 spike, then steady
         let mut total = 0u64;
@@ -729,7 +763,7 @@ mod tests {
                 eng.add_rule(r);
             }
             eng.anomaly = AnomalyDetector::new(4.0, 4, vec!["c".into()]);
-            let mut h = MetricsHistory::new(64);
+            let mut h = TelemetryStore::new(64, 10, 100, 8);
             let mut total = 0u64;
             for i in 0..20i64 {
                 total += ((i * 37) % 11) as u64;
@@ -747,6 +781,33 @@ mod tests {
         assert_eq!(a, run(), "alert log render must be byte-stable");
         assert!(a.contains("host_dead"));
         assert!(a.contains("retransmit_storm"));
+    }
+
+    #[test]
+    fn missing_metrics_flags_unknown_rule_and_watchlist_entries() {
+        let mut eng = AlertEngine::new(8);
+        eng.add_rule(AlertRule {
+            id: "typo".into(),
+            metric: "central.evnts_ingested".into(),
+            kind: RuleKind::Delta { min: 1 },
+            for_ticks: 1,
+            clear_ticks: 1,
+        });
+        eng.anomaly = AnomalyDetector::new(4.0, 4, vec!["c".into(), "nope".into()]);
+        let known = vec!["c".to_string(), "central.events_ingested".to_string()];
+        let missing = eng.missing_metrics(&known);
+        assert_eq!(
+            missing,
+            vec![
+                (
+                    "rule typo".to_string(),
+                    "central.evnts_ingested".to_string()
+                ),
+                ("anomaly_metrics".to_string(), "nope".to_string()),
+            ]
+        );
+        // a fully-known engine reports nothing
+        assert!(AlertEngine::new(4).missing_metrics(&known).is_empty());
     }
 
     #[test]
@@ -788,7 +849,7 @@ mod tests {
         });
         assert_eq!(eng.rules().len(), 2);
         assert_eq!(eng.rules()[0].id, "aa");
-        let mut h = MetricsHistory::new(4);
+        let mut h = TelemetryStore::new(4, 10, 100, 8);
         h.record(snap(1_000, 0, 5));
         let evs = eng.tick(&h, no_prov);
         assert_eq!(evs.len(), 1);

@@ -15,6 +15,7 @@
 use std::fmt::Write;
 
 use crate::metrics::MetricsSnapshot;
+use crate::tsdb::{Resolution, TelemetryStore};
 
 /// Sanitize a Scrub metric name into the Prometheus charset, prefixed
 /// with `scrub_` (which also guarantees no leading digit).
@@ -75,6 +76,36 @@ pub fn render_text(snap: &MetricsSnapshot) -> String {
     out
 }
 
+/// Render a snapshot as [`render_text`] plus exemplar comment lines:
+/// for every metric whose newest mid-tier rolled point carries an
+/// exemplar trace rid, one OpenMetrics-style comment links the series
+/// to `scrubql trace <rid>` and the max-delta interval that earned it.
+/// Sorted, byte-stable, and still valid Prometheus exposition (the
+/// links are comments).
+pub fn render_text_with_exemplars(snap: &MetricsSnapshot, store: &TelemetryStore) -> String {
+    let mut out = render_text(snap);
+    let mut links = String::new();
+    for name in store.metric_names() {
+        let Some(point) = store.points(&name, Resolution::Mid).last().copied() else {
+            continue;
+        };
+        if let Some(rid) = point.exemplar {
+            let _ = writeln!(
+                links,
+                "# exemplar {} rid={rid} interval=({},{}] ms",
+                sanitize_name(&name),
+                point.max_from_ms,
+                point.max_at_ms,
+            );
+        }
+    }
+    if !links.is_empty() {
+        out.push_str("# exemplars: newest mid-tier rollup, max-delta interval\n");
+        out.push_str(&links);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +149,34 @@ mod tests {
         assert!(text.contains("scrub_central_lat_count 3"));
         assert!(text.starts_with("# scrub metrics snapshot at sim t=1234 ms"));
         assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn exemplar_links_append_as_comments() {
+        let mut store = TelemetryStore::new(16, 2, 4, 4);
+        let mk = |at_ms: i64, v: u64| {
+            let mut s = MetricsSnapshot {
+                at_ms,
+                ..Default::default()
+            };
+            s.counters.insert("central.events_ingested".into(), v);
+            s
+        };
+        store.record(mk(0, 0));
+        store.record_with(mk(1_000, 50), |_, _, _| Some(7));
+        store.record_with(mk(2_000, 60), |_, _, _| Some(7));
+        let snap = store.raw().latest().unwrap().clone();
+        let text = render_text_with_exemplars(&snap, &store);
+        assert!(text.starts_with(&render_text(&snap)), "base render first");
+        assert!(
+            text.contains("# exemplar scrub_central_events_ingested rid=7 interval=(0,1000] ms"),
+            "{text}"
+        );
+        // byte-stable
+        assert_eq!(text, render_text_with_exemplars(&snap, &store));
+        // with no rolled exemplars, the render IS the base render
+        let bare = TelemetryStore::new(4, 2, 4, 4);
+        assert_eq!(render_text_with_exemplars(&snap, &bare), render_text(&snap));
     }
 
     #[test]

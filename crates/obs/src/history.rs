@@ -42,21 +42,27 @@ impl MetricsHistory {
     }
 
     /// Record one periodic snapshot, evicting the oldest at capacity.
-    /// Snapshots must arrive in sim-clock order (same-time re-records
-    /// replace the newest entry so a forced snapshot does not skew
-    /// deltas).
-    pub fn record(&mut self, snap: MetricsSnapshot) {
+    /// Snapshots must arrive in sim-clock order: a late snapshot
+    /// (earlier than the newest entry) is dropped — it would silently
+    /// corrupt every delta behind `watch`/alerts — and `false` is
+    /// returned so the caller can count it (`obs.snapshots_out_of_order`).
+    /// Same-time re-records replace the newest entry (a forced snapshot
+    /// does not skew deltas) and return `true`.
+    pub fn record(&mut self, snap: MetricsSnapshot) -> bool {
         if let Some(last) = self.snaps.back() {
-            debug_assert!(snap.at_ms >= last.at_ms, "history must advance in sim time");
+            if snap.at_ms < last.at_ms {
+                return false;
+            }
             if snap.at_ms == last.at_ms {
                 *self.snaps.back_mut().unwrap() = snap;
-                return;
+                return true;
             }
         }
         if self.snaps.len() == self.cap {
             self.snaps.pop_front();
         }
         self.snaps.push_back(snap);
+        true
     }
 
     /// Snapshots currently held.
@@ -180,10 +186,22 @@ mod tests {
     #[test]
     fn same_time_record_replaces_newest() {
         let mut h = MetricsHistory::new(4);
-        h.record(snap(1_000, 1, 0));
-        h.record(snap(1_000, 5, 0));
+        assert!(h.record(snap(1_000, 1, 0)));
+        assert!(h.record(snap(1_000, 5, 0)));
         assert_eq!(h.len(), 1);
         assert_eq!(h.latest().unwrap().counters["c"], 5);
+    }
+
+    #[test]
+    fn late_snapshot_is_dropped_not_recorded() {
+        let mut h = MetricsHistory::new(4);
+        assert!(h.record(snap(2_000, 2, 0)));
+        assert!(!h.record(snap(1_000, 99, 0)));
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.latest().unwrap().counters["c"], 2);
+        // deltas stay clean after the drop
+        assert!(h.record(snap(3_000, 5, 0)));
+        assert_eq!(h.deltas("c")[0].value, 3);
     }
 
     #[test]

@@ -30,7 +30,11 @@
 //!   rows in/out, bytes and ns per plan operator, paired with the
 //!   planner's estimates — the data behind `scrubql explain analyze`.
 //! * [`history`] — a fixed-capacity ring of periodic snapshots with
-//!   delta/rate queries, the data behind `scrubql watch`.
+//!   delta/rate queries, the raw tier behind `scrubql watch`.
+//! * [`tsdb`] — the multi-resolution [`TelemetryStore`]: the raw ring
+//!   plus bounded 10×/100× rollup tiers with deterministic counter/gauge
+//!   rollup semantics and exemplar trace links, the data behind
+//!   `scrubql range` and the `scrub_metric` meta-stream.
 //! * [`export`] — stable, sorted Prometheus-style text exposition
 //!   ([`Registry::render_text`]) so runs leave a scrapeable artifact.
 //! * [`alert`] — a deterministic rule engine (threshold / delta /
@@ -51,15 +55,18 @@ pub mod opstats;
 pub mod profile;
 pub mod timeline;
 pub mod trace;
+pub mod tsdb;
 
 pub use alert::{
     default_rules, AlertEngine, AlertEvent, AlertEventKind, AlertLog, AlertProvenance, AlertRule,
     AnomalyDetector, RuleKind,
 };
-pub use export::{render_text, sanitize_name};
+pub use export::{render_text, render_text_with_exemplars, sanitize_name};
 pub use history::{sparkline, MetricPoint, MetricsHistory};
 pub use ledger::{HostLosses, LedgerParts, LossLedger};
-pub use meta::{register_meta_events, MetaEvents, ScrubBatchEvent, ScrubWindowEvent};
+pub use meta::{
+    register_meta_events, MetaEvents, ScrubBatchEvent, ScrubMetricEvent, ScrubWindowEvent,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry};
 pub use opstats::{OperatorStats, PlanProfile};
 pub use profile::{HostProfile, QueryProfile};
@@ -68,3 +75,6 @@ pub use timeline::{
     FlightRecorder, DEFAULT_FLIGHT_RECORDER_CAP,
 };
 pub use trace::{should_trace, trace_threshold, SpanKind, TraceSpan, TraceStore};
+pub use tsdb::{
+    fmt_milli, partition_invariant, Resolution, RolledPoint, RollupKind, TelemetryStore,
+};

@@ -39,6 +39,23 @@ scrub_event! {
     }
 }
 
+scrub_event! {
+    /// One metric observation at ScrubCentral's telemetry tick
+    /// (meta-event): the [`TelemetryStore`](crate::TelemetryStore) raw
+    /// tier exposed as an event stream, so ScrubQL windowed group-by
+    /// queries run over Scrub's own time series. `kind` is `counter` or
+    /// `gauge`; `delta` is the change since the previous tick; `value`
+    /// is the value at the tick. Only partition-invariant metrics are
+    /// streamed (no `_ns` gauges, no `central.ingest_backpressure`), so
+    /// meta-query results keep the determinism contract.
+    pub struct ScrubMetricEvent("scrub_metric") {
+        metric: string,
+        kind: string,
+        delta: long,
+        value: long,
+    }
+}
+
 /// Resolved type ids of the meta-events in a schema registry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MetaEvents {
@@ -46,6 +63,8 @@ pub struct MetaEvents {
     pub batch: EventTypeId,
     /// `scrub_window` type id.
     pub window: EventTypeId,
+    /// `scrub_metric` type id.
+    pub metric: EventTypeId,
 }
 
 impl MetaEvents {
@@ -53,7 +72,7 @@ impl MetaEvents {
     /// feedback loop: batches carrying meta-events are not themselves
     /// tapped as `scrub_batch`).
     pub fn contains(&self, id: EventTypeId) -> bool {
-        id == self.batch || id == self.window
+        id == self.batch || id == self.window || id == self.metric
     }
 }
 
@@ -62,6 +81,7 @@ pub fn register_meta_events(registry: &SchemaRegistry) -> ScrubResult<MetaEvents
     Ok(MetaEvents {
         batch: registry.register(ScrubBatchEvent::schema())?,
         window: registry.register(ScrubWindowEvent::schema())?,
+        metric: registry.register(ScrubMetricEvent::schema())?,
     })
 }
 
@@ -77,7 +97,9 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(reg.id_of("scrub_batch"), Some(a.batch));
         assert_eq!(reg.id_of("scrub_window"), Some(a.window));
+        assert_eq!(reg.id_of("scrub_metric"), Some(a.metric));
         assert!(a.contains(a.batch));
+        assert!(a.contains(a.metric));
         assert!(!a.contains(EventTypeId(u32::MAX)));
     }
 
@@ -96,5 +118,21 @@ mod tests {
         }
         .into_values();
         assert_eq!(v.len(), 6);
+    }
+
+    #[test]
+    fn metric_stream_schema_is_queryable() {
+        let s = ScrubMetricEvent::schema();
+        assert_eq!(s.name, "scrub_metric");
+        assert!(s.fields.iter().any(|f| f.name == "metric"));
+        assert!(s.fields.iter().any(|f| f.name == "delta"));
+        let v = ScrubMetricEvent {
+            metric: "central.events_ingested".into(),
+            kind: "counter".into(),
+            delta: 12,
+            value: 420,
+        }
+        .into_values();
+        assert_eq!(v.len(), 4);
     }
 }

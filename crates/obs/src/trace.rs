@@ -197,6 +197,20 @@ impl TraceStore {
         self.traces.values().map(Vec::len).sum()
     }
 
+    /// Smallest traced request id with at least one span in the
+    /// sim-time interval `(from_ms, to_ms]` — the deterministic
+    /// exemplar pick for rolled telemetry points (requests iterate in
+    /// `BTreeMap` order, so every partition count agrees). `None` when
+    /// no traced request was active in the interval.
+    pub fn first_rid_in(&self, from_ms: i64, to_ms: i64) -> Option<u64> {
+        self.traces.iter().find_map(|(&rid, spans)| {
+            spans
+                .iter()
+                .any(|s| s.at_ms > from_ms && s.at_ms <= to_ms)
+                .then_some(rid)
+        })
+    }
+
     /// Add one span, respecting the request cap.
     pub fn add(&mut self, span: TraceSpan) {
         if !self.traces.contains_key(&span.request_id) && self.traces.len() >= self.cap {
@@ -333,6 +347,19 @@ mod tests {
             ]
         );
         assert!(s.trace(8).is_none());
+    }
+
+    #[test]
+    fn first_rid_in_picks_smallest_rid_in_interval() {
+        let mut s = TraceStore::new(16);
+        s.add(TraceSpan::new(9, SpanKind::Emit, 1_500, 0));
+        s.add(TraceSpan::new(4, SpanKind::Emit, 1_800, 0));
+        s.add(TraceSpan::new(2, SpanKind::Emit, 3_000, 0));
+        // both 4 and 9 are active in (1000, 2000]; smallest rid wins
+        assert_eq!(s.first_rid_in(1_000, 2_000), Some(4));
+        // interval bounds: (from, to] — 3000 belongs to (2000, 3000]
+        assert_eq!(s.first_rid_in(2_000, 3_000), Some(2));
+        assert_eq!(s.first_rid_in(3_000, 4_000), None);
     }
 
     #[test]

@@ -39,7 +39,8 @@ use scrub_obs::{
     register_meta_events, should_trace, trace_threshold, AlertEngine, AlertEventKind,
     AlertProvenance, Counter, FlightEventKind, FlightRecorder, Gauge, Histogram, LedgerParts,
     LossLedger, MetaEvents, MetricsHistory, MetricsSnapshot, PlanProfile, QueryProfile, Registry,
-    ScrubBatchEvent, ScrubWindowEvent, SpanKind, TraceSpan, TraceStore,
+    ScrubBatchEvent, ScrubMetricEvent, ScrubWindowEvent, SpanKind, TelemetryStore, TraceSpan,
+    TraceStore,
 };
 use scrub_simnet::{Context, Node, NodeId, SimDuration};
 
@@ -80,9 +81,10 @@ pub struct CentralNode<E: ScrubEnvelope> {
     /// queries: window start → host → events. Drained at window close to
     /// attribute degraded-window losses to the hosts that fed the window.
     window_events: HashMap<QueryId, BTreeMap<i64, BTreeMap<String, u64>>>,
-    /// Ring of periodic node-metrics snapshots (recorded each advance
-    /// tick) backing `scrubql watch`.
-    history: MetricsHistory,
+    /// Multi-resolution telemetry store (raw snapshot ring + mid/coarse
+    /// rollup tiers with exemplar links), fed each advance tick —
+    /// backing `scrubql watch`/`range` and the alert engine.
+    tsdb: TelemetryStore,
     /// Precomputed trace-sampler threshold (0 = tracing disabled).
     trace_threshold: u64,
     /// Queries whose inputs are meta-events (their window closes are not
@@ -112,6 +114,7 @@ pub struct CentralNode<E: ScrubEnvelope> {
     m_alerts_fired: Arc<Counter>,
     m_alerts_cleared: Arc<Counter>,
     m_anomalies: Arc<Counter>,
+    m_snaps_ooo: Arc<Counter>,
     /// Last per-query cumulative totals folded into the node counters,
     /// so each advance adds only the delta (profiles and
     /// `ExecutorStats` are cumulative; the node metrics want fleet
@@ -161,8 +164,9 @@ impl<E: ScrubEnvelope> CentralNode<E> {
     /// Create a central node; `server` is learned from the first
     /// `CentralInstall` sender if not preset. The schema registry is the
     /// deployment-wide one — central registers the `scrub_batch` /
-    /// `scrub_window` meta-event types into it (idempotently) so ScrubQL
-    /// queries over Scrub's own telemetry validate.
+    /// `scrub_window` / `scrub_metric` meta-event types into it
+    /// (idempotently) so ScrubQL queries over Scrub's own telemetry
+    /// validate.
     pub fn new(config: ScrubConfig, registry: Arc<SchemaRegistry>) -> Self {
         let meta = register_meta_events(&registry).expect("meta-event schemas register cleanly");
         let obs = Registry::new();
@@ -188,7 +192,8 @@ impl<E: ScrubEnvelope> CentralNode<E> {
         let m_alerts_fired = obs.counter("alert.fired");
         let m_alerts_cleared = obs.counter("alert.cleared");
         let m_anomalies = obs.counter("alert.anomalies");
-        let history = MetricsHistory::new(config.obs_history_len);
+        let m_snaps_ooo = obs.counter("obs.snapshots_out_of_order");
+        let tsdb = TelemetryStore::from_config(&config);
         let trace_thresh = trace_threshold(config.trace_sample_rate);
         let alerts = if config.alerts_enabled {
             AlertEngine::from_config(&config)
@@ -209,7 +214,7 @@ impl<E: ScrubEnvelope> CentralNode<E> {
             traces: HashMap::new(),
             ledger_parts: HashMap::new(),
             window_events: HashMap::new(),
-            history,
+            tsdb,
             trace_threshold: trace_thresh,
             meta_queries: HashSet::new(),
             obs,
@@ -235,6 +240,7 @@ impl<E: ScrubEnvelope> CentralNode<E> {
             m_alerts_fired,
             m_alerts_cleared,
             m_anomalies,
+            m_snaps_ooo,
             fold_seen: HashMap::new(),
             bp_seen: HashMap::new(),
             alerts,
@@ -314,9 +320,17 @@ impl<E: ScrubEnvelope> CentralNode<E> {
         Some(LossLedger::build(profile, &parts))
     }
 
-    /// Ring of periodic node-metrics snapshots (oldest first).
+    /// Ring of periodic node-metrics snapshots (oldest first) — the
+    /// telemetry store's raw tier.
     pub fn history(&self) -> &MetricsHistory {
-        &self.history
+        self.tsdb.raw()
+    }
+
+    /// The multi-resolution telemetry store: raw ring plus mid/coarse
+    /// rollup tiers with exemplar trace links — the data behind
+    /// `scrubql watch`/`range`.
+    pub fn telemetry(&self) -> &TelemetryStore {
+        &self.tsdb
     }
 
     /// The health plane: alert rules, hysteresis states, anomaly
@@ -721,17 +735,97 @@ impl<E: ScrubEnvelope> CentralNode<E> {
         }
     }
 
-    /// Tick the alert engine against the just-recorded history
-    /// snapshot: attach provenance hints (enriched with a sampled trace
-    /// rid where one carries a relevant span), count the events, and
-    /// journal firings into the implicated query's flight recorder.
+    /// Record the periodic node snapshot into the telemetry store and
+    /// stream it as `scrub_metric` meta-events.
+    ///
+    /// Rollup exemplars are resolved lazily — the store calls back only
+    /// when a mid/coarse bucket seals and only for metrics that moved
+    /// up — with the same deterministic scan alert provenance uses: the
+    /// smallest traced rid (of the smallest query id) with a span in
+    /// the max-delta raw interval. Out-of-order snapshots are dropped
+    /// by the store and counted (`obs.snapshots_out_of_order`).
+    ///
+    /// The meta-stream tap mirrors the `scrub_batch` tap: one
+    /// `scrub_metric` event per metric per tick through the embedded
+    /// agent (a relaxed atomic load each while no meta query is live).
+    /// Only [`scrub_obs::partition_invariant`] metrics are streamed —
+    /// `_ns` wall-clock gauges, `central.ingest_backpressure` and the
+    /// `executor.*` scheduling counters are skipped — so meta-query
+    /// results keep the determinism contract.
+    fn record_telemetry(&mut self, now_ms: i64) {
+        let snap = self.obs.snapshot(now_ms);
+        let prev = self.tsdb.raw().latest().cloned();
+        let traces = &self.traces;
+        // many metrics share a max-delta interval; resolve each once
+        let mut cache: BTreeMap<(i64, i64), Option<u64>> = BTreeMap::new();
+        let accepted = self
+            .tsdb
+            .record_with(snap.clone(), |_metric, from_ms, to_ms| {
+                *cache.entry((from_ms, to_ms)).or_insert_with(|| {
+                    let mut qids: Vec<QueryId> = traces.keys().copied().collect();
+                    qids.sort();
+                    qids.iter()
+                        .find_map(|qid| traces[qid].first_rid_in(from_ms, to_ms))
+                })
+            });
+        if !accepted {
+            self.m_snaps_ooo.inc();
+            return;
+        }
+        let (Some(prev), Some(harness)) = (prev, &self.meta_harness) else {
+            // no delta yet (first snapshot) or not started: nothing to
+            // stream — the event stream carries exactly the raw tier's
+            // delta series
+            return;
+        };
+        for (name, &v) in &snap.counters {
+            if !scrub_obs::partition_invariant(name) {
+                continue;
+            }
+            let delta = v as i64 - prev.counters.get(name).map(|&p| p as i64).unwrap_or(0);
+            self.meta_rid += 1;
+            harness
+                .agent()
+                .log_typed(self.meta.metric, RequestId(self.meta_rid), now_ms, || {
+                    ScrubMetricEvent {
+                        metric: name.clone(),
+                        kind: "counter".into(),
+                        delta,
+                        value: v as i64,
+                    }
+                });
+        }
+        for (name, &v) in &snap.gauges {
+            if !scrub_obs::partition_invariant(name) {
+                continue;
+            }
+            let delta = v - prev.gauges.get(name).copied().unwrap_or(0);
+            self.meta_rid += 1;
+            harness
+                .agent()
+                .log_typed(self.meta.metric, RequestId(self.meta_rid), now_ms, || {
+                    ScrubMetricEvent {
+                        metric: name.clone(),
+                        kind: "gauge".into(),
+                        delta,
+                        value: v,
+                    }
+                });
+        }
+    }
+
+    /// Tick the alert engine against the just-recorded telemetry (read
+    /// at raw resolution): attach provenance hints (enriched with a
+    /// sampled trace rid where one carries a relevant span), count the
+    /// events, and journal firings into the implicated query's flight
+    /// recorder.
     fn evaluate_alerts(&mut self, now_ms: i64) {
         if !self.config.alerts_enabled {
             return;
         }
         let hints = &self.prov_hints;
         let traces = &self.traces;
-        let events = self.alerts.tick(&self.history, |rule, _value| {
+        let events = self.alerts.tick(&self.tsdb, |rule, _value| {
             let mut prov = hints.get(&rule.metric).cloned().unwrap_or_default();
             if prov.trace_rid.is_none() && rule.metric == "agent.retransmitted_batches" {
                 if let Some(store) = prov.query_id.and_then(|q| traces.get(&QueryId(q))) {
@@ -995,7 +1089,7 @@ impl<E: ScrubEnvelope> Node<E> for CentralNode<E> {
             let now_ms = ctx.now.as_ms();
             self.refresh_dead_hosts(now_ms);
             self.flush_rows(ctx, now_ms);
-            self.history.record(self.obs.snapshot(now_ms));
+            self.record_telemetry(now_ms);
             self.evaluate_alerts(now_ms);
             ctx.set_timer(self.advance_interval(), TIMER_CENTRAL_ADVANCE);
         }

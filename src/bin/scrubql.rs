@@ -17,8 +17,12 @@
 //! kill/revive), `stats [metric]` (platform + Scrub self-observability
 //! metrics), `profile <qid>` (a query's execution profile + loss ledger),
 //! `trace <qid> [request-id]` (lifecycle trace timelines), `watch
-//! <metric> [--alert]` (a metric's recent per-interval deltas as a
-//! sparkline, plus any alert rules watching it), `alerts` (the health
+//! <metric> [--alert] [--since <ms>]` (a metric's recent per-interval
+//! deltas as a sparkline, plus any alert rules watching it; falls back
+//! to the coarse retention tier when `--since` predates the raw ring),
+//! `range <metric> [--res raw|mid|coarse] [--since <ms>]` (a metric's
+//! series from the multi-resolution telemetry store, with exemplar
+//! trace rids on rolled-up points), `alerts` (the health
 //! plane: rules, firing state, the alert log), `timeline <qid> [json]`
 //! (the per-query flight recorder), `\events`, `\hosts`, `\help`,
 //! `\quit`. Lifecycle tracing samples 5% of requests by default; tune
@@ -27,6 +31,7 @@
 use std::io::{BufRead, Write};
 
 use adplatform::PlatformMsg;
+use scrub::obs::Resolution;
 use scrub::prelude::*;
 use scrub::server::CentralNode;
 use scrub_core::error::ScrubError;
@@ -78,6 +83,7 @@ fn main() {
         p.sim.now().as_secs_f64(),
         p.sim.metas().len()
     );
+    warn_missing_alert_metrics(&p);
 
     let stdin = std::io::stdin();
     let interactive = args.iter().all(|a| a != "--batch");
@@ -111,7 +117,10 @@ fn main() {
                      profile <qid>     a query's execution profile + loss ledger\n  \
                      trace <qid>       traced request ids of a query (sampled lifecycles)\n  \
                      trace <qid> <rid> one traced request's span timeline\n  \
-                     watch <metric> [--alert]  per-interval deltas as a sparkline (+ alert rules)\n  \
+                     watch <metric> [--alert] [--since <ms>]  per-interval deltas as a sparkline\n  \
+                     (+ alert rules; --since older than the raw ring falls back to the coarse tier)\n  \
+                     range <metric> [--res raw|mid|coarse] [--since <ms>]  telemetry-store series\n  \
+                     (rolled-up tiers carry exemplar trace rids from the max-delta interval)\n  \
                      alerts            health plane: rules, firing state, the alert log\n  \
                      timeline <qid> [json]     a query's flight-recorder journal\n  \
                      \\events           event types and schemas\n  \
@@ -161,9 +170,32 @@ fn main() {
             other if other == "watch" || other.starts_with("watch ") => {
                 let words: Vec<&str> = other.split_whitespace().skip(1).collect();
                 let alert = words.contains(&"--alert");
-                match words.iter().find(|w| !w.starts_with("--")) {
-                    Some(metric) => watch_metric(&p, metric, alert),
-                    None => println!("usage: watch <metric> [--alert] (stats lists metric names)"),
+                let since = flag_value(&words, "--since").and_then(|s| s.parse::<i64>().ok());
+                match positional(&words, &["--since"]) {
+                    Some(metric) => watch_metric(&p, metric, alert, since),
+                    None => println!(
+                        "usage: watch <metric> [--alert] [--since <ms>] (stats lists metric names)"
+                    ),
+                }
+            }
+            other if other == "range" || other.starts_with("range ") => {
+                let words: Vec<&str> = other.split_whitespace().skip(1).collect();
+                let since = flag_value(&words, "--since").and_then(|s| s.parse::<i64>().ok());
+                let res = match flag_value(&words, "--res") {
+                    None => Resolution::Raw,
+                    Some(w) => match Resolution::parse(w) {
+                        Some(r) => r,
+                        None => {
+                            println!("unknown resolution {w:?}; pick one of: raw, mid, coarse");
+                            continue;
+                        }
+                    },
+                };
+                match positional(&words, &["--res", "--since"]) {
+                    Some(metric) => range_metric(&p, metric, res, since),
+                    None => {
+                        println!("usage: range <metric> [--res raw|mid|coarse] [--since <ms>]")
+                    }
                 }
             }
             other if other == "alerts" || other == "\\alerts" => {
@@ -707,10 +739,47 @@ fn print_timeline(p: &Platform, qid: QueryId, json: bool) {
     }
 }
 
-/// `watch <metric> [--alert]`: per-interval deltas of one central metric
-/// from the snapshot-history ring, rendered as a sparkline; with
+/// The word following a `--flag` in a command's word list, if any.
+fn flag_value<'a>(words: &[&'a str], flag: &str) -> Option<&'a str> {
+    words
+        .iter()
+        .position(|w| *w == flag)
+        .and_then(|i| words.get(i + 1))
+        .copied()
+}
+
+/// The first word that is neither a `--flag` nor the value of one of
+/// the given value-taking flags — the command's positional argument.
+fn positional<'a>(words: &[&'a str], valued_flags: &[&str]) -> Option<&'a str> {
+    let mut skip_next = false;
+    for w in words {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if w.starts_with("--") {
+            skip_next = valued_flags.contains(w);
+            continue;
+        }
+        return Some(w);
+    }
+    None
+}
+
+/// One tier's covered sim-time range, formatted for the coverage line.
+fn fmt_cover(range: Option<(i64, i64)>) -> String {
+    match range {
+        Some((a, b)) => format!("[{a}, {b}] ms"),
+        None => "(empty)".to_string(),
+    }
+}
+
+/// `watch <metric> [--alert] [--since <ms>]`: per-interval deltas of one
+/// central metric from the telemetry store, rendered as a sparkline; with
 /// `--alert`, also the alert rules watching the metric and their state.
-fn watch_metric(p: &Platform, metric: &str, alert: bool) {
+/// Prints each retention tier's covered time range; when `--since`
+/// predates the raw ring, falls back to the coarse tier with a note.
+fn watch_metric(p: &Platform, metric: &str, alert: bool, since: Option<i64>) {
     let Some(central) = p.sim.node_as::<CentralNode<PlatformMsg>>(p.scrub.central) else {
         println!("central node not found");
         return;
@@ -721,8 +790,30 @@ fn watch_metric(p: &Platform, metric: &str, alert: bool) {
         print_suggestions(&names, metric);
         return;
     }
-    let hist = central.history();
-    let deltas = hist.deltas(metric);
+    let store = central.telemetry();
+    println!(
+        "coverage: raw {} · mid({}x) {} · coarse({}x) {}",
+        fmt_cover(store.covered_range(Resolution::Raw)),
+        store.tier_factor(Resolution::Mid),
+        fmt_cover(store.covered_range(Resolution::Mid)),
+        store.tier_factor(Resolution::Coarse),
+        fmt_cover(store.covered_range(Resolution::Coarse)),
+    );
+    let raw_from = store.covered_range(Resolution::Raw).map(|(from, _)| from);
+    let res = match (since, raw_from) {
+        (Some(s), Some(from)) if s < from => {
+            println!(
+                "(--since {s} ms predates the raw ring; showing the coarse tier at {}x resolution)",
+                store.tier_factor(Resolution::Coarse)
+            );
+            Resolution::Coarse
+        }
+        _ => Resolution::Raw,
+    };
+    let mut deltas = store.deltas(metric, res);
+    if let Some(s) = since {
+        deltas.retain(|d| d.at_ms > s);
+    }
     if deltas.is_empty() {
         println!("no history yet for {metric:?} (the ring fills as virtual time passes)");
         return;
@@ -739,7 +830,8 @@ fn watch_metric(p: &Platform, metric: &str, alert: bool) {
         deltas.last().unwrap().at_ms as f64 / 1_000.0
     );
     println!("  {}", scrub::obs::sparkline(&values));
-    let rate = hist
+    let rate = store
+        .raw()
         .rate_per_sec(metric, 10)
         .map(|r| format!(", ~{r:.1}/s over the newest intervals"))
         .unwrap_or_default();
@@ -777,6 +869,53 @@ fn watch_metric(p: &Platform, metric: &str, alert: bool) {
         if engine.anomaly().metrics().iter().any(|m| m == metric) {
             println!("  anomaly watchlist: baseline tracked for {metric:?}");
         }
+    }
+}
+
+/// `range <metric> [--res raw|mid|coarse] [--since <ms>]`: one metric's
+/// series from the multi-resolution telemetry store, through the shared
+/// byte-stable renderer. Rolled-up points carry an exemplar trace rid
+/// from their max-delta interval, linking the series to `trace`.
+fn range_metric(p: &Platform, metric: &str, res: Resolution, since: Option<i64>) {
+    let Some(central) = p.sim.node_as::<CentralNode<PlatformMsg>>(p.scrub.central) else {
+        println!("central node not found");
+        return;
+    };
+    let names = metric_names(&merged_snapshot(p));
+    if !names.iter().any(|n| n == metric) {
+        println!("unknown metric {metric:?}");
+        print_suggestions(&names, metric);
+        return;
+    }
+    let store = central.telemetry();
+    print!("{}", store.render_range(metric, res, since));
+    if store
+        .points(metric, res)
+        .iter()
+        .any(|pt| pt.exemplar.is_some())
+    {
+        println!("  (rid=N exemplars resolve via: trace <qid> <rid>)");
+    }
+}
+
+/// Startup lint: warn about alert rules or anomaly-watchlist entries
+/// naming metrics that were never registered — almost always a typo
+/// that would otherwise watch a flat, forever-zero series. Warnings go
+/// to stderr so `--batch` stdout stays byte-stable.
+fn warn_missing_alert_metrics(p: &Platform) {
+    let Some(central) = p.sim.node_as::<CentralNode<PlatformMsg>>(p.scrub.central) else {
+        return;
+    };
+    let names = metric_names(&merged_snapshot(p));
+    for (source, metric) in central.alert_engine().missing_metrics(&names) {
+        let close = suggest_metrics(&names, &metric);
+        let hint = if close.is_empty() {
+            String::new()
+        } else {
+            let list: Vec<&str> = close.iter().map(|s| s.as_str()).collect();
+            format!(" (closest: {})", list.join(", "))
+        };
+        eprintln!("warning: {source} watches unknown metric {metric:?}{hint}");
     }
 }
 

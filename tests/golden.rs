@@ -129,6 +129,99 @@ fn render_text_is_byte_identical_across_seeded_runs() {
     assert!(n > 0, "the seeded run must actually ingest events");
 }
 
+/// Seeded OneHost run with small rollup factors so every tier seals
+/// buckets within a minute of sim time; returns the full
+/// multi-resolution `render_range` surface (every partition-invariant
+/// metric at raw, mid and coarse) plus the exemplar-annotated
+/// Prometheus exposition, ns lines masked.
+fn run_tsdb_once() -> String {
+    let mut config = ScrubConfig::default();
+    config.trace_sample_rate = 0.1;
+    config.tsdb_mid_factor = 4;
+    config.tsdb_coarse_factor = 8;
+    let reg = SchemaRegistry::new();
+    reg.register(EventSchema::new("bid", vec![FieldDef::new("user_id", FieldType::Long)]).unwrap())
+        .unwrap();
+    let reg = Arc::new(reg);
+    let mut sim: Sim<ScrubMsg> = Sim::new(Topology::default(), 1771);
+    let central = deploy_central(&mut sim, &reg, config.clone(), "DC1");
+    sim.add_node(
+        NodeMeta::new("gold-0", "GoldServers", "DC1"),
+        Box::new(OneHost {
+            harness: AgentHarness::new("gold-0", config.clone(), central),
+            emitted: 0,
+        }),
+    );
+    let d = deploy_server(&mut sim, reg, config, central, "DC1");
+    let q = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select bid.user_id, COUNT(*) from bid @[all] \
+             group by bid.user_id window 5 s duration 10 s",
+        )
+        .expect("query accepted");
+    // Snapshot the exposition while the traced query's bucket is still
+    // the newest mid-tier rollup (the exemplar comments cite the newest
+    // point), then keep running so the coarse tier seals too.
+    sim.run_until(SimTime::from_secs(20));
+    let exposition = {
+        let node = sim
+            .node_as::<CentralNode<ScrubMsg>>(central)
+            .expect("central node");
+        mask_ns_lines(&scrub::obs::render_text_with_exemplars(
+            &node.metrics(sim.now().as_ms()),
+            node.telemetry(),
+        ))
+    };
+    sim.run_until(SimTime::from_secs(60));
+    assert_eq!(q.state(&sim), Some(QueryState::Done));
+    let node = sim
+        .node_as::<CentralNode<ScrubMsg>>(central)
+        .expect("central node");
+    let store = node.telemetry();
+    let mut out = String::new();
+    for m in store.metric_names() {
+        if !scrub::obs::partition_invariant(&m) {
+            continue;
+        }
+        for res in [
+            scrub::obs::Resolution::Raw,
+            scrub::obs::Resolution::Mid,
+            scrub::obs::Resolution::Coarse,
+        ] {
+            out.push_str(&store.render_range(&m, res, None));
+        }
+    }
+    out.push_str(&exposition);
+    out
+}
+
+/// The telemetry store's whole read surface is a golden artifact: two
+/// seeded runs must produce byte-identical `range` renders at every
+/// resolution — tier contents, rollup statistics *and exemplar trace
+/// rids* — and a byte-identical exemplar-annotated exposition.
+#[test]
+fn range_renders_are_byte_identical_across_seeded_runs() {
+    let a = run_tsdb_once();
+    let b = run_tsdb_once();
+    assert_eq!(a, b, "range renders must be reproducible byte-for-byte");
+    // the surface is non-trivial: both rolled tiers sealed buckets and
+    // at least one rollup carries an exemplar link
+    assert!(a.contains("res=mid bucket=4x"), "no mid renders:\n{a}");
+    assert!(
+        a.contains("res=coarse bucket=8x"),
+        "no coarse renders:\n{a}"
+    );
+    assert!(
+        a.contains("rid="),
+        "no exemplar resolved in a traced run:\n{a}"
+    );
+    assert!(
+        a.contains("# exemplars: newest mid-tier rollup, max-delta interval"),
+        "exposition missing exemplar comments:\n{a}"
+    );
+}
+
 /// One seeded run with a mid-query host crash, returning the health
 /// plane's two renders: the central alert log and the query's merged
 /// flight-recorder timeline. Both are driven entirely by sim time (alert

@@ -715,6 +715,213 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
+// Telemetry-store rollup equivalence: every downsampled tier must be a
+// *direct aggregation* of the raw per-tick deltas it covers — sum (as
+// last − first) / min / max / mean of deltas for counters, last / min /
+// max / mean of sampled values for gauges — including zero-backfill for
+// metrics that first appear mid-bucket, and the exemplar interval must
+// be the bucket's earliest max-positive-delta raw interval. The oracle
+// below folds the same value series by hand, straight from the contract
+// in `scrub_obs::tsdb`'s module docs.
+
+use scrub::obs::{MetricsSnapshot, Resolution, RolledPoint, RollupKind, TelemetryStore};
+
+/// Hand-rolled aggregation of the zero-extended value series `vals`
+/// (index i = the value at `times[i]`; zeros before snapshot index
+/// `appear`) into factor-`f` buckets. The exemplar of a bucket whose
+/// largest positive delta starts at `from_ms` is `Some(from_ms as u64)`,
+/// matching the resolver the test feeds the store.
+fn roll_oracle(
+    kind: RollupKind,
+    vals: &[i64],
+    times: &[i64],
+    f: usize,
+    appear: usize,
+) -> Vec<RolledPoint> {
+    let mut out = Vec::new();
+    let mut j = 0;
+    while (j + 1) * f < vals.len() {
+        let (s, e) = (j * f, (j + 1) * f);
+        j += 1;
+        if appear > e {
+            // the metric had not appeared by bucket end: no point sealed
+            continue;
+        }
+        let (mut min, mut max, mut sum) = (i64::MAX, i64::MIN, 0i64);
+        let (mut best_d, mut best_from, mut best_at) = (0i64, 0i64, 0i64);
+        for i in s + 1..=e {
+            let d = vals[i] - vals[i - 1];
+            let folded = match kind {
+                RollupKind::Counter => d,
+                RollupKind::Gauge => vals[i],
+            };
+            min = min.min(folded);
+            max = max.max(folded);
+            sum += folded;
+            if d > best_d {
+                best_d = d;
+                best_from = times[i - 1];
+                best_at = times[i];
+            }
+        }
+        out.push(RolledPoint {
+            start_ms: times[s],
+            at_ms: times[e],
+            kind,
+            delta: vals[e] - vals[s],
+            last: vals[e],
+            min,
+            max,
+            mean_milli: (sum as i128 * 1_000 / f as i128) as i64,
+            max_from_ms: best_from,
+            max_at_ms: best_at,
+            exemplar: (best_d > 0).then_some(best_from as u64),
+        });
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn rolled_tiers_equal_direct_aggregation_of_raw_deltas(
+        counter_deltas in prop::collection::vec(0i64..500, 5..90),
+        gauge_vals in prop::collection::vec(-300i64..300, 5..90),
+        gaps in prop::collection::vec(1i64..3_000, 5..90),
+        mid in 2usize..6,
+        mult in 2usize..5,
+        appear_pick in 0usize..1_000,
+    ) {
+        let n = counter_deltas.len().min(gauge_vals.len()).min(gaps.len());
+        let coarse = mid * mult;
+        // strictly increasing sim times and a cumulative counter series
+        let mut times = vec![0i64];
+        let mut cvals = vec![0i64];
+        for i in 0..n - 1 {
+            times.push(times[i] + gaps[i]);
+            cvals.push(cvals[i] + counter_deltas[i]);
+        }
+        let gvals = &gauge_vals[..n];
+        // a second counter that first appears at snapshot `appear`
+        let appear = 1 + appear_pick % (n - 1);
+        let late_vals: Vec<i64> = (0..n)
+            .map(|i| if i < appear { 0 } else { cvals[i] / 2 + 1 })
+            .collect();
+
+        let mut t = TelemetryStore::new(256, mid, coarse, 64);
+        for i in 0..n {
+            let mut s = MetricsSnapshot {
+                at_ms: times[i],
+                ..Default::default()
+            };
+            s.counters.insert("c".into(), cvals[i] as u64);
+            s.gauges.insert("g".into(), gvals[i]);
+            if i >= appear {
+                s.counters.insert("late".into(), late_vals[i] as u64);
+            }
+            prop_assert!(t.record_with(s, |_m, from_ms, _to| Some(from_ms as u64)));
+        }
+        prop_assert_eq!(t.out_of_order(), 0);
+
+        for (metric, kind, vals, ap) in [
+            ("c", RollupKind::Counter, &cvals, 0usize),
+            ("g", RollupKind::Gauge, &gvals.to_vec(), 0),
+            ("late", RollupKind::Counter, &late_vals, appear),
+        ] {
+            for (res, f) in [(Resolution::Mid, mid), (Resolution::Coarse, coarse)] {
+                let got = t.points(metric, res);
+                let want = roll_oracle(kind, vals, &times, f, ap);
+                prop_assert_eq!(
+                    got, want,
+                    "{} tier of {:?} diverges from direct aggregation", res, metric
+                );
+            }
+        }
+    }
+}
+
+/// One chaos run at `partitions` with small rollup factors, returning
+/// the byte-stable mid+coarse `render_range` of every
+/// `scrub_obs::partition_invariant` metric in central's telemetry store.
+fn tsdb_run(partitions: usize) -> String {
+    let mut config = ScrubConfig::default();
+    config.central_partitions = partitions;
+    config.trace_sample_rate = 0.2;
+    config.agent_retry_base_ms = 200;
+    config.window_grace_ms = 6_000;
+    config.host_grace_ms = 12_000;
+    config.tsdb_mid_factor = 4;
+    config.tsdb_coarse_factor = 8;
+    let mut sim: Sim<ScrubMsg> = Sim::new(Topology::default(), 7);
+    let reg = registry();
+    let central = deploy_central(&mut sim, &reg, config.clone(), "DC1");
+    for i in 0..3 {
+        let dc = if i % 2 == 0 { "DC1" } else { "DC2" };
+        let name = format!("dual-{i}");
+        sim.add_node(
+            NodeMeta::new(name.clone(), "DualServers", dc),
+            Box::new(DualHost {
+                harness: AgentHarness::new(&name, config.clone(), central),
+                emitted: 0,
+            }),
+        );
+    }
+    let d = deploy_server(&mut sim, reg, config, central, "DC1");
+    let q = ScrubClient::new(&d)
+        .submit(
+            &mut sim,
+            "select bid.user_id, COUNT(*) from bid @[all] \
+             group by bid.user_id window 5 s duration 15 s",
+        )
+        .expect("query accepted");
+    sim.run_until(SimTime::from_ms(1_500));
+    let agents = NodeSel::Service("DualServers".into());
+    let central_sel = NodeSel::Host("scrub-central".into());
+    sim.set_link_drop(agents.clone(), central_sel.clone(), 0.15);
+    sim.set_link_drop(central_sel, agents, 0.15);
+    sim.run_until(SimTime::from_secs(45));
+    assert_eq!(q.state(&sim), Some(QueryState::Done));
+    let node = sim
+        .node_as::<scrub::server::CentralNode<ScrubMsg>>(central)
+        .expect("central node");
+    let store = node.telemetry();
+    let mut out = String::new();
+    for m in store.metric_names() {
+        if !scrub::obs::partition_invariant(&m) {
+            continue;
+        }
+        for res in [Resolution::Mid, Resolution::Coarse] {
+            out.push_str(&store.render_range(&m, res, None));
+        }
+    }
+    out
+}
+
+/// The telemetry store is part of the partition-invariance contract:
+/// tier contents *and exemplar picks* must render byte-identically
+/// whether central folds inline or across 4 threaded partitions, even
+/// with 15% bidirectional link loss exercising the retransmit machinery.
+#[test]
+fn telemetry_tiers_identical_across_partition_counts() {
+    let a = tsdb_run(1);
+    let b = tsdb_run(4);
+    assert_eq!(a, b, "telemetry tiers diverge between partitions 1 and 4");
+    // the equality must not be vacuous: buckets sealed at both factors
+    // and at least one rollup resolved an exemplar trace rid
+    assert!(a.contains("res=mid"), "no mid renders:\n{a}");
+    assert!(a.contains("res=coarse"), "no coarse renders:\n{a}");
+    assert!(
+        !a.contains("cover=[empty]"),
+        "a tier never sealed a bucket:\n{a}"
+    );
+    assert!(
+        a.contains("rid="),
+        "no exemplar resolved under a traced chaos run:\n{a}"
+    );
+}
+
+// ---------------------------------------------------------------------
 // Admission determinism: a fixed seed + config + submission order must
 // always produce byte-identical admission decisions (the controller
 // prices with the cost model at a configured assumed rate — wall-clock
